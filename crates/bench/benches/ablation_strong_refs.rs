@@ -1,0 +1,43 @@
+//! Ablation A2: strong references.
+//!
+//! Verifies the push-through-a-reference pattern in both styles: with a
+//! `&strg` signature (accepted) and with a plain `&mut` signature (rejected),
+//! measuring the cost of each check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const WITH_STRG: &str = r#"
+#[flux::sig(fn(v: &strg RVec<i32>[@n], i32) ensures *v: RVec<i32>[n + 1])]
+fn push_it(v: &mut RVec<i32>, x: i32) {
+    v.push(x);
+}
+"#;
+
+const WITH_MUT: &str = r#"
+#[flux::sig(fn(v: &mut RVec<i32>[@n], i32))]
+fn push_it(v: &mut RVec<i32>, x: i32) {
+    v.push(x);
+}
+"#;
+
+fn bench_strong_refs(c: &mut Criterion) {
+    let config = flux::VerifyConfig::default();
+    let mut group = c.benchmark_group("ablation_strong_refs");
+    group.sample_size(20);
+    group.bench_function("strg-accepted", |b| {
+        b.iter(|| {
+            let out = flux::verify_source(WITH_STRG, flux::Mode::Flux, &config).unwrap();
+            assert!(out.safe);
+        })
+    });
+    group.bench_function("mut-rejected", |b| {
+        b.iter(|| {
+            let out = flux::verify_source(WITH_MUT, flux::Mode::Flux, &config).unwrap();
+            assert!(!out.safe);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strong_refs);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the SMT substrate: quantifier-free queries (as issued
+//! by Flux) versus quantified queries (as issued by the baseline), isolating
+//! the §5.2 explanation for the verification-time gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flux_logic::{Expr, Name, Sort, SortCtx};
+use flux_smt::Solver;
+
+fn bench_smt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smt");
+    group.sample_size(30);
+
+    // Quantifier-free: i >= 0 && i < n  ⟹  i + 1 <= n
+    group.bench_function("quantifier-free-vc", |b| {
+        let mut ctx = SortCtx::new();
+        ctx.push(Name::intern("i"), Sort::Int);
+        ctx.push(Name::intern("n"), Sort::Int);
+        let i = Expr::var(Name::intern("i"));
+        let n = Expr::var(Name::intern("n"));
+        let hyps = vec![Expr::ge(i.clone(), Expr::int(0)), Expr::lt(i.clone(), n.clone())];
+        let goal = Expr::le(i + Expr::int(1), n);
+        b.iter(|| {
+            let mut solver = Solver::with_defaults();
+            assert!(solver.check_valid_imp(&ctx, &hyps, &goal).is_valid());
+        })
+    });
+
+    // Quantified: an array frame axiom must be instantiated to prove a read.
+    group.bench_function("quantified-vc", |b| {
+        let mut ctx = SortCtx::new();
+        ctx.push(Name::intern("i"), Sort::Int);
+        ctx.push(Name::intern("lenv"), Sort::Int);
+        ctx.push(Name::intern("a"), Sort::Array);
+        let i = Expr::var(Name::intern("i"));
+        let lenv = Expr::var(Name::intern("lenv"));
+        let a = Expr::var(Name::intern("a"));
+        let j = Name::intern("j");
+        let axiom = Expr::forall(
+            vec![(j, Sort::Int)],
+            Expr::imp(
+                Expr::and(Expr::ge(Expr::var(j), Expr::int(0)), Expr::lt(Expr::var(j), lenv.clone())),
+                Expr::ge(Expr::app("select", vec![a.clone(), Expr::var(j)]), Expr::int(0)),
+            ),
+        );
+        let hyps = vec![axiom, Expr::ge(i.clone(), Expr::int(0)), Expr::lt(i.clone(), lenv)];
+        let goal = Expr::ge(Expr::app("select", vec![a, i]), Expr::int(0));
+        b.iter(|| {
+            let mut solver = Solver::with_defaults();
+            assert!(solver.check_valid_imp(&ctx, &hyps, &goal).is_valid());
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_smt);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Benchmark harness for the Flux reproduction.
+//!
+//! The binary `table1` regenerates the paper's Table 1 (run with
+//! `cargo run -p flux-bench --release --bin table1`); the Criterion benches
+//! under `benches/` measure the same verification runs with statistical
+//! rigour, plus two ablations (inference on/off, strong references on/off)
+//! and SMT micro-benchmarks.

@@ -1,0 +1,184 @@
+//! Horn-constraint generation support and the liquid-inference fixpoint
+//! solver used by the Flux reproduction.
+//!
+//! The type checker (crate `flux-check`) does not decide subtyping locally.
+//! Instead it emits a [`Constraint`] tree whose leaves are either concrete
+//! obligations or applications of unknown refinement variables κ
+//! ([`KVid`]).  This crate solves such systems with the classic liquid-types
+//! algorithm (§4.2 of the paper):
+//!
+//! 1. every κ starts as the conjunction of all well-sorted instantiations of
+//!    a fixed set of [`Qualifier`] templates,
+//! 2. candidates not implied by a clause's hypotheses are removed until a
+//!    fixpoint is reached (iterative weakening), and
+//! 3. the remaining concrete obligations are checked; failures are reported
+//!    with their [`Tag`]s for precise blame.
+//!
+//! # Example
+//!
+//! Inferring the invariant of a counting loop:
+//!
+//! ```
+//! use flux_fixpoint::{Constraint, FixpointSolver, Guard, KVarApp, KVarStore};
+//! use flux_logic::{Expr, Name, Sort, SortCtx};
+//!
+//! let mut kvars = KVarStore::new();
+//! let k = kvars.fresh(vec![Sort::Int, Sort::Int]);
+//! let (i, n) = (Name::intern("i"), Name::intern("n"));
+//!
+//! // ∀n ≥ 0.  κ(0, n)  ∧  ∀i. κ(i, n) ∧ i < n ⟹ κ(i + 1, n)
+//! let constraint = Constraint::forall(
+//!     n,
+//!     Sort::Int,
+//!     Expr::ge(Expr::var(n), Expr::int(0)),
+//!     Constraint::conj(vec![
+//!         Constraint::kvar(KVarApp::new(k, vec![Expr::int(0), Expr::var(n)])),
+//!         Constraint::forall(
+//!             i,
+//!             Sort::Int,
+//!             Expr::tt(),
+//!             Constraint::implies(
+//!                 Guard::KVar(KVarApp::new(k, vec![Expr::var(i), Expr::var(n)])),
+//!                 Constraint::implies(
+//!                     Guard::Pred(Expr::lt(Expr::var(i), Expr::var(n))),
+//!                     Constraint::kvar(KVarApp::new(
+//!                         k,
+//!                         vec![Expr::var(i) + Expr::int(1), Expr::var(n)],
+//!                     )),
+//!                 ),
+//!             ),
+//!         ),
+//!     ]),
+//! );
+//!
+//! let mut solver = FixpointSolver::with_defaults();
+//! let result = solver.solve(&constraint, &kvars, &SortCtx::new());
+//! assert!(result.is_safe());
+//! ```
+
+#![warn(missing_docs)]
+
+mod constraint;
+mod kvar;
+mod qualifier;
+mod solve;
+
+pub use constraint::{Clause, Constraint, Guard, Head, Tag};
+pub use kvar::{KVarApp, KVarDecl, KVarStore, KVid};
+pub use qualifier::{default_qualifiers, well_sorted, Qualifier};
+pub use solve::{FixConfig, FixResult, FixStats, FixpointSolver, Solution};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use flux_logic::{Expr, Name, Sort, SortCtx};
+    use proptest::prelude::*;
+
+    /// Any solution returned as Safe must actually satisfy every flattened
+    /// clause when κ applications are replaced by the solution (checked with
+    /// the SMT solver directly, independent of the weakening loop).
+    #[test]
+    fn safe_solutions_satisfy_all_clauses() {
+        let mut kvars = KVarStore::new();
+        let k = kvars.fresh(vec![Sort::Int, Sort::Int]);
+        let i = Name::intern("pi");
+        let n = Name::intern("pn");
+        let constraint = Constraint::forall(
+            n,
+            Sort::Int,
+            Expr::gt(Expr::var(n), Expr::int(0)),
+            Constraint::conj(vec![
+                Constraint::kvar(KVarApp::new(k, vec![Expr::int(0), Expr::var(n)])),
+                Constraint::forall(
+                    i,
+                    Sort::Int,
+                    Expr::tt(),
+                    Constraint::implies(
+                        Guard::KVar(KVarApp::new(k, vec![Expr::var(i), Expr::var(n)])),
+                        Constraint::implies(
+                            Guard::Pred(Expr::lt(Expr::var(i), Expr::var(n))),
+                            Constraint::kvar(KVarApp::new(
+                                k,
+                                vec![Expr::var(i) + Expr::int(1), Expr::var(n)],
+                            )),
+                        ),
+                    ),
+                ),
+            ]),
+        );
+        let mut solver = FixpointSolver::with_defaults();
+        let FixResult::Safe(solution) = solver.solve(&constraint, &kvars, &SortCtx::new()) else {
+            panic!("expected safe");
+        };
+        // Independent validation of each clause.
+        let mut smt = flux_smt::Solver::with_defaults();
+        for clause in constraint.flatten() {
+            let mut ctx = SortCtx::new();
+            for (name, sort) in &clause.binders {
+                ctx.push(*name, *sort);
+            }
+            let hyps: Vec<Expr> = clause
+                .guards
+                .iter()
+                .map(|g| match g {
+                    Guard::Pred(p) => p.clone(),
+                    Guard::KVar(app) => solution.apply(app, &kvars),
+                })
+                .collect();
+            let goal = match &clause.head {
+                Head::Pred(p, _) => p.clone(),
+                Head::KVar(app) => solution.apply(app, &kvars),
+            };
+            assert!(
+                smt.check_valid_imp(&ctx, &hyps, &goal).is_valid(),
+                "clause not satisfied by returned solution"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// For randomly generated entry values and bounds, a simple counting
+        /// loop constraint system must always be reported safe (the solver
+        /// must never be flaky on this family).
+        #[test]
+        fn counting_loops_with_random_strides_are_safe(start in 0i128..3, bound_low in 0i128..4) {
+            let mut kvars = KVarStore::new();
+            let k = kvars.fresh(vec![Sort::Int, Sort::Int]);
+            let i = Name::intern("qi");
+            let n = Name::intern("qn");
+            let constraint = Constraint::forall(
+                n,
+                Sort::Int,
+                Expr::ge(Expr::var(n), Expr::int(bound_low)),
+                Constraint::conj(vec![
+                    Constraint::implies(
+                        Guard::Pred(Expr::le(Expr::int(start), Expr::var(n))),
+                        Constraint::kvar(KVarApp::new(k, vec![Expr::int(start), Expr::var(n)])),
+                    ),
+                    Constraint::forall(
+                        i,
+                        Sort::Int,
+                        Expr::tt(),
+                        Constraint::implies(
+                            Guard::KVar(KVarApp::new(k, vec![Expr::var(i), Expr::var(n)])),
+                            Constraint::implies(
+                                Guard::Pred(Expr::lt(Expr::var(i), Expr::var(n))),
+                                Constraint::conj(vec![
+                                    Constraint::kvar(KVarApp::new(
+                                        k,
+                                        vec![Expr::var(i) + Expr::int(1), Expr::var(n)],
+                                    )),
+                                    Constraint::pred(Expr::lt(Expr::var(i), Expr::var(n)), 0),
+                                ]),
+                            ),
+                        ),
+                    ),
+                ]),
+            );
+            let mut solver = FixpointSolver::with_defaults();
+            prop_assert!(solver.solve(&constraint, &kvars, &SortCtx::new()).is_safe());
+        }
+    }
+}

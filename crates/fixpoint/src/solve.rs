@@ -1,0 +1,482 @@
+//! The liquid-inference fixpoint solver (predicate abstraction by iterative
+//! weakening), as described in §4.2 of the paper and in Rondon et al. 2008.
+//!
+//! Each κ variable starts with the conjunction of *all* well-sorted
+//! qualifier instantiations.  Clauses whose head is a κ application then
+//! repeatedly *weaken* that candidate set: any conjunct not implied by the
+//! clause's hypotheses (under the current assignment) is removed.  When no
+//! more weakening is possible the assignment is the strongest solution
+//! expressible with the qualifiers; the remaining clauses with concrete
+//! heads are then checked once, and any failure is reported with its tag.
+
+use crate::constraint::{Clause, Constraint, Guard, Head, Tag};
+use crate::kvar::{KVarApp, KVarStore, KVid};
+use crate::qualifier::{default_qualifiers, Qualifier};
+use flux_logic::{Expr, SortCtx};
+use flux_smt::{SmtConfig, Solver};
+use std::collections::BTreeMap;
+
+/// Configuration of the fixpoint solver.
+#[derive(Clone, Debug)]
+pub struct FixConfig {
+    /// Configuration forwarded to the SMT solver.
+    pub smt: SmtConfig,
+    /// Safety bound on weakening iterations.
+    pub max_iterations: usize,
+    /// The qualifier templates used to seed candidate solutions.
+    pub qualifiers: Vec<Qualifier>,
+}
+
+impl Default for FixConfig {
+    fn default() -> Self {
+        FixConfig {
+            smt: SmtConfig::default(),
+            max_iterations: 100,
+            qualifiers: default_qualifiers(),
+        }
+    }
+}
+
+/// Statistics of a solver run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FixStats {
+    /// Number of clauses after flattening.
+    pub clauses: usize,
+    /// Number of κ variables.
+    pub kvars: usize,
+    /// Number of initial candidate conjuncts across all κ variables.
+    pub initial_candidates: usize,
+    /// Number of weakening iterations performed.
+    pub iterations: usize,
+    /// Number of SMT validity queries issued.
+    pub smt_queries: usize,
+}
+
+/// A solution: each κ variable is assigned a conjunction of predicates over
+/// its formal arguments.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Solution {
+    assignment: BTreeMap<KVid, Vec<Expr>>,
+}
+
+impl Solution {
+    /// The predicate assigned to `kvid`, expressed over its formal
+    /// arguments.
+    pub fn of(&self, kvid: KVid) -> Expr {
+        match self.assignment.get(&kvid) {
+            Some(conjuncts) => Expr::and_all(conjuncts.iter().cloned()),
+            None => Expr::tt(),
+        }
+    }
+
+    /// The predicate denoted by an application under this solution.
+    pub fn apply(&self, app: &KVarApp, kvars: &KVarStore) -> Expr {
+        let decl = kvars.get(app.kvid);
+        app.instantiate(decl, &self.of(app.kvid))
+    }
+
+    /// Number of conjuncts assigned to `kvid`.
+    pub fn num_conjuncts(&self, kvid: KVid) -> usize {
+        self.assignment.get(&kvid).map_or(0, Vec::len)
+    }
+
+    fn set(&mut self, kvid: KVid, conjuncts: Vec<Expr>) {
+        self.assignment.insert(kvid, conjuncts);
+    }
+}
+
+/// Result of solving a constraint set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FixResult {
+    /// All constraints hold under the returned solution.
+    Safe(Solution),
+    /// Some concrete constraints failed even under the weakest consistent
+    /// assignment; their tags are returned for blame.
+    Unsafe {
+        /// The assignment that was reached before checking concrete heads.
+        solution: Solution,
+        /// Tags of the failed constraints, deduplicated, in order.
+        failed: Vec<Tag>,
+    },
+}
+
+impl FixResult {
+    /// True if the result is [`FixResult::Safe`].
+    pub fn is_safe(&self) -> bool {
+        matches!(self, FixResult::Safe(_))
+    }
+}
+
+/// The fixpoint solver.
+pub struct FixpointSolver {
+    /// Configuration.
+    pub config: FixConfig,
+    /// Statistics of the most recent [`FixpointSolver::solve`] call.
+    pub stats: FixStats,
+    smt: Solver,
+}
+
+impl FixpointSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: FixConfig) -> FixpointSolver {
+        let smt = Solver::new(config.smt);
+        FixpointSolver {
+            config,
+            stats: FixStats::default(),
+            smt,
+        }
+    }
+
+    /// Creates a solver with the default configuration.
+    pub fn with_defaults() -> FixpointSolver {
+        FixpointSolver::new(FixConfig::default())
+    }
+
+    /// Solves `constraint` under the κ declarations in `kvars`.
+    ///
+    /// `ctx` provides sorts for any free names not bound inside the
+    /// constraint itself (and declarations of uninterpreted functions).
+    pub fn solve(
+        &mut self,
+        constraint: &Constraint,
+        kvars: &KVarStore,
+        ctx: &SortCtx,
+    ) -> FixResult {
+        let clauses = constraint.flatten();
+        self.stats = FixStats {
+            clauses: clauses.len(),
+            kvars: kvars.len(),
+            ..FixStats::default()
+        };
+
+        // Initial assignment: all well-sorted qualifier instantiations.
+        let mut solution = Solution::default();
+        for decl in kvars.iter() {
+            let mut candidates = Vec::new();
+            for qualifier in &self.config.qualifiers {
+                candidates.extend(qualifier.instantiate(decl));
+            }
+            candidates.dedup();
+            self.stats.initial_candidates += candidates.len();
+            solution.set(decl.id, candidates);
+        }
+
+        // Iterative weakening.
+        for _ in 0..self.config.max_iterations {
+            self.stats.iterations += 1;
+            let mut changed = false;
+            for clause in &clauses {
+                let Head::KVar(app) = &clause.head else {
+                    continue;
+                };
+                let hypotheses = self.clause_hypotheses(clause, &solution, kvars);
+                let clause_ctx = clause_ctx(clause, ctx);
+                let decl = kvars.get(app.kvid);
+                let candidates = solution.assignment.get(&app.kvid).cloned().unwrap_or_default();
+                if candidates.is_empty() {
+                    continue;
+                }
+                // Fast path: if the whole conjunction is implied, nothing to
+                // weaken for this clause.
+                let whole: Vec<Expr> = candidates
+                    .iter()
+                    .map(|c| app.instantiate(decl, c))
+                    .collect();
+                self.stats.smt_queries += 1;
+                if self
+                    .smt
+                    .check_valid_imp(&clause_ctx, &hypotheses, &Expr::and_all(whole))
+                    .is_valid()
+                {
+                    continue;
+                }
+                let mut kept = Vec::new();
+                for candidate in candidates {
+                    let goal = app.instantiate(decl, &candidate);
+                    self.stats.smt_queries += 1;
+                    if self
+                        .smt
+                        .check_valid_imp(&clause_ctx, &hypotheses, &goal)
+                        .is_valid()
+                    {
+                        kept.push(candidate);
+                    } else {
+                        changed = true;
+                    }
+                }
+                solution.set(app.kvid, kept);
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Check concrete heads under the final assignment.
+        let mut failed = Vec::new();
+        for clause in &clauses {
+            let Head::Pred(goal, tag) = &clause.head else {
+                continue;
+            };
+            let hypotheses = self.clause_hypotheses(clause, &solution, kvars);
+            let clause_ctx = clause_ctx(clause, ctx);
+            self.stats.smt_queries += 1;
+            if !self
+                .smt
+                .check_valid_imp(&clause_ctx, &hypotheses, goal)
+                .is_valid()
+            {
+                if !failed.contains(tag) {
+                    failed.push(*tag);
+                }
+            }
+        }
+        if failed.is_empty() {
+            FixResult::Safe(solution)
+        } else {
+            FixResult::Unsafe { solution, failed }
+        }
+    }
+
+    /// Total number of SMT queries issued by the underlying solver since
+    /// creation; exposed for benchmarking.
+    pub fn smt_stats(&self) -> flux_smt::SmtStats {
+        self.smt.stats
+    }
+
+    fn clause_hypotheses(
+        &self,
+        clause: &Clause,
+        solution: &Solution,
+        kvars: &KVarStore,
+    ) -> Vec<Expr> {
+        clause
+            .guards
+            .iter()
+            .map(|guard| match guard {
+                Guard::Pred(p) => p.clone(),
+                Guard::KVar(app) => solution.apply(app, kvars),
+            })
+            .collect()
+    }
+}
+
+fn clause_ctx(clause: &Clause, ctx: &SortCtx) -> SortCtx {
+    let mut out = ctx.clone();
+    for (name, sort) in &clause.binders {
+        out.push(*name, *sort);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_logic::{Name, Sort};
+
+    /// Builds the constraint system from §4.2 of the paper (the `ref_join`
+    /// example):
+    ///
+    /// ```text
+    /// a:bool   ⟹ (a  ⟹ κ1(1))
+    ///          ∧ (¬a ⟹ κ2(2))
+    ///          ∧ ∀v. κ1(v) ⟹ κ(v)   ∧ κ(v) ⟹ κ1(v)
+    ///          ∧ ∀v. κ2(v) ⟹ κ(v)   ∧ κ(v) ⟹ κ2(v)
+    ///          ∧ ∀v. κ(v) ⟹ v ≥ 0          -- the nat postcondition
+    /// ```
+    #[test]
+    fn ref_join_constraints_are_safe() {
+        let mut kvars = KVarStore::new();
+        let k1 = kvars.fresh(vec![Sort::Int]);
+        let k2 = kvars.fresh(vec![Sort::Int]);
+        let k = kvars.fresh(vec![Sort::Int]);
+        let a = Name::intern("a");
+        let val = Name::intern("v");
+
+        let c = Constraint::forall(
+            a,
+            Sort::Bool,
+            Expr::tt(),
+            Constraint::conj(vec![
+                Constraint::implies(
+                    Guard::Pred(Expr::Var(a)),
+                    Constraint::kvar(KVarApp::new(k1, vec![Expr::int(1)])),
+                ),
+                Constraint::implies(
+                    Guard::Pred(Expr::not(Expr::Var(a))),
+                    Constraint::kvar(KVarApp::new(k2, vec![Expr::int(2)])),
+                ),
+                Constraint::forall(
+                    val,
+                    Sort::Int,
+                    Expr::tt(),
+                    Constraint::conj(vec![
+                        Constraint::implies(
+                            Guard::KVar(KVarApp::new(k1, vec![Expr::Var(val)])),
+                            Constraint::kvar(KVarApp::new(k, vec![Expr::Var(val)])),
+                        ),
+                        Constraint::implies(
+                            Guard::KVar(KVarApp::new(k2, vec![Expr::Var(val)])),
+                            Constraint::kvar(KVarApp::new(k, vec![Expr::Var(val)])),
+                        ),
+                        Constraint::implies(
+                            Guard::KVar(KVarApp::new(k, vec![Expr::Var(val)])),
+                            Constraint::pred(Expr::ge(Expr::Var(val), Expr::int(0)), 0),
+                        ),
+                    ]),
+                ),
+            ]),
+        );
+
+        let mut solver = FixpointSolver::with_defaults();
+        let result = solver.solve(&c, &kvars, &SortCtx::new());
+        match result {
+            FixResult::Safe(solution) => {
+                // κ must be at least as strong as ν ≥ 0.
+                assert!(solution.num_conjuncts(k) >= 1);
+            }
+            FixResult::Unsafe { failed, .. } => panic!("expected safe, failed tags {failed:?}"),
+        }
+        assert!(solver.stats.iterations >= 1);
+        assert!(solver.stats.smt_queries > 0);
+    }
+
+    /// A loop-invariant inference scenario: i starts at 0, is incremented
+    /// while i < n, and after the loop i must equal n.
+    ///
+    /// ```text
+    /// ∀n. n ≥ 0 ⟹
+    ///   κ(0, n)                                   -- entry
+    ///   ∧ ∀i. κ(i, n) ∧ i < n ⟹ κ(i+1, n)         -- preservation
+    ///   ∧ ∀i. κ(i, n) ∧ ¬(i < n) ⟹ i = n          -- exit goal
+    /// ```
+    #[test]
+    fn loop_counter_invariant_is_inferred() {
+        let mut kvars = KVarStore::new();
+        let k = kvars.fresh(vec![Sort::Int, Sort::Int]);
+        let n = Name::intern("n");
+        let i = Name::intern("i");
+
+        let c = Constraint::forall(
+            n,
+            Sort::Int,
+            Expr::ge(Expr::Var(n), Expr::int(0)),
+            Constraint::conj(vec![
+                Constraint::kvar(KVarApp::new(k, vec![Expr::int(0), Expr::Var(n)])),
+                Constraint::forall(
+                    i,
+                    Sort::Int,
+                    Expr::tt(),
+                    Constraint::conj(vec![
+                        Constraint::implies(
+                            Guard::KVar(KVarApp::new(k, vec![Expr::Var(i), Expr::Var(n)])),
+                            Constraint::implies(
+                                Guard::Pred(Expr::lt(Expr::Var(i), Expr::Var(n))),
+                                Constraint::kvar(KVarApp::new(
+                                    k,
+                                    vec![Expr::Var(i) + Expr::int(1), Expr::Var(n)],
+                                )),
+                            ),
+                        ),
+                        Constraint::implies(
+                            Guard::KVar(KVarApp::new(k, vec![Expr::Var(i), Expr::Var(n)])),
+                            Constraint::implies(
+                                Guard::Pred(Expr::not(Expr::lt(Expr::Var(i), Expr::Var(n)))),
+                                Constraint::pred(Expr::eq(Expr::Var(i), Expr::Var(n)), 42),
+                            ),
+                        ),
+                    ]),
+                ),
+            ]),
+        );
+
+        let mut solver = FixpointSolver::with_defaults();
+        let result = solver.solve(&c, &kvars, &SortCtx::new());
+        assert!(result.is_safe(), "expected the invariant i <= n to be inferred");
+    }
+
+    /// An unsatisfiable system must blame the right constraint.
+    #[test]
+    fn failing_constraint_is_blamed_by_tag() {
+        let mut kvars = KVarStore::new();
+        let k = kvars.fresh(vec![Sort::Int]);
+        let x = Name::intern("x");
+        let c = Constraint::forall(
+            x,
+            Sort::Int,
+            Expr::tt(),
+            Constraint::conj(vec![
+                // κ must include every x (so it weakens to true)...
+                Constraint::kvar(KVarApp::new(k, vec![Expr::Var(x)])),
+                // ...but then x ≥ 0 cannot be proven.  Tag 7 must be blamed.
+                Constraint::implies(
+                    Guard::KVar(KVarApp::new(k, vec![Expr::Var(x)])),
+                    Constraint::pred(Expr::ge(Expr::Var(x), Expr::int(0)), 7),
+                ),
+                // An unrelated valid obligation with a different tag.
+                Constraint::pred(Expr::ge(Expr::Var(x) + Expr::int(1), Expr::Var(x)), 8),
+            ]),
+        );
+        let mut solver = FixpointSolver::with_defaults();
+        match solver.solve(&c, &kvars, &SortCtx::new()) {
+            FixResult::Unsafe { failed, .. } => assert_eq!(failed, vec![7]),
+            FixResult::Safe(_) => panic!("expected unsafe"),
+        }
+    }
+
+    /// Constraints with no κ variables degenerate to plain validity checks.
+    #[test]
+    fn concrete_only_constraints() {
+        let kvars = KVarStore::new();
+        let x = Name::intern("x");
+        let ok = Constraint::forall(
+            x,
+            Sort::Int,
+            Expr::ge(Expr::Var(x), Expr::int(1)),
+            Constraint::pred(Expr::gt(Expr::Var(x), Expr::int(0)), 0),
+        );
+        let mut solver = FixpointSolver::with_defaults();
+        assert!(solver.solve(&ok, &kvars, &SortCtx::new()).is_safe());
+
+        let bad = Constraint::forall(
+            x,
+            Sort::Int,
+            Expr::ge(Expr::Var(x), Expr::int(0)),
+            Constraint::pred(Expr::gt(Expr::Var(x), Expr::int(0)), 3),
+        );
+        assert!(!solver.solve(&bad, &kvars, &SortCtx::new()).is_safe());
+    }
+
+    /// The solution returned for the make_vec example from §4.3: the κ for
+    /// the element type must entail ν > 0 given only the pushed value 42.
+    #[test]
+    fn polymorphic_instantiation_example() {
+        let mut kvars = KVarStore::new();
+        let k1 = kvars.fresh(vec![Sort::Int]);
+        let k2 = kvars.fresh(vec![Sort::Int]);
+        let nu = Name::intern("nu");
+        let c = Constraint::forall(
+            nu,
+            Sort::Int,
+            Expr::tt(),
+            Constraint::conj(vec![
+                // κ1(ν) ⟹ κ2(ν)
+                Constraint::implies(
+                    Guard::KVar(KVarApp::new(k1, vec![Expr::Var(nu)])),
+                    Constraint::kvar(KVarApp::new(k2, vec![Expr::Var(nu)])),
+                ),
+                // ν = 42 ⟹ κ2(ν)
+                Constraint::implies(
+                    Guard::Pred(Expr::eq(Expr::Var(nu), Expr::int(42))),
+                    Constraint::kvar(KVarApp::new(k2, vec![Expr::Var(nu)])),
+                ),
+                // κ2(ν) ⟹ ν > 0
+                Constraint::implies(
+                    Guard::KVar(KVarApp::new(k2, vec![Expr::Var(nu)])),
+                    Constraint::pred(Expr::gt(Expr::Var(nu), Expr::int(0)), 0),
+                ),
+            ]),
+        );
+        let mut solver = FixpointSolver::with_defaults();
+        assert!(solver.solve(&c, &kvars, &SortCtx::new()).is_safe());
+    }
+}

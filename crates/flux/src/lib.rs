@@ -1,0 +1,372 @@
+//! The top-level Flux library: a single entry point over the whole pipeline
+//! (parse → desugar → refinement checking → liquid inference), the
+//! program-logic baseline it is evaluated against, and the Table 1 harness.
+//!
+//! # Quick start
+//!
+//! ```
+//! use flux::{verify_source, Mode, VerifyConfig};
+//!
+//! let src = r#"
+//!     #[flux::sig(fn(usize[@n]) -> usize[n])]
+//!     fn count_up(n: usize) -> usize {
+//!         let mut i = 0;
+//!         while i < n {
+//!             i += 1;
+//!         }
+//!         i
+//!     }
+//! "#;
+//! let outcome = verify_source(src, Mode::Flux, &VerifyConfig::default()).unwrap();
+//! assert!(outcome.safe);
+//! assert_eq!(outcome.annot_lines, 0); // liquid inference needs no loop invariants
+//! ```
+
+#![warn(missing_docs)]
+
+use flux_syntax::SourceMetrics;
+use std::time::Duration;
+
+pub use flux_check::{CheckConfig, Report as FluxReport};
+pub use flux_suite::{benchmark, benchmarks, library, Benchmark};
+pub use flux_wp::{WpConfig, WpReport};
+
+/// Which verifier to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The Flux pipeline: refinement types plus liquid inference.
+    Flux,
+    /// The Prusti-style program-logic baseline: contracts plus user-written
+    /// loop invariants discharged with quantifier instantiation.
+    Baseline,
+}
+
+/// Configuration for [`verify_source`].
+#[derive(Clone, Debug, Default)]
+pub struct VerifyConfig {
+    /// Configuration of the Flux checker.
+    pub check: CheckConfig,
+    /// Configuration of the baseline verifier.
+    pub wp: WpConfig,
+}
+
+/// The outcome of verifying one source file with one of the verifiers.
+#[derive(Clone, Debug)]
+pub struct VerifyOutcome {
+    /// Which verifier produced this outcome.
+    pub mode: Mode,
+    /// True if every function verified.
+    pub safe: bool,
+    /// Human-readable error messages for failed obligations.
+    pub errors: Vec<String>,
+    /// Wall-clock verification time.
+    pub time: Duration,
+    /// Number of functions verified.
+    pub functions: usize,
+    /// Lines of code (excluding specs and annotations).
+    pub loc: usize,
+    /// Specification lines.
+    pub spec_lines: usize,
+    /// Loop-invariant annotation lines.
+    pub annot_lines: usize,
+}
+
+/// Errors produced before verification proper (parsing or signature
+/// desugaring).
+#[derive(Clone, Debug)]
+pub struct FrontendError {
+    /// Rendered diagnostics.
+    pub messages: Vec<String>,
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.messages.join("\n"))
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// Verifies `source` with the selected verifier.
+pub fn verify_source(
+    source: &str,
+    mode: Mode,
+    config: &VerifyConfig,
+) -> Result<VerifyOutcome, FrontendError> {
+    let metrics = SourceMetrics::of_source(source);
+    match mode {
+        Mode::Flux => {
+            let report = flux_check::check_source(source, &config.check).map_err(|errs| {
+                FrontendError {
+                    messages: errs.iter().map(|d| d.render(source)).collect(),
+                }
+            })?;
+            Ok(VerifyOutcome {
+                mode,
+                safe: report.is_safe(),
+                errors: report
+                    .errors()
+                    .iter()
+                    .map(|d| d.render(source))
+                    .collect(),
+                time: report.total_time(),
+                functions: report.functions.len(),
+                loc: metrics.loc,
+                spec_lines: metrics.spec_lines,
+                annot_lines: metrics.annot_lines,
+            })
+        }
+        Mode::Baseline => {
+            let report = flux_wp::verify_source(source, &config.wp).map_err(|d| FrontendError {
+                messages: vec![d.render(source)],
+            })?;
+            Ok(VerifyOutcome {
+                mode,
+                safe: report.is_safe(),
+                errors: report
+                    .functions
+                    .iter()
+                    .flat_map(|f| f.errors.iter().map(|d| d.render(source)))
+                    .collect(),
+                time: report.total_time(),
+                functions: report.functions.len(),
+                loc: metrics.loc,
+                spec_lines: metrics.spec_lines,
+                annot_lines: metrics.annot_lines,
+            })
+        }
+    }
+}
+
+/// One row of Table 1: the same benchmark under both verifiers.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Whether this row is the trusted library interface.
+    pub is_library: bool,
+    /// Flux outcome.
+    pub flux: VerifyOutcome,
+    /// Baseline outcome.
+    pub baseline: VerifyOutcome,
+}
+
+impl TableRow {
+    /// Baseline time divided by Flux time (the "order of magnitude" claim of
+    /// §5.2).
+    pub fn speedup(&self) -> f64 {
+        let f = self.flux.time.as_secs_f64().max(1e-9);
+        self.baseline.time.as_secs_f64() / f
+    }
+
+    /// Annotation overhead of the baseline as a percentage of LOC.
+    pub fn baseline_annot_percent(&self) -> usize {
+        if self.baseline.loc == 0 {
+            0
+        } else {
+            (self.baseline.annot_lines * 100 + self.baseline.loc / 2) / self.baseline.loc
+        }
+    }
+}
+
+/// Runs one benchmark under both verifiers.
+pub fn run_benchmark(benchmark: &Benchmark, config: &VerifyConfig) -> TableRow {
+    let flux = verify_source(benchmark.flux_src, Mode::Flux, config).unwrap_or_else(|e| {
+        VerifyOutcome {
+            mode: Mode::Flux,
+            safe: false,
+            errors: e.messages,
+            time: Duration::ZERO,
+            functions: 0,
+            loc: 0,
+            spec_lines: 0,
+            annot_lines: 0,
+        }
+    });
+    let baseline =
+        verify_source(benchmark.baseline_src, Mode::Baseline, config).unwrap_or_else(|e| {
+            VerifyOutcome {
+                mode: Mode::Baseline,
+                safe: false,
+                errors: e.messages,
+                time: Duration::ZERO,
+                functions: 0,
+                loc: 0,
+                spec_lines: 0,
+                annot_lines: 0,
+            }
+        });
+    TableRow {
+        name: benchmark.name.to_owned(),
+        is_library: benchmark.is_library,
+        flux,
+        baseline,
+    }
+}
+
+/// Runs the entire Table 1 evaluation (library rows + the eight benchmarks).
+pub fn run_table1(config: &VerifyConfig) -> Vec<TableRow> {
+    let mut rows = Vec::new();
+    for lib in library() {
+        // Library interfaces are trusted: only their metrics are reported.
+        let flux_metrics = lib.flux_metrics();
+        let baseline_metrics = lib.baseline_metrics();
+        rows.push(TableRow {
+            name: lib.name.to_owned(),
+            is_library: true,
+            flux: VerifyOutcome {
+                mode: Mode::Flux,
+                safe: true,
+                errors: vec![],
+                time: Duration::ZERO,
+                functions: 0,
+                loc: flux_metrics.loc,
+                spec_lines: flux_metrics.spec_lines,
+                annot_lines: flux_metrics.annot_lines,
+            },
+            baseline: VerifyOutcome {
+                mode: Mode::Baseline,
+                safe: true,
+                errors: vec![],
+                time: Duration::ZERO,
+                functions: 0,
+                loc: baseline_metrics.loc,
+                spec_lines: baseline_metrics.spec_lines,
+                annot_lines: baseline_metrics.annot_lines,
+            },
+        });
+    }
+    for benchmark in benchmarks() {
+        rows.push(run_benchmark(&benchmark, config));
+    }
+    rows
+}
+
+/// Renders rows in the layout of the paper's Table 1.
+pub fn render_table1(rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} | {:>5} {:>5} {:>9} {:>4} | {:>5} {:>5} {:>6} {:>6} {:>9} {:>4} | {:>8}\n",
+        "benchmark", "LOC", "Spec", "Time(s)", "ok", "LOC", "Spec", "Annot", "%LOC", "Time(s)", "ok", "speedup"
+    ));
+    out.push_str(&format!(
+        "{:<10} | {:^26} | {:^42} | \n",
+        "", "Flux", "Baseline (program logic)"
+    ));
+    out.push_str(&"-".repeat(100));
+    out.push('\n');
+    let mut totals = (0usize, 0usize, 0.0f64, 0usize, 0usize, 0usize, 0.0f64);
+    for row in rows {
+        out.push_str(&format!(
+            "{:<10} | {:>5} {:>5} {:>9.3} {:>4} | {:>5} {:>5} {:>6} {:>5}% {:>9.3} {:>4} | {:>7.1}x\n",
+            row.name,
+            row.flux.loc,
+            row.flux.spec_lines,
+            row.flux.time.as_secs_f64(),
+            if row.flux.safe { "yes" } else { "NO" },
+            row.baseline.loc,
+            row.baseline.spec_lines,
+            row.baseline.annot_lines,
+            row.baseline_annot_percent(),
+            row.baseline.time.as_secs_f64(),
+            if row.baseline.safe { "yes" } else { "NO" },
+            row.speedup(),
+        ));
+        if !row.is_library {
+            totals.0 += row.flux.loc;
+            totals.1 += row.flux.spec_lines;
+            totals.2 += row.flux.time.as_secs_f64();
+            totals.3 += row.baseline.loc;
+            totals.4 += row.baseline.spec_lines;
+            totals.5 += row.baseline.annot_lines;
+            totals.6 += row.baseline.time.as_secs_f64();
+        }
+    }
+    out.push_str(&"-".repeat(100));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<10} | {:>5} {:>5} {:>9.3} {:>4} | {:>5} {:>5} {:>6} {:>5}% {:>9.3} {:>4} | {:>7.1}x\n",
+        "Total",
+        totals.0,
+        totals.1,
+        totals.2,
+        "",
+        totals.3,
+        totals.4,
+        totals.5,
+        if totals.3 == 0 { 0 } else { totals.5 * 100 / totals.3 },
+        totals.6,
+        "",
+        if totals.2 > 0.0 { totals.6 / totals.2 } else { 0.0 },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_example_is_safe_under_both_modes() {
+        let src = r#"
+            #[flux::sig(fn(i32{v: v > 0}) -> i32{v: v > 1})]
+            fn bump(x: i32) -> i32 { x + 1 }
+        "#;
+        let flux = verify_source(src, Mode::Flux, &VerifyConfig::default()).unwrap();
+        assert!(flux.safe);
+        let src_baseline = r#"
+            #[requires(x > 0)]
+            #[ensures(result > 1)]
+            fn bump(x: i32) -> i32 { x + 1 }
+        "#;
+        let baseline =
+            verify_source(src_baseline, Mode::Baseline, &VerifyConfig::default()).unwrap();
+        assert!(baseline.safe);
+    }
+
+    #[test]
+    fn frontend_errors_are_reported() {
+        let err = verify_source("fn broken( {", Mode::Flux, &VerifyConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unsafe_programs_are_flagged_in_both_modes() {
+        let src = r#"
+            #[flux::sig(fn(v: &RVec<i32>[@n], usize) -> i32)]
+            fn read(v: &RVec<i32>, i: usize) -> i32 { v.get(i) }
+        "#;
+        let flux = verify_source(src, Mode::Flux, &VerifyConfig::default()).unwrap();
+        assert!(!flux.safe);
+        let src_baseline = r#"
+            fn read(v: RVec<i32>, i: usize) -> i32 { v.get(i) }
+        "#;
+        let baseline =
+            verify_source(src_baseline, Mode::Baseline, &VerifyConfig::default()).unwrap();
+        assert!(!baseline.safe);
+    }
+
+    #[test]
+    fn table_rendering_contains_all_rows() {
+        // Use a single small benchmark to keep the test fast.
+        let b = benchmark("dotprod").unwrap();
+        let row = run_benchmark(&b, &VerifyConfig::default());
+        let rendered = render_table1(std::slice::from_ref(&row));
+        assert!(rendered.contains("dotprod"));
+        assert!(rendered.contains("Flux"));
+    }
+
+    #[test]
+    fn dotprod_benchmark_verifies_under_both_verifiers() {
+        let b = benchmark("dotprod").unwrap();
+        let row = run_benchmark(&b, &VerifyConfig::default());
+        assert!(row.flux.safe, "flux flavour failed: {:?}", row.flux.errors);
+        assert!(
+            row.baseline.safe,
+            "baseline flavour failed: {:?}",
+            row.baseline.errors
+        );
+        assert_eq!(row.flux.annot_lines, 0);
+        assert!(row.baseline.annot_lines > 0);
+    }
+}

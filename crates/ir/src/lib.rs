@@ -1,0 +1,37 @@
+//! The "middle" IR of the Flux reproduction: refined types, desugared
+//! function signatures and resolved programs.
+//!
+//! The real Flux operates on rustc's MIR after type and borrow checking.
+//! This reproduction works directly on the (already structured) surface AST;
+//! what this crate contributes is the *refined type* layer of λ_LR:
+//!
+//! * [`RTy`] — indexed types `B[e]`, existential types `{v. B[v] | p}`,
+//!   references (`&`, `&mut` and the strong `&strg`), and κ-templated
+//!   existentials used during inference,
+//! * [`FnSig`] — desugared refined function signatures with refinement
+//!   parameters and `ensures` clauses, and
+//! * [`ResolvedProgram`] — a program with every function's signature
+//!   desugared and sort-checked.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     #[flux::sig(fn(x: &strg i32[@n]) ensures *x: i32[n + 1])]
+//!     fn incr(x: &mut i32) { *x += 1; }
+//! "#;
+//! let program = flux_syntax::parse_program(src).unwrap();
+//! let resolved = flux_ir::ResolvedProgram::resolve(&program).unwrap();
+//! let incr = resolved.function("incr").unwrap();
+//! assert_eq!(incr.sig.ensures.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod desugar;
+pub mod program;
+pub mod rty;
+
+pub use desugar::{default_rty_of_rust_ty, default_sig, desugar_fn_sig, FnSig};
+pub use program::{ResolvedFn, ResolvedProgram};
+pub use rty::{BaseTy, RTy, RefKind, Refine};

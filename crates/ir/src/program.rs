@@ -1,0 +1,134 @@
+//! Resolved programs: every function paired with its desugared signature.
+
+use crate::desugar::{desugar_fn_sig, FnSig};
+use flux_syntax::ast::{FnDef, Program};
+use flux_syntax::span::Diagnostic;
+use std::collections::BTreeMap;
+
+/// A function together with its desugared signature.
+#[derive(Clone, Debug)]
+pub struct ResolvedFn {
+    /// The surface definition.
+    pub def: FnDef,
+    /// The desugared signature (defaulted when the function carries no
+    /// Flux annotation).
+    pub sig: FnSig,
+}
+
+/// A resolved program.
+#[derive(Clone, Debug, Default)]
+pub struct ResolvedProgram {
+    functions: BTreeMap<String, ResolvedFn>,
+    order: Vec<String>,
+}
+
+impl ResolvedProgram {
+    /// Resolves every function of `program`, or returns all diagnostics
+    /// encountered.
+    pub fn resolve(program: &Program) -> Result<ResolvedProgram, Vec<Diagnostic>> {
+        let mut out = ResolvedProgram::default();
+        let mut errors = Vec::new();
+        for def in &program.functions {
+            if out.functions.contains_key(&def.name) {
+                errors.push(Diagnostic::error(
+                    format!("duplicate function `{}`", def.name),
+                    def.span,
+                ));
+                continue;
+            }
+            match desugar_fn_sig(def) {
+                Ok(sig) => {
+                    out.order.push(def.name.clone());
+                    out.functions.insert(
+                        def.name.clone(),
+                        ResolvedFn {
+                            def: def.clone(),
+                            sig,
+                        },
+                    );
+                }
+                Err(err) => errors.push(err),
+            }
+        }
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&ResolvedFn> {
+        self.functions.get(name)
+    }
+
+    /// Iterates over the functions in source order.
+    pub fn iter(&self) -> impl Iterator<Item = &ResolvedFn> {
+        self.order.iter().map(|name| &self.functions[name])
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// True if the program has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_syntax::parse_program;
+
+    #[test]
+    fn resolves_multiple_functions_in_order() {
+        let program = parse_program(
+            r#"
+            #[flux::sig(fn(i32[@n]) -> i32[n + 1])]
+            fn succ(n: i32) -> i32 { n + 1 }
+
+            fn untyped(x: i32) -> i32 { x }
+            "#,
+        )
+        .unwrap();
+        let resolved = ResolvedProgram::resolve(&program).unwrap();
+        assert_eq!(resolved.len(), 2);
+        let names: Vec<&str> = resolved.iter().map(|f| f.def.name.as_str()).collect();
+        assert_eq!(names, vec!["succ", "untyped"]);
+        assert!(resolved.function("succ").is_some());
+        assert!(resolved.function("missing").is_none());
+    }
+
+    #[test]
+    fn duplicate_functions_are_reported() {
+        let program = parse_program(
+            r#"
+            fn f() { }
+            fn f() { }
+            "#,
+        )
+        .unwrap();
+        let errors = ResolvedProgram::resolve(&program).unwrap_err();
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("duplicate"));
+    }
+
+    #[test]
+    fn bad_signatures_are_collected() {
+        let program = parse_program(
+            r#"
+            #[flux::sig(fn(i32[@n], i32[@m]) -> i32[n])]
+            fn f(x: i32) -> i32 { x }
+
+            #[flux::sig(fn(i32[@a]) -> i32[a])]
+            fn ok(x: i32) -> i32 { x }
+            "#,
+        )
+        .unwrap();
+        let errors = ResolvedProgram::resolve(&program).unwrap_err();
+        assert_eq!(errors.len(), 1);
+    }
+}

@@ -1,0 +1,499 @@
+//! Expressions (terms and predicates) of the refinement logic.
+
+use crate::{Name, Sort};
+use std::collections::BTreeSet;
+use std::ops;
+
+/// A literal constant of the refinement logic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Constant {
+    /// An integer literal.  We use `i128` so that arithmetic on indices of
+    /// any of Rust's primitive integer types never overflows inside the
+    /// logic.
+    Int(i128),
+    /// A boolean literal.
+    Bool(bool),
+    /// A real literal, stored as its bit pattern; refinements never compute
+    /// with reals, they only compare them for syntactic equality.
+    Real(u64),
+}
+
+/// Binary operators of the refinement logic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication (the solver only handles it when at least one
+    /// side simplifies to a constant; this matches liquid-type practice).
+    Mul,
+    /// Integer division (euclidean); treated like `Mul`.
+    Div,
+    /// Integer remainder; treated like `Mul`.
+    Mod,
+    /// Equality (polymorphic over sorts).
+    Eq,
+    /// Disequality.
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Boolean implication.
+    Imp,
+    /// Boolean bi-implication.
+    Iff,
+}
+
+impl BinOp {
+    /// True for operators whose result sort is `bool`.
+    pub fn is_predicate(self) -> bool {
+        !matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
+    }
+}
+
+/// Unary operators of the refinement logic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnOp {
+    /// Boolean negation.
+    Not,
+    /// Integer negation.
+    Neg,
+}
+
+/// A refinement expression.
+///
+/// Expressions of sort `bool` are *predicates* and can be used as
+/// refinements; expressions of sort `int`, `real` or `loc` are *indices*.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Expr {
+    /// A refinement variable.
+    Var(Name),
+    /// A constant.
+    Const(Constant),
+    /// A unary operation.
+    UnOp(UnOp, Box<Expr>),
+    /// A binary operation.
+    BinOp(BinOp, Box<Expr>, Box<Expr>),
+    /// `if c { t } else { e }` at the term level.
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Application of an uninterpreted function symbol.
+    App(Name, Vec<Expr>),
+    /// Universal quantification (baseline verifier only).
+    Forall(Vec<(Name, Sort)>, Box<Expr>),
+    /// Existential quantification (baseline verifier only).
+    Exists(Vec<(Name, Sort)>, Box<Expr>),
+}
+
+impl Expr {
+    /// The literal `true`.
+    pub fn tt() -> Expr {
+        Expr::Const(Constant::Bool(true))
+    }
+
+    /// The literal `false`.
+    pub fn ff() -> Expr {
+        Expr::Const(Constant::Bool(false))
+    }
+
+    /// An integer literal.
+    pub fn int(i: i128) -> Expr {
+        Expr::Const(Constant::Int(i))
+    }
+
+    /// A boolean literal.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Const(Constant::Bool(b))
+    }
+
+    /// A real literal built from an `f64`.
+    pub fn real(x: f64) -> Expr {
+        Expr::Const(Constant::Real(x.to_bits()))
+    }
+
+    /// A variable.
+    pub fn var(name: impl Into<Name>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// An uninterpreted function application.
+    pub fn app(func: impl Into<Name>, args: Vec<Expr>) -> Expr {
+        Expr::App(func.into(), args)
+    }
+
+    /// `if c { t } else { e }`.
+    pub fn ite(c: Expr, t: Expr, e: Expr) -> Expr {
+        Expr::Ite(Box::new(c), Box::new(t), Box::new(e))
+    }
+
+    /// Universal quantification.  Returns the body unchanged if `binders`
+    /// is empty.
+    pub fn forall(binders: Vec<(Name, Sort)>, body: Expr) -> Expr {
+        if binders.is_empty() {
+            body
+        } else {
+            Expr::Forall(binders, Box::new(body))
+        }
+    }
+
+    /// Existential quantification.  Returns the body unchanged if `binders`
+    /// is empty.
+    pub fn exists(binders: Vec<(Name, Sort)>, body: Expr) -> Expr {
+        if binders.is_empty() {
+            body
+        } else {
+            Expr::Exists(binders, Box::new(body))
+        }
+    }
+
+    /// Builds a binary operation.
+    pub fn binop(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::BinOp(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Builds a unary operation.
+    pub fn unop(op: UnOp, arg: Expr) -> Expr {
+        Expr::UnOp(op, Box::new(arg))
+    }
+
+    /// Logical conjunction with constant folding of trivial cases.
+    pub fn and(lhs: Expr, rhs: Expr) -> Expr {
+        match (&lhs, &rhs) {
+            (Expr::Const(Constant::Bool(true)), _) => rhs,
+            (_, Expr::Const(Constant::Bool(true))) => lhs,
+            (Expr::Const(Constant::Bool(false)), _) | (_, Expr::Const(Constant::Bool(false))) => {
+                Expr::ff()
+            }
+            _ => Expr::binop(BinOp::And, lhs, rhs),
+        }
+    }
+
+    /// Conjunction of an arbitrary number of predicates.
+    pub fn and_all(preds: impl IntoIterator<Item = Expr>) -> Expr {
+        preds.into_iter().fold(Expr::tt(), Expr::and)
+    }
+
+    /// Logical disjunction with constant folding of trivial cases.
+    pub fn or(lhs: Expr, rhs: Expr) -> Expr {
+        match (&lhs, &rhs) {
+            (Expr::Const(Constant::Bool(false)), _) => rhs,
+            (_, Expr::Const(Constant::Bool(false))) => lhs,
+            (Expr::Const(Constant::Bool(true)), _) | (_, Expr::Const(Constant::Bool(true))) => {
+                Expr::tt()
+            }
+            _ => Expr::binop(BinOp::Or, lhs, rhs),
+        }
+    }
+
+    /// Logical implication with constant folding of trivial cases.
+    pub fn imp(lhs: Expr, rhs: Expr) -> Expr {
+        match (&lhs, &rhs) {
+            (Expr::Const(Constant::Bool(true)), _) => rhs,
+            (Expr::Const(Constant::Bool(false)), _) => Expr::tt(),
+            (_, Expr::Const(Constant::Bool(true))) => Expr::tt(),
+            _ => Expr::binop(BinOp::Imp, lhs, rhs),
+        }
+    }
+
+    /// Logical bi-implication.
+    pub fn iff(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Iff, lhs, rhs)
+    }
+
+    /// Logical negation with double-negation and constant folding.
+    pub fn not(arg: Expr) -> Expr {
+        match arg {
+            Expr::Const(Constant::Bool(b)) => Expr::bool(!b),
+            Expr::UnOp(UnOp::Not, inner) => *inner,
+            _ => Expr::unop(UnOp::Not, arg),
+        }
+    }
+
+    /// Arithmetic negation.
+    pub fn neg(arg: Expr) -> Expr {
+        match arg {
+            Expr::Const(Constant::Int(i)) => Expr::int(-i),
+            _ => Expr::unop(UnOp::Neg, arg),
+        }
+    }
+
+    /// `lhs = rhs`.
+    pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Eq, lhs, rhs)
+    }
+
+    /// `lhs != rhs`.
+    pub fn ne(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Ne, lhs, rhs)
+    }
+
+    /// `lhs < rhs`.
+    pub fn lt(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Lt, lhs, rhs)
+    }
+
+    /// `lhs <= rhs`.
+    pub fn le(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Le, lhs, rhs)
+    }
+
+    /// `lhs > rhs`.
+    pub fn gt(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Gt, lhs, rhs)
+    }
+
+    /// `lhs >= rhs`.
+    pub fn ge(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Ge, lhs, rhs)
+    }
+
+    /// True if this expression is literally `true`.
+    pub fn is_trivially_true(&self) -> bool {
+        matches!(self, Expr::Const(Constant::Bool(true)))
+    }
+
+    /// True if this expression is literally `false`.
+    pub fn is_trivially_false(&self) -> bool {
+        matches!(self, Expr::Const(Constant::Bool(false)))
+    }
+
+    /// True if the expression contains a quantifier anywhere.
+    pub fn has_quantifier(&self) -> bool {
+        match self {
+            Expr::Forall(..) | Expr::Exists(..) => true,
+            Expr::Var(_) | Expr::Const(_) => false,
+            Expr::UnOp(_, e) => e.has_quantifier(),
+            Expr::BinOp(_, l, r) => l.has_quantifier() || r.has_quantifier(),
+            Expr::Ite(c, t, e) => c.has_quantifier() || t.has_quantifier() || e.has_quantifier(),
+            Expr::App(_, args) => args.iter().any(Expr::has_quantifier),
+        }
+    }
+
+    /// Collects the free variables of this expression into `out`.
+    pub fn collect_free_vars(&self, out: &mut BTreeSet<Name>) {
+        fn go(expr: &Expr, bound: &mut Vec<Name>, out: &mut BTreeSet<Name>) {
+            match expr {
+                Expr::Var(name) => {
+                    if !bound.contains(name) {
+                        out.insert(*name);
+                    }
+                }
+                Expr::Const(_) => {}
+                Expr::UnOp(_, e) => go(e, bound, out),
+                Expr::BinOp(_, l, r) => {
+                    go(l, bound, out);
+                    go(r, bound, out);
+                }
+                Expr::Ite(c, t, e) => {
+                    go(c, bound, out);
+                    go(t, bound, out);
+                    go(e, bound, out);
+                }
+                Expr::App(_, args) => {
+                    for arg in args {
+                        go(arg, bound, out);
+                    }
+                }
+                Expr::Forall(binders, body) | Expr::Exists(binders, body) => {
+                    let before = bound.len();
+                    bound.extend(binders.iter().map(|(n, _)| *n));
+                    go(body, bound, out);
+                    bound.truncate(before);
+                }
+            }
+        }
+        go(self, &mut Vec::new(), out);
+    }
+
+    /// Returns the set of free variables of this expression.
+    pub fn free_vars(&self) -> BTreeSet<Name> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut out);
+        out
+    }
+
+    /// Splits a (possibly nested) conjunction into its conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn go<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::BinOp(BinOp::And, l, r) => {
+                    go(l, out);
+                    go(r, out);
+                }
+                _ => out.push(e),
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    /// Number of AST nodes; used by tests and as a heuristic size metric.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => 1,
+            Expr::UnOp(_, e) => 1 + e.size(),
+            Expr::BinOp(_, l, r) => 1 + l.size() + r.size(),
+            Expr::Ite(c, t, e) => 1 + c.size() + t.size() + e.size(),
+            Expr::App(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::Forall(_, body) | Expr::Exists(_, body) => 1 + body.size(),
+        }
+    }
+}
+
+impl ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Add, self, rhs)
+    }
+}
+
+impl ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Sub, self, rhs)
+    }
+}
+
+impl ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Mul, self, rhs)
+    }
+}
+
+impl From<i128> for Expr {
+    fn from(i: i128) -> Expr {
+        Expr::int(i)
+    }
+}
+
+impl From<bool> for Expr {
+    fn from(b: bool) -> Expr {
+        Expr::bool(b)
+    }
+}
+
+impl From<Name> for Expr {
+    fn from(name: Name) -> Expr {
+        Expr::Var(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Expr {
+        Expr::var(Name::intern(s))
+    }
+
+    #[test]
+    fn constant_folding_in_and() {
+        assert_eq!(Expr::and(Expr::tt(), v("p")), v("p"));
+        assert_eq!(Expr::and(v("p"), Expr::tt()), v("p"));
+        assert!(Expr::and(Expr::ff(), v("p")).is_trivially_false());
+    }
+
+    #[test]
+    fn constant_folding_in_or() {
+        assert_eq!(Expr::or(Expr::ff(), v("p")), v("p"));
+        assert!(Expr::or(v("p"), Expr::tt()).is_trivially_true());
+    }
+
+    #[test]
+    fn constant_folding_in_imp() {
+        assert_eq!(Expr::imp(Expr::tt(), v("p")), v("p"));
+        assert!(Expr::imp(Expr::ff(), v("p")).is_trivially_true());
+        assert!(Expr::imp(v("p"), Expr::tt()).is_trivially_true());
+    }
+
+    #[test]
+    fn double_negation_is_removed() {
+        assert_eq!(Expr::not(Expr::not(v("p"))), v("p"));
+        assert!(Expr::not(Expr::tt()).is_trivially_false());
+    }
+
+    #[test]
+    fn and_all_of_empty_is_true() {
+        assert!(Expr::and_all([]).is_trivially_true());
+        assert_eq!(Expr::and_all([v("p")]), v("p"));
+    }
+
+    #[test]
+    fn free_vars_of_open_expression() {
+        let e = Expr::lt(v("i"), v("n")) + Expr::int(0); // not well-sorted but fine for fv
+        let fvs = e.free_vars();
+        assert!(fvs.contains(&Name::intern("i")));
+        assert!(fvs.contains(&Name::intern("n")));
+        assert_eq!(fvs.len(), 2);
+    }
+
+    #[test]
+    fn quantifier_binds_variables_for_fv() {
+        let i = Name::intern("i");
+        let n = Name::intern("n");
+        let e = Expr::forall(
+            vec![(i, Sort::Int)],
+            Expr::imp(Expr::lt(Expr::var(i), Expr::var(n)), Expr::ge(Expr::var(i), Expr::int(0))),
+        );
+        let fvs = e.free_vars();
+        assert!(!fvs.contains(&i));
+        assert!(fvs.contains(&n));
+    }
+
+    #[test]
+    fn conjuncts_flattens_nested_ands() {
+        let e = Expr::and(Expr::and(v("a"), v("b")), v("c"));
+        let cs = e.conjuncts();
+        assert_eq!(cs.len(), 3);
+    }
+
+    #[test]
+    fn empty_binder_list_returns_body() {
+        assert_eq!(Expr::forall(vec![], v("p")), v("p"));
+        assert_eq!(Expr::exists(vec![], v("p")), v("p"));
+    }
+
+    #[test]
+    fn has_quantifier_detects_nesting() {
+        let i = Name::intern("i");
+        let inner = Expr::forall(vec![(i, Sort::Int)], Expr::tt());
+        let e = Expr::and(v("p"), inner);
+        assert!(e.has_quantifier());
+        assert!(!v("p").has_quantifier());
+    }
+
+    #[test]
+    fn operator_overloads_build_binops() {
+        let e = v("x") + Expr::int(1);
+        assert!(matches!(e, Expr::BinOp(BinOp::Add, _, _)));
+        let e = v("x") - v("y");
+        assert!(matches!(e, Expr::BinOp(BinOp::Sub, _, _)));
+        let e = v("x") * Expr::int(2);
+        assert!(matches!(e, Expr::BinOp(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(v("x").size(), 1);
+        assert_eq!((v("x") + Expr::int(1)).size(), 3);
+    }
+
+    #[test]
+    fn neg_folds_constants() {
+        assert_eq!(Expr::neg(Expr::int(5)), Expr::int(-5));
+    }
+}

@@ -1,0 +1,210 @@
+//! Pretty printing of refinement expressions.
+//!
+//! The output uses the same concrete syntax the surface language parser
+//! accepts for refinement predicates, so diagnostics can quote predicates
+//! back to the user verbatim.
+
+use crate::{BinOp, Constant, Expr, UnOp};
+use std::fmt;
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Imp => "=>",
+            BinOp::Iff => "<=>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Not => write!(f, "!"),
+            UnOp::Neg => write!(f, "-"),
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(i) => write!(f, "{i}"),
+            Constant::Bool(b) => write!(f, "{b}"),
+            Constant::Real(bits) => write!(f, "{}", f64::from_bits(*bits)),
+        }
+    }
+}
+
+/// Binding strength used to decide where parentheses are required.
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 9,
+        BinOp::Add | BinOp::Sub => 8,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 6,
+        BinOp::Eq | BinOp::Ne => 5,
+        BinOp::And => 4,
+        BinOp::Or => 3,
+        BinOp::Imp => 2,
+        BinOp::Iff => 1,
+    }
+}
+
+fn fmt_expr(expr: &Expr, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match expr {
+        Expr::Var(name) => write!(f, "{name}"),
+        Expr::Const(c) => write!(f, "{c}"),
+        Expr::UnOp(op, e) => {
+            write!(f, "{op}")?;
+            fmt_expr(e, 10, f)
+        }
+        Expr::BinOp(op, l, r) => {
+            let prec = precedence(*op);
+            let needs_parens = prec < parent_prec;
+            // Implication and iff print right associatively, everything else
+            // left associatively.
+            let (lp, rp) = if matches!(op, BinOp::Imp | BinOp::Iff) {
+                (prec + 1, prec)
+            } else {
+                (prec, prec + 1)
+            };
+            if needs_parens {
+                write!(f, "(")?;
+            }
+            fmt_expr(l, lp, f)?;
+            write!(f, " {op} ")?;
+            fmt_expr(r, rp, f)?;
+            if needs_parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Ite(c, t, e) => {
+            write!(f, "if ")?;
+            fmt_expr(c, 0, f)?;
+            write!(f, " then ")?;
+            fmt_expr(t, 0, f)?;
+            write!(f, " else ")?;
+            fmt_expr(e, 0, f)
+        }
+        Expr::App(func, args) => {
+            write!(f, "{func}(")?;
+            for (i, arg) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_expr(arg, 0, f)?;
+            }
+            write!(f, ")")
+        }
+        Expr::Forall(binders, body) => {
+            write!(f, "forall ")?;
+            for (i, (name, sort)) in binders.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{name}: {sort}")?;
+            }
+            write!(f, ". ")?;
+            fmt_expr(body, 0, f)
+        }
+        Expr::Exists(binders, body) => {
+            write!(f, "exists ")?;
+            for (i, (name, sort)) in binders.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{name}: {sort}")?;
+            }
+            write!(f, ". ")?;
+            fmt_expr(body, 0, f)
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Name, Sort};
+
+    fn v(s: &str) -> Expr {
+        Expr::var(Name::intern(s))
+    }
+
+    #[test]
+    fn simple_arithmetic_prints_without_parens() {
+        let e = v("x") + Expr::int(1);
+        assert_eq!(e.to_string(), "x + 1");
+    }
+
+    #[test]
+    fn precedence_inserts_parentheses_where_needed() {
+        let e = (v("a") + v("b")) * v("c");
+        assert_eq!(e.to_string(), "(a + b) * c");
+        let e = v("a") + v("b") * v("c");
+        assert_eq!(e.to_string(), "a + b * c");
+    }
+
+    #[test]
+    fn comparisons_and_conjunction() {
+        let e = Expr::and(Expr::ge(v("v"), v("x")), Expr::ge(v("v"), Expr::int(0)));
+        assert_eq!(e.to_string(), "v >= x && v >= 0");
+    }
+
+    #[test]
+    fn nested_implications_are_unambiguous() {
+        let e = Expr::imp(v("p"), Expr::imp(v("q"), v("r")));
+        assert_eq!(e.to_string(), "p => q => r");
+        let e = Expr::imp(Expr::imp(v("p"), v("q")), v("r"));
+        assert_eq!(e.to_string(), "(p => q) => r");
+    }
+
+    #[test]
+    fn application_and_quantifier_printing() {
+        let i = Name::intern("i");
+        let e = Expr::forall(
+            vec![(i, Sort::Int)],
+            Expr::imp(
+                Expr::lt(Expr::var(i), Expr::app("len", vec![v("t")])),
+                Expr::lt(Expr::app("select", vec![v("t"), Expr::var(i)]), v("n")),
+            ),
+        );
+        assert_eq!(
+            e.to_string(),
+            "forall i: int. i < len(t) => select(t, i) < n"
+        );
+    }
+
+    #[test]
+    fn negation_printing() {
+        let e = Expr::not(Expr::lt(v("x"), Expr::int(0)));
+        assert_eq!(e.to_string(), "!(x < 0)");
+    }
+
+    #[test]
+    fn subtraction_is_left_associative_in_print() {
+        let e = (v("a") - v("b")) - v("c");
+        assert_eq!(e.to_string(), "a - b - c");
+        let e = v("a") - (v("b") - v("c"));
+        assert_eq!(e.to_string(), "a - (b - c)");
+    }
+}

@@ -1,0 +1,146 @@
+//! A tiny global string interner used for logical variable and function
+//! names.
+//!
+//! Interned names are cheap to copy, hash and compare, which matters because
+//! the constraint generator and the solvers create and substitute names very
+//! frequently.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// An interned symbol naming a refinement variable, location or
+/// uninterpreted function.
+///
+/// Two [`Name`]s are equal iff they were interned from the same string.
+/// Freshly generated names (via [`Name::fresh`]) are guaranteed to be
+/// distinct from every previously interned name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    table: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            table: HashMap::new(),
+        })
+    })
+}
+
+static FRESH_COUNTER: AtomicU32 = AtomicU32::new(0);
+
+impl Name {
+    /// Interns `s`, returning the canonical [`Name`] for that string.
+    pub fn intern(s: &str) -> Name {
+        let mut interner = interner().lock().expect("interner poisoned");
+        if let Some(&idx) = interner.table.get(s) {
+            return Name(idx);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let idx = interner.names.len() as u32;
+        interner.names.push(leaked);
+        interner.table.insert(leaked, idx);
+        Name(idx)
+    }
+
+    /// Returns a name, based on `prefix`, that has never been returned by
+    /// any previous call to [`Name::intern`] or [`Name::fresh`].
+    ///
+    /// The generated name contains a `%` character, which the surface
+    /// language lexer rejects in identifiers, so fresh names can never be
+    /// captured by user-written programs.
+    pub fn fresh(prefix: &str) -> Name {
+        loop {
+            let n = FRESH_COUNTER.fetch_add(1, Ordering::Relaxed);
+            let candidate = format!("{prefix}%{n}");
+            let mut interner = interner().lock().expect("interner poisoned");
+            if interner.table.contains_key(candidate.as_str()) {
+                continue;
+            }
+            let leaked: &'static str = Box::leak(candidate.into_boxed_str());
+            let idx = interner.names.len() as u32;
+            interner.names.push(leaked);
+            interner.table.insert(leaked, idx);
+            return Name(idx);
+        }
+    }
+
+    /// Returns the string this name was interned from.
+    pub fn as_str(self) -> &'static str {
+        let interner = interner().lock().expect("interner poisoned");
+        interner.names[self.0 as usize]
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Name::intern("alpha");
+        let b = Name::intern("alpha");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "alpha");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_names() {
+        assert_ne!(Name::intern("x"), Name::intern("y"));
+    }
+
+    #[test]
+    fn fresh_names_are_unique() {
+        let names: HashSet<Name> = (0..100).map(|_| Name::fresh("k")).collect();
+        assert_eq!(names.len(), 100);
+    }
+
+    #[test]
+    fn fresh_names_do_not_collide_with_interned() {
+        let f = Name::fresh("v");
+        let again = Name::intern(f.as_str());
+        // Interning the printed form of a fresh name yields the same name,
+        // not a new one.
+        assert_eq!(f, again);
+        let other = Name::fresh("v");
+        assert_ne!(f, other);
+    }
+
+    #[test]
+    fn display_and_debug_agree() {
+        let n = Name::intern("len");
+        assert_eq!(format!("{n}"), format!("{n:?}"));
+    }
+
+    #[test]
+    fn from_str_conversion() {
+        let n: Name = "converted".into();
+        assert_eq!(n, Name::intern("converted"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Light-weight, validity-preserving simplification of refinement
+//! expressions.
+//!
+//! The constraint generator produces many trivially true or constant
+//! sub-formulas (e.g. `0 = 0`, `true => p`).  Simplifying them before they
+//! reach the Horn solver and the SMT solver keeps both fast and keeps error
+//! messages readable.
+
+use crate::{BinOp, Constant, Expr, UnOp};
+
+/// Simplifies `expr` by constant folding and unit laws.
+///
+/// The result is logically equivalent to the input.  Simplification is not
+/// a decision procedure; it only folds constants and applies local algebraic
+/// identities.
+pub fn simplify(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Var(_) | Expr::Const(_) => expr.clone(),
+        Expr::UnOp(op, e) => {
+            let e = simplify(e);
+            match (op, &e) {
+                (UnOp::Not, Expr::Const(Constant::Bool(b))) => Expr::bool(!*b),
+                (UnOp::Not, Expr::UnOp(UnOp::Not, inner)) => (**inner).clone(),
+                (UnOp::Neg, Expr::Const(Constant::Int(i))) => Expr::int(-i),
+                _ => Expr::unop(*op, e),
+            }
+        }
+        Expr::BinOp(op, l, r) => simplify_binop(*op, simplify(l), simplify(r)),
+        Expr::Ite(c, t, e) => {
+            let c = simplify(c);
+            let t = simplify(t);
+            let e = simplify(e);
+            match &c {
+                Expr::Const(Constant::Bool(true)) => t,
+                Expr::Const(Constant::Bool(false)) => e,
+                _ if t == e => t,
+                _ => Expr::ite(c, t, e),
+            }
+        }
+        Expr::App(f, args) => Expr::App(*f, args.iter().map(simplify).collect()),
+        Expr::Forall(binders, body) => {
+            let body = simplify(body);
+            if body.is_trivially_true() {
+                Expr::tt()
+            } else {
+                Expr::Forall(binders.clone(), Box::new(body))
+            }
+        }
+        Expr::Exists(binders, body) => {
+            let body = simplify(body);
+            if body.is_trivially_false() {
+                Expr::ff()
+            } else {
+                Expr::Exists(binders.clone(), Box::new(body))
+            }
+        }
+    }
+}
+
+fn int_of(e: &Expr) -> Option<i128> {
+    match e {
+        Expr::Const(Constant::Int(i)) => Some(*i),
+        _ => None,
+    }
+}
+
+fn bool_of(e: &Expr) -> Option<bool> {
+    match e {
+        Expr::Const(Constant::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+fn simplify_binop(op: BinOp, l: Expr, r: Expr) -> Expr {
+    // Constant folding for integer arithmetic.
+    if let (Some(a), Some(b)) = (int_of(&l), int_of(&r)) {
+        match op {
+            BinOp::Add => return Expr::int(a + b),
+            BinOp::Sub => return Expr::int(a - b),
+            BinOp::Mul => return Expr::int(a * b),
+            BinOp::Div if b != 0 => return Expr::int(a.div_euclid(b)),
+            BinOp::Mod if b != 0 => return Expr::int(a.rem_euclid(b)),
+            BinOp::Eq => return Expr::bool(a == b),
+            BinOp::Ne => return Expr::bool(a != b),
+            BinOp::Lt => return Expr::bool(a < b),
+            BinOp::Le => return Expr::bool(a <= b),
+            BinOp::Gt => return Expr::bool(a > b),
+            BinOp::Ge => return Expr::bool(a >= b),
+            _ => {}
+        }
+    }
+    // Constant folding for booleans.
+    if let (Some(a), Some(b)) = (bool_of(&l), bool_of(&r)) {
+        match op {
+            BinOp::And => return Expr::bool(a && b),
+            BinOp::Or => return Expr::bool(a || b),
+            BinOp::Imp => return Expr::bool(!a || b),
+            BinOp::Iff | BinOp::Eq => return Expr::bool(a == b),
+            BinOp::Ne => return Expr::bool(a != b),
+            _ => {}
+        }
+    }
+    match op {
+        BinOp::And => Expr::and(l, r),
+        BinOp::Or => Expr::or(l, r),
+        BinOp::Imp => Expr::imp(l, r),
+        BinOp::Add => {
+            if int_of(&l) == Some(0) {
+                r
+            } else if int_of(&r) == Some(0) {
+                l
+            } else {
+                Expr::binop(op, l, r)
+            }
+        }
+        BinOp::Sub => {
+            if int_of(&r) == Some(0) {
+                l
+            } else if l == r {
+                Expr::int(0)
+            } else {
+                Expr::binop(op, l, r)
+            }
+        }
+        BinOp::Mul => {
+            if int_of(&l) == Some(1) {
+                r
+            } else if int_of(&r) == Some(1) {
+                l
+            } else if int_of(&l) == Some(0) || int_of(&r) == Some(0) {
+                Expr::int(0)
+            } else {
+                Expr::binop(op, l, r)
+            }
+        }
+        BinOp::Eq | BinOp::Le | BinOp::Ge if l == r && !l.has_quantifier() => Expr::tt(),
+        BinOp::Lt | BinOp::Gt | BinOp::Ne if l == r && !l.has_quantifier() => Expr::ff(),
+        _ => Expr::binop(op, l, r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Name;
+
+    fn v(s: &str) -> Expr {
+        Expr::var(Name::intern(s))
+    }
+
+    #[test]
+    fn folds_integer_arithmetic() {
+        let e = Expr::int(1) + Expr::int(2) + Expr::int(3);
+        assert_eq!(simplify(&e), Expr::int(6));
+    }
+
+    #[test]
+    fn folds_comparisons_of_constants() {
+        let e = Expr::le(Expr::int(1) + Expr::int(2), Expr::int(10));
+        assert_eq!(simplify(&e), Expr::tt());
+        let e = Expr::gt(Expr::int(0), Expr::int(5));
+        assert_eq!(simplify(&e), Expr::ff());
+    }
+
+    #[test]
+    fn additive_and_multiplicative_units() {
+        assert_eq!(simplify(&(v("x") + Expr::int(0))), v("x"));
+        assert_eq!(simplify(&(Expr::int(0) + v("x"))), v("x"));
+        assert_eq!(simplify(&(v("x") * Expr::int(1))), v("x"));
+        assert_eq!(simplify(&(v("x") * Expr::int(0))), Expr::int(0));
+    }
+
+    #[test]
+    fn subtraction_of_equal_terms_is_zero() {
+        assert_eq!(simplify(&(v("x") - v("x"))), Expr::int(0));
+    }
+
+    #[test]
+    fn reflexive_comparisons_fold() {
+        assert_eq!(simplify(&Expr::le(v("x"), v("x"))), Expr::tt());
+        assert_eq!(simplify(&Expr::lt(v("x"), v("x"))), Expr::ff());
+        assert_eq!(simplify(&Expr::eq(v("x"), v("x"))), Expr::tt());
+    }
+
+    #[test]
+    fn implication_with_constant_antecedent() {
+        let e = Expr::binop(BinOp::Imp, Expr::bool(true), Expr::ge(v("x"), Expr::int(0)));
+        assert_eq!(simplify(&e), Expr::ge(v("x"), Expr::int(0)));
+        let e = Expr::binop(BinOp::Imp, Expr::bool(false), Expr::ff());
+        assert_eq!(simplify(&e), Expr::tt());
+    }
+
+    #[test]
+    fn ite_with_constant_condition() {
+        let e = Expr::ite(Expr::bool(true), v("a"), v("b"));
+        assert_eq!(simplify(&e), v("a"));
+        let e = Expr::ite(Expr::bool(false), v("a"), v("b"));
+        assert_eq!(simplify(&e), v("b"));
+        let e = Expr::ite(v("c"), v("a"), v("a"));
+        assert_eq!(simplify(&e), v("a"));
+    }
+
+    #[test]
+    fn trivial_forall_collapses() {
+        let i = Name::intern("i");
+        let e = Expr::Forall(
+            vec![(i, crate::Sort::Int)],
+            Box::new(Expr::eq(Expr::var(i), Expr::var(i))),
+        );
+        assert_eq!(simplify(&e), Expr::tt());
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded() {
+        let e = Expr::binop(BinOp::Div, Expr::int(1), Expr::int(0));
+        assert_eq!(simplify(&e), e);
+    }
+
+    #[test]
+    fn nested_negation_folds() {
+        let e = Expr::unop(UnOp::Not, Expr::unop(UnOp::Not, v("p")));
+        assert_eq!(simplify(&e), v("p"));
+        let e = Expr::unop(UnOp::Not, Expr::bool(false));
+        assert_eq!(simplify(&e), Expr::tt());
+    }
+
+    #[test]
+    fn simplification_is_idempotent_on_samples() {
+        let samples = vec![
+            Expr::imp(Expr::ge(v("n"), Expr::int(0)), Expr::ge(v("n") + Expr::int(1), Expr::int(0))),
+            Expr::and(Expr::tt(), Expr::le(v("i"), v("n"))),
+            Expr::ite(Expr::lt(v("x"), Expr::int(0)), Expr::neg(v("x")), v("x")),
+        ];
+        for s in samples {
+            let once = simplify(&s);
+            let twice = simplify(&once);
+            assert_eq!(once, twice);
+        }
+    }
+}

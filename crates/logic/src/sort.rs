@@ -1,0 +1,407 @@
+//! Sorts of the refinement logic and well-sortedness checking.
+
+use crate::{BinOp, Constant, Expr, Name, UnOp};
+use std::fmt;
+
+/// The sort (logic-level type) of a refinement expression.
+///
+/// These mirror the sorts of λ_LR: `int`, `bool` and `loc` (abstract heap
+/// locations).  We additionally have `real` for floating point values that
+/// the checker treats opaquely, and `array` for the uninterpreted container
+/// model used by the program-logic baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// Mathematical integers (models all of Rust's integer types).
+    Int,
+    /// Booleans.
+    Bool,
+    /// Abstract heap locations.
+    Loc,
+    /// Reals; used for `f32`/`f64` values which refinements treat opaquely.
+    Real,
+    /// Uninterpreted arrays of integers; only the baseline verifier uses
+    /// this sort (through the `select`/`store`/`len` function symbols).
+    Array,
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Int => write!(f, "int"),
+            Sort::Bool => write!(f, "bool"),
+            Sort::Loc => write!(f, "loc"),
+            Sort::Real => write!(f, "real"),
+            Sort::Array => write!(f, "array"),
+        }
+    }
+}
+
+/// An error produced when an expression is not well sorted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SortError {
+    /// A variable that is not bound in the sort context.
+    UnboundVar(Name),
+    /// An operator was applied to an operand of the wrong sort.
+    Mismatch {
+        /// What the context required.
+        expected: Sort,
+        /// What the expression actually had.
+        found: Sort,
+        /// Human-readable description of where the mismatch occurred.
+        context: String,
+    },
+    /// An uninterpreted function was applied to the wrong number of
+    /// arguments.
+    Arity {
+        /// The function symbol.
+        func: Name,
+        /// Number of arguments expected.
+        expected: usize,
+        /// Number of arguments found.
+        found: usize,
+    },
+    /// An unknown uninterpreted function symbol.
+    UnknownFunction(Name),
+}
+
+impl fmt::Display for SortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortError::UnboundVar(name) => write!(f, "unbound refinement variable `{name}`"),
+            SortError::Mismatch {
+                expected,
+                found,
+                context,
+            } => write!(f, "sort mismatch in {context}: expected {expected}, found {found}"),
+            SortError::Arity {
+                func,
+                expected,
+                found,
+            } => write!(f, "`{func}` expects {expected} arguments but got {found}"),
+            SortError::UnknownFunction(name) => write!(f, "unknown function symbol `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for SortError {}
+
+/// A sort context: an ordered association of refinement variables to sorts,
+/// corresponding to the Δ context of λ_LR restricted to sort bindings.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SortCtx {
+    bindings: Vec<(Name, Sort)>,
+    /// Signatures of uninterpreted functions: name ↦ (argument sorts, result).
+    functions: Vec<(Name, Vec<Sort>, Sort)>,
+}
+
+impl SortCtx {
+    /// Creates an empty sort context with the built-in container functions
+    /// (`select`, `store`, `len`) pre-declared.
+    pub fn new() -> SortCtx {
+        let mut ctx = SortCtx {
+            bindings: Vec::new(),
+            functions: Vec::new(),
+        };
+        ctx.declare_fn(
+            Name::intern("select"),
+            vec![Sort::Array, Sort::Int],
+            Sort::Int,
+        );
+        ctx.declare_fn(
+            Name::intern("store"),
+            vec![Sort::Array, Sort::Int, Sort::Int],
+            Sort::Array,
+        );
+        ctx.declare_fn(Name::intern("len"), vec![Sort::Array], Sort::Int);
+        ctx
+    }
+
+    /// Binds `name` to `sort`, shadowing any previous binding.
+    pub fn push(&mut self, name: Name, sort: Sort) {
+        self.bindings.push((name, sort));
+    }
+
+    /// Removes the most recent binding.  Returns it, if any.
+    pub fn pop(&mut self) -> Option<(Name, Sort)> {
+        self.bindings.pop()
+    }
+
+    /// Looks up the sort of `name`, honouring shadowing.
+    pub fn lookup(&self, name: Name) -> Option<Sort> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| *s)
+    }
+
+    /// Declares an uninterpreted function symbol.
+    pub fn declare_fn(&mut self, name: Name, args: Vec<Sort>, ret: Sort) {
+        self.functions.push((name, args, ret));
+    }
+
+    /// Looks up the signature of an uninterpreted function symbol.
+    pub fn lookup_fn(&self, name: Name) -> Option<(&[Sort], Sort)> {
+        self.functions
+            .iter()
+            .rev()
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, args, ret)| (args.as_slice(), *ret))
+    }
+
+    /// Iterates over the variable bindings, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (Name, Sort)> + '_ {
+        self.bindings.iter().copied()
+    }
+
+    /// Number of variable bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True if there are no variable bindings.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+impl Expr {
+    /// Computes the sort of this expression in `ctx`, or reports the first
+    /// sort error encountered.
+    pub fn sort_of(&self, ctx: &SortCtx) -> Result<Sort, SortError> {
+        // We thread a mutable clone for quantifier bodies so the public
+        // interface can take `&SortCtx`.
+        sort_of_rec(self, &mut ctx.clone())
+    }
+}
+
+fn expect(
+    expr: &Expr,
+    ctx: &mut SortCtx,
+    expected: Sort,
+    context: &str,
+) -> Result<(), SortError> {
+    let found = sort_of_rec(expr, ctx)?;
+    if found == expected {
+        Ok(())
+    } else {
+        Err(SortError::Mismatch {
+            expected,
+            found,
+            context: context.to_owned(),
+        })
+    }
+}
+
+fn sort_of_rec(expr: &Expr, ctx: &mut SortCtx) -> Result<Sort, SortError> {
+    match expr {
+        Expr::Const(Constant::Int(_)) => Ok(Sort::Int),
+        Expr::Const(Constant::Bool(_)) => Ok(Sort::Bool),
+        Expr::Const(Constant::Real(_)) => Ok(Sort::Real),
+        Expr::Var(name) => ctx.lookup(*name).ok_or(SortError::UnboundVar(*name)),
+        Expr::UnOp(op, arg) => match op {
+            UnOp::Not => {
+                expect(arg, ctx, Sort::Bool, "negation")?;
+                Ok(Sort::Bool)
+            }
+            UnOp::Neg => {
+                expect(arg, ctx, Sort::Int, "arithmetic negation")?;
+                Ok(Sort::Int)
+            }
+        },
+        Expr::BinOp(op, lhs, rhs) => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                expect(lhs, ctx, Sort::Int, &format!("left operand of {op}"))?;
+                expect(rhs, ctx, Sort::Int, &format!("right operand of {op}"))?;
+                Ok(Sort::Int)
+            }
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                expect(lhs, ctx, Sort::Int, &format!("left operand of {op}"))?;
+                expect(rhs, ctx, Sort::Int, &format!("right operand of {op}"))?;
+                Ok(Sort::Bool)
+            }
+            BinOp::Eq | BinOp::Ne => {
+                let ls = sort_of_rec(lhs, ctx)?;
+                let rs = sort_of_rec(rhs, ctx)?;
+                if ls != rs {
+                    return Err(SortError::Mismatch {
+                        expected: ls,
+                        found: rs,
+                        context: format!("operands of {op}"),
+                    });
+                }
+                Ok(Sort::Bool)
+            }
+            BinOp::And | BinOp::Or | BinOp::Imp | BinOp::Iff => {
+                expect(lhs, ctx, Sort::Bool, &format!("left operand of {op}"))?;
+                expect(rhs, ctx, Sort::Bool, &format!("right operand of {op}"))?;
+                Ok(Sort::Bool)
+            }
+        },
+        Expr::Ite(cond, then, els) => {
+            expect(cond, ctx, Sort::Bool, "if-then-else condition")?;
+            let ts = sort_of_rec(then, ctx)?;
+            let es = sort_of_rec(els, ctx)?;
+            if ts != es {
+                return Err(SortError::Mismatch {
+                    expected: ts,
+                    found: es,
+                    context: "branches of if-then-else".to_owned(),
+                });
+            }
+            Ok(ts)
+        }
+        Expr::App(func, args) => {
+            let (arg_sorts, ret) = match ctx.lookup_fn(*func) {
+                Some((a, r)) => (a.to_vec(), r),
+                None => return Err(SortError::UnknownFunction(*func)),
+            };
+            if arg_sorts.len() != args.len() {
+                return Err(SortError::Arity {
+                    func: *func,
+                    expected: arg_sorts.len(),
+                    found: args.len(),
+                });
+            }
+            for (arg, expected) in args.iter().zip(arg_sorts) {
+                expect(arg, ctx, expected, &format!("argument of {func}"))?;
+            }
+            Ok(ret)
+        }
+        Expr::Forall(binders, body) | Expr::Exists(binders, body) => {
+            for (name, sort) in binders {
+                ctx.push(*name, *sort);
+            }
+            let result = expect(body, ctx, Sort::Bool, "quantifier body");
+            for _ in binders {
+                ctx.pop();
+            }
+            result?;
+            Ok(Sort::Bool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_var(s: &str) -> Expr {
+        Expr::var(Name::intern(s))
+    }
+
+    fn ctx_with(vars: &[(&str, Sort)]) -> SortCtx {
+        let mut ctx = SortCtx::new();
+        for (name, sort) in vars {
+            ctx.push(Name::intern(name), *sort);
+        }
+        ctx
+    }
+
+    #[test]
+    fn arithmetic_is_int_sorted() {
+        let ctx = ctx_with(&[("x", Sort::Int)]);
+        let e = int_var("x") + Expr::int(1);
+        assert_eq!(e.sort_of(&ctx).unwrap(), Sort::Int);
+    }
+
+    #[test]
+    fn comparison_is_bool_sorted() {
+        let ctx = ctx_with(&[("x", Sort::Int)]);
+        let e = Expr::lt(int_var("x"), Expr::int(10));
+        assert_eq!(e.sort_of(&ctx).unwrap(), Sort::Bool);
+    }
+
+    #[test]
+    fn unbound_variable_is_reported() {
+        let ctx = SortCtx::new();
+        let e = int_var("missing");
+        assert_eq!(
+            e.sort_of(&ctx),
+            Err(SortError::UnboundVar(Name::intern("missing")))
+        );
+    }
+
+    #[test]
+    fn boolean_operand_of_plus_is_a_mismatch() {
+        let ctx = ctx_with(&[("b", Sort::Bool)]);
+        let e = Expr::var(Name::intern("b")) + Expr::int(1);
+        assert!(matches!(e.sort_of(&ctx), Err(SortError::Mismatch { .. })));
+    }
+
+    #[test]
+    fn equality_requires_same_sorts() {
+        let ctx = ctx_with(&[("b", Sort::Bool), ("x", Sort::Int)]);
+        let ok = Expr::eq(int_var("x"), Expr::int(0));
+        assert_eq!(ok.sort_of(&ctx).unwrap(), Sort::Bool);
+        let bad = Expr::eq(Expr::var(Name::intern("b")), Expr::int(0));
+        assert!(bad.sort_of(&ctx).is_err());
+    }
+
+    #[test]
+    fn shadowing_uses_innermost_binding() {
+        let mut ctx = SortCtx::new();
+        let x = Name::intern("x");
+        ctx.push(x, Sort::Int);
+        ctx.push(x, Sort::Bool);
+        assert_eq!(ctx.lookup(x), Some(Sort::Bool));
+        ctx.pop();
+        assert_eq!(ctx.lookup(x), Some(Sort::Int));
+    }
+
+    #[test]
+    fn select_and_len_are_predeclared() {
+        let mut ctx = SortCtx::new();
+        let a = Name::intern("a");
+        ctx.push(a, Sort::Array);
+        let e = Expr::app(
+            Name::intern("select"),
+            vec![Expr::var(a), Expr::int(0)],
+        );
+        assert_eq!(e.sort_of(&ctx).unwrap(), Sort::Int);
+        let l = Expr::app(Name::intern("len"), vec![Expr::var(a)]);
+        assert_eq!(l.sort_of(&ctx).unwrap(), Sort::Int);
+    }
+
+    #[test]
+    fn wrong_arity_is_reported() {
+        let mut ctx = SortCtx::new();
+        let a = Name::intern("a");
+        ctx.push(a, Sort::Array);
+        let e = Expr::app(Name::intern("len"), vec![Expr::var(a), Expr::int(0)]);
+        assert!(matches!(e.sort_of(&ctx), Err(SortError::Arity { .. })));
+    }
+
+    #[test]
+    fn quantifier_binds_its_variables() {
+        let ctx = SortCtx::new();
+        let i = Name::intern("i");
+        let body = Expr::ge(Expr::var(i), Expr::int(0));
+        let e = Expr::forall(vec![(i, Sort::Int)], body);
+        assert_eq!(e.sort_of(&ctx).unwrap(), Sort::Bool);
+    }
+
+    #[test]
+    fn quantifier_body_must_be_bool() {
+        let ctx = SortCtx::new();
+        let i = Name::intern("i");
+        let e = Expr::forall(vec![(i, Sort::Int)], Expr::var(i) + Expr::int(1));
+        assert!(e.sort_of(&ctx).is_err());
+    }
+
+    #[test]
+    fn ite_branches_must_agree() {
+        let ctx = ctx_with(&[("c", Sort::Bool)]);
+        let good = Expr::ite(Expr::var(Name::intern("c")), Expr::int(1), Expr::int(2));
+        assert_eq!(good.sort_of(&ctx).unwrap(), Sort::Int);
+        let bad = Expr::ite(Expr::var(Name::intern("c")), Expr::int(1), Expr::bool(true));
+        assert!(bad.sort_of(&ctx).is_err());
+    }
+
+    #[test]
+    fn sort_display_forms() {
+        assert_eq!(Sort::Int.to_string(), "int");
+        assert_eq!(Sort::Bool.to_string(), "bool");
+        assert_eq!(Sort::Loc.to_string(), "loc");
+    }
+}

@@ -1,0 +1,169 @@
+//! Theory atoms and literals shared between the CNF converter, the SAT core
+//! and the DPLL(T) driver.
+
+use crate::linear::LinConstraint;
+use flux_logic::{Expr, Name};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A theory atom: the positive phase of a literal.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// A boolean-sorted refinement variable treated propositionally.
+    Bool(Name),
+    /// A linear integer constraint `e ≤ 0`.
+    Lin(LinConstraint),
+    /// A predicate the linear theory cannot interpret (non-linear
+    /// arithmetic, equality between non-integer sorts).  It is treated as an
+    /// opaque propositional variable keyed by its syntax, which
+    /// over-approximates satisfiability (sound for proving validity: the
+    /// solver can only fail to prove, never prove wrongly).
+    Opaque(Expr),
+}
+
+/// Identifier of an interned [`Atom`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtomId(pub u32);
+
+/// A literal: an atom with a phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Lit {
+    /// The atom.
+    pub atom: AtomId,
+    /// `true` for the positive phase.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of `atom`.
+    pub fn pos(atom: AtomId) -> Lit {
+        Lit {
+            atom,
+            positive: true,
+        }
+    }
+
+    /// Negative literal of `atom`.
+    pub fn neg(atom: AtomId) -> Lit {
+        Lit {
+            atom,
+            positive: false,
+        }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            atom: self.atom,
+            positive: !self.positive,
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "a{}", self.atom.0)
+        } else {
+            write!(f, "¬a{}", self.atom.0)
+        }
+    }
+}
+
+/// Interning table for atoms.
+#[derive(Default, Debug)]
+pub struct AtomTable {
+    atoms: Vec<Atom>,
+    index: HashMap<Atom, AtomId>,
+}
+
+impl AtomTable {
+    /// Creates an empty table.
+    pub fn new() -> AtomTable {
+        AtomTable::default()
+    }
+
+    /// Interns `atom`, returning its identifier.
+    pub fn intern(&mut self, atom: Atom) -> AtomId {
+        if let Some(&id) = self.index.get(&atom) {
+            return id;
+        }
+        let id = AtomId(self.atoms.len() as u32);
+        self.atoms.push(atom.clone());
+        self.index.insert(atom, id);
+        id
+    }
+
+    /// Looks up an atom by id.
+    pub fn get(&self, id: AtomId) -> &Atom {
+        &self.atoms[id.0 as usize]
+    }
+
+    /// Number of interned atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True if no atoms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterates over (id, atom) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, &Atom)> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AtomId(i as u32), a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinExpr;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut table = AtomTable::new();
+        let a1 = table.intern(Atom::Bool(Name::intern("p")));
+        let a2 = table.intern(Atom::Bool(Name::intern("p")));
+        let a3 = table.intern(Atom::Bool(Name::intern("q")));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, a3);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn lin_atoms_with_same_constraint_are_shared() {
+        let mut table = AtomTable::new();
+        let c = LinConstraint::le_zero(LinExpr::var(Name::intern("x")));
+        let a1 = table.intern(Atom::Lin(c.clone()));
+        let a2 = table.intern(Atom::Lin(c));
+        assert_eq!(a1, a2);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn literal_negation_is_involutive() {
+        let l = Lit::pos(AtomId(3));
+        assert_eq!(l.negated().negated(), l);
+        assert_ne!(l.negated(), l);
+    }
+
+    #[test]
+    fn get_returns_interned_atom() {
+        let mut table = AtomTable::new();
+        let id = table.intern(Atom::Bool(Name::intern("flag")));
+        assert_eq!(table.get(id), &Atom::Bool(Name::intern("flag")));
+    }
+
+    #[test]
+    fn iteration_matches_ids() {
+        let mut table = AtomTable::new();
+        let id0 = table.intern(Atom::Bool(Name::intern("b0")));
+        let id1 = table.intern(Atom::Bool(Name::intern("b1")));
+        let ids: Vec<AtomId> = table.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![id0, id1]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Conversion of quantifier-free formulas to CNF over theory atoms.
+//!
+//! The conversion is the standard Tseitin encoding: every non-literal
+//! subformula gets a fresh propositional definition variable, producing a
+//! CNF that is equisatisfiable with the input and linear in its size.
+//!
+//! Input formulas must already be preprocessed (see [`crate::preprocess`]):
+//! no quantifiers, no `if-then-else` terms, no uninterpreted applications,
+//! and all arithmetic comparisons normalised to `e ≤ 0` atoms.
+
+use crate::atoms::{Atom, AtomId, AtomTable, Lit};
+use crate::linear::{LinConstraint, LinExpr};
+use crate::rational::Rational;
+use flux_logic::{BinOp, Constant, Expr, Name, UnOp};
+
+/// A CNF: a conjunction of clauses, each a disjunction of literals.
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Adds a clause.
+    pub fn add(&mut self, clause: Vec<Lit>) {
+        self.clauses.push(clause);
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// True if there are no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+}
+
+/// Errors that can occur while converting to CNF.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CnfError {
+    /// A construct that should have been eliminated by preprocessing was
+    /// still present.
+    UnexpectedConstruct(String),
+}
+
+impl std::fmt::Display for CnfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CnfError::UnexpectedConstruct(what) => {
+                write!(f, "unexpected construct during CNF conversion: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CnfError {}
+
+/// Converts `formula` to CNF, interning atoms into `atoms`.
+///
+/// The returned CNF is satisfiable iff `formula` is (over the combined
+/// boolean + linear-integer theory).
+pub fn tseitin(formula: &Expr, atoms: &mut AtomTable) -> Result<Cnf, CnfError> {
+    let mut cnf = Cnf::default();
+    let root = encode(formula, atoms, &mut cnf)?;
+    cnf.add(vec![root]);
+    Ok(cnf)
+}
+
+/// Encodes `expr` returning a literal equivalent to it (adding definition
+/// clauses to `cnf` as needed).
+fn encode(expr: &Expr, atoms: &mut AtomTable, cnf: &mut Cnf) -> Result<Lit, CnfError> {
+    match expr {
+        Expr::Const(Constant::Bool(b)) => {
+            // Represent constants with a dedicated always-true atom.
+            let id = atoms.intern(Atom::Bool(Name::intern("$true")));
+            cnf.add(vec![Lit::pos(id)]);
+            Ok(if *b { Lit::pos(id) } else { Lit::neg(id) })
+        }
+        Expr::Var(name) => Ok(Lit::pos(atoms.intern(Atom::Bool(*name)))),
+        Expr::UnOp(UnOp::Not, inner) => Ok(encode(inner, atoms, cnf)?.negated()),
+        Expr::BinOp(op, lhs, rhs) => match op {
+            BinOp::And => {
+                let a = encode(lhs, atoms, cnf)?;
+                let b = encode(rhs, atoms, cnf)?;
+                let d = fresh_def(atoms);
+                // d <-> a & b
+                cnf.add(vec![d.negated(), a]);
+                cnf.add(vec![d.negated(), b]);
+                cnf.add(vec![a.negated(), b.negated(), d]);
+                Ok(d)
+            }
+            BinOp::Or => {
+                let a = encode(lhs, atoms, cnf)?;
+                let b = encode(rhs, atoms, cnf)?;
+                let d = fresh_def(atoms);
+                cnf.add(vec![d.negated(), a, b]);
+                cnf.add(vec![a.negated(), d]);
+                cnf.add(vec![b.negated(), d]);
+                Ok(d)
+            }
+            BinOp::Imp => {
+                let a = encode(lhs, atoms, cnf)?;
+                let b = encode(rhs, atoms, cnf)?;
+                let d = fresh_def(atoms);
+                cnf.add(vec![d.negated(), a.negated(), b]);
+                cnf.add(vec![a, d]);
+                cnf.add(vec![b.negated(), d]);
+                Ok(d)
+            }
+            BinOp::Iff => {
+                let a = encode(lhs, atoms, cnf)?;
+                let b = encode(rhs, atoms, cnf)?;
+                let d = fresh_def(atoms);
+                cnf.add(vec![d.negated(), a.negated(), b]);
+                cnf.add(vec![d.negated(), b.negated(), a]);
+                cnf.add(vec![d, a, b]);
+                cnf.add(vec![d, a.negated(), b.negated()]);
+                Ok(d)
+            }
+            // Remaining binary operators are atoms (comparisons) or should
+            // have been eliminated.
+            _ => Ok(Lit::pos(encode_atom(expr, atoms)?)),
+        },
+        Expr::App(..) => Err(CnfError::UnexpectedConstruct(
+            "uninterpreted application (should be ackermannized)".to_owned(),
+        )),
+        Expr::Ite(..) => Err(CnfError::UnexpectedConstruct(
+            "if-then-else (should be eliminated)".to_owned(),
+        )),
+        Expr::Forall(..) | Expr::Exists(..) => Err(CnfError::UnexpectedConstruct(
+            "quantifier (should be instantiated)".to_owned(),
+        )),
+        Expr::Const(_) | Expr::UnOp(UnOp::Neg, _) => Err(CnfError::UnexpectedConstruct(format!(
+            "non-boolean expression in boolean position: {expr}"
+        ))),
+    }
+}
+
+fn fresh_def(atoms: &mut AtomTable) -> Lit {
+    Lit::pos(atoms.intern(Atom::Bool(Name::fresh("$def"))))
+}
+
+/// Encodes a comparison (or opaque predicate) as a theory atom.
+fn encode_atom(expr: &Expr, atoms: &mut AtomTable) -> Result<AtomId, CnfError> {
+    match expr {
+        Expr::BinOp(BinOp::Le, lhs, rhs) => match linearize(&Expr::binop(
+            BinOp::Sub,
+            (**lhs).clone(),
+            (**rhs).clone(),
+        )) {
+            Some(lin) => Ok(atoms.intern(Atom::Lin(LinConstraint::le_zero(lin)))),
+            None => Ok(atoms.intern(Atom::Opaque(expr.clone()))),
+        },
+        _ => Ok(atoms.intern(Atom::Opaque(expr.clone()))),
+    }
+}
+
+/// Attempts to interpret `expr` as a linear expression over integer
+/// variables.  Returns `None` if the expression is non-linear.
+pub fn linearize(expr: &Expr) -> Option<LinExpr> {
+    match expr {
+        Expr::Const(Constant::Int(i)) => Some(LinExpr::constant(Rational::int(*i))),
+        Expr::Var(name) => Some(LinExpr::var(*name)),
+        Expr::UnOp(UnOp::Neg, inner) => Some(linearize(inner)?.scaled(-Rational::ONE)),
+        Expr::BinOp(BinOp::Add, lhs, rhs) => Some(linearize(lhs)?.plus(&linearize(rhs)?)),
+        Expr::BinOp(BinOp::Sub, lhs, rhs) => Some(linearize(lhs)?.minus(&linearize(rhs)?)),
+        Expr::BinOp(BinOp::Mul, lhs, rhs) => {
+            let l = linearize(lhs)?;
+            let r = linearize(rhs)?;
+            if l.is_constant() {
+                Some(r.scaled(l.constant_part()))
+            } else if r.is_constant() {
+                Some(l.scaled(r.constant_part()))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::Atom;
+
+    fn v(s: &str) -> Expr {
+        Expr::var(Name::intern(s))
+    }
+
+    #[test]
+    fn linearize_handles_affine_expressions() {
+        let e = v("x") + Expr::int(2) * v("y") - Expr::int(3);
+        let lin = linearize(&e).unwrap();
+        assert_eq!(lin.coeff(Name::intern("x")), Rational::ONE);
+        assert_eq!(lin.coeff(Name::intern("y")), Rational::int(2));
+        assert_eq!(lin.constant_part(), Rational::int(-3));
+    }
+
+    #[test]
+    fn linearize_rejects_products_of_variables() {
+        assert!(linearize(&(v("x") * v("y"))).is_none());
+    }
+
+    #[test]
+    fn le_atoms_become_linear_constraints() {
+        let mut atoms = AtomTable::new();
+        let e = Expr::le(v("i"), v("n"));
+        let cnf = tseitin(&e, &mut atoms).unwrap();
+        assert_eq!(cnf.len(), 1);
+        let lit = cnf.clauses[0][0];
+        assert!(matches!(atoms.get(lit.atom), Atom::Lin(_)));
+    }
+
+    #[test]
+    fn boolean_variables_become_bool_atoms() {
+        let mut atoms = AtomTable::new();
+        let cnf = tseitin(&v("p"), &mut atoms).unwrap();
+        assert_eq!(cnf.len(), 1);
+        assert!(matches!(atoms.get(cnf.clauses[0][0].atom), Atom::Bool(_)));
+    }
+
+    #[test]
+    fn conjunction_produces_definition_clauses() {
+        let mut atoms = AtomTable::new();
+        let e = Expr::binop(BinOp::And, v("p"), v("q"));
+        let cnf = tseitin(&e, &mut atoms).unwrap();
+        // 3 definition clauses + 1 root assertion
+        assert_eq!(cnf.len(), 4);
+    }
+
+    #[test]
+    fn nonlinear_comparison_becomes_opaque_atom() {
+        let mut atoms = AtomTable::new();
+        let e = Expr::le(v("x") * v("y"), Expr::int(4));
+        let cnf = tseitin(&e, &mut atoms).unwrap();
+        let lit = cnf.clauses[0][0];
+        assert!(matches!(atoms.get(lit.atom), Atom::Opaque(_)));
+    }
+
+    #[test]
+    fn leftover_quantifier_is_an_error() {
+        let mut atoms = AtomTable::new();
+        let i = Name::intern("i");
+        let e = Expr::Forall(vec![(i, flux_logic::Sort::Int)], Box::new(Expr::tt()));
+        assert!(tseitin(&e, &mut atoms).is_err());
+    }
+
+    #[test]
+    fn negation_flips_literal() {
+        let mut atoms = AtomTable::new();
+        let e = Expr::not(v("p"));
+        let cnf = tseitin(&e, &mut atoms).unwrap();
+        assert!(!cnf.clauses[0][0].positive);
+    }
+}

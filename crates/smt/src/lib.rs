@@ -1,0 +1,153 @@
+//! A from-scratch SMT solver for the Flux reproduction.
+//!
+//! The original Flux implementation discharges its verification conditions
+//! with Z3 (via liquid-fixpoint).  This workspace has no external solver
+//! available, so this crate provides the substrate: a lazy DPLL(T) solver
+//! combining
+//!
+//! * a CDCL SAT core ([`sat`]),
+//! * a linear integer arithmetic theory solver (general simplex with
+//!   branch-and-bound, [`simplex`]),
+//! * Tseitin CNF conversion over theory atoms ([`cnf`]),
+//! * preprocessing passes (integer division elimination, `ite` removal,
+//!   Ackermann reduction of uninterpreted functions, comparison
+//!   normalisation; [`preprocess`]), and
+//! * bounded quantifier instantiation ([`quant`]) used only by the
+//!   program-logic baseline.
+//!
+//! The public entry points are [`Solver::check_sat`] and
+//! [`Solver::check_valid_imp`].
+//!
+//! # Example
+//!
+//! ```
+//! use flux_logic::{Expr, Name, Sort, SortCtx};
+//! use flux_smt::Solver;
+//!
+//! let mut ctx = SortCtx::new();
+//! ctx.push(Name::intern("n"), Sort::Int);
+//! let n = Expr::var(Name::intern("n"));
+//!
+//! let mut solver = Solver::with_defaults();
+//! let hyps = vec![Expr::gt(n.clone(), Expr::int(0))];
+//! let goal = Expr::ge(n - Expr::int(1), Expr::int(0));
+//! assert!(solver.check_valid_imp(&ctx, &hyps, &goal).is_valid());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atoms;
+pub mod cnf;
+pub mod linear;
+pub mod preprocess;
+pub mod quant;
+pub mod rational;
+pub mod sat;
+pub mod simplex;
+mod solver;
+pub mod testing;
+
+pub use quant::QuantConfig;
+pub use sat::SatConfig;
+pub use simplex::LiaConfig;
+pub use solver::{MaxTheoryRounds, Model, SatOutcome, SmtConfig, SmtStats, Solver, Validity};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use flux_logic::{BinOp, Expr, Name, Sort, SortCtx};
+    use proptest::prelude::*;
+
+    /// Strategy for small quantifier-free formulas over integer variables
+    /// `a`, `b` and boolean variable `p`.
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let term = prop_oneof![
+            Just(Expr::var(Name::intern("a"))),
+            Just(Expr::var(Name::intern("b"))),
+            (-3i128..=3).prop_map(Expr::int),
+        ];
+        let atom = (term.clone(), term, 0usize..5).prop_map(|(l, r, op)| match op {
+            0 => Expr::lt(l, r),
+            1 => Expr::le(l, r),
+            2 => Expr::eq(l, r),
+            3 => Expr::ge(l + Expr::int(1), r),
+            _ => Expr::ne(l, r - Expr::int(1)),
+        });
+        let leaf = prop_oneof![atom, Just(Expr::var(Name::intern("p")))];
+        leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner, 0usize..4).prop_map(|(l, r, op)| match op {
+                0 => Expr::and(l, r),
+                1 => Expr::or(l, r),
+                2 => Expr::imp(l, r),
+                _ => Expr::not(l),
+            })
+        })
+    }
+
+    fn ctx() -> SortCtx {
+        let mut ctx = SortCtx::new();
+        ctx.push(Name::intern("a"), Sort::Int);
+        ctx.push(Name::intern("b"), Sort::Int);
+        ctx.push(Name::intern("p"), Sort::Bool);
+        ctx
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// The solver and the brute-force evaluator agree on satisfiability
+        /// whenever brute force over a small box finds a model, and the
+        /// solver never reports UNSAT for a formula with a model in the box.
+        #[test]
+        fn solver_agrees_with_brute_force(e in arb_expr()) {
+            let ctx = ctx();
+            let domain: Vec<i128> = (-4..=4).collect();
+            let brute = testing::brute_force_sat(&ctx, &e, &domain);
+            let mut solver = Solver::with_defaults();
+            match solver.check_sat(&ctx, &e) {
+                SatOutcome::Unsat => {
+                    // Definitely no model anywhere, so certainly none in the box.
+                    prop_assert_ne!(brute, Some(true));
+                }
+                SatOutcome::Sat(model) => {
+                    // Check the model against the original formula directly.
+                    let mut env = testing::Env::new();
+                    for (name, value) in &model.ints {
+                        env.insert(*name, testing::Value::Int(*value));
+                    }
+                    for (name, value) in &model.bools {
+                        env.insert(*name, testing::Value::Bool(*value));
+                    }
+                    // Unmentioned variables default to 0 / false.
+                    for (name, sort) in ctx.iter() {
+                        env.entry(name).or_insert(match sort {
+                            Sort::Bool => testing::Value::Bool(false),
+                            _ => testing::Value::Int(0),
+                        });
+                    }
+                    if let Some(testing::Value::Bool(holds)) = testing::eval(&e, &env, &[]) {
+                        prop_assert!(holds, "model returned by solver does not satisfy formula {e}");
+                    }
+                }
+                SatOutcome::Unknown => {}
+            }
+        }
+
+        /// Validity of `h ⟹ g` agrees with brute-force over the box: if the
+        /// solver says valid, no point in the box may violate it.
+        #[test]
+        fn validity_is_sound_on_box(h in arb_expr(), g in arb_expr()) {
+            let ctx = ctx();
+            let domain: Vec<i128> = (-3..=3).collect();
+            let mut solver = Solver::with_defaults();
+            if solver.check_valid_imp(&ctx, &[h.clone()], &g).is_valid() {
+                let negated = Expr::and(h, Expr::binop(BinOp::And, Expr::not(g), Expr::tt()));
+                prop_assert_ne!(
+                    testing::brute_force_sat(&ctx, &negated, &domain),
+                    Some(true),
+                    "solver claimed validity but brute force found a counterexample"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Linear expressions and linear constraints over refinement variables.
+//!
+//! After preprocessing, every arithmetic atom in a verification condition is
+//! normalised to the form `e ≤ 0`, where `e` is a [`LinExpr`] (an affine
+//! combination of integer-sorted variables).  Because all variables range
+//! over the integers, the negation of `e ≤ 0` is `-e + 1 ≤ 0`, so the DPLL(T)
+//! loop never needs strict inequalities or disequalities at the theory level.
+
+use crate::rational::Rational;
+use flux_logic::Name;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An affine linear expression `Σ cᵢ·xᵢ + c`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct LinExpr {
+    terms: BTreeMap<Name, Rational>,
+    constant: Rational,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// The constant expression `c`.
+    pub fn constant(c: Rational) -> LinExpr {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The expression consisting of the single variable `x`.
+    pub fn var(x: Name) -> LinExpr {
+        let mut terms = BTreeMap::new();
+        terms.insert(x, Rational::ONE);
+        LinExpr {
+            terms,
+            constant: Rational::ZERO,
+        }
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> Rational {
+        self.constant
+    }
+
+    /// Coefficient of `x` (zero if absent).
+    pub fn coeff(&self, x: Name) -> Rational {
+        self.terms.get(&x).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// Iterates over the (variable, coefficient) pairs with non-zero
+    /// coefficients.
+    pub fn terms(&self) -> impl Iterator<Item = (Name, Rational)> + '_ {
+        self.terms.iter().map(|(n, c)| (*n, *c))
+    }
+
+    /// The variables mentioned with non-zero coefficient.
+    pub fn vars(&self) -> impl Iterator<Item = Name> + '_ {
+        self.terms.keys().copied()
+    }
+
+    /// True if the expression has no variables.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Adds `coeff * x` to the expression.
+    pub fn add_term(&mut self, x: Name, coeff: Rational) {
+        let entry = self.terms.entry(x).or_insert(Rational::ZERO);
+        *entry += coeff;
+        if entry.is_zero() {
+            self.terms.remove(&x);
+        }
+    }
+
+    /// Adds a constant to the expression.
+    pub fn add_constant(&mut self, c: Rational) {
+        self.constant += c;
+    }
+
+    /// Adds `scale * other` to the expression.
+    pub fn add_scaled(&mut self, other: &LinExpr, scale: Rational) {
+        if scale.is_zero() {
+            return;
+        }
+        for (x, c) in other.terms() {
+            self.add_term(x, c * scale);
+        }
+        self.constant += other.constant * scale;
+    }
+
+    /// Returns `self + other`.
+    pub fn plus(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.add_scaled(other, Rational::ONE);
+        out
+    }
+
+    /// Returns `self - other`.
+    pub fn minus(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.add_scaled(other, -Rational::ONE);
+        out
+    }
+
+    /// Returns `scale * self`.
+    pub fn scaled(&self, scale: Rational) -> LinExpr {
+        let mut out = LinExpr::zero();
+        out.add_scaled(self, scale);
+        out
+    }
+
+    /// Evaluates the expression under an assignment of rationals to
+    /// variables; unassigned variables evaluate to zero.
+    pub fn eval(&self, assignment: &BTreeMap<Name, Rational>) -> Rational {
+        let mut acc = self.constant;
+        for (x, c) in self.terms() {
+            let v = assignment.get(&x).copied().unwrap_or(Rational::ZERO);
+            acc += c * v;
+        }
+        acc
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (x, c) in self.terms() {
+            if first {
+                write!(f, "{c}·{x}")?;
+                first = false;
+            } else if c.is_negative() {
+                write!(f, " - {}·{x}", -c)?;
+            } else {
+                write!(f, " + {c}·{x}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if !self.constant.is_zero() {
+            if self.constant.is_negative() {
+                write!(f, " - {}", -self.constant)?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A linear constraint `expr ≤ 0`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LinConstraint {
+    /// The left-hand side; the constraint asserts `lhs ≤ 0`.
+    pub lhs: LinExpr,
+}
+
+impl LinConstraint {
+    /// The constraint `lhs ≤ 0`.
+    pub fn le_zero(lhs: LinExpr) -> LinConstraint {
+        LinConstraint { lhs }
+    }
+
+    /// The constraint `a ≤ b`.
+    pub fn le(a: LinExpr, b: LinExpr) -> LinConstraint {
+        LinConstraint { lhs: a.minus(&b) }
+    }
+
+    /// The negation of this constraint *over the integers*:
+    /// `¬(e ≤ 0)` is `e ≥ 1`, i.e. `-e + 1 ≤ 0`.
+    pub fn negate_integer(&self) -> LinConstraint {
+        let mut lhs = self.lhs.scaled(-Rational::ONE);
+        lhs.add_constant(Rational::ONE);
+        LinConstraint { lhs }
+    }
+
+    /// Evaluates the constraint under an integer assignment.
+    pub fn holds(&self, assignment: &BTreeMap<Name, Rational>) -> bool {
+        !self.lhs.eval(assignment).is_positive()
+    }
+
+    /// If the constraint mentions no variables, returns whether it is
+    /// trivially true or false.
+    pub fn as_trivial(&self) -> Option<bool> {
+        if self.lhs.is_constant() {
+            Some(!self.lhs.constant_part().is_positive())
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for LinConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <= 0", self.lhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::intern(s)
+    }
+
+    #[test]
+    fn building_and_reading_terms() {
+        let mut e = LinExpr::var(n("x"));
+        e.add_term(n("y"), Rational::int(2));
+        e.add_constant(Rational::int(-3));
+        assert_eq!(e.coeff(n("x")), Rational::ONE);
+        assert_eq!(e.coeff(n("y")), Rational::int(2));
+        assert_eq!(e.coeff(n("z")), Rational::ZERO);
+        assert_eq!(e.constant_part(), Rational::int(-3));
+    }
+
+    #[test]
+    fn cancelling_terms_removes_them() {
+        let mut e = LinExpr::var(n("x"));
+        e.add_term(n("x"), Rational::int(-1));
+        assert!(e.is_constant());
+        assert_eq!(e.vars().count(), 0);
+    }
+
+    #[test]
+    fn plus_minus_scaled() {
+        let x = LinExpr::var(n("x"));
+        let y = LinExpr::var(n("y"));
+        let e = x.plus(&y).minus(&x);
+        assert_eq!(e, y);
+        let two_y = y.scaled(Rational::int(2));
+        assert_eq!(two_y.coeff(n("y")), Rational::int(2));
+    }
+
+    #[test]
+    fn evaluation() {
+        let mut e = LinExpr::var(n("x"));
+        e.add_term(n("y"), Rational::int(3));
+        e.add_constant(Rational::int(1));
+        let mut asg = BTreeMap::new();
+        asg.insert(n("x"), Rational::int(2));
+        asg.insert(n("y"), Rational::int(-1));
+        assert_eq!(e.eval(&asg), Rational::int(0));
+    }
+
+    #[test]
+    fn constraint_negation_over_integers() {
+        // x - 3 <= 0  (x <= 3);  negation: x >= 4 i.e. -x + 4 <= 0
+        let mut lhs = LinExpr::var(n("x"));
+        lhs.add_constant(Rational::int(-3));
+        let c = LinConstraint::le_zero(lhs);
+        let neg = c.negate_integer();
+        let mut asg = BTreeMap::new();
+        asg.insert(n("x"), Rational::int(3));
+        assert!(c.holds(&asg));
+        assert!(!neg.holds(&asg));
+        asg.insert(n("x"), Rational::int(4));
+        assert!(!c.holds(&asg));
+        assert!(neg.holds(&asg));
+    }
+
+    #[test]
+    fn double_negation_shifts_by_nothing() {
+        let mut lhs = LinExpr::var(n("x"));
+        lhs.add_constant(Rational::int(-3));
+        let c = LinConstraint::le_zero(lhs);
+        // ¬¬(x ≤ 3) over the integers is x ≤ 3 again.
+        assert_eq!(c.negate_integer().negate_integer(), c);
+    }
+
+    #[test]
+    fn trivial_constraints() {
+        let c = LinConstraint::le_zero(LinExpr::constant(Rational::int(-1)));
+        assert_eq!(c.as_trivial(), Some(true));
+        let c = LinConstraint::le_zero(LinExpr::constant(Rational::int(1)));
+        assert_eq!(c.as_trivial(), Some(false));
+        let c = LinConstraint::le_zero(LinExpr::var(n("x")));
+        assert_eq!(c.as_trivial(), None);
+    }
+
+    #[test]
+    fn le_builder_subtracts() {
+        let c = LinConstraint::le(LinExpr::var(n("i")), LinExpr::var(n("nn")));
+        let mut asg = BTreeMap::new();
+        asg.insert(n("i"), Rational::int(3));
+        asg.insert(n("nn"), Rational::int(3));
+        assert!(c.holds(&asg));
+        asg.insert(n("i"), Rational::int(4));
+        assert!(!c.holds(&asg));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut e = LinExpr::var(n("a"));
+        e.add_term(n("b"), Rational::int(-2));
+        e.add_constant(Rational::int(5));
+        let s = format!("{e}");
+        assert!(s.contains("a"));
+        assert!(s.contains("b"));
+        assert!(s.contains("5"));
+    }
+}

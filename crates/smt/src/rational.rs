@@ -1,0 +1,313 @@
+//! Exact rational arithmetic used by the simplex-based theory solver.
+//!
+//! Numerator and denominator are `i128`.  The verification conditions this
+//! solver sees have tiny coefficients (indices, lengths, small literals), so
+//! `i128` gives an enormous safety margin; arithmetic uses checked operations
+//! and panics on overflow rather than silently producing wrong answers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128, // always > 0
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates the rational `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Creates the integer rational `i/1`.
+    pub fn int(i: i128) -> Rational {
+        Rational { num: i, den: 1 }
+    }
+
+    /// The numerator (after normalisation).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// True if the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// True if the value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// True if the value is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// The greatest integer less than or equal to this rational.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// The least integer greater than or equal to this rational.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Rational {
+        Rational::new(self.den, self.num)
+    }
+
+    /// Converts to an `f64` approximation (only used in diagnostics).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    fn checked_binop(a: Rational, b: Rational, f: impl Fn(i128, i128, i128, i128) -> (i128, i128)) -> Rational {
+        let (num, den) = f(a.num, a.den, b.num, b.den);
+        Rational::new(num, den)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::checked_binop(self, rhs, |an, ad, bn, bd| {
+            (
+                an.checked_mul(bd)
+                    .and_then(|x| bn.checked_mul(ad).and_then(|y| x.checked_add(y)))
+                    .expect("rational overflow in addition"),
+                ad.checked_mul(bd).expect("rational overflow in addition"),
+            )
+        })
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::checked_binop(self, rhs, |an, ad, bn, bd| {
+            (
+                an.checked_mul(bn).expect("rational overflow in multiplication"),
+                ad.checked_mul(bd).expect("rational overflow in multiplication"),
+            )
+        })
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational overflow in comparison");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational overflow in comparison");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(i: i128) -> Rational {
+        Rational::int(i)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_normalises() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 5), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let half = Rational::new(1, 2);
+        let third = Rational::new(1, 3);
+        assert_eq!(half + third, Rational::new(5, 6));
+        assert_eq!(half - third, Rational::new(1, 6));
+        assert_eq!(half * third, Rational::new(1, 6));
+        assert_eq!(half / third, Rational::new(3, 2));
+        assert_eq!(-half, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::int(2) > Rational::new(3, 2));
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::int(5).floor(), 5);
+        assert_eq!(Rational::int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn integrality() {
+        assert!(Rational::int(3).is_integer());
+        assert!(!Rational::new(3, 2).is_integer());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rational::new(3, 2).to_string(), "3/2");
+        assert_eq!(Rational::int(-4).to_string(), "-4");
+    }
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in -1000i128..1000, b in 1i128..100, c in -1000i128..1000, d in 1i128..100) {
+            let x = Rational::new(a, b);
+            let y = Rational::new(c, d);
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn floor_le_value_le_ceil(a in -1000i128..1000, b in 1i128..100) {
+            let x = Rational::new(a, b);
+            prop_assert!(Rational::int(x.floor()) <= x);
+            prop_assert!(x <= Rational::int(x.ceil()));
+            prop_assert!(x.ceil() - x.floor() <= 1);
+        }
+
+        #[test]
+        fn sub_then_add_roundtrips(a in -1000i128..1000, b in 1i128..100, c in -1000i128..1000, d in 1i128..100) {
+            let x = Rational::new(a, b);
+            let y = Rational::new(c, d);
+            prop_assert_eq!(x - y + y, x);
+        }
+
+        #[test]
+        fn recip_is_involutive(a in 1i128..1000, b in 1i128..100) {
+            let x = Rational::new(a, b);
+            prop_assert_eq!(x.recip().recip(), x);
+        }
+    }
+}

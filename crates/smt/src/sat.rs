@@ -1,0 +1,505 @@
+//! A small CDCL SAT solver.
+//!
+//! This is the propositional core of the DPLL(T) loop.  It implements
+//! conflict-driven clause learning with 1-UIP conflict analysis,
+//! non-chronological backjumping, activity-based decisions and phase saving.
+//! Propagation scans occurrence lists rather than using two-watched
+//! literals; the formulas produced by the verifier are small (hundreds of
+//! variables), so simplicity and auditability win over raw speed here.
+
+use std::fmt;
+
+/// A propositional literal: variable index plus phase.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SatLit {
+    /// Variable index (0-based).
+    pub var: usize,
+    /// `true` for the positive phase.
+    pub positive: bool,
+}
+
+impl SatLit {
+    /// Creates a literal.
+    pub fn new(var: usize, positive: bool) -> SatLit {
+        SatLit { var, positive }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> SatLit {
+        SatLit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+}
+
+impl fmt::Debug for SatLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// Result of a SAT check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with an assignment indexed by variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// Resource limit exceeded.
+    Unknown,
+}
+
+/// Configuration for the SAT solver.
+#[derive(Clone, Copy, Debug)]
+pub struct SatConfig {
+    /// Maximum number of conflicts before giving up.
+    pub max_conflicts: usize,
+}
+
+impl Default for SatConfig {
+    fn default() -> Self {
+        SatConfig {
+            max_conflicts: 200_000,
+        }
+    }
+}
+
+/// A CDCL SAT solver over a fixed set of variables.
+pub struct SatSolver {
+    num_vars: usize,
+    clauses: Vec<Vec<SatLit>>,
+    /// Current assignment (None = unassigned).
+    assignment: Vec<Option<bool>>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<usize>,
+    /// Index of the clause that propagated each variable (None = decision).
+    reason: Vec<Option<usize>>,
+    /// Assignment trail, in order.
+    trail: Vec<SatLit>,
+    /// Start index in `trail` of each decision level.
+    trail_lim: Vec<usize>,
+    /// Next trail index to propagate.
+    propagated: usize,
+    /// Variable activities for branching.
+    activity: Vec<f64>,
+    /// Saved phases.
+    saved_phase: Vec<bool>,
+    activity_inc: f64,
+    /// Set to true if an empty clause was added.
+    trivially_unsat: bool,
+    config: SatConfig,
+}
+
+impl SatSolver {
+    /// Creates a solver over `num_vars` variables with no clauses.
+    pub fn new(num_vars: usize, config: SatConfig) -> SatSolver {
+        SatSolver {
+            num_vars,
+            clauses: Vec::new(),
+            assignment: vec![None; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![None; num_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            propagated: 0,
+            activity: vec![0.0; num_vars],
+            saved_phase: vec![false; num_vars],
+            activity_inc: 1.0,
+            trivially_unsat: false,
+            config,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Adds a clause.  Duplicate literals are removed; tautological clauses
+    /// are ignored.
+    pub fn add_clause(&mut self, mut lits: Vec<SatLit>) {
+        lits.sort_by_key(|l| (l.var, l.positive));
+        lits.dedup();
+        // Tautology?
+        for w in lits.windows(2) {
+            if w[0].var == w[1].var && w[0].positive != w[1].positive {
+                return;
+            }
+        }
+        if lits.is_empty() {
+            self.trivially_unsat = true;
+            return;
+        }
+        self.clauses.push(lits);
+    }
+
+    fn value(&self, lit: SatLit) -> Option<bool> {
+        self.assignment[lit.var].map(|v| v == lit.positive)
+    }
+
+    fn current_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn enqueue(&mut self, lit: SatLit, reason: Option<usize>) {
+        debug_assert!(self.assignment[lit.var].is_none());
+        self.assignment[lit.var] = Some(lit.positive);
+        self.level[lit.var] = self.current_level();
+        self.reason[lit.var] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation.  Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        loop {
+            let mut changed = false;
+            'clauses: for ci in 0..self.clauses.len() {
+                let mut unassigned: Option<SatLit> = None;
+                let mut num_unassigned = 0;
+                for &lit in &self.clauses[ci] {
+                    match self.value(lit) {
+                        Some(true) => continue 'clauses, // clause satisfied
+                        Some(false) => {}
+                        None => {
+                            num_unassigned += 1;
+                            unassigned = Some(lit);
+                        }
+                    }
+                }
+                match (num_unassigned, unassigned) {
+                    (0, _) => return Some(ci), // conflict
+                    (1, Some(lit)) => {
+                        self.enqueue(lit, Some(ci));
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            self.propagated = self.trail.len();
+            if !changed {
+                return None;
+            }
+        }
+    }
+
+    fn bump(&mut self, var: usize) {
+        self.activity[var] += self.activity_inc;
+        if self.activity[var] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.activity_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.activity_inc /= 0.95;
+    }
+
+    /// 1-UIP conflict analysis.  Returns the learned clause and the level to
+    /// backjump to.
+    fn analyze(&mut self, conflict: usize) -> (Vec<SatLit>, usize) {
+        let current_level = self.current_level();
+        let mut learned: Vec<SatLit> = Vec::new();
+        let mut seen = vec![false; self.num_vars];
+        let mut counter = 0usize;
+        let mut clause_lits: Vec<SatLit> = self.clauses[conflict].clone();
+        let mut trail_idx = self.trail.len();
+
+        loop {
+            for lit in &clause_lits {
+                let var = lit.var;
+                if seen[var] || self.level[var] == 0 {
+                    continue;
+                }
+                seen[var] = true;
+                self.bump(var);
+                if self.level[var] == current_level {
+                    counter += 1;
+                } else {
+                    learned.push(*lit);
+                }
+            }
+            // Find the next literal on the trail (at the current level) that
+            // participates in the conflict.
+            let pivot = loop {
+                trail_idx -= 1;
+                let lit = self.trail[trail_idx];
+                if seen[lit.var] {
+                    break lit;
+                }
+            };
+            counter -= 1;
+            if counter == 0 {
+                // `pivot` is the 1-UIP.
+                learned.push(pivot.negated());
+                break;
+            }
+            let reason = self.reason[pivot.var].expect("UIP search hit a decision early");
+            clause_lits = self.clauses[reason]
+                .iter()
+                .copied()
+                .filter(|l| l.var != pivot.var)
+                .collect();
+        }
+
+        // Backjump level: second-highest level in the learned clause.
+        let mut backjump = 0;
+        for lit in &learned {
+            if lit.var != learned.last().unwrap().var || learned.len() == 1 {
+                // handled below
+            }
+            let lvl = self.level[lit.var];
+            if lvl != current_level && lvl > backjump {
+                backjump = lvl;
+            }
+        }
+        (learned, backjump)
+    }
+
+    fn backtrack_to(&mut self, level: usize) {
+        while self.current_level() > level {
+            let start = self.trail_lim.pop().expect("trail limit underflow");
+            while self.trail.len() > start {
+                let lit = self.trail.pop().expect("trail underflow");
+                self.saved_phase[lit.var] = lit.positive;
+                self.assignment[lit.var] = None;
+                self.reason[lit.var] = None;
+            }
+        }
+        self.propagated = self.trail.len();
+    }
+
+    fn pick_branch_var(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for v in 0..self.num_vars {
+            if self.assignment[v].is_none() {
+                let act = self.activity[v];
+                match best {
+                    Some((_, best_act)) if best_act >= act => {}
+                    _ => best = Some((v, act)),
+                }
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// Runs the CDCL search.
+    pub fn solve(&mut self) -> SatResult {
+        if self.trivially_unsat {
+            return SatResult::Unsat;
+        }
+        let mut conflicts = 0usize;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                conflicts += 1;
+                if conflicts > self.config.max_conflicts {
+                    return SatResult::Unknown;
+                }
+                if self.current_level() == 0 {
+                    return SatResult::Unsat;
+                }
+                let (learned, backjump) = self.analyze(conflict);
+                self.backtrack_to(backjump);
+                let assert_lit = *learned.last().expect("learned clause is never empty");
+                self.clauses.push(learned);
+                let ci = self.clauses.len() - 1;
+                if self.value(assert_lit).is_none() {
+                    self.enqueue(assert_lit, Some(ci));
+                } else if self.value(assert_lit) == Some(false) {
+                    // Can happen only at level 0 with a unit learned clause.
+                    return SatResult::Unsat;
+                }
+                self.decay_activities();
+            } else {
+                match self.pick_branch_var() {
+                    None => {
+                        let model = self
+                            .assignment
+                            .iter()
+                            .map(|v| v.unwrap_or(false))
+                            .collect();
+                        return SatResult::Sat(model);
+                    }
+                    Some(var) => {
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.saved_phase[var];
+                        self.enqueue(SatLit::new(var, phase), None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Checks whether `assignment` satisfies all `clauses`; test helper.
+pub fn assignment_satisfies(clauses: &[Vec<SatLit>], assignment: &[bool]) -> bool {
+    clauses.iter().all(|clause| {
+        clause
+            .iter()
+            .any(|lit| assignment[lit.var] == lit.positive)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lit(v: usize, pos: bool) -> SatLit {
+        SatLit::new(v, pos)
+    }
+
+    fn solve_clauses(num_vars: usize, clauses: &[Vec<SatLit>]) -> SatResult {
+        let mut solver = SatSolver::new(num_vars, SatConfig::default());
+        for c in clauses {
+            solver.add_clause(c.clone());
+        }
+        solver.solve()
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert!(matches!(solve_clauses(3, &[]), SatResult::Sat(_)));
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let clauses = vec![vec![lit(0, true)], vec![lit(1, false)]];
+        match solve_clauses(2, &clauses) {
+            SatResult::Sat(m) => {
+                assert!(m[0]);
+                assert!(!m[1]);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let clauses = vec![vec![lit(0, true)], vec![lit(0, false)]];
+        assert_eq!(solve_clauses(1, &clauses), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // (¬a ∨ b) ∧ (¬b ∨ c) ∧ a ∧ ¬c is unsat.
+        let clauses = vec![
+            vec![lit(0, false), lit(1, true)],
+            vec![lit(1, false), lit(2, true)],
+            vec![lit(0, true)],
+            vec![lit(2, false)],
+        ];
+        assert_eq!(solve_clauses(3, &clauses), SatResult::Unsat);
+    }
+
+    #[test]
+    fn satisfiable_3sat_instance() {
+        let clauses = vec![
+            vec![lit(0, true), lit(1, true), lit(2, true)],
+            vec![lit(0, false), lit(1, false)],
+            vec![lit(1, true), lit(2, false)],
+            vec![lit(0, true), lit(2, true)],
+        ];
+        match solve_clauses(3, &clauses) {
+            SatResult::Sat(m) => assert!(assignment_satisfies(&clauses, &m)),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_two_pigeons_one_hole_is_unsat() {
+        // p0 and p1 each must be placed in the single hole, but not both.
+        let clauses = vec![
+            vec![lit(0, true)],
+            vec![lit(1, true)],
+            vec![lit(0, false), lit(1, false)],
+        ];
+        assert_eq!(solve_clauses(2, &clauses), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_three_pigeons_two_holes_is_unsat() {
+        // Variables x_{p,h} = p*2 + h, p in 0..3, h in 0..2.
+        let var = |p: usize, h: usize| p * 2 + h;
+        let mut clauses = Vec::new();
+        for p in 0..3 {
+            clauses.push(vec![lit(var(p, 0), true), lit(var(p, 1), true)]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    clauses.push(vec![lit(var(p1, h), false), lit(var(p2, h), false)]);
+                }
+            }
+        }
+        assert_eq!(solve_clauses(6, &clauses), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautological_clauses_are_ignored() {
+        let clauses = vec![vec![lit(0, true), lit(0, false)], vec![lit(1, true)]];
+        match solve_clauses(2, &clauses) {
+            SatResult::Sat(m) => assert!(m[1]),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut solver = SatSolver::new(1, SatConfig::default());
+        solver.add_clause(vec![]);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn duplicate_literals_are_deduplicated() {
+        let clauses = vec![vec![lit(0, true), lit(0, true)], vec![lit(0, false), lit(1, true)]];
+        match solve_clauses(2, &clauses) {
+            SatResult::Sat(m) => assert!(assignment_satisfies(&clauses, &m)),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    /// Brute-force satisfiability for cross-checking on small instances.
+    fn brute_force_sat(num_vars: usize, clauses: &[Vec<SatLit>]) -> bool {
+        for bits in 0..(1u32 << num_vars) {
+            let assignment: Vec<bool> = (0..num_vars).map(|v| bits & (1 << v) != 0).collect();
+            if assignment_satisfies(clauses, &assignment) {
+                return true;
+            }
+        }
+        false
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn agrees_with_brute_force_on_random_instances(
+            raw_clauses in proptest::collection::vec(
+                proptest::collection::vec((0usize..6, proptest::bool::ANY), 1..4),
+                1..12,
+            )
+        ) {
+            let clauses: Vec<Vec<SatLit>> = raw_clauses
+                .iter()
+                .map(|c| c.iter().map(|(v, p)| lit(*v, *p)).collect())
+                .collect();
+            let expected = brute_force_sat(6, &clauses);
+            match solve_clauses(6, &clauses) {
+                SatResult::Sat(m) => {
+                    prop_assert!(assignment_satisfies(&clauses, &m));
+                    prop_assert!(expected);
+                }
+                SatResult::Unsat => prop_assert!(!expected),
+                SatResult::Unknown => {}
+            }
+        }
+    }
+}

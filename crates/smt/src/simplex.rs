@@ -1,0 +1,631 @@
+//! A decision procedure for conjunctions of linear integer constraints.
+//!
+//! The implementation follows the general simplex algorithm of Dutertre and
+//! de Moura ("A fast linear-arithmetic solver for DPLL(T)", CAV 2006):
+//! every constraint `e ≤ 0` introduces a *slack* variable equal to the
+//! variable part of `e` with an upper bound equal to `-constant(e)`; the
+//! algorithm then repairs bound violations by pivoting until either all
+//! bounds hold (feasible, with a rational model) or a row proves the bounds
+//! inconsistent (infeasible, with an explanation in terms of the original
+//! constraint indices).
+//!
+//! Rational feasibility is then refined to *integer* feasibility by
+//! branch-and-bound on variables with fractional values.  Branch-and-bound
+//! is bounded; if the bound is exhausted the result is [`LiaResult::Unknown`],
+//! which callers must treat as "possibly satisfiable" (for the verifier this
+//! means "cannot prove valid", never "unsoundly valid").
+
+use crate::linear::{LinConstraint, LinExpr};
+use crate::rational::Rational;
+use flux_logic::Name;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Result of a linear integer arithmetic feasibility check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LiaResult {
+    /// The constraints are satisfiable; the map is an integer model for the
+    /// variables appearing in the constraints.
+    Feasible(BTreeMap<Name, i128>),
+    /// The constraints are unsatisfiable; the vector contains indices (into
+    /// the input slice) of a subset of constraints that is already
+    /// unsatisfiable.
+    Infeasible(Vec<usize>),
+    /// The solver gave up (branch-and-bound limit exhausted).
+    Unknown,
+}
+
+/// Configuration limits for the LIA solver.
+#[derive(Clone, Copy, Debug)]
+pub struct LiaConfig {
+    /// Maximum number of branch-and-bound nodes explored per check.
+    pub max_branch_nodes: usize,
+    /// Maximum number of pivots per simplex run.
+    pub max_pivots: usize,
+}
+
+impl Default for LiaConfig {
+    fn default() -> Self {
+        LiaConfig {
+            max_branch_nodes: 200,
+            max_pivots: 10_000,
+        }
+    }
+}
+
+/// Checks feasibility of the conjunction of `constraints` over the integers.
+///
+/// All variables are assumed to range over the integers.
+pub fn check_lia(constraints: &[LinConstraint], config: &LiaConfig) -> LiaResult {
+    let mut budget = config.max_branch_nodes;
+    branch_and_bound(constraints.to_vec(), constraints.len(), config, &mut budget)
+}
+
+/// Checks rational feasibility only (no integrality); used by tests and by
+/// callers that want the relaxation.
+pub fn check_rational(constraints: &[LinConstraint], config: &LiaConfig) -> LiaResult {
+    match Simplex::solve(constraints, config) {
+        SimplexResult::Feasible(model) => {
+            let rounded = model
+                .iter()
+                .map(|(n, v)| (*n, v.floor()))
+                .collect::<BTreeMap<_, _>>();
+            LiaResult::Feasible(rounded)
+        }
+        SimplexResult::Infeasible(core) => LiaResult::Infeasible(core),
+        SimplexResult::PivotLimit => LiaResult::Unknown,
+    }
+}
+
+fn branch_and_bound(
+    constraints: Vec<LinConstraint>,
+    n_original: usize,
+    config: &LiaConfig,
+    budget: &mut usize,
+) -> LiaResult {
+    if *budget == 0 {
+        return LiaResult::Unknown;
+    }
+    *budget -= 1;
+    match Simplex::solve(&constraints, config) {
+        SimplexResult::PivotLimit => LiaResult::Unknown,
+        SimplexResult::Infeasible(core) => {
+            LiaResult::Infeasible(core.into_iter().filter(|i| *i < n_original).collect())
+        }
+        SimplexResult::Feasible(model) => {
+            // Find a variable with a fractional value.
+            let fractional = model.iter().find(|(_, v)| !v.is_integer());
+            match fractional {
+                None => {
+                    let int_model = model
+                        .iter()
+                        .map(|(n, v)| (*n, v.numer()))
+                        .collect::<BTreeMap<_, _>>();
+                    LiaResult::Feasible(int_model)
+                }
+                Some((&var, &value)) => {
+                    // Branch: var <= floor(value)
+                    let mut lo_branch = constraints.clone();
+                    let mut lhs = LinExpr::var(var);
+                    lhs.add_constant(Rational::int(-value.floor()));
+                    lo_branch.push(LinConstraint::le_zero(lhs));
+                    let lo = branch_and_bound(lo_branch, n_original, config, budget);
+                    if let LiaResult::Feasible(_) = lo {
+                        return lo;
+                    }
+                    // Branch: var >= ceil(value), i.e. -var + ceil <= 0
+                    let mut hi_branch = constraints;
+                    let mut lhs = LinExpr::var(var).scaled(-Rational::ONE);
+                    lhs.add_constant(Rational::int(value.ceil()));
+                    hi_branch.push(LinConstraint::le_zero(lhs));
+                    let hi = branch_and_bound(hi_branch, n_original, config, budget);
+                    if let LiaResult::Feasible(_) = hi {
+                        return hi;
+                    }
+                    match (lo, hi) {
+                        (LiaResult::Infeasible(mut a), LiaResult::Infeasible(b)) => {
+                            for idx in b {
+                                if !a.contains(&idx) {
+                                    a.push(idx);
+                                }
+                            }
+                            a.retain(|i| *i < n_original);
+                            a.sort_unstable();
+                            LiaResult::Infeasible(a)
+                        }
+                        _ => LiaResult::Unknown,
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum SimplexResult {
+    Feasible(BTreeMap<Name, Rational>),
+    /// Indices of constraints forming an infeasible subset.
+    Infeasible(Vec<usize>),
+    PivotLimit,
+}
+
+/// Internal variable identifier: original variables first, then one slack
+/// variable per constraint.
+type VarId = usize;
+
+struct Simplex {
+    /// Upper bound of each variable, if any, together with the constraint
+    /// index that introduced it.
+    upper: Vec<Option<(Rational, usize)>>,
+    /// Lower bound of each variable, if any (unused for slack variables but
+    /// kept for symmetry / future extension).
+    lower: Vec<Option<(Rational, usize)>>,
+    /// Current assignment.
+    value: Vec<Rational>,
+    /// For each basic variable, its row: basic = Σ coeff · nonbasic.
+    rows: HashMap<VarId, BTreeMap<VarId, Rational>>,
+    /// Whether a variable is currently basic.
+    is_basic: Vec<bool>,
+    /// Original variable names, indexed by VarId for the first `n` entries.
+    names: Vec<Name>,
+}
+
+impl Simplex {
+    fn solve(constraints: &[LinConstraint], config: &LiaConfig) -> SimplexResult {
+        // Collect variables.
+        let mut name_ids: BTreeMap<Name, VarId> = BTreeMap::new();
+        for c in constraints {
+            for v in c.lhs.vars() {
+                let next = name_ids.len();
+                name_ids.entry(v).or_insert(next);
+            }
+        }
+        let n_vars = name_ids.len();
+        let n_total = n_vars + constraints.len();
+        let mut names = vec![Name::intern("_"); n_vars];
+        for (name, id) in &name_ids {
+            names[*id] = *name;
+        }
+
+        let mut simplex = Simplex {
+            upper: vec![None; n_total],
+            lower: vec![None; n_total],
+            value: vec![Rational::ZERO; n_total],
+            rows: HashMap::new(),
+            is_basic: vec![false; n_total],
+            names,
+        };
+
+        // One slack variable per constraint: slack_i = variable part of lhs,
+        // with upper bound -constant.
+        for (i, c) in constraints.iter().enumerate() {
+            let slack = n_vars + i;
+            let mut row: BTreeMap<VarId, Rational> = BTreeMap::new();
+            for (name, coeff) in c.lhs.terms() {
+                row.insert(name_ids[&name], coeff);
+            }
+            simplex.upper[slack] = Some((-c.lhs.constant_part(), i));
+            if row.is_empty() {
+                // Constant constraint: trivially check it.
+                if c.lhs.constant_part().is_positive() {
+                    return SimplexResult::Infeasible(vec![i]);
+                }
+                // Trivially true; no row needed, keep slack nonbasic at 0
+                // which satisfies its (non-negative) upper bound.
+                continue;
+            }
+            simplex.rows.insert(slack, row);
+            simplex.is_basic[slack] = true;
+        }
+        // Initial values of basic variables.
+        let basics: Vec<VarId> = simplex.rows.keys().copied().collect();
+        for b in basics {
+            simplex.value[b] = simplex.eval_row(b);
+        }
+
+        simplex.check(config)
+    }
+
+    fn eval_row(&self, basic: VarId) -> Rational {
+        let mut acc = Rational::ZERO;
+        for (&v, &c) in &self.rows[&basic] {
+            acc += c * self.value[v];
+        }
+        acc
+    }
+
+    fn can_increase(&self, v: VarId) -> bool {
+        match self.upper[v] {
+            Some((ub, _)) => self.value[v] < ub,
+            None => true,
+        }
+    }
+
+    fn can_decrease(&self, v: VarId) -> bool {
+        match self.lower[v] {
+            Some((lb, _)) => self.value[v] > lb,
+            None => true,
+        }
+    }
+
+    fn check(&mut self, config: &LiaConfig) -> SimplexResult {
+        for _ in 0..config.max_pivots {
+            // Find a basic variable violating one of its bounds (Bland: use
+            // the smallest id to guarantee termination).
+            let violated = self
+                .rows
+                .keys()
+                .copied()
+                .filter(|&b| {
+                    let v = self.value[b];
+                    let above = matches!(self.upper[b], Some((ub, _)) if v > ub);
+                    let below = matches!(self.lower[b], Some((lb, _)) if v < lb);
+                    above || below
+                })
+                .min();
+            let Some(basic) = violated else {
+                // Feasible: extract model for original variables.
+                let model = self
+                    .names
+                    .iter()
+                    .enumerate()
+                    .map(|(id, name)| (*name, self.value[id]))
+                    .collect();
+                return SimplexResult::Feasible(model);
+            };
+            let value = self.value[basic];
+            if let Some((ub, ub_idx)) = self.upper[basic] {
+                if value > ub {
+                    // Need to decrease `basic` to ub.
+                    let row = self.rows[&basic].clone();
+                    let pivot = row
+                        .iter()
+                        .filter(|(&nb, &coeff)| {
+                            (coeff.is_positive() && self.can_decrease(nb))
+                                || (coeff.is_negative() && self.can_increase(nb))
+                        })
+                        .map(|(&nb, _)| nb)
+                        .min();
+                    match pivot {
+                        Some(nb) => self.pivot_and_update(basic, nb, ub),
+                        None => {
+                            // Conflict: ub of basic plus the binding bounds of
+                            // every nonbasic in the row.
+                            let mut core = vec![ub_idx];
+                            for (&nb, &coeff) in &row {
+                                let bound = if coeff.is_positive() {
+                                    self.lower[nb]
+                                } else {
+                                    self.upper[nb]
+                                };
+                                if let Some((_, idx)) = bound {
+                                    core.push(idx);
+                                }
+                            }
+                            core.sort_unstable();
+                            core.dedup();
+                            return SimplexResult::Infeasible(core);
+                        }
+                    }
+                    continue;
+                }
+            }
+            if let Some((lb, lb_idx)) = self.lower[basic] {
+                if value < lb {
+                    // Need to increase `basic` to lb.
+                    let row = self.rows[&basic].clone();
+                    let pivot = row
+                        .iter()
+                        .filter(|(&nb, &coeff)| {
+                            (coeff.is_positive() && self.can_increase(nb))
+                                || (coeff.is_negative() && self.can_decrease(nb))
+                        })
+                        .map(|(&nb, _)| nb)
+                        .min();
+                    match pivot {
+                        Some(nb) => self.pivot_and_update(basic, nb, lb),
+                        None => {
+                            let mut core = vec![lb_idx];
+                            for (&nb, &coeff) in &row {
+                                let bound = if coeff.is_positive() {
+                                    self.upper[nb]
+                                } else {
+                                    self.lower[nb]
+                                };
+                                if let Some((_, idx)) = bound {
+                                    core.push(idx);
+                                }
+                            }
+                            core.sort_unstable();
+                            core.dedup();
+                            return SimplexResult::Infeasible(core);
+                        }
+                    }
+                    continue;
+                }
+            }
+        }
+        SimplexResult::PivotLimit
+    }
+
+    /// Pivots `basic` out of the basis, `nonbasic` in, and sets the value of
+    /// `basic` to `target`.
+    fn pivot_and_update(&mut self, basic: VarId, nonbasic: VarId, target: Rational) {
+        let row = self.rows.remove(&basic).expect("pivot of non-basic row");
+        let a = row[&nonbasic];
+        let theta = (target - self.value[basic]) / a;
+        self.value[basic] = target;
+        self.value[nonbasic] += theta;
+        // Update values of the other basic variables.
+        let other_basics: Vec<VarId> = self.rows.keys().copied().collect();
+        for b in other_basics {
+            if let Some(&coeff) = self.rows[&b].get(&nonbasic) {
+                self.value[b] += coeff * theta;
+            }
+        }
+        // Express `nonbasic` in terms of `basic` and the rest of the row:
+        //   basic = Σ a_j x_j  ⟹  nonbasic = (basic - Σ_{j≠nonbasic} a_j x_j) / a
+        let mut new_row: BTreeMap<VarId, Rational> = BTreeMap::new();
+        new_row.insert(basic, Rational::ONE / a);
+        for (&v, &c) in &row {
+            if v != nonbasic {
+                let coeff = -c / a;
+                if !coeff.is_zero() {
+                    new_row.insert(v, coeff);
+                }
+            }
+        }
+        // Substitute into every other row mentioning `nonbasic`.
+        let basics: Vec<VarId> = self.rows.keys().copied().collect();
+        for b in basics {
+            let row_b = self.rows.get_mut(&b).expect("row disappeared");
+            if let Some(coeff) = row_b.remove(&nonbasic) {
+                let mut updated = row_b.clone();
+                for (&v, &c) in &new_row {
+                    let entry = updated.entry(v).or_insert(Rational::ZERO);
+                    *entry += coeff * c;
+                    if entry.is_zero() {
+                        updated.remove(&v);
+                    }
+                }
+                *row_b = updated;
+            }
+        }
+        self.rows.insert(nonbasic, new_row);
+        self.is_basic[basic] = false;
+        self.is_basic[nonbasic] = true;
+    }
+}
+
+/// Convenience helper: evaluates whether an integer assignment satisfies all
+/// constraints.  Used by tests to validate models.
+pub fn model_satisfies(constraints: &[LinConstraint], model: &BTreeMap<Name, i128>) -> bool {
+    let rational_model: BTreeMap<Name, Rational> = model
+        .iter()
+        .map(|(n, v)| (*n, Rational::int(*v)))
+        .collect();
+    constraints.iter().all(|c| c.holds(&rational_model))
+}
+
+/// Collects the set of variables mentioned by a slice of constraints.
+pub fn constraint_vars(constraints: &[LinConstraint]) -> BTreeSet<Name> {
+    let mut out = BTreeSet::new();
+    for c in constraints {
+        out.extend(c.lhs.vars());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(s: &str) -> Name {
+        Name::intern(s)
+    }
+
+    /// Builds the constraint `Σ coeffs·vars + c ≤ 0`.
+    fn le0(terms: &[(&str, i128)], c: i128) -> LinConstraint {
+        let mut e = LinExpr::constant(Rational::int(c));
+        for (v, coeff) in terms {
+            e.add_term(n(v), Rational::int(*coeff));
+        }
+        LinConstraint::le_zero(e)
+    }
+
+    fn cfg() -> LiaConfig {
+        LiaConfig::default()
+    }
+
+    #[test]
+    fn trivially_true_and_false_constants() {
+        assert!(matches!(
+            check_lia(&[le0(&[], -5)], &cfg()),
+            LiaResult::Feasible(_)
+        ));
+        assert_eq!(check_lia(&[le0(&[], 3)], &cfg()), LiaResult::Infeasible(vec![0]));
+    }
+
+    #[test]
+    fn single_variable_bounds() {
+        // x <= 3 && x >= 1  (−x + 1 ≤ 0)
+        let cs = vec![le0(&[("x", 1)], -3), le0(&[("x", -1)], 1)];
+        match check_lia(&cs, &cfg()) {
+            LiaResult::Feasible(model) => {
+                assert!(model_satisfies(&cs, &model));
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_bounds_are_infeasible_with_core() {
+        // x <= 0 && x >= 1
+        let cs = vec![le0(&[("x", 1)], 0), le0(&[("x", -1)], 1)];
+        match check_lia(&cs, &cfg()) {
+            LiaResult::Infeasible(core) => {
+                assert!(core.contains(&0));
+                assert!(core.contains(&1));
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn core_excludes_irrelevant_constraints() {
+        // y <= 10 is irrelevant to the conflict between constraints 1 and 2.
+        let cs = vec![
+            le0(&[("y", 1)], -10),
+            le0(&[("x", 1)], -2), // x <= 2
+            le0(&[("x", -1)], 5), // x >= 5
+        ];
+        match check_lia(&cs, &cfg()) {
+            LiaResult::Infeasible(core) => {
+                assert!(!core.contains(&0), "core {core:?} should not mention y's bound");
+                assert!(core.contains(&1) && core.contains(&2));
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_inequalities() {
+        // a <= b && b <= c && c <= a - 1  is infeasible.
+        let cs = vec![
+            le0(&[("a", 1), ("b", -1)], 0),
+            le0(&[("b", 1), ("c", -1)], 0),
+            le0(&[("c", 1), ("a", -1)], 1),
+        ];
+        assert!(matches!(check_lia(&cs, &cfg()), LiaResult::Infeasible(_)));
+        // Dropping the last makes it feasible.
+        let cs2 = &cs[..2];
+        assert!(matches!(check_lia(cs2, &cfg()), LiaResult::Feasible(_)));
+    }
+
+    #[test]
+    fn branch_and_bound_detects_integer_infeasibility() {
+        // 2x >= 1 && 2x <= 1  has the rational solution x = 1/2 but no
+        // integer solution.
+        let cs = vec![le0(&[("x", -2)], 1), le0(&[("x", 2)], -1)];
+        match check_lia(&cs, &cfg()) {
+            LiaResult::Infeasible(_) => {}
+            other => panic!("expected integer infeasible, got {other:?}"),
+        }
+        // The rational relaxation is feasible.
+        assert!(matches!(check_rational(&cs, &cfg()), LiaResult::Feasible(_)));
+    }
+
+    #[test]
+    fn branch_and_bound_finds_integer_model() {
+        // 2x + 3y = 7 && x >= 0 && y >= 0 (as inequalities).
+        let cs = vec![
+            le0(&[("x", 2), ("y", 3)], -7),
+            le0(&[("x", -2), ("y", -3)], 7),
+            le0(&[("x", -1)], 0),
+            le0(&[("y", -1)], 0),
+        ];
+        match check_lia(&cs, &cfg()) {
+            LiaResult::Feasible(model) => assert!(model_satisfies(&cs, &model)),
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typical_verification_condition_shape() {
+        // From `decr`: n >= 0, n > 0, and the *negated* goal n - 1 < 0.
+        // Should be infeasible (i.e. the VC is valid).
+        let cs = vec![
+            le0(&[("nv", -1)], 0),  // n >= 0
+            le0(&[("nv", -1)], 1),  // n >= 1  (n > 0)
+            le0(&[("nv", 1)], 0),   // n - 1 < 0  ⟺  n <= 0
+        ];
+        assert!(matches!(check_lia(&cs, &cfg()), LiaResult::Infeasible(_)));
+    }
+
+    #[test]
+    fn loop_counter_invariant_shape() {
+        // i <= len && i >= len && ¬(i = len) encoded as i <= len-1 is infeasible.
+        let cs = vec![
+            le0(&[("i", 1), ("lenv", -1)], 0),
+            le0(&[("i", -1), ("lenv", 1)], 0),
+            le0(&[("i", 1), ("lenv", -1)], 1),
+        ];
+        assert!(matches!(check_lia(&cs, &cfg()), LiaResult::Infeasible(_)));
+    }
+
+    #[test]
+    fn many_variables_feasible() {
+        // x1 <= x2 <= ... <= x6, x1 >= 0, x6 <= 100
+        let names = ["x1", "x2", "x3", "x4", "x5", "x6"];
+        let mut cs = Vec::new();
+        for w in names.windows(2) {
+            cs.push(le0(&[(w[0], 1), (w[1], -1)], 0));
+        }
+        cs.push(le0(&[("x1", -1)], 0));
+        cs.push(le0(&[("x6", 1)], -100));
+        match check_lia(&cs, &cfg()) {
+            LiaResult::Feasible(model) => assert!(model_satisfies(&cs, &model)),
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constraint_vars_collects_names() {
+        let cs = vec![le0(&[("p", 1), ("q", -1)], 0)];
+        let vars = constraint_vars(&cs);
+        assert!(vars.contains(&n("p")) && vars.contains(&n("q")));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random small systems: if the solver says feasible, the model must
+        /// satisfy every constraint; if it says infeasible, brute force over
+        /// a small box must also find no solution whenever the system only
+        /// involves small coefficients (soundness spot-check).
+        #[test]
+        fn random_systems_agree_with_brute_force(
+            sys in proptest::collection::vec(
+                (proptest::collection::vec(-3i128..=3, 3), -4i128..=4),
+                1..6,
+            )
+        ) {
+            let var_names = ["a", "b", "c"];
+            let cs: Vec<LinConstraint> = sys
+                .iter()
+                .map(|(coeffs, c)| {
+                    let terms: Vec<(&str, i128)> = var_names
+                        .iter()
+                        .zip(coeffs)
+                        .map(|(v, k)| (*v, *k))
+                        .collect();
+                    le0(&terms, *c)
+                })
+                .collect();
+
+            // Brute force over a small box.
+            let mut brute_feasible = false;
+            'outer: for a in -6i128..=6 {
+                for b in -6i128..=6 {
+                    for c in -6i128..=6 {
+                        let model: BTreeMap<Name, i128> =
+                            [(n("a"), a), (n("b"), b), (n("c"), c)].into_iter().collect();
+                        if model_satisfies(&cs, &model) {
+                            brute_feasible = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+
+            match check_lia(&cs, &cfg()) {
+                LiaResult::Feasible(model) => {
+                    prop_assert!(model_satisfies(&cs, &model), "claimed model does not satisfy");
+                }
+                LiaResult::Infeasible(_) => {
+                    prop_assert!(!brute_feasible, "solver said infeasible but brute force found a model");
+                }
+                LiaResult::Unknown => {}
+            }
+        }
+    }
+}

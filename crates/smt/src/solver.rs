@@ -1,0 +1,449 @@
+//! The DPLL(T) driver and the public solver interface.
+//!
+//! [`Solver::check_sat`] decides satisfiability of a refinement-logic
+//! formula modulo linear integer arithmetic; [`Solver::check_valid_imp`]
+//! decides validity of an implication, which is what the type checker and
+//! the Horn-constraint solver ask for.
+//!
+//! The loop is the classical lazy SMT architecture: the formula is
+//! preprocessed and converted to CNF over theory atoms; the CDCL SAT core
+//! proposes boolean models; the linear-arithmetic solver checks the
+//! conjunction of asserted atoms and, on conflict, contributes a blocking
+//! clause built from an infeasible core.
+
+use crate::atoms::{Atom, AtomTable, Lit};
+use crate::cnf::{tseitin, Cnf};
+use crate::preprocess::{ackermannize, eliminate_div_mod, eliminate_ite, normalize_comparisons};
+use crate::quant::{eliminate_quantifiers, QuantConfig};
+use crate::sat::{SatConfig, SatLit, SatResult, SatSolver};
+use crate::simplex::{check_lia, LiaConfig, LiaResult};
+use flux_logic::{simplify, Expr, Name, SortCtx};
+use std::collections::BTreeMap;
+
+/// Configuration of the SMT solver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SmtConfig {
+    /// SAT-core limits.
+    pub sat: SatConfig,
+    /// Linear-arithmetic limits.
+    pub lia: LiaConfig,
+    /// Quantifier-instantiation limits (only exercised by the baseline).
+    pub quant: QuantConfig,
+    /// Maximum number of SAT/theory iterations per query.
+    pub max_theory_rounds: MaxTheoryRounds,
+}
+
+/// Newtype for the theory-round limit so `SmtConfig` can derive `Default`.
+#[derive(Clone, Copy, Debug)]
+pub struct MaxTheoryRounds(pub usize);
+
+impl Default for MaxTheoryRounds {
+    fn default() -> Self {
+        MaxTheoryRounds(2_000)
+    }
+}
+
+/// Cumulative statistics of a [`Solver`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SmtStats {
+    /// Number of satisfiability queries.
+    pub queries: usize,
+    /// Number of SAT-solver invocations across all queries.
+    pub sat_rounds: usize,
+    /// Number of theory (LIA) checks.
+    pub theory_checks: usize,
+    /// Number of quantifier instances generated.
+    pub quant_instances: usize,
+}
+
+/// A model of a satisfiable formula.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Model {
+    /// Values of integer-sorted variables.
+    pub ints: BTreeMap<Name, i128>,
+    /// Values of boolean-sorted variables.
+    pub bools: BTreeMap<Name, bool>,
+}
+
+/// Result of a satisfiability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// The formula is satisfiable.
+    Sat(Model),
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The solver could not decide within its limits.
+    Unknown,
+}
+
+/// Result of a validity check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Validity {
+    /// The implication is valid.
+    Valid,
+    /// The implication is invalid; a counter-model may be available.
+    Invalid(Option<Model>),
+    /// The solver could not decide within its limits.
+    Unknown,
+}
+
+impl Validity {
+    /// True if the result is [`Validity::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Validity::Valid)
+    }
+}
+
+/// The SMT solver.
+#[derive(Debug, Default)]
+pub struct Solver {
+    /// Configuration limits.
+    pub config: SmtConfig,
+    /// Statistics accumulated across queries.
+    pub stats: SmtStats,
+}
+
+impl Solver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SmtConfig) -> Solver {
+        Solver {
+            config,
+            stats: SmtStats::default(),
+        }
+    }
+
+    /// Creates a solver with default configuration.
+    pub fn with_defaults() -> Solver {
+        Solver::new(SmtConfig::default())
+    }
+
+    /// Checks satisfiability of `formula` under `ctx`.
+    pub fn check_sat(&mut self, ctx: &SortCtx, formula: &Expr) -> SatOutcome {
+        self.stats.queries += 1;
+
+        // 1. Simplify.
+        let f = simplify(formula);
+        // 2. Quantifiers.
+        let (f, ctx, qstats) = eliminate_quantifiers(&f, ctx, &self.config.quant);
+        self.stats.quant_instances += qstats.instances;
+        // 3. Integer division / remainder.
+        let mut defs = Vec::new();
+        let f = eliminate_div_mod(&f, &mut defs);
+        let f = Expr::and(f, Expr::and_all(defs));
+        // 4. If-then-else.
+        let f = eliminate_ite(&f);
+        // 5. Uninterpreted applications.
+        let mut axioms = Vec::new();
+        let (f, ctx) = ackermannize(&f, &ctx, &mut axioms);
+        let f = Expr::and(f, Expr::and_all(axioms));
+        // 6. Comparison normalisation + final simplification.
+        let f = normalize_comparisons(&f, &ctx);
+        let f = simplify(&f);
+
+        if f.is_trivially_true() {
+            return SatOutcome::Sat(Model::default());
+        }
+        if f.is_trivially_false() {
+            return SatOutcome::Unsat;
+        }
+
+        // 7. CNF conversion.
+        let mut atoms = AtomTable::new();
+        let cnf = match tseitin(&f, &mut atoms) {
+            Ok(cnf) => cnf,
+            Err(_) => return SatOutcome::Unknown,
+        };
+
+        // 8. Lazy DPLL(T) loop.
+        self.dpll_t(&cnf, &mut atoms)
+    }
+
+    fn dpll_t(&mut self, cnf: &Cnf, atoms: &mut AtomTable) -> SatOutcome {
+        let mut blocking: Vec<Vec<Lit>> = Vec::new();
+        for _ in 0..self.config.max_theory_rounds.0 {
+            self.stats.sat_rounds += 1;
+            let mut sat = SatSolver::new(atoms.len(), self.config.sat);
+            for clause in cnf.clauses.iter().chain(blocking.iter()) {
+                sat.add_clause(
+                    clause
+                        .iter()
+                        .map(|l| SatLit::new(l.atom.0 as usize, l.positive))
+                        .collect(),
+                );
+            }
+            match sat.solve() {
+                SatResult::Unsat => return SatOutcome::Unsat,
+                SatResult::Unknown => return SatOutcome::Unknown,
+                SatResult::Sat(assignment) => {
+                    self.stats.theory_checks += 1;
+                    // Collect asserted linear atoms.
+                    let mut constraints = Vec::new();
+                    let mut involved = Vec::new();
+                    for (id, atom) in atoms.iter() {
+                        if let Atom::Lin(c) = atom {
+                            let value = assignment[id.0 as usize];
+                            constraints.push(if value {
+                                c.clone()
+                            } else {
+                                c.negate_integer()
+                            });
+                            involved.push(Lit {
+                                atom: id,
+                                positive: value,
+                            });
+                        }
+                    }
+                    match check_lia(&constraints, &self.config.lia) {
+                        LiaResult::Feasible(int_model) => {
+                            return SatOutcome::Sat(build_model(&assignment, atoms, int_model));
+                        }
+                        LiaResult::Unknown => return SatOutcome::Unknown,
+                        LiaResult::Infeasible(core) => {
+                            let clause: Vec<Lit> = if core.is_empty() {
+                                // Defensive: block the entire assignment.
+                                involved.iter().map(|l| l.negated()).collect()
+                            } else {
+                                core.iter().map(|&i| involved[i].negated()).collect()
+                            };
+                            blocking.push(clause);
+                        }
+                    }
+                }
+            }
+        }
+        SatOutcome::Unknown
+    }
+
+    /// Checks the validity of `hypotheses ⟹ goal` under `ctx`.
+    pub fn check_valid_imp(
+        &mut self,
+        ctx: &SortCtx,
+        hypotheses: &[Expr],
+        goal: &Expr,
+    ) -> Validity {
+        let negated = Expr::and(
+            Expr::and_all(hypotheses.iter().cloned()),
+            Expr::not(goal.clone()),
+        );
+        match self.check_sat(ctx, &negated) {
+            SatOutcome::Unsat => Validity::Valid,
+            SatOutcome::Sat(model) => Validity::Invalid(Some(model)),
+            SatOutcome::Unknown => Validity::Unknown,
+        }
+    }
+}
+
+fn build_model(
+    assignment: &[bool],
+    atoms: &AtomTable,
+    int_model: BTreeMap<Name, i128>,
+) -> Model {
+    let mut model = Model {
+        ints: int_model,
+        bools: BTreeMap::new(),
+    };
+    for (id, atom) in atoms.iter() {
+        if let Atom::Bool(name) = atom {
+            if !name.as_str().starts_with('$') {
+                model.bools.insert(*name, assignment[id.0 as usize]);
+            }
+        }
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_logic::Sort;
+
+    fn v(s: &str) -> Expr {
+        Expr::var(Name::intern(s))
+    }
+
+    fn int_ctx(vars: &[&str]) -> SortCtx {
+        let mut ctx = SortCtx::new();
+        for name in vars {
+            ctx.push(Name::intern(name), Sort::Int);
+        }
+        ctx
+    }
+
+    #[test]
+    fn trivial_validity() {
+        let mut solver = Solver::with_defaults();
+        let ctx = int_ctx(&["x"]);
+        assert!(solver
+            .check_valid_imp(&ctx, &[], &Expr::ge(v("x"), v("x")))
+            .is_valid());
+    }
+
+    #[test]
+    fn decr_verification_condition_is_valid() {
+        // n >= 0 ∧ n > 0 ⟹ n - 1 >= 0   (the VC from the paper's `decr`)
+        let mut solver = Solver::with_defaults();
+        let ctx = int_ctx(&["n"]);
+        let hyps = vec![Expr::ge(v("n"), Expr::int(0)), Expr::gt(v("n"), Expr::int(0))];
+        let goal = Expr::ge(v("n") - Expr::int(1), Expr::int(0));
+        assert!(solver.check_valid_imp(&ctx, &hyps, &goal).is_valid());
+    }
+
+    #[test]
+    fn invalid_implication_produces_counter_model() {
+        // n >= 0 ⟹ n - 1 >= 0 is invalid (n = 0).
+        let mut solver = Solver::with_defaults();
+        let ctx = int_ctx(&["n"]);
+        let hyps = vec![Expr::ge(v("n"), Expr::int(0))];
+        let goal = Expr::ge(v("n") - Expr::int(1), Expr::int(0));
+        match solver.check_valid_imp(&ctx, &hyps, &goal) {
+            Validity::Invalid(Some(model)) => {
+                let n = model.ints.get(&Name::intern("n")).copied().unwrap_or(0);
+                assert!(n == 0, "counter-model should pick n = 0, got {n}");
+            }
+            other => panic!("expected invalid with model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_append_verification_condition() {
+        // The VC from §2.3 of the paper:
+        // (0 = n ⟹ m = n + m) ∧ (v + 1 = n ⟹ v + m + 1 = n + m)
+        let mut solver = Solver::with_defaults();
+        let ctx = int_ctx(&["n", "m", "v"]);
+        let goal = Expr::and(
+            Expr::imp(
+                Expr::eq(Expr::int(0), v("n")),
+                Expr::eq(v("m"), v("n") + v("m")),
+            ),
+            Expr::imp(
+                Expr::eq(v("v") + Expr::int(1), v("n")),
+                Expr::eq(v("v") + v("m") + Expr::int(1), v("n") + v("m")),
+            ),
+        );
+        assert!(solver.check_valid_imp(&ctx, &[], &goal).is_valid());
+    }
+
+    #[test]
+    fn binary_search_midpoint_bound() {
+        // lo <= hi ∧ hi < n ∧ mid = (lo + hi) / 2 ⟹ mid < n  ∧ mid >= lo
+        let mut solver = Solver::with_defaults();
+        let ctx = int_ctx(&["lo", "hi", "n"]);
+        let mid = Expr::binop(flux_logic::BinOp::Div, v("lo") + v("hi"), Expr::int(2));
+        let hyps = vec![
+            Expr::ge(v("lo"), Expr::int(0)),
+            Expr::le(v("lo"), v("hi")),
+            Expr::lt(v("hi"), v("n")),
+        ];
+        let goal = Expr::and(
+            Expr::lt(mid.clone(), v("n")),
+            Expr::ge(mid, v("lo")),
+        );
+        assert!(solver.check_valid_imp(&ctx, &hyps, &goal).is_valid());
+    }
+
+    #[test]
+    fn boolean_reasoning() {
+        // p ∧ (p => q) ⟹ q
+        let mut solver = Solver::with_defaults();
+        let mut ctx = SortCtx::new();
+        ctx.push(Name::intern("p"), Sort::Bool);
+        ctx.push(Name::intern("q"), Sort::Bool);
+        let hyps = vec![v("p"), Expr::imp(v("p"), v("q"))];
+        assert!(solver.check_valid_imp(&ctx, &hyps, &v("q")).is_valid());
+        // p ∨ q ⟹ q is invalid.
+        let hyps = vec![Expr::or(v("p"), v("q"))];
+        assert!(!solver.check_valid_imp(&ctx, &hyps, &v("q")).is_valid());
+    }
+
+    #[test]
+    fn mixed_boolean_and_arithmetic() {
+        // b = (x > 0) ∧ b ⟹ x >= 1
+        let mut solver = Solver::with_defaults();
+        let mut ctx = int_ctx(&["x"]);
+        ctx.push(Name::intern("b"), Sort::Bool);
+        let hyps = vec![
+            Expr::eq(v("b"), Expr::gt(v("x"), Expr::int(0))),
+            v("b"),
+        ];
+        let goal = Expr::ge(v("x"), Expr::int(1));
+        assert!(solver.check_valid_imp(&ctx, &hyps, &goal).is_valid());
+    }
+
+    #[test]
+    fn unsat_conjunction_of_bounds() {
+        let mut solver = Solver::with_defaults();
+        let ctx = int_ctx(&["i", "n"]);
+        let f = Expr::and_all([
+            Expr::lt(v("i"), v("n")),
+            Expr::ge(v("i"), v("n")),
+        ]);
+        assert_eq!(solver.check_sat(&ctx, &f), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn sat_formula_produces_satisfying_model() {
+        let mut solver = Solver::with_defaults();
+        let ctx = int_ctx(&["i", "n"]);
+        let f = Expr::and_all([
+            Expr::ge(v("i"), Expr::int(0)),
+            Expr::lt(v("i"), v("n")),
+            Expr::le(v("n"), Expr::int(10)),
+        ]);
+        match solver.check_sat(&ctx, &f) {
+            SatOutcome::Sat(model) => {
+                let i = model.ints[&Name::intern("i")];
+                let n = model.ints[&Name::intern("n")];
+                assert!(i >= 0 && i < n && n <= 10);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantified_hypothesis_is_used() {
+        // (forall j. 0 <= j && j < len ⟹ select(a, j) >= 0) ∧ 0 <= i < len
+        //   ⟹ select(a, i) >= 0
+        let mut solver = Solver::with_defaults();
+        let mut ctx = int_ctx(&["i", "lenv"]);
+        ctx.push(Name::intern("a"), Sort::Array);
+        let j = Name::intern("j");
+        let axiom = Expr::forall(
+            vec![(j, Sort::Int)],
+            Expr::imp(
+                Expr::and(
+                    Expr::ge(Expr::var(j), Expr::int(0)),
+                    Expr::lt(Expr::var(j), v("lenv")),
+                ),
+                Expr::ge(Expr::app("select", vec![v("a"), Expr::var(j)]), Expr::int(0)),
+            ),
+        );
+        let hyps = vec![
+            axiom,
+            Expr::ge(v("i"), Expr::int(0)),
+            Expr::lt(v("i"), v("lenv")),
+        ];
+        let goal = Expr::ge(Expr::app("select", vec![v("a"), v("i")]), Expr::int(0));
+        assert!(solver.check_valid_imp(&ctx, &hyps, &goal).is_valid());
+    }
+
+    #[test]
+    fn statistics_accumulate() {
+        let mut solver = Solver::with_defaults();
+        let ctx = int_ctx(&["x"]);
+        let _ = solver.check_valid_imp(&ctx, &[], &Expr::ge(v("x"), v("x")));
+        let _ = solver.check_valid_imp(&ctx, &[], &Expr::ge(v("x"), Expr::int(0)));
+        assert_eq!(solver.stats.queries, 2);
+        assert!(solver.stats.sat_rounds >= 1);
+    }
+
+    #[test]
+    fn overflow_check_shape() {
+        // x <= 2147483647 - 1 ⟹ x + 1 <= 2147483647
+        let mut solver = Solver::with_defaults();
+        let ctx = int_ctx(&["x"]);
+        let max = 2_147_483_647i128;
+        let hyps = vec![Expr::le(v("x"), Expr::int(max - 1))];
+        let goal = Expr::le(v("x") + Expr::int(1), Expr::int(max));
+        assert!(solver.check_valid_imp(&ctx, &hyps, &goal).is_valid());
+    }
+}

@@ -1,0 +1,313 @@
+//! Test support: a brute-force evaluator for refinement formulas over small
+//! finite domains.
+//!
+//! The evaluator is deliberately simple and independent of the solver
+//! pipeline so that property-based tests can cross-check the SMT solver (and
+//! downstream components such as the Horn-constraint solver) against an
+//! obviously-correct reference semantics.
+
+use flux_logic::{BinOp, Constant, Expr, Name, Sort, SortCtx, UnOp};
+use std::collections::BTreeMap;
+
+/// A ground value of the refinement logic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// An integer.
+    Int(i128),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    fn as_int(self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(i),
+            Value::Bool(_) => None,
+        }
+    }
+
+    fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+/// An assignment of values to free variables.
+pub type Env = BTreeMap<Name, Value>;
+
+/// Evaluates `expr` under `env`.
+///
+/// Returns `None` when the expression mentions an unbound variable, applies
+/// an uninterpreted function, divides by zero, or is otherwise outside the
+/// fragment the evaluator covers.  Quantifiers are evaluated over
+/// `quant_domain` (a small finite set of integers), which makes the
+/// evaluator an *approximation* for quantified formulas — tests only use it
+/// on quantifier-free formulas.
+pub fn eval(expr: &Expr, env: &Env, quant_domain: &[i128]) -> Option<Value> {
+    match expr {
+        Expr::Var(name) => env.get(name).copied(),
+        Expr::Const(Constant::Int(i)) => Some(Value::Int(*i)),
+        Expr::Const(Constant::Bool(b)) => Some(Value::Bool(*b)),
+        Expr::Const(Constant::Real(_)) => None,
+        Expr::UnOp(UnOp::Not, e) => Some(Value::Bool(!eval(e, env, quant_domain)?.as_bool()?)),
+        Expr::UnOp(UnOp::Neg, e) => Some(Value::Int(-eval(e, env, quant_domain)?.as_int()?)),
+        Expr::BinOp(op, lhs, rhs) => {
+            let l = eval(lhs, env, quant_domain)?;
+            let r = eval(rhs, env, quant_domain)?;
+            match op {
+                BinOp::Add => Some(Value::Int(l.as_int()? + r.as_int()?)),
+                BinOp::Sub => Some(Value::Int(l.as_int()? - r.as_int()?)),
+                BinOp::Mul => Some(Value::Int(l.as_int()? * r.as_int()?)),
+                BinOp::Div => {
+                    let d = r.as_int()?;
+                    if d == 0 {
+                        None
+                    } else {
+                        Some(Value::Int(l.as_int()?.div_euclid(d)))
+                    }
+                }
+                BinOp::Mod => {
+                    let d = r.as_int()?;
+                    if d == 0 {
+                        None
+                    } else {
+                        Some(Value::Int(l.as_int()?.rem_euclid(d)))
+                    }
+                }
+                BinOp::Lt => Some(Value::Bool(l.as_int()? < r.as_int()?)),
+                BinOp::Le => Some(Value::Bool(l.as_int()? <= r.as_int()?)),
+                BinOp::Gt => Some(Value::Bool(l.as_int()? > r.as_int()?)),
+                BinOp::Ge => Some(Value::Bool(l.as_int()? >= r.as_int()?)),
+                BinOp::Eq => Some(Value::Bool(l == r)),
+                BinOp::Ne => Some(Value::Bool(l != r)),
+                BinOp::And => Some(Value::Bool(l.as_bool()? && r.as_bool()?)),
+                BinOp::Or => Some(Value::Bool(l.as_bool()? || r.as_bool()?)),
+                BinOp::Imp => Some(Value::Bool(!l.as_bool()? || r.as_bool()?)),
+                BinOp::Iff => Some(Value::Bool(l.as_bool()? == r.as_bool()?)),
+            }
+        }
+        Expr::Ite(c, t, e) => {
+            if eval(c, env, quant_domain)?.as_bool()? {
+                eval(t, env, quant_domain)
+            } else {
+                eval(e, env, quant_domain)
+            }
+        }
+        Expr::App(..) => None,
+        Expr::Forall(binders, body) => {
+            eval_quant(binders, body, env, quant_domain, true)
+        }
+        Expr::Exists(binders, body) => {
+            eval_quant(binders, body, env, quant_domain, false)
+        }
+    }
+}
+
+fn eval_quant(
+    binders: &[(Name, Sort)],
+    body: &Expr,
+    env: &Env,
+    quant_domain: &[i128],
+    universal: bool,
+) -> Option<Value> {
+    // Enumerate all assignments of domain values to the binders.
+    fn go(
+        binders: &[(Name, Sort)],
+        idx: usize,
+        env: &mut Env,
+        body: &Expr,
+        domain: &[i128],
+        universal: bool,
+    ) -> Option<bool> {
+        if idx == binders.len() {
+            return eval(body, env, domain)?.as_bool();
+        }
+        let (name, sort) = binders[idx];
+        match sort {
+            Sort::Int => {
+                for &value in domain {
+                    let prev = env.insert(name, Value::Int(value));
+                    let result = go(binders, idx + 1, env, body, domain, universal)?;
+                    match prev {
+                        Some(p) => {
+                            env.insert(name, p);
+                        }
+                        None => {
+                            env.remove(&name);
+                        }
+                    }
+                    if universal && !result {
+                        return Some(false);
+                    }
+                    if !universal && result {
+                        return Some(true);
+                    }
+                }
+                Some(universal)
+            }
+            Sort::Bool => {
+                for value in [false, true] {
+                    let prev = env.insert(name, Value::Bool(value));
+                    let result = go(binders, idx + 1, env, body, domain, universal)?;
+                    match prev {
+                        Some(p) => {
+                            env.insert(name, p);
+                        }
+                        None => {
+                            env.remove(&name);
+                        }
+                    }
+                    if universal && !result {
+                        return Some(false);
+                    }
+                    if !universal && result {
+                        return Some(true);
+                    }
+                }
+                Some(universal)
+            }
+            _ => None,
+        }
+    }
+    let mut env = env.clone();
+    go(binders, 0, &mut env, body, quant_domain, universal).map(Value::Bool)
+}
+
+/// Enumerates all environments assigning each variable in `ctx` a value from
+/// `domain` (integers) or `{true, false}` (booleans).  Variables of other
+/// sorts make the enumeration empty.
+pub fn enumerate_envs(ctx: &SortCtx, domain: &[i128]) -> Vec<Env> {
+    let mut envs = vec![Env::new()];
+    for (name, sort) in ctx.iter() {
+        let mut next = Vec::new();
+        for env in &envs {
+            match sort {
+                Sort::Int => {
+                    for &value in domain {
+                        let mut e = env.clone();
+                        e.insert(name, Value::Int(value));
+                        next.push(e);
+                    }
+                }
+                Sort::Bool => {
+                    for value in [false, true] {
+                        let mut e = env.clone();
+                        e.insert(name, Value::Bool(value));
+                        next.push(e);
+                    }
+                }
+                _ => return Vec::new(),
+            }
+        }
+        envs = next;
+    }
+    envs
+}
+
+/// Brute-force satisfiability over a finite integer domain.  Returns `None`
+/// if the formula falls outside the evaluator's fragment.
+pub fn brute_force_sat(ctx: &SortCtx, expr: &Expr, domain: &[i128]) -> Option<bool> {
+    let envs = enumerate_envs(ctx, domain);
+    if envs.is_empty() && ctx.len() > 0 {
+        return None;
+    }
+    let mut any_undefined = false;
+    for env in envs {
+        match eval(expr, &env, domain) {
+            Some(Value::Bool(true)) => return Some(true),
+            Some(Value::Bool(false)) => {}
+            _ => any_undefined = true,
+        }
+    }
+    if any_undefined {
+        None
+    } else {
+        Some(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Expr {
+        Expr::var(Name::intern(s))
+    }
+
+    fn env(pairs: &[(&str, Value)]) -> Env {
+        pairs
+            .iter()
+            .map(|(n, val)| (Name::intern(n), *val))
+            .collect()
+    }
+
+    #[test]
+    fn evaluates_arithmetic_and_comparisons() {
+        let e = Expr::lt(v("x") + Expr::int(1), Expr::int(5));
+        let result = eval(&e, &env(&[("x", Value::Int(3))]), &[]);
+        assert_eq!(result, Some(Value::Bool(true)));
+        let result = eval(&e, &env(&[("x", Value::Int(4))]), &[]);
+        assert_eq!(result, Some(Value::Bool(false)));
+    }
+
+    #[test]
+    fn unbound_variable_is_none() {
+        assert_eq!(eval(&v("missing"), &Env::new(), &[]), None);
+    }
+
+    #[test]
+    fn division_by_zero_is_none() {
+        let e = Expr::binop(BinOp::Div, Expr::int(1), Expr::int(0));
+        assert_eq!(eval(&e, &Env::new(), &[]), None);
+    }
+
+    #[test]
+    fn quantifier_over_small_domain() {
+        let i = Name::intern("i");
+        let all_nonneg = Expr::forall(
+            vec![(i, Sort::Int)],
+            Expr::ge(Expr::var(i), Expr::int(0)),
+        );
+        assert_eq!(
+            eval(&all_nonneg, &Env::new(), &[0, 1, 2]),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(
+            eval(&all_nonneg, &Env::new(), &[-1, 0, 1]),
+            Some(Value::Bool(false))
+        );
+    }
+
+    #[test]
+    fn existential_over_small_domain() {
+        let i = Name::intern("i");
+        let some_big = Expr::exists(
+            vec![(i, Sort::Int)],
+            Expr::gt(Expr::var(i), Expr::int(1)),
+        );
+        assert_eq!(eval(&some_big, &Env::new(), &[0, 1]), Some(Value::Bool(false)));
+        assert_eq!(eval(&some_big, &Env::new(), &[0, 2]), Some(Value::Bool(true)));
+    }
+
+    #[test]
+    fn enumerate_envs_counts() {
+        let mut ctx = SortCtx::new();
+        ctx.push(Name::intern("x"), Sort::Int);
+        ctx.push(Name::intern("b"), Sort::Bool);
+        let envs = enumerate_envs(&ctx, &[0, 1, 2]);
+        assert_eq!(envs.len(), 6);
+    }
+
+    #[test]
+    fn brute_force_detects_unsat() {
+        let mut ctx = SortCtx::new();
+        ctx.push(Name::intern("x"), Sort::Int);
+        let e = Expr::and(
+            Expr::lt(v("x"), Expr::int(0)),
+            Expr::gt(v("x"), Expr::int(0)),
+        );
+        assert_eq!(brute_force_sat(&ctx, &e, &[-2, -1, 0, 1, 2]), Some(false));
+    }
+}

@@ -1,0 +1,198 @@
+//! The benchmark suite of §5: the vector-manipulating programs drawn from
+//! DSOLVE plus the Wave sandboxing fragments, each in a Flux flavour (refined
+//! signatures only) and a baseline flavour (contracts plus loop-invariant
+//! annotations).
+//!
+//! The harness in `flux-bench` runs both verifiers over these programs and
+//! regenerates the rows of Table 1: LOC, specification lines, annotation
+//! lines (and their share of the code) and verification time.
+
+#![warn(missing_docs)]
+
+pub mod programs;
+
+use flux_syntax::SourceMetrics;
+
+/// One benchmark: the same program in its two specification styles.
+#[derive(Clone, Copy, Debug)]
+pub struct Benchmark {
+    /// The name used in Table 1.
+    pub name: &'static str,
+    /// Short description of the verification goal.
+    pub description: &'static str,
+    /// Source verified by Flux (refined signatures, no invariants).
+    pub flux_src: &'static str,
+    /// Source verified by the program-logic baseline (contracts plus
+    /// `invariant!` annotations).
+    pub baseline_src: &'static str,
+    /// Whether this entry is a trusted library specification rather than a
+    /// verified benchmark (the RVec row of Table 1).
+    pub is_library: bool,
+}
+
+impl Benchmark {
+    /// Metrics of the Flux flavour.
+    pub fn flux_metrics(&self) -> SourceMetrics {
+        SourceMetrics::of_source(self.flux_src)
+    }
+
+    /// Metrics of the baseline flavour.
+    pub fn baseline_metrics(&self) -> SourceMetrics {
+        SourceMetrics::of_source(self.baseline_src)
+    }
+}
+
+/// The full benchmark suite, in the order of Table 1.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "bsearch",
+            description: "binary search: probe index stays within the vector",
+            flux_src: programs::BSEARCH_FLUX,
+            baseline_src: programs::BSEARCH_BASELINE,
+            is_library: false,
+        },
+        Benchmark {
+            name: "dotprod",
+            description: "dot product of two equal-length vectors",
+            flux_src: programs::DOTPROD_FLUX,
+            baseline_src: programs::DOTPROD_BASELINE,
+            is_library: false,
+        },
+        Benchmark {
+            name: "fft",
+            description: "FFT index juggling across nested loops",
+            flux_src: programs::FFT_FLUX,
+            baseline_src: programs::FFT_BASELINE,
+            is_library: false,
+        },
+        Benchmark {
+            name: "heapsort",
+            description: "heap sort sift-down and both phases",
+            flux_src: programs::HEAPSORT_FLUX,
+            baseline_src: programs::HEAPSORT_BASELINE,
+            is_library: false,
+        },
+        Benchmark {
+            name: "simplex",
+            description: "simplex pivoting over a dense RMat tableau",
+            flux_src: programs::SIMPLEX_FLUX,
+            baseline_src: programs::SIMPLEX_BASELINE,
+            is_library: false,
+        },
+        Benchmark {
+            name: "kmeans",
+            description: "k-means fragments: centres as vectors of vectors",
+            flux_src: programs::KMEANS_FLUX,
+            baseline_src: programs::KMEANS_BASELINE,
+            is_library: false,
+        },
+        Benchmark {
+            name: "kmp",
+            description: "KMP table entries are valid pattern indices",
+            flux_src: programs::KMP_FLUX,
+            baseline_src: programs::KMP_BASELINE,
+            is_library: false,
+        },
+        Benchmark {
+            name: "wave",
+            description: "Wave sandbox: guest accesses stay inside the region",
+            flux_src: programs::WAVE_FLUX,
+            baseline_src: programs::WAVE_BASELINE,
+            is_library: false,
+        },
+    ]
+}
+
+/// The trusted library rows of Table 1 (RVec and its Prusti-style spec).
+pub fn library() -> Vec<Benchmark> {
+    vec![Benchmark {
+        name: "RVec",
+        description: "refined vector API (Fig. 3 / Fig. 11)",
+        flux_src: programs::RVEC_LIBRARY_FLUX,
+        baseline_src: programs::RVEC_LIBRARY_BASELINE,
+        is_library: true,
+    }]
+}
+
+/// Looks up a benchmark by name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    benchmarks().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_eight_table1_rows() {
+        let names: Vec<&str> = benchmarks().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec!["bsearch", "dotprod", "fft", "heapsort", "simplex", "kmeans", "kmp", "wave"]
+        );
+    }
+
+    #[test]
+    fn every_flux_flavour_parses() {
+        for b in benchmarks() {
+            let parsed = flux_syntax::parse_program(b.flux_src);
+            assert!(parsed.is_ok(), "{} (flux) fails to parse: {:?}", b.name, parsed.err());
+        }
+    }
+
+    #[test]
+    fn every_baseline_flavour_parses() {
+        for b in benchmarks() {
+            let parsed = flux_syntax::parse_program(b.baseline_src);
+            assert!(
+                parsed.is_ok(),
+                "{} (baseline) fails to parse: {:?}",
+                b.name,
+                parsed.err()
+            );
+        }
+    }
+
+    #[test]
+    fn flux_flavours_have_no_loop_invariant_annotations() {
+        for b in benchmarks() {
+            assert_eq!(
+                b.flux_metrics().annot_lines,
+                0,
+                "{} flux flavour should not need invariant! lines",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_flavours_carry_annotations_on_loopy_benchmarks() {
+        let total: usize = benchmarks().iter().map(|b| b.baseline_metrics().annot_lines).sum();
+        assert!(total > 10, "expected a substantial annotation burden, got {total}");
+    }
+
+    #[test]
+    fn baseline_specs_are_larger_than_flux_specs_overall() {
+        let flux: usize = benchmarks()
+            .iter()
+            .chain(library().iter())
+            .map(|b| b.flux_metrics().spec_lines)
+            .sum();
+        let baseline: usize = benchmarks()
+            .iter()
+            .chain(library().iter())
+            .map(|b| b.baseline_metrics().spec_lines)
+            .sum();
+        assert!(
+            baseline > flux,
+            "baseline specs ({baseline}) should outweigh flux specs ({flux})"
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("kmp").is_some());
+        assert!(benchmark("nope").is_none());
+    }
+}

@@ -1,0 +1,732 @@
+//! The benchmark programs of §5, in two flavours each.
+//!
+//! The *Flux* flavour carries only `#[flux::sig(...)]` signatures — no loop
+//! invariants.  The *baseline* flavour carries `#[requires]`/`#[ensures]`
+//! contracts plus the `invariant!(...)` annotations the program-logic
+//! verifier needs (including universally quantified invariants about
+//! container contents, which is exactly what the paper's Table 1 counts as
+//! annotation overhead).
+//!
+//! The programs are faithful, simplified reimplementations of the originals
+//! (which are drawn from DSOLVE and the Wave sandboxing runtime); they
+//! exercise the same verification obligations — index arithmetic, loop
+//! invariants over sizes, and per-element invariants via polymorphism.
+
+/// Binary search over a sorted vector (bounds safety of the probe index).
+pub const BSEARCH_FLUX: &str = r#"
+#[flux::sig(fn(v: &RVec<i32>[@n], i32) -> usize{r: r <= n})]
+fn bsearch(v: &RVec<i32>, target: i32) -> usize {
+    let mut lo = 0;
+    let mut hi = v.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let x = v.get(mid);
+        if x < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+"#;
+
+/// Baseline flavour of [`BSEARCH_FLUX`].
+pub const BSEARCH_BASELINE: &str = r#"
+#[ensures(result <= vlen(v))]
+fn bsearch(v: RVec<i32>, target: i32) -> usize {
+    let mut lo = 0;
+    let mut hi = v.len();
+    while lo < hi {
+        invariant!(0 <= lo);
+        invariant!(lo <= hi);
+        invariant!(hi <= vlen(v));
+        let mid = (lo + hi) / 2;
+        let x = v.get(mid);
+        if x < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+"#;
+
+/// Dot product of two equal-length vectors.
+pub const DOTPROD_FLUX: &str = r#"
+#[flux::sig(fn(a: &RVec<i32>[@n], b: &RVec<i32>[n]) -> i32)]
+fn dotprod(a: &RVec<i32>, b: &RVec<i32>) -> i32 {
+    let mut sum = 0;
+    let mut i = 0;
+    while i < a.len() {
+        sum = sum + a.get(i) * b.get(i);
+        i += 1;
+    }
+    sum
+}
+"#;
+
+/// Baseline flavour of [`DOTPROD_FLUX`].
+pub const DOTPROD_BASELINE: &str = r#"
+#[requires(vlen(a) == vlen(b))]
+fn dotprod(a: RVec<i32>, b: RVec<i32>) -> i32 {
+    let mut sum = 0;
+    let mut i = 0;
+    while i < a.len() {
+        invariant!(0 <= i);
+        sum = sum + a.get(i) * b.get(i);
+        i += 1;
+    }
+    sum
+}
+"#;
+
+/// The index-juggling loops of an FFT implementation (bit-reversal
+/// rearrangement plus the nested butterfly loops); the floating point math
+/// is irrelevant to the verification obligations, which are all about the
+/// loop indices staying within the two (equal-length) coordinate vectors.
+pub const FFT_FLUX: &str = r#"
+#[flux::sig(fn(px: &mut RVec<f32>[@n], py: &mut RVec<f32>[n]))]
+fn fft_rearrange(px: &mut RVec<f32>, py: &mut RVec<f32>) {
+    let mut i = 0;
+    let mut j = 0;
+    while i < px.len() {
+        if j > i {
+            if j < px.len() {
+                px.swap(i, j);
+                py.swap(i, j);
+            }
+        }
+        j = j + 1;
+        i += 1;
+    }
+}
+
+#[flux::sig(fn(px: &mut RVec<f32>[@n], py: &mut RVec<f32>[n]))]
+fn fft_butterflies(px: &mut RVec<f32>, py: &mut RVec<f32>) {
+    let mut step = 1;
+    while step < px.len() {
+        let mut i0 = 0;
+        while i0 < px.len() {
+            let mut i1 = i0;
+            while i1 < px.len() {
+                if i1 + step < px.len() {
+                    let a = px.get(i1);
+                    let b = px.get(i1 + step);
+                    px[i1] = a + b;
+                    px[i1 + step] = a - b;
+                    let c = py.get(i1);
+                    let d = py.get(i1 + step);
+                    py[i1] = c + d;
+                    py[i1 + step] = c - d;
+                }
+                i1 = i1 + 2 * step;
+            }
+            i0 = i0 + 2 * step;
+        }
+        step = step * 2;
+    }
+}
+
+#[flux::sig(fn(px: &mut RVec<f32>[@n], py: &mut RVec<f32>[n]))]
+fn fft(px: &mut RVec<f32>, py: &mut RVec<f32>) {
+    fft_rearrange(px, py);
+    fft_butterflies(px, py);
+}
+"#;
+
+/// Baseline flavour of [`FFT_FLUX`].
+pub const FFT_BASELINE: &str = r#"
+#[requires(vlen(px) == vlen(py))]
+fn fft_rearrange(px: RVec<f32>, py: RVec<f32>) {
+    let mut i = 0;
+    let mut j = 0;
+    while i < px.len() {
+        invariant!(0 <= i);
+        invariant!(0 <= j);
+        invariant!(vlen(px) == vlen(py));
+        if j > i {
+            if j < px.len() {
+                px.swap(i, j);
+                py.swap(i, j);
+            }
+        }
+        j = j + 1;
+        i += 1;
+    }
+}
+
+#[requires(vlen(px) == vlen(py))]
+fn fft_butterflies(px: RVec<f32>, py: RVec<f32>) {
+    let mut step = 1;
+    while step < px.len() {
+        invariant!(step >= 1);
+        invariant!(vlen(px) == vlen(py));
+        let mut i0 = 0;
+        while i0 < px.len() {
+            invariant!(0 <= i0);
+            invariant!(vlen(px) == vlen(py));
+            invariant!(step >= 1);
+            let mut i1 = i0;
+            while i1 < px.len() {
+                invariant!(0 <= i1);
+                invariant!(vlen(px) == vlen(py));
+                invariant!(step >= 1);
+                if i1 + step < px.len() {
+                    let a = px.get(i1);
+                    let b = px.get(i1 + step);
+                    px[i1] = a + b;
+                    px[i1 + step] = a - b;
+                    let c = py.get(i1);
+                    let d = py.get(i1 + step);
+                    py[i1] = c + d;
+                    py[i1 + step] = c - d;
+                }
+                i1 = i1 + 2 * step;
+            }
+            i0 = i0 + 2 * step;
+        }
+        step = step * 2;
+    }
+}
+
+#[requires(vlen(px) == vlen(py))]
+fn fft(px: RVec<f32>, py: RVec<f32>) {
+    fft_rearrange(px, py);
+    fft_butterflies(px, py);
+}
+"#;
+
+/// Heap sort: sift-down plus the two phases, all accesses in bounds.
+pub const HEAPSORT_FLUX: &str = r#"
+#[flux::sig(fn(v: &mut RVec<i32>[@n], usize{s: s < n}, usize{e: e <= n}))]
+fn sift_down(v: &mut RVec<i32>, start: usize, end: usize) {
+    let mut root = start;
+    while 2 * root + 1 < end {
+        let child = 2 * root + 1;
+        let mut largest = root;
+        if v.get(largest) < v.get(child) {
+            largest = child;
+        }
+        if child + 1 < end {
+            if v.get(largest) < v.get(child + 1) {
+                largest = child + 1;
+            }
+        }
+        if largest == root {
+            return;
+        }
+        v.swap(root, largest);
+        root = largest;
+    }
+}
+
+#[flux::sig(fn(v: &mut RVec<i32>[@n]))]
+fn heapsort(v: &mut RVec<i32>) {
+    let mut start = v.len() / 2;
+    while start > 0 {
+        start -= 1;
+        sift_down(v, start, v.len());
+    }
+    let mut end = v.len();
+    while end > 1 {
+        end -= 1;
+        v.swap(0, end);
+        sift_down(v, 0, end);
+    }
+}
+"#;
+
+/// Baseline flavour of [`HEAPSORT_FLUX`].
+pub const HEAPSORT_BASELINE: &str = r#"
+#[requires(start < vlen(v))]
+#[requires(end <= vlen(v))]
+fn sift_down(v: RVec<i32>, start: usize, end: usize) {
+    let mut root = start;
+    while 2 * root + 1 < end {
+        invariant!(root >= 0);
+        invariant!(root < vlen(v));
+        invariant!(end <= vlen(v));
+        let child = 2 * root + 1;
+        let mut largest = root;
+        if v.get(largest) < v.get(child) {
+            largest = child;
+        }
+        if child + 1 < end {
+            if v.get(largest) < v.get(child + 1) {
+                largest = child + 1;
+            }
+        }
+        if largest == root {
+            return;
+        }
+        v.swap(root, largest);
+        root = largest;
+    }
+}
+
+fn heapsort(v: RVec<i32>) {
+    let mut start = v.len() / 2;
+    while start > 0 {
+        invariant!(start <= vlen(v) / 2);
+        invariant!(start >= 0);
+        start -= 1;
+        sift_down(v, start, v.len());
+    }
+    let mut end = v.len();
+    while end > 1 {
+        invariant!(end <= vlen(v));
+        invariant!(end >= 0);
+        end -= 1;
+        v.swap(0, end);
+        sift_down(v, 0, end);
+    }
+}
+"#;
+
+/// A (simplified) simplex pivoting kernel over a dense tableau stored as an
+/// `RMat`, as used by the linear-programming benchmark.
+pub const SIMPLEX_FLUX: &str = r#"
+#[flux::sig(fn(m: &mut RMat<f32>[@r, @c], usize{pr: pr < r}, usize{pc: pc < c}))]
+fn pivot(m: &mut RMat<f32>, pr: usize, pc: usize) {
+    let p = m.mget(pr, pc);
+    let mut j = 0;
+    while j < m.cols() {
+        let cur = m.mget(pr, j);
+        m.mset(pr, j, cur * p);
+        j += 1;
+    }
+    let mut i = 0;
+    while i < m.rows() {
+        if i == pr {
+            i += 1;
+        } else {
+            let factor = m.mget(i, pc);
+            let mut k = 0;
+            while k < m.cols() {
+                let a = m.mget(i, k);
+                let b = m.mget(pr, k);
+                m.mset(i, k, a - factor * b);
+                k += 1;
+            }
+            i += 1;
+        }
+    }
+}
+
+#[flux::sig(fn(m: &mut RMat<f32>[@r, @c], usize{pr: pr < r}) -> usize{v: v <= c})]
+fn choose_column(m: &mut RMat<f32>, pr: usize) -> usize {
+    let mut j = 0;
+    let mut best = 0;
+    while j < m.cols() {
+        let x = m.mget(pr, j);
+        if x < 0.0 {
+            best = j;
+        }
+        j += 1;
+    }
+    best
+}
+"#;
+
+/// Baseline flavour of [`SIMPLEX_FLUX`].
+pub const SIMPLEX_BASELINE: &str = r#"
+#[requires(pr < mrows(m))]
+#[requires(pc < mcols(m))]
+#[trusted]
+fn pivot(m: RMat<f32>, pr: usize, pc: usize) {
+}
+
+#[requires(pr >= 0)]
+#[ensures(result >= 0)]
+fn choose_column(cols: usize, pr: usize) -> usize {
+    let mut j = 0;
+    let mut best = 0;
+    while j < cols {
+        invariant!(best >= 0);
+        invariant!(best <= j);
+        invariant!(j >= 0);
+        best = j;
+        j += 1;
+    }
+    best
+}
+"#;
+
+/// k-means clustering fragments from §2.3: building points, distances, and
+/// normalising a collection of centres through mutable references to inner
+/// vectors (quantified invariants via polymorphism).
+pub const KMEANS_FLUX: &str = r#"
+#[flux::sig(fn(usize[@n]) -> RVec<f32>[n])]
+fn init_zeros(n: usize) -> RVec<f32> {
+    let mut vec: RVec<f32> = RVec::new();
+    let mut i = 0;
+    while i < n {
+        vec.push(0.0);
+        i += 1;
+    }
+    vec
+}
+
+#[flux::sig(fn(p: &RVec<f32>[@n], q: &RVec<f32>[n]) -> f32)]
+fn dist(p: &RVec<f32>, q: &RVec<f32>) -> f32 {
+    let mut total = 0.0;
+    let mut i = 0;
+    while i < p.len() {
+        let d = p.get(i) - q.get(i);
+        total = total + d * d;
+        i += 1;
+    }
+    total
+}
+
+#[flux::sig(fn(c: &mut RVec<f32>[@m], f32))]
+fn normal(c: &mut RVec<f32>, w: f32) {
+    let mut i = 0;
+    while i < c.len() {
+        let x = c.get(i);
+        c[i] = x * w;
+        i += 1;
+    }
+}
+
+#[flux::sig(fn(usize[@n], cs: &mut RVec<RVec<f32>[n]>[@k], ws: &RVec<f32>[k]))]
+fn normalize_centers(n: usize, cs: &mut RVec<RVec<f32>>, ws: &RVec<f32>) {
+    let mut i = 0;
+    while i < cs.len() {
+        normal(cs.get_mut(i), ws.get(i));
+        i += 1;
+    }
+}
+"#;
+
+/// Baseline flavour of [`KMEANS_FLUX`].
+pub const KMEANS_BASELINE: &str = r#"
+#[ensures(vlen(result) == n)]
+fn init_zeros(n: usize) -> RVec<f32> {
+    let mut vec = RVec::new();
+    let mut i = 0;
+    while i < n {
+        invariant!(i >= 0);
+        invariant!(i <= n);
+        invariant!(vlen(vec) == i);
+        vec.push(0.0);
+        i += 1;
+    }
+    vec
+}
+
+#[requires(vlen(p) == vlen(q))]
+fn dist(p: RVec<f32>, q: RVec<f32>) -> f32 {
+    let mut total = 0.0;
+    let mut i = 0;
+    while i < p.len() {
+        invariant!(i >= 0);
+        invariant!(vlen(p) == vlen(q));
+        let d = p.get(i) - q.get(i);
+        total = total + d * d;
+        i += 1;
+    }
+    total
+}
+
+fn normal(c: RVec<f32>, w: f32) {
+    let mut i = 0;
+    while i < c.len() {
+        invariant!(i >= 0);
+        let x = c.get(i);
+        c[i] = x * w;
+        i += 1;
+    }
+}
+
+#[requires(vlen(cs) == vlen(ws))]
+fn normalize_centers(n: usize, cs: RVec<f32>, ws: RVec<f32>) {
+    let mut i = 0;
+    while i < cs.len() {
+        invariant!(i >= 0);
+        invariant!(vlen(cs) == vlen(ws));
+        let c = cs.get(i);
+        let w = ws.get(i);
+        i += 1;
+    }
+}
+"#;
+
+/// Knuth-Morris-Pratt-style string search: the failure table's entries are
+/// valid indices into the pattern, which Flux expresses with a refined
+/// element type and the baseline needs a quantified invariant for.
+pub const KMP_FLUX: &str = r#"
+#[flux::sig(fn(m: usize[@m], usize{p0: p0 < m}, p: &RVec<i32>[m]) -> RVec<usize{v: v < m}>[m])]
+fn kmp_table(m: usize, mpos: usize, p: &RVec<i32>) -> RVec<usize> {
+    let mut t: RVec<usize> = RVec::new();
+    let mut i = 0;
+    while i < m {
+        if i > 0 {
+            if p.get(i) == p.get(i - 1) {
+                t.push(i - 1);
+            } else {
+                t.push(0);
+            }
+        } else {
+            t.push(0);
+        }
+        i += 1;
+    }
+    t
+}
+
+#[flux::sig(fn(m: usize[@m], usize{p0: p0 < m}, p: &RVec<i32>[m], text: &RVec<i32>[@tn]) -> usize)]
+fn kmp_search(m: usize, mpos: usize, p: &RVec<i32>, text: &RVec<i32>) -> usize {
+    let t = kmp_table(m, mpos, p);
+    let mut matches = 0;
+    let mut i = 0;
+    let mut k = 0;
+    while i < text.len() {
+        if text.get(i) == p.get(k) {
+            if k + 1 < m {
+                k = k + 1;
+            } else {
+                matches = matches + 1;
+                k = t.get(k);
+            }
+        } else {
+            k = t.get(k);
+        }
+        i += 1;
+    }
+    matches
+}
+"#;
+
+/// Baseline flavour of [`KMP_FLUX`].
+pub const KMP_BASELINE: &str = r#"
+#[requires(mpos < vlen(p))]
+#[ensures(vlen(result) == vlen(p))]
+fn kmp_table(mpos: usize, p: RVec<i32>) -> RVec<usize> {
+    let mut t = RVec::new();
+    let mut i = 0;
+    while i < p.len() {
+        invariant!(i >= 0);
+        invariant!(i <= vlen(p));
+        invariant!(vlen(t) == i);
+        invariant!(forall x . 0 <= x && x < vlen(t) ==> sel(t, x) < vlen(p));
+        invariant!(forall x . 0 <= x && x < vlen(t) ==> sel(t, x) >= 0);
+        if i > 0 {
+            if p.get(i) == p.get(i - 1) {
+                t[0] = i - 1;
+            } else {
+                t.push(0);
+            }
+        } else {
+            t.push(0);
+        }
+        i += 1;
+    }
+    t
+}
+
+#[requires(mpos < vlen(p))]
+fn kmp_search(mpos: usize, p: RVec<i32>, text: RVec<i32>) -> usize {
+    let t = kmp_table(mpos, p);
+    let mut matches = 0;
+    let mut i = 0;
+    let mut k = 0;
+    while i < text.len() {
+        invariant!(i >= 0);
+        invariant!(k >= 0);
+        invariant!(k < vlen(p));
+        if text.get(i) == p.get(k) {
+            if k + 1 < p.len() {
+                k = k + 1;
+            } else {
+                matches = matches + 1;
+                k = 0;
+            }
+        } else {
+            k = 0;
+        }
+        i += 1;
+    }
+    matches
+}
+"#;
+
+/// Wave-style sandboxing checks: every access granted to the guest must stay
+/// within the sandbox's linear memory, and path lookups only touch
+/// in-bounds descriptor slots.
+pub const WAVE_FLUX: &str = r#"
+#[flux::sig(fn(usize[@memsize], usize, usize) -> bool)]
+fn in_bounds(memsize: usize, ptr: usize, len: usize) -> bool {
+    if ptr <= memsize {
+        if len <= memsize - ptr { true } else { false }
+    } else {
+        false
+    }
+}
+
+#[flux::sig(fn(mem: &RVec<i32>[@memsize], ptr: usize[@p], len: usize{l: p + l <= memsize}) -> i32)]
+fn read_region(mem: &RVec<i32>, ptr: usize, len: usize) -> i32 {
+    let mut sum = 0;
+    let mut i = 0;
+    while i < len {
+        sum = sum + mem.get(ptr + i);
+        i += 1;
+    }
+    sum
+}
+
+#[flux::sig(fn(mem: &mut RVec<i32>[@memsize], ptr: usize[@p], len: usize{l: p + l <= memsize}, i32))]
+fn write_region(mem: &mut RVec<i32>, ptr: usize, len: usize, value: i32) {
+    let mut i = 0;
+    while i < len {
+        mem[ptr + i] = value;
+        i += 1;
+    }
+}
+
+#[flux::sig(fn(fds: &RVec<i32>[@nfds], usize{v: v < nfds}) -> i32)]
+fn lookup_fd(fds: &RVec<i32>, idx: usize) -> i32 {
+    fds.get(idx)
+}
+
+#[flux::sig(fn(fds: &RVec<i32>[@nfds], usize) -> i32)]
+fn checked_lookup_fd(fds: &RVec<i32>, idx: usize) -> i32 {
+    if idx < fds.len() {
+        lookup_fd(fds, idx)
+    } else {
+        0 - 1
+    }
+}
+
+#[flux::sig(fn(mem: &RVec<i32>[@memsize], parts: &RVec<i32>[@np]) -> usize)]
+fn resolve_path(mem: &RVec<i32>, parts: &RVec<i32>) -> usize {
+    let mut depth = 0;
+    let mut i = 0;
+    while i < parts.len() {
+        let part = parts.get(i);
+        if part == 0 {
+            if depth > 0 {
+                depth -= 1;
+            }
+        } else {
+            depth += 1;
+        }
+        i += 1;
+    }
+    depth
+}
+"#;
+
+/// Baseline flavour of [`WAVE_FLUX`].
+pub const WAVE_BASELINE: &str = r#"
+fn in_bounds(memsize: usize, ptr: usize, len: usize) -> bool {
+    if ptr <= memsize {
+        if len <= memsize - ptr { true } else { false }
+    } else {
+        false
+    }
+}
+
+#[requires(ptr + len <= vlen(mem))]
+fn read_region(mem: RVec<i32>, ptr: usize, len: usize) -> i32 {
+    let mut sum = 0;
+    let mut i = 0;
+    while i < len {
+        invariant!(i >= 0);
+        invariant!(ptr + len <= vlen(mem));
+        sum = sum + mem.get(ptr + i);
+        i += 1;
+    }
+    sum
+}
+
+#[requires(ptr + len <= vlen(mem))]
+fn write_region(mem: RVec<i32>, ptr: usize, len: usize, value: i32) {
+    let mut i = 0;
+    while i < len {
+        invariant!(i >= 0);
+        invariant!(ptr + len <= vlen(mem));
+        mem[ptr + i] = value;
+        i += 1;
+    }
+}
+
+#[requires(idx < vlen(fds))]
+fn lookup_fd(fds: RVec<i32>, idx: usize) -> i32 {
+    fds.get(idx)
+}
+
+fn checked_lookup_fd(fds: RVec<i32>, idx: usize) -> i32 {
+    if idx < fds.len() {
+        lookup_fd(fds, idx)
+    } else {
+        0 - 1
+    }
+}
+
+fn resolve_path(mem: RVec<i32>, parts: RVec<i32>) -> usize {
+    let mut depth = 0;
+    let mut i = 0;
+    while i < parts.len() {
+        invariant!(i >= 0);
+        invariant!(depth >= 0);
+        let part = parts.get(i);
+        if part == 0 {
+            if depth > 0 {
+                depth -= 1;
+            }
+        } else {
+            depth += 1;
+        }
+        i += 1;
+    }
+    depth
+}
+"#;
+
+/// The refined vector "library" interface (counted as trusted spec lines in
+/// Table 1, mirroring Fig. 3 of the paper).
+pub const RVEC_LIBRARY_FLUX: &str = r#"
+#[flux::trusted]
+#[flux::sig(fn(v: &RVec<i32>[@n]) -> usize[n])]
+fn rvec_len(v: &RVec<i32>) -> usize { v.len() }
+
+#[flux::trusted]
+#[flux::sig(fn(v: &RVec<i32>[@n], usize{i: i < n}) -> i32)]
+fn rvec_get(v: &RVec<i32>, i: usize) -> i32 { v.get(i) }
+
+#[flux::trusted]
+#[flux::sig(fn(v: &strg RVec<i32>[@n], i32) ensures *v: RVec<i32>[n + 1])]
+fn rvec_push(v: &mut RVec<i32>, x: i32) { v.push(x); }
+
+#[flux::trusted]
+#[flux::sig(fn(v: &mut RVec<i32>[@n], usize{i: i < n}, i32)]
+fn rvec_store(v: &mut RVec<i32>, i: usize, x: i32) { v[i] = x; }
+"#;
+
+/// The Prusti-style specification of the same library (quantified
+/// postconditions, as in Fig. 11 of the paper).
+pub const RVEC_LIBRARY_BASELINE: &str = r#"
+#[trusted]
+#[ensures(result == vlen(v))]
+fn rvec_len(v: RVec<i32>) -> usize { v.len() }
+
+#[trusted]
+#[requires(i < vlen(v))]
+#[ensures(result == sel(v, i))]
+fn rvec_get(v: RVec<i32>, i: usize) -> i32 { v.get(i) }
+
+#[trusted]
+#[ensures(vlen(v) == old_len + 1)]
+#[ensures(forall k . 0 <= k && k < old_len ==> sel(v, k) == old_sel_k)]
+fn rvec_push(v: RVec<i32>, x: i32, old_len: usize, old_sel_k: i32) { v.push(x); }
+
+#[trusted]
+#[requires(i < vlen(v))]
+#[ensures(vlen(v) == old_len)]
+#[ensures(forall k . 0 <= k && k < vlen(v) && k != i ==> sel(v, k) == old_sel_k)]
+#[ensures(sel(v, i) == x)]
+fn rvec_store(v: RVec<i32>, i: usize, x: i32, old_len: usize, old_sel_k: i32) { v[i] = x; }
+"#;

@@ -1,0 +1,477 @@
+//! The abstract syntax tree of the surface language.
+//!
+//! Programs are Rust-subset functions optionally annotated with
+//!
+//! * `#[flux::sig(...)]` refined signatures (checked by the Flux pipeline),
+//! * `#[requires(...)]` / `#[ensures(...)]` contracts and `invariant!(...)`
+//!   loop annotations (used by the program-logic baseline), and
+//! * `#[flux::trusted]`, marking library functions whose bodies are not
+//!   verified.
+//!
+//! Refinement predicates inside annotations are parsed directly into
+//! [`flux_logic::Expr`].
+
+use crate::span::Span;
+use flux_logic::Expr as Pred;
+
+/// A whole source file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// The functions, in source order.
+    pub functions: Vec<FnDef>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&FnDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Declared Rust return type.
+    pub ret: RustTy,
+    /// The body.
+    pub body: Block,
+    /// The Flux refined signature, if any.
+    pub flux_sig: Option<FluxSig>,
+    /// Baseline preconditions.
+    pub requires: Vec<Pred>,
+    /// Baseline postconditions (may mention `result`).
+    pub ensures: Vec<Pred>,
+    /// True if the body is trusted (not verified).
+    pub trusted: bool,
+    /// Source span of the whole definition.
+    pub span: Span,
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared Rust type.
+    pub ty: RustTy,
+    /// Whether the binding is `mut`.
+    pub mutable: bool,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A (surface) Rust type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RustTy {
+    /// `i32`, `i64`, `isize` — signed integers (all modelled as `int`).
+    Int,
+    /// `usize`, `u32`, `u64` — unsigned integers.
+    Uint,
+    /// `bool`.
+    Bool,
+    /// `f32` / `f64`.
+    Float,
+    /// `()`.
+    Unit,
+    /// `RVec<T>`.
+    RVec(Box<RustTy>),
+    /// `RMat<T>`.
+    RMat(Box<RustTy>),
+    /// `&T` or `&mut T`.
+    Ref(Mutability, Box<RustTy>),
+}
+
+impl RustTy {
+    /// True for the integer types (signed or unsigned).
+    pub fn is_integral(&self) -> bool {
+        matches!(self, RustTy::Int | RustTy::Uint)
+    }
+}
+
+/// Mutability of a reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutability {
+    /// `&T`.
+    Shared,
+    /// `&mut T`.
+    Mutable,
+}
+
+/// A block: statements followed by an optional tail expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// The statements.
+    pub stmts: Vec<Stmt>,
+    /// The value of the block, if any.
+    pub tail: Option<Box<Expr>>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Compound assignment operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    AddAssign,
+    /// `-=`
+    SubAssign,
+    /// `*=`
+    MulAssign,
+    /// `/=`
+    DivAssign,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `let [mut] name [: ty] = init;`
+    Let {
+        /// Bound variable.
+        name: String,
+        /// Whether declared `mut`.
+        mutable: bool,
+        /// Optional type ascription.
+        ty: Option<RustTy>,
+        /// Initialiser.
+        init: Expr,
+        /// Span.
+        span: Span,
+    },
+    /// `place op= value;`
+    Assign {
+        /// The place being assigned (variable, deref, or index expression).
+        place: Expr,
+        /// The operator.
+        op: AssignOp,
+        /// The assigned value.
+        value: Expr,
+        /// Span.
+        span: Span,
+    },
+    /// `while cond { ... }` with optional baseline `invariant!(...)`
+    /// annotations written at the top of the body.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Baseline loop invariants (empty under Flux).
+        invariants: Vec<Pred>,
+        /// Loop body.
+        body: Block,
+        /// Span.
+        span: Span,
+    },
+    /// `return [expr];`
+    Return {
+        /// Returned value.
+        value: Option<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// `assert!(cond);` — checked statically by both verifiers.
+    Assert {
+        /// Asserted condition (a program expression of type `bool`).
+        cond: Expr,
+        /// Span.
+        span: Span,
+    },
+    /// An expression statement (including `if` statements and calls).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Span.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The span of this statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Let { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::Assert { span, .. }
+            | Stmt::Expr { span, .. } => *span,
+        }
+    }
+}
+
+/// Binary operators of the surface expression language.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOpKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOpKind {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i128, Span),
+    /// Float literal.
+    Float(f64, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// Variable reference.
+    Var(String, Span),
+    /// Unary operation.
+    Unary(UnOpKind, Box<Expr>, Span),
+    /// Binary operation.
+    Binary(BinOpKind, Box<Expr>, Box<Expr>, Span),
+    /// Free function call, e.g. `abs(x)` or `RVec::new()` (the callee is the
+    /// full path).
+    Call {
+        /// Callee name (possibly a path like `RVec::new`).
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// Method call, e.g. `v.len()`, `v.push(x)`, `v.get_mut(i)`.
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments (excluding the receiver).
+        args: Vec<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// Index sugar `v[i]`, desugared by lowering to `get`/`set`.
+    Index {
+        /// The indexed container.
+        recv: Box<Expr>,
+        /// The index.
+        index: Box<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// `&x` or `&mut x`.
+    Borrow {
+        /// Mutability of the borrow.
+        mutability: Mutability,
+        /// The borrowed place.
+        place: Box<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// `*x`.
+    Deref(Box<Expr>, Span),
+    /// `if cond { then } else { els }`; the `else` branch is optional for
+    /// statement-position `if`s.
+    If {
+        /// The condition.
+        cond: Box<Expr>,
+        /// The then branch.
+        then: Block,
+        /// The else branch.
+        els: Option<Block>,
+        /// Span.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The span of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s)
+            | Expr::Float(_, s)
+            | Expr::Bool(_, s)
+            | Expr::Var(_, s)
+            | Expr::Unary(_, _, s)
+            | Expr::Binary(_, _, _, s)
+            | Expr::Call { span: s, .. }
+            | Expr::MethodCall { span: s, .. }
+            | Expr::Index { span: s, .. }
+            | Expr::Borrow { span: s, .. }
+            | Expr::Deref(_, s)
+            | Expr::If { span: s, .. } => *s,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flux signatures
+// ---------------------------------------------------------------------------
+
+/// Reference kinds in Flux signatures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefKind {
+    /// `&T`
+    Shared,
+    /// `&mut T`
+    Mut,
+    /// `&strg T`
+    Strg,
+}
+
+/// A refinement index argument in a signature, e.g. the `@n` or `n + 1` in
+/// `i32[@n]` / `i32[n + 1]`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IndexArg {
+    /// `@x`: binds a refinement parameter.
+    Bind(String),
+    /// An index expression over previously bound refinement parameters.
+    Expr(Pred),
+}
+
+/// The refinement attached to a base type in a signature.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RefinementAnnot {
+    /// `B[e₁, …, eₙ]`
+    Indices(Vec<IndexArg>),
+    /// `B{v: p}`
+    Exists {
+        /// The bound value variable.
+        binder: String,
+        /// The constraining predicate.
+        pred: Pred,
+    },
+}
+
+/// A refined type annotation as written in a `#[flux::sig(...)]` attribute.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RTyAnnot {
+    /// A (possibly generic) base type with an optional refinement, e.g.
+    /// `i32[@n]`, `RVec<f32>[n]`, `nat`, `bool`.
+    Base {
+        /// The base type name (`i32`, `usize`, `bool`, `f32`, `RVec`,
+        /// `RMat`, or an alias like `nat`).
+        base: String,
+        /// Generic arguments (element types for `RVec`/`RMat`).
+        args: Vec<RTyAnnot>,
+        /// The refinement, if any.
+        refinement: Option<RefinementAnnot>,
+    },
+    /// A reference type.
+    Ref {
+        /// The reference kind.
+        kind: RefKind,
+        /// The referent.
+        inner: Box<RTyAnnot>,
+    },
+}
+
+/// One parameter of a Flux signature.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SigParam {
+    /// Optional parameter name (required when the parameter is referred to
+    /// in an `ensures` clause).
+    pub name: Option<String>,
+    /// The refined type.
+    pub ty: RTyAnnot,
+}
+
+/// An `ensures` clause `*name: ty` describing the updated type of a strong
+/// reference after the call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnsuresClause {
+    /// The parameter whose referent is updated.
+    pub param: String,
+    /// The updated type.
+    pub ty: RTyAnnot,
+}
+
+/// A parsed `#[flux::sig(fn(...) -> ... ensures ...)]` attribute.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FluxSig {
+    /// Parameter types.
+    pub params: Vec<SigParam>,
+    /// Return type (`None` means unit).
+    pub ret: Option<RTyAnnot>,
+    /// Strong-reference update clauses.
+    pub ensures: Vec<EnsuresClause>,
+    /// Span of the attribute.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_lookup_by_name() {
+        let f = FnDef {
+            name: "foo".into(),
+            params: vec![],
+            ret: RustTy::Unit,
+            body: Block {
+                stmts: vec![],
+                tail: None,
+                span: Span::dummy(),
+            },
+            flux_sig: None,
+            requires: vec![],
+            ensures: vec![],
+            trusted: false,
+            span: Span::dummy(),
+        };
+        let p = Program {
+            functions: vec![f],
+        };
+        assert!(p.function("foo").is_some());
+        assert!(p.function("bar").is_none());
+    }
+
+    #[test]
+    fn rust_ty_integrality() {
+        assert!(RustTy::Int.is_integral());
+        assert!(RustTy::Uint.is_integral());
+        assert!(!RustTy::Bool.is_integral());
+        assert!(!RustTy::RVec(Box::new(RustTy::Int)).is_integral());
+    }
+
+    #[test]
+    fn expr_and_stmt_spans() {
+        let e = Expr::Int(3, Span::new(5, 6));
+        assert_eq!(e.span(), Span::new(5, 6));
+        let s = Stmt::Return {
+            value: None,
+            span: Span::new(1, 8),
+        };
+        assert_eq!(s.span(), Span::new(1, 8));
+    }
+}

@@ -1,0 +1,416 @@
+//! The lexer for the surface language.
+//!
+//! The surface language is a Rust subset (functions, `let`, `while`, `if`,
+//! references, method calls on the refined containers) extended with
+//! attribute syntax for Flux signatures and for the program-logic baseline's
+//! specifications.
+
+use crate::span::{Diagnostic, Span};
+use std::fmt;
+
+/// A token kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal.
+    Int(i128),
+    /// A floating point literal.
+    Float(f64),
+    /// A string literal (used only inside attributes, e.g. messages).
+    Str(String),
+
+    // Punctuation.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `.`
+    Dot,
+    /// `#`
+    Hash,
+    /// `@`
+    At,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `!`
+    Bang,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `+=`
+    PlusEq,
+    /// `-`
+    Minus,
+    /// `-=`
+    MinusEq,
+    /// `*`
+    Star,
+    /// `*=`
+    StarEq,
+    /// `/`
+    Slash,
+    /// `/=`
+    SlashEq,
+    /// `%`
+    Percent,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// `==>` (Prusti-style implication inside specifications)
+    LongArrow,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(i) => write!(f, "`{i}`"),
+            Tok::Float(x) => write!(f, "`{x}`"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            other => {
+                let s = match other {
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Comma => ",",
+                    Tok::Semi => ";",
+                    Tok::Colon => ":",
+                    Tok::ColonColon => "::",
+                    Tok::Dot => ".",
+                    Tok::Hash => "#",
+                    Tok::At => "@",
+                    Tok::Amp => "&",
+                    Tok::AmpAmp => "&&",
+                    Tok::Pipe => "|",
+                    Tok::PipePipe => "||",
+                    Tok::Bang => "!",
+                    Tok::Eq => "=",
+                    Tok::EqEq => "==",
+                    Tok::NotEq => "!=",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::Plus => "+",
+                    Tok::PlusEq => "+=",
+                    Tok::Minus => "-",
+                    Tok::MinusEq => "-=",
+                    Tok::Star => "*",
+                    Tok::StarEq => "*=",
+                    Tok::Slash => "/",
+                    Tok::SlashEq => "/=",
+                    Tok::Percent => "%",
+                    Tok::Arrow => "->",
+                    Tok::FatArrow => "=>",
+                    Tok::LongArrow => "==>",
+                    Tok::Eof => "<eof>",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// Its location.
+    pub span: Span,
+}
+
+/// Lexes `source` into a token stream (terminated by [`Tok::Eof`]).
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                i += 1;
+                let str_start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(Diagnostic::error(
+                        "unterminated string literal",
+                        Span::new(start, i),
+                    ));
+                }
+                let text = source[str_start..i].to_owned();
+                i += 1;
+                tokens.push(Token {
+                    tok: Tok::Str(text),
+                    span: Span::new(start, i),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && (bytes[i + 1] as char).is_ascii_digit();
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &source[start..i];
+                    let value: f64 = text.parse().map_err(|_| {
+                        Diagnostic::error("invalid float literal", Span::new(start, i))
+                    })?;
+                    tokens.push(Token {
+                        tok: Tok::Float(value),
+                        span: Span::new(start, i),
+                    });
+                } else {
+                    let text = &source[start..i];
+                    let value: i128 = text.parse().map_err(|_| {
+                        Diagnostic::error("invalid integer literal", Span::new(start, i))
+                    })?;
+                    tokens.push(Token {
+                        tok: Tok::Int(value),
+                        span: Span::new(start, i),
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(source[start..i].to_owned()),
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                let (tok, len) = match (c, bytes.get(i + 1).map(|b| *b as char), bytes.get(i + 2).map(|b| *b as char)) {
+                    ('=', Some('='), Some('>')) => (Tok::LongArrow, 3),
+                    (':', Some(':'), _) => (Tok::ColonColon, 2),
+                    ('&', Some('&'), _) => (Tok::AmpAmp, 2),
+                    ('|', Some('|'), _) => (Tok::PipePipe, 2),
+                    ('=', Some('='), _) => (Tok::EqEq, 2),
+                    ('!', Some('='), _) => (Tok::NotEq, 2),
+                    ('<', Some('='), _) => (Tok::Le, 2),
+                    ('>', Some('='), _) => (Tok::Ge, 2),
+                    ('+', Some('='), _) => (Tok::PlusEq, 2),
+                    ('-', Some('='), _) => (Tok::MinusEq, 2),
+                    ('*', Some('='), _) => (Tok::StarEq, 2),
+                    ('/', Some('='), _) => (Tok::SlashEq, 2),
+                    ('-', Some('>'), _) => (Tok::Arrow, 2),
+                    ('=', Some('>'), _) => (Tok::FatArrow, 2),
+                    ('(', _, _) => (Tok::LParen, 1),
+                    (')', _, _) => (Tok::RParen, 1),
+                    ('{', _, _) => (Tok::LBrace, 1),
+                    ('}', _, _) => (Tok::RBrace, 1),
+                    ('[', _, _) => (Tok::LBracket, 1),
+                    (']', _, _) => (Tok::RBracket, 1),
+                    (',', _, _) => (Tok::Comma, 1),
+                    (';', _, _) => (Tok::Semi, 1),
+                    (':', _, _) => (Tok::Colon, 1),
+                    ('.', _, _) => (Tok::Dot, 1),
+                    ('#', _, _) => (Tok::Hash, 1),
+                    ('@', _, _) => (Tok::At, 1),
+                    ('&', _, _) => (Tok::Amp, 1),
+                    ('|', _, _) => (Tok::Pipe, 1),
+                    ('!', _, _) => (Tok::Bang, 1),
+                    ('=', _, _) => (Tok::Eq, 1),
+                    ('<', _, _) => (Tok::Lt, 1),
+                    ('>', _, _) => (Tok::Gt, 1),
+                    ('+', _, _) => (Tok::Plus, 1),
+                    ('-', _, _) => (Tok::Minus, 1),
+                    ('*', _, _) => (Tok::Star, 1),
+                    ('/', _, _) => (Tok::Slash, 1),
+                    ('%', _, _) => (Tok::Percent, 1),
+                    _ => {
+                        return Err(Diagnostic::error(
+                            format!("unexpected character `{c}`"),
+                            Span::new(start, start + 1),
+                        ))
+                    }
+                };
+                i += len;
+                tokens.push(Token {
+                    tok,
+                    span: Span::new(start, i),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(source.len(), source.len()),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_simple_function_header() {
+        let toks = kinds("fn abs(x: i32) -> i32 {");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("fn".into()),
+                Tok::Ident("abs".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::Colon,
+                Tok::Ident("i32".into()),
+                Tok::RParen,
+                Tok::Arrow,
+                Tok::Ident("i32".into()),
+                Tok::LBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(
+            kinds("<= >= == != && || += -> => ==> ::"),
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::PlusEq,
+                Tok::Arrow,
+                Tok::FatArrow,
+                Tok::LongArrow,
+                Tok::ColonColon,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 0 3.25"),
+            vec![Tok::Int(42), Tok::Int(0), Tok::Float(3.25), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        let toks = kinds("x // comment with fn keywords\ny");
+        assert_eq!(
+            toks,
+            vec![Tok::Ident("x".into()), Tok::Ident("y".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn attribute_syntax_tokens() {
+        let toks = kinds("#[flux::sig(fn(i32[@n]) -> bool[n > 0])]");
+        assert!(toks.contains(&Tok::Hash));
+        assert!(toks.contains(&Tok::At));
+        assert!(toks.contains(&Tok::ColonColon));
+        assert!(toks.contains(&Tok::LBracket));
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        assert!(lex("let x = `bad`;").is_err());
+    }
+
+    #[test]
+    fn spans_point_into_the_source() {
+        let src = "fn foo() {}";
+        let tokens = lex(src).unwrap();
+        let foo = &tokens[1];
+        assert_eq!(&src[foo.span.start..foo.span.end], "foo");
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(
+            kinds("\"hello world\""),
+            vec![Tok::Str("hello world".into()), Tok::Eof]
+        );
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn deref_and_multiplication_share_star() {
+        assert_eq!(
+            kinds("*x * y"),
+            vec![
+                Tok::Star,
+                Tok::Ident("x".into()),
+                Tok::Star,
+                Tok::Ident("y".into()),
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,1197 @@
+//! A recursive-descent parser for the surface language.
+
+use crate::ast::*;
+use crate::lexer::{lex, Tok, Token};
+use crate::span::{Diagnostic, Span};
+use flux_logic::{Expr as Pred, Name, Sort};
+
+/// Parses a complete source file.
+pub fn parse_program(source: &str) -> Result<Program, Diagnostic> {
+    let tokens = lex(source)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+    };
+    parser.program()
+}
+
+/// Parses a refinement predicate in isolation (used by tests and by tools
+/// that accept predicates on the command line).
+pub fn parse_pred(source: &str) -> Result<Pred, Diagnostic> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let pred = parser.pred()?;
+    parser.expect(Tok::Eof)?;
+    Ok(pred)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek_at(&self, offset: usize) -> &Tok {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Token, Diagnostic> {
+        if self.peek() == &tok {
+            Ok(self.bump())
+        } else {
+            Err(Diagnostic::error(
+                format!("expected {tok}, found {}", self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), Diagnostic> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                let span = self.span();
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(Diagnostic::error(
+                format!("expected identifier, found {other}"),
+                self.span(),
+            )),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn check_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<Span, Diagnostic> {
+        if self.check_keyword(kw) {
+            let span = self.span();
+            self.bump();
+            Ok(span)
+        } else {
+            Err(Diagnostic::error(
+                format!("expected `{kw}`, found {}", self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Items
+    // -----------------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, Diagnostic> {
+        let mut functions = Vec::new();
+        while self.peek() != &Tok::Eof {
+            functions.push(self.function()?);
+        }
+        Ok(Program { functions })
+    }
+
+    fn function(&mut self) -> Result<FnDef, Diagnostic> {
+        let start = self.span();
+        let mut flux_sig = None;
+        let mut requires = Vec::new();
+        let mut ensures = Vec::new();
+        let mut trusted = false;
+
+        while self.peek() == &Tok::Hash {
+            self.bump();
+            self.expect(Tok::LBracket)?;
+            let (head, head_span) = self.expect_ident()?;
+            match head.as_str() {
+                "flux" => {
+                    self.expect(Tok::ColonColon)?;
+                    let (which, which_span) = self.expect_ident()?;
+                    match which.as_str() {
+                        "sig" => {
+                            self.expect(Tok::LParen)?;
+                            let sig = self.flux_sig(head_span)?;
+                            self.expect(Tok::RParen)?;
+                            flux_sig = Some(sig);
+                        }
+                        "trusted" => trusted = true,
+                        other => {
+                            return Err(Diagnostic::error(
+                                format!("unknown flux attribute `{other}`"),
+                                which_span,
+                            ))
+                        }
+                    }
+                }
+                "requires" => {
+                    self.expect(Tok::LParen)?;
+                    requires.push(self.pred()?);
+                    self.expect(Tok::RParen)?;
+                }
+                "ensures" => {
+                    self.expect(Tok::LParen)?;
+                    ensures.push(self.pred()?);
+                    self.expect(Tok::RParen)?;
+                }
+                "trusted" => trusted = true,
+                other => {
+                    return Err(Diagnostic::error(
+                        format!("unknown attribute `{other}`"),
+                        head_span,
+                    ))
+                }
+            }
+            self.expect(Tok::RBracket)?;
+        }
+
+        self.expect_keyword("fn")?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        while self.peek() != &Tok::RParen {
+            let pstart = self.span();
+            let mutable = self.eat_keyword("mut");
+            let (pname, _) = self.expect_ident()?;
+            self.expect(Tok::Colon)?;
+            let ty = self.rust_ty()?;
+            params.push(Param {
+                name: pname,
+                ty,
+                mutable,
+                span: pstart.to(self.prev_span()),
+            });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let ret = if self.eat(&Tok::Arrow) {
+            self.rust_ty()?
+        } else {
+            RustTy::Unit
+        };
+        let body = self.block()?;
+        Ok(FnDef {
+            name,
+            params,
+            ret,
+            body,
+            flux_sig,
+            requires,
+            ensures,
+            trusted,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn rust_ty(&mut self) -> Result<RustTy, Diagnostic> {
+        if self.eat(&Tok::Amp) {
+            let mutability = if self.eat_keyword("mut") {
+                Mutability::Mutable
+            } else {
+                Mutability::Shared
+            };
+            let inner = self.rust_ty()?;
+            return Ok(RustTy::Ref(mutability, Box::new(inner)));
+        }
+        if self.eat(&Tok::LParen) {
+            self.expect(Tok::RParen)?;
+            return Ok(RustTy::Unit);
+        }
+        let (name, span) = self.expect_ident()?;
+        match name.as_str() {
+            "i8" | "i16" | "i32" | "i64" | "i128" | "isize" => Ok(RustTy::Int),
+            "u8" | "u16" | "u32" | "u64" | "u128" | "usize" => Ok(RustTy::Uint),
+            "bool" => Ok(RustTy::Bool),
+            "f32" | "f64" => Ok(RustTy::Float),
+            "RVec" => {
+                self.expect(Tok::Lt)?;
+                let inner = self.rust_ty()?;
+                self.expect(Tok::Gt)?;
+                Ok(RustTy::RVec(Box::new(inner)))
+            }
+            "RMat" => {
+                self.expect(Tok::Lt)?;
+                let inner = self.rust_ty()?;
+                self.expect(Tok::Gt)?;
+                Ok(RustTy::RMat(Box::new(inner)))
+            }
+            other => Err(Diagnostic::error(
+                format!("unknown type `{other}`"),
+                span,
+            )),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Statements and expressions
+    // -----------------------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, Diagnostic> {
+        let start = self.span();
+        self.expect(Tok::LBrace)?;
+        self.block_rest(start)
+    }
+
+    /// Parses the remainder of a block, the opening brace having been
+    /// consumed already.
+    fn block_rest(&mut self, start: Span) -> Result<Block, Diagnostic> {
+        let mut stmts = Vec::new();
+        let mut tail = None;
+        while self.peek() != &Tok::RBrace {
+            if self.peek() == &Tok::Eof {
+                return Err(Diagnostic::error("unterminated block", start));
+            }
+            match self.stmt_or_tail()? {
+                StmtOrTail::Stmt(stmt) => stmts.push(stmt),
+                StmtOrTail::Tail(expr) => {
+                    tail = Some(Box::new(expr));
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(Block {
+            stmts,
+            tail,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn stmt_or_tail(&mut self) -> Result<StmtOrTail, Diagnostic> {
+        let start = self.span();
+        // let
+        if self.check_keyword("let") {
+            self.bump();
+            let mutable = self.eat_keyword("mut");
+            let (name, _) = self.expect_ident()?;
+            let ty = if self.eat(&Tok::Colon) {
+                Some(self.rust_ty()?)
+            } else {
+                None
+            };
+            self.expect(Tok::Eq)?;
+            let init = self.expr()?;
+            self.expect(Tok::Semi)?;
+            return Ok(StmtOrTail::Stmt(Stmt::Let {
+                name,
+                mutable,
+                ty,
+                init,
+                span: start.to(self.prev_span()),
+            }));
+        }
+        // while
+        if self.check_keyword("while") {
+            self.bump();
+            let cond = self.expr()?;
+            self.expect(Tok::LBrace)?;
+            // Leading invariant!(...) annotations (baseline only).
+            let mut invariants = Vec::new();
+            while self.check_keyword("invariant") && self.peek_at(1) == &Tok::Bang {
+                self.bump(); // invariant
+                self.bump(); // !
+                self.expect(Tok::LParen)?;
+                invariants.push(self.pred()?);
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+            }
+            let body = self.block_rest(start)?;
+            return Ok(StmtOrTail::Stmt(Stmt::While {
+                cond,
+                invariants,
+                body,
+                span: start.to(self.prev_span()),
+            }));
+        }
+        // return
+        if self.check_keyword("return") {
+            self.bump();
+            let value = if self.peek() == &Tok::Semi {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect(Tok::Semi)?;
+            return Ok(StmtOrTail::Stmt(Stmt::Return {
+                value,
+                span: start.to(self.prev_span()),
+            }));
+        }
+        // assert!(expr);
+        if self.check_keyword("assert") && self.peek_at(1) == &Tok::Bang {
+            self.bump();
+            self.bump();
+            self.expect(Tok::LParen)?;
+            let cond = self.expr()?;
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::Semi)?;
+            return Ok(StmtOrTail::Stmt(Stmt::Assert {
+                cond,
+                span: start.to(self.prev_span()),
+            }));
+        }
+        // Expression, assignment, or tail expression.
+        let expr = self.expr()?;
+        let assign_op = match self.peek() {
+            Tok::Eq => Some(AssignOp::Assign),
+            Tok::PlusEq => Some(AssignOp::AddAssign),
+            Tok::MinusEq => Some(AssignOp::SubAssign),
+            Tok::StarEq => Some(AssignOp::MulAssign),
+            Tok::SlashEq => Some(AssignOp::DivAssign),
+            _ => None,
+        };
+        if let Some(op) = assign_op {
+            self.bump();
+            let value = self.expr()?;
+            self.expect(Tok::Semi)?;
+            return Ok(StmtOrTail::Stmt(Stmt::Assign {
+                place: expr,
+                op,
+                value,
+                span: start.to(self.prev_span()),
+            }));
+        }
+        if self.eat(&Tok::Semi) {
+            return Ok(StmtOrTail::Stmt(Stmt::Expr {
+                expr,
+                span: start.to(self.prev_span()),
+            }));
+        }
+        // Statement-position `if` without a trailing semicolon that is not
+        // the last expression of the block.
+        if matches!(expr, Expr::If { .. }) && self.peek() != &Tok::RBrace {
+            return Ok(StmtOrTail::Stmt(Stmt::Expr {
+                expr,
+                span: start.to(self.prev_span()),
+            }));
+        }
+        Ok(StmtOrTail::Tail(expr))
+    }
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::PipePipe {
+            self.bump();
+            let rhs = self.and_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary(BinOpKind::Or, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == &Tok::AmpAmp {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary(BinOpKind::And, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::EqEq => Some(BinOpKind::Eq),
+            Tok::NotEq => Some(BinOpKind::Ne),
+            Tok::Lt => Some(BinOpKind::Lt),
+            Tok::Le => Some(BinOpKind::Le),
+            Tok::Gt => Some(BinOpKind::Gt),
+            Tok::Ge => Some(BinOpKind::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            let span = lhs.span().to(rhs.span());
+            return Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs), span));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOpKind::Add,
+                Tok::Minus => BinOpKind::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOpKind::Mul,
+                Tok::Slash => BinOpKind::Div,
+                Tok::Percent => BinOpKind::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.span();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let inner = self.unary_expr()?;
+                let span = start.to(inner.span());
+                Ok(Expr::Unary(UnOpKind::Neg, Box::new(inner), span))
+            }
+            Tok::Bang => {
+                self.bump();
+                let inner = self.unary_expr()?;
+                let span = start.to(inner.span());
+                Ok(Expr::Unary(UnOpKind::Not, Box::new(inner), span))
+            }
+            Tok::Star => {
+                self.bump();
+                let inner = self.unary_expr()?;
+                let span = start.to(inner.span());
+                Ok(Expr::Deref(Box::new(inner), span))
+            }
+            Tok::Amp => {
+                self.bump();
+                let mutability = if self.eat_keyword("mut") {
+                    Mutability::Mutable
+                } else {
+                    Mutability::Shared
+                };
+                let inner = self.unary_expr()?;
+                let span = start.to(inner.span());
+                Ok(Expr::Borrow {
+                    mutability,
+                    place: Box::new(inner),
+                    span,
+                })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                Tok::Dot => {
+                    self.bump();
+                    let (method, _) = self.expect_ident()?;
+                    self.expect(Tok::LParen)?;
+                    let args = self.call_args()?;
+                    self.expect(Tok::RParen)?;
+                    let span = expr.span().to(self.prev_span());
+                    expr = Expr::MethodCall {
+                        recv: Box::new(expr),
+                        method,
+                        args,
+                        span,
+                    };
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let index = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    let span = expr.span().to(self.prev_span());
+                    expr = Expr::Index {
+                        recv: Box::new(expr),
+                        index: Box::new(index),
+                        span,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, Diagnostic> {
+        let mut args = Vec::new();
+        while self.peek() != &Tok::RParen {
+            args.push(self.expr()?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.span();
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Expr::Int(i, start))
+            }
+            Tok::Float(x) => {
+                self.bump();
+                Ok(Expr::Float(x, start))
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(inner)
+            }
+            Tok::Ident(name) => {
+                match name.as_str() {
+                    "true" => {
+                        self.bump();
+                        return Ok(Expr::Bool(true, start));
+                    }
+                    "false" => {
+                        self.bump();
+                        return Ok(Expr::Bool(false, start));
+                    }
+                    "if" => {
+                        return self.if_expr();
+                    }
+                    _ => {}
+                }
+                self.bump();
+                // Path like RVec::new
+                let mut path = name;
+                while self.peek() == &Tok::ColonColon {
+                    self.bump();
+                    let (segment, _) = self.expect_ident()?;
+                    path.push_str("::");
+                    path.push_str(&segment);
+                }
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    let args = self.call_args()?;
+                    self.expect(Tok::RParen)?;
+                    let span = start.to(self.prev_span());
+                    return Ok(Expr::Call {
+                        func: path,
+                        args,
+                        span,
+                    });
+                }
+                Ok(Expr::Var(path, start))
+            }
+            other => Err(Diagnostic::error(
+                format!("expected expression, found {other}"),
+                start,
+            )),
+        }
+    }
+
+    fn if_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.expect_keyword("if")?;
+        let cond = self.expr()?;
+        let then = self.block()?;
+        let els = if self.check_keyword("else") {
+            self.bump();
+            if self.check_keyword("if") {
+                let nested = self.if_expr()?;
+                let span = nested.span();
+                Some(Block {
+                    stmts: vec![],
+                    tail: Some(Box::new(nested)),
+                    span,
+                })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        let span = start.to(self.prev_span());
+        Ok(Expr::If {
+            cond: Box::new(cond),
+            then,
+            els,
+            span,
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Flux signatures
+    // -----------------------------------------------------------------
+
+    fn flux_sig(&mut self, start: Span) -> Result<FluxSig, Diagnostic> {
+        self.expect_keyword("fn")?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        while self.peek() != &Tok::RParen {
+            // Optional `name:` prefix.
+            let name = if matches!(self.peek(), Tok::Ident(_)) && self.peek_at(1) == &Tok::Colon {
+                let (n, _) = self.expect_ident()?;
+                self.expect(Tok::Colon)?;
+                Some(n)
+            } else {
+                None
+            };
+            let ty = self.rty_annot()?;
+            params.push(SigParam { name, ty });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let ret = if self.eat(&Tok::Arrow) {
+            Some(self.rty_annot()?)
+        } else {
+            None
+        };
+        let mut ensures = Vec::new();
+        if self.eat_keyword("ensures") {
+            loop {
+                self.expect(Tok::Star)?;
+                let (param, _) = self.expect_ident()?;
+                self.expect(Tok::Colon)?;
+                let ty = self.rty_annot()?;
+                ensures.push(EnsuresClause { param, ty });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(FluxSig {
+            params,
+            ret,
+            ensures,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn rty_annot(&mut self) -> Result<RTyAnnot, Diagnostic> {
+        if self.eat(&Tok::Amp) {
+            let kind = if self.eat_keyword("mut") {
+                RefKind::Mut
+            } else if self.eat_keyword("strg") {
+                RefKind::Strg
+            } else if self.eat_keyword("shr") {
+                RefKind::Shared
+            } else {
+                RefKind::Shared
+            };
+            let inner = self.rty_annot()?;
+            return Ok(RTyAnnot::Ref {
+                kind,
+                inner: Box::new(inner),
+            });
+        }
+        let (base, _) = self.expect_ident()?;
+        // Generic arguments.
+        let mut args = Vec::new();
+        if matches!(base.as_str(), "RVec" | "RMat") && self.eat(&Tok::Lt) {
+            loop {
+                args.push(self.rty_annot()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::Gt)?;
+        }
+        // Refinement.
+        let refinement = if self.eat(&Tok::LBracket) {
+            let mut indices = Vec::new();
+            while self.peek() != &Tok::RBracket {
+                if self.eat(&Tok::At) {
+                    let (name, _) = self.expect_ident()?;
+                    indices.push(IndexArg::Bind(name));
+                } else {
+                    indices.push(IndexArg::Expr(self.pred()?));
+                }
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RBracket)?;
+            Some(RefinementAnnot::Indices(indices))
+        } else if self.eat(&Tok::LBrace) {
+            let (binder, _) = self.expect_ident()?;
+            self.expect(Tok::Colon)?;
+            let pred = self.pred()?;
+            self.expect(Tok::RBrace)?;
+            Some(RefinementAnnot::Exists { binder, pred })
+        } else {
+            None
+        };
+        Ok(RTyAnnot::Base {
+            base,
+            args,
+            refinement,
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Refinement predicates
+    // -----------------------------------------------------------------
+
+    fn pred(&mut self) -> Result<Pred, Diagnostic> {
+        self.pred_imp()
+    }
+
+    fn pred_imp(&mut self) -> Result<Pred, Diagnostic> {
+        let lhs = self.pred_or()?;
+        if self.peek() == &Tok::FatArrow || self.peek() == &Tok::LongArrow {
+            self.bump();
+            let rhs = self.pred_imp()?;
+            return Ok(Pred::imp(lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn pred_or(&mut self) -> Result<Pred, Diagnostic> {
+        let mut lhs = self.pred_and()?;
+        while self.peek() == &Tok::PipePipe {
+            self.bump();
+            let rhs = self.pred_and()?;
+            lhs = Pred::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn pred_and(&mut self) -> Result<Pred, Diagnostic> {
+        let mut lhs = self.pred_cmp()?;
+        while self.peek() == &Tok::AmpAmp {
+            self.bump();
+            let rhs = self.pred_cmp()?;
+            lhs = Pred::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn pred_cmp(&mut self) -> Result<Pred, Diagnostic> {
+        let lhs = self.pred_add()?;
+        let op = match self.peek() {
+            Tok::EqEq | Tok::Eq => Some(flux_logic::BinOp::Eq),
+            Tok::NotEq => Some(flux_logic::BinOp::Ne),
+            Tok::Lt => Some(flux_logic::BinOp::Lt),
+            Tok::Le => Some(flux_logic::BinOp::Le),
+            Tok::Gt => Some(flux_logic::BinOp::Gt),
+            Tok::Ge => Some(flux_logic::BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.pred_add()?;
+            return Ok(Pred::binop(op, lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn pred_add(&mut self) -> Result<Pred, Diagnostic> {
+        let mut lhs = self.pred_mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => flux_logic::BinOp::Add,
+                Tok::Minus => flux_logic::BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.pred_mul()?;
+            lhs = Pred::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn pred_mul(&mut self) -> Result<Pred, Diagnostic> {
+        let mut lhs = self.pred_unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => flux_logic::BinOp::Mul,
+                Tok::Slash => flux_logic::BinOp::Div,
+                Tok::Percent => flux_logic::BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.pred_unary()?;
+            lhs = Pred::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn pred_unary(&mut self) -> Result<Pred, Diagnostic> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Pred::neg(self.pred_unary()?))
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(Pred::not(self.pred_unary()?))
+            }
+            _ => self.pred_primary(),
+        }
+    }
+
+    fn pred_primary(&mut self) -> Result<Pred, Diagnostic> {
+        let start = self.span();
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Pred::int(i))
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.pred()?;
+                self.expect(Tok::RParen)?;
+                Ok(inner)
+            }
+            Tok::Ident(name) => {
+                match name.as_str() {
+                    "true" => {
+                        self.bump();
+                        return Ok(Pred::tt());
+                    }
+                    "false" => {
+                        self.bump();
+                        return Ok(Pred::ff());
+                    }
+                    "forall" | "exists" => {
+                        self.bump();
+                        let mut binders = Vec::new();
+                        loop {
+                            let (binder, _) = self.expect_ident()?;
+                            binders.push((Name::intern(&binder), Sort::Int));
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(Tok::Dot)?;
+                        let body = self.pred()?;
+                        return Ok(if name == "forall" {
+                            Pred::forall(binders, body)
+                        } else {
+                            Pred::exists(binders, body)
+                        });
+                    }
+                    _ => {}
+                }
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    while self.peek() != &Tok::RParen {
+                        args.push(self.pred()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    return Ok(Pred::app(Name::intern(&name), args));
+                }
+                Ok(Pred::var(Name::intern(&name)))
+            }
+            other => Err(Diagnostic::error(
+                format!("expected refinement expression, found {other}"),
+                start,
+            )),
+        }
+    }
+}
+
+enum StmtOrTail {
+    Stmt(Stmt),
+    Tail(Expr),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_is_pos_from_the_paper() {
+        let src = r#"
+            #[flux::sig(fn(i32[@n]) -> bool[n > 0])]
+            fn is_pos(n: i32) -> bool {
+                if n > 0 { true } else { false }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        assert_eq!(program.functions.len(), 1);
+        let f = &program.functions[0];
+        assert_eq!(f.name, "is_pos");
+        let sig = f.flux_sig.as_ref().unwrap();
+        assert_eq!(sig.params.len(), 1);
+        assert!(sig.ret.is_some());
+        assert!(matches!(f.body.tail.as_deref(), Some(Expr::If { .. })));
+    }
+
+    #[test]
+    fn parses_abs_with_existential_return() {
+        let src = r#"
+            #[flux::sig(fn(i32[@x]) -> i32{v: v >= x && v >= 0})]
+            fn abs(x: i32) -> i32 {
+                if x < 0 { -x } else { x }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let sig = program.functions[0].flux_sig.as_ref().unwrap();
+        match sig.ret.as_ref().unwrap() {
+            RTyAnnot::Base { refinement: Some(RefinementAnnot::Exists { binder, .. }), .. } => {
+                assert_eq!(binder, "v");
+            }
+            other => panic!("expected existential return, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_strong_reference_signature_with_ensures() {
+        let src = r#"
+            #[flux::sig(fn(x: &strg i32[@n]) ensures *x: i32[n + 1])]
+            fn incr(x: &mut i32) {
+                *x += 1;
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let f = &program.functions[0];
+        let sig = f.flux_sig.as_ref().unwrap();
+        assert_eq!(sig.ensures.len(), 1);
+        assert_eq!(sig.ensures[0].param, "x");
+        match &sig.params[0].ty {
+            RTyAnnot::Ref { kind: RefKind::Strg, .. } => {}
+            other => panic!("expected strong reference, got {other:?}"),
+        }
+        // The body is `*x += 1;`
+        assert!(matches!(
+            &f.body.stmts[0],
+            Stmt::Assign { op: AssignOp::AddAssign, place: Expr::Deref(..), .. }
+        ));
+    }
+
+    #[test]
+    fn parses_while_loop_with_method_calls() {
+        let src = r#"
+            #[flux::sig(fn(usize[@n]) -> RVec<f32>[n])]
+            fn init_zeros(n: usize) -> RVec<f32> {
+                let mut vec = RVec::new();
+                let mut i = 0;
+                while i < n {
+                    vec.push(0.0);
+                    i += 1;
+                }
+                vec
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let f = &program.functions[0];
+        assert_eq!(f.body.stmts.len(), 3);
+        match &f.body.stmts[2] {
+            Stmt::While { cond, body, invariants, .. } => {
+                assert!(invariants.is_empty());
+                assert!(matches!(cond, Expr::Binary(BinOpKind::Lt, ..)));
+                assert_eq!(body.stmts.len(), 2);
+            }
+            other => panic!("expected while, got {other:?}"),
+        }
+        assert!(matches!(f.body.tail.as_deref(), Some(Expr::Var(name, _)) if name == "vec"));
+    }
+
+    #[test]
+    fn parses_baseline_annotations() {
+        let src = r#"
+            #[requires(n > 0)]
+            #[ensures(result >= 0)]
+            fn sum_upto(n: usize) -> usize {
+                let mut i = 0;
+                let mut total = 0;
+                while i < n {
+                    invariant!(i <= n);
+                    invariant!(total >= 0);
+                    total = total + i;
+                    i += 1;
+                }
+                total
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let f = &program.functions[0];
+        assert_eq!(f.requires.len(), 1);
+        assert_eq!(f.ensures.len(), 1);
+        match &f.body.stmts[2] {
+            Stmt::While { invariants, body, .. } => {
+                assert_eq!(invariants.len(), 2);
+                assert_eq!(body.stmts.len(), 2);
+            }
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_generics_in_signatures() {
+        let src = r#"
+            #[flux::sig(fn(usize[@n], cs: &mut RVec<RVec<f32>[n]>[@k], ws: &RVec<usize>[k]))]
+            fn normalize_centers(n: usize, cs: &mut RVec<RVec<f32>>, ws: &RVec<usize>) {
+                let mut i = 0;
+                while i < cs.len() {
+                    normal(cs.get_mut(i), ws.get(i));
+                    i += 1;
+                }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let sig = program.functions[0].flux_sig.as_ref().unwrap();
+        assert_eq!(sig.params.len(), 3);
+        match &sig.params[1].ty {
+            RTyAnnot::Ref { kind: RefKind::Mut, inner } => match inner.as_ref() {
+                RTyAnnot::Base { base, args, .. } => {
+                    assert_eq!(base, "RVec");
+                    assert_eq!(args.len(), 1);
+                }
+                other => panic!("expected base, got {other:?}"),
+            },
+            other => panic!("expected mutable reference, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_indexing_sugar_and_assignment() {
+        let src = r#"
+            fn set_zero(v: &mut RVec<i32>, i: usize) {
+                v[i] = 0;
+                let x = v[i];
+                assert!(x == 0);
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let f = &program.functions[0];
+        assert!(matches!(
+            &f.body.stmts[0],
+            Stmt::Assign { place: Expr::Index { .. }, .. }
+        ));
+        assert!(matches!(&f.body.stmts[2], Stmt::Assert { .. }));
+    }
+
+    #[test]
+    fn parses_else_if_chains() {
+        let src = r#"
+            fn sign(x: i32) -> i32 {
+                if x > 0 { 1 } else if x < 0 { -1 } else { 0 }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        match program.functions[0].body.tail.as_deref() {
+            Some(Expr::If { els: Some(els), .. }) => {
+                assert!(matches!(els.tail.as_deref(), Some(Expr::If { .. })));
+            }
+            other => panic!("expected if/else-if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let src = "fn broken( { }";
+        let err = parse_program(src).unwrap_err();
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn parses_quantified_spec_predicates() {
+        let pred = parse_pred("forall k . 0 <= k && k < vlen(t) ==> sel(t, k) < i").unwrap();
+        assert!(pred.has_quantifier());
+        let printed = format!("{pred}");
+        assert!(printed.contains("sel(t, k)"));
+    }
+
+    #[test]
+    fn parses_trusted_attribute() {
+        let src = r#"
+            #[flux::trusted]
+            fn magic() -> i32 { 0 }
+        "#;
+        let program = parse_program(src).unwrap();
+        assert!(program.functions[0].trusted);
+    }
+
+    #[test]
+    fn return_statements_and_unit_functions() {
+        let src = r#"
+            fn clamp(x: i32, lo: i32, hi: i32) -> i32 {
+                if x < lo {
+                    return lo;
+                }
+                if x > hi {
+                    return hi;
+                }
+                x
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let f = &program.functions[0];
+        assert_eq!(f.body.stmts.len(), 2);
+        assert!(f.body.tail.is_some());
+    }
+
+    #[test]
+    fn call_and_path_expressions() {
+        let src = r#"
+            fn caller(n: usize) -> usize {
+                let v = RVec::new();
+                let m = helper(n, 2);
+                m
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let f = &program.functions[0];
+        match &f.body.stmts[0] {
+            Stmt::Let { init: Expr::Call { func, .. }, .. } => assert_eq!(func, "RVec::new"),
+            other => panic!("expected call, got {other:?}"),
+        }
+        match &f.body.stmts[1] {
+            Stmt::Let { init: Expr::Call { func, args, .. }, .. } => {
+                assert_eq!(func, "helper");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+}

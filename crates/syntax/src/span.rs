@@ -1,0 +1,150 @@
+//! Source locations and diagnostics.
+
+use std::fmt;
+
+/// A byte range in a source file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span from byte offsets.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-width placeholder span.
+    pub fn dummy() -> Span {
+        Span { start: 0, end: 0 }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Computes the 1-based line and column of the span start in `source`.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, c) in source.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// Severity of a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// A hard error.
+    Error,
+    /// A warning.
+    Warning,
+}
+
+/// A diagnostic message attached to a source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How severe the problem is.
+    pub severity: Severity,
+    /// The message text.
+    pub message: String,
+    /// Where the problem is.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic against its source text, quoting the offending
+    /// line.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        let line_text = source.lines().nth(line - 1).unwrap_or("");
+        let kind = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        format!(
+            "{kind}: {}\n  --> line {line}, column {col}\n   | {line_text}\n",
+            self.message
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_union() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_and_column_are_one_based() {
+        let src = "fn main() {\n    let x = 1;\n}\n";
+        let span = Span::new(src.find("let").unwrap(), src.find("let").unwrap() + 3);
+        assert_eq!(span.line_col(src), (2, 5));
+    }
+
+    #[test]
+    fn diagnostics_render_the_offending_line() {
+        let src = "fn f() {\n    boom();\n}\n";
+        let start = src.find("boom").unwrap();
+        let d = Diagnostic::error("unknown function `boom`", Span::new(start, start + 4));
+        let rendered = d.render(src);
+        assert!(rendered.contains("unknown function"));
+        assert!(rendered.contains("boom();"));
+        assert!(rendered.contains("line 2"));
+    }
+
+    #[test]
+    fn display_prefixes_severity() {
+        let d = Diagnostic::warning("shadowed binding", Span::dummy());
+        assert_eq!(d.to_string(), "warning: shadowed binding");
+    }
+}

@@ -1,0 +1,22 @@
+//! The k-means fragments from §2.3 of the paper: vectors indexed by their
+//! length, a collection of centres as a vector of vectors, and quantified
+//! invariants obtained for free from polymorphism.
+//!
+//! Run with: `cargo run --example kmeans`
+
+fn main() {
+    let benchmark = flux::benchmark("kmeans").expect("kmeans is part of the suite");
+    let config = flux::VerifyConfig::default();
+    let row = flux::run_benchmark(&benchmark, &config);
+
+    println!("== kmeans under Flux ==");
+    println!("  LOC {}  spec lines {}  invariant lines {}  time {:?}  safe {}",
+        row.flux.loc, row.flux.spec_lines, row.flux.annot_lines, row.flux.time, row.flux.safe);
+    println!("== kmeans under the program-logic baseline ==");
+    println!("  LOC {}  spec lines {}  invariant lines {}  time {:?}  safe {}",
+        row.baseline.loc, row.baseline.spec_lines, row.baseline.annot_lines,
+        row.baseline.time, row.baseline.safe);
+    println!("baseline annotation overhead: {}% of LOC", row.baseline_annot_percent());
+    assert!(row.flux.safe);
+    assert_eq!(row.flux.annot_lines, 0);
+}

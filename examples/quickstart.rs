@@ -1,0 +1,49 @@
+//! Quickstart: verify the paper's introductory examples (Fig. 1 and Fig. 2)
+//! with the Flux pipeline and print the per-function results.
+//!
+//! Run with: `cargo run --example quickstart`
+
+const SRC: &str = r#"
+#[flux::sig(fn(i32[@n]) -> bool[n > 0])]
+fn is_pos(n: i32) -> bool {
+    if n > 0 { true } else { false }
+}
+
+#[flux::sig(fn(i32[@x]) -> i32{v: v >= x && v >= 0})]
+fn abs(x: i32) -> i32 {
+    if x < 0 { -x } else { x }
+}
+
+#[flux::sig(fn(x: &mut nat))]
+fn decr(x: &mut i32) {
+    let y = *x;
+    if y > 0 {
+        *x = y - 1;
+    }
+}
+
+#[flux::sig(fn(x: &strg i32[@n]) ensures *x: i32[n + 1])]
+fn incr(x: &mut i32) {
+    *x += 1;
+}
+
+#[flux::sig(fn() -> i32[2])]
+fn use_incr() -> i32 {
+    let mut x = 1;
+    incr(&mut x);
+    x
+}
+"#;
+
+fn main() {
+    let outcome = flux::verify_source(SRC, flux::Mode::Flux, &flux::VerifyConfig::default())
+        .expect("the quickstart program is well-formed");
+    println!("functions verified : {}", outcome.functions);
+    println!("safe               : {}", outcome.safe);
+    println!("verification time  : {:?}", outcome.time);
+    println!("loop invariants    : {} (liquid inference needs none)", outcome.annot_lines);
+    for error in &outcome.errors {
+        println!("{error}");
+    }
+    assert!(outcome.safe);
+}

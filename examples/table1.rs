@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 1 from the examples directory (the same
+//! harness as `cargo run -p flux-bench --bin table1`).
+//!
+//! Run with: `cargo run --release --example table1`
+
+fn main() {
+    let rows = flux::run_table1(&flux::VerifyConfig::default());
+    println!("{}", flux::render_table1(&rows));
+}

@@ -1,0 +1,13 @@
+//! Workspace umbrella crate for the Flux reproduction.
+//!
+//! All functionality lives in the member crates; this crate re-exports the
+//! top-level `flux` API so the examples and integration tests in this
+//! repository have a single import path.  See `README.md` for an overview
+//! and `DESIGN.md` for the crate map.
+
+#![warn(missing_docs)]
+
+pub use flux::{
+    benchmark, benchmarks, library, render_table1, run_benchmark, run_table1, verify_source,
+    Benchmark, Mode, TableRow, VerifyConfig, VerifyOutcome,
+};

@@ -1,0 +1,91 @@
+//! Integration tests spanning the whole pipeline: the worked examples from
+//! §2 of the paper, checked through the public `flux` API.
+
+use flux::{verify_source, Mode, VerifyConfig};
+
+fn flux_safe(src: &str) -> bool {
+    verify_source(src, Mode::Flux, &VerifyConfig::default())
+        .expect("program should be well-formed")
+        .safe
+}
+
+#[test]
+fn figure1_examples_verify() {
+    assert!(flux_safe(
+        r#"
+        #[flux::sig(fn(i32[@n]) -> bool[n > 0])]
+        fn is_pos(n: i32) -> bool {
+            if n > 0 { true } else { false }
+        }
+
+        #[flux::sig(fn(i32[@x]) -> i32{v: v >= x && v >= 0})]
+        fn abs(x: i32) -> i32 {
+            if x < 0 { -x } else { x }
+        }
+        "#,
+    ));
+}
+
+#[test]
+fn figure2_ownership_examples_verify() {
+    assert!(flux_safe(
+        r#"
+        #[flux::sig(fn(x: &mut nat))]
+        fn decr(x: &mut i32) {
+            let y = *x;
+            if y > 0 {
+                *x = y - 1;
+            }
+        }
+
+        #[flux::sig(fn(x: &strg i32[@n]) ensures *x: i32[n + 1])]
+        fn incr(x: &mut i32) {
+            *x += 1;
+        }
+
+        #[flux::sig(fn() -> i32[2])]
+        fn use_incr() -> i32 {
+            let mut x = 1;
+            incr(&mut x);
+            x
+        }
+        "#,
+    ));
+}
+
+#[test]
+fn figure4_init_zeros_verifies_without_invariants() {
+    let src = r#"
+        #[flux::sig(fn(usize[@n]) -> RVec<f32>[n])]
+        fn init_zeros(n: usize) -> RVec<f32> {
+            let mut vec: RVec<f32> = RVec::new();
+            let mut i = 0;
+            while i < n {
+                vec.push(0.0);
+                i += 1;
+            }
+            vec
+        }
+    "#;
+    let outcome = verify_source(src, Mode::Flux, &VerifyConfig::default()).unwrap();
+    assert!(outcome.safe);
+    assert_eq!(outcome.annot_lines, 0);
+}
+
+#[test]
+fn broken_specifications_are_rejected() {
+    assert!(!flux_safe(
+        r#"
+        #[flux::sig(fn(x: &strg i32[@n]) ensures *x: i32[n + 2])]
+        fn incr(x: &mut i32) {
+            *x += 1;
+        }
+        "#,
+    ));
+    assert!(!flux_safe(
+        r#"
+        #[flux::sig(fn(v: &RVec<i32>[@n], usize) -> i32)]
+        fn read(v: &RVec<i32>, i: usize) -> i32 { v.get(i) }
+        "#,
+    ));
+}

@@ -2,11 +2,13 @@
 //!
 //! Compares constraint generation + fixpoint solving against constraint
 //! generation alone, quantifying how much of Flux's runtime is spent in the
-//! inference phase that replaces hand-written loop invariants.
+//! inference phase that replaces hand-written loop invariants.  Also
+//! compares the incremental query engine (sessions + validity cache, the
+//! default) against one-shot solving.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flux_bench::harness::{black_box, Criterion};
 use flux_check::checker::Generator;
-use flux_fixpoint::FixpointSolver;
+use flux_fixpoint::{FixConfig, FixpointSolver};
 use flux_ir::ResolvedProgram;
 use flux_logic::SortCtx;
 
@@ -22,7 +24,7 @@ fn bench_inference(c: &mut Criterion) {
             bencher.iter(|| {
                 for f in &fn_names {
                     let gen = Generator::new(&resolved).gen_function(f).unwrap();
-                    criterion::black_box(gen.constraint.num_heads());
+                    black_box(gen.constraint.num_heads());
                 }
             })
         });
@@ -31,7 +33,20 @@ fn bench_inference(c: &mut Criterion) {
                 for f in &fn_names {
                     let gen = Generator::new(&resolved).gen_function(f).unwrap();
                     let mut solver = FixpointSolver::with_defaults();
-                    criterion::black_box(solver.solve(&gen.constraint, &gen.kvars, &SortCtx::new()));
+                    black_box(solver.solve(&gen.constraint, &gen.kvars, &SortCtx::new()));
+                }
+            })
+        });
+        group.bench_function(format!("{name}/gen-plus-inference-one-shot"), |bencher| {
+            let config = FixConfig {
+                incremental: false,
+                ..FixConfig::default()
+            };
+            bencher.iter(|| {
+                for f in &fn_names {
+                    let gen = Generator::new(&resolved).gen_function(f).unwrap();
+                    let mut solver = FixpointSolver::new(config.clone());
+                    black_box(solver.solve(&gen.constraint, &gen.kvars, &SortCtx::new()));
                 }
             })
         });
@@ -39,5 +54,7 @@ fn bench_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inference);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_inference(&mut c);
+}

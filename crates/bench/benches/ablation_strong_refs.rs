@@ -4,7 +4,7 @@
 //! `&strg` signature (accepted) and with a plain `&mut` signature (rejected),
 //! measuring the cost of each check.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flux_bench::harness::Criterion;
 
 const WITH_STRG: &str = r#"
 #[flux::sig(fn(v: &strg RVec<i32>[@n], i32) ensures *v: RVec<i32>[n + 1])]
@@ -39,5 +39,7 @@ fn bench_strong_refs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_strong_refs);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_strong_refs(&mut c);
+}

@@ -1,10 +1,26 @@
 //! Micro-benchmarks of the SMT substrate: quantifier-free queries (as issued
 //! by Flux) versus quantified queries (as issued by the baseline), isolating
-//! the §5.2 explanation for the verification-time gap.
+//! the §5.2 explanation for the verification-time gap — plus a comparison of
+//! one-shot solving against the incremental [`flux_smt::Session`] path, which
+//! preprocesses and CNF-converts the shared hypotheses once per session.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flux_bench::harness::Criterion;
 use flux_logic::{Expr, Name, Sort, SortCtx};
-use flux_smt::Solver;
+use flux_smt::{Session, SmtConfig, SmtStats, Solver};
+
+fn qf_vc() -> (SortCtx, Vec<Expr>, Expr) {
+    let mut ctx = SortCtx::new();
+    ctx.push(Name::intern("i"), Sort::Int);
+    ctx.push(Name::intern("n"), Sort::Int);
+    let i = Expr::var(Name::intern("i"));
+    let n = Expr::var(Name::intern("n"));
+    let hyps = vec![
+        Expr::ge(i.clone(), Expr::int(0)),
+        Expr::lt(i.clone(), n.clone()),
+    ];
+    let goal = Expr::le(i + Expr::int(1), n);
+    (ctx, hyps, goal)
+}
 
 fn bench_smt(c: &mut Criterion) {
     let mut group = c.benchmark_group("smt");
@@ -12,16 +28,39 @@ fn bench_smt(c: &mut Criterion) {
 
     // Quantifier-free: i >= 0 && i < n  ⟹  i + 1 <= n
     group.bench_function("quantifier-free-vc", |b| {
-        let mut ctx = SortCtx::new();
-        ctx.push(Name::intern("i"), Sort::Int);
-        ctx.push(Name::intern("n"), Sort::Int);
-        let i = Expr::var(Name::intern("i"));
-        let n = Expr::var(Name::intern("n"));
-        let hyps = vec![Expr::ge(i.clone(), Expr::int(0)), Expr::lt(i.clone(), n.clone())];
-        let goal = Expr::le(i + Expr::int(1), n);
+        let (ctx, hyps, goal) = qf_vc();
         b.iter(|| {
             let mut solver = Solver::with_defaults();
             assert!(solver.check_valid_imp(&ctx, &hyps, &goal).is_valid());
+        })
+    });
+
+    // The same implication checked 32 times: one-shot rebuilds the pipeline
+    // for every query, the session preprocesses the hypotheses once.
+    group.bench_function("32-goals-one-shot", |b| {
+        let (ctx, hyps, _) = qf_vc();
+        b.iter(|| {
+            let mut solver = Solver::with_defaults();
+            for k in 0..32 {
+                let g = Expr::le(
+                    Expr::var(Name::intern("i")) + Expr::int(1),
+                    Expr::var(Name::intern("n")) + Expr::int(k),
+                );
+                assert!(solver.check_valid_imp(&ctx, &hyps, &g).is_valid());
+            }
+        })
+    });
+    group.bench_function("32-goals-session", |b| {
+        let (ctx, hyps, _) = qf_vc();
+        b.iter(|| {
+            let mut session = Session::assume(SmtConfig::default(), &ctx, &hyps);
+            for k in 0..32 {
+                let g = Expr::le(
+                    Expr::var(Name::intern("i")) + Expr::int(1),
+                    Expr::var(Name::intern("n")) + Expr::int(k),
+                );
+                assert!(session.check(&g).is_valid());
+            }
         })
     });
 
@@ -38,11 +77,21 @@ fn bench_smt(c: &mut Criterion) {
         let axiom = Expr::forall(
             vec![(j, Sort::Int)],
             Expr::imp(
-                Expr::and(Expr::ge(Expr::var(j), Expr::int(0)), Expr::lt(Expr::var(j), lenv.clone())),
-                Expr::ge(Expr::app("select", vec![a.clone(), Expr::var(j)]), Expr::int(0)),
+                Expr::and(
+                    Expr::ge(Expr::var(j), Expr::int(0)),
+                    Expr::lt(Expr::var(j), lenv.clone()),
+                ),
+                Expr::ge(
+                    Expr::app("select", vec![a.clone(), Expr::var(j)]),
+                    Expr::int(0),
+                ),
             ),
         );
-        let hyps = vec![axiom, Expr::ge(i.clone(), Expr::int(0)), Expr::lt(i.clone(), lenv)];
+        let hyps = vec![
+            axiom,
+            Expr::ge(i.clone(), Expr::int(0)),
+            Expr::lt(i.clone(), lenv),
+        ];
         let goal = Expr::ge(Expr::app("select", vec![a, i]), Expr::int(0));
         b.iter(|| {
             let mut solver = Solver::with_defaults();
@@ -53,5 +102,30 @@ fn bench_smt(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_smt);
-criterion_main!(benches);
+/// Prints the engine statistics for one sweep of the session workload so the
+/// perf trajectory (queries, sessions, SAT rounds) is visible in bench logs.
+fn report_engine_stats() {
+    let (ctx, hyps, _) = qf_vc();
+    let mut solver = Solver::with_defaults();
+    let mut session = solver.assume(&ctx, &hyps);
+    for k in 0..32 {
+        let g = Expr::le(
+            Expr::var(Name::intern("i")) + Expr::int(1),
+            Expr::var(Name::intern("n")) + Expr::int(k),
+        );
+        let _ = session.check(&g);
+    }
+    let session_stats: SmtStats = *session.stats();
+    solver.absorb(session_stats);
+    let s = solver.stats;
+    println!(
+        "engine stats: {} queries, {} sessions opened, {} sat rounds, {} theory checks",
+        s.queries, s.sessions, s.sat_rounds, s.theory_checks
+    );
+}
+
+fn main() {
+    let mut c = Criterion::new();
+    bench_smt(&mut c);
+    report_engine_stats();
+}

@@ -1,13 +1,16 @@
-//! Criterion bench: program-logic baseline verification time per Table 1
-//! benchmark (E2).
+//! Bench: program-logic baseline verification time per Table 1 benchmark
+//! (E2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flux_bench::harness::Criterion;
 
 fn bench_baseline(c: &mut Criterion) {
     let config = flux::VerifyConfig::default();
     let mut group = c.benchmark_group("table1_baseline");
     group.sample_size(10);
-    for b in flux::benchmarks().into_iter().filter(|b| matches!(b.name, "bsearch" | "dotprod" | "kmeans")) {
+    for b in flux::benchmarks()
+        .into_iter()
+        .filter(|b| matches!(b.name, "bsearch" | "dotprod" | "kmeans"))
+    {
         group.bench_function(b.name, |bencher| {
             bencher.iter(|| {
                 flux::verify_source(b.baseline_src, flux::Mode::Baseline, &config).unwrap()
@@ -17,5 +20,7 @@ fn bench_baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_baseline);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_baseline(&mut c);
+}

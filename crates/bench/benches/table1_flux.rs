@@ -1,20 +1,23 @@
-//! Criterion bench: Flux verification time per Table 1 benchmark (E1).
+//! Bench: Flux verification time per Table 1 benchmark (E1).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flux_bench::harness::Criterion;
 
 fn bench_flux(c: &mut Criterion) {
     let config = flux::VerifyConfig::default();
     let mut group = c.benchmark_group("table1_flux");
     group.sample_size(10);
-    for b in flux::benchmarks().into_iter().filter(|b| matches!(b.name, "bsearch" | "dotprod" | "kmeans")) {
+    for b in flux::benchmarks()
+        .into_iter()
+        .filter(|b| matches!(b.name, "bsearch" | "dotprod" | "kmeans"))
+    {
         group.bench_function(b.name, |bencher| {
-            bencher.iter(|| {
-                flux::verify_source(b.flux_src, flux::Mode::Flux, &config).unwrap()
-            })
+            bencher.iter(|| flux::verify_source(b.flux_src, flux::Mode::Flux, &config).unwrap())
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_flux);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_flux(&mut c);
+}

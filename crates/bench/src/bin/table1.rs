@@ -9,6 +9,8 @@ fn main() {
     let config = flux::VerifyConfig::default();
     let rows = flux::run_table1(&config);
     println!("{}", flux::render_table1(&rows));
+    println!("incremental query engine (Flux mode | baseline):");
+    println!("{}", flux::render_query_stats(&rows));
     let unsafe_rows: Vec<&str> = rows
         .iter()
         .filter(|r| !r.flux.safe || !r.baseline.safe)

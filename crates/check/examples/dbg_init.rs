@@ -17,15 +17,30 @@ fn init_zeros(n: usize) -> RVec<f32> {
     let generator = flux_check::checker::Generator::new(&resolved);
     let gen = generator.gen_function("init_zeros").unwrap();
     for clause in gen.constraint.flatten() {
-        let binders: Vec<String> = clause.binders.iter().map(|(n,s)| format!("{n}:{s}")).collect();
-        let guards: Vec<String> = clause.guards.iter().map(|g| match g {
-            flux_fixpoint::Guard::Pred(p) => format!("{p}"),
-            flux_fixpoint::Guard::KVar(app) => format!("{app}"),
-        }).collect();
+        let binders: Vec<String> = clause
+            .binders
+            .iter()
+            .map(|(n, s)| format!("{n}:{s}"))
+            .collect();
+        let guards: Vec<String> = clause
+            .guards
+            .iter()
+            .map(|g| match g {
+                flux_fixpoint::Guard::Pred(p) => format!("{p}"),
+                flux_fixpoint::Guard::KVar(app) => format!("{app}"),
+            })
+            .collect();
         let head = match &clause.head {
-            flux_fixpoint::Head::Pred(p, tag) => format!("{p}   [tag {tag}: {}]", gen.tags[*tag].message),
+            flux_fixpoint::Head::Pred(p, tag) => {
+                format!("{p}   [tag {tag}: {}]", gen.tags[*tag].message)
+            }
             flux_fixpoint::Head::KVar(app) => format!("{app}"),
         };
-        println!("forall {:?}\n  {} \n  => {}\n", binders, guards.join(" /\\ "), head);
+        println!(
+            "forall {:?}\n  {} \n  => {}\n",
+            binders,
+            guards.join(" /\\ "),
+            head
+        );
     }
 }

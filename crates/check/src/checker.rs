@@ -85,7 +85,6 @@ impl Env {
             self.locals.push((name.to_owned(), ty));
         }
     }
-
 }
 
 /// Per-function context: the signature, return type and scope of refinement
@@ -124,10 +123,9 @@ impl<'a> Generator<'a> {
 
     /// Generates the constraint for one function.
     pub fn gen_function(mut self, name: &str) -> Result<GenResult, Diagnostic> {
-        let func = self
-            .program
-            .function(name)
-            .ok_or_else(|| Diagnostic::error(format!("unknown function `{name}`"), Span::dummy()))?;
+        let func = self.program.function(name).ok_or_else(|| {
+            Diagnostic::error(format!("unknown function `{name}`"), Span::dummy())
+        })?;
         let def = func.def.clone();
         let sig = func.sig.clone();
 
@@ -227,7 +225,10 @@ impl<'a> Generator<'a> {
                 }
                 RTy::Indexed { base, indices }
             }
-            RTy::Ref { kind: RefKind::Strg, inner } => {
+            RTy::Ref {
+                kind: RefKind::Strg,
+                inner,
+            } => {
                 let opened = self.open_into(*inner, prefix, scope);
                 RTy::ref_strg(opened)
             }
@@ -235,18 +236,21 @@ impl<'a> Generator<'a> {
         }
     }
 
-
     /// Generalises an environment into κ templates.  Every templated local's
     /// κ sees the binders of *every* local (not just earlier ones), so
     /// relational invariants between any pair of mutated locations are
     /// expressible.
     fn template_env(&mut self, env: &Env, fn_scope: &[(Name, Sort)]) -> Env {
         // Pass 1: allocate binder names per local.
-        let mut binder_info: Vec<(String, Option<(BaseTy, Vec<Name>, bool)>)> = Vec::new();
+        type BinderInfo = (String, Option<(BaseTy, Vec<Name>, bool)>);
+        let mut binder_info: Vec<BinderInfo> = Vec::new();
         let mut all_binders: Vec<(Name, Sort)> = Vec::new();
         for (name, ty) in &env.locals {
             let target = match ty {
-                RTy::Ref { kind: RefKind::Strg, inner } => Some((inner.as_ref(), true)),
+                RTy::Ref {
+                    kind: RefKind::Strg,
+                    inner,
+                } => Some((inner.as_ref(), true)),
                 RTy::Indexed { .. } | RTy::Exists { .. } => Some((ty, false)),
                 _ => None,
             };
@@ -254,8 +258,9 @@ impl<'a> Generator<'a> {
                 Some((t, is_strg)) => match t.base() {
                     Some(base) if !base.index_sorts().is_empty() => {
                         let sorts = base.index_sorts();
-                        let binders: Vec<Name> =
-                            (0..sorts.len()).map(|i| Name::fresh(&format!("t{i}"))).collect();
+                        let binders: Vec<Name> = (0..sorts.len())
+                            .map(|i| Name::fresh(&format!("t{i}")))
+                            .collect();
                         for (b, s) in binders.iter().zip(&sorts) {
                             all_binders.push((*b, *s));
                         }
@@ -308,16 +313,19 @@ impl<'a> Generator<'a> {
                         indices: vec![],
                     };
                 }
-                let binders: Vec<Name> = (0..sorts.len()).map(|i| Name::fresh(&format!("t{i}"))).collect();
+                let binders: Vec<Name> = (0..sorts.len())
+                    .map(|i| Name::fresh(&format!("t{i}")))
+                    .collect();
                 let mut kv_sorts = sorts.clone();
                 kv_sorts.extend(scope.iter().map(|(_, s)| *s));
                 let kvid = self.kvars.fresh(kv_sorts);
                 let scope_args: Vec<Expr> = scope.iter().map(|(n, _)| Expr::Var(*n)).collect();
                 RTy::exists_kvar(base.clone(), binders, kvid, scope_args)
             }
-            RTy::Ref { kind: RefKind::Strg, inner } => {
-                RTy::ref_strg(self.template_like(inner, scope))
-            }
+            RTy::Ref {
+                kind: RefKind::Strg,
+                inner,
+            } => RTy::ref_strg(self.template_like(inner, scope)),
             other => other.clone(),
         }
     }
@@ -326,50 +334,71 @@ impl<'a> Generator<'a> {
     fn subtype(&mut self, actual: &RTy, expected: &RTy, span: Span, what: &str) -> Constraint {
         match (actual, expected) {
             (RTy::Unit, RTy::Unit) | (RTy::Uninit, RTy::Uninit) => Constraint::True,
-            (RTy::Indexed { base: ab, indices: ai }, expected) => {
-                match expected {
-                    RTy::Indexed { base: eb, indices: ei } => {
-                        if !bases_compatible(ab, eb) {
-                            let tag = self.tag(span, format!("{what}: type shape mismatch ({ab} vs {eb})"));
-                            return Constraint::pred(Expr::ff(), tag);
-                        }
-                        let tag = self.tag(span, format!("{what}: indices must match"));
-                        let eqs = ai
-                            .iter()
-                            .zip(ei)
-                            .map(|(a, e)| Expr::eq(a.clone(), e.clone()));
-                        let head = Constraint::pred(Expr::and_all(eqs), tag);
-                        Constraint::conj(vec![head, self.element_compat(ab, eb, span, what)])
+            (
+                RTy::Indexed {
+                    base: ab,
+                    indices: ai,
+                },
+                expected,
+            ) => match expected {
+                RTy::Indexed {
+                    base: eb,
+                    indices: ei,
+                } => {
+                    if !bases_compatible(ab, eb) {
+                        let tag =
+                            self.tag(span, format!("{what}: type shape mismatch ({ab} vs {eb})"));
+                        return Constraint::pred(Expr::ff(), tag);
                     }
-                    RTy::Exists { base: eb, binders, refine } => {
-                        if !bases_compatible(ab, eb) {
-                            let tag = self.tag(span, format!("{what}: type shape mismatch ({ab} vs {eb})"));
-                            return Constraint::pred(Expr::ff(), tag);
-                        }
-                        let subst: Subst = binders
-                            .iter()
-                            .zip(ai)
-                            .map(|(b, a)| (*b, a.clone()))
-                            .collect();
-                        let head = match refine {
-                            Refine::Pred(p) => {
-                                let tag = self.tag(span, format!("{what}: refinement must hold"));
-                                Constraint::pred(subst.apply(p), tag)
-                            }
-                            Refine::KVar(app) => Constraint::kvar(KVarApp::new(
-                                app.kvid,
-                                app.args.iter().map(|a| subst.apply(a)).collect(),
-                            )),
-                        };
-                        Constraint::conj(vec![head, self.element_compat(ab, eb, span, what)])
-                    }
-                    _ => {
-                        let tag = self.tag(span, format!("{what}: expected {expected}, found {actual}"));
-                        Constraint::pred(Expr::ff(), tag)
-                    }
+                    let tag = self.tag(span, format!("{what}: indices must match"));
+                    let eqs = ai
+                        .iter()
+                        .zip(ei)
+                        .map(|(a, e)| Expr::eq(a.clone(), e.clone()));
+                    let head = Constraint::pred(Expr::and_all(eqs), tag);
+                    Constraint::conj(vec![head, self.element_compat(ab, eb, span, what)])
                 }
-            }
-            (RTy::Exists { base, binders, refine }, expected) => {
+                RTy::Exists {
+                    base: eb,
+                    binders,
+                    refine,
+                } => {
+                    if !bases_compatible(ab, eb) {
+                        let tag =
+                            self.tag(span, format!("{what}: type shape mismatch ({ab} vs {eb})"));
+                        return Constraint::pred(Expr::ff(), tag);
+                    }
+                    let subst: Subst = binders
+                        .iter()
+                        .zip(ai)
+                        .map(|(b, a)| (*b, a.clone()))
+                        .collect();
+                    let head = match refine {
+                        Refine::Pred(p) => {
+                            let tag = self.tag(span, format!("{what}: refinement must hold"));
+                            Constraint::pred(subst.apply(p), tag)
+                        }
+                        Refine::KVar(app) => Constraint::kvar(KVarApp::new(
+                            app.kvid,
+                            app.args.iter().map(|a| subst.apply(a)).collect(),
+                        )),
+                    };
+                    Constraint::conj(vec![head, self.element_compat(ab, eb, span, what)])
+                }
+                _ => {
+                    let tag =
+                        self.tag(span, format!("{what}: expected {expected}, found {actual}"));
+                    Constraint::pred(Expr::ff(), tag)
+                }
+            },
+            (
+                RTy::Exists {
+                    base,
+                    binders,
+                    refine,
+                },
+                expected,
+            ) => {
                 // Open the actual existential universally and recurse.
                 let sorts = base.index_sorts();
                 let fresh: Vec<Name> = binders.iter().map(|b| Name::fresh(b.as_str())).collect();
@@ -396,20 +425,27 @@ impl<'a> Generator<'a> {
                 }
                 out
             }
-            (RTy::Ref { kind: ak, inner: ai }, RTy::Ref { kind: ek, inner: ei }) => {
-                match (ak, ek) {
-                    (RefKind::Shared, RefKind::Shared) => self.subtype(ai, ei, span, what),
-                    (RefKind::Mut | RefKind::Strg, RefKind::Mut) => Constraint::conj(vec![
-                        self.subtype(ai, ei, span, what),
-                        self.subtype(ei, ai, span, what),
-                    ]),
-                    (RefKind::Mut | RefKind::Strg, RefKind::Shared) => self.subtype(ai, ei, span, what),
-                    _ => {
-                        let tag = self.tag(span, format!("{what}: reference kind mismatch"));
-                        Constraint::pred(Expr::ff(), tag)
-                    }
+            (
+                RTy::Ref {
+                    kind: ak,
+                    inner: ai,
+                },
+                RTy::Ref {
+                    kind: ek,
+                    inner: ei,
+                },
+            ) => match (ak, ek) {
+                (RefKind::Shared, RefKind::Shared) => self.subtype(ai, ei, span, what),
+                (RefKind::Mut | RefKind::Strg, RefKind::Mut) => Constraint::conj(vec![
+                    self.subtype(ai, ei, span, what),
+                    self.subtype(ei, ai, span, what),
+                ]),
+                (RefKind::Mut | RefKind::Strg, RefKind::Shared) => self.subtype(ai, ei, span, what),
+                _ => {
+                    let tag = self.tag(span, format!("{what}: reference kind mismatch"));
+                    Constraint::pred(Expr::ff(), tag)
                 }
-            }
+            },
             _ => {
                 let tag = self.tag(span, format!("{what}: expected {expected}, found {actual}"));
                 Constraint::pred(Expr::ff(), tag)
@@ -489,10 +525,13 @@ impl<'a> Generator<'a> {
         let mut parts = Vec::new();
         let ret_ty = fn_ctx.sig.ret.clone();
         match value {
-            Some(ast::Expr::If { cond, then, els, .. }) => {
+            Some(ast::Expr::If {
+                cond, then, els, ..
+            }) => {
                 // Check each branch against the return type directly so that
                 // path-sensitive facts flow into the obligation.
-                let c = self.check_if_against(env, cond, then, els.as_ref(), &ret_ty, fn_ctx, span)?;
+                let c =
+                    self.check_if_against(env, cond, then, els.as_ref(), &ret_ty, fn_ctx, span)?;
                 parts.push(c);
             }
             Some(expr) => {
@@ -510,10 +549,17 @@ impl<'a> Generator<'a> {
         for (param_idx, out_ty) in fn_ctx.sig.ensures.clone() {
             let pname = &fn_ctx.sig.param_names[param_idx];
             let actual = env.get(pname).cloned().unwrap_or(RTy::Uninit);
-            if let RTy::Ref { kind: RefKind::Strg, inner } = actual {
+            if let RTy::Ref {
+                kind: RefKind::Strg,
+                inner,
+            } = actual
+            {
                 parts.push(self.subtype(&inner, &out_ty, span, "ensures clause"));
             } else {
-                let tag = self.tag(span, format!("ensures clause refers to `{pname}` which is not a strong reference"));
+                let tag = self.tag(
+                    span,
+                    format!("ensures clause refers to `{pname}` which is not a strong reference"),
+                );
                 parts.push(Constraint::pred(Expr::ff(), tag));
             }
         }
@@ -529,7 +575,13 @@ impl<'a> Generator<'a> {
         fn_ctx: &FnCtx,
     ) -> Result<Constraint, Diagnostic> {
         match stmt {
-            ast::Stmt::Let { name, init, ty, span, .. } => {
+            ast::Stmt::Let {
+                name,
+                init,
+                ty,
+                span,
+                ..
+            } => {
                 // A `let v: RVec<T> = RVec::new()` gets a polymorphic κ
                 // template for its element type (§4.3).
                 if let ast::Expr::Call { func, args, .. } = init {
@@ -545,8 +597,12 @@ impl<'a> Generator<'a> {
                         return Ok(Constraint::True);
                     }
                 }
-                if let ast::Expr::If { cond, then, els, .. } = init {
-                    let (ty, c) = self.synth_if(env, cond, then, els.as_ref(), prefix, fn_ctx, *span)?;
+                if let ast::Expr::If {
+                    cond, then, els, ..
+                } = init
+                {
+                    let (ty, c) =
+                        self.synth_if(env, cond, then, els.as_ref(), prefix, fn_ctx, *span)?;
                     env.set(name, ty);
                     return Ok(c);
                 }
@@ -556,12 +612,15 @@ impl<'a> Generator<'a> {
                 env.set(name, opened);
                 Ok(c)
             }
-            ast::Stmt::Assign { place, op, value, span } => {
-                self.check_assign(env, place, *op, value, prefix, fn_ctx, *span)
-            }
-            ast::Stmt::While { cond, body, span, .. } => {
-                self.check_while(env, cond, body, post, fn_ctx, *span)
-            }
+            ast::Stmt::Assign {
+                place,
+                op,
+                value,
+                span,
+            } => self.check_assign(env, place, *op, value, prefix, fn_ctx, *span),
+            ast::Stmt::While {
+                cond, body, span, ..
+            } => self.check_while(env, cond, body, post, fn_ctx, *span),
             ast::Stmt::Return { value, span } => {
                 self.check_fn_exit(env, value.as_ref(), fn_ctx, *span)
             }
@@ -574,8 +633,11 @@ impl<'a> Generator<'a> {
                 Ok(Constraint::conj(vec![c, Constraint::pred(idx, tag)]))
             }
             ast::Stmt::Expr { expr, span } => match expr {
-                ast::Expr::If { cond, then, els, .. } => {
-                    let (_, c) = self.synth_if(env, cond, then, els.as_ref(), prefix, fn_ctx, *span)?;
+                ast::Expr::If {
+                    cond, then, els, ..
+                } => {
+                    let (_, c) =
+                        self.synth_if(env, cond, then, els.as_ref(), prefix, fn_ctx, *span)?;
                     Ok(c)
                 }
                 _ => {
@@ -594,6 +656,7 @@ impl<'a> Generator<'a> {
         self.template_like(&default_elem, &fn_ctx.scope)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn check_assign(
         &mut self,
         env: &mut Env,
@@ -615,12 +678,20 @@ impl<'a> Generator<'a> {
                     ast::AssignOp::DivAssign => ast::BinOpKind::Div,
                     ast::AssignOp::Assign => unreachable!(),
                 };
-                ast::Expr::Binary(binop, Box::new(place.clone()), Box::new(value.clone()), span)
+                ast::Expr::Binary(
+                    binop,
+                    Box::new(place.clone()),
+                    Box::new(value.clone()),
+                    span,
+                )
             }
         };
         match place {
             ast::Expr::Var(name, _) => {
-                let (ty, c) = if let ast::Expr::If { cond, then, els, .. } = &rhs {
+                let (ty, c) = if let ast::Expr::If {
+                    cond, then, els, ..
+                } = &rhs
+                {
                     self.synth_if(env, cond, then, els.as_ref(), prefix, fn_ctx, span)?
                 } else {
                     self.synth(env, &rhs, prefix, fn_ctx)?
@@ -639,11 +710,17 @@ impl<'a> Generator<'a> {
                     Diagnostic::error(format!("unknown variable `{rname}`"), span)
                 })?;
                 match rty {
-                    RTy::Ref { kind: RefKind::Mut, inner } => {
+                    RTy::Ref {
+                        kind: RefKind::Mut,
+                        inner,
+                    } => {
                         let sub = self.subtype(&vty, &inner, span, "write through `&mut`");
                         Ok(Constraint::conj(vec![c, sub]))
                     }
-                    RTy::Ref { kind: RefKind::Strg, .. } => {
+                    RTy::Ref {
+                        kind: RefKind::Strg,
+                        ..
+                    } => {
                         let mut scope = fn_ctx.scope.clone();
                         let opened = self.open_into(vty, prefix, &mut scope);
                         env.set(rname, RTy::ref_strg(opened));
@@ -657,7 +734,8 @@ impl<'a> Generator<'a> {
             }
             ast::Expr::Index { recv, index, .. } => {
                 // v[i] = e  desugars to a bounds-checked store.
-                let (elem_ty, len_idx, recv_c) = self.vec_receiver(env, recv, prefix, fn_ctx, span)?;
+                let (elem_ty, len_idx, recv_c) =
+                    self.vec_receiver(env, recv, prefix, fn_ctx, span)?;
                 let (ity, ic) = self.synth(env, index, prefix, fn_ctx)?;
                 let iidx = self.int_index(&ity, index.span())?;
                 let bounds = self.bounds_obligation(&iidx, &len_idx, index.span());
@@ -764,12 +842,7 @@ impl<'a> Generator<'a> {
 
     /// Emits the (renamed) refinement guards of a freshened type and returns
     /// its indexed form.
-    fn emit_refinements(
-        &mut self,
-        ty: RTy,
-        renaming: &Subst,
-        prefix: &mut Vec<PrefixItem>,
-    ) -> RTy {
+    fn emit_refinements(&mut self, ty: RTy, renaming: &Subst, prefix: &mut Vec<PrefixItem>) -> RTy {
         match ty {
             RTy::Exists {
                 base,
@@ -793,7 +866,10 @@ impl<'a> Generator<'a> {
                     indices: binders.iter().map(|b| Expr::Var(*b)).collect(),
                 }
             }
-            RTy::Ref { kind: RefKind::Strg, inner } => {
+            RTy::Ref {
+                kind: RefKind::Strg,
+                inner,
+            } => {
                 let inner = self.emit_refinements(*inner, renaming, prefix);
                 RTy::ref_strg(inner)
             }
@@ -851,9 +927,9 @@ impl<'a> Generator<'a> {
         let stmts_c = self.check_stmts(env, &block.stmts, None, fn_ctx, false)?;
         let mut prefix = Vec::new();
         let tail_c = match block.tail.as_deref() {
-            Some(ast::Expr::If { cond, then, els, .. }) => {
-                self.check_if_against(env, cond, then, els.as_ref(), expected, fn_ctx, span)?
-            }
+            Some(ast::Expr::If {
+                cond, then, els, ..
+            }) => self.check_if_against(env, cond, then, els.as_ref(), expected, fn_ctx, span)?,
             Some(expr) => {
                 let (ty, c) = self.synth(env, expr, &mut prefix, fn_ctx)?;
                 let sub = self.subtype(&ty, expected, expr.span(), "branch value");
@@ -930,11 +1006,17 @@ impl<'a> Generator<'a> {
 
         let then_c = Constraint::implies(
             Guard::Pred(cond_idx.clone()),
-            Constraint::conj(vec![then_stmts, wrap(then_prefix, Constraint::conj(vec![then_val_c, then_join]))]),
+            Constraint::conj(vec![
+                then_stmts,
+                wrap(then_prefix, Constraint::conj(vec![then_val_c, then_join])),
+            ]),
         );
         let els_c = Constraint::implies(
             Guard::Pred(Expr::not(cond_idx)),
-            Constraint::conj(vec![els_stmts, wrap(els_prefix, Constraint::conj(vec![els_val_c, els_join]))]),
+            Constraint::conj(vec![
+                els_stmts,
+                wrap(els_prefix, Constraint::conj(vec![els_val_c, els_join])),
+            ]),
         );
 
         // The continuation sees the opened template environment and the
@@ -962,7 +1044,10 @@ impl<'a> Generator<'a> {
         let (ty, c) = self.synth_inner(env, expr, prefix, fn_ctx)?;
         let ty = if matches!(
             &ty,
-            RTy::Exists { base: BaseTy::Int | BaseTy::Uint | BaseTy::Bool, .. }
+            RTy::Exists {
+                base: BaseTy::Int | BaseTy::Uint | BaseTy::Bool,
+                ..
+            }
         ) {
             let mut scope = Vec::new();
             self.open_into(ty, prefix, &mut scope)
@@ -980,7 +1065,9 @@ impl<'a> Generator<'a> {
         fn_ctx: &FnCtx,
     ) -> Result<(RTy, Constraint), Diagnostic> {
         match expr {
-            ast::Expr::Int(i, _) => Ok((RTy::indexed(BaseTy::Int, Expr::int(*i)), Constraint::True)),
+            ast::Expr::Int(i, _) => {
+                Ok((RTy::indexed(BaseTy::Int, Expr::int(*i)), Constraint::True))
+            }
             ast::Expr::Float(_, _) => Ok((
                 RTy::Indexed {
                     base: BaseTy::Float,
@@ -988,7 +1075,9 @@ impl<'a> Generator<'a> {
                 },
                 Constraint::True,
             )),
-            ast::Expr::Bool(b, _) => Ok((RTy::indexed(BaseTy::Bool, Expr::bool(*b)), Constraint::True)),
+            ast::Expr::Bool(b, _) => {
+                Ok((RTy::indexed(BaseTy::Bool, Expr::bool(*b)), Constraint::True))
+            }
             ast::Expr::Var(name, span) => {
                 let ty = env.get(name).cloned().ok_or_else(|| {
                     Diagnostic::error(format!("unknown variable `{name}`"), *span)
@@ -1016,7 +1105,9 @@ impl<'a> Generator<'a> {
                 let (rt, rc) = self.synth(env, rhs, prefix, fn_ctx)?;
                 let c = Constraint::conj(vec![lc, rc]);
                 // Float arithmetic carries no refinement.
-                if matches!(lt.base(), Some(BaseTy::Float)) || matches!(rt.base(), Some(BaseTy::Float)) {
+                if matches!(lt.base(), Some(BaseTy::Float))
+                    || matches!(rt.base(), Some(BaseTy::Float))
+                {
                     let ty = match op {
                         ast::BinOpKind::Lt
                         | ast::BinOpKind::Le
@@ -1106,21 +1197,28 @@ impl<'a> Generator<'a> {
                 Ok((RTy::ref_mut(ty), Constraint::True))
             }
             ast::Expr::Index { recv, index, span } => {
-                let (elem_ty, len_idx, recv_c) = self.vec_receiver(env, recv, prefix, fn_ctx, *span)?;
+                let (elem_ty, len_idx, recv_c) =
+                    self.vec_receiver(env, recv, prefix, fn_ctx, *span)?;
                 let (ity, ic) = self.synth(env, index, prefix, fn_ctx)?;
                 let iidx = self.int_index(&ity, index.span())?;
                 let bounds = self.bounds_obligation(&iidx, &len_idx, index.span());
                 Ok((elem_ty, Constraint::conj(vec![recv_c, ic, bounds])))
             }
-            ast::Expr::MethodCall { recv, method, args, span } => {
-                self.synth_method(env, recv, method, args, prefix, fn_ctx, *span)
-            }
+            ast::Expr::MethodCall {
+                recv,
+                method,
+                args,
+                span,
+            } => self.synth_method(env, recv, method, args, prefix, fn_ctx, *span),
             ast::Expr::Call { func, args, span } => {
                 self.check_call(env, func, args, prefix, fn_ctx, *span)
             }
-            ast::Expr::If { cond, then, els, span } => {
-                self.synth_if(env, cond, then, els.as_ref(), prefix, fn_ctx, *span)
-            }
+            ast::Expr::If {
+                cond,
+                then,
+                els,
+                span,
+            } => self.synth_if(env, cond, then, els.as_ref(), prefix, fn_ctx, *span),
         }
     }
 
@@ -1162,10 +1260,15 @@ impl<'a> Generator<'a> {
             other => other.clone(),
         };
         match vec_ty {
-            RTy::Indexed { base: BaseTy::Vec(elem), indices } => {
-                Ok(((*elem).clone(), indices[0].clone(), Constraint::True))
-            }
-            RTy::Exists { base: BaseTy::Vec(elem), binders, refine } => {
+            RTy::Indexed {
+                base: BaseTy::Vec(elem),
+                indices,
+            } => Ok(((*elem).clone(), indices[0].clone(), Constraint::True)),
+            RTy::Exists {
+                base: BaseTy::Vec(elem),
+                binders,
+                refine,
+            } => {
                 // A vector behind a weak reference: open a fresh copy of its
                 // existential length for this access.
                 let fresh = Name::fresh("len");
@@ -1232,14 +1335,16 @@ impl<'a> Generator<'a> {
                 let (elem, len_idx, rc) = self.vec_receiver(env, recv, prefix, fn_ctx, span)?;
                 let (vty, vc) = self.synth(env, &args[0], prefix, fn_ctx)?;
                 let store = self.subtype(&vty, &elem, span, "pushed element");
-                let update = self.strong_vec_update(env, &recv_name, len_idx.clone() + Expr::int(1), span)?;
+                let update =
+                    self.strong_vec_update(env, &recv_name, len_idx.clone() + Expr::int(1), span)?;
                 Ok((RTy::Unit, Constraint::conj(vec![rc, vc, store, update])))
             }
             "pop" => {
                 let (elem, len_idx, rc) = self.vec_receiver(env, recv, prefix, fn_ctx, span)?;
                 let tag = self.tag(span, "pop from a possibly-empty vector");
                 let nonempty = Constraint::pred(Expr::ge(len_idx.clone(), Expr::int(1)), tag);
-                let update = self.strong_vec_update(env, &recv_name, len_idx - Expr::int(1), span)?;
+                let update =
+                    self.strong_vec_update(env, &recv_name, len_idx - Expr::int(1), span)?;
                 Ok((elem, Constraint::conj(vec![rc, nonempty, update])))
             }
             "swap" => {
@@ -1255,7 +1360,11 @@ impl<'a> Generator<'a> {
             "rows" | "cols" => {
                 let (mat_base, indices, c) = self.mat_receiver(env, &recv_name, span)?;
                 let _ = mat_base;
-                let idx = if method == "rows" { indices[0].clone() } else { indices[1].clone() };
+                let idx = if method == "rows" {
+                    indices[0].clone()
+                } else {
+                    indices[1].clone()
+                };
                 Ok((RTy::indexed(BaseTy::Uint, idx), c))
             }
             "mget" | "mset" => {
@@ -1277,10 +1386,7 @@ impl<'a> Generator<'a> {
                 };
                 Ok((result, Constraint::conj(parts)))
             }
-            other => Err(Diagnostic::error(
-                format!("unknown method `{other}`"),
-                span,
-            )),
+            other => Err(Diagnostic::error(format!("unknown method `{other}`"), span)),
         }
     }
 
@@ -1299,7 +1405,10 @@ impl<'a> Generator<'a> {
             other => other.clone(),
         };
         match mat_ty {
-            RTy::Indexed { base: BaseTy::Mat(elem), indices } => Ok(((*elem).clone(), indices, Constraint::True)),
+            RTy::Indexed {
+                base: BaseTy::Mat(elem),
+                indices,
+            } => Ok(((*elem).clone(), indices, Constraint::True)),
             other => Err(Diagnostic::error(
                 format!("`{name}` is not a matrix (has type {other})"),
                 span,
@@ -1433,7 +1542,12 @@ impl<'a> Generator<'a> {
                     })?;
                     arg_info.push(ArgInfo::BorrowedLocal(name.clone(), ty));
                 }
-                ast::Expr::MethodCall { recv, method, args: margs, .. } if method == "get_mut" => {
+                ast::Expr::MethodCall {
+                    recv,
+                    method,
+                    args: margs,
+                    ..
+                } if method == "get_mut" => {
                     let (elem, len_idx, rc) = self.vec_receiver(env, recv, prefix, fn_ctx, span)?;
                     let (ity, ic) = self.synth(env, &margs[0], prefix, fn_ctx)?;
                     let iidx = self.int_index(&ity, span)?;
@@ -1461,14 +1575,29 @@ impl<'a> Generator<'a> {
         }
 
         // Check argument subtyping and apply reference effects.
-        for (param_index, ((formal, info), arg)) in
-            callee_sig.params.iter().zip(&arg_info).zip(args).enumerate()
+        for (param_index, ((formal, info), arg)) in callee_sig
+            .params
+            .iter()
+            .zip(&arg_info)
+            .zip(args)
+            .enumerate()
         {
             let formal = formal.subst(&subst);
             match (&formal, info) {
-                (RTy::Ref { kind: RefKind::Strg, inner: want }, ArgInfo::BorrowedLocal(name, actual)) => {
+                (
+                    RTy::Ref {
+                        kind: RefKind::Strg,
+                        inner: want,
+                    },
+                    ArgInfo::BorrowedLocal(name, actual),
+                ) => {
                     let referent = strip_ref(actual);
-                    parts.push(self.subtype(&referent, want, arg.span(), "strong reference argument"));
+                    parts.push(self.subtype(
+                        &referent,
+                        want,
+                        arg.span(),
+                        "strong reference argument",
+                    ));
                     // Apply the ensures clause (or keep the input type).
                     let updated = callee_sig
                         .ensures
@@ -1480,46 +1609,101 @@ impl<'a> Generator<'a> {
                     let opened = self.open_into(updated, prefix, &mut scope);
                     env.set(name, opened);
                 }
-                (RTy::Ref { kind: RefKind::Mut, inner: want }, ArgInfo::BorrowedLocal(name, actual)) => {
+                (
+                    RTy::Ref {
+                        kind: RefKind::Mut,
+                        inner: want,
+                    },
+                    ArgInfo::BorrowedLocal(name, actual),
+                ) => {
                     let referent = strip_ref(actual);
-                    parts.push(self.subtype(&referent, want, arg.span(), "mutable reference argument"));
+                    parts.push(self.subtype(
+                        &referent,
+                        want,
+                        arg.span(),
+                        "mutable reference argument",
+                    ));
                     // Weak borrow: the local is weakened to the callee's view.
                     let mut scope = fn_ctx.scope.clone();
                     let opened = self.open_into((**want).clone(), prefix, &mut scope);
                     env.set(name, opened);
                 }
-                (RTy::Ref { kind: RefKind::Shared, inner: want }, ArgInfo::BorrowedLocal(_, actual)) => {
+                (
+                    RTy::Ref {
+                        kind: RefKind::Shared,
+                        inner: want,
+                    },
+                    ArgInfo::BorrowedLocal(_, actual),
+                ) => {
                     let referent = strip_ref(actual);
-                    parts.push(self.subtype(&referent, want, arg.span(), "shared reference argument"));
+                    parts.push(self.subtype(
+                        &referent,
+                        want,
+                        arg.span(),
+                        "shared reference argument",
+                    ));
                 }
                 (RTy::Ref { kind, inner: want }, ArgInfo::ReferenceLocal(actual)) => {
                     let referent = strip_ref(actual);
                     match kind {
                         RefKind::Shared => {
-                            parts.push(self.subtype(&referent, want, arg.span(), "shared reference argument"));
+                            parts.push(self.subtype(
+                                &referent,
+                                want,
+                                arg.span(),
+                                "shared reference argument",
+                            ));
                         }
                         _ => {
-                            parts.push(self.subtype(&referent, want, arg.span(), "mutable reference argument"));
-                            parts.push(self.subtype(want, &referent, arg.span(), "mutable reference argument"));
+                            parts.push(self.subtype(
+                                &referent,
+                                want,
+                                arg.span(),
+                                "mutable reference argument",
+                            ));
+                            parts.push(self.subtype(
+                                want,
+                                &referent,
+                                arg.span(),
+                                "mutable reference argument",
+                            ));
                         }
                     }
                 }
-                (RTy::Ref { kind, inner: want }, ArgInfo::Element(elem)) => {
-                    match kind {
-                        RefKind::Shared => {
-                            parts.push(self.subtype(elem, want, arg.span(), "borrowed element argument"));
-                        }
-                        _ => {
-                            parts.push(self.subtype(elem, want, arg.span(), "borrowed element argument"));
-                            parts.push(self.subtype(want, elem, arg.span(), "borrowed element argument"));
-                        }
+                (RTy::Ref { kind, inner: want }, ArgInfo::Element(elem)) => match kind {
+                    RefKind::Shared => {
+                        parts.push(self.subtype(
+                            elem,
+                            want,
+                            arg.span(),
+                            "borrowed element argument",
+                        ));
                     }
-                }
+                    _ => {
+                        parts.push(self.subtype(
+                            elem,
+                            want,
+                            arg.span(),
+                            "borrowed element argument",
+                        ));
+                        parts.push(self.subtype(
+                            want,
+                            elem,
+                            arg.span(),
+                            "borrowed element argument",
+                        ));
+                    }
+                },
                 (_, ArgInfo::Value(actual)) => {
                     parts.push(self.subtype(actual, &formal, arg.span(), "argument"));
                 }
                 (_, info) => {
-                    parts.push(self.subtype(&info.referent_type(), &formal, arg.span(), "argument"));
+                    parts.push(self.subtype(
+                        &info.referent_type(),
+                        &formal,
+                        arg.span(),
+                        "argument",
+                    ));
                 }
             }
         }
@@ -1534,7 +1718,10 @@ impl<'a> Generator<'a> {
 
     fn int_index(&mut self, ty: &RTy, span: Span) -> Result<Expr, Diagnostic> {
         match ty {
-            RTy::Indexed { base: BaseTy::Int | BaseTy::Uint, indices } => Ok(indices[0].clone()),
+            RTy::Indexed {
+                base: BaseTy::Int | BaseTy::Uint,
+                indices,
+            } => Ok(indices[0].clone()),
             other => Err(Diagnostic::error(
                 format!("expected an integer value, found {other}"),
                 span,
@@ -1544,8 +1731,13 @@ impl<'a> Generator<'a> {
 
     fn bool_index(&mut self, ty: &RTy, span: Span) -> Result<Expr, Diagnostic> {
         match ty {
-            RTy::Indexed { base: BaseTy::Bool, indices } => Ok(indices[0].clone()),
-            RTy::Exists { base: BaseTy::Bool, .. } => Ok(Expr::var(Name::fresh("unknown_bool"))),
+            RTy::Indexed {
+                base: BaseTy::Bool,
+                indices,
+            } => Ok(indices[0].clone()),
+            RTy::Exists {
+                base: BaseTy::Bool, ..
+            } => Ok(Expr::var(Name::fresh("unknown_bool"))),
             other => Err(Diagnostic::error(
                 format!("expected a boolean value, found {other}"),
                 span,
@@ -1585,12 +1777,14 @@ fn strip_ref(ty: &RTy) -> RTy {
 }
 
 fn bases_compatible(a: &BaseTy, b: &BaseTy) -> bool {
-    match (a, b) {
-        (BaseTy::Int | BaseTy::Uint, BaseTy::Int | BaseTy::Uint) => true,
-        (BaseTy::Bool, BaseTy::Bool) | (BaseTy::Float, BaseTy::Float) => true,
-        (BaseTy::Vec(_), BaseTy::Vec(_)) | (BaseTy::Mat(_), BaseTy::Mat(_)) => true,
-        _ => false,
-    }
+    matches!(
+        (a, b),
+        (BaseTy::Int | BaseTy::Uint, BaseTy::Int | BaseTy::Uint)
+            | (BaseTy::Bool, BaseTy::Bool)
+            | (BaseTy::Float, BaseTy::Float)
+            | (BaseTy::Vec(_), BaseTy::Vec(_))
+            | (BaseTy::Mat(_), BaseTy::Mat(_))
+    )
 }
 
 /// Renames every existential binder of `ty` to a fresh name, recording the
@@ -1627,9 +1821,10 @@ fn freshen_binders(
                 refine: refine.clone(),
             }
         }
-        RTy::Ref { kind: RefKind::Strg, inner } => {
-            RTy::ref_strg(freshen_binders(inner, renaming, prefix, scope))
-        }
+        RTy::Ref {
+            kind: RefKind::Strg,
+            inner,
+        } => RTy::ref_strg(freshen_binders(inner, renaming, prefix, scope)),
         other => other.clone(),
     }
 }
@@ -1654,7 +1849,16 @@ fn bind_template_indices(template: &RTy, actual: &RTy, subst: &mut Subst) {
 /// argument's indices (the `@n` instantiation heuristic of §4.1).
 fn unify_refine_params(formal: &RTy, actual: &RTy, sig: &FnSig, subst: &mut Subst) {
     match (formal, actual) {
-        (RTy::Indexed { indices: fi, base: fb }, RTy::Indexed { indices: ai, base: ab }) => {
+        (
+            RTy::Indexed {
+                indices: fi,
+                base: fb,
+            },
+            RTy::Indexed {
+                indices: ai,
+                base: ab,
+            },
+        ) => {
             for (f, a) in fi.iter().zip(ai) {
                 if let Expr::Var(p) = f {
                     if sig.refine_params.iter().any(|(n, _)| n == p) && subst.get(*p).is_none() {

@@ -59,6 +59,9 @@ pub struct FnReport {
     pub time: Duration,
     /// Statistics from the fixpoint solver.
     pub fixpoint_stats: flux_fixpoint::FixStats,
+    /// Cumulative statistics of the underlying SMT engine (sessions, SAT
+    /// rounds, theory checks).
+    pub smt_stats: flux_smt::SmtStats,
 }
 
 impl FnReport {
@@ -88,7 +91,28 @@ impl Report {
 
     /// All diagnostics.
     pub fn errors(&self) -> Vec<&Diagnostic> {
-        self.functions.iter().flat_map(|f| f.errors.iter()).collect()
+        self.functions
+            .iter()
+            .flat_map(|f| f.errors.iter())
+            .collect()
+    }
+
+    /// Fixpoint statistics summed over all checked functions.
+    pub fn total_fixpoint_stats(&self) -> flux_fixpoint::FixStats {
+        let mut total = flux_fixpoint::FixStats::default();
+        for f in &self.functions {
+            total.absorb(&f.fixpoint_stats);
+        }
+        total
+    }
+
+    /// SMT engine statistics summed over all checked functions.
+    pub fn total_smt_stats(&self) -> flux_smt::SmtStats {
+        let mut total = flux_smt::SmtStats::default();
+        for f in &self.functions {
+            total.absorb(f.smt_stats);
+        }
+        total
     }
 }
 
@@ -99,7 +123,9 @@ pub fn check_program(program: &ResolvedProgram, config: &CheckConfig) -> Report 
         if func.def.trusted {
             continue;
         }
-        report.functions.push(check_function(program, &func.def.name, config));
+        report
+            .functions
+            .push(check_function(program, &func.def.name, config));
     }
     report
 }
@@ -114,6 +140,7 @@ pub fn check_function(program: &ResolvedProgram, name: &str, config: &CheckConfi
             errors: vec![diag],
             time: start.elapsed(),
             fixpoint_stats: flux_fixpoint::FixStats::default(),
+            smt_stats: flux_smt::SmtStats::default(),
         },
         Ok(gen) => {
             let mut solver = FixpointSolver::new(config.fixpoint.clone());
@@ -133,6 +160,7 @@ pub fn check_function(program: &ResolvedProgram, name: &str, config: &CheckConfi
                 errors,
                 time: start.elapsed(),
                 fixpoint_stats: solver.stats,
+                smt_stats: solver.smt_stats(),
             }
         }
     }

@@ -1,0 +1,130 @@
+//! A memoized validity cache keyed on hash-consed expression ids.
+//!
+//! Iterative weakening re-asks many implications verbatim: a clause whose
+//! guard κs kept their assignment between iterations re-issues exactly the
+//! same (hypotheses, goal) queries, and the final concrete-head pass repeats
+//! queries already answered during the last weakening iteration.  Because
+//! weakening is monotone (candidate sets only shrink), such repeats are the
+//! common case, and the solver's verdicts are deterministic — so a verdict,
+//! once computed, can be replayed for free.
+//!
+//! Keys are built from [`ExprId`]s (see [`flux_logic`]'s hash-consing):
+//! comparing a candidate query against the cache costs a few `u32`
+//! comparisons instead of deep tree equality, and interning the hypotheses
+//! once per clause amortises the key cost over every goal of that clause.
+
+use flux_logic::{ExprId, Name, Sort};
+use flux_smt::Validity;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: the clause's binder context plus hash-consed ids of the
+/// hypotheses and the goal.
+///
+/// The binder list is part of the key because the same names can be bound at
+/// different sorts in different clauses, which changes how the solver
+/// interprets the (otherwise identical) expressions.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    ctx: Arc<[(Name, Sort)]>,
+    hyps: Arc<[ExprId]>,
+    goal: ExprId,
+}
+
+impl QueryKey {
+    /// Builds a key.  `ctx` and `hyps` are shared per clause; only `goal`
+    /// varies between the candidate queries of one clause.
+    pub fn new(ctx: Arc<[(Name, Sort)]>, hyps: Arc<[ExprId]>, goal: ExprId) -> QueryKey {
+        QueryKey { ctx, hyps, goal }
+    }
+}
+
+/// The memoized validity cache.
+#[derive(Debug, Default)]
+pub struct ValidityCache {
+    map: HashMap<QueryKey, Validity>,
+}
+
+impl ValidityCache {
+    /// Creates an empty cache.
+    pub fn new() -> ValidityCache {
+        ValidityCache::default()
+    }
+
+    /// Returns the cached verdict for `key`, if any.
+    pub fn lookup(&self, key: &QueryKey) -> Option<Validity> {
+        self.map.get(key).cloned()
+    }
+
+    /// Records the verdict for `key`.
+    pub fn insert(&mut self, key: QueryKey, verdict: Validity) {
+        self.map.insert(key, verdict);
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all cached verdicts (called at the start of each solve, since
+    /// keys do not capture the caller's uninterpreted-function context).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_logic::Expr;
+
+    fn key(ctx: &[(Name, Sort)], hyps: &[Expr], goal: &Expr) -> QueryKey {
+        QueryKey::new(
+            ctx.iter().copied().collect(),
+            hyps.iter().map(ExprId::intern).collect(),
+            ExprId::intern(goal),
+        )
+    }
+
+    #[test]
+    fn structurally_equal_queries_share_a_key() {
+        let x = Name::intern("x");
+        let ctx = [(x, Sort::Int)];
+        let hyp = Expr::ge(Expr::var(x), Expr::int(0));
+        let goal = Expr::ge(Expr::var(x) + Expr::int(1), Expr::int(1));
+        // Rebuilt from scratch: still the same key.
+        let hyp2 = Expr::ge(Expr::var(x), Expr::int(0));
+        let goal2 = Expr::ge(Expr::var(x) + Expr::int(1), Expr::int(1));
+        assert_eq!(key(&ctx, &[hyp.clone()], &goal), key(&ctx, &[hyp2], &goal2));
+        // A different goal changes the key.
+        assert_ne!(
+            key(&ctx, &[hyp.clone()], &goal),
+            key(&ctx, &[hyp.clone()], &Expr::tt())
+        );
+        // A different binder sort changes the key.
+        assert_ne!(
+            key(&ctx, &[hyp.clone()], &goal),
+            key(&[(x, Sort::Bool)], &[hyp], &goal)
+        );
+    }
+
+    #[test]
+    fn lookup_returns_inserted_verdict() {
+        let x = Name::intern("cx");
+        let ctx = [(x, Sort::Int)];
+        let goal = Expr::ge(Expr::var(x), Expr::var(x));
+        let k = key(&ctx, &[], &goal);
+        let mut cache = ValidityCache::new();
+        assert!(cache.lookup(&k).is_none());
+        cache.insert(k.clone(), Validity::Valid);
+        assert_eq!(cache.lookup(&k), Some(Validity::Valid));
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

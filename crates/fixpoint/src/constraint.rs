@@ -104,9 +104,7 @@ impl Constraint {
         match self {
             Constraint::True => 0,
             Constraint::Head(_) => 1,
-            Constraint::ForAll(_, _, _, inner) | Constraint::Implies(_, inner) => {
-                inner.num_heads()
-            }
+            Constraint::ForAll(_, _, _, inner) | Constraint::Implies(_, inner) => inner.num_heads(),
             Constraint::Conj(children) => children.iter().map(Constraint::num_heads).sum(),
         }
     }
@@ -191,7 +189,10 @@ mod tests {
     #[test]
     fn trivially_true_heads_are_dropped() {
         assert_eq!(Constraint::pred(Expr::tt(), 0), Constraint::True);
-        assert_eq!(Constraint::conj(vec![Constraint::True, Constraint::True]), Constraint::True);
+        assert_eq!(
+            Constraint::conj(vec![Constraint::True, Constraint::True]),
+            Constraint::True
+        );
     }
 
     #[test]

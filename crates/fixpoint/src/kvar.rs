@@ -106,7 +106,10 @@ impl KVarApp {
             .into_iter()
             .zip(self.args.iter().cloned())
             .collect();
-        subst.apply(body)
+        // Substitute over the hash-consed DAG: shared subterms of `body`
+        // (candidate conjunctions repeat variables and whole qualifiers)
+        // are processed once per call instead of once per occurrence.
+        flux_logic::ExprId::intern(body).subst(&subst).expr()
     }
 }
 

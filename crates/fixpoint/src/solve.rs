@@ -9,12 +9,14 @@
 //! expressible with the qualifiers; the remaining clauses with concrete
 //! heads are then checked once, and any failure is reported with its tag.
 
+use crate::cache::{QueryKey, ValidityCache};
 use crate::constraint::{Clause, Constraint, Guard, Head, Tag};
 use crate::kvar::{KVarApp, KVarStore, KVid};
 use crate::qualifier::{default_qualifiers, Qualifier};
-use flux_logic::{Expr, SortCtx};
-use flux_smt::{SmtConfig, Solver};
+use flux_logic::{Expr, ExprId, Name, Sort, SortCtx};
+use flux_smt::{Session, SmtConfig, Solver, Validity};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Configuration of the fixpoint solver.
 #[derive(Clone, Debug)]
@@ -25,6 +27,11 @@ pub struct FixConfig {
     pub max_iterations: usize,
     /// The qualifier templates used to seed candidate solutions.
     pub qualifiers: Vec<Qualifier>,
+    /// Use the incremental query engine: one solver session per clause per
+    /// iteration plus the cross-iteration validity cache.  Disable to get
+    /// the historical one-query-one-pipeline behaviour (kept for A/B
+    /// testing and the ablation benches; verdicts are identical).
+    pub incremental: bool,
 }
 
 impl Default for FixConfig {
@@ -33,6 +40,7 @@ impl Default for FixConfig {
             smt: SmtConfig::default(),
             max_iterations: 100,
             qualifiers: default_qualifiers(),
+            incremental: true,
         }
     }
 }
@@ -48,8 +56,30 @@ pub struct FixStats {
     pub initial_candidates: usize,
     /// Number of weakening iterations performed.
     pub iterations: usize,
-    /// Number of SMT validity queries issued.
+    /// Number of SMT validity queries requested (including cache hits).
     pub smt_queries: usize,
+    /// Queries answered from the validity cache.
+    pub cache_hits: usize,
+    /// Queries that reached the SMT engine.
+    pub cache_misses: usize,
+    /// Solver sessions opened (at most one per clause per iteration; none
+    /// for clauses fully answered by the cache).
+    pub sessions: usize,
+}
+
+impl FixStats {
+    /// Adds `other` into `self` field-wise; used to aggregate per-function
+    /// statistics into program totals in `flux-check`.
+    pub fn absorb(&mut self, other: &FixStats) {
+        self.clauses += other.clauses;
+        self.kvars += other.kvars;
+        self.initial_candidates += other.initial_candidates;
+        self.iterations += other.iterations;
+        self.smt_queries += other.smt_queries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.sessions += other.sessions;
+    }
 }
 
 /// A solution: each κ variable is assigned a conjunction of predicates over
@@ -107,6 +137,26 @@ impl FixResult {
     }
 }
 
+/// Per-clause parts of the validity-cache key, interned once per clause and
+/// shared (via `Arc`) by the keys of every goal checked against it.
+struct ClauseKeys {
+    ctx: Arc<[(Name, Sort)]>,
+    hyps: Arc<[ExprId]>,
+}
+
+impl ClauseKeys {
+    fn new(clause_ctx: &SortCtx, hypotheses: &[Expr]) -> ClauseKeys {
+        ClauseKeys {
+            ctx: clause_ctx.iter().collect(),
+            hyps: hypotheses.iter().map(ExprId::intern).collect(),
+        }
+    }
+
+    fn for_goal(&self, goal: &Expr) -> QueryKey {
+        QueryKey::new(self.ctx.clone(), self.hyps.clone(), ExprId::intern(goal))
+    }
+}
+
 /// The fixpoint solver.
 pub struct FixpointSolver {
     /// Configuration.
@@ -114,6 +164,7 @@ pub struct FixpointSolver {
     /// Statistics of the most recent [`FixpointSolver::solve`] call.
     pub stats: FixStats,
     smt: Solver,
+    cache: ValidityCache,
 }
 
 impl FixpointSolver {
@@ -124,6 +175,7 @@ impl FixpointSolver {
             config,
             stats: FixStats::default(),
             smt,
+            cache: ValidityCache::new(),
         }
     }
 
@@ -148,6 +200,9 @@ impl FixpointSolver {
             kvars: kvars.len(),
             ..FixStats::default()
         };
+        // Keys do not capture `ctx`'s uninterpreted-function declarations,
+        // so verdicts must not leak between solve calls.
+        self.cache.clear();
 
         // Initial assignment: all well-sorted qualifier instantiations.
         let mut solution = Solution::default();
@@ -161,7 +216,11 @@ impl FixpointSolver {
             solution.set(decl.id, candidates);
         }
 
-        // Iterative weakening.
+        // Iterative weakening.  Each clause whose queries are not fully
+        // answered by the validity cache opens one solver session: the
+        // hypotheses are fixed for the clause while the goals (the whole
+        // conjunction, then each surviving candidate) vary, so the session
+        // preprocesses and CNF-converts the hypothesis context exactly once.
         for _ in 0..self.config.max_iterations {
             self.stats.iterations += 1;
             let mut changed = false;
@@ -169,34 +228,58 @@ impl FixpointSolver {
                 let Head::KVar(app) = &clause.head else {
                     continue;
                 };
-                let hypotheses = self.clause_hypotheses(clause, &solution, kvars);
-                let clause_ctx = clause_ctx(clause, ctx);
-                let decl = kvars.get(app.kvid);
-                let candidates = solution.assignment.get(&app.kvid).cloned().unwrap_or_default();
+                let candidates = solution
+                    .assignment
+                    .get(&app.kvid)
+                    .cloned()
+                    .unwrap_or_default();
                 if candidates.is_empty() {
                     continue;
                 }
-                // Fast path: if the whole conjunction is implied, nothing to
-                // weaken for this clause.
-                let whole: Vec<Expr> = candidates
+                let hypotheses = clause_hypotheses(clause, &solution, kvars);
+                let clause_ctx = clause_ctx(clause, ctx);
+                let keys = self.keys_for(&clause_ctx, &hypotheses);
+                let mut session = None;
+                let decl = kvars.get(app.kvid);
+                let insts: Vec<Expr> = candidates
                     .iter()
                     .map(|c| app.instantiate(decl, c))
                     .collect();
-                self.stats.smt_queries += 1;
+                // Fast path: if the whole conjunction is implied, nothing to
+                // weaken for this clause.  When every candidate is already
+                // individually cached as valid — the common case when the
+                // clause re-enters after surviving a previous iteration —
+                // the whole query is answered from the cache outright.
+                if let Some(keys) = &keys {
+                    if insts
+                        .iter()
+                        .all(|g| self.cache.lookup(&keys.for_goal(g)) == Some(Validity::Valid))
+                    {
+                        self.stats.smt_queries += 1;
+                        self.stats.cache_hits += 1;
+                        continue;
+                    }
+                }
+                let whole = Expr::and_all(insts.iter().cloned());
                 if self
-                    .smt
-                    .check_valid_imp(&clause_ctx, &hypotheses, &Expr::and_all(whole))
+                    .check(&mut session, &clause_ctx, &keys, &hypotheses, &whole)
                     .is_valid()
                 {
+                    // `hyps ⟹ c1 ∧ … ∧ cn` entails every `hyps ⟹ ci`, so
+                    // seed the per-candidate entries the next iteration (or
+                    // the fast path above) will ask for.
+                    if let Some(keys) = &keys {
+                        for goal in &insts {
+                            self.cache.insert(keys.for_goal(goal), Validity::Valid);
+                        }
+                    }
+                    self.close(session);
                     continue;
                 }
                 let mut kept = Vec::new();
-                for candidate in candidates {
-                    let goal = app.instantiate(decl, &candidate);
-                    self.stats.smt_queries += 1;
+                for (candidate, goal) in candidates.into_iter().zip(&insts) {
                     if self
-                        .smt
-                        .check_valid_imp(&clause_ctx, &hypotheses, &goal)
+                        .check(&mut session, &clause_ctx, &keys, &hypotheses, goal)
                         .is_valid()
                     {
                         kept.push(candidate);
@@ -204,6 +287,7 @@ impl FixpointSolver {
                         changed = true;
                     }
                 }
+                self.close(session);
                 solution.set(app.kvid, kept);
             }
             if !changed {
@@ -211,24 +295,26 @@ impl FixpointSolver {
             }
         }
 
-        // Check concrete heads under the final assignment.
+        // Check concrete heads under the final assignment.  The hypotheses
+        // of these clauses are unchanged since the last weakening iteration,
+        // so on κ-free-or-converged systems these queries hit the cache.
         let mut failed = Vec::new();
         for clause in &clauses {
             let Head::Pred(goal, tag) = &clause.head else {
                 continue;
             };
-            let hypotheses = self.clause_hypotheses(clause, &solution, kvars);
+            let hypotheses = clause_hypotheses(clause, &solution, kvars);
             let clause_ctx = clause_ctx(clause, ctx);
-            self.stats.smt_queries += 1;
+            let keys = self.keys_for(&clause_ctx, &hypotheses);
+            let mut session = None;
             if !self
-                .smt
-                .check_valid_imp(&clause_ctx, &hypotheses, goal)
+                .check(&mut session, &clause_ctx, &keys, &hypotheses, goal)
                 .is_valid()
+                && !failed.contains(tag)
             {
-                if !failed.contains(tag) {
-                    failed.push(*tag);
-                }
+                failed.push(*tag);
             }
+            self.close(session);
         }
         if failed.is_empty() {
             FixResult::Safe(solution)
@@ -237,27 +323,70 @@ impl FixpointSolver {
         }
     }
 
-    /// Total number of SMT queries issued by the underlying solver since
-    /// creation; exposed for benchmarking.
+    /// Cumulative statistics of the underlying SMT engine (all sessions and
+    /// one-shot queries) since creation; exposed for benchmarking and for
+    /// the end-to-end reporting in `flux-check`.
     pub fn smt_stats(&self) -> flux_smt::SmtStats {
         self.smt.stats
     }
 
-    fn clause_hypotheses(
-        &self,
-        clause: &Clause,
-        solution: &Solution,
-        kvars: &KVarStore,
-    ) -> Vec<Expr> {
-        clause
-            .guards
-            .iter()
-            .map(|guard| match guard {
-                Guard::Pred(p) => p.clone(),
-                Guard::KVar(app) => solution.apply(app, kvars),
-            })
-            .collect()
+    fn keys_for(&self, clause_ctx: &SortCtx, hypotheses: &[Expr]) -> Option<ClauseKeys> {
+        self.config
+            .incremental
+            .then(|| ClauseKeys::new(clause_ctx, hypotheses))
     }
+
+    /// Discharges one validity query through the engine: consult the cache,
+    /// then the clause's session (opened lazily on the first miss).  With
+    /// `incremental` off (`keys` is `None`), queries go straight to the
+    /// one-shot solver, reproducing the historical behaviour.
+    fn check(
+        &mut self,
+        session: &mut Option<Session>,
+        clause_ctx: &SortCtx,
+        keys: &Option<ClauseKeys>,
+        hypotheses: &[Expr],
+        goal: &Expr,
+    ) -> Validity {
+        self.stats.smt_queries += 1;
+        let Some(keys) = keys else {
+            return self.smt.check_valid_imp(clause_ctx, hypotheses, goal);
+        };
+        let key = keys.for_goal(goal);
+        if let Some(verdict) = self.cache.lookup(&key) {
+            self.stats.cache_hits += 1;
+            return verdict;
+        }
+        self.stats.cache_misses += 1;
+        if session.is_none() {
+            self.stats.sessions += 1;
+            *session = Some(Session::assume(self.config.smt, clause_ctx, hypotheses));
+        }
+        let verdict = session
+            .as_mut()
+            .expect("session was just opened")
+            .check(goal);
+        self.cache.insert(key, verdict.clone());
+        verdict
+    }
+
+    /// Folds a finished clause session's statistics into the engine totals.
+    fn close(&mut self, session: Option<Session>) {
+        if let Some(session) = session {
+            self.smt.absorb(*session.stats());
+        }
+    }
+}
+
+fn clause_hypotheses(clause: &Clause, solution: &Solution, kvars: &KVarStore) -> Vec<Expr> {
+    clause
+        .guards
+        .iter()
+        .map(|guard| match guard {
+            Guard::Pred(p) => p.clone(),
+            Guard::KVar(app) => solution.apply(app, kvars),
+        })
+        .collect()
 }
 
 fn clause_ctx(clause: &Clause, ctx: &SortCtx) -> SortCtx {
@@ -340,8 +469,9 @@ mod tests {
         assert!(solver.stats.smt_queries > 0);
     }
 
-    /// A loop-invariant inference scenario: i starts at 0, is incremented
-    /// while i < n, and after the loop i must equal n.
+    /// Builds the loop-counter system used by several tests below:
+    /// i starts at 0, is incremented while i < n, and after the loop i must
+    /// equal n.
     ///
     /// ```text
     /// ∀n. n ≥ 0 ⟹
@@ -349,8 +479,7 @@ mod tests {
     ///   ∧ ∀i. κ(i, n) ∧ i < n ⟹ κ(i+1, n)         -- preservation
     ///   ∧ ∀i. κ(i, n) ∧ ¬(i < n) ⟹ i = n          -- exit goal
     /// ```
-    #[test]
-    fn loop_counter_invariant_is_inferred() {
+    fn loop_counter_system() -> (Constraint, KVarStore) {
         let mut kvars = KVarStore::new();
         let k = kvars.fresh(vec![Sort::Int, Sort::Int]);
         let n = Name::intern("n");
@@ -388,10 +517,68 @@ mod tests {
                 ),
             ]),
         );
+        (c, kvars)
+    }
 
+    /// A loop-invariant inference scenario over the counting-loop system.
+    #[test]
+    fn loop_counter_invariant_is_inferred() {
+        let (c, kvars) = loop_counter_system();
         let mut solver = FixpointSolver::with_defaults();
         let result = solver.solve(&c, &kvars, &SortCtx::new());
-        assert!(result.is_safe(), "expected the invariant i <= n to be inferred");
+        assert!(
+            result.is_safe(),
+            "expected the invariant i <= n to be inferred"
+        );
+    }
+
+    /// The incremental engine (sessions + validity cache) and one-shot
+    /// solving must produce identical results, and the incremental run must
+    /// actually exercise the cache and sessions.
+    #[test]
+    fn incremental_engine_matches_one_shot_and_hits_cache() {
+        let (c, kvars) = loop_counter_system();
+
+        let mut incremental = FixpointSolver::with_defaults();
+        let inc_result = incremental.solve(&c, &kvars, &SortCtx::new());
+
+        let mut one_shot = FixpointSolver::new(FixConfig {
+            incremental: false,
+            ..FixConfig::default()
+        });
+        let os_result = one_shot.solve(&c, &kvars, &SortCtx::new());
+
+        assert_eq!(inc_result, os_result);
+        assert_eq!(incremental.stats.smt_queries, one_shot.stats.smt_queries);
+        assert!(
+            incremental.stats.cache_hits > 0,
+            "iterative weakening repeats queries; expected cache hits, stats: {:?}",
+            incremental.stats
+        );
+        assert!(incremental.stats.sessions > 0);
+        assert_eq!(
+            incremental.stats.cache_hits + incremental.stats.cache_misses,
+            incremental.stats.smt_queries
+        );
+        // Sessions only open on cache misses, at most one per clause visit.
+        assert!(incremental.stats.sessions <= incremental.stats.cache_misses);
+        assert_eq!(one_shot.stats.cache_hits, 0);
+        assert_eq!(one_shot.stats.sessions, 0);
+    }
+
+    /// Cached verdicts must equal recomputed verdicts: solving the same
+    /// system twice with the same solver (the second run starts from a
+    /// cleared cache) and with a fresh solver must agree everywhere.
+    #[test]
+    fn cached_verdicts_equal_recomputed_verdicts() {
+        let (c, kvars) = loop_counter_system();
+        let mut solver = FixpointSolver::with_defaults();
+        let first = solver.solve(&c, &kvars, &SortCtx::new());
+        let second = solver.solve(&c, &kvars, &SortCtx::new());
+        assert_eq!(first, second);
+
+        let mut fresh = FixpointSolver::with_defaults();
+        assert_eq!(fresh.solve(&c, &kvars, &SortCtx::new()), first);
     }
 
     /// An unsatisfiable system must blame the right constraint.

@@ -28,6 +28,8 @@ use flux_syntax::SourceMetrics;
 use std::time::Duration;
 
 pub use flux_check::{CheckConfig, Report as FluxReport};
+pub use flux_fixpoint::{FixConfig, FixStats};
+pub use flux_smt::SmtStats;
 pub use flux_suite::{benchmark, benchmarks, library, Benchmark};
 pub use flux_wp::{WpConfig, WpReport};
 
@@ -50,6 +52,26 @@ pub struct VerifyConfig {
     pub wp: WpConfig,
 }
 
+/// End-to-end statistics of the incremental query engine for one
+/// verification run, aggregated over all functions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Validity queries requested by the verifier (including cache hits).
+    pub smt_queries: usize,
+    /// Queries answered from the fixpoint validity cache.
+    pub cache_hits: usize,
+    /// Queries that reached the SMT engine.
+    pub cache_misses: usize,
+    /// Solver sessions opened.
+    pub sessions: usize,
+    /// SAT-core invocations inside the engine.
+    pub sat_rounds: usize,
+    /// Theory (LIA) checks inside the engine.
+    pub theory_checks: usize,
+    /// Quantifier instances generated (baseline verifier only).
+    pub quant_instances: usize,
+}
+
 /// The outcome of verifying one source file with one of the verifiers.
 #[derive(Clone, Debug)]
 pub struct VerifyOutcome {
@@ -69,6 +91,8 @@ pub struct VerifyOutcome {
     pub spec_lines: usize,
     /// Loop-invariant annotation lines.
     pub annot_lines: usize,
+    /// Query-engine statistics for the run.
+    pub stats: QueryStats,
 }
 
 /// Errors produced before verification proper (parsing or signature
@@ -96,30 +120,37 @@ pub fn verify_source(
     let metrics = SourceMetrics::of_source(source);
     match mode {
         Mode::Flux => {
-            let report = flux_check::check_source(source, &config.check).map_err(|errs| {
-                FrontendError {
+            let report =
+                flux_check::check_source(source, &config.check).map_err(|errs| FrontendError {
                     messages: errs.iter().map(|d| d.render(source)).collect(),
-                }
-            })?;
+                })?;
+            let fix = report.total_fixpoint_stats();
+            let smt = report.total_smt_stats();
             Ok(VerifyOutcome {
                 mode,
                 safe: report.is_safe(),
-                errors: report
-                    .errors()
-                    .iter()
-                    .map(|d| d.render(source))
-                    .collect(),
+                errors: report.errors().iter().map(|d| d.render(source)).collect(),
                 time: report.total_time(),
                 functions: report.functions.len(),
                 loc: metrics.loc,
                 spec_lines: metrics.spec_lines,
                 annot_lines: metrics.annot_lines,
+                stats: QueryStats {
+                    smt_queries: fix.smt_queries,
+                    cache_hits: fix.cache_hits,
+                    cache_misses: fix.cache_misses,
+                    sessions: fix.sessions,
+                    sat_rounds: smt.sat_rounds,
+                    theory_checks: smt.theory_checks,
+                    quant_instances: smt.quant_instances,
+                },
             })
         }
         Mode::Baseline => {
             let report = flux_wp::verify_source(source, &config.wp).map_err(|d| FrontendError {
                 messages: vec![d.render(source)],
             })?;
+            let smt = report.total_smt_stats();
             Ok(VerifyOutcome {
                 mode,
                 safe: report.is_safe(),
@@ -133,6 +164,15 @@ pub fn verify_source(
                 loc: metrics.loc,
                 spec_lines: metrics.spec_lines,
                 annot_lines: metrics.annot_lines,
+                stats: QueryStats {
+                    smt_queries: smt.queries,
+                    cache_hits: 0,
+                    cache_misses: smt.queries,
+                    sessions: smt.sessions,
+                    sat_rounds: smt.sat_rounds,
+                    theory_checks: smt.theory_checks,
+                    quant_instances: smt.quant_instances,
+                },
             })
         }
     }
@@ -161,18 +201,16 @@ impl TableRow {
 
     /// Annotation overhead of the baseline as a percentage of LOC.
     pub fn baseline_annot_percent(&self) -> usize {
-        if self.baseline.loc == 0 {
-            0
-        } else {
-            (self.baseline.annot_lines * 100 + self.baseline.loc / 2) / self.baseline.loc
-        }
+        (self.baseline.annot_lines * 100 + self.baseline.loc / 2)
+            .checked_div(self.baseline.loc)
+            .unwrap_or(0)
     }
 }
 
 /// Runs one benchmark under both verifiers.
 pub fn run_benchmark(benchmark: &Benchmark, config: &VerifyConfig) -> TableRow {
-    let flux = verify_source(benchmark.flux_src, Mode::Flux, config).unwrap_or_else(|e| {
-        VerifyOutcome {
+    let flux =
+        verify_source(benchmark.flux_src, Mode::Flux, config).unwrap_or_else(|e| VerifyOutcome {
             mode: Mode::Flux,
             safe: false,
             errors: e.messages,
@@ -181,8 +219,8 @@ pub fn run_benchmark(benchmark: &Benchmark, config: &VerifyConfig) -> TableRow {
             loc: 0,
             spec_lines: 0,
             annot_lines: 0,
-        }
-    });
+            stats: QueryStats::default(),
+        });
     let baseline =
         verify_source(benchmark.baseline_src, Mode::Baseline, config).unwrap_or_else(|e| {
             VerifyOutcome {
@@ -194,6 +232,7 @@ pub fn run_benchmark(benchmark: &Benchmark, config: &VerifyConfig) -> TableRow {
                 loc: 0,
                 spec_lines: 0,
                 annot_lines: 0,
+                stats: QueryStats::default(),
             }
         });
     TableRow {
@@ -223,6 +262,7 @@ pub fn run_table1(config: &VerifyConfig) -> Vec<TableRow> {
                 loc: flux_metrics.loc,
                 spec_lines: flux_metrics.spec_lines,
                 annot_lines: flux_metrics.annot_lines,
+                stats: QueryStats::default(),
             },
             baseline: VerifyOutcome {
                 mode: Mode::Baseline,
@@ -233,6 +273,7 @@ pub fn run_table1(config: &VerifyConfig) -> Vec<TableRow> {
                 loc: baseline_metrics.loc,
                 spec_lines: baseline_metrics.spec_lines,
                 annot_lines: baseline_metrics.annot_lines,
+                stats: QueryStats::default(),
             },
         });
     }
@@ -247,7 +288,18 @@ pub fn render_table1(rows: &[TableRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<10} | {:>5} {:>5} {:>9} {:>4} | {:>5} {:>5} {:>6} {:>6} {:>9} {:>4} | {:>8}\n",
-        "benchmark", "LOC", "Spec", "Time(s)", "ok", "LOC", "Spec", "Annot", "%LOC", "Time(s)", "ok", "speedup"
+        "benchmark",
+        "LOC",
+        "Spec",
+        "Time(s)",
+        "ok",
+        "LOC",
+        "Spec",
+        "Annot",
+        "%LOC",
+        "Time(s)",
+        "ok",
+        "speedup"
     ));
     out.push_str(&format!(
         "{:<10} | {:^26} | {:^42} | \n",
@@ -294,10 +346,68 @@ pub fn render_table1(rows: &[TableRow]) -> String {
         totals.3,
         totals.4,
         totals.5,
-        if totals.3 == 0 { 0 } else { totals.5 * 100 / totals.3 },
+        (totals.5 * 100).checked_div(totals.3).unwrap_or(0),
         totals.6,
         "",
-        if totals.2 > 0.0 { totals.6 / totals.2 } else { 0.0 },
+        if totals.2 > 0.0 {
+            totals.6 / totals.2
+        } else {
+            0.0
+        },
+    ));
+    out
+}
+
+/// Renders the incremental-engine statistics of a table run: validity
+/// queries, cache hit rate and sessions per benchmark, plus totals.  Printed
+/// by the `table1` binary after the main table so the engine's perf
+/// trajectory is visible across PRs.
+pub fn render_query_stats(rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
+        "benchmark", "queries", "hits", "misses", "hit%", "sessions", "bl-qrys", "bl-quants"
+    ));
+    out.push_str(&"-".repeat(92));
+    out.push('\n');
+    let mut total = QueryStats::default();
+    let mut total_baseline = QueryStats::default();
+    for row in rows.iter().filter(|r| !r.is_library) {
+        let s = row.flux.stats;
+        let hit_percent = (s.cache_hits * 100).checked_div(s.smt_queries).unwrap_or(0);
+        out.push_str(&format!(
+            "{:<10} | {:>8} {:>9} {:>8} {:>7}% {:>8} | {:>8} {:>10}\n",
+            row.name,
+            s.smt_queries,
+            s.cache_hits,
+            s.cache_misses,
+            hit_percent,
+            s.sessions,
+            row.baseline.stats.smt_queries,
+            row.baseline.stats.quant_instances,
+        ));
+        total.smt_queries += s.smt_queries;
+        total.cache_hits += s.cache_hits;
+        total.cache_misses += s.cache_misses;
+        total.sessions += s.sessions;
+        total_baseline.smt_queries += row.baseline.stats.smt_queries;
+        total_baseline.quant_instances += row.baseline.stats.quant_instances;
+    }
+    out.push_str(&"-".repeat(92));
+    out.push('\n');
+    let hit_percent = (total.cache_hits * 100)
+        .checked_div(total.smt_queries)
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "{:<10} | {:>8} {:>9} {:>8} {:>7}% {:>8} | {:>8} {:>10}\n",
+        "Total",
+        total.smt_queries,
+        total.cache_hits,
+        total.cache_misses,
+        hit_percent,
+        total.sessions,
+        total_baseline.smt_queries,
+        total_baseline.quant_instances,
     ));
     out
 }

@@ -66,12 +66,8 @@ pub fn default_rty_of_rust_ty(ty: &RustTy) -> RTy {
         RustTy::Bool => RTy::exists_top(BaseTy::Bool),
         RustTy::Float => RTy::exists_top(BaseTy::Float),
         RustTy::Unit => RTy::Unit,
-        RustTy::RVec(elem) => {
-            RTy::exists_top(BaseTy::Vec(Box::new(default_rty_of_rust_ty(elem))))
-        }
-        RustTy::RMat(elem) => {
-            RTy::exists_top(BaseTy::Mat(Box::new(default_rty_of_rust_ty(elem))))
-        }
+        RustTy::RVec(elem) => RTy::exists_top(BaseTy::Vec(Box::new(default_rty_of_rust_ty(elem)))),
+        RustTy::RMat(elem) => RTy::exists_top(BaseTy::Mat(Box::new(default_rty_of_rust_ty(elem)))),
         RustTy::Ref(mutability, inner) => {
             let inner = default_rty_of_rust_ty(inner);
             match mutability {
@@ -359,7 +355,13 @@ mod tests {
             fn decr(x: &mut i32) -> i32 { 0 }
             "#,
         );
-        assert!(matches!(sig.params[0], RTy::Ref { kind: RefKind::Mut, .. }));
+        assert!(matches!(
+            sig.params[0],
+            RTy::Ref {
+                kind: RefKind::Mut,
+                ..
+            }
+        ));
         assert!(sig.ret.to_string().contains("v >= 0"));
     }
 
@@ -371,7 +373,13 @@ mod tests {
             fn incr(x: &mut i32) { }
             "#,
         );
-        assert!(matches!(sig.params[0], RTy::Ref { kind: RefKind::Strg, .. }));
+        assert!(matches!(
+            sig.params[0],
+            RTy::Ref {
+                kind: RefKind::Strg,
+                ..
+            }
+        ));
         assert_eq!(sig.ensures.len(), 1);
         assert_eq!(sig.ensures[0].0, 0);
         assert_eq!(sig.ensures[0].1.to_string(), "i32[n + 1]");

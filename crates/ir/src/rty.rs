@@ -201,10 +201,7 @@ impl RTy {
 
     /// True if the type is a scalar (integer or boolean) indexed type.
     pub fn is_scalar(&self) -> bool {
-        matches!(
-            self.base(),
-            Some(BaseTy::Int | BaseTy::Uint | BaseTy::Bool)
-        )
+        matches!(self.base(), Some(BaseTy::Int | BaseTy::Uint | BaseTy::Bool))
     }
 
     /// Applies a substitution to every index expression and refinement in
@@ -339,7 +336,10 @@ mod tests {
             Expr::Var(n),
         );
         let printed = vecty.to_string();
-        assert!(printed.starts_with("RVec<f32"), "unexpected display {printed}");
+        assert!(
+            printed.starts_with("RVec<f32"),
+            "unexpected display {printed}"
+        );
         assert!(printed.ends_with("[n]"), "unexpected display {printed}");
     }
 
@@ -368,7 +368,10 @@ mod tests {
         let b = Name::intern("b0");
         let t = RTy::exists_kvar(BaseTy::Int, vec![b], k, vec![Expr::var(Name::intern("n"))]);
         match t {
-            RTy::Exists { refine: Refine::KVar(app), .. } => {
+            RTy::Exists {
+                refine: Refine::KVar(app),
+                ..
+            } => {
                 assert_eq!(app.args.len(), 2);
                 assert_eq!(app.args[0], Expr::Var(b));
             }

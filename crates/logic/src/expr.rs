@@ -213,6 +213,7 @@ impl Expr {
     }
 
     /// Logical negation with double-negation and constant folding.
+    #[allow(clippy::should_implement_trait)] // takes `Expr` by value as a smart constructor, not a trait impl
     pub fn not(arg: Expr) -> Expr {
         match arg {
             Expr::Const(Constant::Bool(b)) => Expr::bool(!b),
@@ -222,6 +223,7 @@ impl Expr {
     }
 
     /// Arithmetic negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(arg: Expr) -> Expr {
         match arg {
             Expr::Const(Constant::Int(i)) => Expr::int(-i),
@@ -278,6 +280,18 @@ impl Expr {
             Expr::BinOp(_, l, r) => l.has_quantifier() || r.has_quantifier(),
             Expr::Ite(c, t, e) => c.has_quantifier() || t.has_quantifier() || e.has_quantifier(),
             Expr::App(_, args) => args.iter().any(Expr::has_quantifier),
+        }
+    }
+
+    /// True if the expression contains an uninterpreted application anywhere.
+    pub fn has_app(&self) -> bool {
+        match self {
+            Expr::App(..) => true,
+            Expr::Var(_) | Expr::Const(_) => false,
+            Expr::UnOp(_, e) => e.has_app(),
+            Expr::BinOp(_, l, r) => l.has_app() || r.has_app(),
+            Expr::Ite(c, t, e) => c.has_app() || t.has_app() || e.has_app(),
+            Expr::Forall(_, body) | Expr::Exists(_, body) => body.has_app(),
         }
     }
 
@@ -447,7 +461,10 @@ mod tests {
         let n = Name::intern("n");
         let e = Expr::forall(
             vec![(i, Sort::Int)],
-            Expr::imp(Expr::lt(Expr::var(i), Expr::var(n)), Expr::ge(Expr::var(i), Expr::int(0))),
+            Expr::imp(
+                Expr::lt(Expr::var(i), Expr::var(n)),
+                Expr::ge(Expr::var(i), Expr::int(0)),
+            ),
         );
         let fvs = e.free_vars();
         assert!(!fvs.contains(&i));
@@ -465,6 +482,16 @@ mod tests {
     fn empty_binder_list_returns_body() {
         assert_eq!(Expr::forall(vec![], v("p")), v("p"));
         assert_eq!(Expr::exists(vec![], v("p")), v("p"));
+    }
+
+    #[test]
+    fn has_app_detects_nesting() {
+        let e = Expr::and(
+            v("p"),
+            Expr::ge(Expr::app("len", vec![v("xs")]), Expr::int(0)),
+        );
+        assert!(e.has_app());
+        assert!(!v("p").has_app());
     }
 
     #[test]

@@ -1,0 +1,370 @@
+//! Hash-consed expression nodes.
+//!
+//! The incremental query engine needs two things from the logic layer:
+//! *stable, cheap identifiers* for expressions (so validity verdicts can be
+//! cached across fixpoint iterations under a small key instead of a deep
+//! tree comparison), and *subterm sharing* (so repeated substitution and
+//! simplification of the same terms — which the weakening loop performs on
+//! every iteration — does not re-allocate and re-traverse identical trees).
+//!
+//! [`ExprId`] provides both: interning an [`Expr`] walks the tree once and
+//! maps every distinct subterm to a `u32` id in a global append-only table,
+//! so two structurally equal expressions always receive the same id, no
+//! matter where or when they were built.  On top of the shared table this
+//! module offers memoized substitution ([`ExprId::subst`]) and memoized
+//! simplification ([`ExprId::simplified`]); both agree exactly with their
+//! tree-walking counterparts ([`crate::Subst::apply`] and
+//! [`crate::simplify`]).
+
+use crate::{simplify, BinOp, Constant, Expr, Name, Sort, Subst, UnOp};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// The identifier of a hash-consed expression.
+///
+/// Two [`ExprId`]s are equal iff the expressions they were interned from are
+/// structurally equal.  Ids are stable for the lifetime of the process,
+/// which makes them usable as persistent cache keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(u32);
+
+/// A shallow expression node whose children are interned ids.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Node {
+    Var(Name),
+    Const(Constant),
+    UnOp(UnOp, ExprId),
+    BinOp(BinOp, ExprId, ExprId),
+    Ite(ExprId, ExprId, ExprId),
+    App(Name, Box<[ExprId]>),
+    Forall(Box<[(Name, Sort)]>, ExprId),
+    Exists(Box<[(Name, Sort)]>, ExprId),
+}
+
+#[derive(Default)]
+struct Table {
+    nodes: Vec<Node>,
+    index: HashMap<Node, u32>,
+    /// Global memo for [`ExprId::simplified`]: simplification is a pure
+    /// function of the subterm, so results stay valid forever.
+    simplify_memo: HashMap<u32, u32>,
+}
+
+fn table() -> &'static Mutex<Table> {
+    static TABLE: OnceLock<Mutex<Table>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(Table::default()))
+}
+
+impl Table {
+    fn intern_node(&mut self, node: Node) -> ExprId {
+        if let Some(&idx) = self.index.get(&node) {
+            return ExprId(idx);
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node.clone());
+        self.index.insert(node, idx);
+        ExprId(idx)
+    }
+
+    fn intern_expr(&mut self, expr: &Expr) -> ExprId {
+        let node = match expr {
+            Expr::Var(name) => Node::Var(*name),
+            Expr::Const(c) => Node::Const(*c),
+            Expr::UnOp(op, e) => Node::UnOp(*op, self.intern_expr(e)),
+            Expr::BinOp(op, l, r) => Node::BinOp(*op, self.intern_expr(l), self.intern_expr(r)),
+            Expr::Ite(c, t, e) => Node::Ite(
+                self.intern_expr(c),
+                self.intern_expr(t),
+                self.intern_expr(e),
+            ),
+            Expr::App(f, args) => Node::App(*f, args.iter().map(|a| self.intern_expr(a)).collect()),
+            Expr::Forall(binders, body) => {
+                Node::Forall(binders.iter().copied().collect(), self.intern_expr(body))
+            }
+            Expr::Exists(binders, body) => {
+                Node::Exists(binders.iter().copied().collect(), self.intern_expr(body))
+            }
+        };
+        self.intern_node(node)
+    }
+
+    fn rebuild(&self, id: ExprId) -> Expr {
+        match &self.nodes[id.0 as usize] {
+            Node::Var(name) => Expr::Var(*name),
+            Node::Const(c) => Expr::Const(*c),
+            Node::UnOp(op, e) => Expr::UnOp(*op, Box::new(self.rebuild(*e))),
+            Node::BinOp(op, l, r) => {
+                Expr::BinOp(*op, Box::new(self.rebuild(*l)), Box::new(self.rebuild(*r)))
+            }
+            Node::Ite(c, t, e) => Expr::Ite(
+                Box::new(self.rebuild(*c)),
+                Box::new(self.rebuild(*t)),
+                Box::new(self.rebuild(*e)),
+            ),
+            Node::App(f, args) => Expr::App(*f, args.iter().map(|a| self.rebuild(*a)).collect()),
+            Node::Forall(binders, body) => {
+                Expr::Forall(binders.to_vec(), Box::new(self.rebuild(*body)))
+            }
+            Node::Exists(binders, body) => {
+                Expr::Exists(binders.to_vec(), Box::new(self.rebuild(*body)))
+            }
+        }
+    }
+
+    /// DAG substitution.  `memo` maps already-substituted ids to their
+    /// results, so shared subterms are processed once per call.  Quantified
+    /// subterms fall back to the (capture-avoiding) tree substitution on the
+    /// rebuilt subtree: they are rare, and the fresh-name renaming performed
+    /// there is inherently not memoizable.
+    fn subst_rec(
+        &mut self,
+        id: ExprId,
+        subst: &Subst,
+        memo: &mut HashMap<ExprId, ExprId>,
+    ) -> ExprId {
+        if let Some(&out) = memo.get(&id) {
+            return out;
+        }
+        let node = self.nodes[id.0 as usize].clone();
+        let out = match node {
+            Node::Var(name) => match subst.get(name) {
+                Some(replacement) => {
+                    let replacement = replacement.clone();
+                    self.intern_expr(&replacement)
+                }
+                None => id,
+            },
+            Node::Const(_) => id,
+            Node::UnOp(op, e) => {
+                let e = self.subst_rec(e, subst, memo);
+                self.intern_node(Node::UnOp(op, e))
+            }
+            Node::BinOp(op, l, r) => {
+                let l = self.subst_rec(l, subst, memo);
+                let r = self.subst_rec(r, subst, memo);
+                self.intern_node(Node::BinOp(op, l, r))
+            }
+            Node::Ite(c, t, e) => {
+                let c = self.subst_rec(c, subst, memo);
+                let t = self.subst_rec(t, subst, memo);
+                let e = self.subst_rec(e, subst, memo);
+                self.intern_node(Node::Ite(c, t, e))
+            }
+            Node::App(f, args) => {
+                let args = args
+                    .iter()
+                    .map(|a| self.subst_rec(*a, subst, memo))
+                    .collect();
+                self.intern_node(Node::App(f, args))
+            }
+            Node::Forall(..) | Node::Exists(..) => {
+                let tree = subst.apply(&self.rebuild(id));
+                self.intern_expr(&tree)
+            }
+        };
+        memo.insert(id, out);
+        out
+    }
+
+    fn simplify_rec(&mut self, id: ExprId) -> ExprId {
+        if let Some(&out) = self.simplify_memo.get(&id.0) {
+            return ExprId(out);
+        }
+        let out = self.intern_expr(&simplify(&self.rebuild(id)));
+        self.simplify_memo.insert(id.0, out.0);
+        // Simplification is idempotent; short-circuit the result too.
+        self.simplify_memo.insert(out.0, out.0);
+        out
+    }
+}
+
+impl ExprId {
+    /// Interns `expr`, returning the canonical id of its DAG representation.
+    pub fn intern(expr: &Expr) -> ExprId {
+        table()
+            .lock()
+            .expect("hcons table poisoned")
+            .intern_expr(expr)
+    }
+
+    /// Rebuilds the tree form of this expression.
+    pub fn expr(self) -> Expr {
+        table().lock().expect("hcons table poisoned").rebuild(self)
+    }
+
+    /// The raw index of this id (usable as a compact cache key).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Applies `subst` over the DAG, memoizing shared subterms within the
+    /// call.  Agrees with [`Subst::apply`] on the tree form.
+    pub fn subst(self, subst: &Subst) -> ExprId {
+        if subst.is_empty() {
+            return self;
+        }
+        let mut memo = HashMap::new();
+        table()
+            .lock()
+            .expect("hcons table poisoned")
+            .subst_rec(self, subst, &mut memo)
+    }
+
+    /// Simplifies this expression, memoizing the result globally.  Agrees
+    /// with [`crate::simplify`] on the tree form.
+    pub fn simplified(self) -> ExprId {
+        table()
+            .lock()
+            .expect("hcons table poisoned")
+            .simplify_rec(self)
+    }
+}
+
+/// Number of distinct subterms interned so far (diagnostic; used by tests to
+/// observe structural sharing).
+pub fn interned_nodes() -> usize {
+    table().lock().expect("hcons table poisoned").nodes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Serialises the tests in this module: `interning_shares_subterms`
+    /// measures deltas of the process-global node counter, which interning
+    /// from a concurrently running test would skew.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn v(s: &str) -> Expr {
+        Expr::var(Name::intern(s))
+    }
+
+    #[test]
+    fn structurally_equal_expressions_share_an_id() {
+        let _guard = serial();
+        let a = Expr::and(Expr::ge(v("x"), Expr::int(0)), Expr::lt(v("x"), v("n")));
+        let b = Expr::and(Expr::ge(v("x"), Expr::int(0)), Expr::lt(v("x"), v("n")));
+        assert_eq!(ExprId::intern(&a), ExprId::intern(&b));
+    }
+
+    #[test]
+    fn distinct_expressions_get_distinct_ids() {
+        let _guard = serial();
+        assert_ne!(ExprId::intern(&v("x")), ExprId::intern(&v("y")));
+        assert_ne!(
+            ExprId::intern(&Expr::lt(v("x"), v("y"))),
+            ExprId::intern(&Expr::le(v("x"), v("y")))
+        );
+    }
+
+    #[test]
+    fn interning_shares_subterms() {
+        let _guard = serial();
+        // (x + 1) < (x + 1) + y — the two occurrences of `x + 1` must not
+        // create new nodes the second time around.
+        let shared = v("hcshare") + Expr::int(1);
+        let _ = ExprId::intern(&shared);
+        let before = interned_nodes();
+        let e = Expr::lt(shared.clone(), shared + v("hcy"));
+        let _ = ExprId::intern(&e);
+        let created = interned_nodes() - before;
+        // Only `hcy`, `(x+1)+hcy` and the `<` node may be new.
+        assert!(
+            created <= 3,
+            "expected at most 3 new nodes, created {created}"
+        );
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let _guard = serial();
+        let e = Expr::imp(
+            Expr::and(Expr::ge(v("i"), Expr::int(0)), Expr::lt(v("i"), v("n"))),
+            Expr::ite(v("p"), v("i") + Expr::int(1), Expr::neg(v("i"))),
+        );
+        assert_eq!(ExprId::intern(&e).expr(), e);
+    }
+
+    #[test]
+    fn quantifiers_roundtrip() {
+        let _guard = serial();
+        let j = Name::intern("j");
+        let e = Expr::forall(
+            vec![(j, Sort::Int)],
+            Expr::imp(
+                Expr::ge(Expr::var(j), Expr::int(0)),
+                Expr::ge(
+                    Expr::app("select", vec![v("a"), Expr::var(j)]),
+                    Expr::int(0),
+                ),
+            ),
+        );
+        assert_eq!(ExprId::intern(&e).expr(), e);
+    }
+
+    #[test]
+    fn dag_subst_agrees_with_tree_subst() {
+        let _guard = serial();
+        let mut subst = Subst::new();
+        subst.insert(Name::intern("x"), v("y") + Expr::int(2));
+        let cases = [
+            v("x"),
+            v("z"),
+            Expr::lt(v("x") + v("x"), v("z")),
+            Expr::ite(Expr::eq(v("x"), v("z")), v("x"), Expr::int(0)),
+            Expr::app("f", vec![v("x"), v("z")]),
+        ];
+        for e in &cases {
+            let tree = subst.apply(e);
+            let dag = ExprId::intern(e).subst(&subst);
+            assert_eq!(dag.expr(), tree, "mismatch on {e:?}");
+            assert_eq!(dag, ExprId::intern(&tree));
+        }
+    }
+
+    #[test]
+    fn dag_subst_respects_quantifier_shadowing() {
+        let _guard = serial();
+        let x = Name::intern("x");
+        let mut subst = Subst::new();
+        subst.insert(x, Expr::int(7));
+        // forall x. x > 0 — the bound x must not be substituted.
+        let e = Expr::forall(vec![(x, Sort::Int)], Expr::gt(Expr::var(x), Expr::int(0)));
+        let tree = subst.apply(&e);
+        let dag = ExprId::intern(&e).subst(&subst);
+        assert_eq!(dag.expr(), tree);
+    }
+
+    #[test]
+    fn empty_subst_is_identity() {
+        let _guard = serial();
+        let e = Expr::lt(v("x"), v("y"));
+        let id = ExprId::intern(&e);
+        assert_eq!(id.subst(&Subst::new()), id);
+    }
+
+    #[test]
+    fn memoized_simplify_agrees_with_tree_simplify() {
+        let _guard = serial();
+        let cases = [
+            Expr::binop(BinOp::And, Expr::tt(), v("p")),
+            Expr::binop(BinOp::Add, Expr::int(2), Expr::int(3)),
+            Expr::not(Expr::not(v("p"))),
+            Expr::imp(Expr::ff(), v("p")),
+            Expr::lt(v("x"), v("y")),
+        ];
+        for e in &cases {
+            let id = ExprId::intern(e);
+            let first = id.simplified();
+            assert_eq!(first.expr(), simplify(e), "mismatch on {e:?}");
+            // The memo must return the identical id on a repeat call.
+            assert_eq!(id.simplified(), first);
+            // And simplification is idempotent through the memo.
+            assert_eq!(first.simplified(), first);
+        }
+    }
+}

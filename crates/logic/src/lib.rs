@@ -38,12 +38,14 @@
 
 mod expr;
 mod fmt;
+mod hcons;
 mod intern;
 mod simplify;
 mod sort;
 mod subst;
 
 pub use expr::{BinOp, Constant, Expr, UnOp};
+pub use hcons::{interned_nodes, ExprId};
 pub use intern::Name;
 pub use simplify::simplify;
 pub use sort::{Sort, SortCtx, SortError};

@@ -227,7 +227,10 @@ mod tests {
     #[test]
     fn simplification_is_idempotent_on_samples() {
         let samples = vec![
-            Expr::imp(Expr::ge(v("n"), Expr::int(0)), Expr::ge(v("n") + Expr::int(1), Expr::int(0))),
+            Expr::imp(
+                Expr::ge(v("n"), Expr::int(0)),
+                Expr::ge(v("n") + Expr::int(1), Expr::int(0)),
+            ),
             Expr::and(Expr::tt(), Expr::le(v("i"), v("n"))),
             Expr::ite(Expr::lt(v("x"), Expr::int(0)), Expr::neg(v("x")), v("x")),
         ];

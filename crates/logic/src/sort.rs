@@ -72,7 +72,10 @@ impl fmt::Display for SortError {
                 expected,
                 found,
                 context,
-            } => write!(f, "sort mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "sort mismatch in {context}: expected {expected}, found {found}"
+            ),
             SortError::Arity {
                 func,
                 expected,
@@ -175,12 +178,7 @@ impl Expr {
     }
 }
 
-fn expect(
-    expr: &Expr,
-    ctx: &mut SortCtx,
-    expected: Sort,
-    context: &str,
-) -> Result<(), SortError> {
+fn expect(expr: &Expr, ctx: &mut SortCtx, expected: Sort, context: &str) -> Result<(), SortError> {
     let found = sort_of_rec(expr, ctx)?;
     if found == expected {
         Ok(())
@@ -354,10 +352,7 @@ mod tests {
         let mut ctx = SortCtx::new();
         let a = Name::intern("a");
         ctx.push(a, Sort::Array);
-        let e = Expr::app(
-            Name::intern("select"),
-            vec![Expr::var(a), Expr::int(0)],
-        );
+        let e = Expr::app(Name::intern("select"), vec![Expr::var(a), Expr::int(0)]);
         assert_eq!(e.sort_of(&ctx).unwrap(), Sort::Int);
         let l = Expr::app(Name::intern("len"), vec![Expr::var(a)]);
         assert_eq!(l.sort_of(&ctx).unwrap(), Sort::Int);

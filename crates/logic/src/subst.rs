@@ -71,9 +71,7 @@ impl Subst {
             Expr::Ite(c, t, e) => {
                 Expr::ite(self.apply_rec(c), self.apply_rec(t), self.apply_rec(e))
             }
-            Expr::App(f, args) => {
-                Expr::App(*f, args.iter().map(|a| self.apply_rec(a)).collect())
-            }
+            Expr::App(f, args) => Expr::App(*f, args.iter().map(|a| self.apply_rec(a)).collect()),
             Expr::Forall(binders, body) => {
                 let (binders, body) = self.apply_under_binders(binders, body);
                 Expr::Forall(binders, Box::new(body))

@@ -145,14 +145,12 @@ fn fresh_def(atoms: &mut AtomTable) -> Lit {
 /// Encodes a comparison (or opaque predicate) as a theory atom.
 fn encode_atom(expr: &Expr, atoms: &mut AtomTable) -> Result<AtomId, CnfError> {
     match expr {
-        Expr::BinOp(BinOp::Le, lhs, rhs) => match linearize(&Expr::binop(
-            BinOp::Sub,
-            (**lhs).clone(),
-            (**rhs).clone(),
-        )) {
-            Some(lin) => Ok(atoms.intern(Atom::Lin(LinConstraint::le_zero(lin)))),
-            None => Ok(atoms.intern(Atom::Opaque(expr.clone()))),
-        },
+        Expr::BinOp(BinOp::Le, lhs, rhs) => {
+            match linearize(&Expr::binop(BinOp::Sub, (**lhs).clone(), (**rhs).clone())) {
+                Some(lin) => Ok(atoms.intern(Atom::Lin(LinConstraint::le_zero(lin)))),
+                None => Ok(atoms.intern(Atom::Opaque(expr.clone()))),
+            }
+        }
         _ => Ok(atoms.intern(Atom::Opaque(expr.clone()))),
     }
 }

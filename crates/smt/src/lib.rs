@@ -15,8 +15,12 @@
 //! * bounded quantifier instantiation ([`quant`]) used only by the
 //!   program-logic baseline.
 //!
-//! The public entry points are [`Solver::check_sat`] and
-//! [`Solver::check_valid_imp`].
+//! The public entry points are [`Solver::check_sat`],
+//! [`Solver::check_valid_imp`] and, for callers that check many goals
+//! against one set of hypotheses, the incremental [`Session`] API
+//! ([`Solver::assume`] / [`Session::check`]), which preprocesses and
+//! CNF-converts the shared hypothesis context once and persists learned
+//! theory lemmas across goals.
 //!
 //! # Example
 //!
@@ -43,45 +47,62 @@ pub mod preprocess;
 pub mod quant;
 pub mod rational;
 pub mod sat;
+mod session;
 pub mod simplex;
 mod solver;
 pub mod testing;
 
 pub use quant::QuantConfig;
 pub use sat::SatConfig;
+pub use session::Session;
 pub use simplex::LiaConfig;
 pub use solver::{MaxTheoryRounds, Model, SatOutcome, SmtConfig, SmtStats, Solver, Validity};
 
 #[cfg(test)]
-mod proptests {
-    use super::*;
-    use flux_logic::{BinOp, Expr, Name, Sort, SortCtx};
-    use proptest::prelude::*;
+mod randtests {
+    //! Randomised differential tests against the brute-force evaluator.
+    //!
+    //! The build environment has no access to crates.io, so instead of
+    //! proptest these use a small deterministic xorshift generator: the same
+    //! formulas are exercised on every run, which keeps failures
+    //! reproducible by case index.
 
-    /// Strategy for small quantifier-free formulas over integer variables
-    /// `a`, `b` and boolean variable `p`.
-    fn arb_expr() -> impl Strategy<Value = Expr> {
-        let term = prop_oneof![
-            Just(Expr::var(Name::intern("a"))),
-            Just(Expr::var(Name::intern("b"))),
-            (-3i128..=3).prop_map(Expr::int),
-        ];
-        let atom = (term.clone(), term, 0usize..5).prop_map(|(l, r, op)| match op {
-            0 => Expr::lt(l, r),
-            1 => Expr::le(l, r),
-            2 => Expr::eq(l, r),
-            3 => Expr::ge(l + Expr::int(1), r),
-            _ => Expr::ne(l, r - Expr::int(1)),
-        });
-        let leaf = prop_oneof![atom, Just(Expr::var(Name::intern("p")))];
-        leaf.prop_recursive(3, 24, 2, |inner| {
-            (inner.clone(), inner, 0usize..4).prop_map(|(l, r, op)| match op {
-                0 => Expr::and(l, r),
-                1 => Expr::or(l, r),
-                2 => Expr::imp(l, r),
-                _ => Expr::not(l),
-            })
-        })
+    use super::*;
+    use crate::testing::Rng;
+    use flux_logic::{BinOp, Expr, Name, Sort, SortCtx};
+
+    /// A small quantifier-free formula over integer variables `a`, `b` and
+    /// boolean variable `p`, mirroring the old proptest strategy.
+    fn gen_expr(rng: &mut Rng, depth: usize) -> Expr {
+        fn gen_term(rng: &mut Rng) -> Expr {
+            match rng.below(3) {
+                0 => Expr::var(Name::intern("a")),
+                1 => Expr::var(Name::intern("b")),
+                _ => Expr::int(rng.below(7) as i128 - 3),
+            }
+        }
+        if depth == 0 || rng.below(3) == 0 {
+            // Leaf: a comparison atom or the boolean variable.
+            if rng.below(6) == 0 {
+                return Expr::var(Name::intern("p"));
+            }
+            let l = gen_term(rng);
+            let r = gen_term(rng);
+            return match rng.below(5) {
+                0 => Expr::lt(l, r),
+                1 => Expr::le(l, r),
+                2 => Expr::eq(l, r),
+                3 => Expr::ge(l + Expr::int(1), r),
+                _ => Expr::ne(l, r - Expr::int(1)),
+            };
+        }
+        let l = gen_expr(rng, depth - 1);
+        match rng.below(4) {
+            0 => Expr::and(l, gen_expr(rng, depth - 1)),
+            1 => Expr::or(l, gen_expr(rng, depth - 1)),
+            2 => Expr::imp(l, gen_expr(rng, depth - 1)),
+            _ => Expr::not(l),
+        }
     }
 
     fn ctx() -> SortCtx {
@@ -92,14 +113,14 @@ mod proptests {
         ctx
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(96))]
-
-        /// The solver and the brute-force evaluator agree on satisfiability
-        /// whenever brute force over a small box finds a model, and the
-        /// solver never reports UNSAT for a formula with a model in the box.
-        #[test]
-        fn solver_agrees_with_brute_force(e in arb_expr()) {
+    /// The solver and the brute-force evaluator agree on satisfiability
+    /// whenever brute force over a small box finds a model, and the solver
+    /// never reports UNSAT for a formula with a model in the box.
+    #[test]
+    fn solver_agrees_with_brute_force() {
+        let mut rng = Rng::new(0x5EED_0001);
+        for case in 0..96 {
+            let e = gen_expr(&mut rng, 3);
             let ctx = ctx();
             let domain: Vec<i128> = (-4..=4).collect();
             let brute = testing::brute_force_sat(&ctx, &e, &domain);
@@ -107,7 +128,11 @@ mod proptests {
             match solver.check_sat(&ctx, &e) {
                 SatOutcome::Unsat => {
                     // Definitely no model anywhere, so certainly none in the box.
-                    prop_assert_ne!(brute, Some(true));
+                    assert_ne!(
+                        brute,
+                        Some(true),
+                        "case {case}: unsat but box model exists: {e}"
+                    );
                 }
                 SatOutcome::Sat(model) => {
                     // Check the model against the original formula directly.
@@ -126,26 +151,55 @@ mod proptests {
                         });
                     }
                     if let Some(testing::Value::Bool(holds)) = testing::eval(&e, &env, &[]) {
-                        prop_assert!(holds, "model returned by solver does not satisfy formula {e}");
+                        assert!(holds, "case {case}: model does not satisfy formula {e}");
                     }
                 }
                 SatOutcome::Unknown => {}
             }
         }
+    }
 
-        /// Validity of `h ⟹ g` agrees with brute-force over the box: if the
-        /// solver says valid, no point in the box may violate it.
-        #[test]
-        fn validity_is_sound_on_box(h in arb_expr(), g in arb_expr()) {
+    /// Validity of `h ⟹ g` agrees with brute-force over the box: if the
+    /// solver says valid, no point in the box may violate it.
+    #[test]
+    fn validity_is_sound_on_box() {
+        let mut rng = Rng::new(0x5EED_0002);
+        for case in 0..96 {
+            let h = gen_expr(&mut rng, 3);
+            let g = gen_expr(&mut rng, 3);
             let ctx = ctx();
             let domain: Vec<i128> = (-3..=3).collect();
             let mut solver = Solver::with_defaults();
             if solver.check_valid_imp(&ctx, &[h.clone()], &g).is_valid() {
                 let negated = Expr::and(h, Expr::binop(BinOp::And, Expr::not(g), Expr::tt()));
-                prop_assert_ne!(
+                assert_ne!(
                     testing::brute_force_sat(&ctx, &negated, &domain),
                     Some(true),
-                    "solver claimed validity but brute force found a counterexample"
+                    "case {case}: solver claimed validity but brute force found a counterexample"
+                );
+            }
+        }
+    }
+
+    /// The incremental session path and the one-shot path agree on every
+    /// randomly generated implication (the tentpole equivalence property).
+    #[test]
+    fn session_agrees_with_one_shot_on_random_implications() {
+        let mut rng = Rng::new(0x5EED_0003);
+        for case in 0..96 {
+            let h = gen_expr(&mut rng, 3);
+            let g1 = gen_expr(&mut rng, 3);
+            let g2 = gen_expr(&mut rng, 3);
+            let ctx = ctx();
+            let mut one_shot = Solver::with_defaults();
+            let mut session = Session::assume(SmtConfig::default(), &ctx, &[h.clone()]);
+            for goal in [&g1, &g2] {
+                let reference = one_shot.check_valid_imp(&ctx, &[h.clone()], goal);
+                let incremental = session.check(goal);
+                assert_eq!(
+                    incremental.is_valid(),
+                    reference.is_valid(),
+                    "case {case}: session and one-shot disagree on {h} => {goal}"
                 );
             }
         }

@@ -94,10 +94,7 @@ pub fn eliminate_ite(expr: &Expr) -> Expr {
             let c = eliminate_ite(c);
             let t = eliminate_ite(t);
             let e = eliminate_ite(e);
-            Expr::or(
-                Expr::and(c.clone(), t),
-                Expr::and(Expr::not(c), e),
-            )
+            Expr::or(Expr::and(c.clone(), t), Expr::and(Expr::not(c), e))
         }
         Expr::BinOp(op, lhs, rhs) if !op.is_predicate() => {
             Expr::binop(*op, eliminate_ite(lhs), eliminate_ite(rhs))
@@ -115,12 +112,8 @@ pub fn eliminate_ite(expr: &Expr) -> Expr {
             Expr::binop(*op, eliminate_ite(lhs), eliminate_ite(rhs))
         }
         Expr::App(f, args) => Expr::App(*f, args.iter().map(eliminate_ite).collect()),
-        Expr::Forall(binders, body) => {
-            Expr::Forall(binders.clone(), Box::new(eliminate_ite(body)))
-        }
-        Expr::Exists(binders, body) => {
-            Expr::Exists(binders.clone(), Box::new(eliminate_ite(body)))
-        }
+        Expr::Forall(binders, body) => Expr::Forall(binders.clone(), Box::new(eliminate_ite(body))),
+        Expr::Exists(binders, body) => Expr::Exists(binders.clone(), Box::new(eliminate_ite(body))),
     }
 }
 
@@ -130,9 +123,9 @@ fn split_first_term_ite(expr: &Expr) -> Option<(Expr, Expr, Expr)> {
     fn find_in_term(term: &Expr) -> Option<(Expr, Expr, Expr)> {
         match term {
             Expr::Ite(c, t, e) => Some(((**c).clone(), (**t).clone(), (**e).clone())),
-            Expr::UnOp(op, inner) => find_in_term(inner).map(|(c, t, e)| {
-                (c, Expr::unop(*op, t), Expr::unop(*op, e))
-            }),
+            Expr::UnOp(op, inner) => {
+                find_in_term(inner).map(|(c, t, e)| (c, Expr::unop(*op, t), Expr::unop(*op, e)))
+            }
             Expr::BinOp(op, lhs, rhs) => {
                 if let Some((c, t, e)) = find_in_term(lhs) {
                     let rt = (**rhs).clone();
@@ -304,12 +297,8 @@ pub fn normalize_comparisons(expr: &Expr, ctx: &SortCtx) -> Expr {
             let r = normalize_comparisons(rhs, ctx);
             let operand_sort = lhs.sort_of(ctx).unwrap_or(Sort::Int);
             match op {
-                BinOp::Lt if operand_sort == Sort::Int => {
-                    Expr::le(l + Expr::int(1), r)
-                }
-                BinOp::Gt if operand_sort == Sort::Int => {
-                    Expr::le(r + Expr::int(1), l)
-                }
+                BinOp::Lt if operand_sort == Sort::Int => Expr::le(l + Expr::int(1), r),
+                BinOp::Gt if operand_sort == Sort::Int => Expr::le(r + Expr::int(1), l),
                 BinOp::Ge if operand_sort == Sort::Int => Expr::le(r, l),
                 BinOp::Eq => match operand_sort {
                     Sort::Int => Expr::and(Expr::le(l.clone(), r.clone()), Expr::le(r, l)),
@@ -349,10 +338,13 @@ mod tests {
     #[test]
     fn division_by_constant_is_defined_away() {
         let mut defs = Vec::new();
-        let e = Expr::le(eliminate_div_mod(
-            &Expr::binop(BinOp::Div, v("lo") + v("hi"), Expr::int(2)),
-            &mut defs,
-        ), v("hi"));
+        let e = Expr::le(
+            eliminate_div_mod(
+                &Expr::binop(BinOp::Div, v("lo") + v("hi"), Expr::int(2)),
+                &mut defs,
+            ),
+            v("hi"),
+        );
         // Three defining constraints are produced.
         assert_eq!(defs.len(), 3);
         assert!(!format!("{e}").contains('/'));
@@ -471,10 +463,16 @@ mod tests {
         let j = Name::intern("j");
         let e = Expr::forall(
             vec![(j, Sort::Int)],
-            Expr::imp(Expr::lt(Expr::var(j), v("n")), Expr::ge(Expr::var(j), Expr::int(0))),
+            Expr::imp(
+                Expr::lt(Expr::var(j), v("n")),
+                Expr::ge(Expr::var(j), Expr::int(0)),
+            ),
         );
         let out = normalize_comparisons(&e, &ctx);
         let printed = format!("{out}");
-        assert!(!printed.contains('<') || printed.contains("<="), "still has strict comparison: {printed}");
+        assert!(
+            !printed.contains('<') || printed.contains("<="),
+            "still has strict comparison: {printed}"
+        );
     }
 }

@@ -393,7 +393,10 @@ mod tests {
         );
         let (out, _, stats) = eliminate_quantifiers(&e, &ctx, &QuantConfig::default());
         assert!(!out.has_quantifier());
-        assert!(stats.instances >= 2, "expected several instances, got {stats:?}");
+        assert!(
+            stats.instances >= 2,
+            "expected several instances, got {stats:?}"
+        );
         // The instantiation must mention k <= n (instance at candidate k).
         let printed = format!("{out}");
         assert!(printed.contains("k <= n"), "missing instance in {printed}");

@@ -319,11 +319,7 @@ impl SatSolver {
             } else {
                 match self.pick_branch_var() {
                     None => {
-                        let model = self
-                            .assignment
-                            .iter()
-                            .map(|v| v.unwrap_or(false))
-                            .collect();
+                        let model = self.assignment.iter().map(|v| v.unwrap_or(false)).collect();
                         return SatResult::Sat(model);
                     }
                     Some(var) => {
@@ -339,17 +335,15 @@ impl SatSolver {
 
 /// Checks whether `assignment` satisfies all `clauses`; test helper.
 pub fn assignment_satisfies(clauses: &[Vec<SatLit>], assignment: &[bool]) -> bool {
-    clauses.iter().all(|clause| {
-        clause
-            .iter()
-            .any(|lit| assignment[lit.var] == lit.positive)
-    })
+    clauses
+        .iter()
+        .all(|clause| clause.iter().any(|lit| assignment[lit.var] == lit.positive))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testing::Rng;
 
     fn lit(v: usize, pos: bool) -> SatLit {
         SatLit::new(v, pos)
@@ -459,7 +453,10 @@ mod tests {
 
     #[test]
     fn duplicate_literals_are_deduplicated() {
-        let clauses = vec![vec![lit(0, true), lit(0, true)], vec![lit(0, false), lit(1, true)]];
+        let clauses = vec![
+            vec![lit(0, true), lit(0, true)],
+            vec![lit(0, false), lit(1, true)],
+        ];
         match solve_clauses(2, &clauses) {
             SatResult::Sat(m) => assert!(assignment_satisfies(&clauses, &m)),
             other => panic!("expected sat, got {other:?}"),
@@ -477,27 +474,26 @@ mod tests {
         false
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        #[test]
-        fn agrees_with_brute_force_on_random_instances(
-            raw_clauses in proptest::collection::vec(
-                proptest::collection::vec((0usize..6, proptest::bool::ANY), 1..4),
-                1..12,
-            )
-        ) {
-            let clauses: Vec<Vec<SatLit>> = raw_clauses
-                .iter()
-                .map(|c| c.iter().map(|(v, p)| lit(*v, *p)).collect())
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        let mut rng = Rng::new(0x5A7_5EED);
+        for case in 0..128 {
+            let num_clauses = rng.int_in(1, 11) as usize;
+            let clauses: Vec<Vec<SatLit>> = (0..num_clauses)
+                .map(|_| {
+                    let num_lits = rng.int_in(1, 3) as usize;
+                    (0..num_lits)
+                        .map(|_| lit(rng.below(6) as usize, rng.flip()))
+                        .collect()
+                })
                 .collect();
             let expected = brute_force_sat(6, &clauses);
             match solve_clauses(6, &clauses) {
                 SatResult::Sat(m) => {
-                    prop_assert!(assignment_satisfies(&clauses, &m));
-                    prop_assert!(expected);
+                    assert!(assignment_satisfies(&clauses, &m), "case {case}");
+                    assert!(expected, "case {case}");
                 }
-                SatResult::Unsat => prop_assert!(!expected),
+                SatResult::Unsat => assert!(!expected, "case {case}"),
                 SatResult::Unknown => {}
             }
         }

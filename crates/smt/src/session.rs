@@ -1,0 +1,418 @@
+//! Incremental solver sessions.
+//!
+//! The liquid-inference weakening loop asks the same question shape over and
+//! over: *given this clause's hypotheses, is candidate conjunct q implied?*
+//! The hypotheses stay fixed while the goal varies, yet one-shot
+//! [`crate::Solver::check_valid_imp`] rebuilds the entire pipeline —
+//! simplification, preprocessing, Tseitin CNF conversion, a fresh SAT solver
+//! and simplex — for every goal.
+//!
+//! A [`Session`] splits the pipeline at the hypothesis/goal boundary:
+//!
+//! * [`Session::assume`] preprocesses and CNF-converts the conjunction of
+//!   hypotheses **once**, interning its theory atoms into a table that
+//!   persists for the session's lifetime;
+//! * [`Session::check`] preprocesses only the (negated) goal, appends its
+//!   clauses to the persisted hypothesis CNF, and runs the DPLL(T) loop.
+//!   Theory lemmas learned from simplex conflicts are tautologies over the
+//!   shared atom table, so they carry over from goal to goal and prune the
+//!   SAT search of later checks.
+//!
+//! Splitting is only sound for the quantifier-free, application-free
+//! fragment (quantifier instantiation and Ackermann expansion both need the
+//! whole formula).  Flux's verification conditions live entirely in that
+//! fragment — that is the point of the paper; anything outside it falls back
+//! to the one-shot pipeline per goal, so a session always returns the same
+//! verdicts as one-shot solving.
+
+use crate::atoms::{AtomTable, Lit};
+use crate::cnf::tseitin;
+use crate::preprocess::{eliminate_div_mod, eliminate_ite, normalize_comparisons};
+use crate::solver::{check_sat_impl, dpll_t, SatOutcome, SmtConfig, SmtStats, Validity};
+use flux_logic::{simplify, Expr, ExprId, SortCtx};
+
+/// How goals of this session are discharged.
+enum Mode {
+    /// Hypotheses are preprocessed into `hyp_clauses`; goals are converted
+    /// incrementally against the shared atom table.
+    Incremental,
+    /// The hypotheses simplified to `false`: every implication is valid.
+    Contradictory,
+    /// The hypotheses fall outside the incremental fragment (quantifiers or
+    /// uninterpreted applications); every check runs the one-shot pipeline
+    /// on the combined formula.
+    OneShot,
+}
+
+/// An incremental solving session: a fixed hypothesis context plus
+/// per-session solver state reused across goal checks.
+pub struct Session {
+    config: SmtConfig,
+    ctx: SortCtx,
+    stats: SmtStats,
+    mode: Mode,
+    /// Original hypotheses, kept for one-shot fallbacks.
+    hypotheses: Vec<Expr>,
+    /// Atom table shared by the hypothesis CNF and all goal CNFs.
+    atoms: AtomTable,
+    /// CNF of the preprocessed hypotheses (empty when trivially true).
+    hyp_clauses: Vec<Vec<Lit>>,
+    /// Theory lemmas learned so far; valid across all checks.
+    lemmas: Vec<Vec<Lit>>,
+}
+
+impl Session {
+    /// Opens a session that assumes `hypotheses` under `ctx`.
+    ///
+    /// Preprocessing and CNF conversion of the hypotheses happen here,
+    /// once; each subsequent [`Session::check`] only pays for its goal.
+    pub fn assume(config: SmtConfig, ctx: &SortCtx, hypotheses: &[Expr]) -> Session {
+        let mut session = Session {
+            config,
+            ctx: ctx.clone(),
+            stats: SmtStats {
+                sessions: 1,
+                ..SmtStats::default()
+            },
+            mode: Mode::Incremental,
+            hypotheses: hypotheses.to_vec(),
+            atoms: AtomTable::new(),
+            hyp_clauses: Vec::new(),
+            lemmas: Vec::new(),
+        };
+        // Simplify through the hash-cons memo: the weakening loop re-opens
+        // sessions for the same clause whenever a new goal misses the
+        // validity cache, and the memo makes re-simplifying an
+        // already-seen hypothesis conjunction O(1).
+        let h = ExprId::intern(&Expr::and_all(hypotheses.iter().cloned()))
+            .simplified()
+            .expr();
+        if h.is_trivially_false() {
+            session.mode = Mode::Contradictory;
+            return session;
+        }
+        if h.has_quantifier() || h.has_app() {
+            session.mode = Mode::OneShot;
+            return session;
+        }
+        match preprocess_qf(&h, &session.ctx) {
+            Preprocessed::False => session.mode = Mode::Contradictory,
+            Preprocessed::True => {} // no hypothesis clauses to assert
+            Preprocessed::Formula(f) => match tseitin(&f, &mut session.atoms) {
+                Ok(cnf) => session.hyp_clauses = cnf.clauses,
+                // Defensive: the preprocessed QF fragment should always
+                // convert; degrade to one-shot rather than give up.
+                Err(_) => session.mode = Mode::OneShot,
+            },
+        }
+        session
+    }
+
+    /// Checks the validity of `hypotheses ⟹ goal`.
+    ///
+    /// Produces the same verdict as
+    /// [`crate::Solver::check_valid_imp`] on the same inputs.
+    pub fn check(&mut self, goal: &Expr) -> Validity {
+        self.stats.queries += 1;
+        match self.mode {
+            Mode::Contradictory => Validity::Valid,
+            Mode::OneShot => self.check_one_shot(goal),
+            Mode::Incremental => {
+                if goal.has_quantifier() || goal.has_app() {
+                    return self.check_one_shot(goal);
+                }
+                let negated = simplify(&Expr::not(goal.clone()));
+                let goal_clauses = match preprocess_qf(&negated, &self.ctx) {
+                    // ¬goal is false: the implication holds outright.
+                    Preprocessed::False => return Validity::Valid,
+                    // ¬goal is true: satisfiability reduces to the
+                    // hypotheses alone, i.e. no extra clauses.
+                    Preprocessed::True => Vec::new(),
+                    Preprocessed::Formula(f) => match tseitin(&f, &mut self.atoms) {
+                        Ok(cnf) => cnf.clauses,
+                        Err(_) => return self.check_one_shot(goal),
+                    },
+                };
+                let outcome = dpll_t(
+                    &self.config,
+                    &self.hyp_clauses,
+                    &goal_clauses,
+                    &mut self.atoms,
+                    &mut self.lemmas,
+                    &mut self.stats,
+                );
+                match outcome {
+                    SatOutcome::Unsat => Validity::Valid,
+                    SatOutcome::Sat(model) => Validity::Invalid(Some(model)),
+                    SatOutcome::Unknown => Validity::Unknown,
+                }
+            }
+        }
+    }
+
+    fn check_one_shot(&mut self, goal: &Expr) -> Validity {
+        let negated = Expr::and(
+            Expr::and_all(self.hypotheses.iter().cloned()),
+            Expr::not(goal.clone()),
+        );
+        match check_sat_impl(&self.config, &self.ctx, &negated, &mut self.stats) {
+            SatOutcome::Unsat => Validity::Valid,
+            SatOutcome::Sat(model) => Validity::Invalid(Some(model)),
+            SatOutcome::Unknown => Validity::Unknown,
+        }
+    }
+
+    /// Statistics accumulated by this session.
+    pub fn stats(&self) -> &SmtStats {
+        &self.stats
+    }
+
+    /// Number of theory lemmas currently persisted across checks.
+    pub fn lemma_count(&self) -> usize {
+        self.lemmas.len()
+    }
+}
+
+enum Preprocessed {
+    True,
+    False,
+    Formula(Expr),
+}
+
+/// The quantifier-free, application-free slice of the one-shot pipeline
+/// (steps 3, 4 and 6 of [`check_sat_impl`]); quantifier elimination and
+/// Ackermannization are identities on this fragment.
+fn preprocess_qf(formula: &Expr, ctx: &SortCtx) -> Preprocessed {
+    let mut defs = Vec::new();
+    let f = eliminate_div_mod(formula, &mut defs);
+    let f = Expr::and(f, Expr::and_all(defs));
+    let f = eliminate_ite(&f);
+    let f = normalize_comparisons(&f, ctx);
+    let f = simplify(&f);
+    if f.is_trivially_true() {
+        Preprocessed::True
+    } else if f.is_trivially_false() {
+        Preprocessed::False
+    } else {
+        Preprocessed::Formula(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Solver;
+    use flux_logic::{Name, Sort};
+
+    fn v(s: &str) -> Expr {
+        Expr::var(Name::intern(s))
+    }
+
+    fn int_ctx(vars: &[&str]) -> SortCtx {
+        let mut ctx = SortCtx::new();
+        for name in vars {
+            ctx.push(Name::intern(name), Sort::Int);
+        }
+        ctx
+    }
+
+    /// Checks that a session and one-shot solving agree on each
+    /// (hypotheses, goal) pair, reusing one session per hypothesis set.
+    fn assert_matches_one_shot(ctx: &SortCtx, hyps: &[Expr], goals: &[Expr]) {
+        let mut session = Session::assume(SmtConfig::default(), ctx, hyps);
+        for goal in goals {
+            let mut one_shot = Solver::with_defaults();
+            let reference = one_shot.check_valid_imp(ctx, hyps, goal);
+            let incremental = session.check(goal);
+            match (&incremental, &reference) {
+                (Validity::Valid, Validity::Valid)
+                | (Validity::Invalid(_), Validity::Invalid(_))
+                | (Validity::Unknown, Validity::Unknown) => {}
+                _ => panic!(
+                    "session disagreed with one-shot on {goal}: {incremental:?} vs {reference:?}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_matrix_matches_one_shot() {
+        let ctx = int_ctx(&["i", "n"]);
+        let i = v("i");
+        let n = v("n");
+        let hyps = vec![
+            Expr::ge(i.clone(), Expr::int(0)),
+            Expr::lt(i.clone(), n.clone()),
+        ];
+        let goals = vec![
+            // Valid: i + 1 <= n.
+            Expr::le(i.clone() + Expr::int(1), n.clone()),
+            // Invalid: i >= 1.
+            Expr::ge(i.clone(), Expr::int(1)),
+            // Valid: n > 0.
+            Expr::gt(n.clone(), Expr::int(0)),
+            // Invalid: i = 0.
+            Expr::eq(i.clone(), Expr::int(0)),
+            // Trivially valid and trivially invalid goals.
+            Expr::tt(),
+            Expr::ff(),
+        ];
+        assert_matches_one_shot(&ctx, &hyps, &goals);
+    }
+
+    #[test]
+    fn empty_hypotheses_match_one_shot() {
+        let ctx = int_ctx(&["x"]);
+        let goals = vec![
+            Expr::ge(v("x"), v("x")),
+            Expr::ge(v("x"), Expr::int(0)),
+            Expr::tt(),
+        ];
+        assert_matches_one_shot(&ctx, &[], &goals);
+    }
+
+    #[test]
+    fn contradictory_hypotheses_prove_everything() {
+        let ctx = int_ctx(&["x"]);
+        let hyps = vec![
+            Expr::lt(v("x"), Expr::int(0)),
+            Expr::gt(v("x"), Expr::int(0)),
+        ];
+        let mut session = Session::assume(SmtConfig::default(), &ctx, &hyps);
+        assert!(session.check(&Expr::eq(v("x"), Expr::int(99))).is_valid());
+        assert!(session.check(&Expr::ff()).is_valid());
+    }
+
+    #[test]
+    fn boolean_structure_matches_one_shot() {
+        let mut ctx = SortCtx::new();
+        ctx.push(Name::intern("p"), Sort::Bool);
+        ctx.push(Name::intern("q"), Sort::Bool);
+        let hyps = vec![v("p"), Expr::imp(v("p"), v("q"))];
+        let goals = vec![v("q"), v("p"), Expr::and(v("p"), v("q")), Expr::not(v("q"))];
+        assert_matches_one_shot(&ctx, &hyps, &goals);
+    }
+
+    #[test]
+    fn quantified_hypotheses_fall_back_to_one_shot() {
+        let mut ctx = int_ctx(&["i", "lenv"]);
+        ctx.push(Name::intern("a"), Sort::Array);
+        let j = Name::intern("j");
+        let axiom = Expr::forall(
+            vec![(j, Sort::Int)],
+            Expr::imp(
+                Expr::and(
+                    Expr::ge(Expr::var(j), Expr::int(0)),
+                    Expr::lt(Expr::var(j), v("lenv")),
+                ),
+                Expr::ge(
+                    Expr::app("select", vec![v("a"), Expr::var(j)]),
+                    Expr::int(0),
+                ),
+            ),
+        );
+        let hyps = vec![
+            axiom,
+            Expr::ge(v("i"), Expr::int(0)),
+            Expr::lt(v("i"), v("lenv")),
+        ];
+        let goal = Expr::ge(Expr::app("select", vec![v("a"), v("i")]), Expr::int(0));
+        let mut session = Session::assume(SmtConfig::default(), &ctx, &hyps);
+        assert!(session.check(&goal).is_valid());
+    }
+
+    #[test]
+    fn uninterpreted_goal_falls_back_to_one_shot() {
+        let mut ctx = int_ctx(&["x"]);
+        ctx.declare_fn(Name::intern("f"), vec![Sort::Int], Sort::Int);
+        let hyps = vec![Expr::eq(v("x"), Expr::int(3))];
+        let mut session = Session::assume(SmtConfig::default(), &ctx, &hyps);
+        // f(x) = f(3) needs congruence, which only the one-shot
+        // Ackermannization provides.
+        let goal = Expr::eq(
+            Expr::app("f", vec![v("x")]),
+            Expr::app("f", vec![Expr::int(3)]),
+        );
+        assert!(session.check(&goal).is_valid());
+    }
+
+    #[test]
+    fn division_in_hypotheses_and_goals() {
+        let ctx = int_ctx(&["lo", "hi", "n"]);
+        let mid = Expr::binop(flux_logic::BinOp::Div, v("lo") + v("hi"), Expr::int(2));
+        let hyps = vec![
+            Expr::ge(v("lo"), Expr::int(0)),
+            Expr::le(v("lo"), v("hi")),
+            Expr::lt(v("hi"), v("n")),
+        ];
+        let goals = vec![
+            Expr::lt(mid.clone(), v("n")),
+            Expr::ge(mid.clone(), v("lo")),
+            Expr::gt(mid, v("hi")),
+        ];
+        assert_matches_one_shot(&ctx, &hyps, &goals);
+    }
+
+    #[test]
+    fn counter_models_satisfy_hypotheses() {
+        let ctx = int_ctx(&["n"]);
+        let hyps = vec![Expr::ge(v("n"), Expr::int(0))];
+        let mut session = Session::assume(SmtConfig::default(), &ctx, &hyps);
+        match session.check(&Expr::ge(v("n") - Expr::int(1), Expr::int(0))) {
+            Validity::Invalid(Some(model)) => {
+                let n = model.ints.get(&Name::intern("n")).copied().unwrap_or(0);
+                assert!(n == 0, "counter-model should pick n = 0, got {n}");
+            }
+            other => panic!("expected invalid with model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn theory_lemmas_persist_across_checks() {
+        let ctx = int_ctx(&["i", "n"]);
+        let hyps = vec![Expr::ge(v("i"), Expr::int(0)), Expr::lt(v("i"), v("n"))];
+        let mut session = Session::assume(SmtConfig::default(), &ctx, &hyps);
+        // Valid goals force theory conflicts, which become persisted lemmas.
+        assert!(session
+            .check(&Expr::le(v("i") + Expr::int(1), v("n")))
+            .is_valid());
+        let after_first = session.lemma_count();
+        assert!(session.check(&Expr::gt(v("n"), Expr::int(0))).is_valid());
+        assert!(
+            session.lemma_count() >= after_first,
+            "lemmas must never be dropped between checks"
+        );
+        assert_eq!(session.stats().queries, 2);
+        assert_eq!(session.stats().sessions, 1);
+    }
+
+    #[test]
+    fn session_reuse_is_cheaper_than_one_shot() {
+        // The incremental path must do fewer SAT rounds in total than
+        // re-solving from scratch, on a workload with shared hypotheses.
+        let ctx = int_ctx(&["i", "n"]);
+        let hyps = vec![Expr::ge(v("i"), Expr::int(0)), Expr::lt(v("i"), v("n"))];
+        let goals: Vec<Expr> = (1..=8)
+            .map(|k| Expr::lt(v("i"), v("n") + Expr::int(k)))
+            .collect();
+
+        let mut session = Session::assume(SmtConfig::default(), &ctx, &hyps);
+        for goal in &goals {
+            assert!(session.check(goal).is_valid());
+        }
+        let incremental_rounds = session.stats().sat_rounds;
+
+        let mut one_shot = Solver::with_defaults();
+        for goal in &goals {
+            assert!(one_shot
+                .check_valid_imp(&ctx, hyps.as_slice(), goal)
+                .is_valid());
+        }
+        let one_shot_rounds = one_shot.stats.sat_rounds;
+        assert!(
+            incremental_rounds <= one_shot_rounds,
+            "incremental path used more SAT rounds ({incremental_rounds}) than one-shot \
+             ({one_shot_rounds})"
+        );
+    }
+}

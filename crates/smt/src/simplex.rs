@@ -398,10 +398,8 @@ impl Simplex {
 /// Convenience helper: evaluates whether an integer assignment satisfies all
 /// constraints.  Used by tests to validate models.
 pub fn model_satisfies(constraints: &[LinConstraint], model: &BTreeMap<Name, i128>) -> bool {
-    let rational_model: BTreeMap<Name, Rational> = model
-        .iter()
-        .map(|(n, v)| (*n, Rational::int(*v)))
-        .collect();
+    let rational_model: BTreeMap<Name, Rational> =
+        model.iter().map(|(n, v)| (*n, Rational::int(*v))).collect();
     constraints.iter().all(|c| c.holds(&rational_model))
 }
 
@@ -417,7 +415,7 @@ pub fn constraint_vars(constraints: &[LinConstraint]) -> BTreeSet<Name> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testing::Rng;
 
     fn n(s: &str) -> Name {
         Name::intern(s)
@@ -442,7 +440,10 @@ mod tests {
             check_lia(&[le0(&[], -5)], &cfg()),
             LiaResult::Feasible(_)
         ));
-        assert_eq!(check_lia(&[le0(&[], 3)], &cfg()), LiaResult::Infeasible(vec![0]));
+        assert_eq!(
+            check_lia(&[le0(&[], 3)], &cfg()),
+            LiaResult::Infeasible(vec![0])
+        );
     }
 
     #[test]
@@ -480,7 +481,10 @@ mod tests {
         ];
         match check_lia(&cs, &cfg()) {
             LiaResult::Infeasible(core) => {
-                assert!(!core.contains(&0), "core {core:?} should not mention y's bound");
+                assert!(
+                    !core.contains(&0),
+                    "core {core:?} should not mention y's bound"
+                );
                 assert!(core.contains(&1) && core.contains(&2));
             }
             other => panic!("expected infeasible, got {other:?}"),
@@ -511,7 +515,10 @@ mod tests {
             other => panic!("expected integer infeasible, got {other:?}"),
         }
         // The rational relaxation is feasible.
-        assert!(matches!(check_rational(&cs, &cfg()), LiaResult::Feasible(_)));
+        assert!(matches!(
+            check_rational(&cs, &cfg()),
+            LiaResult::Feasible(_)
+        ));
     }
 
     #[test]
@@ -534,9 +541,9 @@ mod tests {
         // From `decr`: n >= 0, n > 0, and the *negated* goal n - 1 < 0.
         // Should be infeasible (i.e. the VC is valid).
         let cs = vec![
-            le0(&[("nv", -1)], 0),  // n >= 0
-            le0(&[("nv", -1)], 1),  // n >= 1  (n > 0)
-            le0(&[("nv", 1)], 0),   // n - 1 < 0  ⟺  n <= 0
+            le0(&[("nv", -1)], 0), // n >= 0
+            le0(&[("nv", -1)], 1), // n >= 1  (n > 0)
+            le0(&[("nv", 1)], 0),  // n - 1 < 0  ⟺  n <= 0
         ];
         assert!(matches!(check_lia(&cs, &cfg()), LiaResult::Infeasible(_)));
     }
@@ -575,20 +582,21 @@ mod tests {
         assert!(vars.contains(&n("p")) && vars.contains(&n("q")));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Random small systems: if the solver says feasible, the model must
-        /// satisfy every constraint; if it says infeasible, brute force over
-        /// a small box must also find no solution whenever the system only
-        /// involves small coefficients (soundness spot-check).
-        #[test]
-        fn random_systems_agree_with_brute_force(
-            sys in proptest::collection::vec(
-                (proptest::collection::vec(-3i128..=3, 3), -4i128..=4),
-                1..6,
-            )
-        ) {
+    /// Random small systems: if the solver says feasible, the model must
+    /// satisfy every constraint; if it says infeasible, brute force over a
+    /// small box must also find no solution whenever the system only
+    /// involves small coefficients (soundness spot-check).
+    #[test]
+    fn random_systems_agree_with_brute_force() {
+        let mut rng = Rng::new(0x51312EED);
+        for case in 0..64 {
+            let num_constraints = rng.int_in(1, 5) as usize;
+            let sys: Vec<(Vec<i128>, i128)> = (0..num_constraints)
+                .map(|_| {
+                    let coeffs = (0..3).map(|_| rng.int_in(-3, 3)).collect();
+                    (coeffs, rng.int_in(-4, 4))
+                })
+                .collect();
             let var_names = ["a", "b", "c"];
             let cs: Vec<LinConstraint> = sys
                 .iter()
@@ -607,8 +615,9 @@ mod tests {
             'outer: for a in -6i128..=6 {
                 for b in -6i128..=6 {
                     for c in -6i128..=6 {
-                        let model: BTreeMap<Name, i128> =
-                            [(n("a"), a), (n("b"), b), (n("c"), c)].into_iter().collect();
+                        let model: BTreeMap<Name, i128> = [(n("a"), a), (n("b"), b), (n("c"), c)]
+                            .into_iter()
+                            .collect();
                         if model_satisfies(&cs, &model) {
                             brute_feasible = true;
                             break 'outer;
@@ -619,10 +628,16 @@ mod tests {
 
             match check_lia(&cs, &cfg()) {
                 LiaResult::Feasible(model) => {
-                    prop_assert!(model_satisfies(&cs, &model), "claimed model does not satisfy");
+                    assert!(
+                        model_satisfies(&cs, &model),
+                        "case {case}: claimed model does not satisfy"
+                    );
                 }
                 LiaResult::Infeasible(_) => {
-                    prop_assert!(!brute_feasible, "solver said infeasible but brute force found a model");
+                    assert!(
+                        !brute_feasible,
+                        "case {case}: solver said infeasible but brute force found a model"
+                    );
                 }
                 LiaResult::Unknown => {}
             }

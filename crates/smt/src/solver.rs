@@ -3,7 +3,10 @@
 //! [`Solver::check_sat`] decides satisfiability of a refinement-logic
 //! formula modulo linear integer arithmetic; [`Solver::check_valid_imp`]
 //! decides validity of an implication, which is what the type checker and
-//! the Horn-constraint solver ask for.
+//! the Horn-constraint solver ask for.  `check_valid_imp` is a thin wrapper
+//! over a one-shot [`crate::Session`]; callers issuing many goals against
+//! the same hypotheses should open a session directly (via
+//! [`Solver::assume`]) so the hypothesis context is preprocessed once.
 //!
 //! The loop is the classical lazy SMT architecture: the formula is
 //! preprocessed and converted to CNF over theory atoms; the CDCL SAT core
@@ -12,10 +15,11 @@
 //! clause built from an infeasible core.
 
 use crate::atoms::{Atom, AtomTable, Lit};
-use crate::cnf::{tseitin, Cnf};
+use crate::cnf::tseitin;
 use crate::preprocess::{ackermannize, eliminate_div_mod, eliminate_ite, normalize_comparisons};
 use crate::quant::{eliminate_quantifiers, QuantConfig};
 use crate::sat::{SatConfig, SatLit, SatResult, SatSolver};
+use crate::session::Session;
 use crate::simplex::{check_lia, LiaConfig, LiaResult};
 use flux_logic::{simplify, Expr, Name, SortCtx};
 use std::collections::BTreeMap;
@@ -43,17 +47,32 @@ impl Default for MaxTheoryRounds {
     }
 }
 
-/// Cumulative statistics of a [`Solver`].
+/// Cumulative statistics of a [`Solver`] (or a [`crate::Session`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SmtStats {
     /// Number of satisfiability queries.
     pub queries: usize,
+    /// Number of solver sessions opened (including the implicit one-shot
+    /// session behind every `check_valid_imp` call).
+    pub sessions: usize,
     /// Number of SAT-solver invocations across all queries.
     pub sat_rounds: usize,
     /// Number of theory (LIA) checks.
     pub theory_checks: usize,
     /// Number of quantifier instances generated.
     pub quant_instances: usize,
+}
+
+impl SmtStats {
+    /// Adds `other` into `self` field-wise; used to fold the statistics of a
+    /// finished session back into the owning solver.
+    pub fn absorb(&mut self, other: SmtStats) {
+        self.queries += other.queries;
+        self.sessions += other.sessions;
+        self.sat_rounds += other.sat_rounds;
+        self.theory_checks += other.theory_checks;
+        self.quant_instances += other.quant_instances;
+    }
 }
 
 /// A model of a satisfiable formula.
@@ -120,120 +139,162 @@ impl Solver {
     /// Checks satisfiability of `formula` under `ctx`.
     pub fn check_sat(&mut self, ctx: &SortCtx, formula: &Expr) -> SatOutcome {
         self.stats.queries += 1;
-
-        // 1. Simplify.
-        let f = simplify(formula);
-        // 2. Quantifiers.
-        let (f, ctx, qstats) = eliminate_quantifiers(&f, ctx, &self.config.quant);
-        self.stats.quant_instances += qstats.instances;
-        // 3. Integer division / remainder.
-        let mut defs = Vec::new();
-        let f = eliminate_div_mod(&f, &mut defs);
-        let f = Expr::and(f, Expr::and_all(defs));
-        // 4. If-then-else.
-        let f = eliminate_ite(&f);
-        // 5. Uninterpreted applications.
-        let mut axioms = Vec::new();
-        let (f, ctx) = ackermannize(&f, &ctx, &mut axioms);
-        let f = Expr::and(f, Expr::and_all(axioms));
-        // 6. Comparison normalisation + final simplification.
-        let f = normalize_comparisons(&f, &ctx);
-        let f = simplify(&f);
-
-        if f.is_trivially_true() {
-            return SatOutcome::Sat(Model::default());
-        }
-        if f.is_trivially_false() {
-            return SatOutcome::Unsat;
-        }
-
-        // 7. CNF conversion.
-        let mut atoms = AtomTable::new();
-        let cnf = match tseitin(&f, &mut atoms) {
-            Ok(cnf) => cnf,
-            Err(_) => return SatOutcome::Unknown,
-        };
-
-        // 8. Lazy DPLL(T) loop.
-        self.dpll_t(&cnf, &mut atoms)
+        check_sat_impl(&self.config, ctx, formula, &mut self.stats)
     }
 
-    fn dpll_t(&mut self, cnf: &Cnf, atoms: &mut AtomTable) -> SatOutcome {
-        let mut blocking: Vec<Vec<Lit>> = Vec::new();
-        for _ in 0..self.config.max_theory_rounds.0 {
-            self.stats.sat_rounds += 1;
-            let mut sat = SatSolver::new(atoms.len(), self.config.sat);
-            for clause in cnf.clauses.iter().chain(blocking.iter()) {
-                sat.add_clause(
-                    clause
-                        .iter()
-                        .map(|l| SatLit::new(l.atom.0 as usize, l.positive))
-                        .collect(),
-                );
-            }
-            match sat.solve() {
-                SatResult::Unsat => return SatOutcome::Unsat,
-                SatResult::Unknown => return SatOutcome::Unknown,
-                SatResult::Sat(assignment) => {
-                    self.stats.theory_checks += 1;
-                    // Collect asserted linear atoms.
-                    let mut constraints = Vec::new();
-                    let mut involved = Vec::new();
-                    for (id, atom) in atoms.iter() {
-                        if let Atom::Lin(c) = atom {
-                            let value = assignment[id.0 as usize];
-                            constraints.push(if value {
-                                c.clone()
-                            } else {
-                                c.negate_integer()
-                            });
-                            involved.push(Lit {
-                                atom: id,
-                                positive: value,
-                            });
-                        }
+    /// Checks the validity of `hypotheses ⟹ goal` under `ctx`.
+    ///
+    /// This is a thin wrapper over a one-shot [`Session`]: it assumes the
+    /// hypotheses, checks the single goal, and folds the session statistics
+    /// back into [`Solver::stats`].
+    pub fn check_valid_imp(&mut self, ctx: &SortCtx, hypotheses: &[Expr], goal: &Expr) -> Validity {
+        let mut session = Session::assume(self.config, ctx, hypotheses);
+        let verdict = session.check(goal);
+        self.stats.absorb(*session.stats());
+        verdict
+    }
+
+    /// Opens an incremental session that assumes `hypotheses` once and can
+    /// then check many goals against them.  Fold the session's statistics
+    /// back with [`Solver::absorb`] when done.
+    pub fn assume(&mut self, ctx: &SortCtx, hypotheses: &[Expr]) -> Session {
+        Session::assume(self.config, ctx, hypotheses)
+    }
+
+    /// Adds a finished session's statistics to this solver's statistics.
+    pub fn absorb(&mut self, stats: SmtStats) {
+        self.stats.absorb(stats);
+    }
+}
+
+/// The one-shot satisfiability pipeline shared by [`Solver::check_sat`] and
+/// the non-incremental fallback of [`Session`].  Does not count the query
+/// itself; callers track `stats.queries`.
+pub(crate) fn check_sat_impl(
+    config: &SmtConfig,
+    ctx: &SortCtx,
+    formula: &Expr,
+    stats: &mut SmtStats,
+) -> SatOutcome {
+    // 1. Simplify.
+    let f = simplify(formula);
+    // 2. Quantifiers.
+    let (f, ctx, qstats) = eliminate_quantifiers(&f, ctx, &config.quant);
+    stats.quant_instances += qstats.instances;
+    // 3. Integer division / remainder.
+    let mut defs = Vec::new();
+    let f = eliminate_div_mod(&f, &mut defs);
+    let f = Expr::and(f, Expr::and_all(defs));
+    // 4. If-then-else.
+    let f = eliminate_ite(&f);
+    // 5. Uninterpreted applications.
+    let mut axioms = Vec::new();
+    let (f, ctx) = ackermannize(&f, &ctx, &mut axioms);
+    let f = Expr::and(f, Expr::and_all(axioms));
+    // 6. Comparison normalisation + final simplification.
+    let f = normalize_comparisons(&f, &ctx);
+    let f = simplify(&f);
+
+    if f.is_trivially_true() {
+        return SatOutcome::Sat(Model::default());
+    }
+    if f.is_trivially_false() {
+        return SatOutcome::Unsat;
+    }
+
+    // 7. CNF conversion.
+    let mut atoms = AtomTable::new();
+    let cnf = match tseitin(&f, &mut atoms) {
+        Ok(cnf) => cnf,
+        Err(_) => return SatOutcome::Unknown,
+    };
+
+    // 8. Lazy DPLL(T) loop.
+    let mut lemmas = Vec::new();
+    dpll_t(config, &cnf.clauses, &[], &mut atoms, &mut lemmas, stats)
+}
+
+/// The lazy DPLL(T) loop over `clauses ∪ extra ∪ lemmas`.
+///
+/// Theory conflicts append blocking clauses to `lemmas`.  Those clauses are
+/// *theory tautologies* (the negation of a LIA-infeasible conjunction of
+/// literals), so they remain valid for any later query sharing the same
+/// [`AtomTable`] — which is exactly how [`Session`] reuses theory work
+/// across the goals of one hypothesis context.
+pub(crate) fn dpll_t(
+    config: &SmtConfig,
+    clauses: &[Vec<Lit>],
+    extra: &[Vec<Lit>],
+    atoms: &mut AtomTable,
+    lemmas: &mut Vec<Vec<Lit>>,
+    stats: &mut SmtStats,
+) -> SatOutcome {
+    // A session's atom table accumulates atoms from every goal it has
+    // checked; atoms not mentioned by the *current* clause sets are
+    // unconstrained in this query and must not be asserted to the theory —
+    // they would cost O(table) work per round and their arbitrary SAT
+    // values could manufacture spurious theory conflicts.  Lemmas learned
+    // below only ever use atoms marked here, so one pass suffices.
+    let mut relevant = vec![false; atoms.len()];
+    for clause in clauses.iter().chain(extra.iter()).chain(lemmas.iter()) {
+        for lit in clause {
+            relevant[lit.atom.0 as usize] = true;
+        }
+    }
+    for _ in 0..config.max_theory_rounds.0 {
+        stats.sat_rounds += 1;
+        let mut sat = SatSolver::new(atoms.len(), config.sat);
+        for clause in clauses.iter().chain(extra.iter()).chain(lemmas.iter()) {
+            sat.add_clause(
+                clause
+                    .iter()
+                    .map(|l| SatLit::new(l.atom.0 as usize, l.positive))
+                    .collect(),
+            );
+        }
+        match sat.solve() {
+            SatResult::Unsat => return SatOutcome::Unsat,
+            SatResult::Unknown => return SatOutcome::Unknown,
+            SatResult::Sat(assignment) => {
+                stats.theory_checks += 1;
+                // Collect asserted linear atoms.
+                let mut constraints = Vec::new();
+                let mut involved = Vec::new();
+                for (id, atom) in atoms.iter() {
+                    if !relevant[id.0 as usize] {
+                        continue;
                     }
-                    match check_lia(&constraints, &self.config.lia) {
-                        LiaResult::Feasible(int_model) => {
-                            return SatOutcome::Sat(build_model(&assignment, atoms, int_model));
-                        }
-                        LiaResult::Unknown => return SatOutcome::Unknown,
-                        LiaResult::Infeasible(core) => {
-                            let clause: Vec<Lit> = if core.is_empty() {
-                                // Defensive: block the entire assignment.
-                                involved.iter().map(|l| l.negated()).collect()
-                            } else {
-                                core.iter().map(|&i| involved[i].negated()).collect()
-                            };
-                            blocking.push(clause);
-                        }
+                    if let Atom::Lin(c) = atom {
+                        let value = assignment[id.0 as usize];
+                        constraints.push(if value { c.clone() } else { c.negate_integer() });
+                        involved.push(Lit {
+                            atom: id,
+                            positive: value,
+                        });
+                    }
+                }
+                match check_lia(&constraints, &config.lia) {
+                    LiaResult::Feasible(int_model) => {
+                        return SatOutcome::Sat(build_model(&assignment, atoms, int_model));
+                    }
+                    LiaResult::Unknown => return SatOutcome::Unknown,
+                    LiaResult::Infeasible(core) => {
+                        let clause: Vec<Lit> = if core.is_empty() {
+                            // Defensive: block the entire assignment.
+                            involved.iter().map(|l| l.negated()).collect()
+                        } else {
+                            core.iter().map(|&i| involved[i].negated()).collect()
+                        };
+                        lemmas.push(clause);
                     }
                 }
             }
         }
-        SatOutcome::Unknown
     }
-
-    /// Checks the validity of `hypotheses ⟹ goal` under `ctx`.
-    pub fn check_valid_imp(
-        &mut self,
-        ctx: &SortCtx,
-        hypotheses: &[Expr],
-        goal: &Expr,
-    ) -> Validity {
-        let negated = Expr::and(
-            Expr::and_all(hypotheses.iter().cloned()),
-            Expr::not(goal.clone()),
-        );
-        match self.check_sat(ctx, &negated) {
-            SatOutcome::Unsat => Validity::Valid,
-            SatOutcome::Sat(model) => Validity::Invalid(Some(model)),
-            SatOutcome::Unknown => Validity::Unknown,
-        }
-    }
+    SatOutcome::Unknown
 }
 
-fn build_model(
+pub(crate) fn build_model(
     assignment: &[bool],
     atoms: &AtomTable,
     int_model: BTreeMap<Name, i128>,
@@ -283,7 +344,10 @@ mod tests {
         // n >= 0 ∧ n > 0 ⟹ n - 1 >= 0   (the VC from the paper's `decr`)
         let mut solver = Solver::with_defaults();
         let ctx = int_ctx(&["n"]);
-        let hyps = vec![Expr::ge(v("n"), Expr::int(0)), Expr::gt(v("n"), Expr::int(0))];
+        let hyps = vec![
+            Expr::ge(v("n"), Expr::int(0)),
+            Expr::gt(v("n"), Expr::int(0)),
+        ];
         let goal = Expr::ge(v("n") - Expr::int(1), Expr::int(0));
         assert!(solver.check_valid_imp(&ctx, &hyps, &goal).is_valid());
     }
@@ -334,10 +398,7 @@ mod tests {
             Expr::le(v("lo"), v("hi")),
             Expr::lt(v("hi"), v("n")),
         ];
-        let goal = Expr::and(
-            Expr::lt(mid.clone(), v("n")),
-            Expr::ge(mid, v("lo")),
-        );
+        let goal = Expr::and(Expr::lt(mid.clone(), v("n")), Expr::ge(mid, v("lo")));
         assert!(solver.check_valid_imp(&ctx, &hyps, &goal).is_valid());
     }
 
@@ -361,10 +422,7 @@ mod tests {
         let mut solver = Solver::with_defaults();
         let mut ctx = int_ctx(&["x"]);
         ctx.push(Name::intern("b"), Sort::Bool);
-        let hyps = vec![
-            Expr::eq(v("b"), Expr::gt(v("x"), Expr::int(0))),
-            v("b"),
-        ];
+        let hyps = vec![Expr::eq(v("b"), Expr::gt(v("x"), Expr::int(0))), v("b")];
         let goal = Expr::ge(v("x"), Expr::int(1));
         assert!(solver.check_valid_imp(&ctx, &hyps, &goal).is_valid());
     }
@@ -373,10 +431,7 @@ mod tests {
     fn unsat_conjunction_of_bounds() {
         let mut solver = Solver::with_defaults();
         let ctx = int_ctx(&["i", "n"]);
-        let f = Expr::and_all([
-            Expr::lt(v("i"), v("n")),
-            Expr::ge(v("i"), v("n")),
-        ]);
+        let f = Expr::and_all([Expr::lt(v("i"), v("n")), Expr::ge(v("i"), v("n"))]);
         assert_eq!(solver.check_sat(&ctx, &f), SatOutcome::Unsat);
     }
 
@@ -414,7 +469,10 @@ mod tests {
                     Expr::ge(Expr::var(j), Expr::int(0)),
                     Expr::lt(Expr::var(j), v("lenv")),
                 ),
-                Expr::ge(Expr::app("select", vec![v("a"), Expr::var(j)]), Expr::int(0)),
+                Expr::ge(
+                    Expr::app("select", vec![v("a"), Expr::var(j)]),
+                    Expr::int(0),
+                ),
             ),
         );
         let hyps = vec![

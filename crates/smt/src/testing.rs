@@ -96,12 +96,8 @@ pub fn eval(expr: &Expr, env: &Env, quant_domain: &[i128]) -> Option<Value> {
             }
         }
         Expr::App(..) => None,
-        Expr::Forall(binders, body) => {
-            eval_quant(binders, body, env, quant_domain, true)
-        }
-        Expr::Exists(binders, body) => {
-            eval_quant(binders, body, env, quant_domain, false)
-        }
+        Expr::Forall(binders, body) => eval_quant(binders, body, env, quant_domain, true),
+        Expr::Exists(binders, body) => eval_quant(binders, body, env, quant_domain, false),
     }
 }
 
@@ -210,7 +206,7 @@ pub fn enumerate_envs(ctx: &SortCtx, domain: &[i128]) -> Vec<Env> {
 /// if the formula falls outside the evaluator's fragment.
 pub fn brute_force_sat(ctx: &SortCtx, expr: &Expr, domain: &[i128]) -> Option<bool> {
     let envs = enumerate_envs(ctx, domain);
-    if envs.is_empty() && ctx.len() > 0 {
+    if envs.is_empty() && !ctx.is_empty() {
         return None;
     }
     let mut any_undefined = false;
@@ -225,6 +221,46 @@ pub fn brute_force_sat(ctx: &SortCtx, expr: &Expr, domain: &[i128]) -> Option<bo
         None
     } else {
         Some(false)
+    }
+}
+
+/// A tiny deterministic PRNG (xorshift64*) for randomised tests.
+///
+/// The build environment has no access to crates.io, so the randomised
+/// differential tests in this workspace use this instead of proptest.  The
+/// sequence depends only on the seed, which keeps every failure reproducible
+/// by case index.
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a nonzero seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in the inclusive range `lo..=hi`.
+    pub fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+        lo + self.below((hi - lo + 1) as u64) as i128
+    }
+
+    /// Uniform boolean.
+    pub fn flip(&mut self) -> bool {
+        self.below(2) == 1
     }
 }
 
@@ -266,10 +302,7 @@ mod tests {
     #[test]
     fn quantifier_over_small_domain() {
         let i = Name::intern("i");
-        let all_nonneg = Expr::forall(
-            vec![(i, Sort::Int)],
-            Expr::ge(Expr::var(i), Expr::int(0)),
-        );
+        let all_nonneg = Expr::forall(vec![(i, Sort::Int)], Expr::ge(Expr::var(i), Expr::int(0)));
         assert_eq!(
             eval(&all_nonneg, &Env::new(), &[0, 1, 2]),
             Some(Value::Bool(true))
@@ -283,12 +316,15 @@ mod tests {
     #[test]
     fn existential_over_small_domain() {
         let i = Name::intern("i");
-        let some_big = Expr::exists(
-            vec![(i, Sort::Int)],
-            Expr::gt(Expr::var(i), Expr::int(1)),
+        let some_big = Expr::exists(vec![(i, Sort::Int)], Expr::gt(Expr::var(i), Expr::int(1)));
+        assert_eq!(
+            eval(&some_big, &Env::new(), &[0, 1]),
+            Some(Value::Bool(false))
         );
-        assert_eq!(eval(&some_big, &Env::new(), &[0, 1]), Some(Value::Bool(false)));
-        assert_eq!(eval(&some_big, &Env::new(), &[0, 2]), Some(Value::Bool(true)));
+        assert_eq!(
+            eval(&some_big, &Env::new(), &[0, 2]),
+            Some(Value::Bool(true))
+        );
     }
 
     #[test]

@@ -137,7 +137,12 @@ mod tests {
     fn every_flux_flavour_parses() {
         for b in benchmarks() {
             let parsed = flux_syntax::parse_program(b.flux_src);
-            assert!(parsed.is_ok(), "{} (flux) fails to parse: {:?}", b.name, parsed.err());
+            assert!(
+                parsed.is_ok(),
+                "{} (flux) fails to parse: {:?}",
+                b.name,
+                parsed.err()
+            );
         }
     }
 
@@ -168,8 +173,14 @@ mod tests {
 
     #[test]
     fn baseline_flavours_carry_annotations_on_loopy_benchmarks() {
-        let total: usize = benchmarks().iter().map(|b| b.baseline_metrics().annot_lines).sum();
-        assert!(total > 10, "expected a substantial annotation burden, got {total}");
+        let total: usize = benchmarks()
+            .iter()
+            .map(|b| b.baseline_metrics().annot_lines)
+            .sum();
+        assert!(
+            total > 10,
+            "expected a substantial annotation burden, got {total}"
+        );
     }
 
     #[test]

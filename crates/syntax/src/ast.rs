@@ -449,9 +449,7 @@ mod tests {
             trusted: false,
             span: Span::dummy(),
         };
-        let p = Program {
-            functions: vec![f],
-        };
+        let p = Program { functions: vec![f] };
         assert!(p.function("foo").is_some());
         assert!(p.function("bar").is_none());
     }

@@ -242,7 +242,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
                 });
             }
             _ => {
-                let (tok, len) = match (c, bytes.get(i + 1).map(|b| *b as char), bytes.get(i + 2).map(|b| *b as char)) {
+                let (tok, len) = match (
+                    c,
+                    bytes.get(i + 1).map(|b| *b as char),
+                    bytes.get(i + 2).map(|b| *b as char),
+                ) {
                     ('=', Some('='), Some('>')) => (Tok::LongArrow, 3),
                     (':', Some(':'), _) => (Tok::ColonColon, 2),
                     ('&', Some('&'), _) => (Tok::AmpAmp, 2),

@@ -78,11 +78,9 @@ impl SourceMetrics {
     /// Annotation overhead as a percentage of LOC (rounded to the nearest
     /// integer), as reported in the paper's Table 1.
     pub fn annot_percent(&self) -> usize {
-        if self.loc == 0 {
-            0
-        } else {
-            (self.annot_lines * 100 + self.loc / 2) / self.loc
-        }
+        (self.annot_lines * 100 + self.loc / 2)
+            .checked_div(self.loc)
+            .unwrap_or(0)
     }
 }
 

@@ -8,10 +8,7 @@ use flux_logic::{Expr as Pred, Name, Sort};
 /// Parses a complete source file.
 pub fn parse_program(source: &str) -> Result<Program, Diagnostic> {
     let tokens = lex(source)?;
-    let mut parser = Parser {
-        tokens,
-        pos: 0,
-    };
+    let mut parser = Parser { tokens, pos: 0 };
     parser.program()
 }
 
@@ -252,10 +249,7 @@ impl Parser {
                 self.expect(Tok::Gt)?;
                 Ok(RustTy::RMat(Box::new(inner)))
             }
-            other => Err(Diagnostic::error(
-                format!("unknown type `{other}`"),
-                span,
-            )),
+            other => Err(Diagnostic::error(format!("unknown type `{other}`"), span)),
         }
     }
 
@@ -716,9 +710,9 @@ impl Parser {
                 RefKind::Mut
             } else if self.eat_keyword("strg") {
                 RefKind::Strg
-            } else if self.eat_keyword("shr") {
-                RefKind::Shared
             } else {
+                // `shr` is optional: a bare `&` is also a shared reference.
+                self.eat_keyword("shr");
                 RefKind::Shared
             };
             let inner = self.rty_annot()?;
@@ -977,7 +971,10 @@ mod tests {
         let program = parse_program(src).unwrap();
         let sig = program.functions[0].flux_sig.as_ref().unwrap();
         match sig.ret.as_ref().unwrap() {
-            RTyAnnot::Base { refinement: Some(RefinementAnnot::Exists { binder, .. }), .. } => {
+            RTyAnnot::Base {
+                refinement: Some(RefinementAnnot::Exists { binder, .. }),
+                ..
+            } => {
                 assert_eq!(binder, "v");
             }
             other => panic!("expected existential return, got {other:?}"),
@@ -998,13 +995,20 @@ mod tests {
         assert_eq!(sig.ensures.len(), 1);
         assert_eq!(sig.ensures[0].param, "x");
         match &sig.params[0].ty {
-            RTyAnnot::Ref { kind: RefKind::Strg, .. } => {}
+            RTyAnnot::Ref {
+                kind: RefKind::Strg,
+                ..
+            } => {}
             other => panic!("expected strong reference, got {other:?}"),
         }
         // The body is `*x += 1;`
         assert!(matches!(
             &f.body.stmts[0],
-            Stmt::Assign { op: AssignOp::AddAssign, place: Expr::Deref(..), .. }
+            Stmt::Assign {
+                op: AssignOp::AddAssign,
+                place: Expr::Deref(..),
+                ..
+            }
         ));
     }
 
@@ -1026,7 +1030,12 @@ mod tests {
         let f = &program.functions[0];
         assert_eq!(f.body.stmts.len(), 3);
         match &f.body.stmts[2] {
-            Stmt::While { cond, body, invariants, .. } => {
+            Stmt::While {
+                cond,
+                body,
+                invariants,
+                ..
+            } => {
                 assert!(invariants.is_empty());
                 assert!(matches!(cond, Expr::Binary(BinOpKind::Lt, ..)));
                 assert_eq!(body.stmts.len(), 2);
@@ -1058,7 +1067,9 @@ mod tests {
         assert_eq!(f.requires.len(), 1);
         assert_eq!(f.ensures.len(), 1);
         match &f.body.stmts[2] {
-            Stmt::While { invariants, body, .. } => {
+            Stmt::While {
+                invariants, body, ..
+            } => {
                 assert_eq!(invariants.len(), 2);
                 assert_eq!(body.stmts.len(), 2);
             }
@@ -1082,7 +1093,10 @@ mod tests {
         let sig = program.functions[0].flux_sig.as_ref().unwrap();
         assert_eq!(sig.params.len(), 3);
         match &sig.params[1].ty {
-            RTyAnnot::Ref { kind: RefKind::Mut, inner } => match inner.as_ref() {
+            RTyAnnot::Ref {
+                kind: RefKind::Mut,
+                inner,
+            } => match inner.as_ref() {
                 RTyAnnot::Base { base, args, .. } => {
                     assert_eq!(base, "RVec");
                     assert_eq!(args.len(), 1);
@@ -1106,7 +1120,10 @@ mod tests {
         let f = &program.functions[0];
         assert!(matches!(
             &f.body.stmts[0],
-            Stmt::Assign { place: Expr::Index { .. }, .. }
+            Stmt::Assign {
+                place: Expr::Index { .. },
+                ..
+            }
         ));
         assert!(matches!(&f.body.stmts[2], Stmt::Assert { .. }));
     }
@@ -1183,11 +1200,17 @@ mod tests {
         let program = parse_program(src).unwrap();
         let f = &program.functions[0];
         match &f.body.stmts[0] {
-            Stmt::Let { init: Expr::Call { func, .. }, .. } => assert_eq!(func, "RVec::new"),
+            Stmt::Let {
+                init: Expr::Call { func, .. },
+                ..
+            } => assert_eq!(func, "RVec::new"),
             other => panic!("expected call, got {other:?}"),
         }
         match &f.body.stmts[1] {
-            Stmt::Let { init: Expr::Call { func, args, .. }, .. } => {
+            Stmt::Let {
+                init: Expr::Call { func, args, .. },
+                ..
+            } => {
                 assert_eq!(func, "helper");
                 assert_eq!(args.len(), 2);
             }

@@ -106,10 +106,15 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}", match self.severity {
-            Severity::Error => "error",
-            Severity::Warning => "warning",
-        }, self.message)
+        write!(
+            f,
+            "{}: {}",
+            match self.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            },
+            self.message
+        )
     }
 }
 

@@ -45,6 +45,8 @@ pub struct WpFnReport {
     pub queries: usize,
     /// Number of quantifier instances the solver had to generate.
     pub quant_instances: usize,
+    /// Full statistics of the underlying SMT engine.
+    pub smt_stats: flux_smt::SmtStats,
 }
 
 impl WpFnReport {
@@ -70,6 +72,15 @@ impl WpReport {
     /// Total verification time.
     pub fn total_time(&self) -> Duration {
         self.functions.iter().map(|f| f.time).sum()
+    }
+
+    /// SMT engine statistics summed over all verified functions.
+    pub fn total_smt_stats(&self) -> flux_smt::SmtStats {
+        let mut total = flux_smt::SmtStats::default();
+        for f in &self.functions {
+            total.absorb(f.smt_stats);
+        }
+        total
     }
 }
 
@@ -141,6 +152,7 @@ pub fn verify_function(program: &ast::Program, def: &ast::FnDef, config: &WpConf
         time: start.elapsed(),
         queries: verifier.queries,
         quant_instances: verifier.solver.stats.quant_instances,
+        smt_stats: verifier.solver.stats,
     }
 }
 
@@ -271,8 +283,7 @@ impl<'a> WpVerifier<'a> {
                 match f.as_str() {
                     "vlen" => {
                         if let Some(Expr::Var(name)) = args.first() {
-                            if let Some(SymValue::Vec { len, .. }) =
-                                state.locals.get(name.as_str())
+                            if let Some(SymValue::Vec { len, .. }) = state.locals.get(name.as_str())
                             {
                                 return len.clone();
                             }
@@ -319,7 +330,12 @@ impl<'a> WpVerifier<'a> {
                 let value = self.eval(init, state);
                 state.locals.insert(name.clone(), value);
             }
-            ast::Stmt::Assign { place, op, value, span } => {
+            ast::Stmt::Assign {
+                place,
+                op,
+                value,
+                span,
+            } => {
                 let rhs = match op {
                     ast::AssignOp::Assign => value.clone(),
                     other => {
@@ -363,7 +379,12 @@ impl<'a> WpVerifier<'a> {
                     )),
                 }
             }
-            ast::Stmt::While { cond, invariants, body, span } => {
+            ast::Stmt::While {
+                cond,
+                invariants,
+                body,
+                span,
+            } => {
                 self.exec_while(cond, invariants, body, state, *span);
             }
             ast::Stmt::Return { value, .. } => {
@@ -454,7 +475,12 @@ impl<'a> WpVerifier<'a> {
         // 1. Invariants hold on entry.
         for (i, inv) in invariants.iter().enumerate() {
             let goal = self.spec_pred(inv, state);
-            self.check(state, goal, span, &format!("loop invariant #{} on entry", i + 1));
+            self.check(
+                state,
+                goal,
+                span,
+                &format!("loop invariant #{} on entry", i + 1),
+            );
         }
         // 2. Havoc the modified locals, assume invariants + condition, run the
         //    body once, and re-establish the invariants.
@@ -609,11 +635,16 @@ impl<'a> WpVerifier<'a> {
                     None => SymValue::Scalar(Expr::Var(self.fresh_int("elem"))),
                 }
             }
-            ast::Expr::MethodCall { recv, method, args, span } => {
-                self.eval_method(recv, method, args, state, *span)
-            }
+            ast::Expr::MethodCall {
+                recv,
+                method,
+                args,
+                span,
+            } => self.eval_method(recv, method, args, state, *span),
             ast::Expr::Call { func, args, span } => self.eval_call(func, args, state, *span),
-            ast::Expr::If { cond, then, els, .. } => self.eval_if(cond, then, els.as_ref(), state),
+            ast::Expr::If {
+                cond, then, els, ..
+            } => self.eval_if(cond, then, els.as_ref(), state),
         }
     }
 
@@ -641,41 +672,50 @@ impl<'a> WpVerifier<'a> {
             let ev = els_state.locals.get(&key).cloned();
             match (tv, ev) {
                 (Some(SymValue::Scalar(a)), Some(SymValue::Scalar(b))) => {
-                    if a != b {
-                        state
-                            .locals
-                            .insert(key, SymValue::Scalar(Expr::ite(c.clone(), a, b)));
-                    }
+                    // Both branches may have assigned the same *new* value,
+                    // so the merged value must come from the branch states
+                    // even when they agree — keeping the pre-branch value
+                    // would be unsound.
+                    let merged = if a == b {
+                        a
+                    } else {
+                        Expr::ite(c.clone(), a, b)
+                    };
+                    state.locals.insert(key, SymValue::Scalar(merged));
                 }
                 (
                     Some(SymValue::Vec { array: a, len: la }),
                     Some(SymValue::Vec { array: b, len: lb }),
                 ) => {
-                    if a != b || la != lb {
-                        let array = self.fresh_array("merged");
-                        let len = self.fresh_int("merged_len");
-                        state.facts.push(Expr::imp(
-                            c.clone(),
-                            Expr::and(
-                                Expr::eq(Expr::Var(array), Expr::Var(a)),
-                                Expr::eq(Expr::Var(len), la),
-                            ),
-                        ));
-                        state.facts.push(Expr::imp(
-                            Expr::not(c.clone()),
-                            Expr::and(
-                                Expr::eq(Expr::Var(array), Expr::Var(b)),
-                                Expr::eq(Expr::Var(len), lb),
-                            ),
-                        ));
-                        state.locals.insert(
-                            key,
-                            SymValue::Vec {
-                                array,
-                                len: Expr::Var(len),
-                            },
-                        );
+                    if a == b && la == lb {
+                        state
+                            .locals
+                            .insert(key, SymValue::Vec { array: a, len: la });
+                        continue;
                     }
+                    let array = self.fresh_array("merged");
+                    let len = self.fresh_int("merged_len");
+                    state.facts.push(Expr::imp(
+                        c.clone(),
+                        Expr::and(
+                            Expr::eq(Expr::Var(array), Expr::Var(a)),
+                            Expr::eq(Expr::Var(len), la),
+                        ),
+                    ));
+                    state.facts.push(Expr::imp(
+                        Expr::not(c.clone()),
+                        Expr::and(
+                            Expr::eq(Expr::Var(array), Expr::Var(b)),
+                            Expr::eq(Expr::Var(len), lb),
+                        ),
+                    ));
+                    state.locals.insert(
+                        key,
+                        SymValue::Vec {
+                            array,
+                            len: Expr::Var(len),
+                        },
+                    );
                 }
                 _ => {}
             }
@@ -763,10 +803,8 @@ impl<'a> WpVerifier<'a> {
                         span,
                         "pop from non-empty vector",
                     );
-                    let value = Expr::app(
-                        "select",
-                        vec![Expr::Var(array), len.clone() - Expr::int(1)],
-                    );
+                    let value =
+                        Expr::app("select", vec![Expr::Var(array), len.clone() - Expr::int(1)]);
                     state.locals.insert(
                         name,
                         SymValue::Vec {
@@ -833,7 +871,12 @@ impl<'a> WpVerifier<'a> {
         // Preconditions at the call site.
         for (i, pre) in callee.requires.iter().enumerate() {
             let goal = self.spec_pred(pre, &call_state);
-            self.check(state, goal, span, &format!("precondition #{} of `{func}`", i + 1));
+            self.check(
+                state,
+                goal,
+                span,
+                &format!("precondition #{} of `{func}`", i + 1),
+            );
         }
         // Havoc mutable reference arguments (the callee may change them).
         for (param, arg) in callee.params.iter().zip(args) {
@@ -897,7 +940,12 @@ fn collect_assigned(block: &ast::Block, out: &mut Vec<String>) {
         if let ast::Expr::Call { args, .. } = expr {
             // Mutable borrows passed to callees may be modified.
             for arg in args {
-                if let ast::Expr::Borrow { place, mutability: ast::Mutability::Mutable, .. } = arg {
+                if let ast::Expr::Borrow {
+                    place,
+                    mutability: ast::Mutability::Mutable,
+                    ..
+                } = arg
+                {
                     if let ast::Expr::Var(name, _) = place.as_ref() {
                         out.push(name.clone());
                     }

@@ -10,13 +10,23 @@ fn main() {
     let row = flux::run_benchmark(&benchmark, &config);
 
     println!("== kmeans under Flux ==");
-    println!("  LOC {}  spec lines {}  invariant lines {}  time {:?}  safe {}",
-        row.flux.loc, row.flux.spec_lines, row.flux.annot_lines, row.flux.time, row.flux.safe);
+    println!(
+        "  LOC {}  spec lines {}  invariant lines {}  time {:?}  safe {}",
+        row.flux.loc, row.flux.spec_lines, row.flux.annot_lines, row.flux.time, row.flux.safe
+    );
     println!("== kmeans under the program-logic baseline ==");
-    println!("  LOC {}  spec lines {}  invariant lines {}  time {:?}  safe {}",
-        row.baseline.loc, row.baseline.spec_lines, row.baseline.annot_lines,
-        row.baseline.time, row.baseline.safe);
-    println!("baseline annotation overhead: {}% of LOC", row.baseline_annot_percent());
+    println!(
+        "  LOC {}  spec lines {}  invariant lines {}  time {:?}  safe {}",
+        row.baseline.loc,
+        row.baseline.spec_lines,
+        row.baseline.annot_lines,
+        row.baseline.time,
+        row.baseline.safe
+    );
+    println!(
+        "baseline annotation overhead: {}% of LOC",
+        row.baseline_annot_percent()
+    );
     assert!(row.flux.safe);
     assert_eq!(row.flux.annot_lines, 0);
 }

@@ -41,7 +41,10 @@ fn main() {
     println!("functions verified : {}", outcome.functions);
     println!("safe               : {}", outcome.safe);
     println!("verification time  : {:?}", outcome.time);
-    println!("loop invariants    : {} (liquid inference needs none)", outcome.annot_lines);
+    println!(
+        "loop invariants    : {} (liquid inference needs none)",
+        outcome.annot_lines
+    );
     for error in &outcome.errors {
         println!("{error}");
     }

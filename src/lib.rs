@@ -8,6 +8,6 @@
 #![warn(missing_docs)]
 
 pub use flux::{
-    benchmark, benchmarks, library, render_table1, run_benchmark, run_table1, verify_source,
-    Benchmark, Mode, TableRow, VerifyConfig, VerifyOutcome,
+    benchmark, benchmarks, library, render_query_stats, render_table1, run_benchmark, run_table1,
+    verify_source, Benchmark, Mode, QueryStats, TableRow, VerifyConfig, VerifyOutcome,
 };

@@ -1,0 +1,80 @@
+//! Acceptance tests for the incremental query engine: session-based solving
+//! plus the validity cache must produce identical Safe/Unsafe verdicts to
+//! one-shot solving across the entire benchmark corpus, and the Table 1
+//! workload must actually exercise the cache.
+
+use flux::{verify_source, FixConfig, Mode, VerifyConfig};
+
+fn one_shot_config() -> VerifyConfig {
+    let mut config = VerifyConfig::default();
+    config.check.fixpoint = FixConfig {
+        incremental: false,
+        ..FixConfig::default()
+    };
+    config
+}
+
+#[test]
+fn incremental_and_one_shot_agree_on_the_whole_corpus() {
+    let incremental = VerifyConfig::default();
+    let one_shot = one_shot_config();
+    for b in flux::benchmarks() {
+        let inc = verify_source(b.flux_src, Mode::Flux, &incremental)
+            .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+        let os = verify_source(b.flux_src, Mode::Flux, &one_shot)
+            .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+        assert_eq!(
+            inc.safe, os.safe,
+            "{}: incremental engine and one-shot solving disagree (incremental errors: {:?}, \
+             one-shot errors: {:?})",
+            b.name, inc.errors, os.errors
+        );
+        assert_eq!(
+            inc.errors, os.errors,
+            "{}: verdicts agree but blamed obligations differ",
+            b.name
+        );
+        // Both engines answer exactly the same questions.
+        assert_eq!(
+            inc.stats.smt_queries, os.stats.smt_queries,
+            "{}: engines asked different numbers of queries",
+            b.name
+        );
+        assert_eq!(
+            inc.stats.cache_hits + inc.stats.cache_misses,
+            inc.stats.smt_queries,
+            "{}: hits + misses must account for every query",
+            b.name
+        );
+        // One-shot mode must not touch the cache or open clause sessions.
+        assert_eq!(os.stats.cache_hits, 0, "{}", b.name);
+        assert_eq!(os.stats.sessions, 0, "{}", b.name);
+    }
+}
+
+#[test]
+fn table1_workload_reports_cache_hits_and_sessions() {
+    let config = VerifyConfig::default();
+    let mut total_hits = 0;
+    let mut total_sessions = 0;
+    let mut total_queries = 0;
+    for b in flux::benchmarks() {
+        let outcome = verify_source(b.flux_src, Mode::Flux, &config).unwrap();
+        total_hits += outcome.stats.cache_hits;
+        total_sessions += outcome.stats.sessions;
+        total_queries += outcome.stats.smt_queries;
+    }
+    assert!(
+        total_queries > 0,
+        "corpus issued no validity queries at all"
+    );
+    assert!(
+        total_hits > 0,
+        "expected a nonzero cache-hit count on the table1 workload \
+         ({total_queries} queries, {total_sessions} sessions)"
+    );
+    assert!(
+        total_sessions > 0,
+        "expected the weakening loop to open solver sessions"
+    );
+}

@@ -40,7 +40,11 @@ fn dotprod_and_kmeans_verify_under_flux_and_baseline() {
     for name in ["dotprod", "kmeans", "bsearch"] {
         let row = run_benchmark(&flux::benchmark(name).unwrap(), &config);
         assert!(row.flux.safe, "{name} flux flavour: {:?}", row.flux.errors);
-        assert!(row.baseline.safe, "{name} baseline flavour: {:?}", row.baseline.errors);
+        assert!(
+            row.baseline.safe,
+            "{name} baseline flavour: {:?}",
+            row.baseline.errors
+        );
     }
 }
 
@@ -58,7 +62,11 @@ fn quantified_baseline_verification_is_slower_on_fft() {
             let b = flux::benchmark("fft").unwrap();
             let flux_outcome = verify_source(b.flux_src, Mode::Flux, &config).unwrap();
             let baseline_outcome = verify_source(b.baseline_src, Mode::Baseline, &config).unwrap();
-            assert!(flux_outcome.safe, "fft flux flavour: {:?}", flux_outcome.errors);
+            assert!(
+                flux_outcome.safe,
+                "fft flux flavour: {:?}",
+                flux_outcome.errors
+            );
             assert!(
                 baseline_outcome.time > flux_outcome.time,
                 "expected the baseline ({:?}) to be slower than Flux ({:?}) on fft",

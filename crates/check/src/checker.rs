@@ -144,13 +144,11 @@ impl<'a> Generator<'a> {
         }
         let fn_ctx = FnCtx { sig, scope };
 
-        let body = self.check_stmts(
-            &mut env,
-            &def.body.stmts,
-            def.body.tail.as_deref(),
-            &fn_ctx,
-            true,
-        )?;
+        let tail = def.body.tail.clone();
+        let body = self.check_stmts(&mut env, &def.body.stmts, &fn_ctx, |g, env| {
+            let span = tail.as_ref().map_or_else(Span::dummy, |e| e.span());
+            g.check_fn_exit(env, tail.as_deref(), &fn_ctx, span)
+        })?;
         let constraint = wrap(prefix, body);
         Ok(GenResult {
             constraint,
@@ -231,6 +229,17 @@ impl<'a> Generator<'a> {
             } => {
                 let opened = self.open_into(*inner, prefix, scope);
                 RTy::ref_strg(opened)
+            }
+            RTy::Ref {
+                kind: kind @ (RefKind::Mut | RefKind::Shared),
+                inner,
+            } => {
+                // Weak references are not opened, but the referent's indices
+                // still denote runtime sizes: record their non-negativity so
+                // refine params such as the `n` of `&mut RVec<T>[@n]` carry
+                // the same implicit facts as by-value indexed types.
+                push_nonneg_index_facts(&inner, prefix);
+                RTy::Ref { kind, inner }
             }
             other => other,
         }
@@ -469,41 +478,33 @@ impl<'a> Generator<'a> {
     // Statements
     // -----------------------------------------------------------------
 
-    fn check_stmts(
+    /// Checks a statement sequence; once every statement has been processed
+    /// the `exit` continuation runs on the final environment **inside** the
+    /// logical scope of all binders and guards introduced along the way.
+    ///
+    /// Constraints that depend on the post-block environment (the function's
+    /// return obligation, a loop's back-edge, the join after an `if`) must be
+    /// emitted through `exit`: statements such as nested `if`s and loops push
+    /// fresh binders whose scope is exactly "the rest of the block", so a
+    /// constraint generated after this function returns would mention those
+    /// binders free — unbound and stripped of their κ assumptions.
+    fn check_stmts<F>(
         &mut self,
         env: &mut Env,
         stmts: &[ast::Stmt],
-        tail: Option<&ast::Expr>,
         fn_ctx: &FnCtx,
-        is_fn_body: bool,
-    ) -> Result<Constraint, Diagnostic> {
+        exit: F,
+    ) -> Result<Constraint, Diagnostic>
+    where
+        F: FnOnce(&mut Generator<'a>, &mut Env) -> Result<Constraint, Diagnostic>,
+    {
         match stmts.split_first() {
-            None => match tail {
-                Some(expr) => {
-                    if is_fn_body {
-                        self.check_fn_exit(env, Some(expr), fn_ctx, expr.span())
-                    } else {
-                        // Value blocks outside function-tail position are only
-                        // produced by `if` branches, which are handled by
-                        // `check_if`; a bare tail here is ignored.
-                        let mut prefix = Vec::new();
-                        let (_, c) = self.synth(env, expr, &mut prefix, fn_ctx)?;
-                        Ok(wrap(prefix, c))
-                    }
-                }
-                None => {
-                    if is_fn_body {
-                        self.check_fn_exit(env, None, fn_ctx, Span::dummy())
-                    } else {
-                        Ok(Constraint::True)
-                    }
-                }
-            },
+            None => exit(self, env),
             Some((stmt, rest)) => {
                 let mut prefix = Vec::new();
                 let mut post = Vec::new();
                 let own = self.check_stmt(env, stmt, &mut prefix, &mut post, fn_ctx)?;
-                let rest_c = self.check_stmts(env, rest, tail, fn_ctx, is_fn_body)?;
+                let rest_c = self.check_stmts(env, rest, fn_ctx, exit)?;
                 Ok(wrap(
                     prefix,
                     Constraint::conj(vec![own, wrap(post, rest_c)]),
@@ -768,12 +769,13 @@ impl<'a> Generator<'a> {
         let (cond_ty, cond_c) = self.synth(&mut body_env, cond, &mut body_prefix, fn_ctx)?;
         let cond_idx = self.bool_index(&cond_ty, cond.span())?;
         body_prefix.push(PrefixItem::Guard(Guard::Pred(cond_idx.clone())));
-        let body_c = self.check_stmts(&mut body_env, &body.stmts, None, fn_ctx, false)?;
-        let back_edge = self.env_subtype(&body_env, &template, span, "loop invariant preservation");
-        let body_constraint = wrap(
-            body_prefix,
-            Constraint::conj(vec![cond_c, body_c, back_edge]),
-        );
+        // The back-edge check runs through the `exit` continuation so that it
+        // sits inside the scope of every binder the body introduced (nested
+        // joins would otherwise leak free variables into the κ head clause).
+        let body_c = self.check_stmts(&mut body_env, &body.stmts, fn_ctx, |g, env| {
+            Ok(g.env_subtype(env, &template, span, "loop invariant preservation"))
+        })?;
+        let body_constraint = wrap(body_prefix, Constraint::conj(vec![cond_c, body_c]));
 
         // 4. Continuation: the environment after the loop is the template
         //    plus the negated condition.  These facts scope over the rest of
@@ -924,20 +926,21 @@ impl<'a> Generator<'a> {
         fn_ctx: &FnCtx,
         span: Span,
     ) -> Result<Constraint, Diagnostic> {
-        let stmts_c = self.check_stmts(env, &block.stmts, None, fn_ctx, false)?;
-        let mut prefix = Vec::new();
-        let tail_c = match block.tail.as_deref() {
-            Some(ast::Expr::If {
-                cond, then, els, ..
-            }) => self.check_if_against(env, cond, then, els.as_ref(), expected, fn_ctx, span)?,
-            Some(expr) => {
-                let (ty, c) = self.synth(env, expr, &mut prefix, fn_ctx)?;
-                let sub = self.subtype(&ty, expected, expr.span(), "branch value");
-                Constraint::conj(vec![c, sub])
-            }
-            None => self.subtype(&RTy::Unit, expected, span, "branch value"),
-        };
-        Ok(Constraint::conj(vec![stmts_c, wrap(prefix, tail_c)]))
+        self.check_stmts(env, &block.stmts, fn_ctx, |g, env| {
+            let mut prefix = Vec::new();
+            let tail_c = match block.tail.as_deref() {
+                Some(ast::Expr::If {
+                    cond, then, els, ..
+                }) => g.check_if_against(env, cond, then, els.as_ref(), expected, fn_ctx, span)?,
+                Some(expr) => {
+                    let (ty, c) = g.synth(env, expr, &mut prefix, fn_ctx)?;
+                    let sub = g.subtype(&ty, expected, expr.span(), "branch value");
+                    Constraint::conj(vec![c, sub])
+                }
+                None => g.subtype(&RTy::Unit, expected, span, "branch value"),
+            };
+            Ok(wrap(prefix, tail_c))
+        })
     }
 
     /// Synthesises the value of an `if` expression by joining the branches
@@ -956,68 +959,69 @@ impl<'a> Generator<'a> {
         let (cond_ty, cond_c) = self.synth(env, cond, prefix, fn_ctx)?;
         let cond_idx = self.bool_index(&cond_ty, cond.span())?;
 
-        // Check the branches on cloned environments.
-        let mut then_env = env.clone();
-        let mut then_prefix = Vec::new();
-        let then_stmts = self.check_stmts(&mut then_env, &then.stmts, None, fn_ctx, false)?;
-        let then_val = match then.tail.as_deref() {
-            Some(e) => Some(self.synth(&mut then_env, e, &mut then_prefix, fn_ctx)?),
-            None => None,
-        };
-
-        let mut els_env = env.clone();
-        let mut els_prefix = Vec::new();
-        let (els_stmts, els_val) = match els {
-            Some(block) => {
-                let c = self.check_stmts(&mut els_env, &block.stmts, None, fn_ctx, false)?;
-                let v = match block.tail.as_deref() {
-                    Some(e) => Some(self.synth(&mut els_env, e, &mut els_prefix, fn_ctx)?),
-                    None => None,
-                };
-                (c, v)
-            }
-            None => (Constraint::True, None),
-        };
-
-        // Join the environments: weaken both branch environments to a fresh
-        // template environment.
+        // The join template is built from the pre-branch environment; each
+        // branch is then checked against it *inside* its own scope (via the
+        // `check_stmts` exit continuation) so that binders introduced by
+        // nested statements stay bound in the join constraints.
         let template = self.template_env(env, &fn_ctx.scope);
-        let then_join = self.env_subtype(&then_env, &template, span, "join after if");
-        let els_join = self.env_subtype(&els_env, &template, span, "join after if");
+        // The `if` yields a value only when both branches end in a tail
+        // expression (syntactically known up front); only then is a joined
+        // value template created — by the then branch, reused by the else
+        // branch.  Tail expressions of a value-less `if` are still
+        // synthesised for their own obligations.
+        let join_values = then.tail.is_some() && els.is_some_and(|block| block.tail.is_some());
+        let mut joined: Option<RTy> = None;
 
-        // Join the values, if any.
-        let (result_ty, then_val_c, els_val_c) = match (then_val, els_val) {
-            (Some((tt, tc)), Some((et, ec))) => {
-                let joined = self.template_like(&tt, &fn_ctx.scope);
-                let t_sub = self.subtype(&tt, &joined, span, "join of if values");
-                let e_sub = self.subtype(&et, &joined, span, "join of if values");
-                (
-                    joined,
-                    Constraint::conj(vec![tc, t_sub]),
-                    Constraint::conj(vec![ec, e_sub]),
-                )
+        let mut then_env = env.clone();
+        let then_c = self.check_stmts(&mut then_env, &then.stmts, fn_ctx, |g, env| {
+            let mut p = Vec::new();
+            let val_c = match then.tail.as_deref() {
+                Some(e) => {
+                    let (tt, tc) = g.synth(env, e, &mut p, fn_ctx)?;
+                    if join_values {
+                        let j = joined.insert(g.template_like(&tt, &fn_ctx.scope));
+                        let sub = g.subtype(&tt, j, span, "join of if values");
+                        Constraint::conj(vec![tc, sub])
+                    } else {
+                        tc
+                    }
+                }
+                None => Constraint::True,
+            };
+            let join = g.env_subtype(env, &template, span, "join after if");
+            Ok(wrap(p, Constraint::conj(vec![val_c, join])))
+        })?;
+        let then_c = Constraint::implies(Guard::Pred(cond_idx.clone()), then_c);
+
+        let els_c = match els {
+            Some(block) => {
+                let mut els_env = env.clone();
+                self.check_stmts(&mut els_env, &block.stmts, fn_ctx, |g, env| {
+                    let mut p = Vec::new();
+                    let val_c = match block.tail.as_deref() {
+                        Some(e) => {
+                            let (et, ec) = g.synth(env, e, &mut p, fn_ctx)?;
+                            match &joined {
+                                Some(j) => {
+                                    let sub = g.subtype(&et, j, span, "join of if values");
+                                    Constraint::conj(vec![ec, sub])
+                                }
+                                None => ec,
+                            }
+                        }
+                        None => Constraint::True,
+                    };
+                    let join = g.env_subtype(env, &template, span, "join after if");
+                    Ok(wrap(p, Constraint::conj(vec![val_c, join])))
+                })?
             }
-            (t, e) => (
-                RTy::Unit,
-                t.map(|(_, c)| c).unwrap_or(Constraint::True),
-                e.map(|(_, c)| c).unwrap_or(Constraint::True),
-            ),
+            // No else branch: the pre-branch environment flows to the join
+            // unchanged.
+            None => self.env_subtype(env, &template, span, "join after if"),
         };
+        let els_c = Constraint::implies(Guard::Pred(Expr::not(cond_idx)), els_c);
 
-        let then_c = Constraint::implies(
-            Guard::Pred(cond_idx.clone()),
-            Constraint::conj(vec![
-                then_stmts,
-                wrap(then_prefix, Constraint::conj(vec![then_val_c, then_join])),
-            ]),
-        );
-        let els_c = Constraint::implies(
-            Guard::Pred(Expr::not(cond_idx)),
-            Constraint::conj(vec![
-                els_stmts,
-                wrap(els_prefix, Constraint::conj(vec![els_val_c, els_join])),
-            ]),
-        );
+        let result_ty = joined.unwrap_or(RTy::Unit);
 
         // The continuation sees the opened template environment and the
         // opened result type.
@@ -1765,6 +1769,22 @@ impl ArgInfo {
             ArgInfo::BorrowedLocal(_, t) | ArgInfo::ReferenceLocal(t) => strip_ref(t),
             ArgInfo::Element(t) => t.clone(),
             ArgInfo::Value(t) => t.clone(),
+        }
+    }
+}
+
+/// Pushes `idx ≥ 0` guards for the indices of an indexed type whose base has
+/// non-negative indices (sizes and unsigned values).  Used for referents of
+/// weak references, which are never opened by [`Generator::open_into`].
+fn push_nonneg_index_facts(ty: &RTy, prefix: &mut Vec<PrefixItem>) {
+    if let RTy::Indexed { base, indices } = ty {
+        if base.indices_nonneg() {
+            for idx in indices {
+                prefix.push(PrefixItem::Guard(Guard::Pred(Expr::ge(
+                    idx.clone(),
+                    Expr::int(0),
+                ))));
+            }
         }
     }
 }

@@ -117,21 +117,39 @@ impl Report {
 }
 
 /// Checks every (non-trusted) function of a resolved program.
+///
+/// One fixpoint solver — and therefore one validity cache — is shared across
+/// all functions: VC fragments repeated between functions (identical loop
+/// shapes, common bounds obligations) are answered from the cache, and the
+/// per-function reports record how often that cross-function sharing paid
+/// off ([`flux_fixpoint::FixStats::cross_fn_hits`]).
 pub fn check_program(program: &ResolvedProgram, config: &CheckConfig) -> Report {
     let mut report = Report::default();
+    let mut solver = FixpointSolver::new(config.fixpoint.clone());
     for func in program.iter() {
         if func.def.trusted {
             continue;
         }
         report
             .functions
-            .push(check_function(program, &func.def.name, config));
+            .push(check_function_with(program, &func.def.name, &mut solver));
     }
     report
 }
 
-/// Checks a single function by name.
+/// Checks a single function by name with a fresh solver.
 pub fn check_function(program: &ResolvedProgram, name: &str, config: &CheckConfig) -> FnReport {
+    let mut solver = FixpointSolver::new(config.fixpoint.clone());
+    check_function_with(program, name, &mut solver)
+}
+
+/// Checks a single function by name on a caller-provided solver, so several
+/// functions can share its validity cache.
+pub fn check_function_with(
+    program: &ResolvedProgram,
+    name: &str,
+    solver: &mut FixpointSolver,
+) -> FnReport {
     let start = Instant::now();
     let generator = Generator::new(program);
     match generator.gen_function(name) {
@@ -143,7 +161,7 @@ pub fn check_function(program: &ResolvedProgram, name: &str, config: &CheckConfi
             smt_stats: flux_smt::SmtStats::default(),
         },
         Ok(gen) => {
-            let mut solver = FixpointSolver::new(config.fixpoint.clone());
+            let smt_before = solver.smt_stats();
             let result = solver.solve(&gen.constraint, &gen.kvars, &SortCtx::new());
             let errors = match result {
                 FixResult::Safe(_) => Vec::new(),
@@ -160,7 +178,7 @@ pub fn check_function(program: &ResolvedProgram, name: &str, config: &CheckConfi
                 errors,
                 time: start.elapsed(),
                 fixpoint_stats: solver.stats,
-                smt_stats: solver.smt_stats(),
+                smt_stats: solver.smt_stats().since(smt_before),
             }
         }
     }

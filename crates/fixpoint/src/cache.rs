@@ -40,9 +40,13 @@ impl QueryKey {
 }
 
 /// The memoized validity cache.
+///
+/// Entries are stamped with the *generation* (solve call) that created them,
+/// so a solver shared across the functions of one program can tell replays
+/// within a solve apart from cross-function replays.
 #[derive(Debug, Default)]
 pub struct ValidityCache {
-    map: HashMap<QueryKey, Validity>,
+    map: HashMap<QueryKey, (Validity, u64)>,
 }
 
 impl ValidityCache {
@@ -51,14 +55,15 @@ impl ValidityCache {
         ValidityCache::default()
     }
 
-    /// Returns the cached verdict for `key`, if any.
-    pub fn lookup(&self, key: &QueryKey) -> Option<Validity> {
+    /// Returns the cached verdict for `key` (and the generation that
+    /// inserted it), if any.
+    pub fn lookup(&self, key: &QueryKey) -> Option<(Validity, u64)> {
         self.map.get(key).cloned()
     }
 
-    /// Records the verdict for `key`.
-    pub fn insert(&mut self, key: QueryKey, verdict: Validity) {
-        self.map.insert(key, verdict);
+    /// Records the verdict for `key`, stamped with `generation`.
+    pub fn insert(&mut self, key: QueryKey, verdict: Validity, generation: u64) {
+        self.map.insert(key, (verdict, generation));
     }
 
     /// Number of cached verdicts.
@@ -71,8 +76,10 @@ impl ValidityCache {
         self.map.is_empty()
     }
 
-    /// Drops all cached verdicts (called at the start of each solve, since
-    /// keys do not capture the caller's uninterpreted-function context).
+    /// Drops all cached verdicts.  Called by the solver whenever the base
+    /// sort context changes between solves: keys do not capture the caller's
+    /// uninterpreted-function context, so verdicts may only be replayed
+    /// across solves that share it.
     pub fn clear(&mut self) {
         self.map.clear();
     }
@@ -121,8 +128,8 @@ mod tests {
         let k = key(&ctx, &[], &goal);
         let mut cache = ValidityCache::new();
         assert!(cache.lookup(&k).is_none());
-        cache.insert(k.clone(), Validity::Valid);
-        assert_eq!(cache.lookup(&k), Some(Validity::Valid));
+        cache.insert(k.clone(), Validity::Valid, 3);
+        assert_eq!(cache.lookup(&k), Some((Validity::Valid, 3)));
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert!(cache.is_empty());

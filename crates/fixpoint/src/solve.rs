@@ -60,6 +60,9 @@ pub struct FixStats {
     pub smt_queries: usize,
     /// Queries answered from the validity cache.
     pub cache_hits: usize,
+    /// Cache hits whose entry was produced by an *earlier* solve call on the
+    /// same solver (cross-function sharing within one verification run).
+    pub cross_fn_hits: usize,
     /// Queries that reached the SMT engine.
     pub cache_misses: usize,
     /// Solver sessions opened (at most one per clause per iteration; none
@@ -77,6 +80,7 @@ impl FixStats {
         self.iterations += other.iterations;
         self.smt_queries += other.smt_queries;
         self.cache_hits += other.cache_hits;
+        self.cross_fn_hits += other.cross_fn_hits;
         self.cache_misses += other.cache_misses;
         self.sessions += other.sessions;
     }
@@ -165,6 +169,13 @@ pub struct FixpointSolver {
     pub stats: FixStats,
     smt: Solver,
     cache: ValidityCache,
+    /// Generation counter: bumped once per [`FixpointSolver::solve`] call so
+    /// cache entries can be attributed to the solve that created them.
+    generation: u64,
+    /// The base sort context of the previous solve; the cache survives
+    /// across solves only while it stays the same (keys do not capture
+    /// uninterpreted-function declarations).
+    last_ctx: Option<SortCtx>,
 }
 
 impl FixpointSolver {
@@ -176,6 +187,8 @@ impl FixpointSolver {
             stats: FixStats::default(),
             smt,
             cache: ValidityCache::new(),
+            generation: 0,
+            last_ctx: None,
         }
     }
 
@@ -200,9 +213,15 @@ impl FixpointSolver {
             kvars: kvars.len(),
             ..FixStats::default()
         };
-        // Keys do not capture `ctx`'s uninterpreted-function declarations,
-        // so verdicts must not leak between solve calls.
-        self.cache.clear();
+        // The cache is kept across solve calls (cross-function sharing
+        // within one verification run) as long as the base sort context is
+        // unchanged; keys do not capture `ctx`'s uninterpreted-function
+        // declarations, so verdicts must not leak across different contexts.
+        self.generation += 1;
+        if self.last_ctx.as_ref() != Some(ctx) {
+            self.cache.clear();
+            self.last_ctx = Some(ctx.clone());
+        }
 
         // Initial assignment: all well-sorted qualifier instantiations.
         let mut solution = Solution::default();
@@ -251,12 +270,22 @@ impl FixpointSolver {
                 // clause re-enters after surviving a previous iteration —
                 // the whole query is answered from the cache outright.
                 if let Some(keys) = &keys {
-                    if insts
+                    let cached: Vec<Option<(Validity, u64)>> = insts
                         .iter()
-                        .all(|g| self.cache.lookup(&keys.for_goal(g)) == Some(Validity::Valid))
+                        .map(|g| self.cache.lookup(&keys.for_goal(g)))
+                        .collect();
+                    if cached
+                        .iter()
+                        .all(|c| matches!(c, Some((Validity::Valid, _))))
                     {
                         self.stats.smt_queries += 1;
                         self.stats.cache_hits += 1;
+                        if cached
+                            .iter()
+                            .all(|c| matches!(c, Some((_, gen)) if *gen < self.generation))
+                        {
+                            self.stats.cross_fn_hits += 1;
+                        }
                         continue;
                     }
                 }
@@ -270,7 +299,11 @@ impl FixpointSolver {
                     // the fast path above) will ask for.
                     if let Some(keys) = &keys {
                         for goal in &insts {
-                            self.cache.insert(keys.for_goal(goal), Validity::Valid);
+                            self.cache.insert(
+                                keys.for_goal(goal),
+                                Validity::Valid,
+                                self.generation,
+                            );
                         }
                     }
                     self.close(session);
@@ -353,8 +386,11 @@ impl FixpointSolver {
             return self.smt.check_valid_imp(clause_ctx, hypotheses, goal);
         };
         let key = keys.for_goal(goal);
-        if let Some(verdict) = self.cache.lookup(&key) {
+        if let Some((verdict, inserted_gen)) = self.cache.lookup(&key) {
             self.stats.cache_hits += 1;
+            if inserted_gen < self.generation {
+                self.stats.cross_fn_hits += 1;
+            }
             return verdict;
         }
         self.stats.cache_misses += 1;
@@ -366,7 +402,7 @@ impl FixpointSolver {
             .as_mut()
             .expect("session was just opened")
             .check(goal);
-        self.cache.insert(key, verdict.clone());
+        self.cache.insert(key, verdict.clone(), self.generation);
         verdict
     }
 

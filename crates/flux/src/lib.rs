@@ -60,6 +60,9 @@ pub struct QueryStats {
     pub smt_queries: usize,
     /// Queries answered from the fixpoint validity cache.
     pub cache_hits: usize,
+    /// Cache hits served by an entry another function's solve created (the
+    /// cache is shared across all functions of one verification run).
+    pub cross_fn_hits: usize,
     /// Queries that reached the SMT engine.
     pub cache_misses: usize,
     /// Solver sessions opened.
@@ -138,6 +141,7 @@ pub fn verify_source(
                 stats: QueryStats {
                     smt_queries: fix.smt_queries,
                     cache_hits: fix.cache_hits,
+                    cross_fn_hits: fix.cross_fn_hits,
                     cache_misses: fix.cache_misses,
                     sessions: fix.sessions,
                     sat_rounds: smt.sat_rounds,
@@ -167,6 +171,7 @@ pub fn verify_source(
                 stats: QueryStats {
                     smt_queries: smt.queries,
                     cache_hits: 0,
+                    cross_fn_hits: 0,
                     cache_misses: smt.queries,
                     sessions: smt.sessions,
                     sat_rounds: smt.sat_rounds,
@@ -365,10 +370,18 @@ pub fn render_table1(rows: &[TableRow]) -> String {
 pub fn render_query_stats(rows: &[TableRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
-        "benchmark", "queries", "hits", "misses", "hit%", "sessions", "bl-qrys", "bl-quants"
+        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
+        "benchmark",
+        "queries",
+        "hits",
+        "xfn-hits",
+        "misses",
+        "hit%",
+        "sessions",
+        "bl-qrys",
+        "bl-quants"
     ));
-    out.push_str(&"-".repeat(92));
+    out.push_str(&"-".repeat(101));
     out.push('\n');
     let mut total = QueryStats::default();
     let mut total_baseline = QueryStats::default();
@@ -376,10 +389,11 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         let s = row.flux.stats;
         let hit_percent = (s.cache_hits * 100).checked_div(s.smt_queries).unwrap_or(0);
         out.push_str(&format!(
-            "{:<10} | {:>8} {:>9} {:>8} {:>7}% {:>8} | {:>8} {:>10}\n",
+            "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>7}% {:>8} | {:>8} {:>10}\n",
             row.name,
             s.smt_queries,
             s.cache_hits,
+            s.cross_fn_hits,
             s.cache_misses,
             hit_percent,
             s.sessions,
@@ -388,21 +402,23 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         ));
         total.smt_queries += s.smt_queries;
         total.cache_hits += s.cache_hits;
+        total.cross_fn_hits += s.cross_fn_hits;
         total.cache_misses += s.cache_misses;
         total.sessions += s.sessions;
         total_baseline.smt_queries += row.baseline.stats.smt_queries;
         total_baseline.quant_instances += row.baseline.stats.quant_instances;
     }
-    out.push_str(&"-".repeat(92));
+    out.push_str(&"-".repeat(101));
     out.push('\n');
     let hit_percent = (total.cache_hits * 100)
         .checked_div(total.smt_queries)
         .unwrap_or(0);
     out.push_str(&format!(
-        "{:<10} | {:>8} {:>9} {:>8} {:>7}% {:>8} | {:>8} {:>10}\n",
+        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>7}% {:>8} | {:>8} {:>10}\n",
         "Total",
         total.smt_queries,
         total.cache_hits,
+        total.cross_fn_hits,
         total.cache_misses,
         hit_percent,
         total.sessions,

@@ -143,6 +143,16 @@ fn skolem_subst(
 #[derive(Default, Debug)]
 struct Candidates {
     ints: Vec<Expr>,
+    /// Ground integer-sorted terms that occur as *arguments of uninterpreted
+    /// applications* (array indices, mostly).  Binders with at least one
+    /// occurrence in application-argument position are instantiated from
+    /// this smaller set — a trigger/E-matching-style restriction that is
+    /// deliberately stronger than "only ever used as an argument": it keeps
+    /// frame axioms from being multiplied by every scalar term in the
+    /// formula, at the cost of missing instances a mixed-use binder might
+    /// have needed at a non-index term (sound: instantiation can only
+    /// weaken what the verifier assumes).
+    app_ints: Vec<Expr>,
     others: Vec<(Sort, Expr)>,
 }
 
@@ -158,20 +168,31 @@ impl Candidates {
                 .collect(),
         }
     }
+
+    fn triggered(&self, sort: Sort) -> Vec<Expr> {
+        match sort {
+            Sort::Int => self.app_ints.clone(),
+            other => self.of_sort(other),
+        }
+    }
 }
 
 fn collect_candidates(expr: &Expr, ctx: &SortCtx, config: &QuantConfig) -> Candidates {
     let mut ints: BTreeSet<Expr> = BTreeSet::new();
+    let mut app_ints: BTreeSet<Expr> = BTreeSet::new();
     let mut others: BTreeSet<(Sort, Expr)> = BTreeSet::new();
     // Always include small integer constants: they seed instantiations such
     // as "the first element" that quantified invariants frequently need.
     ints.insert(Expr::int(0));
+    app_ints.insert(Expr::int(0));
 
     fn go(
         e: &Expr,
         bound: &mut Vec<Name>,
+        in_app: bool,
         ctx: &SortCtx,
         ints: &mut BTreeSet<Expr>,
+        app_ints: &mut BTreeSet<Expr>,
         others: &mut BTreeSet<(Sort, Expr)>,
     ) {
         let ground = e.free_vars().iter().all(|v| !bound.contains(v));
@@ -182,6 +203,9 @@ fn collect_candidates(expr: &Expr, ctx: &SortCtx, config: &QuantConfig) -> Candi
                         match sort {
                             Sort::Int => {
                                 ints.insert(e.clone());
+                                if in_app {
+                                    app_ints.insert(e.clone());
+                                }
                             }
                             Sort::Bool => {}
                             other => {
@@ -192,12 +216,18 @@ fn collect_candidates(expr: &Expr, ctx: &SortCtx, config: &QuantConfig) -> Candi
                 }
                 Expr::Const(Constant::Int(_)) => {
                     ints.insert(e.clone());
+                    if in_app {
+                        app_ints.insert(e.clone());
+                    }
                 }
                 Expr::App(f, _) => {
                     if let Some((_, ret)) = ctx.lookup_fn(*f) {
                         match ret {
                             Sort::Int => {
                                 ints.insert(e.clone());
+                                if in_app {
+                                    app_ints.insert(e.clone());
+                                }
                             }
                             Sort::Bool => {}
                             other => {
@@ -206,39 +236,85 @@ fn collect_candidates(expr: &Expr, ctx: &SortCtx, config: &QuantConfig) -> Candi
                         }
                     }
                 }
-                _ => {}
+                _ => {
+                    // A compound ground term (e.g. `len - 1`) in argument
+                    // position is itself a trigger candidate.
+                    if in_app {
+                        if let Ok(Sort::Int) = sort_of_ground(e, ctx) {
+                            app_ints.insert(e.clone());
+                        }
+                    }
+                }
             }
         }
         match e {
-            Expr::UnOp(_, inner) => go(inner, bound, ctx, ints, others),
+            Expr::UnOp(_, inner) => go(inner, bound, in_app, ctx, ints, app_ints, others),
             Expr::BinOp(_, l, r) => {
-                go(l, bound, ctx, ints, others);
-                go(r, bound, ctx, ints, others);
+                go(l, bound, in_app, ctx, ints, app_ints, others);
+                go(r, bound, in_app, ctx, ints, app_ints, others);
             }
             Expr::Ite(c, t, el) => {
-                go(c, bound, ctx, ints, others);
-                go(t, bound, ctx, ints, others);
-                go(el, bound, ctx, ints, others);
+                go(c, bound, in_app, ctx, ints, app_ints, others);
+                go(t, bound, in_app, ctx, ints, app_ints, others);
+                go(el, bound, in_app, ctx, ints, app_ints, others);
             }
             Expr::App(_, args) => {
                 for a in args {
-                    go(a, bound, ctx, ints, others);
+                    go(a, bound, true, ctx, ints, app_ints, others);
                 }
             }
             Expr::Forall(binders, body) | Expr::Exists(binders, body) => {
                 let before = bound.len();
                 bound.extend(binders.iter().map(|(n, _)| *n));
-                go(body, bound, ctx, ints, others);
+                go(body, bound, in_app, ctx, ints, app_ints, others);
                 bound.truncate(before);
             }
             _ => {}
         }
     }
-    go(expr, &mut Vec::new(), ctx, &mut ints, &mut others);
+    go(
+        expr,
+        &mut Vec::new(),
+        false,
+        ctx,
+        &mut ints,
+        &mut app_ints,
+        &mut others,
+    );
 
     Candidates {
         ints: ints.into_iter().take(config.max_candidates).collect(),
+        app_ints: app_ints.into_iter().take(config.max_candidates).collect(),
         others: others.into_iter().take(config.max_candidates).collect(),
+    }
+}
+
+fn sort_of_ground(e: &Expr, ctx: &SortCtx) -> Result<Sort, ()> {
+    e.sort_of(ctx).map_err(|_| ())
+}
+
+/// True if some occurrence of `name` in `e` sits inside an argument of an
+/// uninterpreted application (e.g. `select(a, name)`).  Such a binder has a
+/// trigger: instantiating it beyond the ground application-argument terms
+/// cannot create new matches, so its candidate set is restricted to
+/// [`Candidates::app_ints`].
+fn occurs_in_app_arg(e: &Expr, name: Name, in_app: bool) -> bool {
+    match e {
+        Expr::Var(v) => *v == name && in_app,
+        Expr::Const(_) => false,
+        Expr::UnOp(_, inner) => occurs_in_app_arg(inner, name, in_app),
+        Expr::BinOp(_, l, r) => {
+            occurs_in_app_arg(l, name, in_app) || occurs_in_app_arg(r, name, in_app)
+        }
+        Expr::Ite(c, t, el) => {
+            occurs_in_app_arg(c, name, in_app)
+                || occurs_in_app_arg(t, name, in_app)
+                || occurs_in_app_arg(el, name, in_app)
+        }
+        Expr::App(_, args) => args.iter().any(|a| occurs_in_app_arg(a, name, true)),
+        Expr::Forall(binders, body) | Expr::Exists(binders, body) => {
+            !binders.iter().any(|(b, _)| *b == name) && occurs_in_app_arg(body, name, in_app)
+        }
     }
 }
 
@@ -276,13 +352,25 @@ fn instantiate(
         ),
         Expr::Forall(binders, body) if positive => {
             let body = instantiate(body, positive, candidates, config, stats);
+            // Per-binder candidate sets: a binder with a trigger (it occurs
+            // as an application argument) draws from the trigger terms only.
+            let per_binder: Vec<Vec<Expr>> = binders
+                .iter()
+                .map(|(name, sort)| {
+                    if *sort == Sort::Int && occurs_in_app_arg(&body, *name, false) {
+                        candidates.triggered(*sort)
+                    } else {
+                        candidates.of_sort(*sort)
+                    }
+                })
+                .collect();
             let mut instances = Vec::new();
             let mut tuple = Vec::new();
             build_instances(
                 binders,
                 0,
                 &mut tuple,
-                candidates,
+                &per_binder,
                 &body,
                 &mut instances,
                 config.max_instances_per_quantifier,
@@ -306,7 +394,7 @@ fn build_instances(
     binders: &[(Name, Sort)],
     index: usize,
     tuple: &mut Vec<(Name, Expr)>,
-    candidates: &Candidates,
+    per_binder: &[Vec<Expr>],
     body: &Expr,
     out: &mut Vec<Expr>,
     limit: usize,
@@ -319,10 +407,10 @@ fn build_instances(
         out.push(subst.apply(body));
         return;
     }
-    let (name, sort) = binders[index];
-    for candidate in candidates.of_sort(sort) {
-        tuple.push((name, candidate));
-        build_instances(binders, index + 1, tuple, candidates, body, out, limit);
+    let (name, _) = binders[index];
+    for candidate in &per_binder[index] {
+        tuple.push((name, candidate.clone()));
+        build_instances(binders, index + 1, tuple, per_binder, body, out, limit);
         tuple.pop();
         if out.len() >= limit {
             return;

@@ -73,6 +73,18 @@ impl SmtStats {
         self.theory_checks += other.theory_checks;
         self.quant_instances += other.quant_instances;
     }
+
+    /// Field-wise difference `self - earlier`; used to attribute a shared
+    /// solver's cumulative counters to the work done since a snapshot.
+    pub fn since(&self, earlier: SmtStats) -> SmtStats {
+        SmtStats {
+            queries: self.queries - earlier.queries,
+            sessions: self.sessions - earlier.sessions,
+            sat_rounds: self.sat_rounds - earlier.sat_rounds,
+            theory_checks: self.theory_checks - earlier.theory_checks,
+            quant_instances: self.quant_instances - earlier.quant_instances,
+        }
+    }
 }
 
 /// A model of a satisfiable formula.

@@ -504,6 +504,8 @@ fn kmp_search(m: usize, mpos: usize, p: &RVec<i32>, text: &RVec<i32>) -> usize {
 pub const KMP_BASELINE: &str = r#"
 #[requires(mpos < vlen(p))]
 #[ensures(vlen(result) == vlen(p))]
+#[ensures(forall x . 0 <= x && x < vlen(result) ==> sel(result, x) < vlen(p))]
+#[ensures(forall x . 0 <= x && x < vlen(result) ==> sel(result, x) >= 0)]
 fn kmp_table(mpos: usize, p: RVec<i32>) -> RVec<usize> {
     let mut t = RVec::new();
     let mut i = 0;
@@ -515,7 +517,7 @@ fn kmp_table(mpos: usize, p: RVec<i32>) -> RVec<usize> {
         invariant!(forall x . 0 <= x && x < vlen(t) ==> sel(t, x) >= 0);
         if i > 0 {
             if p.get(i) == p.get(i - 1) {
-                t[0] = i - 1;
+                t.push(i - 1);
             } else {
                 t.push(0);
             }
@@ -537,15 +539,18 @@ fn kmp_search(mpos: usize, p: RVec<i32>, text: RVec<i32>) -> usize {
         invariant!(i >= 0);
         invariant!(k >= 0);
         invariant!(k < vlen(p));
+        invariant!(vlen(t) == vlen(p));
+        invariant!(forall x . 0 <= x && x < vlen(t) ==> sel(t, x) < vlen(p));
+        invariant!(forall x . 0 <= x && x < vlen(t) ==> sel(t, x) >= 0);
         if text.get(i) == p.get(k) {
             if k + 1 < p.len() {
                 k = k + 1;
             } else {
                 matches = matches + 1;
-                k = 0;
+                k = t.get(k);
             }
         } else {
-            k = 0;
+            k = t.get(k);
         }
         i += 1;
     }

@@ -183,14 +183,61 @@ impl<'a> WpVerifier<'a> {
 
     fn check(&mut self, state: &State, goal: Expr, span: Span, what: &str) {
         self.queries += 1;
+        let facts = self.prune_irrelevant_quantifiers(&state.facts, &goal);
         if !self
             .solver
-            .check_valid_imp(&self.ctx, &state.facts, &goal)
+            .check_valid_imp(&self.ctx, &facts, &goal)
             .is_valid()
         {
             self.errors
                 .push(Diagnostic::error(format!("{what} might not hold"), span));
         }
+    }
+
+    /// Goal-directed relevance filtering: quantified hypotheses that only
+    /// describe the *contents* of arrays unreachable from the goal (through
+    /// chains of facts mentioning a reachable array) are replaced by `true`.
+    ///
+    /// Long straight-line code accumulates one universally quantified frame
+    /// axiom per store/push/swap; when the goal is about lengths and indices
+    /// only (the common case outside content invariants), those axioms cost
+    /// quantifier instances and Ackermann axioms without contributing
+    /// anything.  Dropping hypotheses only ever weakens the implication
+    /// being proved, so this is sound: the verifier may fail to prove a
+    /// valid obligation but can never accept an invalid one.
+    fn prune_irrelevant_quantifiers(&self, facts: &[Expr], goal: &Expr) -> Vec<Expr> {
+        // Seed: arrays the goal mentions.
+        let mut relevant = self.array_vars(goal);
+        // Fixpoint: any fact touching a relevant array makes all its arrays
+        // relevant (frame axioms and merges link new arrays to old ones).
+        let fact_arrays: Vec<std::collections::BTreeSet<Name>> =
+            facts.iter().map(|f| self.array_vars(f)).collect();
+        loop {
+            let mut grew = false;
+            for arrays in &fact_arrays {
+                if arrays.iter().any(|a| relevant.contains(a))
+                    && !arrays.iter().all(|a| relevant.contains(a))
+                {
+                    relevant.extend(arrays.iter().copied());
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        facts
+            .iter()
+            .map(|f| prune_quants(f, true, &relevant, &self.ctx))
+            .collect()
+    }
+
+    /// The `Array`-sorted free variables of an expression.
+    fn array_vars(&self, e: &Expr) -> std::collections::BTreeSet<Name> {
+        e.free_vars()
+            .into_iter()
+            .filter(|v| self.ctx.lookup(*v) == Some(Sort::Array))
+            .collect()
     }
 
     fn run(&mut self, def: &ast::FnDef) {
@@ -255,6 +302,13 @@ impl<'a> WpVerifier<'a> {
             }
             _ => {}
         }
+        // Also bind `result` as a local so `spec_pred` substitutes it by the
+        // returned symbolic value directly.  The equational facts above
+        // cannot express array aliasing (array equality is opaque to the
+        // theory solver), so quantified postconditions about a returned
+        // vector's *contents* only connect through this binding — mirroring
+        // how `eval_call` assumes callee postconditions at call sites.
+        state.locals.insert("result".to_owned(), value.clone());
     }
 
     /// Translates a specification predicate (from `requires`/`ensures`/
@@ -656,6 +710,7 @@ impl<'a> WpVerifier<'a> {
         state: &mut State,
     ) -> SymValue {
         let c = self.eval_scalar(cond, state);
+        let base_facts = state.facts.len();
         let mut then_state = state.clone();
         then_state.facts.push(c.clone());
         let then_val = self.exec_block(then, &mut then_state);
@@ -665,6 +720,23 @@ impl<'a> WpVerifier<'a> {
             Some(block) => self.exec_block(block, &mut els_state),
             None => None,
         };
+        // Re-export the facts each branch accumulated (frame axioms from
+        // stores/pushes/swaps, nested merges), guarded by the branch
+        // condition.  Dropping them would disconnect the merged locals below
+        // from their defining constraints.  The `+ 1` skips the branch
+        // condition itself, re-pushed above.
+        let then_new: Vec<Expr> = then_state.facts[base_facts + 1..].to_vec();
+        if !then_new.is_empty() {
+            state
+                .facts
+                .push(Expr::imp(c.clone(), Expr::and_all(then_new)));
+        }
+        let els_new: Vec<Expr> = els_state.facts[base_facts + 1..].to_vec();
+        if !els_new.is_empty() {
+            state
+                .facts
+                .push(Expr::imp(Expr::not(c.clone()), Expr::and_all(els_new)));
+        }
         // Merge the two states back into `state`.
         let keys: Vec<String> = state.locals.keys().cloned().collect();
         for key in keys {
@@ -695,19 +767,27 @@ impl<'a> WpVerifier<'a> {
                     }
                     let array = self.fresh_array("merged");
                     let len = self.fresh_int("merged_len");
+                    // Array equality is opaque to the theory solver, so the
+                    // merged array is connected to each branch's array by a
+                    // universally quantified frame axiom over its contents
+                    // (alongside the length equation).
+                    let j = Name::fresh("j");
+                    let frame = |source: Name| {
+                        Expr::forall(
+                            vec![(j, Sort::Int)],
+                            Expr::eq(
+                                Expr::app("select", vec![Expr::Var(array), Expr::Var(j)]),
+                                Expr::app("select", vec![Expr::Var(source), Expr::Var(j)]),
+                            ),
+                        )
+                    };
                     state.facts.push(Expr::imp(
                         c.clone(),
-                        Expr::and(
-                            Expr::eq(Expr::Var(array), Expr::Var(a)),
-                            Expr::eq(Expr::Var(len), la),
-                        ),
+                        Expr::and(frame(a), Expr::eq(Expr::Var(len), la)),
                     ));
                     state.facts.push(Expr::imp(
                         Expr::not(c.clone()),
-                        Expr::and(
-                            Expr::eq(Expr::Var(array), Expr::Var(b)),
-                            Expr::eq(Expr::Var(len), lb),
-                        ),
+                        Expr::and(frame(b), Expr::eq(Expr::Var(len), lb)),
                     ));
                     state.locals.insert(
                         key,
@@ -926,31 +1006,84 @@ impl<'a> WpVerifier<'a> {
     }
 }
 
+/// Replaces positive-position universally quantified subformulas that talk
+/// about arrays — none of which are `relevant` — by `true`.  Negative
+/// positions are left untouched (weakening a hypothesis there would
+/// strengthen the overall assumption, which would be unsound).
+fn prune_quants(
+    e: &Expr,
+    positive: bool,
+    relevant: &std::collections::BTreeSet<Name>,
+    ctx: &SortCtx,
+) -> Expr {
+    match e {
+        Expr::Forall(_, _) if positive => {
+            let arrays: Vec<Name> = e
+                .free_vars()
+                .into_iter()
+                .filter(|v| ctx.lookup(*v) == Some(Sort::Array))
+                .collect();
+            if !arrays.is_empty() && arrays.iter().all(|a| !relevant.contains(a)) {
+                Expr::tt()
+            } else {
+                e.clone()
+            }
+        }
+        Expr::UnOp(flux_logic::UnOp::Not, inner) => {
+            Expr::not(prune_quants(inner, !positive, relevant, ctx))
+        }
+        Expr::BinOp(flux_logic::BinOp::Imp, lhs, rhs) => Expr::imp(
+            prune_quants(lhs, !positive, relevant, ctx),
+            prune_quants(rhs, positive, relevant, ctx),
+        ),
+        Expr::BinOp(op @ (flux_logic::BinOp::And | flux_logic::BinOp::Or), lhs, rhs) => {
+            Expr::binop(
+                *op,
+                prune_quants(lhs, positive, relevant, ctx),
+                prune_quants(rhs, positive, relevant, ctx),
+            )
+        }
+        other => other.clone(),
+    }
+}
+
 /// Collects the names of locals assigned (or mutated through methods)
 /// anywhere in a block.
 fn collect_assigned(block: &ast::Block, out: &mut Vec<String>) {
     fn expr_mutations(expr: &ast::Expr, out: &mut Vec<String>) {
-        if let ast::Expr::MethodCall { recv, method, .. } = expr {
-            if method == "push" || method == "pop" || method == "swap" {
+        match expr {
+            ast::Expr::MethodCall { recv, method, .. }
+                if matches!(method.as_str(), "push" | "pop" | "swap") =>
+            {
                 if let ast::Expr::Var(name, _) = recv.as_ref() {
                     out.push(name.clone());
                 }
             }
-        }
-        if let ast::Expr::Call { args, .. } = expr {
-            // Mutable borrows passed to callees may be modified.
-            for arg in args {
-                if let ast::Expr::Borrow {
-                    place,
-                    mutability: ast::Mutability::Mutable,
-                    ..
-                } = arg
-                {
-                    if let ast::Expr::Var(name, _) = place.as_ref() {
-                        out.push(name.clone());
+            ast::Expr::Call { args, .. } => {
+                // Mutable borrows passed to callees may be modified.
+                for arg in args {
+                    if let ast::Expr::Borrow {
+                        place,
+                        mutability: ast::Mutability::Mutable,
+                        ..
+                    } = arg
+                    {
+                        if let ast::Expr::Var(name, _) = place.as_ref() {
+                            out.push(name.clone());
+                        }
                     }
                 }
             }
+            // Mutations may hide inside either branch of a conditional;
+            // missing them here would leave loop-modified locals unhavocked
+            // at the loop head, which is unsound.
+            ast::Expr::If { then, els, .. } => {
+                collect_assigned(then, out);
+                if let Some(els) = els {
+                    collect_assigned(els, out);
+                }
+            }
+            _ => {}
         }
     }
     for stmt in &block.stmts {

@@ -1,0 +1,55 @@
+//! The Table 1 regression gate: every `(benchmark, mode)` cell must match
+//! the expected-outcome matrix in `flux_suite::expect_verifies`.
+//!
+//! Any checker, qualifier, solver or baseline regression that silently
+//! shrinks the verified corpus fails this test instead of just changing a
+//! number in the benchmark report.
+
+use flux::{run_benchmark, Mode, VerifyConfig};
+use flux_suite::{benchmarks, expect_verifies, Mode as SuiteMode};
+
+#[test]
+fn every_table1_cell_matches_the_expected_outcome_matrix() {
+    let config = VerifyConfig::default();
+    let mut mismatches = Vec::new();
+    for b in benchmarks() {
+        let row = run_benchmark(&b, &config);
+        for (mode, outcome) in [
+            (SuiteMode::Flux, &row.flux),
+            (SuiteMode::Baseline, &row.baseline),
+        ] {
+            let expected = expect_verifies(b.name, mode);
+            if outcome.safe != expected {
+                mismatches.push(format!(
+                    "{} / {mode:?}: expected safe={expected}, got safe={} (errors: {:?})",
+                    b.name, outcome.safe, outcome.errors
+                ));
+            }
+        }
+        assert_eq!(row.flux.mode, Mode::Flux);
+        assert_eq!(row.baseline.mode, Mode::Baseline);
+    }
+    assert!(
+        mismatches.is_empty(),
+        "Table 1 outcome matrix drifted:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn expectation_matrix_covers_exactly_the_benchmark_suite() {
+    // The paper's headline claim, as pinned by the matrix: all 16 cells
+    // (8 benchmarks × 2 verifiers) are expected to verify.
+    for b in benchmarks() {
+        for mode in [SuiteMode::Flux, SuiteMode::Baseline] {
+            assert!(
+                expect_verifies(b.name, mode),
+                "{} / {mode:?} should be an expected-green Table 1 cell",
+                b.name
+            );
+        }
+    }
+    // Unknown benchmarks are not silently expected to verify.
+    assert!(!expect_verifies("nonexistent", SuiteMode::Flux));
+    assert!(!expect_verifies("nonexistent", SuiteMode::Baseline));
+}

@@ -8,15 +8,45 @@
 //!
 //! The process exits nonzero when any `(benchmark, mode)` cell deviates from
 //! `flux_suite::expect_verifies`, so CI can gate on the full matrix.
+//!
+//! With `--json [PATH]` the run is additionally written as machine-readable
+//! JSON (default path `BENCH_table1.json`): per-benchmark wall-clock plus
+//! the full query-engine statistics of both verifiers, so per-PR regressions
+//! in queries issued (or prunes/reuse lost) are visible by diffing one file.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut json_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| "BENCH_table1.json".to_owned()),
+                );
+            }
+            other => {
+                eprintln!("unknown argument: {other} (supported: --json [PATH])");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let config = flux::VerifyConfig::default();
     let rows = flux::run_table1(&config);
     println!("{}", flux::render_table1(&rows));
     println!("incremental query engine (Flux mode | baseline):");
     println!("{}", flux::render_query_stats(&rows));
+    if let Some(path) = &json_path {
+        let json = flux::render_table1_json(&rows);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}:");
+        println!("{json}");
+    }
 
     // Per-benchmark verdicts against the expected-outcome matrix.
     println!(

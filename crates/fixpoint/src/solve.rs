@@ -14,8 +14,8 @@ use crate::constraint::{Clause, Constraint, Guard, Head, Tag};
 use crate::kvar::{KVarApp, KVarStore, KVid};
 use crate::qualifier::{default_qualifiers, Qualifier};
 use flux_logic::{Expr, ExprId, Name, Sort, SortCtx};
-use flux_smt::{Session, SmtConfig, Solver, Validity};
-use std::collections::BTreeMap;
+use flux_smt::{Model, Session, SmtConfig, Solver, Validity};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 /// Configuration of the fixpoint solver.
@@ -32,6 +32,12 @@ pub struct FixConfig {
     /// the historical one-query-one-pipeline behaviour (kept for A/B
     /// testing and the ablation benches; verdicts are identical).
     pub incremental: bool,
+    /// Weaken candidates by evaluating them under the solver's
+    /// counter-models (Houdini-style) before falling back to one SMT query
+    /// per candidate.  Disable for A/B testing; the resulting fixpoint — and
+    /// hence every verdict and inferred invariant — is identical either
+    /// way, only the number of SMT queries differs.
+    pub model_pruning: bool,
 }
 
 impl Default for FixConfig {
@@ -41,6 +47,7 @@ impl Default for FixConfig {
             max_iterations: 100,
             qualifiers: default_qualifiers(),
             incremental: true,
+            model_pruning: true,
         }
     }
 }
@@ -68,6 +75,9 @@ pub struct FixStats {
     /// Solver sessions opened (at most one per clause per iteration; none
     /// for clauses fully answered by the cache).
     pub sessions: usize,
+    /// Candidates dropped by evaluating them under a counter-model instead
+    /// of issuing a per-candidate SMT query.
+    pub model_prunes: usize,
 }
 
 impl FixStats {
@@ -83,6 +93,7 @@ impl FixStats {
         self.cross_fn_hits += other.cross_fn_hits;
         self.cache_misses += other.cache_misses;
         self.sessions += other.sessions;
+        self.model_prunes += other.model_prunes;
     }
 }
 
@@ -224,13 +235,18 @@ impl FixpointSolver {
         }
 
         // Initial assignment: all well-sorted qualifier instantiations.
+        // Distinct qualifier templates can instantiate to the same predicate
+        // (e.g. `ν ≥ 0` from both a bound and a nonneg template), and the
+        // instantiation order gives no adjacency guarantee — dedup by
+        // hash-consed id so duplicates can't double the SMT work.
         let mut solution = Solution::default();
         for decl in kvars.iter() {
             let mut candidates = Vec::new();
             for qualifier in &self.config.qualifiers {
                 candidates.extend(qualifier.instantiate(decl));
             }
-            candidates.dedup();
+            let mut seen: HashSet<ExprId> = HashSet::with_capacity(candidates.len());
+            candidates.retain(|c| seen.insert(ExprId::intern(c)));
             self.stats.initial_candidates += candidates.len();
             solution.set(decl.id, candidates);
         }
@@ -247,28 +263,23 @@ impl FixpointSolver {
                 let Head::KVar(app) = &clause.head else {
                     continue;
                 };
-                let candidates = solution
-                    .assignment
-                    .get(&app.kvid)
-                    .cloned()
-                    .unwrap_or_default();
-                if candidates.is_empty() {
-                    continue;
-                }
+                // Instantiations are owned, so the candidate vector itself
+                // is only ever borrowed (and shrunk in place at the end).
+                let decl = kvars.get(app.kvid);
+                let insts: Vec<Expr> = match solution.assignment.get(&app.kvid) {
+                    Some(candidates) if !candidates.is_empty() => candidates
+                        .iter()
+                        .map(|c| app.instantiate(decl, c))
+                        .collect(),
+                    _ => continue,
+                };
                 let hypotheses = clause_hypotheses(clause, &solution, kvars);
                 let clause_ctx = clause_ctx(clause, ctx);
                 let keys = self.keys_for(&clause_ctx, &hypotheses);
-                let mut session = None;
-                let decl = kvars.get(app.kvid);
-                let insts: Vec<Expr> = candidates
-                    .iter()
-                    .map(|c| app.instantiate(decl, c))
-                    .collect();
-                // Fast path: if the whole conjunction is implied, nothing to
-                // weaken for this clause.  When every candidate is already
-                // individually cached as valid — the common case when the
-                // clause re-enters after surviving a previous iteration —
-                // the whole query is answered from the cache outright.
+                // Fast path: when every candidate is already individually
+                // cached as valid — the common case when the clause
+                // re-enters after surviving a previous iteration — the whole
+                // query is answered from the cache outright.
                 if let Some(keys) = &keys {
                     let cached: Vec<Option<(Validity, u64)>> = insts
                         .iter()
@@ -289,39 +300,84 @@ impl FixpointSolver {
                         continue;
                     }
                 }
-                let whole = Expr::and_all(insts.iter().cloned());
-                if self
-                    .check(&mut session, &clause_ctx, &keys, &hypotheses, &whole)
-                    .is_valid()
-                {
-                    // `hyps ⟹ c1 ∧ … ∧ cn` entails every `hyps ⟹ ci`, so
-                    // seed the per-candidate entries the next iteration (or
-                    // the fast path above) will ask for.
-                    if let Some(keys) = &keys {
-                        for goal in &insts {
-                            self.cache.insert(
-                                keys.for_goal(goal),
-                                Validity::Valid,
-                                self.generation,
-                            );
-                        }
+                let mut session = None;
+                let mut alive = vec![true; insts.len()];
+                // Houdini-style weakening: check the conjunction of the
+                // surviving candidates; if it fails, evaluate every survivor
+                // under the counter-model and drop all that are falsified —
+                // no per-candidate SMT query — then re-check the smaller
+                // conjunction.  Only when the model stops deciding anything
+                // (or there is no trustworthy model) do the survivors pay
+                // one query each.
+                loop {
+                    let whole = Expr::and_all(
+                        insts
+                            .iter()
+                            .zip(&alive)
+                            .filter(|(_, alive)| **alive)
+                            .map(|(inst, _)| inst.clone()),
+                    );
+                    if whole.is_trivially_true() {
+                        break;
                     }
-                    self.close(session);
-                    continue;
-                }
-                let mut kept = Vec::new();
-                for (candidate, goal) in candidates.into_iter().zip(&insts) {
-                    if self
-                        .check(&mut session, &clause_ctx, &keys, &hypotheses, goal)
-                        .is_valid()
-                    {
-                        kept.push(candidate);
-                    } else {
-                        changed = true;
+                    match self.check(&mut session, &clause_ctx, &keys, &hypotheses, &whole) {
+                        Validity::Valid => {
+                            // `hyps ⟹ c1 ∧ … ∧ cn` entails every
+                            // `hyps ⟹ ci`, so seed the per-candidate entries
+                            // the next iteration (or the fast path above)
+                            // will ask for.
+                            if let Some(keys) = &keys {
+                                for (goal, _) in
+                                    insts.iter().zip(&alive).filter(|(_, alive)| **alive)
+                                {
+                                    self.cache.insert(
+                                        keys.for_goal(goal),
+                                        Validity::Valid,
+                                        self.generation,
+                                    );
+                                }
+                            }
+                            break;
+                        }
+                        Validity::Invalid(Some(model))
+                            if self.config.model_pruning && model.satisfies_all(&hypotheses) =>
+                        {
+                            if self.prune_by_model(&model, &insts, &mut alive) {
+                                continue;
+                            }
+                            self.weaken_per_candidate(
+                                &mut session,
+                                &clause_ctx,
+                                &keys,
+                                &hypotheses,
+                                &insts,
+                                &mut alive,
+                            );
+                            break;
+                        }
+                        _ => {
+                            self.weaken_per_candidate(
+                                &mut session,
+                                &clause_ctx,
+                                &keys,
+                                &hypotheses,
+                                &insts,
+                                &mut alive,
+                            );
+                            break;
+                        }
                     }
                 }
                 self.close(session);
-                solution.set(app.kvid, kept);
+                if alive.contains(&false) {
+                    changed = true;
+                    let mut mask = alive.iter();
+                    solution
+                        .assignment
+                        .get_mut(&app.kvid)
+                        .expect("candidates existed above")
+                        .retain(|_| *mask.next().expect("mask is as long as the candidates"));
+                }
             }
             if !changed {
                 break;
@@ -332,6 +388,7 @@ impl FixpointSolver {
         // of these clauses are unchanged since the last weakening iteration,
         // so on κ-free-or-converged systems these queries hit the cache.
         let mut failed = Vec::new();
+        let mut failed_tags: HashSet<Tag> = HashSet::new();
         for clause in &clauses {
             let Head::Pred(goal, tag) = &clause.head else {
                 continue;
@@ -343,7 +400,7 @@ impl FixpointSolver {
             if !self
                 .check(&mut session, &clause_ctx, &keys, &hypotheses, goal)
                 .is_valid()
-                && !failed.contains(tag)
+                && failed_tags.insert(*tag)
             {
                 failed.push(*tag);
             }
@@ -404,6 +461,56 @@ impl FixpointSolver {
             .check(goal);
         self.cache.insert(key, verdict.clone(), self.generation);
         verdict
+    }
+
+    /// Drops every surviving candidate that decidably evaluates to `false`
+    /// under `model`.  The caller has already confirmed that the model
+    /// satisfies the clause's hypotheses, so each drop is exactly the
+    /// verdict a per-candidate SMT query would have produced — minus the
+    /// query.  Returns whether anything was dropped.
+    fn prune_by_model(&mut self, model: &Model, insts: &[Expr], alive: &mut [bool]) -> bool {
+        let mut pruned = false;
+        for (inst, alive) in insts.iter().zip(alive.iter_mut()) {
+            if *alive && model.eval_bool(inst) == Some(false) {
+                *alive = false;
+                pruned = true;
+                self.stats.model_prunes += 1;
+            }
+        }
+        pruned
+    }
+
+    /// The per-candidate weakening loop: one validity query per surviving
+    /// candidate.  Counter-models produced along the way still prune
+    /// *later* candidates for free (a failing candidate's counter-model
+    /// frequently falsifies its neighbours too).
+    #[allow(clippy::too_many_arguments)]
+    fn weaken_per_candidate(
+        &mut self,
+        session: &mut Option<Session>,
+        clause_ctx: &SortCtx,
+        keys: &Option<ClauseKeys>,
+        hypotheses: &[Expr],
+        insts: &[Expr],
+        alive: &mut [bool],
+    ) {
+        for i in 0..insts.len() {
+            if !alive[i] {
+                continue;
+            }
+            let verdict = self.check(session, clause_ctx, keys, hypotheses, &insts[i]);
+            if verdict.is_valid() {
+                continue;
+            }
+            alive[i] = false;
+            if self.config.model_pruning {
+                if let Validity::Invalid(Some(model)) = &verdict {
+                    if model.satisfies_all(hypotheses) {
+                        self.prune_by_model(model, &insts[i + 1..], &mut alive[i + 1..]);
+                    }
+                }
+            }
+        }
     }
 
     /// Folds a finished clause session's statistics into the engine totals.
@@ -575,11 +682,19 @@ mod tests {
     fn incremental_engine_matches_one_shot_and_hits_cache() {
         let (c, kvars) = loop_counter_system();
 
-        let mut incremental = FixpointSolver::with_defaults();
+        // Model pruning is disabled on both sides: counter-models (and
+        // hence which per-candidate queries are skipped) may differ between
+        // the session and one-shot pipelines, and this test pins the
+        // *query-for-query* equivalence of the two engines.
+        let mut incremental = FixpointSolver::new(FixConfig {
+            model_pruning: false,
+            ..FixConfig::default()
+        });
         let inc_result = incremental.solve(&c, &kvars, &SortCtx::new());
 
         let mut one_shot = FixpointSolver::new(FixConfig {
             incremental: false,
+            model_pruning: false,
             ..FixConfig::default()
         });
         let os_result = one_shot.solve(&c, &kvars, &SortCtx::new());
@@ -600,6 +715,37 @@ mod tests {
         assert!(incremental.stats.sessions <= incremental.stats.cache_misses);
         assert_eq!(one_shot.stats.cache_hits, 0);
         assert_eq!(one_shot.stats.sessions, 0);
+    }
+
+    /// Counter-model-guided weakening must reach exactly the same fixpoint
+    /// as the per-candidate loop — same solution, same safety verdict —
+    /// while actually pruning candidates and issuing fewer SMT queries.
+    #[test]
+    fn model_pruning_preserves_the_fixpoint_with_fewer_queries() {
+        let (c, kvars) = loop_counter_system();
+
+        let mut pruning = FixpointSolver::with_defaults();
+        let pruned_result = pruning.solve(&c, &kvars, &SortCtx::new());
+
+        let mut exhaustive = FixpointSolver::new(FixConfig {
+            model_pruning: false,
+            ..FixConfig::default()
+        });
+        let exhaustive_result = exhaustive.solve(&c, &kvars, &SortCtx::new());
+
+        assert_eq!(pruned_result, exhaustive_result);
+        assert!(
+            pruning.stats.model_prunes > 0,
+            "weakening this system must prune at least one candidate by \
+             counter-model evaluation, stats: {:?}",
+            pruning.stats
+        );
+        assert!(
+            pruning.stats.smt_queries < exhaustive.stats.smt_queries,
+            "pruning must save SMT queries: {} vs {}",
+            pruning.stats.smt_queries,
+            exhaustive.stats.smt_queries
+        );
     }
 
     /// Cached verdicts must equal recomputed verdicts: solving the same

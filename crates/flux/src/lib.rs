@@ -65,8 +65,14 @@ pub struct QueryStats {
     pub cross_fn_hits: usize,
     /// Queries that reached the SMT engine.
     pub cache_misses: usize,
+    /// Candidates dropped by counter-model evaluation instead of a
+    /// per-candidate SMT query (Flux weakening loop only).
+    pub model_prunes: usize,
     /// Solver sessions opened.
     pub sessions: usize,
+    /// Goal checks discharged on a session's persistent CDCL core (clause
+    /// database and learned clauses retained from an earlier goal).
+    pub sat_reuse: usize,
     /// SAT-core invocations inside the engine.
     pub sat_rounds: usize,
     /// Theory (LIA) checks inside the engine.
@@ -143,7 +149,9 @@ pub fn verify_source(
                     cache_hits: fix.cache_hits,
                     cross_fn_hits: fix.cross_fn_hits,
                     cache_misses: fix.cache_misses,
+                    model_prunes: fix.model_prunes,
                     sessions: fix.sessions,
+                    sat_reuse: smt.sat_reuse,
                     sat_rounds: smt.sat_rounds,
                     theory_checks: smt.theory_checks,
                     quant_instances: smt.quant_instances,
@@ -173,7 +181,9 @@ pub fn verify_source(
                     cache_hits: 0,
                     cross_fn_hits: 0,
                     cache_misses: smt.queries,
+                    model_prunes: 0,
                     sessions: smt.sessions,
+                    sat_reuse: smt.sat_reuse,
                     sat_rounds: smt.sat_rounds,
                     theory_checks: smt.theory_checks,
                     quant_instances: smt.quant_instances,
@@ -370,18 +380,20 @@ pub fn render_table1(rows: &[TableRow]) -> String {
 pub fn render_query_stats(rows: &[TableRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
+        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
         "benchmark",
         "queries",
         "hits",
         "xfn-hits",
         "misses",
         "hit%",
+        "prunes",
         "sessions",
+        "sat-re",
         "bl-qrys",
         "bl-quants"
     ));
-    out.push_str(&"-".repeat(101));
+    out.push_str(&"-".repeat(119));
     out.push('\n');
     let mut total = QueryStats::default();
     let mut total_baseline = QueryStats::default();
@@ -389,14 +401,16 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         let s = row.flux.stats;
         let hit_percent = (s.cache_hits * 100).checked_div(s.smt_queries).unwrap_or(0);
         out.push_str(&format!(
-            "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>7}% {:>8} | {:>8} {:>10}\n",
+            "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
             row.name,
             s.smt_queries,
             s.cache_hits,
             s.cross_fn_hits,
             s.cache_misses,
             hit_percent,
+            s.model_prunes,
             s.sessions,
+            s.sat_reuse,
             row.baseline.stats.smt_queries,
             row.baseline.stats.quant_instances,
         ));
@@ -404,26 +418,90 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         total.cache_hits += s.cache_hits;
         total.cross_fn_hits += s.cross_fn_hits;
         total.cache_misses += s.cache_misses;
+        total.model_prunes += s.model_prunes;
         total.sessions += s.sessions;
+        total.sat_reuse += s.sat_reuse;
         total_baseline.smt_queries += row.baseline.stats.smt_queries;
         total_baseline.quant_instances += row.baseline.stats.quant_instances;
     }
-    out.push_str(&"-".repeat(101));
+    out.push_str(&"-".repeat(119));
     out.push('\n');
     let hit_percent = (total.cache_hits * 100)
         .checked_div(total.smt_queries)
         .unwrap_or(0);
     out.push_str(&format!(
-        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>7}% {:>8} | {:>8} {:>10}\n",
+        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
         "Total",
         total.smt_queries,
         total.cache_hits,
         total.cross_fn_hits,
         total.cache_misses,
         hit_percent,
+        total.model_prunes,
         total.sessions,
+        total.sat_reuse,
         total_baseline.smt_queries,
         total_baseline.quant_instances,
+    ));
+    out
+}
+
+/// Renders a table run as machine-readable JSON (written by the `table1`
+/// binary to `BENCH_table1.json` with `--json`): per-benchmark wall-clock
+/// and the full [`QueryStats`] of both verifiers, so the perf trajectory —
+/// queries issued, counter-model prunes, persistent-SAT reuse — can be
+/// tracked across PRs by diffing one file.
+///
+/// The writer is hand-rolled because the workspace builds without external
+/// crates; every emitted value is a number, boolean or benchmark name, so no
+/// string escaping is needed.
+pub fn render_table1_json(rows: &[TableRow]) -> String {
+    fn outcome_json(out: &VerifyOutcome, indent: &str) -> String {
+        let s = out.stats;
+        format!(
+            "{{\n{indent}  \"safe\": {},\n{indent}  \"time_s\": {:.6},\n{indent}  \
+             \"functions\": {},\n{indent}  \"smt_queries\": {},\n{indent}  \
+             \"cache_hits\": {},\n{indent}  \"cross_fn_hits\": {},\n{indent}  \
+             \"cache_misses\": {},\n{indent}  \"model_prunes\": {},\n{indent}  \
+             \"sessions\": {},\n{indent}  \"sat_reuse\": {},\n{indent}  \
+             \"sat_rounds\": {},\n{indent}  \"theory_checks\": {},\n{indent}  \
+             \"quant_instances\": {}\n{indent}}}",
+            out.safe,
+            out.time.as_secs_f64(),
+            out.functions,
+            s.smt_queries,
+            s.cache_hits,
+            s.cross_fn_hits,
+            s.cache_misses,
+            s.model_prunes,
+            s.sessions,
+            s.sat_reuse,
+            s.sat_rounds,
+            s.theory_checks,
+            s.quant_instances,
+        )
+    }
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    let mut first = true;
+    let mut flux_total = 0.0f64;
+    let mut baseline_total = 0.0f64;
+    for row in rows.iter().filter(|r| !r.is_library) {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"flux\": {},\n      \"baseline\": {}\n    }}",
+            row.name,
+            outcome_json(&row.flux, "      "),
+            outcome_json(&row.baseline, "      "),
+        ));
+        flux_total += row.flux.time.as_secs_f64();
+        baseline_total += row.baseline.time.as_secs_f64();
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"totals\": {{\n    \"flux_time_s\": {flux_total:.6},\n    \
+         \"baseline_time_s\": {baseline_total:.6}\n  }}\n}}\n"
     ));
     out
 }

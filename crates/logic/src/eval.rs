@@ -1,0 +1,317 @@
+//! Evaluation of refinement expressions under a (possibly partial) variable
+//! assignment.
+//!
+//! The fixpoint solver's counter-model-guided weakening needs to answer,
+//! *without an SMT query*: given the integer/boolean values a counter-model
+//! assigns to the clause's variables, is this candidate predicate false?
+//! [`evaluate`] computes that answer when it can and returns `None` when it
+//! can't, which happens exactly when
+//!
+//! * a variable has no value in the assignment (partial model),
+//! * the expression contains an uninterpreted application, a quantifier, or
+//!   a real constant (the evaluator would have to guess an interpretation),
+//! * or an integer division/remainder has divisor zero (the logic treats
+//!   `a / 0` as an unspecified-but-total function, so no particular value
+//!   may be assumed).
+//!
+//! Everything the evaluator *does* decide agrees with the semantics the SMT
+//! pipeline gives the same operators: integer division and remainder are
+//! euclidean (`i128::div_euclid` / `i128::rem_euclid`), matching the
+//! constant folding in [`crate::simplify`] and the floor-division encoding
+//! used for positive constant divisors by the solver's preprocessing.
+//!
+//! Boolean connectives are evaluated with Kleene's strong three-valued
+//! logic: `false ∧ ?` is `false` and `true ∨ ?` is `true` even when the
+//! other operand is undecidable.  This is sound because every well-sorted
+//! expression denotes *some* value under a total extension of the partial
+//! assignment, and the short-circuit result is independent of which one.
+
+use crate::{BinOp, Constant, Expr, Name, UnOp};
+
+/// A first-order value of the refinement logic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// An integer.
+    Int(i128),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The integer payload, if this is an integer value.
+    pub fn as_int(self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(i),
+            Value::Bool(_) => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean value.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+/// Evaluates `expr` under the partial assignment `lookup`.
+///
+/// Returns `None` when the value cannot be determined (see the module
+/// documentation for the exact cases).  A `Some` answer is the value the
+/// expression takes under *every* total extension of the assignment.
+pub fn evaluate<F>(expr: &Expr, lookup: &F) -> Option<Value>
+where
+    F: Fn(Name) -> Option<Value>,
+{
+    match expr {
+        Expr::Var(name) => lookup(*name),
+        Expr::Const(Constant::Int(i)) => Some(Value::Int(*i)),
+        Expr::Const(Constant::Bool(b)) => Some(Value::Bool(*b)),
+        // Refinements never compute with reals; comparing them would need an
+        // interpretation the logic does not fix.
+        Expr::Const(Constant::Real(_)) => None,
+        Expr::UnOp(UnOp::Not, e) => Some(Value::Bool(!evaluate(e, lookup)?.as_bool()?)),
+        Expr::UnOp(UnOp::Neg, e) => Some(Value::Int(-evaluate(e, lookup)?.as_int()?)),
+        Expr::BinOp(op, lhs, rhs) => eval_binop(*op, lhs, rhs, lookup),
+        Expr::Ite(c, t, e) => match evaluate(c, lookup).and_then(Value::as_bool) {
+            Some(true) => evaluate(t, lookup),
+            Some(false) => evaluate(e, lookup),
+            // Condition undecidable: both branches agreeing is still decisive.
+            None => {
+                let t = evaluate(t, lookup)?;
+                let e = evaluate(e, lookup)?;
+                (t == e).then_some(t)
+            }
+        },
+        // Uninterpreted symbols and quantifiers are beyond a finite
+        // assignment.
+        Expr::App(..) | Expr::Forall(..) | Expr::Exists(..) => None,
+    }
+}
+
+fn eval_binop<F>(op: BinOp, lhs: &Expr, rhs: &Expr, lookup: &F) -> Option<Value>
+where
+    F: Fn(Name) -> Option<Value>,
+{
+    // Kleene short-circuiting for the connectives: one decided operand can
+    // settle the result even when the other is undecidable.
+    match op {
+        BinOp::And | BinOp::Or | BinOp::Imp | BinOp::Iff => {
+            let l = evaluate(lhs, lookup).and_then(Value::as_bool);
+            let r = evaluate(rhs, lookup).and_then(Value::as_bool);
+            let out = match (op, l, r) {
+                (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => Some(false),
+                (BinOp::And, Some(true), Some(true)) => Some(true),
+                (BinOp::Or, Some(true), _) | (BinOp::Or, _, Some(true)) => Some(true),
+                (BinOp::Or, Some(false), Some(false)) => Some(false),
+                (BinOp::Imp, Some(false), _) | (BinOp::Imp, _, Some(true)) => Some(true),
+                (BinOp::Imp, Some(true), Some(false)) => Some(false),
+                (BinOp::Iff, Some(a), Some(b)) => Some(a == b),
+                _ => None,
+            };
+            return out.map(Value::Bool);
+        }
+        _ => {}
+    }
+    let l = evaluate(lhs, lookup)?;
+    let r = evaluate(rhs, lookup)?;
+    match (op, l, r) {
+        (BinOp::Add, Value::Int(a), Value::Int(b)) => Some(Value::Int(a + b)),
+        (BinOp::Sub, Value::Int(a), Value::Int(b)) => Some(Value::Int(a - b)),
+        (BinOp::Mul, Value::Int(a), Value::Int(b)) => Some(Value::Int(a * b)),
+        // Euclidean semantics, matching `simplify`'s constant folding; the
+        // divisor-zero case is unspecified, so refuse to pick a value.
+        (BinOp::Div, Value::Int(a), Value::Int(b)) if b != 0 => Some(Value::Int(a.div_euclid(b))),
+        (BinOp::Mod, Value::Int(a), Value::Int(b)) if b != 0 => Some(Value::Int(a.rem_euclid(b))),
+        (BinOp::Eq, a, b) if same_sort(a, b) => Some(Value::Bool(a == b)),
+        (BinOp::Ne, a, b) if same_sort(a, b) => Some(Value::Bool(a != b)),
+        (BinOp::Lt, Value::Int(a), Value::Int(b)) => Some(Value::Bool(a < b)),
+        (BinOp::Le, Value::Int(a), Value::Int(b)) => Some(Value::Bool(a <= b)),
+        (BinOp::Gt, Value::Int(a), Value::Int(b)) => Some(Value::Bool(a > b)),
+        (BinOp::Ge, Value::Int(a), Value::Int(b)) => Some(Value::Bool(a >= b)),
+        _ => None,
+    }
+}
+
+fn same_sort(a: Value, b: Value) -> bool {
+    matches!(
+        (a, b),
+        (Value::Int(_), Value::Int(_)) | (Value::Bool(_), Value::Bool(_))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sort;
+
+    fn v(s: &str) -> Expr {
+        Expr::var(Name::intern(s))
+    }
+
+    /// Lookup over a fixed list of integer bindings.
+    fn ints<'a>(bindings: &'a [(&'a str, i128)]) -> impl Fn(Name) -> Option<Value> + 'a {
+        move |name| {
+            bindings
+                .iter()
+                .find(|(n, _)| Name::intern(n) == name)
+                .map(|(_, i)| Value::Int(*i))
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_comparisons_evaluate() {
+        let env = ints(&[("x", 3), ("y", -2)]);
+        assert_eq!(evaluate(&(v("x") + v("y")), &env), Some(Value::Int(1)),);
+        assert_eq!(
+            evaluate(&Expr::lt(v("y"), v("x")), &env),
+            Some(Value::Bool(true)),
+        );
+        assert_eq!(
+            evaluate(&Expr::eq(v("x") * v("y"), Expr::int(-6)), &env),
+            Some(Value::Bool(true)),
+        );
+    }
+
+    #[test]
+    fn division_and_modulo_are_euclidean() {
+        let env = ints(&[("a", -7), ("b", 2)]);
+        // Euclidean: -7 = 2 * (-4) + 1, so div = -4 and mod = 1 ≥ 0.
+        assert_eq!(
+            evaluate(&Expr::binop(BinOp::Div, v("a"), v("b")), &env),
+            Some(Value::Int(-4)),
+        );
+        assert_eq!(
+            evaluate(&Expr::binop(BinOp::Mod, v("a"), v("b")), &env),
+            Some(Value::Int(1)),
+        );
+        // Negative divisor: -7 = -2 * 4 + 1.
+        let env = ints(&[("a", -7), ("b", -2)]);
+        assert_eq!(
+            evaluate(&Expr::binop(BinOp::Div, v("a"), v("b")), &env),
+            Some(Value::Int(4)),
+        );
+        assert_eq!(
+            evaluate(&Expr::binop(BinOp::Mod, v("a"), v("b")), &env),
+            Some(Value::Int(1)),
+        );
+        // Division by zero is unspecified.
+        let env = ints(&[("a", 5), ("b", 0)]);
+        assert_eq!(
+            evaluate(&Expr::binop(BinOp::Div, v("a"), v("b")), &env),
+            None
+        );
+        assert_eq!(
+            evaluate(&Expr::binop(BinOp::Mod, v("a"), v("b")), &env),
+            None
+        );
+    }
+
+    #[test]
+    fn partial_models_return_none_but_short_circuit() {
+        let env = ints(&[("x", 1)]);
+        // `y` is unbound: undecidable on its own...
+        assert_eq!(evaluate(&Expr::ge(v("y"), Expr::int(0)), &env), None);
+        // ...but a decided false conjunct settles the conjunction,
+        assert_eq!(
+            evaluate(
+                &Expr::and(
+                    Expr::lt(v("x"), Expr::int(0)),
+                    Expr::ge(v("y"), Expr::int(0))
+                ),
+                &env
+            ),
+            Some(Value::Bool(false)),
+        );
+        // and a decided true disjunct settles the disjunction.
+        assert_eq!(
+            evaluate(
+                &Expr::or(
+                    Expr::gt(v("x"), Expr::int(0)),
+                    Expr::ge(v("y"), Expr::int(0))
+                ),
+                &env
+            ),
+            Some(Value::Bool(true)),
+        );
+        // true ∧ ? stays undecidable.
+        assert_eq!(
+            evaluate(
+                &Expr::binop(
+                    BinOp::And,
+                    Expr::gt(v("x"), Expr::int(0)),
+                    Expr::ge(v("y"), Expr::int(0))
+                ),
+                &env
+            ),
+            None,
+        );
+    }
+
+    #[test]
+    fn uninterpreted_apps_and_quantifiers_are_undecidable() {
+        let env = ints(&[("i", 2), ("n", 5)]);
+        assert_eq!(
+            evaluate(
+                &Expr::ge(Expr::app("select", vec![v("a"), v("i")]), Expr::int(0)),
+                &env
+            ),
+            None,
+        );
+        let j = Name::intern("j");
+        assert_eq!(
+            evaluate(
+                &Expr::forall(vec![(j, Sort::Int)], Expr::ge(Expr::var(j), Expr::int(0))),
+                &env
+            ),
+            None,
+        );
+        // An app below a decided connective is still short-circuited away.
+        assert_eq!(
+            evaluate(
+                &Expr::and(
+                    Expr::ff(),
+                    Expr::ge(Expr::app("len", vec![v("xs")]), Expr::int(0))
+                ),
+                &env
+            ),
+            Some(Value::Bool(false)),
+        );
+    }
+
+    #[test]
+    fn ite_follows_the_condition_or_agreeing_branches() {
+        let env = ints(&[("x", 4)]);
+        let e = Expr::ite(Expr::gt(v("x"), Expr::int(0)), v("x"), Expr::neg(v("x")));
+        assert_eq!(evaluate(&e, &env), Some(Value::Int(4)));
+        // Undecidable condition but agreeing branches.
+        let e = Expr::ite(Expr::gt(v("y"), Expr::int(0)), Expr::int(7), Expr::int(7));
+        assert_eq!(evaluate(&e, &env), Some(Value::Int(7)));
+        // Undecidable condition, disagreeing branches.
+        let e = Expr::ite(Expr::gt(v("y"), Expr::int(0)), Expr::int(7), Expr::int(8));
+        assert_eq!(evaluate(&e, &env), None);
+    }
+
+    #[test]
+    fn negation_and_equality_on_booleans() {
+        let env = |name: Name| (name == Name::intern("p")).then_some(Value::Bool(true));
+        assert_eq!(evaluate(&Expr::not(v("p")), &env), Some(Value::Bool(false)),);
+        assert_eq!(
+            evaluate(&Expr::eq(v("p"), Expr::tt()), &env),
+            Some(Value::Bool(true)),
+        );
+        // Sort-mismatched equality is refused rather than guessed.
+        assert_eq!(evaluate(&Expr::eq(v("p"), Expr::int(1)), &env), None);
+    }
+
+    #[test]
+    fn real_constants_are_undecidable() {
+        let env = |_| None;
+        assert_eq!(evaluate(&Expr::real(1.5), &env), None);
+        assert_eq!(
+            evaluate(&Expr::eq(Expr::real(1.5), Expr::real(1.5)), &env),
+            None
+        );
+    }
+}

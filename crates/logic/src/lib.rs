@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+mod eval;
 mod expr;
 mod fmt;
 mod hcons;
@@ -44,6 +45,7 @@ mod simplify;
 mod sort;
 mod subst;
 
+pub use eval::{evaluate, Value};
 pub use expr::{BinOp, Constant, Expr, UnOp};
 pub use hcons::{interned_nodes, ExprId};
 pub use intern::Name;

@@ -171,56 +171,86 @@ impl SortCtx {
 impl Expr {
     /// Computes the sort of this expression in `ctx`, or reports the first
     /// sort error encountered.
+    ///
+    /// Sorting is called on every hypothesis conjunction the SMT pipeline
+    /// preprocesses, so the hot path must not allocate: quantifier binders
+    /// are threaded through a scratch overlay vector instead of cloning the
+    /// context, and error-message strings are only built on failure.
     pub fn sort_of(&self, ctx: &SortCtx) -> Result<Sort, SortError> {
-        // We thread a mutable clone for quantifier bodies so the public
-        // interface can take `&SortCtx`.
-        sort_of_rec(self, &mut ctx.clone())
+        sort_of_rec(self, ctx, &mut Vec::new())
     }
 }
 
-fn expect(expr: &Expr, ctx: &mut SortCtx, expected: Sort, context: &str) -> Result<(), SortError> {
-    let found = sort_of_rec(expr, ctx)?;
+fn expect(
+    expr: &Expr,
+    ctx: &SortCtx,
+    bound: &mut Vec<(Name, Sort)>,
+    expected: Sort,
+    context: impl FnOnce() -> String,
+) -> Result<(), SortError> {
+    let found = sort_of_rec(expr, ctx, bound)?;
     if found == expected {
         Ok(())
     } else {
         Err(SortError::Mismatch {
             expected,
             found,
-            context: context.to_owned(),
+            context: context(),
         })
     }
 }
 
-fn sort_of_rec(expr: &Expr, ctx: &mut SortCtx) -> Result<Sort, SortError> {
+/// `bound` overlays `ctx` with quantifier binders in scope, innermost last.
+fn sort_of_rec(
+    expr: &Expr,
+    ctx: &SortCtx,
+    bound: &mut Vec<(Name, Sort)>,
+) -> Result<Sort, SortError> {
     match expr {
         Expr::Const(Constant::Int(_)) => Ok(Sort::Int),
         Expr::Const(Constant::Bool(_)) => Ok(Sort::Bool),
         Expr::Const(Constant::Real(_)) => Ok(Sort::Real),
-        Expr::Var(name) => ctx.lookup(*name).ok_or(SortError::UnboundVar(*name)),
+        Expr::Var(name) => bound
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .or_else(|| ctx.lookup(*name))
+            .ok_or(SortError::UnboundVar(*name)),
         Expr::UnOp(op, arg) => match op {
             UnOp::Not => {
-                expect(arg, ctx, Sort::Bool, "negation")?;
+                expect(arg, ctx, bound, Sort::Bool, || "negation".to_owned())?;
                 Ok(Sort::Bool)
             }
             UnOp::Neg => {
-                expect(arg, ctx, Sort::Int, "arithmetic negation")?;
+                expect(arg, ctx, bound, Sort::Int, || {
+                    "arithmetic negation".to_owned()
+                })?;
                 Ok(Sort::Int)
             }
         },
         Expr::BinOp(op, lhs, rhs) => match op {
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-                expect(lhs, ctx, Sort::Int, &format!("left operand of {op}"))?;
-                expect(rhs, ctx, Sort::Int, &format!("right operand of {op}"))?;
+                expect(lhs, ctx, bound, Sort::Int, || {
+                    format!("left operand of {op}")
+                })?;
+                expect(rhs, ctx, bound, Sort::Int, || {
+                    format!("right operand of {op}")
+                })?;
                 Ok(Sort::Int)
             }
             BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                expect(lhs, ctx, Sort::Int, &format!("left operand of {op}"))?;
-                expect(rhs, ctx, Sort::Int, &format!("right operand of {op}"))?;
+                expect(lhs, ctx, bound, Sort::Int, || {
+                    format!("left operand of {op}")
+                })?;
+                expect(rhs, ctx, bound, Sort::Int, || {
+                    format!("right operand of {op}")
+                })?;
                 Ok(Sort::Bool)
             }
             BinOp::Eq | BinOp::Ne => {
-                let ls = sort_of_rec(lhs, ctx)?;
-                let rs = sort_of_rec(rhs, ctx)?;
+                let ls = sort_of_rec(lhs, ctx, bound)?;
+                let rs = sort_of_rec(rhs, ctx, bound)?;
                 if ls != rs {
                     return Err(SortError::Mismatch {
                         expected: ls,
@@ -231,15 +261,21 @@ fn sort_of_rec(expr: &Expr, ctx: &mut SortCtx) -> Result<Sort, SortError> {
                 Ok(Sort::Bool)
             }
             BinOp::And | BinOp::Or | BinOp::Imp | BinOp::Iff => {
-                expect(lhs, ctx, Sort::Bool, &format!("left operand of {op}"))?;
-                expect(rhs, ctx, Sort::Bool, &format!("right operand of {op}"))?;
+                expect(lhs, ctx, bound, Sort::Bool, || {
+                    format!("left operand of {op}")
+                })?;
+                expect(rhs, ctx, bound, Sort::Bool, || {
+                    format!("right operand of {op}")
+                })?;
                 Ok(Sort::Bool)
             }
         },
         Expr::Ite(cond, then, els) => {
-            expect(cond, ctx, Sort::Bool, "if-then-else condition")?;
-            let ts = sort_of_rec(then, ctx)?;
-            let es = sort_of_rec(els, ctx)?;
+            expect(cond, ctx, bound, Sort::Bool, || {
+                "if-then-else condition".to_owned()
+            })?;
+            let ts = sort_of_rec(then, ctx, bound)?;
+            let es = sort_of_rec(els, ctx, bound)?;
             if ts != es {
                 return Err(SortError::Mismatch {
                     expected: ts,
@@ -250,9 +286,8 @@ fn sort_of_rec(expr: &Expr, ctx: &mut SortCtx) -> Result<Sort, SortError> {
             Ok(ts)
         }
         Expr::App(func, args) => {
-            let (arg_sorts, ret) = match ctx.lookup_fn(*func) {
-                Some((a, r)) => (a.to_vec(), r),
-                None => return Err(SortError::UnknownFunction(*func)),
+            let Some((arg_sorts, ret)) = ctx.lookup_fn(*func) else {
+                return Err(SortError::UnknownFunction(*func));
             };
             if arg_sorts.len() != args.len() {
                 return Err(SortError::Arity {
@@ -261,19 +296,18 @@ fn sort_of_rec(expr: &Expr, ctx: &mut SortCtx) -> Result<Sort, SortError> {
                     found: args.len(),
                 });
             }
-            for (arg, expected) in args.iter().zip(arg_sorts) {
-                expect(arg, ctx, expected, &format!("argument of {func}"))?;
+            for (arg, expected) in args.iter().zip(arg_sorts.iter().copied()) {
+                expect(arg, ctx, bound, expected, || format!("argument of {func}"))?;
             }
             Ok(ret)
         }
         Expr::Forall(binders, body) | Expr::Exists(binders, body) => {
-            for (name, sort) in binders {
-                ctx.push(*name, *sort);
-            }
-            let result = expect(body, ctx, Sort::Bool, "quantifier body");
-            for _ in binders {
-                ctx.pop();
-            }
+            let depth = bound.len();
+            bound.extend(binders.iter().copied());
+            let result = expect(body, ctx, bound, Sort::Bool, || {
+                "quantifier body".to_owned()
+            });
+            bound.truncate(depth);
             result?;
             Ok(Sort::Bool)
         }

@@ -15,7 +15,7 @@
 //!    atom, so that the theory solver only ever sees constraints of the form
 //!    `e ≤ 0` and literal negation stays within the fragment.
 
-use flux_logic::{BinOp, Constant, Expr, Name, Sort, SortCtx};
+use flux_logic::{BinOp, Constant, Expr, Name, Sort, SortCtx, UnOp};
 use std::collections::BTreeMap;
 
 /// Eliminates integer division and remainder by a *positive constant*
@@ -191,7 +191,7 @@ pub fn ackermannize(expr: &Expr, ctx: &SortCtx, axioms: &mut Vec<Expr>) -> (Expr
             let mut hypothesis = Expr::tt();
             let mut comparable = true;
             for (a1, a2) in args1.iter().zip(args2) {
-                let s1 = a1.sort_of(ctx).unwrap_or(Sort::Int);
+                let s1 = operand_sort(a1, ctx);
                 if s1 == Sort::Int {
                     hypothesis = Expr::and(hypothesis, Expr::eq(a1.clone(), a2.clone()));
                 } else if a1 != a2 {
@@ -257,6 +257,36 @@ fn ack_rec(
     }
 }
 
+/// The sort of a term operand, determined from its head symbol alone
+/// (recursing only through `ite` branches).
+///
+/// For well-sorted expressions this agrees with [`Expr::sort_of`], but it
+/// costs O(1) instead of a full traversal — which matters because
+/// [`normalize_comparisons`] consults the operand sort of *every* comparison
+/// in the formula, and the recursive check would make normalisation
+/// quadratic in the (large) hypothesis conjunctions the weakening loop
+/// preprocesses on every solver session.
+fn operand_sort(expr: &Expr, ctx: &SortCtx) -> Sort {
+    match expr {
+        Expr::Var(name) => ctx.lookup(*name).unwrap_or(Sort::Int),
+        Expr::Const(Constant::Int(_)) => Sort::Int,
+        Expr::Const(Constant::Bool(_)) => Sort::Bool,
+        Expr::Const(Constant::Real(_)) => Sort::Real,
+        Expr::UnOp(UnOp::Not, _) => Sort::Bool,
+        Expr::UnOp(UnOp::Neg, _) => Sort::Int,
+        Expr::BinOp(op, ..) => {
+            if op.is_predicate() {
+                Sort::Bool
+            } else {
+                Sort::Int
+            }
+        }
+        Expr::Ite(_, then, _) => operand_sort(then, ctx),
+        Expr::App(func, _) => ctx.lookup_fn(*func).map(|(_, r)| r).unwrap_or(Sort::Int),
+        Expr::Forall(..) | Expr::Exists(..) => Sort::Bool,
+    }
+}
+
 /// Normalises comparisons so that every integer comparison is expressed with
 /// `≤` and boolean equality becomes `iff`.
 pub fn normalize_comparisons(expr: &Expr, ctx: &SortCtx) -> Expr {
@@ -295,7 +325,7 @@ pub fn normalize_comparisons(expr: &Expr, ctx: &SortCtx) -> Expr {
         Expr::BinOp(op, lhs, rhs) => {
             let l = normalize_comparisons(lhs, ctx);
             let r = normalize_comparisons(rhs, ctx);
-            let operand_sort = lhs.sort_of(ctx).unwrap_or(Sort::Int);
+            let operand_sort = operand_sort(lhs, ctx);
             match op {
                 BinOp::Lt if operand_sort == Sort::Int => Expr::le(l + Expr::int(1), r),
                 BinOp::Gt if operand_sort == Sort::Int => Expr::le(r + Expr::int(1), l),

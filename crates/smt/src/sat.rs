@@ -1,4 +1,4 @@
-//! A small CDCL SAT solver.
+//! A small incremental CDCL SAT solver.
 //!
 //! This is the propositional core of the DPLL(T) loop.  It implements
 //! conflict-driven clause learning with 1-UIP conflict analysis,
@@ -6,6 +6,17 @@
 //! Propagation scans occurrence lists rather than using two-watched
 //! literals; the formulas produced by the verifier are small (hundreds of
 //! variables), so simplicity and auditability win over raw speed here.
+//!
+//! The solver is *incremental*: variables can be added after construction
+//! ([`SatSolver::new_var`]), and [`SatSolver::solve_under_assumptions`]
+//! decides satisfiability under a set of assumption literals while keeping
+//! the clause database — including everything learned from conflicts —
+//! for later calls.  Assumptions are enqueued as forced decisions below all
+//! search decisions, exactly as in MiniSat: a learned clause is an ordinary
+//! resolvent of the database and thus remains valid for every later query,
+//! no matter which assumptions produced it.  [`crate::Session`] builds on
+//! this to keep one persistent SAT core per hypothesis context, pushing
+//! each goal's negation through a fresh activation literal.
 
 use std::fmt;
 
@@ -120,9 +131,33 @@ impl SatSolver {
         self.num_vars
     }
 
+    /// Allocates a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> usize {
+        let var = self.num_vars;
+        self.ensure_vars(var + 1);
+        var
+    }
+
+    /// Grows the variable range to at least `n` variables.
+    pub fn ensure_vars(&mut self, n: usize) {
+        if n <= self.num_vars {
+            return;
+        }
+        self.assignment.resize(n, None);
+        self.level.resize(n, 0);
+        self.reason.resize(n, None);
+        self.activity.resize(n, 0.0);
+        self.saved_phase.resize(n, false);
+        self.num_vars = n;
+    }
+
     /// Adds a clause.  Duplicate literals are removed; tautological clauses
-    /// are ignored.
+    /// are ignored.  Variables beyond the current range are allocated on
+    /// demand, so incremental callers need not pre-size the solver.
     pub fn add_clause(&mut self, mut lits: Vec<SatLit>) {
+        if let Some(max_var) = lits.iter().map(|l| l.var).max() {
+            self.ensure_vars(max_var + 1);
+        }
         lits.sort_by_key(|l| (l.var, l.positive));
         lits.dedup();
         // Tautology?
@@ -275,10 +310,16 @@ impl SatSolver {
         self.propagated = self.trail.len();
     }
 
-    fn pick_branch_var(&self) -> Option<usize> {
+    /// Picks the unassigned variable with the highest activity among
+    /// `active` ones.  Restricting to active variables matters for
+    /// incremental use: a long-lived solver accumulates variables from
+    /// retired (compacted-away) queries, and a model need not assign
+    /// variables no current clause mentions — deciding them anyway would
+    /// make each check pay for every check before it.
+    fn pick_branch_var(&self, active: &[bool]) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
-        for v in 0..self.num_vars {
-            if self.assignment[v].is_none() {
+        for (v, is_active) in active.iter().enumerate().take(self.num_vars) {
+            if *is_active && self.assignment[v].is_none() {
                 let act = self.activity[v];
                 match best {
                     Some((_, best_act)) if best_act >= act => {}
@@ -289,16 +330,78 @@ impl SatSolver {
         best.map(|(v, _)| v)
     }
 
-    /// Runs the CDCL search.
+    /// Runs the CDCL search with no assumptions.
     pub fn solve(&mut self) -> SatResult {
+        self.solve_under_assumptions(&[])
+    }
+
+    /// Number of clauses currently in the database (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Drops every clause satisfied by the level-0 assignment.
+    ///
+    /// Incremental sessions retire a goal by asserting the negation of its
+    /// activation literal, which permanently satisfies the goal's guarded
+    /// clauses (and every clause learned from them, which carries the
+    /// negated guard too) — but the naive propagation loop would still scan
+    /// them on every pass of every later check.  Compacting removes them;
+    /// it is sound because a clause satisfied at level 0 is satisfied in
+    /// every extension of the level-0 trail, so it can never constrain the
+    /// search again.
+    ///
+    /// Removal invalidates the `reason` clause indices of level-0 trail
+    /// entries, so those are cleared; conflict analysis never dereferences
+    /// reasons of level-0 literals (it skips them outright), making the
+    /// cleared state equivalent.
+    pub fn compact(&mut self) {
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            // A level-0 conflict: the database is unsatisfiable outright.
+            self.trivially_unsat = true;
+            return;
+        }
+        let assignment = &self.assignment;
+        self.clauses
+            .retain(|c| !c.iter().any(|l| assignment[l.var] == Some(l.positive)));
+        for i in 0..self.trail.len() {
+            self.reason[self.trail[i].var] = None;
+        }
+    }
+
+    /// Runs the CDCL search under `assumptions`.
+    ///
+    /// `Unsat` means the clause database has no model in which every
+    /// assumption literal holds (the database alone may still be
+    /// satisfiable).  The clause database — including clauses learned during
+    /// this call — is retained, so subsequent calls resume with everything
+    /// already derived.  Any search state from a previous call is undone by
+    /// backtracking to decision level 0 first; level-0 facts (units and
+    /// their propagations) are permanent.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[SatLit]) -> SatResult {
         if self.trivially_unsat {
             return SatResult::Unsat;
+        }
+        self.backtrack_to(0);
+        // Variables this query can constrain: everything a current clause
+        // or assumption mentions.  Clauses learned during the search only
+        // resolve existing clauses, so they never activate a new variable.
+        let mut active = vec![false; self.num_vars];
+        for clause in &self.clauses {
+            for l in clause {
+                active[l.var] = true;
+            }
+        }
+        for a in assumptions {
+            active[a.var] = true;
         }
         let mut conflicts = 0usize;
         loop {
             if let Some(conflict) = self.propagate() {
                 conflicts += 1;
                 if conflicts > self.config.max_conflicts {
+                    self.backtrack_to(0);
                     return SatResult::Unknown;
                 }
                 if self.current_level() == 0 {
@@ -317,17 +420,39 @@ impl SatSolver {
                 }
                 self.decay_activities();
             } else {
-                match self.pick_branch_var() {
-                    None => {
-                        let model = self.assignment.iter().map(|v| v.unwrap_or(false)).collect();
-                        return SatResult::Sat(model);
-                    }
-                    Some(var) => {
-                        self.trail_lim.push(self.trail.len());
-                        let phase = self.saved_phase[var];
-                        self.enqueue(SatLit::new(var, phase), None);
+                // Re-establish assumptions (in order) before any search
+                // decision; backjumps may have unassigned a suffix of them.
+                let mut next_decision = None;
+                for &a in assumptions {
+                    match self.value(a) {
+                        Some(true) => continue,
+                        // The negation of an assumption is implied by the
+                        // database together with the assumptions already
+                        // placed (only assumptions are decided below this
+                        // point), so the query is unsat under assumptions.
+                        Some(false) => {
+                            self.backtrack_to(0);
+                            return SatResult::Unsat;
+                        }
+                        None => {
+                            next_decision = Some(a);
+                            break;
+                        }
                     }
                 }
+                let decision = match next_decision {
+                    Some(a) => a,
+                    None => match self.pick_branch_var(&active) {
+                        None => {
+                            let model =
+                                self.assignment.iter().map(|v| v.unwrap_or(false)).collect();
+                            return SatResult::Sat(model);
+                        }
+                        Some(var) => SatLit::new(var, self.saved_phase[var]),
+                    },
+                };
+                self.trail_lim.push(self.trail.len());
+                self.enqueue(decision, None);
             }
         }
     }
@@ -459,6 +584,70 @@ mod tests {
         ];
         match solve_clauses(2, &clauses) {
             SatResult::Sat(m) => assert!(assignment_satisfies(&clauses, &m)),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    /// Assumption-based solving must keep the clause database usable across
+    /// calls: unsat under one assumption, sat under the other, and learned
+    /// state must not corrupt later queries.
+    #[test]
+    fn assumptions_flip_satisfiability_without_corrupting_state() {
+        let mut solver = SatSolver::new(0, SatConfig::default());
+        let g1 = solver.new_var();
+        let g2 = solver.new_var();
+        let x = solver.new_var();
+        // g1 ⟹ x, g2 ⟹ ¬x.
+        solver.add_clause(vec![lit(g1, false), lit(x, true)]);
+        solver.add_clause(vec![lit(g2, false), lit(x, false)]);
+        match solver.solve_under_assumptions(&[lit(g1, true)]) {
+            SatResult::Sat(m) => assert!(m[x]),
+            other => panic!("expected sat under g1, got {other:?}"),
+        }
+        match solver.solve_under_assumptions(&[lit(g2, true)]) {
+            SatResult::Sat(m) => assert!(!m[x]),
+            other => panic!("expected sat under g2, got {other:?}"),
+        }
+        assert_eq!(
+            solver.solve_under_assumptions(&[lit(g1, true), lit(g2, true)]),
+            SatResult::Unsat,
+            "both guards force contradictory values of x"
+        );
+        // The database itself is still satisfiable.
+        assert!(matches!(solver.solve(), SatResult::Sat(_)));
+    }
+
+    /// Compaction must drop clauses satisfied at level 0 while preserving
+    /// the level-0 facts they established.
+    #[test]
+    fn compact_drops_satisfied_clauses_but_keeps_facts() {
+        let mut solver = SatSolver::new(0, SatConfig::default());
+        let g = solver.new_var();
+        let a = solver.new_var();
+        let b = solver.new_var();
+        // Guarded goal clauses: g ⟹ (a ∨ b), g ⟹ ¬a; plus a real fact b ⟹ a...
+        solver.add_clause(vec![lit(g, false), lit(a, true), lit(b, true)]);
+        solver.add_clause(vec![lit(g, false), lit(a, false)]);
+        // An unguarded clause that stays live: a ∨ b.
+        solver.add_clause(vec![lit(a, true), lit(b, true)]);
+        assert!(matches!(
+            solver.solve_under_assumptions(&[lit(g, true)]),
+            SatResult::Sat(_)
+        ));
+        // Retire the guard and compact: both guarded clauses (satisfied by
+        // ¬g) disappear, the live clause stays.
+        solver.add_clause(vec![lit(g, false)]);
+        solver.compact();
+        assert_eq!(solver.num_clauses(), 1);
+        // The retired fact ¬g persists in the level-0 assignment:
+        // assuming g now is immediately unsat.
+        assert_eq!(
+            solver.solve_under_assumptions(&[lit(g, true)]),
+            SatResult::Unsat
+        );
+        // And the live clause still constrains the search.
+        match solver.solve() {
+            SatResult::Sat(m) => assert!(m[a] || m[b]),
             other => panic!("expected sat, got {other:?}"),
         }
     }

@@ -7,16 +7,30 @@
 //! simplification, preprocessing, Tseitin CNF conversion, a fresh SAT solver
 //! and simplex — for every goal.
 //!
-//! A [`Session`] splits the pipeline at the hypothesis/goal boundary:
+//! A [`Session`] splits the pipeline at the hypothesis/goal boundary and
+//! shares work at two levels:
 //!
-//! * [`Session::assume`] preprocesses and CNF-converts the conjunction of
-//!   hypotheses **once**, interning its theory atoms into a table that
-//!   persists for the session's lifetime;
-//! * [`Session::check`] preprocesses only the (negated) goal, appends its
-//!   clauses to the persisted hypothesis CNF, and runs the DPLL(T) loop.
-//!   Theory lemmas learned from simplex conflicts are tautologies over the
-//!   shared atom table, so they carry over from goal to goal and prune the
-//!   SAT search of later checks.
+//! * **Across sessions** (process-global): hypothesis conjunctions are built
+//!   from a small vocabulary of conjuncts — qualifier instantiations and
+//!   guard predicates — that recur in clause after clause, iteration after
+//!   iteration.  [`Session::assume`] therefore preprocesses and
+//!   CNF-converts each *conjunct* separately through the global
+//!   [`CnfCache`]: one shared atom table plus memo tables keyed on
+//!   hash-consed [`ExprId`]s, so a conjunct (or a repeated goal) is
+//!   simplified, normalised and Tseitin-encoded once per process and every
+//!   later session gets its clauses back as an `Arc` clone.
+//! * **Across goals** (per-session): [`Session::check`] pushes the
+//!   (negated) goal's clauses into the session's **persistent CDCL core**
+//!   behind a fresh activation literal and solves under the assumption that
+//!   the literal holds.  The core keeps its clause database — the
+//!   hypothesis CNF, every SAT-learned clause, and every theory lemma
+//!   contributed by simplex conflicts — across goal checks, so each new
+//!   goal starts from all the propositional and arithmetic reasoning its
+//!   predecessors already paid for.  After a check the activation literal
+//!   is permanently negated, which retires that goal's clauses without
+//!   invalidating anything learned from them (learned clauses are
+//!   resolvents of the guarded database and hence remain valid once the
+//!   guard is fixed false).
 //!
 //! Splitting is only sound for the quantifier-free, application-free
 //! fragment (quantifier instantiation and Ackermann expansion both need the
@@ -25,15 +39,20 @@
 //! to the one-shot pipeline per goal, so a session always returns the same
 //! verdicts as one-shot solving.
 
-use crate::atoms::{AtomTable, Lit};
+use crate::atoms::{Atom, AtomId, AtomTable, Lit};
 use crate::cnf::tseitin;
+use crate::linear::LinConstraint;
 use crate::preprocess::{eliminate_div_mod, eliminate_ite, normalize_comparisons};
-use crate::solver::{check_sat_impl, dpll_t, SatOutcome, SmtConfig, SmtStats, Validity};
-use flux_logic::{simplify, Expr, ExprId, SortCtx};
+use crate::sat::{SatLit, SatResult, SatSolver};
+use crate::simplex::{check_lia, LiaResult};
+use crate::solver::{check_sat_impl, Model, SatOutcome, SmtConfig, SmtStats, Validity};
+use flux_logic::{simplify, Expr, ExprId, Name, Sort, SortCtx};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// How goals of this session are discharged.
 enum Mode {
-    /// Hypotheses are preprocessed into `hyp_clauses`; goals are converted
+    /// Hypotheses are preprocessed into `hyp_cnf`; goals are converted
     /// incrementally against the shared atom table.
     Incremental,
     /// The hypotheses simplified to `false`: every implication is valid.
@@ -42,6 +61,156 @@ enum Mode {
     /// uninterpreted applications); every check runs the one-shot pipeline
     /// on the combined formula.
     OneShot,
+}
+
+/// Result of preprocessing one conjunct (memoized in [`CnfCache`]).
+#[derive(Clone)]
+enum PreOut {
+    /// The conjunct simplified to `true`.
+    True,
+    /// The conjunct simplified to `false`.
+    False,
+    /// The preprocessed quantifier-free formula, hash-consed.
+    Formula(ExprId),
+}
+
+/// The process-global CNF engine: one atom table shared by every session,
+/// plus memo tables that make re-encoding a repeated conjunct O(1).
+///
+/// Sharing the atom table across sessions is what makes the per-conjunct
+/// CNF cache possible at all: cached clauses mention [`AtomId`]s, so those
+/// ids must mean the same thing in every session.  (Atoms are pure syntax —
+/// a linear constraint or a boolean name — so global interning is sound,
+/// exactly like the hash-consing of expressions in `flux-logic`.)
+/// Preprocessing memo key: the conjunct plus the sorts of its free
+/// variables.  The sorts are part of the key because comparison
+/// normalisation consults them; the same name can be bound at different
+/// sorts in different clauses.
+type PreprocKey = (ExprId, Box<[Option<Sort>]>);
+
+#[derive(Default)]
+struct CnfCache {
+    atoms: AtomTable,
+    /// Free variables of a hash-consed expression (pure, cached forever).
+    free_vars: HashMap<ExprId, Arc<[Name]>>,
+    /// Preprocessing output per [`PreprocKey`].
+    preproc: HashMap<PreprocKey, PreOut>,
+    /// Tseitin CNF (root literal asserted) per preprocessed formula.
+    cnf: HashMap<ExprId, Arc<Vec<Vec<Lit>>>>,
+}
+
+fn cnf_cache() -> MutexGuard<'static, CnfCache> {
+    static CACHE: OnceLock<Mutex<CnfCache>> = OnceLock::new();
+    // Recover from poisoning rather than cascading one panic (e.g. a failed
+    // assertion in an unrelated test thread) into every later session in
+    // the process: the cache only memoizes pure data behind `Arc`s, so no
+    // torn state is observable through its API.
+    CACHE
+        .get_or_init(|| Mutex::new(CnfCache::default()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl CnfCache {
+    fn free_vars_of(&mut self, id: ExprId) -> Arc<[Name]> {
+        if let Some(fv) = self.free_vars.get(&id) {
+            return fv.clone();
+        }
+        let fv: Arc<[Name]> = id.expr().free_vars().into_iter().collect();
+        self.free_vars.insert(id, fv.clone());
+        fv
+    }
+
+    /// Preprocesses the simplified conjunct `id` under `ctx`, memoized on
+    /// the sorts of its free variables.
+    fn preprocess(&mut self, id: ExprId, ctx: &SortCtx) -> PreOut {
+        let fv = self.free_vars_of(id);
+        let sorts: Box<[Option<Sort>]> = fv.iter().map(|n| ctx.lookup(*n)).collect();
+        if let Some(out) = self.preproc.get(&(id, sorts.clone())) {
+            return out.clone();
+        }
+        let out = match preprocess_qf(&id.expr(), ctx) {
+            Preprocessed::True => PreOut::True,
+            Preprocessed::False => PreOut::False,
+            Preprocessed::Formula(f) => PreOut::Formula(ExprId::intern(&f)),
+        };
+        self.preproc.insert((id, sorts), out.clone());
+        out
+    }
+
+    /// The Tseitin CNF of the preprocessed formula `id` (root asserted),
+    /// encoding it into the shared atom table on the first request.
+    fn cnf_of(&mut self, id: ExprId) -> Result<Arc<Vec<Vec<Lit>>>, ()> {
+        if let Some(cnf) = self.cnf.get(&id) {
+            return Ok(cnf.clone());
+        }
+        let cnf = tseitin(&id.expr(), &mut self.atoms).map_err(|_| ())?;
+        let cnf = Arc::new(cnf.clauses);
+        self.cnf.insert(id, cnf.clone());
+        Ok(cnf)
+    }
+}
+
+/// The session's persistent CDCL core: one [`SatSolver`] whose clause
+/// database (hypothesis CNF, goal clauses behind activation literals,
+/// SAT-learned clauses and theory lemmas) survives across goal checks.
+///
+/// SAT variable indices are decoupled from [`AtomId`]s: the core owns
+/// activation variables that correspond to no theory atom, and the global
+/// atom table contains atoms from other sessions that this one never
+/// mentions.  `atom_vars` maps an atom to its SAT variable lazily, so the
+/// SAT search only ever branches on atoms this session actually uses.
+struct Core {
+    sat: SatSolver,
+    /// SAT variable of each atom, indexed by [`AtomId`]; `UNMAPPED` for
+    /// atoms this session has not touched.
+    atom_vars: Vec<usize>,
+}
+
+const UNMAPPED: usize = usize::MAX;
+
+impl Core {
+    fn new(config: &SmtConfig) -> Core {
+        Core {
+            sat: SatSolver::new(0, config.sat),
+            atom_vars: Vec::new(),
+        }
+    }
+
+    /// The SAT variable representing `atom`, allocating one if needed.
+    fn var_of(&mut self, atom: AtomId) -> usize {
+        let idx = atom.0 as usize;
+        if self.atom_vars.len() <= idx {
+            self.atom_vars.resize(idx + 1, UNMAPPED);
+        }
+        if self.atom_vars[idx] == UNMAPPED {
+            self.atom_vars[idx] = self.sat.new_var();
+        }
+        self.atom_vars[idx]
+    }
+
+    /// The SAT variable of `atom`, if this session ever added a clause
+    /// mentioning it.
+    fn lookup_var(&self, atom: AtomId) -> Option<usize> {
+        match self.atom_vars.get(atom.0 as usize) {
+            Some(&v) if v != UNMAPPED => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Adds a theory-atom clause, optionally guarded by `¬guard ∨ …` so it
+    /// only bites while `guard` is assumed.
+    fn add_clause(&mut self, clause: &[Lit], guard: Option<SatLit>) {
+        let mut lits: Vec<SatLit> = Vec::with_capacity(clause.len() + 1);
+        if let Some(g) = guard {
+            lits.push(g.negated());
+        }
+        for l in clause {
+            let var = self.var_of(l.atom);
+            lits.push(SatLit::new(var, l.positive));
+        }
+        self.sat.add_clause(lits);
+    }
 }
 
 /// An incremental solving session: a fixed hypothesis context plus
@@ -53,19 +222,23 @@ pub struct Session {
     mode: Mode,
     /// Original hypotheses, kept for one-shot fallbacks.
     hypotheses: Vec<Expr>,
-    /// Atom table shared by the hypothesis CNF and all goal CNFs.
-    atoms: AtomTable,
-    /// CNF of the preprocessed hypotheses (empty when trivially true).
-    hyp_clauses: Vec<Vec<Lit>>,
-    /// Theory lemmas learned so far; valid across all checks.
+    /// CNF of the preprocessed hypothesis conjuncts (shared with the global
+    /// cache; empty when trivially true).
+    hyp_cnf: Vec<Arc<Vec<Vec<Lit>>>>,
+    /// Theory lemmas learned so far; valid across all checks (atoms are
+    /// global, so lemmas would even be sound across sessions).
     lemmas: Vec<Vec<Lit>>,
+    /// The persistent CDCL core, built on the first incremental check.
+    core: Option<Core>,
 }
 
 impl Session {
     /// Opens a session that assumes `hypotheses` under `ctx`.
     ///
-    /// Preprocessing and CNF conversion of the hypotheses happen here,
-    /// once; each subsequent [`Session::check`] only pays for its goal.
+    /// Preprocessing and CNF conversion of the hypotheses happen here —
+    /// conjunct by conjunct through the global cache, so a conjunct seen by
+    /// any earlier session costs two hash lookups; each subsequent
+    /// [`Session::check`] only pays for its goal.
     pub fn assume(config: SmtConfig, ctx: &SortCtx, hypotheses: &[Expr]) -> Session {
         let mut session = Session {
             config,
@@ -76,34 +249,59 @@ impl Session {
             },
             mode: Mode::Incremental,
             hypotheses: hypotheses.to_vec(),
-            atoms: AtomTable::new(),
-            hyp_clauses: Vec::new(),
+            hyp_cnf: Vec::new(),
             lemmas: Vec::new(),
+            core: None,
         };
-        // Simplify through the hash-cons memo: the weakening loop re-opens
-        // sessions for the same clause whenever a new goal misses the
-        // validity cache, and the memo makes re-simplifying an
-        // already-seen hypothesis conjunction O(1).
-        let h = ExprId::intern(&Expr::and_all(hypotheses.iter().cloned()))
-            .simplified()
-            .expr();
-        if h.is_trivially_false() {
-            session.mode = Mode::Contradictory;
-            return session;
-        }
-        if h.has_quantifier() || h.has_app() {
-            session.mode = Mode::OneShot;
-            return session;
-        }
-        match preprocess_qf(&h, &session.ctx) {
-            Preprocessed::False => session.mode = Mode::Contradictory,
-            Preprocessed::True => {} // no hypothesis clauses to assert
-            Preprocessed::Formula(f) => match tseitin(&f, &mut session.atoms) {
-                Ok(cnf) => session.hyp_clauses = cnf.clauses,
-                // Defensive: the preprocessed QF fragment should always
-                // convert; degrade to one-shot rather than give up.
-                Err(_) => session.mode = Mode::OneShot,
-            },
+        let tt = ExprId::intern(&Expr::tt());
+        let ff = ExprId::intern(&Expr::ff());
+        let mut seen: HashSet<ExprId> = HashSet::new();
+        let mut cache = cnf_cache();
+        for hyp in hypotheses {
+            for conjunct in hyp.conjuncts() {
+                if conjunct.has_quantifier() || conjunct.has_app() {
+                    session.mode = Mode::OneShot;
+                    session.hyp_cnf.clear();
+                    return session;
+                }
+                // Simplify through the hash-cons memo: the weakening loop
+                // rebuilds the same qualifier instantiations every
+                // iteration, and the memo makes re-simplifying an
+                // already-seen conjunct O(1).
+                let sid = ExprId::intern(conjunct).simplified();
+                if sid == tt {
+                    continue;
+                }
+                if sid == ff {
+                    session.mode = Mode::Contradictory;
+                    session.hyp_cnf.clear();
+                    return session;
+                }
+                match cache.preprocess(sid, &session.ctx) {
+                    PreOut::True => {}
+                    PreOut::False => {
+                        session.mode = Mode::Contradictory;
+                        session.hyp_cnf.clear();
+                        return session;
+                    }
+                    PreOut::Formula(pid) => {
+                        if !seen.insert(pid) {
+                            continue; // duplicate conjunct
+                        }
+                        match cache.cnf_of(pid) {
+                            Ok(cnf) => session.hyp_cnf.push(cnf),
+                            // Defensive: the preprocessed QF fragment should
+                            // always convert; degrade to one-shot rather
+                            // than give up.
+                            Err(()) => {
+                                session.mode = Mode::OneShot;
+                                session.hyp_cnf.clear();
+                                return session;
+                            }
+                        }
+                    }
+                }
+            }
         }
         session
     }
@@ -121,32 +319,156 @@ impl Session {
                 if goal.has_quantifier() || goal.has_app() {
                     return self.check_one_shot(goal);
                 }
-                let negated = simplify(&Expr::not(goal.clone()));
-                let goal_clauses = match preprocess_qf(&negated, &self.ctx) {
-                    // ¬goal is false: the implication holds outright.
-                    Preprocessed::False => return Validity::Valid,
+                let tt = ExprId::intern(&Expr::tt());
+                let ff = ExprId::intern(&Expr::ff());
+                let nid = ExprId::intern(&Expr::not(goal.clone())).simplified();
+                // ¬goal is false: the implication holds outright.
+                if nid == ff {
+                    return Validity::Valid;
+                }
+                let goal_cnf: Option<Arc<Vec<Vec<Lit>>>> = if nid == tt {
                     // ¬goal is true: satisfiability reduces to the
                     // hypotheses alone, i.e. no extra clauses.
-                    Preprocessed::True => Vec::new(),
-                    Preprocessed::Formula(f) => match tseitin(&f, &mut self.atoms) {
-                        Ok(cnf) => cnf.clauses,
-                        Err(_) => return self.check_one_shot(goal),
-                    },
+                    None
+                } else {
+                    let mut cache = cnf_cache();
+                    match cache.preprocess(nid, &self.ctx) {
+                        PreOut::False => return Validity::Valid,
+                        PreOut::True => None,
+                        PreOut::Formula(pid) => match cache.cnf_of(pid) {
+                            Ok(cnf) => Some(cnf),
+                            Err(()) => return self.check_one_shot(goal),
+                        },
+                    }
                 };
-                let outcome = dpll_t(
-                    &self.config,
-                    &self.hyp_clauses,
-                    &goal_clauses,
-                    &mut self.atoms,
-                    &mut self.lemmas,
-                    &mut self.stats,
-                );
-                match outcome {
-                    SatOutcome::Unsat => Validity::Valid,
-                    SatOutcome::Sat(model) => Validity::Invalid(Some(model)),
-                    SatOutcome::Unknown => Validity::Unknown,
+                let empty = Vec::new();
+                let goal_clauses: &Vec<Vec<Lit>> = goal_cnf.as_deref().unwrap_or(&empty);
+                self.check_on_core(goal_clauses)
+            }
+        }
+    }
+
+    /// The incremental DPLL(T) loop over the session's persistent CDCL
+    /// core.  The goal clauses enter the core behind a fresh activation
+    /// literal, the search runs under the assumption that the literal
+    /// holds, and afterwards the literal is fixed false, retiring the goal
+    /// while keeping every learned clause for the next check.
+    fn check_on_core(&mut self, goal_clauses: &[Vec<Lit>]) -> Validity {
+        match &mut self.core {
+            Some(_) => self.stats.sat_reuse += 1,
+            none => {
+                let mut core = Core::new(&self.config);
+                for cnf in &self.hyp_cnf {
+                    for clause in cnf.iter() {
+                        core.add_clause(clause, None);
+                    }
+                }
+                // Theory lemmas are only ever learned against an existing
+                // core, so there are none to replay here.
+                *none = Some(core);
+            }
+        }
+        let core = self.core.as_mut().expect("core was just built");
+        let guard = SatLit::new(core.sat.new_var(), true);
+        for clause in goal_clauses {
+            core.add_clause(clause, Some(guard));
+        }
+        // Atoms interned by *earlier* goals (or other sessions sharing the
+        // global table) but absent from the current clause sets are
+        // unconstrained in this query and must not be asserted to the
+        // theory: they would cost per-round work that grows with session
+        // age and their arbitrary SAT values could manufacture spurious
+        // theory conflicts.  Only the hypothesis and goal clauses define
+        // relevance — a retained theory lemma whose atoms have left the
+        // query is a tautology the SAT core already honours propositionally
+        // and needs no re-assertion to simplex.  The relevant linear and
+        // boolean atoms are snapshotted here, once, so the search loop
+        // below runs without the global lock.
+        let (lin_atoms, bool_atoms) = {
+            let mut relevant: Vec<AtomId> = self
+                .hyp_cnf
+                .iter()
+                .flat_map(|cnf| cnf.iter())
+                .chain(goal_clauses.iter())
+                .flatten()
+                .map(|lit| lit.atom)
+                .collect();
+            relevant.sort_unstable();
+            relevant.dedup();
+            let cache = cnf_cache();
+            let mut lin: Vec<(AtomId, usize, LinConstraint)> = Vec::new();
+            let mut bools: Vec<(usize, Name)> = Vec::new();
+            for id in relevant {
+                // Relevant atoms occur in some added clause, so a SAT
+                // variable for them always exists.
+                let Some(var) = core.lookup_var(id) else {
+                    continue;
+                };
+                match cache.atoms.get(id) {
+                    Atom::Lin(c) => lin.push((id, var, c.clone())),
+                    Atom::Bool(name) if !name.as_str().starts_with('$') => {
+                        bools.push((var, *name));
+                    }
+                    _ => {}
                 }
             }
+            (lin, bools)
+        };
+        let outcome = 'search: {
+            for _ in 0..self.config.max_theory_rounds.0 {
+                self.stats.sat_rounds += 1;
+                let assignment = match core.sat.solve_under_assumptions(&[guard]) {
+                    SatResult::Unsat => break 'search SatOutcome::Unsat,
+                    SatResult::Unknown => break 'search SatOutcome::Unknown,
+                    SatResult::Sat(assignment) => assignment,
+                };
+                self.stats.theory_checks += 1;
+                // Collect asserted linear atoms under the SAT assignment.
+                let mut constraints = Vec::with_capacity(lin_atoms.len());
+                let mut involved = Vec::with_capacity(lin_atoms.len());
+                for (id, var, c) in &lin_atoms {
+                    let value = assignment[*var];
+                    constraints.push(if value { c.clone() } else { c.negate_integer() });
+                    involved.push(Lit {
+                        atom: *id,
+                        positive: value,
+                    });
+                }
+                match check_lia(&constraints, &self.config.lia) {
+                    LiaResult::Feasible(int_model) => {
+                        let mut model = Model {
+                            ints: int_model,
+                            bools: BTreeMap::new(),
+                        };
+                        for (var, name) in &bool_atoms {
+                            model.bools.insert(*name, assignment[*var]);
+                        }
+                        break 'search SatOutcome::Sat(model);
+                    }
+                    LiaResult::Unknown => break 'search SatOutcome::Unknown,
+                    LiaResult::Infeasible(conflict) => {
+                        let lemma: Vec<Lit> = if conflict.is_empty() {
+                            // Defensive: block the entire assignment.
+                            involved.iter().map(|l| l.negated()).collect()
+                        } else {
+                            conflict.iter().map(|&i| involved[i].negated()).collect()
+                        };
+                        core.add_clause(&lemma, None);
+                        self.lemmas.push(lemma);
+                    }
+                }
+            }
+            SatOutcome::Unknown
+        };
+        // Retire this goal: the negated guard permanently satisfies its
+        // clauses (and everything learned from them), and compaction drops
+        // them from the database so later checks don't even scan them.
+        core.sat.add_clause(vec![guard.negated()]);
+        core.sat.compact();
+        match outcome {
+            SatOutcome::Unsat => Validity::Valid,
+            SatOutcome::Sat(model) => Validity::Invalid(Some(model)),
+            SatOutcome::Unknown => Validity::Unknown,
         }
     }
 
@@ -293,6 +615,27 @@ mod tests {
         assert_matches_one_shot(&ctx, &hyps, &goals);
     }
 
+    /// The same syntactic conjunct bound at different sorts in different
+    /// sessions must not poison the global preprocessing cache: comparison
+    /// normalisation depends on the operand sorts, which are part of the
+    /// cache key.
+    #[test]
+    fn preproc_cache_distinguishes_sorts() {
+        let shared = Expr::eq(v("cc_sorted"), v("cc_other"));
+        // Int-sorted: x = y is satisfiable, goal x >= y follows from it.
+        let ctx_int = int_ctx(&["cc_sorted", "cc_other"]);
+        let mut s1 = Session::assume(SmtConfig::default(), &ctx_int, &[shared.clone()]);
+        assert!(s1
+            .check(&Expr::ge(v("cc_sorted"), v("cc_other")))
+            .is_valid());
+        // Bool-sorted: p = q must become iff, and p ⟹ q must hold.
+        let mut ctx_bool = SortCtx::new();
+        ctx_bool.push(Name::intern("cc_sorted"), Sort::Bool);
+        ctx_bool.push(Name::intern("cc_other"), Sort::Bool);
+        let mut s2 = Session::assume(SmtConfig::default(), &ctx_bool, &[shared, v("cc_sorted")]);
+        assert!(s2.check(&v("cc_other")).is_valid());
+    }
+
     #[test]
     fn quantified_hypotheses_fall_back_to_one_shot() {
         let mut ctx = int_ctx(&["i", "lenv"]);
@@ -413,6 +756,26 @@ mod tests {
             incremental_rounds <= one_shot_rounds,
             "incremental path used more SAT rounds ({incremental_rounds}) than one-shot \
              ({one_shot_rounds})"
+        );
+    }
+
+    /// The persistent CDCL core must actually be reused across the checks
+    /// of one session, and its reuse must be visible in the statistics.
+    #[test]
+    fn persistent_core_reuse_is_counted() {
+        let ctx = int_ctx(&["i", "n"]);
+        let hyps = vec![Expr::ge(v("i"), Expr::int(0)), Expr::lt(v("i"), v("n"))];
+        let mut session = Session::assume(SmtConfig::default(), &ctx, &hyps);
+        assert!(session
+            .check(&Expr::le(v("i") + Expr::int(1), v("n")))
+            .is_valid());
+        assert_eq!(session.stats().sat_reuse, 0, "first check builds the core");
+        assert!(session.check(&Expr::gt(v("n"), Expr::int(0))).is_valid());
+        assert!(!session.check(&Expr::gt(v("i"), Expr::int(0))).is_valid());
+        assert_eq!(
+            session.stats().sat_reuse,
+            2,
+            "later checks must reuse the core"
         );
     }
 }

@@ -21,7 +21,7 @@ use crate::quant::{eliminate_quantifiers, QuantConfig};
 use crate::sat::{SatConfig, SatLit, SatResult, SatSolver};
 use crate::session::Session;
 use crate::simplex::{check_lia, LiaConfig, LiaResult};
-use flux_logic::{simplify, Expr, Name, SortCtx};
+use flux_logic::{evaluate, simplify, Expr, Name, SortCtx, Value};
 use std::collections::BTreeMap;
 
 /// Configuration of the SMT solver.
@@ -57,6 +57,10 @@ pub struct SmtStats {
     pub sessions: usize,
     /// Number of SAT-solver invocations across all queries.
     pub sat_rounds: usize,
+    /// Goal checks discharged on a session's already-built persistent CDCL
+    /// core (clause database and learned clauses retained from an earlier
+    /// goal of the same session) instead of rebuilding SAT state.
+    pub sat_reuse: usize,
     /// Number of theory (LIA) checks.
     pub theory_checks: usize,
     /// Number of quantifier instances generated.
@@ -70,6 +74,7 @@ impl SmtStats {
         self.queries += other.queries;
         self.sessions += other.sessions;
         self.sat_rounds += other.sat_rounds;
+        self.sat_reuse += other.sat_reuse;
         self.theory_checks += other.theory_checks;
         self.quant_instances += other.quant_instances;
     }
@@ -81,6 +86,7 @@ impl SmtStats {
             queries: self.queries - earlier.queries,
             sessions: self.sessions - earlier.sessions,
             sat_rounds: self.sat_rounds - earlier.sat_rounds,
+            sat_reuse: self.sat_reuse - earlier.sat_reuse,
             theory_checks: self.theory_checks - earlier.theory_checks,
             quant_instances: self.quant_instances - earlier.quant_instances,
         }
@@ -94,6 +100,39 @@ pub struct Model {
     pub ints: BTreeMap<Name, i128>,
     /// Values of boolean-sorted variables.
     pub bools: BTreeMap<Name, bool>,
+}
+
+impl Model {
+    /// The value this model assigns to `name`, if any.
+    pub fn value_of(&self, name: Name) -> Option<Value> {
+        if let Some(&i) = self.ints.get(&name) {
+            return Some(Value::Int(i));
+        }
+        self.bools.get(&name).map(|&b| Value::Bool(b))
+    }
+
+    /// Evaluates `expr` under this (possibly partial) model; `None` when the
+    /// value cannot be determined (unassigned variable, uninterpreted
+    /// application, quantifier, division by zero — see
+    /// [`flux_logic::evaluate`]).
+    pub fn eval(&self, expr: &Expr) -> Option<Value> {
+        evaluate(expr, &|name| self.value_of(name))
+    }
+
+    /// Evaluates a predicate to a boolean, when decidable.
+    pub fn eval_bool(&self, expr: &Expr) -> Option<bool> {
+        self.eval(expr).and_then(Value::as_bool)
+    }
+
+    /// True iff every predicate in `preds` decidably evaluates to `true`
+    /// under this model.  The fixpoint solver uses this to confirm that a
+    /// counter-model genuinely satisfies a clause's hypotheses before
+    /// trusting it to prune candidates: the check makes pruning sound even
+    /// when the solver produced the model through an abstraction (opaque
+    /// non-linear atoms) that the evaluator interprets exactly.
+    pub fn satisfies_all(&self, preds: &[Expr]) -> bool {
+        preds.iter().all(|p| self.eval_bool(p) == Some(true))
+    }
 }
 
 /// Result of a satisfiability check.

@@ -1,0 +1,86 @@
+//! Acceptance tests for counter-model-guided weakening and the persistent
+//! CDCL core: with both enabled (the default) the verifier must produce
+//! exactly the same verdicts and blamed obligations as the historical
+//! engine (no pruning, one-shot pipeline per query) across the entire
+//! benchmark corpus — while measurably pruning candidates, reusing SAT
+//! state, and issuing fewer SMT queries.
+//!
+//! The solution-level counterpart (identical inferred invariants, not just
+//! identical verdicts) is pinned by
+//! `flux_fixpoint::solve::tests::model_pruning_preserves_the_fixpoint_with_fewer_queries`.
+
+use flux::{verify_source, FixConfig, Mode, VerifyConfig};
+
+/// The engine as it was before counter-model pruning: per-candidate
+/// weakening queries through the one-shot pipeline.
+fn legacy_config() -> VerifyConfig {
+    let mut config = VerifyConfig::default();
+    config.check.fixpoint = FixConfig {
+        incremental: false,
+        model_pruning: false,
+        ..FixConfig::default()
+    };
+    config
+}
+
+#[test]
+fn pruning_and_persistent_core_change_no_verdict_on_the_corpus() {
+    let current = VerifyConfig::default();
+    let legacy = legacy_config();
+    let mut total_prunes = 0;
+    let mut total_sat_reuse = 0;
+    let mut current_queries = 0;
+    let mut legacy_queries = 0;
+    for b in flux::benchmarks() {
+        let new = verify_source(b.flux_src, Mode::Flux, &current)
+            .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+        let old = verify_source(b.flux_src, Mode::Flux, &legacy)
+            .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+        assert_eq!(
+            new.safe, old.safe,
+            "{}: pruning/persistent-core engine and legacy engine disagree \
+             (new errors: {:?}, legacy errors: {:?})",
+            b.name, new.errors, old.errors
+        );
+        assert_eq!(
+            new.errors, old.errors,
+            "{}: verdicts agree but blamed obligations differ",
+            b.name
+        );
+        total_prunes += new.stats.model_prunes;
+        total_sat_reuse += new.stats.sat_reuse;
+        current_queries += new.stats.smt_queries;
+        legacy_queries += old.stats.smt_queries;
+        // The legacy path must not report any of the new machinery.
+        assert_eq!(old.stats.model_prunes, 0, "{}", b.name);
+        assert_eq!(old.stats.sat_reuse, 0, "{}", b.name);
+    }
+    assert!(
+        total_prunes > 0,
+        "the corpus must exercise counter-model pruning"
+    );
+    assert!(
+        total_sat_reuse > 0,
+        "the corpus must exercise persistent-core reuse"
+    );
+    assert!(
+        current_queries < legacy_queries,
+        "pruning must reduce SMT queries corpus-wide: {current_queries} vs {legacy_queries}"
+    );
+}
+
+#[test]
+fn baseline_verdicts_are_unaffected_by_fixpoint_toggles() {
+    // The baseline verifier shares the SMT engine (sessions, persistent
+    // core) but not the fixpoint loop; its verdicts must be stable too.
+    let current = VerifyConfig::default();
+    let legacy = legacy_config();
+    for b in flux::benchmarks() {
+        let new = verify_source(b.baseline_src, Mode::Baseline, &current)
+            .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+        let old = verify_source(b.baseline_src, Mode::Baseline, &legacy)
+            .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+        assert_eq!(new.safe, old.safe, "{}", b.name);
+        assert_eq!(new.errors, old.errors, "{}", b.name);
+    }
+}

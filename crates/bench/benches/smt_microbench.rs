@@ -6,7 +6,10 @@
 
 use flux_bench::harness::Criterion;
 use flux_logic::{Expr, Name, Sort, SortCtx};
-use flux_smt::{Session, SmtConfig, SmtStats, Solver};
+use flux_smt::linear::{LinConstraint, LinExpr};
+use flux_smt::rational::Rational;
+use flux_smt::simplex::{check_lia, IncrementalSimplex, LiaResult};
+use flux_smt::{LiaConfig, Session, SmtConfig, SmtStats, Solver};
 
 fn qf_vc() -> (SortCtx, Vec<Expr>, Expr) {
     let mut ctx = SortCtx::new();
@@ -60,6 +63,63 @@ fn bench_smt(c: &mut Criterion) {
                     Expr::var(Name::intern("n")) + Expr::int(k),
                 );
                 assert!(session.check(&g).is_valid());
+            }
+        })
+    });
+
+    // Simplex reuse: one constraint family asserted and retracted 32 times
+    // with a varying extra bound — the DPLL(T) theory-check pattern.  The
+    // one-shot path rebuilds a tableau from scratch every round; the
+    // incremental tableau registers the rows once and each round merely
+    // toggles bounds inside a push/pop scope, reusing the pivoted basis.
+    let family: Vec<LinConstraint> = {
+        let names = ["sx1", "sx2", "sx3", "sx4", "sx5", "sx6"];
+        let mut cs = Vec::new();
+        for w in names.windows(2) {
+            // w[0] <= w[1]
+            let mut lhs = LinExpr::var(Name::intern(w[0]));
+            lhs.add_term(Name::intern(w[1]), -Rational::ONE);
+            cs.push(LinConstraint::le_zero(lhs));
+        }
+        // sx1 >= 0
+        let mut lhs = LinExpr::var(Name::intern("sx1")).scaled(-Rational::ONE);
+        lhs.add_constant(Rational::ZERO);
+        cs.push(LinConstraint::le_zero(lhs));
+        cs
+    };
+    let round_bound = |k: i128| {
+        // sx6 <= 40 + k
+        let mut lhs = LinExpr::var(Name::intern("sx6"));
+        lhs.add_constant(Rational::int(-40 - k));
+        LinConstraint::le_zero(lhs)
+    };
+    group.bench_function("lia-32-rounds-one-shot", |b| {
+        b.iter(|| {
+            for k in 0..32 {
+                let mut cs = family.clone();
+                cs.push(round_bound(k));
+                assert!(matches!(
+                    check_lia(&cs, &LiaConfig::default()),
+                    LiaResult::Feasible(_)
+                ));
+            }
+        })
+    });
+    group.bench_function("lia-32-rounds-incremental", |b| {
+        b.iter(|| {
+            let mut simplex = IncrementalSimplex::new(LiaConfig::default());
+            let slots: Vec<_> = family.iter().map(|c| simplex.register(c)).collect();
+            let bounds: Vec<_> = (0..32).map(|k| simplex.register(&round_bound(k))).collect();
+            for k in 0..32 {
+                simplex.push();
+                for (tag, slot) in slots.iter().enumerate() {
+                    simplex.assert_constraint(*slot, true, tag).unwrap();
+                }
+                simplex
+                    .assert_constraint(bounds[k], true, slots.len())
+                    .unwrap();
+                assert!(matches!(simplex.check_integer(), LiaResult::Feasible(_)));
+                simplex.pop();
             }
         })
     });

@@ -13,22 +13,120 @@
 //! JSON (default path `BENCH_table1.json`): per-benchmark wall-clock plus
 //! the full query-engine statistics of both verifiers, so per-PR regressions
 //! in queries issued (or prunes/reuse lost) are visible by diffing one file.
+//! Before overwriting, the fresh run is *gated* against the committed
+//! snapshot: the job fails on a >2× total wall-clock or a >20% total
+//! `smt_queries` regression (`--no-gate` skips the comparison, e.g. when a
+//! regression is intentional and the snapshot is being re-baselined).
 
 use std::process::ExitCode;
 
+/// Totals the perf gate compares, extracted from a snapshot or a fresh run.
+struct GateTotals {
+    /// Flux + baseline wall-clock, in seconds.
+    time_s: f64,
+    /// Flux + baseline validity queries.
+    smt_queries: f64,
+}
+
+fn snapshot_totals(raw: &str) -> Result<GateTotals, String> {
+    let value = flux_bench::json::parse(raw)?;
+    let totals = value.get("totals").ok_or("snapshot has no `totals`")?;
+    let time_of = |key: &str| {
+        totals
+            .get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("snapshot has no `totals.{key}`"))
+    };
+    let mut smt_queries = 0.0;
+    let benchmarks = value
+        .get("benchmarks")
+        .and_then(|v| v.as_array())
+        .ok_or("snapshot has no `benchmarks` array")?;
+    for row in benchmarks {
+        for side in ["flux", "baseline"] {
+            smt_queries += row
+                .get(side)
+                .and_then(|v| v.get("smt_queries"))
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("snapshot row lacks `{side}.smt_queries`"))?;
+        }
+    }
+    Ok(GateTotals {
+        time_s: time_of("flux_time_s")? + time_of("baseline_time_s")?,
+        smt_queries,
+    })
+}
+
+fn run_totals(rows: &[flux::TableRow]) -> GateTotals {
+    let mut time_s = 0.0;
+    let mut smt_queries = 0.0;
+    for row in rows.iter().filter(|r| !r.is_library) {
+        time_s += row.flux.time.as_secs_f64() + row.baseline.time.as_secs_f64();
+        smt_queries += (row.flux.stats.smt_queries + row.baseline.stats.smt_queries) as f64;
+    }
+    GateTotals {
+        time_s,
+        smt_queries,
+    }
+}
+
+/// Compares the fresh run against the committed snapshot.  Returns `false`
+/// on a regression beyond the thresholds.
+fn gate(rows: &[flux::TableRow], committed: &str) -> bool {
+    let committed = match snapshot_totals(committed) {
+        Ok(totals) => totals,
+        Err(e) => {
+            // An unreadable snapshot cannot gate anything; report and pass
+            // (the refreshed file written below re-baselines it).
+            println!("perf gate: committed snapshot not comparable ({e})");
+            return true;
+        }
+    };
+    let fresh = run_totals(rows);
+    println!(
+        "perf gate: wall-clock {:.3}s vs committed {:.3}s (limit {:.3}s), \
+         smt_queries {} vs committed {} (limit {})",
+        fresh.time_s,
+        committed.time_s,
+        committed.time_s * 2.0,
+        fresh.smt_queries,
+        committed.smt_queries,
+        committed.smt_queries * 1.2,
+    );
+    let mut ok = true;
+    if fresh.time_s > committed.time_s * 2.0 {
+        println!("perf gate FAILED: total wall-clock regressed more than 2x");
+        ok = false;
+    }
+    if fresh.smt_queries > committed.smt_queries * 1.2 {
+        println!("perf gate FAILED: total smt_queries regressed more than 20%");
+        ok = false;
+    }
+    if ok {
+        println!("perf gate passed");
+    }
+    ok
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     let mut json_path: Option<String> = None;
+    let mut gate_enabled = true;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => {
-                json_path = Some(
-                    args.next()
-                        .unwrap_or_else(|| "BENCH_table1.json".to_owned()),
-                );
+                // The path operand is optional: a following flag (e.g.
+                // `--json --no-gate`) must not be swallowed as a filename.
+                json_path = Some(match args.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        args.next().expect("peeked operand exists")
+                    }
+                    _ => "BENCH_table1.json".to_owned(),
+                });
             }
+            "--no-gate" => gate_enabled = false,
             other => {
-                eprintln!("unknown argument: {other} (supported: --json [PATH])");
+                eprintln!("unknown argument: {other} (supported: --json [PATH], --no-gate)");
                 return ExitCode::FAILURE;
             }
         }
@@ -38,7 +136,15 @@ fn main() -> ExitCode {
     println!("{}", flux::render_table1(&rows));
     println!("incremental query engine (Flux mode | baseline):");
     println!("{}", flux::render_query_stats(&rows));
+    let mut gate_ok = true;
     if let Some(path) = &json_path {
+        // Gate against the committed snapshot *before* overwriting it.
+        if gate_enabled {
+            match std::fs::read_to_string(path) {
+                Ok(committed) => gate_ok = gate(&rows, &committed),
+                Err(e) => println!("perf gate: no committed snapshot at {path} ({e})"),
+            }
+        }
         let json = flux::render_table1_json(&rows);
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("failed to write {path}: {e}");
@@ -78,7 +184,11 @@ fn main() -> ExitCode {
 
     if deviations.is_empty() {
         println!("all benchmarks match the expected Table 1 outcome matrix");
-        ExitCode::SUCCESS
+        if gate_ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
     } else {
         println!(
             "{} benchmark(s) deviate from the expected outcome matrix:",

@@ -11,6 +11,232 @@
 //! the benches need (`benchmark_group`, `bench_function`, `Bencher::iter`)
 //! so the bench sources read the same as they would with the real thing.
 
+pub mod json {
+    //! A minimal JSON reader for the perf regression gate.
+    //!
+    //! `table1 --json` compares the fresh run against the *committed*
+    //! `BENCH_table1.json`; this module parses just enough of that file
+    //! (the workspace builds without external crates, so no serde) to
+    //! extract the totals the gate compares.  It accepts the exact value
+    //! grammar the workspace's own writer emits — objects, arrays, strings
+    //! without escapes, numbers, booleans and null.
+
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// A boolean.
+        Bool(bool),
+        /// Any number (parsed as `f64`; the gate only compares magnitudes).
+        Number(f64),
+        /// A string (escape-free; the writer never emits escapes).
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object.
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        /// Member lookup on objects.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(map) => map.get(key),
+                _ => None,
+            }
+        }
+
+        /// The numeric value, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses `input` as a single JSON value (trailing whitespace allowed).
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&b) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {pos}", b as char))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut map = BTreeMap::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect(bytes, pos, b':')?;
+                    map.insert(key, parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+            Some(b't') if bytes[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < bytes.len()
+                    && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii slice");
+                text.parse()
+                    .map(Value::Number)
+                    .map_err(|_| format!("malformed number `{text}` at byte {start}"))
+            }
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let start = *pos;
+        while *pos < bytes.len() && bytes[*pos] != b'"' {
+            if bytes[*pos] == b'\\' {
+                return Err(format!("escape sequences are not supported (byte {pos})"));
+            }
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos])
+            .map_err(|_| "invalid utf-8 in string".to_owned())?
+            .to_owned();
+        expect(bytes, pos, b'"')?;
+        Ok(text)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn parses_the_bench_snapshot_shape() {
+            let input = r#"{
+                "benchmarks": [
+                    { "name": "bsearch", "flux": { "safe": true, "time_s": 0.01, "smt_queries": 45 },
+                      "baseline": { "safe": true, "time_s": 0.001, "smt_queries": 8 } }
+                ],
+                "totals": { "flux_time_s": 0.01, "baseline_time_s": 0.001 }
+            }"#;
+            let value = parse(input).expect("snapshot shape parses");
+            let totals = value.get("totals").expect("totals present");
+            assert_eq!(totals.get("flux_time_s").unwrap().as_f64(), Some(0.01));
+            let benchmarks = value.get("benchmarks").unwrap().as_array().unwrap();
+            assert_eq!(
+                benchmarks[0]
+                    .get("flux")
+                    .unwrap()
+                    .get("smt_queries")
+                    .unwrap()
+                    .as_f64(),
+                Some(45.0)
+            );
+            assert_eq!(
+                benchmarks[0].get("name").unwrap(),
+                &Value::String("bsearch".to_owned())
+            );
+        }
+
+        #[test]
+        fn rejects_malformed_input() {
+            assert!(parse("{").is_err());
+            assert!(parse("[1, 2,]").is_err());
+            assert!(parse("12x").is_err());
+            assert!(parse("{\"a\": 1} trailing").is_err());
+        }
+
+        #[test]
+        fn parses_scalars() {
+            assert_eq!(parse("true").unwrap(), Value::Bool(true));
+            assert_eq!(parse("null").unwrap(), Value::Null);
+            assert_eq!(parse("-3.25").unwrap().as_f64(), Some(-3.25));
+            assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        }
+    }
+}
+
 pub mod harness {
     //! A minimal Criterion-style benchmarking harness.
 

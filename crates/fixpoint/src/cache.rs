@@ -1,4 +1,5 @@
-//! A memoized validity cache keyed on hash-consed expression ids.
+//! A memoized validity cache keyed on hash-consed expression ids, shareable
+//! across every solver in the process.
 //!
 //! Iterative weakening re-asks many implications verbatim: a clause whose
 //! guard κs kept their assignment between iterations re-issues exactly the
@@ -12,41 +13,105 @@
 //! comparing a candidate query against the cache costs a few `u32`
 //! comparisons instead of deep tree equality, and interning the hypotheses
 //! once per clause amortises the key cost over every goal of that clause.
+//! The hash-cons table is append-only for the process lifetime, so an
+//! `ExprId` means the same expression forever — which is what makes one
+//! **process-global** cache sound: verdicts computed while verifying one
+//! benchmark can be replayed for any later benchmark, program or long-lived
+//! caller in the same process (see [`global_cache`]).  Keys additionally
+//! carry an interned fingerprint of the uninterpreted-function declaration
+//! context ([`FnCtxId`]), because the same expression can be interpreted
+//! differently under different function signatures; the historical design
+//! instead cleared a per-solver cache whenever the base context changed,
+//! which is exactly the sharing this cache exists to keep.
+//!
+//! Entries are stamped with the global solve *epoch* and the *owner*
+//! (solver instance) that created them, so a hit can be attributed: a
+//! replay within one solve, a cross-function replay (same solver, earlier
+//! solve), or a cross-benchmark replay (different solver entirely).
 
-use flux_logic::{ExprId, Name, Sort};
+use flux_logic::{ExprId, Name, Sort, SortCtx};
 use flux_smt::Validity;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Interned identifier of an uninterpreted-function declaration context.
+///
+/// Two sort contexts with the same function signatures (names, argument
+/// sorts, results, in order) get the same id, so equality of ids is
+/// equality of everything that can change how a cached query would be
+/// interpreted beyond its binders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FnCtxId(u32);
+
+/// One uninterpreted-function signature: name, argument sorts, result.
+type FnSig = (Name, Vec<Sort>, Sort);
+
+/// Interns the function-declaration part of `ctx`.
+pub fn intern_fn_ctx(ctx: &SortCtx) -> FnCtxId {
+    static TABLE: OnceLock<Mutex<HashMap<Vec<FnSig>, u32>>> = OnceLock::new();
+    let sig: Vec<FnSig> = ctx
+        .functions()
+        .map(|(name, args, ret)| (name, args.to_vec(), ret))
+        .collect();
+    let mut table = TABLE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let next = table.len() as u32;
+    FnCtxId(*table.entry(sig).or_insert(next))
+}
 
 /// Cache key: the clause's binder context plus hash-consed ids of the
-/// hypotheses and the goal.
+/// hypotheses and the goal, under an interned function-declaration context.
 ///
 /// The binder list is part of the key because the same names can be bound at
 /// different sorts in different clauses, which changes how the solver
 /// interprets the (otherwise identical) expressions.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct QueryKey {
+    fns: FnCtxId,
     ctx: Arc<[(Name, Sort)]>,
     hyps: Arc<[ExprId]>,
     goal: ExprId,
 }
 
 impl QueryKey {
-    /// Builds a key.  `ctx` and `hyps` are shared per clause; only `goal`
-    /// varies between the candidate queries of one clause.
-    pub fn new(ctx: Arc<[(Name, Sort)]>, hyps: Arc<[ExprId]>, goal: ExprId) -> QueryKey {
-        QueryKey { ctx, hyps, goal }
+    /// Builds a key.  `fns` is shared per solve, `ctx` and `hyps` per
+    /// clause; only `goal` varies between the candidate queries of one
+    /// clause.
+    pub fn new(
+        fns: FnCtxId,
+        ctx: Arc<[(Name, Sort)]>,
+        hyps: Arc<[ExprId]>,
+        goal: ExprId,
+    ) -> QueryKey {
+        QueryKey {
+            fns,
+            ctx,
+            hyps,
+            goal,
+        }
     }
 }
 
+/// One cached verdict, stamped with the solve epoch and solver instance
+/// that computed it.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// The memoized verdict.
+    pub verdict: Validity,
+    /// The global solve epoch (see [`next_epoch`]) during which the entry
+    /// was inserted.
+    pub epoch: u64,
+    /// The solver instance (see [`next_owner`]) that inserted it.
+    pub owner: u64,
+}
+
 /// The memoized validity cache.
-///
-/// Entries are stamped with the *generation* (solve call) that created them,
-/// so a solver shared across the functions of one program can tell replays
-/// within a solve apart from cross-function replays.
 #[derive(Debug, Default)]
 pub struct ValidityCache {
-    map: HashMap<QueryKey, (Validity, u64)>,
+    map: HashMap<QueryKey, CacheEntry>,
 }
 
 impl ValidityCache {
@@ -55,15 +120,21 @@ impl ValidityCache {
         ValidityCache::default()
     }
 
-    /// Returns the cached verdict for `key` (and the generation that
-    /// inserted it), if any.
-    pub fn lookup(&self, key: &QueryKey) -> Option<(Validity, u64)> {
+    /// Returns the cached entry for `key`, if any.
+    pub fn lookup(&self, key: &QueryKey) -> Option<CacheEntry> {
         self.map.get(key).cloned()
     }
 
-    /// Records the verdict for `key`, stamped with `generation`.
-    pub fn insert(&mut self, key: QueryKey, verdict: Validity, generation: u64) {
-        self.map.insert(key, (verdict, generation));
+    /// Records the verdict for `key`, stamped with `epoch` and `owner`.
+    pub fn insert(&mut self, key: QueryKey, verdict: Validity, epoch: u64, owner: u64) {
+        self.map.insert(
+            key,
+            CacheEntry {
+                verdict,
+                epoch,
+                owner,
+            },
+        );
     }
 
     /// Number of cached verdicts.
@@ -76,13 +147,40 @@ impl ValidityCache {
         self.map.is_empty()
     }
 
-    /// Drops all cached verdicts.  Called by the solver whenever the base
-    /// sort context changes between solves: keys do not capture the caller's
-    /// uninterpreted-function context, so verdicts may only be replayed
-    /// across solves that share it.
+    /// Drops all cached verdicts.
     pub fn clear(&mut self) {
         self.map.clear();
     }
+}
+
+/// The process-global validity cache: one map shared by every
+/// [`crate::FixpointSolver`] with `global_cache` enabled, so the `table1`
+/// harness (and any long-running service) stops re-proving obligations that
+/// an earlier benchmark already discharged.
+pub fn global_cache() -> MutexGuard<'static, ValidityCache> {
+    static CACHE: OnceLock<Mutex<ValidityCache>> = OnceLock::new();
+    // Recover from poisoning rather than cascading one panic (e.g. a failed
+    // assertion in an unrelated test thread) into every later solve in the
+    // process: the cache memoizes deterministic verdicts, so no torn state
+    // is observable through its API.
+    CACHE
+        .get_or_init(|| Mutex::new(ValidityCache::new()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Draws the next solve epoch.  Epochs are strictly increasing across all
+/// solvers in the process, so `entry.epoch < current` identifies entries
+/// created by an earlier solve call regardless of which solver made them.
+pub fn next_epoch() -> u64 {
+    static EPOCH: AtomicU64 = AtomicU64::new(1);
+    EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Draws a fresh solver-instance identifier for hit attribution.
+pub fn next_owner() -> u64 {
+    static OWNER: AtomicU64 = AtomicU64::new(1);
+    OWNER.fetch_add(1, Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -92,6 +190,7 @@ mod tests {
 
     fn key(ctx: &[(Name, Sort)], hyps: &[Expr], goal: &Expr) -> QueryKey {
         QueryKey::new(
+            intern_fn_ctx(&SortCtx::new()),
             ctx.iter().copied().collect(),
             hyps.iter().map(ExprId::intern).collect(),
             ExprId::intern(goal),
@@ -121,6 +220,30 @@ mod tests {
     }
 
     #[test]
+    fn function_declarations_change_the_key() {
+        let x = Name::intern("fx");
+        let ctx = [(x, Sort::Int)];
+        let goal = Expr::ge(Expr::var(x), Expr::int(0));
+        let base = key(&ctx, &[], &goal);
+        let mut declared_ctx = SortCtx::new();
+        declared_ctx.declare_fn(Name::intern("mystery"), vec![Sort::Int], Sort::Int);
+        let declared = QueryKey::new(
+            intern_fn_ctx(&declared_ctx),
+            ctx.iter().copied().collect(),
+            Arc::from([]),
+            ExprId::intern(&goal),
+        );
+        assert_ne!(
+            base, declared,
+            "extra function declarations must not collide with the base context"
+        );
+        // And the same declarations intern to the same id.
+        let mut declared_again = SortCtx::new();
+        declared_again.declare_fn(Name::intern("mystery"), vec![Sort::Int], Sort::Int);
+        assert_eq!(intern_fn_ctx(&declared_ctx), intern_fn_ctx(&declared_again));
+    }
+
+    #[test]
     fn lookup_returns_inserted_verdict() {
         let x = Name::intern("cx");
         let ctx = [(x, Sort::Int)];
@@ -128,10 +251,23 @@ mod tests {
         let k = key(&ctx, &[], &goal);
         let mut cache = ValidityCache::new();
         assert!(cache.lookup(&k).is_none());
-        cache.insert(k.clone(), Validity::Valid, 3);
-        assert_eq!(cache.lookup(&k), Some((Validity::Valid, 3)));
+        cache.insert(k.clone(), Validity::Valid, 3, 7);
+        let entry = cache.lookup(&k).expect("entry was just inserted");
+        assert_eq!(entry.verdict, Validity::Valid);
+        assert_eq!(entry.epoch, 3);
+        assert_eq!(entry.owner, 7);
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn epochs_and_owners_are_strictly_increasing() {
+        let e1 = next_epoch();
+        let e2 = next_epoch();
+        assert!(e2 > e1);
+        let o1 = next_owner();
+        let o2 = next_owner();
+        assert!(o2 > o1);
     }
 }

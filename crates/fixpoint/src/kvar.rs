@@ -23,17 +23,21 @@ pub struct KVarDecl {
     pub id: KVid,
     /// Sorts of the arguments.
     pub sorts: Vec<Sort>,
+    /// Formal parameter names, precomputed at declaration time: formatting
+    /// and interning them per [`KVarApp::instantiate`] call showed up in
+    /// profiles of the weakening loop.
+    formals: Vec<Name>,
 }
 
 impl KVarDecl {
     /// The formal parameter name for argument `i` of this κ variable.
     pub fn formal(&self, i: usize) -> Name {
-        formal_name(self.id, i)
+        self.formals[i]
     }
 
     /// All formal parameter names, in order.
-    pub fn formals(&self) -> Vec<Name> {
-        (0..self.sorts.len()).map(|i| self.formal(i)).collect()
+    pub fn formals(&self) -> &[Name] {
+        &self.formals
     }
 }
 
@@ -57,7 +61,8 @@ impl KVarStore {
     /// Declares a fresh κ variable with the given argument sorts.
     pub fn fresh(&mut self, sorts: Vec<Sort>) -> KVid {
         let id = KVid(self.decls.len() as u32);
-        self.decls.push(KVarDecl { id, sorts });
+        let formals = (0..sorts.len()).map(|i| formal_name(id, i)).collect();
+        self.decls.push(KVarDecl { id, sorts, formals });
         id
     }
 
@@ -100,16 +105,23 @@ impl KVarApp {
     /// Substitutes the κ variable's formal parameters by this application's
     /// actual arguments inside `body` (which is expressed over the formals).
     pub fn instantiate(&self, decl: &KVarDecl, body: &Expr) -> Expr {
+        self.instantiate_id(decl, flux_logic::ExprId::intern(body))
+            .expr()
+    }
+
+    /// [`KVarApp::instantiate`] over the hash-consed DAG: shared subterms of
+    /// `body` (candidate conjunctions repeat variables and whole qualifiers)
+    /// are processed once per call instead of once per occurrence, and no
+    /// tree is rebuilt.
+    pub fn instantiate_id(&self, decl: &KVarDecl, body: flux_logic::ExprId) -> flux_logic::ExprId {
         debug_assert_eq!(decl.id, self.kvid);
         let subst: flux_logic::Subst = decl
             .formals()
-            .into_iter()
+            .iter()
+            .copied()
             .zip(self.args.iter().cloned())
             .collect();
-        // Substitute over the hash-consed DAG: shared subterms of `body`
-        // (candidate conjunctions repeat variables and whole qualifiers)
-        // are processed once per call instead of once per occurrence.
-        flux_logic::ExprId::intern(body).subst(&subst).expr()
+        body.subst(&subst)
     }
 }
 

@@ -47,7 +47,7 @@ impl Qualifier {
         let formals = decl.formals();
         let mut assignment: Vec<Option<usize>> = vec![None; self.params.len()];
         assignment[0] = Some(0);
-        instantiate_rec(self, decl, &formals, 1, &mut assignment, &mut out);
+        instantiate_rec(self, decl, formals, 1, &mut assignment, &mut out);
         out
     }
 }

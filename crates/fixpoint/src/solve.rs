@@ -9,7 +9,10 @@
 //! expressible with the qualifiers; the remaining clauses with concrete
 //! heads are then checked once, and any failure is reported with its tag.
 
-use crate::cache::{QueryKey, ValidityCache};
+use crate::cache::{
+    global_cache, intern_fn_ctx, next_epoch, next_owner, CacheEntry, FnCtxId, QueryKey,
+    ValidityCache,
+};
 use crate::constraint::{Clause, Constraint, Guard, Head, Tag};
 use crate::kvar::{KVarApp, KVarStore, KVid};
 use crate::qualifier::{default_qualifiers, Qualifier};
@@ -38,6 +41,14 @@ pub struct FixConfig {
     /// hence every verdict and inferred invariant — is identical either
     /// way, only the number of SMT queries differs.
     pub model_pruning: bool,
+    /// Share verdicts through the process-global validity cache, so
+    /// identical obligations are proved once per *process* rather than once
+    /// per program (`xbench_hits` counts the cross-benchmark replays).
+    /// Disable for hermetic per-solver caching — equivalence tests that pin
+    /// session/miss counts need isolation from whatever else the process
+    /// has already proved; verdicts are identical either way because cached
+    /// entries replay exactly what the engine would recompute.
+    pub global_cache: bool,
 }
 
 impl Default for FixConfig {
@@ -48,6 +59,7 @@ impl Default for FixConfig {
             qualifiers: default_qualifiers(),
             incremental: true,
             model_pruning: true,
+            global_cache: true,
         }
     }
 }
@@ -70,6 +82,9 @@ pub struct FixStats {
     /// Cache hits whose entry was produced by an *earlier* solve call on the
     /// same solver (cross-function sharing within one verification run).
     pub cross_fn_hits: usize,
+    /// Cache hits whose entry was produced by a *different* solver instance
+    /// (cross-benchmark sharing through the process-global cache).
+    pub xbench_hits: usize,
     /// Queries that reached the SMT engine.
     pub cache_misses: usize,
     /// Solver sessions opened (at most one per clause per iteration; none
@@ -91,6 +106,7 @@ impl FixStats {
         self.smt_queries += other.smt_queries;
         self.cache_hits += other.cache_hits;
         self.cross_fn_hits += other.cross_fn_hits;
+        self.xbench_hits += other.xbench_hits;
         self.cache_misses += other.cache_misses;
         self.sessions += other.sessions;
         self.model_prunes += other.model_prunes;
@@ -102,22 +118,36 @@ impl FixStats {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Solution {
     assignment: BTreeMap<KVid, Vec<Expr>>,
+    /// Hash-consed ids of the conjuncts in `assignment`, kept in lockstep
+    /// so the weakening loop never re-interns a candidate tree.
+    ids: BTreeMap<KVid, Vec<ExprId>>,
 }
 
 impl Solution {
     /// The predicate assigned to `kvid`, expressed over its formal
     /// arguments.
     pub fn of(&self, kvid: KVid) -> Expr {
-        match self.assignment.get(&kvid) {
-            Some(conjuncts) => Expr::and_all(conjuncts.iter().cloned()),
-            None => Expr::tt(),
+        self.of_id(kvid).expr()
+    }
+
+    /// Hash-consed form of [`Solution::of`].
+    pub fn of_id(&self, kvid: KVid) -> ExprId {
+        match self.ids.get(&kvid) {
+            Some(ids) => ExprId::and_all(ids.iter().copied()),
+            None => ExprId::intern(&Expr::tt()),
         }
     }
 
     /// The predicate denoted by an application under this solution.
     pub fn apply(&self, app: &KVarApp, kvars: &KVarStore) -> Expr {
+        self.apply_id(app, kvars).expr()
+    }
+
+    /// Hash-consed form of [`Solution::apply`]: the substitution runs over
+    /// the shared DAG and no tree is ever rebuilt.
+    pub fn apply_id(&self, app: &KVarApp, kvars: &KVarStore) -> ExprId {
         let decl = kvars.get(app.kvid);
-        app.instantiate(decl, &self.of(app.kvid))
+        app.instantiate_id(decl, self.of_id(app.kvid))
     }
 
     /// Number of conjuncts assigned to `kvid`.
@@ -125,8 +155,28 @@ impl Solution {
         self.assignment.get(&kvid).map_or(0, Vec::len)
     }
 
+    /// The hash-consed candidate conjuncts of `kvid`.
+    fn candidate_ids(&self, kvid: KVid) -> Option<&[ExprId]> {
+        self.ids.get(&kvid).map(Vec::as_slice)
+    }
+
     fn set(&mut self, kvid: KVid, conjuncts: Vec<Expr>) {
+        self.ids
+            .insert(kvid, conjuncts.iter().map(ExprId::intern).collect());
         self.assignment.insert(kvid, conjuncts);
+    }
+
+    /// Drops the candidates whose `mask` entry is `false`, in both forms.
+    fn retain_mask(&mut self, kvid: KVid, mask: &[bool]) {
+        let conjuncts = self
+            .assignment
+            .get_mut(&kvid)
+            .expect("retain of an unassigned kvar");
+        let mut keep = mask.iter();
+        conjuncts.retain(|_| *keep.next().expect("mask is as long as the candidates"));
+        let ids = self.ids.get_mut(&kvid).expect("ids kept in lockstep");
+        let mut keep = mask.iter();
+        ids.retain(|_| *keep.next().expect("mask is as long as the candidates"));
     }
 }
 
@@ -152,23 +202,114 @@ impl FixResult {
     }
 }
 
+/// Prepared solver inputs of one clause, memoized across weakening
+/// iterations.
+///
+/// Everything here is a pure function of the κ assignments the clause
+/// mentions (head and guards), so it stays valid — session included, with
+/// its hypothesis CNF, learned clauses and simplex basis — until one of
+/// those assignments is weakened, which bumps the corresponding version
+/// counter and invalidates the state wholesale.
+struct ClauseState {
+    /// Version of the head κ at preparation time (governs `inst_ids`).
+    head_version: u64,
+    /// Version of each κ-guard, in clause order, at preparation time
+    /// (governs the hypotheses — keys and session included).
+    guard_versions: Vec<u64>,
+    /// Set when a visit at these versions ended with every candidate
+    /// surviving: later visits replay the recorded fast-path hit without
+    /// touching the cache (the classification flags are `(xbench,
+    /// cross_fn)` of the lookup that proved convergence).
+    converged_hit: Option<(bool, bool)>,
+    /// Hash-consed ids of the head candidates instantiated at the
+    /// application's arguments; every cache key, conjunction and session
+    /// query is id-based (no tree walks).
+    inst_ids: Vec<ExprId>,
+    /// Tree form of `inst_ids`, materialized lazily — only counter-model
+    /// evaluation needs it.
+    insts: Option<Vec<Expr>>,
+    /// The clause's hypotheses under the current assignment, hash-consed.
+    hyp_ids: Vec<ExprId>,
+    /// Tree form of `hyp_ids`, materialized lazily — only counter-model
+    /// evaluation and the legacy (non-incremental) pipeline need it.
+    hypotheses: Option<Vec<Expr>>,
+    /// Base context extended with the clause binders.
+    clause_ctx: SortCtx,
+    /// Interned cache-key parts (`None` with the incremental engine off).
+    keys: Option<ClauseKeys>,
+    /// The live solver session, opened lazily on the first cache miss and
+    /// kept across iterations.
+    session: Option<Session>,
+}
+
+impl ClauseState {
+    /// Materializes the tree forms needed for counter-model evaluation.
+    fn materialize_trees(&mut self) {
+        if self.insts.is_none() {
+            self.insts = Some(self.inst_ids.iter().map(|id| id.expr()).collect());
+        }
+        if self.hypotheses.is_none() {
+            self.hypotheses = Some(self.hyp_ids.iter().map(|id| id.expr()).collect());
+        }
+    }
+}
+
+/// The versions of the κ-guards of `clause`, in clause order.
+fn guard_versions_of(clause: &Clause, versions: &BTreeMap<KVid, u64>) -> Vec<u64> {
+    clause
+        .guards
+        .iter()
+        .filter_map(|guard| match guard {
+            Guard::KVar(guard_app) => Some(versions.get(&guard_app.kvid).copied().unwrap_or(0)),
+            Guard::Pred(_) => None,
+        })
+        .collect()
+}
+
 /// Per-clause parts of the validity-cache key, interned once per clause and
 /// shared (via `Arc`) by the keys of every goal checked against it.
 struct ClauseKeys {
+    fns: FnCtxId,
     ctx: Arc<[(Name, Sort)]>,
     hyps: Arc<[ExprId]>,
 }
 
 impl ClauseKeys {
-    fn new(clause_ctx: &SortCtx, hypotheses: &[Expr]) -> ClauseKeys {
+    fn new(fns: FnCtxId, clause_ctx: &SortCtx, hyp_ids: &[ExprId]) -> ClauseKeys {
         ClauseKeys {
+            fns,
             ctx: clause_ctx.iter().collect(),
-            hyps: hypotheses.iter().map(ExprId::intern).collect(),
+            hyps: hyp_ids.iter().copied().collect(),
         }
     }
 
-    fn for_goal(&self, goal: &Expr) -> QueryKey {
-        QueryKey::new(self.ctx.clone(), self.hyps.clone(), ExprId::intern(goal))
+    fn for_goal_id(&self, goal: ExprId) -> QueryKey {
+        QueryKey::new(self.fns, self.ctx.clone(), self.hyps.clone(), goal)
+    }
+}
+
+/// One query's goal: a single pre-interned formula, or the conjunction of
+/// several (the whole-candidate-set check of the weakening loop), keyed by
+/// the id of the folded conjunction.
+enum Goals<'a> {
+    Single(ExprId),
+    Conjunction(&'a [ExprId], ExprId),
+}
+
+impl Goals<'_> {
+    fn key_id(&self) -> ExprId {
+        match self {
+            Goals::Single(id) => *id,
+            Goals::Conjunction(_, whole) => *whole,
+        }
+    }
+
+    /// The goal as a tree, for the non-incremental (legacy A/B) pipeline.
+    fn tree(&self) -> Expr {
+        match self {
+            Goals::Single(id) => id.expr(),
+            Goals::Conjunction(ids, _) => Expr::and_all(ids.iter().map(|id| id.expr())),
+        }
     }
 }
 
@@ -179,14 +320,17 @@ pub struct FixpointSolver {
     /// Statistics of the most recent [`FixpointSolver::solve`] call.
     pub stats: FixStats,
     smt: Solver,
-    cache: ValidityCache,
-    /// Generation counter: bumped once per [`FixpointSolver::solve`] call so
-    /// cache entries can be attributed to the solve that created them.
-    generation: u64,
-    /// The base sort context of the previous solve; the cache survives
-    /// across solves only while it stays the same (keys do not capture
-    /// uninterpreted-function declarations).
-    last_ctx: Option<SortCtx>,
+    /// The hermetic per-solver cache, used when `config.global_cache` is
+    /// off; otherwise verdicts live in [`global_cache`].
+    local_cache: ValidityCache,
+    /// This solver's identity for cache-hit attribution.
+    solver_id: u64,
+    /// The global epoch of the current [`FixpointSolver::solve`] call;
+    /// entries stamped with an earlier epoch were created by an earlier
+    /// solve (of this solver or any other).
+    epoch: u64,
+    /// Interned function-declaration context of the current solve.
+    fns: FnCtxId,
 }
 
 impl FixpointSolver {
@@ -197,9 +341,10 @@ impl FixpointSolver {
             config,
             stats: FixStats::default(),
             smt,
-            cache: ValidityCache::new(),
-            generation: 0,
-            last_ctx: None,
+            local_cache: ValidityCache::new(),
+            solver_id: next_owner(),
+            epoch: 0,
+            fns: intern_fn_ctx(&SortCtx::new()),
         }
     }
 
@@ -224,15 +369,15 @@ impl FixpointSolver {
             kvars: kvars.len(),
             ..FixStats::default()
         };
-        // The cache is kept across solve calls (cross-function sharing
-        // within one verification run) as long as the base sort context is
-        // unchanged; keys do not capture `ctx`'s uninterpreted-function
-        // declarations, so verdicts must not leak across different contexts.
-        self.generation += 1;
-        if self.last_ctx.as_ref() != Some(ctx) {
-            self.cache.clear();
-            self.last_ctx = Some(ctx.clone());
-        }
+        // Verdicts survive across solve calls — and, through the global
+        // cache, across solvers and benchmarks.  The epoch stamp attributes
+        // each later hit to the solve that created the entry, and the
+        // interned function-declaration context in every key keeps verdicts
+        // from leaking between incompatible interpretation contexts (the
+        // historical design cleared the cache on context change instead,
+        // which forfeited exactly this sharing).
+        self.epoch = next_epoch();
+        self.fns = intern_fn_ctx(ctx);
 
         // Initial assignment: all well-sorted qualifier instantiations.
         // Distinct qualifier templates can instantiate to the same predicate
@@ -251,57 +396,128 @@ impl FixpointSolver {
             solution.set(decl.id, candidates);
         }
 
-        // Iterative weakening.  Each clause whose queries are not fully
-        // answered by the validity cache opens one solver session: the
-        // hypotheses are fixed for the clause while the goals (the whole
-        // conjunction, then each surviving candidate) vary, so the session
-        // preprocesses and CNF-converts the hypothesis context exactly once.
+        // Iterative weakening.  All derived per-clause inputs — candidate
+        // instantiations, hypothesis expressions, cache keys and the solver
+        // session itself — are pure functions of the κ assignments the
+        // clause mentions, and assignments only change when weakening
+        // shrinks one.  Each κ therefore carries a version counter, and a
+        // clause's prepared state (including its live session, with all the
+        // CNF, learned clauses and simplex basis it has accumulated) is
+        // reused verbatim across iterations until one of its κ versions
+        // moves.  Before this memo the loop re-instantiated, re-interned
+        // and re-assumed every clause every iteration — which, not the
+        // theory work, dominated wall-clock on the slow benchmarks.
+        let mut versions: BTreeMap<KVid, u64> = BTreeMap::new();
+        let mut states: Vec<Option<ClauseState>> = (0..clauses.len()).map(|_| None).collect();
         for _ in 0..self.config.max_iterations {
             self.stats.iterations += 1;
             let mut changed = false;
-            for clause in &clauses {
+            for (ci, clause) in clauses.iter().enumerate() {
                 let Head::KVar(app) = &clause.head else {
                     continue;
                 };
-                // Instantiations are owned, so the candidate vector itself
-                // is only ever borrowed (and shrunk in place at the end).
                 let decl = kvars.get(app.kvid);
-                let insts: Vec<Expr> = match solution.assignment.get(&app.kvid) {
-                    Some(candidates) if !candidates.is_empty() => candidates
-                        .iter()
-                        .map(|c| app.instantiate(decl, c))
-                        .collect(),
-                    _ => continue,
+                let head_version = versions.get(&app.kvid).copied().unwrap_or(0);
+                let guard_versions = guard_versions_of(clause, &versions);
+                let (stale_head, stale_guards) = match &states[ci] {
+                    Some(state) => (
+                        state.head_version != head_version,
+                        state.guard_versions != guard_versions,
+                    ),
+                    None => (true, true),
                 };
-                let hypotheses = clause_hypotheses(clause, &solution, kvars);
-                let clause_ctx = clause_ctx(clause, ctx);
-                let keys = self.keys_for(&clause_ctx, &hypotheses);
+                if stale_head || stale_guards {
+                    // Candidates are instantiated over the shared DAG; tree
+                    // forms are materialized lazily, only when a
+                    // counter-model needs evaluating.
+                    let inst_ids: Vec<ExprId> = match solution.candidate_ids(app.kvid) {
+                        Some(ids) if !ids.is_empty() => {
+                            ids.iter().map(|c| app.instantiate_id(decl, *c)).collect()
+                        }
+                        _ => continue,
+                    };
+                    match (&mut states[ci], stale_guards) {
+                        (Some(state), false) => {
+                            // Only this clause's own candidates changed: the
+                            // hypotheses — and with them the cache keys and
+                            // the live session, CNF, learned clauses and
+                            // simplex basis — are still exactly right.
+                            state.head_version = head_version;
+                            state.inst_ids = inst_ids;
+                            state.insts = None;
+                            state.converged_hit = None;
+                        }
+                        (slot, _) => {
+                            let hyp_ids = clause_hypotheses_ids(clause, &solution, kvars);
+                            let clause_ctx = clause_ctx(clause, ctx);
+                            let keys = self.keys_for(&clause_ctx, &hyp_ids);
+                            if let Some(old) = slot.take() {
+                                self.close(old.session);
+                            }
+                            *slot = Some(ClauseState {
+                                head_version,
+                                guard_versions,
+                                converged_hit: None,
+                                inst_ids,
+                                insts: None,
+                                hyp_ids,
+                                hypotheses: None,
+                                clause_ctx,
+                                keys,
+                                session: None,
+                            });
+                        }
+                    }
+                } else if solution.num_conjuncts(app.kvid) == 0 {
+                    continue;
+                }
+                let state = states[ci].as_mut().expect("state was just prepared");
+                // A clause that already converged at these versions can't
+                // weaken anything: replay the fast-path hit it recorded
+                // (identical bookkeeping, zero lookups).
+                if let Some((xbench, cross_fn)) = state.converged_hit {
+                    self.stats.smt_queries += 1;
+                    self.stats.cache_hits += 1;
+                    if xbench {
+                        self.stats.xbench_hits += 1;
+                    } else if cross_fn {
+                        self.stats.cross_fn_hits += 1;
+                    }
+                    continue;
+                }
                 // Fast path: when every candidate is already individually
                 // cached as valid — the common case when the clause
                 // re-enters after surviving a previous iteration — the whole
                 // query is answered from the cache outright.
-                if let Some(keys) = &keys {
-                    let cached: Vec<Option<(Validity, u64)>> = insts
+                if let Some(keys) = &state.keys {
+                    let cached: Vec<Option<CacheEntry>> = state
+                        .inst_ids
                         .iter()
-                        .map(|g| self.cache.lookup(&keys.for_goal(g)))
+                        .map(|g| self.cache_peek(&keys.for_goal_id(*g)))
                         .collect();
                     if cached
                         .iter()
-                        .all(|c| matches!(c, Some((Validity::Valid, _))))
+                        .all(|c| matches!(c, Some(e) if e.verdict == Validity::Valid))
                     {
                         self.stats.smt_queries += 1;
                         self.stats.cache_hits += 1;
-                        if cached
+                        let xbench = cached
                             .iter()
-                            .all(|c| matches!(c, Some((_, gen)) if *gen < self.generation))
-                        {
+                            .all(|c| matches!(c, Some(e) if e.owner != self.solver_id));
+                        let cross_fn = !xbench
+                            && cached
+                                .iter()
+                                .all(|c| matches!(c, Some(e) if e.epoch < self.epoch));
+                        if xbench {
+                            self.stats.xbench_hits += 1;
+                        } else if cross_fn {
                             self.stats.cross_fn_hits += 1;
                         }
+                        state.converged_hit = Some((xbench, cross_fn));
                         continue;
                     }
                 }
-                let mut session = None;
-                let mut alive = vec![true; insts.len()];
+                let mut alive = vec![true; state.inst_ids.len()];
                 // Houdini-style weakening: check the conjunction of the
                 // surviving candidates; if it fails, evaluate every survivor
                 // under the counter-model and drop all that are falsified —
@@ -309,79 +525,79 @@ impl FixpointSolver {
                 // conjunction.  Only when the model stops deciding anything
                 // (or there is no trustworthy model) do the survivors pay
                 // one query each.
+                let tt = ExprId::intern(&Expr::tt());
                 loop {
-                    let whole = Expr::and_all(
-                        insts
-                            .iter()
-                            .zip(&alive)
-                            .filter(|(_, alive)| **alive)
-                            .map(|(inst, _)| inst.clone()),
-                    );
-                    if whole.is_trivially_true() {
+                    let alive_ids: Vec<ExprId> = state
+                        .inst_ids
+                        .iter()
+                        .zip(&alive)
+                        .filter(|(_, alive)| **alive)
+                        .map(|(id, _)| *id)
+                        .collect();
+                    let whole_id = ExprId::and_all(alive_ids.iter().copied());
+                    if whole_id == tt {
                         break;
                     }
-                    match self.check(&mut session, &clause_ctx, &keys, &hypotheses, &whole) {
+                    match self.check(
+                        &mut state.session,
+                        &state.clause_ctx,
+                        &state.keys,
+                        &state.hyp_ids,
+                        &Goals::Conjunction(&alive_ids, whole_id),
+                    ) {
                         Validity::Valid => {
                             // `hyps ⟹ c1 ∧ … ∧ cn` entails every
                             // `hyps ⟹ ci`, so seed the per-candidate entries
                             // the next iteration (or the fast path above)
                             // will ask for.
-                            if let Some(keys) = &keys {
-                                for (goal, _) in
-                                    insts.iter().zip(&alive).filter(|(_, alive)| **alive)
+                            if let Some(keys) = &state.keys {
+                                for (goal, _) in state
+                                    .inst_ids
+                                    .iter()
+                                    .zip(&alive)
+                                    .filter(|(_, alive)| **alive)
                                 {
-                                    self.cache.insert(
-                                        keys.for_goal(goal),
-                                        Validity::Valid,
-                                        self.generation,
-                                    );
+                                    self.cache_store(keys.for_goal_id(*goal), Validity::Valid);
                                 }
                             }
                             break;
                         }
                         Validity::Invalid(Some(model))
-                            if self.config.model_pruning && model.satisfies_all(&hypotheses) =>
+                            if self.config.model_pruning && {
+                                state.materialize_trees();
+                                model.satisfies_all(state.hypotheses.as_ref().unwrap())
+                            } =>
                         {
-                            if self.prune_by_model(&model, &insts, &mut alive) {
+                            if self.prune_by_model(
+                                &model,
+                                state.insts.as_ref().unwrap(),
+                                &mut alive,
+                            ) {
                                 continue;
                             }
-                            self.weaken_per_candidate(
-                                &mut session,
-                                &clause_ctx,
-                                &keys,
-                                &hypotheses,
-                                &insts,
-                                &mut alive,
-                            );
+                            self.weaken_per_candidate(state, &mut alive);
                             break;
                         }
                         _ => {
-                            self.weaken_per_candidate(
-                                &mut session,
-                                &clause_ctx,
-                                &keys,
-                                &hypotheses,
-                                &insts,
-                                &mut alive,
-                            );
+                            self.weaken_per_candidate(state, &mut alive);
                             break;
                         }
                     }
                 }
-                self.close(session);
                 if alive.contains(&false) {
                     changed = true;
-                    let mut mask = alive.iter();
-                    solution
-                        .assignment
-                        .get_mut(&app.kvid)
-                        .expect("candidates existed above")
-                        .retain(|_| *mask.next().expect("mask is as long as the candidates"));
+                    *versions.entry(app.kvid).or_insert(0) += 1;
+                    solution.retain_mask(app.kvid, &alive);
                 }
             }
             if !changed {
                 break;
             }
+        }
+        // Fold the surviving sessions' statistics back into the engine
+        // totals.
+        for state in states.into_iter().flatten() {
+            self.close(state.session);
         }
 
         // Check concrete heads under the final assignment.  The hypotheses
@@ -393,12 +609,19 @@ impl FixpointSolver {
             let Head::Pred(goal, tag) = &clause.head else {
                 continue;
             };
-            let hypotheses = clause_hypotheses(clause, &solution, kvars);
+            let hyp_ids = clause_hypotheses_ids(clause, &solution, kvars);
             let clause_ctx = clause_ctx(clause, ctx);
-            let keys = self.keys_for(&clause_ctx, &hypotheses);
+            let keys = self.keys_for(&clause_ctx, &hyp_ids);
             let mut session = None;
+            let goal_id = ExprId::intern(goal);
             if !self
-                .check(&mut session, &clause_ctx, &keys, &hypotheses, goal)
+                .check(
+                    &mut session,
+                    &clause_ctx,
+                    &keys,
+                    &hyp_ids,
+                    &Goals::Single(goal_id),
+                )
                 .is_valid()
                 && failed_tags.insert(*tag)
             {
@@ -420,10 +643,38 @@ impl FixpointSolver {
         self.smt.stats
     }
 
-    fn keys_for(&self, clause_ctx: &SortCtx, hypotheses: &[Expr]) -> Option<ClauseKeys> {
+    fn keys_for(&self, clause_ctx: &SortCtx, hyp_ids: &[ExprId]) -> Option<ClauseKeys> {
         self.config
             .incremental
-            .then(|| ClauseKeys::new(clause_ctx, hypotheses))
+            .then(|| ClauseKeys::new(self.fns, clause_ctx, hyp_ids))
+    }
+
+    /// Looks `key` up in whichever cache this solver uses (no stats).
+    fn cache_peek(&self, key: &QueryKey) -> Option<CacheEntry> {
+        if self.config.global_cache {
+            global_cache().lookup(key)
+        } else {
+            self.local_cache.lookup(key)
+        }
+    }
+
+    /// Stores a verdict in whichever cache this solver uses, stamped with
+    /// the current epoch and this solver's identity.
+    ///
+    /// `Unknown` is the one *budget-relative* verdict — a solver with
+    /// larger limits might decide the same query — so it is never shared
+    /// through the process-global cache, where solvers with different
+    /// configurations meet; the per-solver cache has a fixed configuration
+    /// and keeps the historical behaviour.
+    fn cache_store(&mut self, key: QueryKey, verdict: Validity) {
+        if self.config.global_cache {
+            if !matches!(verdict, Validity::Unknown) {
+                global_cache().insert(key, verdict, self.epoch, self.solver_id);
+            }
+        } else {
+            self.local_cache
+                .insert(key, verdict, self.epoch, self.solver_id);
+        }
     }
 
     /// Discharges one validity query through the engine: consult the cache,
@@ -435,31 +686,38 @@ impl FixpointSolver {
         session: &mut Option<Session>,
         clause_ctx: &SortCtx,
         keys: &Option<ClauseKeys>,
-        hypotheses: &[Expr],
-        goal: &Expr,
+        hyp_ids: &[ExprId],
+        goals: &Goals<'_>,
     ) -> Validity {
         self.stats.smt_queries += 1;
         let Some(keys) = keys else {
-            return self.smt.check_valid_imp(clause_ctx, hypotheses, goal);
+            // The legacy (non-incremental) pipeline works on trees.
+            let hypotheses: Vec<Expr> = hyp_ids.iter().map(|id| id.expr()).collect();
+            return self
+                .smt
+                .check_valid_imp(clause_ctx, &hypotheses, &goals.tree());
         };
-        let key = keys.for_goal(goal);
-        if let Some((verdict, inserted_gen)) = self.cache.lookup(&key) {
+        let key = keys.for_goal_id(goals.key_id());
+        if let Some(entry) = self.cache_peek(&key) {
             self.stats.cache_hits += 1;
-            if inserted_gen < self.generation {
+            if entry.owner != self.solver_id {
+                self.stats.xbench_hits += 1;
+            } else if entry.epoch < self.epoch {
                 self.stats.cross_fn_hits += 1;
             }
-            return verdict;
+            return entry.verdict;
         }
         self.stats.cache_misses += 1;
         if session.is_none() {
             self.stats.sessions += 1;
-            *session = Some(Session::assume(self.config.smt, clause_ctx, hypotheses));
+            *session = Some(Session::assume_ids(self.config.smt, clause_ctx, hyp_ids));
         }
-        let verdict = session
-            .as_mut()
-            .expect("session was just opened")
-            .check(goal);
-        self.cache.insert(key, verdict.clone(), self.generation);
+        let session = session.as_mut().expect("session was just opened");
+        let verdict = match goals {
+            Goals::Single(id) => session.check_id(*id),
+            Goals::Conjunction(ids, _) => session.check_all(ids),
+        };
+        self.cache_store(key, verdict.clone());
         verdict
     }
 
@@ -484,27 +742,27 @@ impl FixpointSolver {
     /// candidate.  Counter-models produced along the way still prune
     /// *later* candidates for free (a failing candidate's counter-model
     /// frequently falsifies its neighbours too).
-    #[allow(clippy::too_many_arguments)]
-    fn weaken_per_candidate(
-        &mut self,
-        session: &mut Option<Session>,
-        clause_ctx: &SortCtx,
-        keys: &Option<ClauseKeys>,
-        hypotheses: &[Expr],
-        insts: &[Expr],
-        alive: &mut [bool],
-    ) {
-        for i in 0..insts.len() {
+    fn weaken_per_candidate(&mut self, state: &mut ClauseState, alive: &mut [bool]) {
+        for i in 0..state.inst_ids.len() {
             if !alive[i] {
                 continue;
             }
-            let verdict = self.check(session, clause_ctx, keys, hypotheses, &insts[i]);
+            let verdict = self.check(
+                &mut state.session,
+                &state.clause_ctx,
+                &state.keys,
+                &state.hyp_ids,
+                &Goals::Single(state.inst_ids[i]),
+            );
             if verdict.is_valid() {
                 continue;
             }
             alive[i] = false;
             if self.config.model_pruning {
                 if let Validity::Invalid(Some(model)) = &verdict {
+                    state.materialize_trees();
+                    let hypotheses = state.hypotheses.as_ref().unwrap();
+                    let insts = state.insts.as_ref().unwrap();
                     if model.satisfies_all(hypotheses) {
                         self.prune_by_model(model, &insts[i + 1..], &mut alive[i + 1..]);
                     }
@@ -521,13 +779,13 @@ impl FixpointSolver {
     }
 }
 
-fn clause_hypotheses(clause: &Clause, solution: &Solution, kvars: &KVarStore) -> Vec<Expr> {
+fn clause_hypotheses_ids(clause: &Clause, solution: &Solution, kvars: &KVarStore) -> Vec<ExprId> {
     clause
         .guards
         .iter()
         .map(|guard| match guard {
-            Guard::Pred(p) => p.clone(),
-            Guard::KVar(app) => solution.apply(app, kvars),
+            Guard::Pred(p) => ExprId::intern(p),
+            Guard::KVar(app) => solution.apply_id(app, kvars),
         })
         .collect()
 }
@@ -685,9 +943,12 @@ mod tests {
         // Model pruning is disabled on both sides: counter-models (and
         // hence which per-candidate queries are skipped) may differ between
         // the session and one-shot pipelines, and this test pins the
-        // *query-for-query* equivalence of the two engines.
+        // *query-for-query* equivalence of the two engines.  The global
+        // cache is disabled because the test asserts miss/session counts,
+        // which other tests solving the same system would perturb.
         let mut incremental = FixpointSolver::new(FixConfig {
             model_pruning: false,
+            global_cache: false,
             ..FixConfig::default()
         });
         let inc_result = incremental.solve(&c, &kvars, &SortCtx::new());
@@ -695,6 +956,7 @@ mod tests {
         let mut one_shot = FixpointSolver::new(FixConfig {
             incremental: false,
             model_pruning: false,
+            global_cache: false,
             ..FixConfig::default()
         });
         let os_result = one_shot.solve(&c, &kvars, &SortCtx::new());
@@ -724,11 +986,18 @@ mod tests {
     fn model_pruning_preserves_the_fixpoint_with_fewer_queries() {
         let (c, kvars) = loop_counter_system();
 
-        let mut pruning = FixpointSolver::with_defaults();
+        // Hermetic caches: the test counts prunes and queries, which a
+        // warm global cache (from other tests on the same system) would
+        // silently answer instead.
+        let mut pruning = FixpointSolver::new(FixConfig {
+            global_cache: false,
+            ..FixConfig::default()
+        });
         let pruned_result = pruning.solve(&c, &kvars, &SortCtx::new());
 
         let mut exhaustive = FixpointSolver::new(FixConfig {
             model_pruning: false,
+            global_cache: false,
             ..FixConfig::default()
         });
         let exhaustive_result = exhaustive.solve(&c, &kvars, &SortCtx::new());
@@ -749,8 +1018,9 @@ mod tests {
     }
 
     /// Cached verdicts must equal recomputed verdicts: solving the same
-    /// system twice with the same solver (the second run starts from a
-    /// cleared cache) and with a fresh solver must agree everywhere.
+    /// system twice with the same solver and with a fresh solver must agree
+    /// everywhere (the fresh solver replays the first solver's verdicts
+    /// through the global cache).
     #[test]
     fn cached_verdicts_equal_recomputed_verdicts() {
         let (c, kvars) = loop_counter_system();
@@ -761,6 +1031,57 @@ mod tests {
 
         let mut fresh = FixpointSolver::with_defaults();
         assert_eq!(fresh.solve(&c, &kvars, &SortCtx::new()), first);
+    }
+
+    /// The process-global cache must replay verdicts across solver
+    /// *instances* — the cross-benchmark sharing — and attribute those hits
+    /// to `xbench_hits`.  The system uses names no other test touches so
+    /// the first solver's misses are genuinely cold.
+    #[test]
+    fn global_cache_shares_verdicts_across_solver_instances() {
+        let mut kvars = KVarStore::new();
+        let k = kvars.fresh(vec![Sort::Int]);
+        let x = Name::intern("xbench_x");
+        let c = Constraint::forall(
+            x,
+            Sort::Int,
+            Expr::ge(Expr::Var(x), Expr::int(3)),
+            Constraint::conj(vec![
+                Constraint::kvar(KVarApp::new(k, vec![Expr::Var(x)])),
+                Constraint::implies(
+                    Guard::KVar(KVarApp::new(k, vec![Expr::Var(x)])),
+                    Constraint::pred(Expr::gt(Expr::Var(x), Expr::int(0)), 0),
+                ),
+            ]),
+        );
+
+        let mut first = FixpointSolver::with_defaults();
+        let first_result = first.solve(&c, &kvars, &SortCtx::new());
+        assert!(first_result.is_safe());
+
+        let mut second = FixpointSolver::with_defaults();
+        let second_result = second.solve(&c, &kvars, &SortCtx::new());
+        assert_eq!(first_result, second_result);
+        assert!(
+            second.stats.xbench_hits > 0,
+            "a fresh solver re-proving the same system must replay verdicts \
+             from the global cache, stats: {:?}",
+            second.stats
+        );
+        assert_eq!(
+            second.stats.cache_misses, 0,
+            "every query of the replayed solve should be cached"
+        );
+
+        // A hermetic solver must not see any of it.
+        let mut isolated = FixpointSolver::new(FixConfig {
+            global_cache: false,
+            ..FixConfig::default()
+        });
+        let isolated_result = isolated.solve(&c, &kvars, &SortCtx::new());
+        assert_eq!(isolated_result, second_result);
+        assert_eq!(isolated.stats.xbench_hits, 0);
+        assert!(isolated.stats.cache_misses > 0);
     }
 
     /// An unsatisfiable system must blame the right constraint.

@@ -63,6 +63,9 @@ pub struct QueryStats {
     /// Cache hits served by an entry another function's solve created (the
     /// cache is shared across all functions of one verification run).
     pub cross_fn_hits: usize,
+    /// Cache hits served by an entry a *different* solver instance created
+    /// (cross-benchmark sharing through the process-global verdict cache).
+    pub xbench_hits: usize,
     /// Queries that reached the SMT engine.
     pub cache_misses: usize,
     /// Candidates dropped by counter-model evaluation instead of a
@@ -77,6 +80,10 @@ pub struct QueryStats {
     pub sat_rounds: usize,
     /// Theory (LIA) checks inside the engine.
     pub theory_checks: usize,
+    /// Simplex pivots across all theory checks.
+    pub pivots: usize,
+    /// Literals assigned by SAT unit propagation.
+    pub propagations: usize,
     /// Quantifier instances generated (baseline verifier only).
     pub quant_instances: usize,
 }
@@ -148,12 +155,15 @@ pub fn verify_source(
                     smt_queries: fix.smt_queries,
                     cache_hits: fix.cache_hits,
                     cross_fn_hits: fix.cross_fn_hits,
+                    xbench_hits: fix.xbench_hits,
                     cache_misses: fix.cache_misses,
                     model_prunes: fix.model_prunes,
                     sessions: fix.sessions,
                     sat_reuse: smt.sat_reuse,
                     sat_rounds: smt.sat_rounds,
                     theory_checks: smt.theory_checks,
+                    pivots: smt.pivots,
+                    propagations: smt.propagations,
                     quant_instances: smt.quant_instances,
                 },
             })
@@ -180,12 +190,15 @@ pub fn verify_source(
                     smt_queries: smt.queries,
                     cache_hits: 0,
                     cross_fn_hits: 0,
+                    xbench_hits: 0,
                     cache_misses: smt.queries,
                     model_prunes: 0,
                     sessions: smt.sessions,
                     sat_reuse: smt.sat_reuse,
                     sat_rounds: smt.sat_rounds,
                     theory_checks: smt.theory_checks,
+                    pivots: smt.pivots,
+                    propagations: smt.propagations,
                     quant_instances: smt.quant_instances,
                 },
             })
@@ -380,20 +393,23 @@ pub fn render_table1(rows: &[TableRow]) -> String {
 pub fn render_query_stats(rows: &[TableRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
+        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
         "benchmark",
         "queries",
         "hits",
         "xfn-hits",
+        "xbench",
         "misses",
         "hit%",
         "prunes",
         "sessions",
         "sat-re",
+        "pivots",
+        "props",
         "bl-qrys",
         "bl-quants"
     ));
-    out.push_str(&"-".repeat(119));
+    out.push_str(&"-".repeat(146));
     out.push('\n');
     let mut total = QueryStats::default();
     let mut total_baseline = QueryStats::default();
@@ -401,45 +417,54 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         let s = row.flux.stats;
         let hit_percent = (s.cache_hits * 100).checked_div(s.smt_queries).unwrap_or(0);
         out.push_str(&format!(
-            "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
+            "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
             row.name,
             s.smt_queries,
             s.cache_hits,
             s.cross_fn_hits,
+            s.xbench_hits,
             s.cache_misses,
             hit_percent,
             s.model_prunes,
             s.sessions,
             s.sat_reuse,
+            s.pivots,
+            s.propagations,
             row.baseline.stats.smt_queries,
             row.baseline.stats.quant_instances,
         ));
         total.smt_queries += s.smt_queries;
         total.cache_hits += s.cache_hits;
         total.cross_fn_hits += s.cross_fn_hits;
+        total.xbench_hits += s.xbench_hits;
         total.cache_misses += s.cache_misses;
         total.model_prunes += s.model_prunes;
         total.sessions += s.sessions;
         total.sat_reuse += s.sat_reuse;
+        total.pivots += s.pivots;
+        total.propagations += s.propagations;
         total_baseline.smt_queries += row.baseline.stats.smt_queries;
         total_baseline.quant_instances += row.baseline.stats.quant_instances;
     }
-    out.push_str(&"-".repeat(119));
+    out.push_str(&"-".repeat(146));
     out.push('\n');
     let hit_percent = (total.cache_hits * 100)
         .checked_div(total.smt_queries)
         .unwrap_or(0);
     out.push_str(&format!(
-        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
+        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
         "Total",
         total.smt_queries,
         total.cache_hits,
         total.cross_fn_hits,
+        total.xbench_hits,
         total.cache_misses,
         hit_percent,
         total.model_prunes,
         total.sessions,
         total.sat_reuse,
+        total.pivots,
+        total.propagations,
         total_baseline.smt_queries,
         total_baseline.quant_instances,
     ));
@@ -462,9 +487,11 @@ pub fn render_table1_json(rows: &[TableRow]) -> String {
             "{{\n{indent}  \"safe\": {},\n{indent}  \"time_s\": {:.6},\n{indent}  \
              \"functions\": {},\n{indent}  \"smt_queries\": {},\n{indent}  \
              \"cache_hits\": {},\n{indent}  \"cross_fn_hits\": {},\n{indent}  \
+             \"xbench_hits\": {},\n{indent}  \
              \"cache_misses\": {},\n{indent}  \"model_prunes\": {},\n{indent}  \
              \"sessions\": {},\n{indent}  \"sat_reuse\": {},\n{indent}  \
              \"sat_rounds\": {},\n{indent}  \"theory_checks\": {},\n{indent}  \
+             \"pivots\": {},\n{indent}  \"propagations\": {},\n{indent}  \
              \"quant_instances\": {}\n{indent}}}",
             out.safe,
             out.time.as_secs_f64(),
@@ -472,12 +499,15 @@ pub fn render_table1_json(rows: &[TableRow]) -> String {
             s.smt_queries,
             s.cache_hits,
             s.cross_fn_hits,
+            s.xbench_hits,
             s.cache_misses,
             s.model_prunes,
             s.sessions,
             s.sat_reuse,
             s.sat_rounds,
             s.theory_checks,
+            s.pivots,
+            s.propagations,
             s.quant_instances,
         )
     }

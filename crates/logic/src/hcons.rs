@@ -48,6 +48,10 @@ struct Table {
     /// Global memo for [`ExprId::simplified`]: simplification is a pure
     /// function of the subterm, so results stay valid forever.
     simplify_memo: HashMap<u32, u32>,
+    /// Global memos for the structural predicates ([`ExprId::has_quantifier`]
+    /// and [`ExprId::has_app`]); pure, so valid forever.
+    quant_memo: HashMap<u32, bool>,
+    app_memo: HashMap<u32, bool>,
 }
 
 fn table() -> &'static Mutex<Table> {
@@ -176,6 +180,78 @@ impl Table {
         self.simplify_memo.insert(out.0, out.0);
         out
     }
+
+    fn bool_const(&mut self, b: bool) -> ExprId {
+        self.intern_node(Node::Const(Constant::Bool(b)))
+    }
+
+    fn is_bool_const(&self, id: ExprId, b: bool) -> bool {
+        matches!(&self.nodes[id.0 as usize], Node::Const(Constant::Bool(v)) if *v == b)
+    }
+
+    /// Mirrors [`Expr::not`]'s constant folding over interned ids.
+    fn negate_id(&mut self, id: ExprId) -> ExprId {
+        match &self.nodes[id.0 as usize] {
+            Node::Const(Constant::Bool(b)) => {
+                let b = !*b;
+                self.bool_const(b)
+            }
+            Node::UnOp(UnOp::Not, inner) => *inner,
+            _ => self.intern_node(Node::UnOp(UnOp::Not, id)),
+        }
+    }
+
+    /// Mirrors [`Expr::and`]'s constant folding over interned ids.
+    fn and_id(&mut self, lhs: ExprId, rhs: ExprId) -> ExprId {
+        if self.is_bool_const(lhs, true) {
+            return rhs;
+        }
+        if self.is_bool_const(rhs, true) {
+            return lhs;
+        }
+        if self.is_bool_const(lhs, false) || self.is_bool_const(rhs, false) {
+            return self.bool_const(false);
+        }
+        self.intern_node(Node::BinOp(BinOp::And, lhs, rhs))
+    }
+
+    fn has_quantifier_rec(&mut self, id: ExprId) -> bool {
+        if let Some(&out) = self.quant_memo.get(&id.0) {
+            return out;
+        }
+        let node = self.nodes[id.0 as usize].clone();
+        let out = match node {
+            Node::Forall(..) | Node::Exists(..) => true,
+            Node::Var(_) | Node::Const(_) => false,
+            Node::UnOp(_, e) => self.has_quantifier_rec(e),
+            Node::BinOp(_, l, r) => self.has_quantifier_rec(l) || self.has_quantifier_rec(r),
+            Node::Ite(c, t, e) => {
+                self.has_quantifier_rec(c)
+                    || self.has_quantifier_rec(t)
+                    || self.has_quantifier_rec(e)
+            }
+            Node::App(_, args) => args.iter().any(|a| self.has_quantifier_rec(*a)),
+        };
+        self.quant_memo.insert(id.0, out);
+        out
+    }
+
+    fn has_app_rec(&mut self, id: ExprId) -> bool {
+        if let Some(&out) = self.app_memo.get(&id.0) {
+            return out;
+        }
+        let node = self.nodes[id.0 as usize].clone();
+        let out = match node {
+            Node::App(..) => true,
+            Node::Var(_) | Node::Const(_) => false,
+            Node::UnOp(_, e) => self.has_app_rec(e),
+            Node::BinOp(_, l, r) => self.has_app_rec(l) || self.has_app_rec(r),
+            Node::Ite(c, t, e) => self.has_app_rec(c) || self.has_app_rec(t) || self.has_app_rec(e),
+            Node::Forall(_, body) | Node::Exists(_, body) => self.has_app_rec(body),
+        };
+        self.app_memo.insert(id.0, out);
+        out
+    }
 }
 
 impl ExprId {
@@ -217,6 +293,69 @@ impl ExprId {
             .lock()
             .expect("hcons table poisoned")
             .simplify_rec(self)
+    }
+
+    /// The id of `¬self`, with the same constant folding as [`Expr::not`]:
+    /// `negated` returns exactly `ExprId::intern(&Expr::not(self.expr()))`
+    /// without rebuilding or re-walking the tree.
+    pub fn negated(self) -> ExprId {
+        table()
+            .lock()
+            .expect("hcons table poisoned")
+            .negate_id(self)
+    }
+
+    /// The id of the conjunction of `ids`, folded exactly like
+    /// [`Expr::and_all`] (left fold from `true` through [`Expr::and`]'s
+    /// constant folding) — so the result equals interning the tree-built
+    /// conjunction, at O(1) per conjunct instead of a deep re-walk.
+    pub fn and_all(ids: impl IntoIterator<Item = ExprId>) -> ExprId {
+        let mut table = table().lock().expect("hcons table poisoned");
+        let mut acc = table.bool_const(true);
+        for id in ids {
+            acc = table.and_id(acc, id);
+        }
+        acc
+    }
+
+    /// True if the expression contains a quantifier anywhere; agrees with
+    /// [`Expr::has_quantifier`], memoized per subterm globally.
+    pub fn has_quantifier(self) -> bool {
+        table()
+            .lock()
+            .expect("hcons table poisoned")
+            .has_quantifier_rec(self)
+    }
+
+    /// True if the expression contains an uninterpreted application
+    /// anywhere; agrees with [`Expr::has_app`], memoized per subterm
+    /// globally.
+    pub fn has_app(self) -> bool {
+        table()
+            .lock()
+            .expect("hcons table poisoned")
+            .has_app_rec(self)
+    }
+
+    /// Splits this expression along its top-level conjunction spine; agrees
+    /// with [`Expr::conjuncts`] (each returned id is the intern of the
+    /// corresponding subtree), without rebuilding any tree.
+    pub fn conjunct_ids(self) -> Vec<ExprId> {
+        let table = table().lock().expect("hcons table poisoned");
+        let mut out = Vec::new();
+        let mut stack = vec![self];
+        while let Some(id) = stack.pop() {
+            match &table.nodes[id.0 as usize] {
+                Node::BinOp(BinOp::And, l, r) => {
+                    // Right is pushed first so the left spine pops first,
+                    // matching the tree traversal order.
+                    stack.push(*r);
+                    stack.push(*l);
+                }
+                _ => out.push(id),
+            }
+        }
+        out
     }
 }
 
@@ -345,6 +484,71 @@ mod tests {
         let e = Expr::lt(v("x"), v("y"));
         let id = ExprId::intern(&e);
         assert_eq!(id.subst(&Subst::new()), id);
+    }
+
+    #[test]
+    fn dag_connectives_agree_with_tree_connectives() {
+        let _guard = serial();
+        let cases = [
+            Expr::tt(),
+            Expr::ff(),
+            v("p"),
+            Expr::not(v("p")),
+            Expr::lt(v("x"), v("y")),
+        ];
+        for e in &cases {
+            let id = ExprId::intern(e);
+            assert_eq!(
+                id.negated(),
+                ExprId::intern(&Expr::not(e.clone())),
+                "negation mismatch on {e:?}"
+            );
+            for f in &cases {
+                let fid = ExprId::intern(f);
+                assert_eq!(
+                    ExprId::and_all([id, fid]),
+                    ExprId::intern(&Expr::and_all([e.clone(), f.clone()])),
+                    "conjunction mismatch on {e:?} ∧ {f:?}"
+                );
+            }
+        }
+        assert_eq!(ExprId::and_all([]), ExprId::intern(&Expr::tt()));
+    }
+
+    #[test]
+    fn conjunct_ids_agree_with_tree_conjuncts() {
+        let _guard = serial();
+        let e = Expr::and(
+            Expr::and(v("p"), Expr::lt(v("x"), v("y"))),
+            Expr::and(v("q"), Expr::or(v("r"), v("s"))),
+        );
+        let ids = ExprId::intern(&e).conjunct_ids();
+        let trees: Vec<ExprId> = e.conjuncts().into_iter().map(ExprId::intern).collect();
+        assert_eq!(ids, trees);
+        // A non-conjunction is its own single conjunct.
+        let atom = Expr::lt(v("x"), v("y"));
+        assert_eq!(
+            ExprId::intern(&atom).conjunct_ids(),
+            vec![ExprId::intern(&atom)]
+        );
+    }
+
+    #[test]
+    fn dag_predicates_agree_with_tree_predicates() {
+        let _guard = serial();
+        let j = Name::intern("j");
+        let cases = [
+            v("x"),
+            Expr::app("f", vec![v("x")]),
+            Expr::forall(vec![(j, Sort::Int)], Expr::ge(Expr::var(j), Expr::int(0))),
+            Expr::and(v("p"), Expr::app("g", vec![])),
+            Expr::lt(v("x") + Expr::int(1), v("y")),
+        ];
+        for e in &cases {
+            let id = ExprId::intern(e);
+            assert_eq!(id.has_quantifier(), e.has_quantifier(), "quant {e:?}");
+            assert_eq!(id.has_app(), e.has_app(), "app {e:?}");
+        }
     }
 
     #[test]

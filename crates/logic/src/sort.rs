@@ -157,6 +157,16 @@ impl SortCtx {
         self.bindings.iter().copied()
     }
 
+    /// Iterates over the declared uninterpreted function signatures, oldest
+    /// first.  Exposed so caches keyed on expressions can fingerprint the
+    /// declaration context that determines how those expressions are
+    /// interpreted.
+    pub fn functions(&self) -> impl Iterator<Item = (Name, &[Sort], Sort)> + '_ {
+        self.functions
+            .iter()
+            .map(|(name, args, ret)| (*name, args.as_slice(), *ret))
+    }
+
     /// Number of variable bindings.
     pub fn len(&self) -> usize {
         self.bindings.len()

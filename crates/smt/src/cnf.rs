@@ -62,10 +62,21 @@ impl std::error::Error for CnfError {}
 /// The returned CNF is satisfiable iff `formula` is (over the combined
 /// boolean + linear-integer theory).
 pub fn tseitin(formula: &Expr, atoms: &mut AtomTable) -> Result<Cnf, CnfError> {
-    let mut cnf = Cnf::default();
-    let root = encode(formula, atoms, &mut cnf)?;
+    let (root, mut cnf) = tseitin_literal(formula, atoms)?;
     cnf.add(vec![root]);
     Ok(cnf)
+}
+
+/// Converts `formula` to a *defining* CNF plus a root literal: under the
+/// returned clauses, the root literal is equivalent to `formula`, but the
+/// formula itself is not asserted.  This lets callers combine several
+/// independently cached encodings into one query — e.g. asserting the
+/// disjunction `root₁ ∨ … ∨ rootₙ` on top of the unions of their defining
+/// clauses encodes `f₁ ∨ … ∨ fₙ` without re-encoding any `fᵢ`.
+pub fn tseitin_literal(formula: &Expr, atoms: &mut AtomTable) -> Result<(Lit, Cnf), CnfError> {
+    let mut cnf = Cnf::default();
+    let root = encode(formula, atoms, &mut cnf)?;
+    Ok((root, cnf))
 }
 
 /// Encodes `expr` returning a literal equivalent to it (adding definition

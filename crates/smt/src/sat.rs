@@ -2,10 +2,16 @@
 //!
 //! This is the propositional core of the DPLL(T) loop.  It implements
 //! conflict-driven clause learning with 1-UIP conflict analysis,
-//! non-chronological backjumping, activity-based decisions and phase saving.
-//! Propagation scans occurrence lists rather than using two-watched
-//! literals; the formulas produced by the verifier are small (hundreds of
-//! variables), so simplicity and auditability win over raw speed here.
+//! non-chronological backjumping, activity-based decisions, phase saving
+//! and **two-watched-literal propagation**: every clause of two or more
+//! literals watches two of them, and only the clauses watching a literal
+//! that just became false are visited, with lazy watch repair (a false
+//! watch migrates to any other non-false literal of the clause).  The
+//! watcher lists survive across [`SatSolver::solve_under_assumptions`]
+//! calls and are rebuilt wholesale by [`SatSolver::compact`].  The
+//! historical occurrence-scan propagator is kept behind
+//! [`SatConfig::scan_propagation`] so equivalence tests can pin the two
+//! implementations against each other query for query.
 //!
 //! The solver is *incremental*: variables can be added after construction
 //! ([`SatSolver::new_var`]), and [`SatSolver::solve_under_assumptions`]
@@ -17,6 +23,14 @@
 //! no matter which assumptions produced it.  [`crate::Session`] builds on
 //! this to keep one persistent SAT core per hypothesis context, pushing
 //! each goal's negation through a fresh activation literal.
+//!
+//! Clauses added between searches are *not* attached to the watcher lists
+//! immediately: they are queued and integrated at the start of the next
+//! search (or compaction), on the level-0 trail, where a new clause that is
+//! already unit or falsified can be handled soundly.  Attaching eagerly
+//! mid-search would break the watch invariant — both watches of a new
+//! clause could be false at levels the propagation queue has already
+//! drained, so the clause would never be revisited.
 
 use std::fmt;
 
@@ -54,6 +68,11 @@ impl fmt::Debug for SatLit {
     }
 }
 
+/// Index of a literal into the watcher table.
+fn watch_idx(lit: SatLit) -> usize {
+    lit.var * 2 + lit.positive as usize
+}
+
 /// Result of a SAT check.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SatResult {
@@ -70,20 +89,30 @@ pub enum SatResult {
 pub struct SatConfig {
     /// Maximum number of conflicts before giving up.
     pub max_conflicts: usize,
+    /// Propagate by scanning the full clause database instead of the
+    /// two-watched-literal scheme.  Kept for A/B equivalence testing; the
+    /// verdicts are identical, only the work per propagation differs.
+    pub scan_propagation: bool,
 }
 
 impl Default for SatConfig {
     fn default() -> Self {
         SatConfig {
             max_conflicts: 200_000,
+            scan_propagation: false,
         }
     }
 }
 
-/// A CDCL SAT solver over a fixed set of variables.
+/// A CDCL SAT solver over a growable set of variables.
 pub struct SatSolver {
     num_vars: usize,
     clauses: Vec<Vec<SatLit>>,
+    /// Watcher lists: for each literal, the clauses watching it (watched
+    /// literals are kept at positions 0 and 1 of each clause).
+    watches: Vec<Vec<usize>>,
+    /// Clauses added since the last search, not yet attached to `watches`.
+    pending: Vec<usize>,
     /// Current assignment (None = unassigned).
     assignment: Vec<Option<bool>>,
     /// Decision level at which each variable was assigned.
@@ -103,6 +132,8 @@ pub struct SatSolver {
     activity_inc: f64,
     /// Set to true if an empty clause was added.
     trivially_unsat: bool,
+    /// Cumulative count of literals enqueued by unit propagation.
+    propagations: usize,
     config: SatConfig,
 }
 
@@ -112,6 +143,8 @@ impl SatSolver {
         SatSolver {
             num_vars,
             clauses: Vec::new(),
+            watches: vec![Vec::new(); num_vars * 2],
+            pending: Vec::new(),
             assignment: vec![None; num_vars],
             level: vec![0; num_vars],
             reason: vec![None; num_vars],
@@ -122,6 +155,7 @@ impl SatSolver {
             saved_phase: vec![false; num_vars],
             activity_inc: 1.0,
             trivially_unsat: false,
+            propagations: 0,
             config,
         }
     }
@@ -129,6 +163,12 @@ impl SatSolver {
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
         self.num_vars
+    }
+
+    /// Cumulative number of literals assigned by unit propagation since
+    /// creation.  Monotone; callers attribute work by differencing.
+    pub fn propagations(&self) -> usize {
+        self.propagations
     }
 
     /// Allocates a fresh variable and returns its index.
@@ -148,12 +188,15 @@ impl SatSolver {
         self.reason.resize(n, None);
         self.activity.resize(n, 0.0);
         self.saved_phase.resize(n, false);
+        self.watches.resize(n * 2, Vec::new());
         self.num_vars = n;
     }
 
     /// Adds a clause.  Duplicate literals are removed; tautological clauses
     /// are ignored.  Variables beyond the current range are allocated on
-    /// demand, so incremental callers need not pre-size the solver.
+    /// demand, so incremental callers need not pre-size the solver.  The
+    /// clause is integrated into the watcher lists at the start of the next
+    /// search (see the module docs for why attachment is deferred).
     pub fn add_clause(&mut self, mut lits: Vec<SatLit>) {
         if let Some(max_var) = lits.iter().map(|l| l.var).max() {
             self.ensure_vars(max_var + 1);
@@ -171,6 +214,7 @@ impl SatSolver {
             return;
         }
         self.clauses.push(lits);
+        self.pending.push(self.clauses.len() - 1);
     }
 
     fn value(&self, lit: SatLit) -> Option<bool> {
@@ -187,10 +231,130 @@ impl SatSolver {
         self.level[lit.var] = self.current_level();
         self.reason[lit.var] = reason;
         self.trail.push(lit);
+        if reason.is_some() {
+            self.propagations += 1;
+        }
+    }
+
+    /// Integrates clause `ci` into the watcher lists.  Must run on a
+    /// level-0 trail: a clause that is unit under the level-0 assignment is
+    /// enqueued here, and one that is falsified makes the database
+    /// trivially unsatisfiable.
+    fn attach_clause(&mut self, ci: usize) {
+        debug_assert_eq!(self.current_level(), 0);
+        if self.clauses[ci].len() == 1 {
+            // Units carry no watches: their literal is fixed at level 0,
+            // which never backtracks, so the clause can never become
+            // unsatisfied later without the whole database being unsat.
+            let l = self.clauses[ci][0];
+            match self.value(l) {
+                Some(true) => {}
+                Some(false) => self.trivially_unsat = true,
+                None => self.enqueue(l, Some(ci)),
+            }
+            return;
+        }
+        // Move two non-false literals to the watch positions.
+        let len = self.clauses[ci].len();
+        let mut found = 0usize;
+        for k in 0..len {
+            if self.value(self.clauses[ci][k]) != Some(false) {
+                self.clauses[ci].swap(found, k);
+                found += 1;
+                if found == 2 {
+                    break;
+                }
+            }
+        }
+        match found {
+            0 => {
+                // Every literal is false at level 0.
+                self.trivially_unsat = true;
+                return;
+            }
+            1 => {
+                // Unit under the level-0 assignment: enqueue the survivor.
+                // The second watch is a level-0-false literal, which is
+                // harmless — the clause is satisfied at level 0 from here
+                // on and never needs revisiting.
+                let l = self.clauses[ci][0];
+                if self.value(l).is_none() {
+                    self.enqueue(l, Some(ci));
+                }
+            }
+            _ => {}
+        }
+        let l0 = self.clauses[ci][0];
+        let l1 = self.clauses[ci][1];
+        self.watches[watch_idx(l0)].push(ci);
+        self.watches[watch_idx(l1)].push(ci);
+    }
+
+    /// Attaches every clause added since the last search.
+    fn flush_pending(&mut self) {
+        let pending = std::mem::take(&mut self.pending);
+        for ci in pending {
+            self.attach_clause(ci);
+        }
     }
 
     /// Unit propagation.  Returns the index of a conflicting clause, if any.
     fn propagate(&mut self) -> Option<usize> {
+        if self.config.scan_propagation {
+            return self.propagate_scan();
+        }
+        while self.propagated < self.trail.len() {
+            let lit = self.trail[self.propagated];
+            self.propagated += 1;
+            let false_lit = lit.negated();
+            let widx = watch_idx(false_lit);
+            // The list is taken wholesale; watch migrations push onto
+            // *other* lists (the new watch is non-false, the old one is
+            // false), so re-entrant modification of this list is
+            // impossible.
+            let mut ws = std::mem::take(&mut self.watches[widx]);
+            let mut conflict = None;
+            let mut i = 0;
+            'watchers: while i < ws.len() {
+                let ci = ws[i];
+                // Normalise: the false literal sits at position 1.
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                let first = self.clauses[ci][0];
+                if self.value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Try to migrate the watch to a non-false literal.
+                for k in 2..self.clauses[ci].len() {
+                    let cand = self.clauses[ci][k];
+                    if self.value(cand) != Some(false) {
+                        self.clauses[ci].swap(1, k);
+                        self.watches[watch_idx(cand)].push(ci);
+                        ws.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // No replacement: `first` is unit or the clause conflicts.
+                if self.value(first) == Some(false) {
+                    conflict = Some(ci);
+                    break;
+                }
+                self.enqueue(first, Some(ci));
+                i += 1;
+            }
+            self.watches[widx] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// The historical propagator: scans every clause on every pass.  Kept
+    /// for A/B equivalence testing against the watched scheme.
+    fn propagate_scan(&mut self) -> Option<usize> {
         loop {
             let mut changed = false;
             'clauses: for ci in 0..self.clauses.len() {
@@ -236,8 +400,9 @@ impl SatSolver {
         self.activity_inc /= 0.95;
     }
 
-    /// 1-UIP conflict analysis.  Returns the learned clause and the level to
-    /// backjump to.
+    /// 1-UIP conflict analysis.  Returns the learned clause — asserting
+    /// literal first, a deepest remaining literal second (the watch-ready
+    /// order) — and the level to backjump to.
     fn analyze(&mut self, conflict: usize) -> (Vec<SatLit>, usize) {
         let current_level = self.current_level();
         let mut learned: Vec<SatLit> = Vec::new();
@@ -286,12 +451,22 @@ impl SatSolver {
         // Backjump level: second-highest level in the learned clause.
         let mut backjump = 0;
         for lit in &learned {
-            if lit.var != learned.last().unwrap().var || learned.len() == 1 {
-                // handled below
-            }
             let lvl = self.level[lit.var];
             if lvl != current_level && lvl > backjump {
                 backjump = lvl;
+            }
+        }
+        // Watch-ready order: the asserting (UIP) literal at position 0 and
+        // a literal of the backjump level at position 1, so after the
+        // backjump both watches are the last literals to become false.
+        let uip = learned.len() - 1;
+        learned.swap(0, uip);
+        if learned.len() > 1 {
+            for k in 1..learned.len() {
+                if self.level[learned[k].var] == backjump {
+                    learned.swap(1, k);
+                    break;
+                }
             }
         }
         (learned, backjump)
@@ -345,18 +520,28 @@ impl SatSolver {
     /// Incremental sessions retire a goal by asserting the negation of its
     /// activation literal, which permanently satisfies the goal's guarded
     /// clauses (and every clause learned from them, which carries the
-    /// negated guard too) — but the naive propagation loop would still scan
-    /// them on every pass of every later check.  Compacting removes them;
-    /// it is sound because a clause satisfied at level 0 is satisfied in
-    /// every extension of the level-0 trail, so it can never constrain the
-    /// search again.
+    /// negated guard too).  Compacting removes them; it is sound because a
+    /// clause satisfied at level 0 is satisfied in every extension of the
+    /// level-0 trail, so it can never constrain the search again.
     ///
-    /// Removal invalidates the `reason` clause indices of level-0 trail
-    /// entries, so those are cleared; conflict analysis never dereferences
-    /// reasons of level-0 literals (it skips them outright), making the
-    /// cleared state equivalent.
+    /// Ordering matters for the watched scheme: pending clauses are
+    /// attached and level-0 propagation is run to a fixpoint *before*
+    /// retention, so no clause can hold a pending propagation when it is
+    /// dropped or shrunk.  Surviving clauses then have at least two
+    /// unassigned literals each (a survivor with exactly one would have
+    /// been propagated, satisfying it), their level-0-false literals are
+    /// removed outright (level 0 never backtracks, so such literals are
+    /// dead weight in every future search), and the watcher lists are
+    /// rebuilt from scratch — removal reindexes the clause database, which
+    /// also invalidates the `reason` indices of level-0 trail entries;
+    /// those are cleared, which is equivalent because conflict analysis
+    /// skips level-0 literals outright.
     pub fn compact(&mut self) {
         self.backtrack_to(0);
+        self.flush_pending();
+        if self.trivially_unsat {
+            return;
+        }
         if self.propagate().is_some() {
             // A level-0 conflict: the database is unsatisfiable outright.
             self.trivially_unsat = true;
@@ -365,6 +550,15 @@ impl SatSolver {
         let assignment = &self.assignment;
         self.clauses
             .retain(|c| !c.iter().any(|l| assignment[l.var] == Some(l.positive)));
+        for c in &mut self.clauses {
+            c.retain(|l| assignment[l.var].map(|v| v == l.positive) != Some(false));
+        }
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for ci in 0..self.clauses.len() {
+            self.attach_clause(ci);
+        }
         for i in 0..self.trail.len() {
             self.reason[self.trail[i].var] = None;
         }
@@ -384,6 +578,10 @@ impl SatSolver {
             return SatResult::Unsat;
         }
         self.backtrack_to(0);
+        self.flush_pending();
+        if self.trivially_unsat {
+            return SatResult::Unsat;
+        }
         // Variables this query can constrain: everything a current clause
         // or assumption mentions.  Clauses learned during the search only
         // resolve existing clauses, so they never activate a new variable.
@@ -409,9 +607,15 @@ impl SatSolver {
                 }
                 let (learned, backjump) = self.analyze(conflict);
                 self.backtrack_to(backjump);
-                let assert_lit = *learned.last().expect("learned clause is never empty");
+                let assert_lit = learned[0];
                 self.clauses.push(learned);
                 let ci = self.clauses.len() - 1;
+                if self.clauses[ci].len() >= 2 {
+                    let l0 = self.clauses[ci][0];
+                    let l1 = self.clauses[ci][1];
+                    self.watches[watch_idx(l0)].push(ci);
+                    self.watches[watch_idx(l1)].push(ci);
+                }
                 if self.value(assert_lit).is_none() {
                     self.enqueue(assert_lit, Some(ci));
                 } else if self.value(assert_lit) == Some(false) {
@@ -652,6 +856,51 @@ mod tests {
         }
     }
 
+    /// A clause added *between* searches whose literals are already partly
+    /// decided at level 0 must still propagate: deferred attachment
+    /// integrates it on the level-0 trail at the start of the next search.
+    #[test]
+    fn clauses_added_between_searches_propagate() {
+        let mut solver = SatSolver::new(0, SatConfig::default());
+        let x = solver.new_var();
+        let y = solver.new_var();
+        solver.add_clause(vec![lit(x, true)]); // level-0 fact x
+        assert!(matches!(solver.solve(), SatResult::Sat(_)));
+        // New clause ¬x ∨ y is unit under the level-0 assignment.
+        solver.add_clause(vec![lit(x, false), lit(y, true)]);
+        match solver.solve() {
+            SatResult::Sat(m) => assert!(m[x] && m[y]),
+            other => panic!("expected sat, got {other:?}"),
+        }
+        // And one falsified at level 0 makes the database unsat.
+        solver.add_clause(vec![lit(x, false), lit(y, false)]);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    /// Compaction must not skip a propagation pending in a clause added
+    /// just before the compact (the retired-goal pattern: assert ¬guard,
+    /// then compact).
+    #[test]
+    fn compact_integrates_pending_clauses_before_retention() {
+        let mut solver = SatSolver::new(0, SatConfig::default());
+        let g = solver.new_var();
+        let a = solver.new_var();
+        solver.add_clause(vec![lit(g, false), lit(a, true)]);
+        assert!(matches!(
+            solver.solve_under_assumptions(&[lit(g, true)]),
+            SatResult::Sat(_)
+        ));
+        // Retire g without an intervening search: compact must attach the
+        // pending unit, propagate ¬g, and drop the satisfied clause.
+        solver.add_clause(vec![lit(g, false)]);
+        solver.compact();
+        assert_eq!(solver.num_clauses(), 0);
+        assert_eq!(
+            solver.solve_under_assumptions(&[lit(g, true)]),
+            SatResult::Unsat
+        );
+    }
+
     /// Brute-force satisfiability for cross-checking on small instances.
     fn brute_force_sat(num_vars: usize, clauses: &[Vec<SatLit>]) -> bool {
         for bits in 0..(1u32 << num_vars) {
@@ -685,6 +934,60 @@ mod tests {
                 SatResult::Unsat => assert!(!expected, "case {case}"),
                 SatResult::Unknown => {}
             }
+        }
+    }
+
+    /// The watched and scan propagators must agree verdict-for-verdict on
+    /// random incremental workloads: interleaved clause additions,
+    /// assumption solves and compactions over one long-lived solver each.
+    #[test]
+    fn watched_and_scan_propagation_agree_incrementally() {
+        let mut rng = Rng::new(0x3A7C_4EED);
+        for case in 0..48 {
+            let mut watched = SatSolver::new(6, SatConfig::default());
+            let mut scan = SatSolver::new(
+                6,
+                SatConfig {
+                    scan_propagation: true,
+                    ..SatConfig::default()
+                },
+            );
+            for step in 0..12 {
+                match rng.below(5) {
+                    0..=2 => {
+                        let num_lits = rng.int_in(1, 3) as usize;
+                        let clause: Vec<SatLit> = (0..num_lits)
+                            .map(|_| lit(rng.below(6) as usize, rng.flip()))
+                            .collect();
+                        watched.add_clause(clause.clone());
+                        scan.add_clause(clause);
+                    }
+                    3 => {
+                        let num_assumptions = rng.below(3) as usize;
+                        let assumptions: Vec<SatLit> = (0..num_assumptions)
+                            .map(|_| lit(rng.below(6) as usize, rng.flip()))
+                            .collect();
+                        let w = watched.solve_under_assumptions(&assumptions);
+                        let s = scan.solve_under_assumptions(&assumptions);
+                        assert_eq!(
+                            matches!(w, SatResult::Sat(_)),
+                            matches!(s, SatResult::Sat(_)),
+                            "case {case} step {step}: watched {w:?} vs scan {s:?}"
+                        );
+                    }
+                    _ => {
+                        watched.compact();
+                        scan.compact();
+                    }
+                }
+            }
+            let w = watched.solve();
+            let s = scan.solve();
+            assert_eq!(
+                matches!(w, SatResult::Sat(_)),
+                matches!(s, SatResult::Sat(_)),
+                "case {case} final: watched {w:?} vs scan {s:?}"
+            );
         }
     }
 }

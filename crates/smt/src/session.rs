@@ -40,14 +40,13 @@
 //! verdicts as one-shot solving.
 
 use crate::atoms::{Atom, AtomId, AtomTable, Lit};
-use crate::cnf::tseitin;
-use crate::linear::LinConstraint;
+use crate::cnf::tseitin_literal;
 use crate::preprocess::{eliminate_div_mod, eliminate_ite, normalize_comparisons};
 use crate::sat::{SatLit, SatResult, SatSolver};
-use crate::simplex::{check_lia, LiaResult};
+use crate::simplex::{IncrementalSimplex, LiaResult, Prepared, SlotId};
 use crate::solver::{check_sat_impl, Model, SatOutcome, SmtConfig, SmtStats, Validity};
 use flux_logic::{simplify, Expr, ExprId, Name, Sort, SortCtx};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// How goals of this session are discharged.
@@ -88,6 +87,9 @@ enum PreOut {
 /// sorts in different clauses.
 type PreprocKey = (ExprId, Box<[Option<Sort>]>);
 
+/// A defining CNF plus its (unasserted) root literal.
+type LitCnf = (Lit, Arc<Vec<Vec<Lit>>>);
+
 #[derive(Default)]
 struct CnfCache {
     atoms: AtomTable,
@@ -97,6 +99,12 @@ struct CnfCache {
     preproc: HashMap<PreprocKey, PreOut>,
     /// Tseitin CNF (root literal asserted) per preprocessed formula.
     cnf: HashMap<ExprId, Arc<Vec<Vec<Lit>>>>,
+    /// Defining Tseitin CNF plus unasserted root literal per preprocessed
+    /// formula; shares definition atoms with `cnf`.
+    cnf_lit: HashMap<ExprId, LitCnf>,
+    /// Registration-ready form of each linear atom, analysed once
+    /// process-wide instead of once per session tableau.
+    prepared: HashMap<AtomId, Arc<Prepared>>,
 }
 
 fn cnf_cache() -> MutexGuard<'static, CnfCache> {
@@ -138,14 +146,42 @@ impl CnfCache {
         out
     }
 
-    /// The Tseitin CNF of the preprocessed formula `id` (root asserted),
-    /// encoding it into the shared atom table on the first request.
+    /// The defining Tseitin CNF and root literal of the preprocessed
+    /// formula `id` (root *not* asserted), encoding it into the shared atom
+    /// table on the first request.
+    fn cnf_lit_of(&mut self, id: ExprId) -> Result<LitCnf, ()> {
+        if let Some((root, defs)) = self.cnf_lit.get(&id) {
+            return Ok((*root, defs.clone()));
+        }
+        let (root, cnf) = tseitin_literal(&id.expr(), &mut self.atoms).map_err(|_| ())?;
+        let defs = Arc::new(cnf.clauses);
+        self.cnf_lit.insert(id, (root, defs.clone()));
+        Ok((root, defs))
+    }
+
+    /// The registration-ready form of atom `id`, when it is linear.
+    fn prepared_lin(&mut self, id: AtomId) -> Option<Arc<Prepared>> {
+        if let Some(p) = self.prepared.get(&id) {
+            return Some(p.clone());
+        }
+        let p = match self.atoms.get(id) {
+            Atom::Lin(c) => Arc::new(Prepared::of(c)),
+            _ => return None,
+        };
+        self.prepared.insert(id, p.clone());
+        Some(p)
+    }
+
+    /// The Tseitin CNF of the preprocessed formula `id` (root asserted);
+    /// shares definition atoms with [`CnfCache::cnf_lit_of`].
     fn cnf_of(&mut self, id: ExprId) -> Result<Arc<Vec<Vec<Lit>>>, ()> {
         if let Some(cnf) = self.cnf.get(&id) {
             return Ok(cnf.clone());
         }
-        let cnf = tseitin(&id.expr(), &mut self.atoms).map_err(|_| ())?;
-        let cnf = Arc::new(cnf.clauses);
+        let (root, defs) = self.cnf_lit_of(id)?;
+        let mut clauses = (*defs).clone();
+        clauses.push(vec![root]);
+        let cnf = Arc::new(clauses);
         self.cnf.insert(id, cnf.clone());
         Ok(cnf)
     }
@@ -165,15 +201,96 @@ struct Core {
     /// SAT variable of each atom, indexed by [`AtomId`]; `UNMAPPED` for
     /// atoms this session has not touched.
     atom_vars: Vec<usize>,
+    /// The session's persistent theory state: linear atoms register their
+    /// constraint rows here once, and each DPLL(T) round merely asserts
+    /// bounds inside a push/pop scope.  The tableau basis survives across
+    /// rounds *and* goals, so theory checks after the first start from an
+    /// almost-feasible state.
+    theory: IncrementalSimplex,
+    /// Simplex slot of each linear atom, indexed by [`AtomId`].
+    atom_slots: Vec<Option<SlotId>>,
+    /// Snapshot of the hypothesis clauses' theory atoms, taken once on the
+    /// first check; goals only resolve their own (typically few) atoms.
+    hyp_atoms: Option<TheoryAtoms>,
 }
 
 const UNMAPPED: usize = usize::MAX;
+
+/// Relevant theory atoms of a clause set, resolved once against the global
+/// atom table: SAT variables, simplex slots (rows registered on first
+/// sight) and the constraint variables that delimit counter-models.
+#[derive(Default)]
+struct TheoryAtoms {
+    /// (atom, SAT variable, simplex slot) of each linear atom.
+    lin: Vec<(AtomId, usize, SlotId)>,
+    /// (SAT variable, name) of each boolean atom.
+    bools: Vec<(usize, Name)>,
+    /// Variables mentioned by the linear constraints.
+    vars: BTreeSet<Name>,
+    /// Every atom id covered, for dedup against later snapshots.
+    atoms: HashSet<AtomId>,
+}
 
 impl Core {
     fn new(config: &SmtConfig) -> Core {
         Core {
             sat: SatSolver::new(0, config.sat),
             atom_vars: Vec::new(),
+            theory: IncrementalSimplex::new(config.lia),
+            atom_slots: Vec::new(),
+            hyp_atoms: None,
+        }
+    }
+
+    /// Resolves the relevant theory atoms of `clauses` (minus those already
+    /// covered by `skip`) against the global atom table.
+    fn snapshot<'a>(
+        &mut self,
+        clauses: impl Iterator<Item = &'a Vec<Lit>>,
+        skip: Option<&TheoryAtoms>,
+    ) -> TheoryAtoms {
+        let mut relevant: Vec<AtomId> = clauses.flatten().map(|lit| lit.atom).collect();
+        relevant.sort_unstable();
+        relevant.dedup();
+        let mut cache = cnf_cache();
+        let mut out = TheoryAtoms::default();
+        for id in relevant {
+            if matches!(skip, Some(s) if s.atoms.contains(&id)) {
+                continue;
+            }
+            // Relevant atoms occur in some added clause, so a SAT variable
+            // for them always exists.
+            let Some(var) = self.lookup_var(id) else {
+                continue;
+            };
+            out.atoms.insert(id);
+            if let Some(prepared) = cache.prepared_lin(id) {
+                out.vars.extend(prepared.vars());
+                let slot = self.slot_of(id, &prepared);
+                out.lin.push((id, var, slot));
+            } else if let Atom::Bool(name) = cache.atoms.get(id) {
+                if !name.as_str().starts_with('$') {
+                    out.bools.push((var, *name));
+                }
+            }
+        }
+        out
+    }
+
+    /// The simplex slot of the linear atom `atom`, registering its
+    /// constraint row on first use.
+    fn slot_of(&mut self, atom: AtomId, prepared: &Prepared) -> SlotId {
+        let idx = atom.0 as usize;
+        if self.atom_slots.len() <= idx {
+            self.atom_slots.resize(idx + 1, None);
+        }
+        match self.atom_slots[idx] {
+            Some(slot) => slot,
+            None => {
+                let slot = self.theory.register_prepared(prepared);
+                self.atom_slots[idx] = Some(slot);
+                slot
+            }
         }
     }
 
@@ -220,8 +337,11 @@ pub struct Session {
     ctx: SortCtx,
     stats: SmtStats,
     mode: Mode,
-    /// Original hypotheses, kept for one-shot fallbacks.
-    hypotheses: Vec<Expr>,
+    /// Hash-consed hypotheses, as given.
+    hyp_ids: Vec<ExprId>,
+    /// Tree form of the hypotheses, materialized lazily — only the one-shot
+    /// fallback needs it.
+    hyp_trees: Option<Vec<Expr>>,
     /// CNF of the preprocessed hypothesis conjuncts (shared with the global
     /// cache; empty when trivially true).
     hyp_cnf: Vec<Arc<Vec<Vec<Lit>>>>,
@@ -240,6 +360,24 @@ impl Session {
     /// any earlier session costs two hash lookups; each subsequent
     /// [`Session::check`] only pays for its goal.
     pub fn assume(config: SmtConfig, ctx: &SortCtx, hypotheses: &[Expr]) -> Session {
+        let hyp_ids: Vec<ExprId> = hypotheses.iter().map(ExprId::intern).collect();
+        Session::assume_impl(config, ctx, hyp_ids, Some(hypotheses.to_vec()))
+    }
+
+    /// [`Session::assume`] for pre-interned hypotheses: conjunct splitting,
+    /// triviality checks and fragment detection all run over the shared DAG
+    /// (each memoized per subterm globally), so assuming an
+    /// already-encountered hypothesis context never re-walks a tree.
+    pub fn assume_ids(config: SmtConfig, ctx: &SortCtx, hyp_ids: &[ExprId]) -> Session {
+        Session::assume_impl(config, ctx, hyp_ids.to_vec(), None)
+    }
+
+    fn assume_impl(
+        config: SmtConfig,
+        ctx: &SortCtx,
+        hyp_ids: Vec<ExprId>,
+        hyp_trees: Option<Vec<Expr>>,
+    ) -> Session {
         let mut session = Session {
             config,
             ctx: ctx.clone(),
@@ -248,7 +386,8 @@ impl Session {
                 ..SmtStats::default()
             },
             mode: Mode::Incremental,
-            hypotheses: hypotheses.to_vec(),
+            hyp_ids,
+            hyp_trees,
             hyp_cnf: Vec::new(),
             lemmas: Vec::new(),
             core: None,
@@ -257,8 +396,8 @@ impl Session {
         let ff = ExprId::intern(&Expr::ff());
         let mut seen: HashSet<ExprId> = HashSet::new();
         let mut cache = cnf_cache();
-        for hyp in hypotheses {
-            for conjunct in hyp.conjuncts() {
+        for hyp in session.hyp_ids.clone() {
+            for conjunct in hyp.conjunct_ids() {
                 if conjunct.has_quantifier() || conjunct.has_app() {
                     session.mode = Mode::OneShot;
                     session.hyp_cnf.clear();
@@ -268,7 +407,7 @@ impl Session {
                 // rebuilds the same qualifier instantiations every
                 // iteration, and the memo makes re-simplifying an
                 // already-seen conjunct O(1).
-                let sid = ExprId::intern(conjunct).simplified();
+                let sid = conjunct.simplified();
                 if sid == tt {
                     continue;
                 }
@@ -306,6 +445,15 @@ impl Session {
         session
     }
 
+    /// The tree form of the hypotheses, materialized on first use (only the
+    /// one-shot fallback needs it).
+    fn hyp_trees(&mut self) -> &[Expr] {
+        if self.hyp_trees.is_none() {
+            self.hyp_trees = Some(self.hyp_ids.iter().map(|id| id.expr()).collect());
+        }
+        self.hyp_trees.as_deref().expect("trees were just built")
+    }
+
     /// Checks the validity of `hypotheses ⟹ goal`.
     ///
     /// Produces the same verdict as
@@ -319,33 +467,143 @@ impl Session {
                 if goal.has_quantifier() || goal.has_app() {
                     return self.check_one_shot(goal);
                 }
-                let tt = ExprId::intern(&Expr::tt());
-                let ff = ExprId::intern(&Expr::ff());
-                let nid = ExprId::intern(&Expr::not(goal.clone())).simplified();
-                // ¬goal is false: the implication holds outright.
-                if nid == ff {
-                    return Validity::Valid;
-                }
-                let goal_cnf: Option<Arc<Vec<Vec<Lit>>>> = if nid == tt {
-                    // ¬goal is true: satisfiability reduces to the
-                    // hypotheses alone, i.e. no extra clauses.
-                    None
-                } else {
-                    let mut cache = cnf_cache();
-                    match cache.preprocess(nid, &self.ctx) {
-                        PreOut::False => return Validity::Valid,
-                        PreOut::True => None,
-                        PreOut::Formula(pid) => match cache.cnf_of(pid) {
-                            Ok(cnf) => Some(cnf),
-                            Err(()) => return self.check_one_shot(goal),
-                        },
-                    }
-                };
-                let empty = Vec::new();
-                let goal_clauses: &Vec<Vec<Lit>> = goal_cnf.as_deref().unwrap_or(&empty);
-                self.check_on_core(goal_clauses)
+                self.check_qf_goal(ExprId::intern(goal))
             }
         }
+    }
+
+    /// [`Session::check`] for a pre-interned goal: spares callers that
+    /// already track hash-consed ids (the fixpoint weakening loop) the deep
+    /// re-interning walk of the goal tree on every query.
+    pub fn check_id(&mut self, goal: ExprId) -> Validity {
+        self.stats.queries += 1;
+        match self.mode {
+            Mode::Contradictory => Validity::Valid,
+            Mode::OneShot => self.check_one_shot(&goal.expr()),
+            Mode::Incremental => {
+                if goal.has_quantifier() || goal.has_app() {
+                    return self.check_one_shot(&goal.expr());
+                }
+                self.check_qf_goal(goal)
+            }
+        }
+    }
+
+    /// Checks the validity of `hypotheses ⟹ goal₁ ∧ … ∧ goalₙ` as **one**
+    /// query, composing each conjunct's independently cached encoding.
+    ///
+    /// The negated goal `¬g₁ ∨ … ∨ ¬gₙ` enters the core as the union of the
+    /// conjuncts' defining CNFs plus a single disjunction of their root
+    /// literals, so a conjunction over candidates the session (or any other
+    /// session in the process) has already encoded costs no new
+    /// preprocessing or Tseitin work at all — where encoding the conjunction
+    /// as one formula would re-walk the whole tree for every distinct
+    /// surviving-candidate subset.  The verdict equals checking the
+    /// conjunction as a single goal (both encodings decide satisfiability of
+    /// the same formula); counter-models may differ, which callers already
+    /// tolerate (models are verified against the hypotheses before use).
+    pub fn check_all(&mut self, goals: &[ExprId]) -> Validity {
+        if let [single] = goals {
+            // Delegate so the two entry points stay verdict-identical (and
+            // the single-goal path keeps its slightly tighter encoding).
+            return self.check_id(*single);
+        }
+        self.stats.queries += 1;
+        let rebuild_conjunction = |goals: &[ExprId]| Expr::and_all(goals.iter().map(|g| g.expr()));
+        match self.mode {
+            Mode::Contradictory => Validity::Valid,
+            Mode::OneShot => {
+                let tree = rebuild_conjunction(goals);
+                self.check_one_shot(&tree)
+            }
+            Mode::Incremental => {
+                if goals.iter().any(|g| g.has_quantifier() || g.has_app()) {
+                    let tree = rebuild_conjunction(goals);
+                    return self.check_one_shot(&tree);
+                }
+                let tt = ExprId::intern(&Expr::tt());
+                let ff = ExprId::intern(&Expr::ff());
+                let mut roots: Vec<Lit> = Vec::new();
+                let mut goal_clauses: Vec<Vec<Lit>> = Vec::new();
+                // `true` when some conjunct's negation is trivially true:
+                // the negated goal then constrains nothing, and the query
+                // reduces to satisfiability of the hypotheses alone.
+                let mut unconstrained = false;
+                let mut encoding_failed = false;
+                {
+                    let mut cache = cnf_cache();
+                    for &g in goals {
+                        let nid = g.negated().simplified();
+                        if nid == ff {
+                            continue; // conjunct is trivially valid
+                        }
+                        if nid == tt {
+                            unconstrained = true;
+                            break;
+                        }
+                        match cache.preprocess(nid, &self.ctx) {
+                            PreOut::False => continue,
+                            PreOut::True => {
+                                unconstrained = true;
+                                break;
+                            }
+                            PreOut::Formula(pid) => match cache.cnf_lit_of(pid) {
+                                Ok((root, defs)) => {
+                                    goal_clauses.extend(defs.iter().cloned());
+                                    roots.push(root);
+                                }
+                                Err(()) => {
+                                    encoding_failed = true;
+                                    break;
+                                }
+                            },
+                        }
+                    }
+                }
+                if encoding_failed {
+                    let tree = rebuild_conjunction(goals);
+                    return self.check_one_shot(&tree);
+                }
+                if unconstrained {
+                    self.check_on_core(&[])
+                } else if roots.is_empty() {
+                    // Every conjunct was trivially valid.
+                    Validity::Valid
+                } else {
+                    goal_clauses.push(roots);
+                    self.check_on_core(&goal_clauses)
+                }
+            }
+        }
+    }
+
+    /// The incremental path for a quantifier- and application-free goal.
+    fn check_qf_goal(&mut self, goal: ExprId) -> Validity {
+        let tt = ExprId::intern(&Expr::tt());
+        let ff = ExprId::intern(&Expr::ff());
+        let nid = goal.negated().simplified();
+        // ¬goal is false: the implication holds outright.
+        if nid == ff {
+            return Validity::Valid;
+        }
+        let goal_cnf: Option<Arc<Vec<Vec<Lit>>>> = if nid == tt {
+            // ¬goal is true: satisfiability reduces to the
+            // hypotheses alone, i.e. no extra clauses.
+            None
+        } else {
+            let mut cache = cnf_cache();
+            match cache.preprocess(nid, &self.ctx) {
+                PreOut::False => return Validity::Valid,
+                PreOut::True => None,
+                PreOut::Formula(pid) => match cache.cnf_of(pid) {
+                    Ok(cnf) => Some(cnf),
+                    Err(()) => return self.check_one_shot(&goal.expr()),
+                },
+            }
+        };
+        let empty = Vec::new();
+        let goal_clauses: &Vec<Vec<Lit>> = goal_cnf.as_deref().unwrap_or(&empty);
+        self.check_on_core(goal_clauses)
     }
 
     /// The incremental DPLL(T) loop over the session's persistent CDCL
@@ -381,39 +639,26 @@ impl Session {
         // theory conflicts.  Only the hypothesis and goal clauses define
         // relevance — a retained theory lemma whose atoms have left the
         // query is a tautology the SAT core already honours propositionally
-        // and needs no re-assertion to simplex.  The relevant linear and
-        // boolean atoms are snapshotted here, once, so the search loop
-        // below runs without the global lock.
-        let (lin_atoms, bool_atoms) = {
-            let mut relevant: Vec<AtomId> = self
-                .hyp_cnf
-                .iter()
-                .flat_map(|cnf| cnf.iter())
-                .chain(goal_clauses.iter())
-                .flatten()
-                .map(|lit| lit.atom)
-                .collect();
-            relevant.sort_unstable();
-            relevant.dedup();
-            let cache = cnf_cache();
-            let mut lin: Vec<(AtomId, usize, LinConstraint)> = Vec::new();
-            let mut bools: Vec<(usize, Name)> = Vec::new();
-            for id in relevant {
-                // Relevant atoms occur in some added clause, so a SAT
-                // variable for them always exists.
-                let Some(var) = core.lookup_var(id) else {
-                    continue;
-                };
-                match cache.atoms.get(id) {
-                    Atom::Lin(c) => lin.push((id, var, c.clone())),
-                    Atom::Bool(name) if !name.as_str().starts_with('$') => {
-                        bools.push((var, *name));
-                    }
-                    _ => {}
-                }
-            }
-            (lin, bools)
-        };
+        // and needs no re-assertion to simplex.  The hypothesis atoms are
+        // snapshotted once per session (they are the same for every check);
+        // each goal only resolves its own atoms, minus that overlap.  The
+        // union also delimits the counter-model: the tableau holds
+        // variables from retired goals, whose stale values must not leak
+        // into reported models.
+        if core.hyp_atoms.is_none() {
+            let snap = core.snapshot(self.hyp_cnf.iter().flat_map(|cnf| cnf.iter()), None);
+            core.hyp_atoms = Some(snap);
+        }
+        let hyp_atoms = core.hyp_atoms.take().expect("hypothesis snapshot exists");
+        let goal_atoms = core.snapshot(goal_clauses.iter(), Some(&hyp_atoms));
+        let relevant_vars: BTreeSet<Name> = hyp_atoms
+            .vars
+            .iter()
+            .chain(goal_atoms.vars.iter())
+            .copied()
+            .collect();
+        let pivots_before = core.theory.pivots();
+        let props_before = core.sat.propagations();
         let outcome = 'search: {
             for _ in 0..self.config.max_theory_rounds.0 {
                 self.stats.sat_rounds += 1;
@@ -423,24 +668,39 @@ impl Session {
                     SatResult::Sat(assignment) => assignment,
                 };
                 self.stats.theory_checks += 1;
-                // Collect asserted linear atoms under the SAT assignment.
-                let mut constraints = Vec::with_capacity(lin_atoms.len());
-                let mut involved = Vec::with_capacity(lin_atoms.len());
-                for (id, var, c) in &lin_atoms {
+                // Assert the linear atoms' bounds under the SAT assignment
+                // inside one backtracking scope; the scope is popped after
+                // the check, but the pivoted basis is kept.
+                let lin_atoms = || hyp_atoms.lin.iter().chain(goal_atoms.lin.iter());
+                let mut involved = Vec::with_capacity(hyp_atoms.lin.len() + goal_atoms.lin.len());
+                let mut assert_conflict: Option<Vec<usize>> = None;
+                core.theory.push();
+                for (k, (id, var, slot)) in lin_atoms().enumerate() {
                     let value = assignment[*var];
-                    constraints.push(if value { c.clone() } else { c.negate_integer() });
                     involved.push(Lit {
                         atom: *id,
                         positive: value,
                     });
+                    if let Err(core_tags) = core.theory.assert_constraint(*slot, value, k) {
+                        assert_conflict = Some(core_tags);
+                        break;
+                    }
                 }
-                match check_lia(&constraints, &self.config.lia) {
+                let result = match assert_conflict {
+                    Some(tags) => LiaResult::Infeasible(tags),
+                    // Only the current query's variables need integrality;
+                    // the tableau's stale variables (retired goals) are
+                    // unconstrained here and excluded from the model.
+                    None => core.theory.check_integer_over(&relevant_vars),
+                };
+                core.theory.pop();
+                match result {
                     LiaResult::Feasible(int_model) => {
                         let mut model = Model {
                             ints: int_model,
                             bools: BTreeMap::new(),
                         };
-                        for (var, name) in &bool_atoms {
+                        for (var, name) in hyp_atoms.bools.iter().chain(goal_atoms.bools.iter()) {
                             model.bools.insert(*name, assignment[*var]);
                         }
                         break 'search SatOutcome::Sat(model);
@@ -460,6 +720,9 @@ impl Session {
             }
             SatOutcome::Unknown
         };
+        core.hyp_atoms = Some(hyp_atoms);
+        self.stats.pivots += (core.theory.pivots() - pivots_before) as usize;
+        self.stats.propagations += core.sat.propagations() - props_before;
         // Retire this goal: the negated guard permanently satisfies its
         // clauses (and everything learned from them), and compaction drops
         // them from the database so later checks don't even scan them.
@@ -473,10 +736,8 @@ impl Session {
     }
 
     fn check_one_shot(&mut self, goal: &Expr) -> Validity {
-        let negated = Expr::and(
-            Expr::and_all(self.hypotheses.iter().cloned()),
-            Expr::not(goal.clone()),
-        );
+        let hyps = Expr::and_all(self.hyp_trees().iter().cloned());
+        let negated = Expr::and(hyps, Expr::not(goal.clone()));
         match check_sat_impl(&self.config, &self.ctx, &negated, &mut self.stats) {
             SatOutcome::Unsat => Validity::Valid,
             SatOutcome::Sat(model) => Validity::Invalid(Some(model)),

@@ -20,7 +20,7 @@ use crate::preprocess::{ackermannize, eliminate_div_mod, eliminate_ite, normaliz
 use crate::quant::{eliminate_quantifiers, QuantConfig};
 use crate::sat::{SatConfig, SatLit, SatResult, SatSolver};
 use crate::session::Session;
-use crate::simplex::{check_lia, LiaConfig, LiaResult};
+use crate::simplex::{IncrementalSimplex, LiaConfig, LiaResult};
 use flux_logic::{evaluate, simplify, Expr, Name, SortCtx, Value};
 use std::collections::BTreeMap;
 
@@ -63,6 +63,10 @@ pub struct SmtStats {
     pub sat_reuse: usize,
     /// Number of theory (LIA) checks.
     pub theory_checks: usize,
+    /// Number of simplex pivots across all theory checks.
+    pub pivots: usize,
+    /// Number of literals assigned by SAT unit propagation.
+    pub propagations: usize,
     /// Number of quantifier instances generated.
     pub quant_instances: usize,
 }
@@ -76,6 +80,8 @@ impl SmtStats {
         self.sat_rounds += other.sat_rounds;
         self.sat_reuse += other.sat_reuse;
         self.theory_checks += other.theory_checks;
+        self.pivots += other.pivots;
+        self.propagations += other.propagations;
         self.quant_instances += other.quant_instances;
     }
 
@@ -88,6 +94,8 @@ impl SmtStats {
             sat_rounds: self.sat_rounds - earlier.sat_rounds,
             sat_reuse: self.sat_reuse - earlier.sat_reuse,
             theory_checks: self.theory_checks - earlier.theory_checks,
+            pivots: self.pivots - earlier.pivots,
+            propagations: self.propagations - earlier.propagations,
             quant_instances: self.quant_instances - earlier.quant_instances,
         }
     }
@@ -267,11 +275,14 @@ pub(crate) fn check_sat_impl(
 
 /// The lazy DPLL(T) loop over `clauses ∪ extra ∪ lemmas`.
 ///
-/// Theory conflicts append blocking clauses to `lemmas`.  Those clauses are
-/// *theory tautologies* (the negation of a LIA-infeasible conjunction of
-/// literals), so they remain valid for any later query sharing the same
-/// [`AtomTable`] — which is exactly how [`Session`] reuses theory work
-/// across the goals of one hypothesis context.
+/// One SAT solver and one [`IncrementalSimplex`] persist across all theory
+/// rounds of the query: theory conflicts are added to the live clause
+/// database (keeping everything the CDCL core has learned so far), and the
+/// simplex tableau keeps its pivoted basis between checks, so each round
+/// only repairs the bounds that changed.  Theory conflicts are also
+/// appended to `lemmas`.  Those clauses are *theory tautologies* (the
+/// negation of a LIA-infeasible conjunction of literals), so they remain
+/// valid for any later query sharing the same [`AtomTable`].
 pub(crate) fn dpll_t(
     config: &SmtConfig,
     clauses: &[Vec<Lit>],
@@ -292,57 +303,88 @@ pub(crate) fn dpll_t(
             relevant[lit.atom.0 as usize] = true;
         }
     }
-    for _ in 0..config.max_theory_rounds.0 {
-        stats.sat_rounds += 1;
-        let mut sat = SatSolver::new(atoms.len(), config.sat);
-        for clause in clauses.iter().chain(extra.iter()).chain(lemmas.iter()) {
-            sat.add_clause(
-                clause
-                    .iter()
-                    .map(|l| SatLit::new(l.atom.0 as usize, l.positive))
-                    .collect(),
-            );
+    let mut sat = SatSolver::new(atoms.len(), config.sat);
+    for clause in clauses.iter().chain(extra.iter()).chain(lemmas.iter()) {
+        sat.add_clause(
+            clause
+                .iter()
+                .map(|l| SatLit::new(l.atom.0 as usize, l.positive))
+                .collect(),
+        );
+    }
+    // Register the relevant linear atoms' constraint rows once.
+    let mut theory = IncrementalSimplex::new(config.lia);
+    let mut lin_atoms = Vec::new();
+    for (id, atom) in atoms.iter() {
+        if !relevant[id.0 as usize] {
+            continue;
         }
-        match sat.solve() {
-            SatResult::Unsat => return SatOutcome::Unsat,
-            SatResult::Unknown => return SatOutcome::Unknown,
-            SatResult::Sat(assignment) => {
-                stats.theory_checks += 1;
-                // Collect asserted linear atoms.
-                let mut constraints = Vec::new();
-                let mut involved = Vec::new();
-                for (id, atom) in atoms.iter() {
-                    if !relevant[id.0 as usize] {
-                        continue;
-                    }
-                    if let Atom::Lin(c) = atom {
+        if let Atom::Lin(c) = atom {
+            lin_atoms.push((id, theory.register(c)));
+        }
+    }
+    let outcome = 'search: {
+        for _ in 0..config.max_theory_rounds.0 {
+            stats.sat_rounds += 1;
+            match sat.solve() {
+                SatResult::Unsat => break 'search SatOutcome::Unsat,
+                SatResult::Unknown => break 'search SatOutcome::Unknown,
+                SatResult::Sat(assignment) => {
+                    stats.theory_checks += 1;
+                    // Assert the linear atoms' bounds under the SAT
+                    // assignment inside one backtracking scope.
+                    let mut involved = Vec::with_capacity(lin_atoms.len());
+                    let mut assert_conflict: Option<Vec<usize>> = None;
+                    theory.push();
+                    for (k, (id, slot)) in lin_atoms.iter().enumerate() {
                         let value = assignment[id.0 as usize];
-                        constraints.push(if value { c.clone() } else { c.negate_integer() });
                         involved.push(Lit {
-                            atom: id,
+                            atom: *id,
                             positive: value,
                         });
+                        if let Err(core) = theory.assert_constraint(*slot, value, k) {
+                            assert_conflict = Some(core);
+                            break;
+                        }
                     }
-                }
-                match check_lia(&constraints, &config.lia) {
-                    LiaResult::Feasible(int_model) => {
-                        return SatOutcome::Sat(build_model(&assignment, atoms, int_model));
-                    }
-                    LiaResult::Unknown => return SatOutcome::Unknown,
-                    LiaResult::Infeasible(core) => {
-                        let clause: Vec<Lit> = if core.is_empty() {
-                            // Defensive: block the entire assignment.
-                            involved.iter().map(|l| l.negated()).collect()
-                        } else {
-                            core.iter().map(|&i| involved[i].negated()).collect()
-                        };
-                        lemmas.push(clause);
+                    let result = match assert_conflict {
+                        Some(core) => LiaResult::Infeasible(core),
+                        None => theory.check_integer(),
+                    };
+                    theory.pop();
+                    match result {
+                        LiaResult::Feasible(int_model) => {
+                            break 'search SatOutcome::Sat(build_model(
+                                &assignment,
+                                atoms,
+                                int_model,
+                            ));
+                        }
+                        LiaResult::Unknown => break 'search SatOutcome::Unknown,
+                        LiaResult::Infeasible(core) => {
+                            let clause: Vec<Lit> = if core.is_empty() {
+                                // Defensive: block the entire assignment.
+                                involved.iter().map(|l| l.negated()).collect()
+                            } else {
+                                core.iter().map(|&i| involved[i].negated()).collect()
+                            };
+                            sat.add_clause(
+                                clause
+                                    .iter()
+                                    .map(|l| SatLit::new(l.atom.0 as usize, l.positive))
+                                    .collect(),
+                            );
+                            lemmas.push(clause);
+                        }
                     }
                 }
             }
         }
-    }
-    SatOutcome::Unknown
+        SatOutcome::Unknown
+    };
+    stats.pivots += theory.pivots() as usize;
+    stats.propagations += sat.propagations();
+    outcome
 }
 
 pub(crate) fn build_model(

@@ -9,12 +9,15 @@ use flux::{verify_source, FixConfig, Mode, VerifyConfig};
 /// session and one-shot pipelines may produce different counter-models (and
 /// hence skip different per-candidate queries), and this test pins the
 /// *query-for-query* equivalence of the two engines.  Verdict equivalence
-/// with pruning enabled is covered by `model_pruning_equivalence.rs`.
+/// with pruning enabled is covered by `model_pruning_equivalence.rs`.  The
+/// process-global verdict cache is disabled too, so whatever other tests in
+/// this binary have already proved cannot blur the comparison.
 fn no_pruning(incremental: bool) -> VerifyConfig {
     let mut config = VerifyConfig::default();
     config.check.fixpoint = FixConfig {
         incremental,
         model_pruning: false,
+        global_cache: false,
         ..FixConfig::default()
     };
     config

@@ -1,0 +1,190 @@
+//! Acceptance tests for the incremental theory layer: the persistent
+//! simplex under arbitrary assert/push/pop scripts must agree with one-shot
+//! [`check_lia`] on feasibility *and* unsat-core membership, and the
+//! two-watched-literal SAT core must agree with the historical scan-based
+//! propagator across the entire benchmark corpus.  (Query-for-query
+//! equivalence of the two propagators on random incremental CNF workloads
+//! is pinned by `flux_smt::sat`'s unit tests.)
+
+use flux::{verify_source, FixConfig, Mode, VerifyConfig};
+use flux_logic::Name;
+use flux_smt::rational::Rational;
+use flux_smt::simplex::{check_lia, model_satisfies, IncrementalSimplex, LiaResult};
+use flux_smt::testing::Rng;
+use flux_smt::LiaConfig;
+
+type LinConstraint = flux_smt::linear::LinConstraint;
+
+const VARS: [&str; 4] = ["teq_a", "teq_b", "teq_c", "teq_d"];
+
+fn random_constraint(rng: &mut Rng) -> LinConstraint {
+    let mut e = flux_smt::linear::LinExpr::constant(Rational::int(rng.int_in(-4, 4)));
+    for v in VARS {
+        e.add_term(Name::intern(v), Rational::int(rng.int_in(-3, 3)));
+    }
+    LinConstraint::le_zero(e)
+}
+
+/// Materializes the asserted-phase list as one-shot constraints.
+fn materialize(family: &[LinConstraint], asserted: &[(usize, bool)]) -> Vec<LinConstraint> {
+    asserted
+        .iter()
+        .map(|&(i, positive)| {
+            if positive {
+                family[i].clone()
+            } else {
+                family[i].negate_integer()
+            }
+        })
+        .collect()
+}
+
+/// Random assert/push/pop scripts over one persistent tableau, checked
+/// against fresh one-shot solves of the currently asserted set at every
+/// step.  Infeasible cores are validated semantically: the subset they name
+/// must itself be one-shot infeasible.
+#[test]
+fn incremental_simplex_scripts_agree_with_one_shot() {
+    let cfg = LiaConfig::default();
+    let mut rng = Rng::new(0x1A51_3D0C);
+    for case in 0..48 {
+        let family: Vec<LinConstraint> = (0..10).map(|_| random_constraint(&mut rng)).collect();
+        let mut simplex = IncrementalSimplex::new(cfg);
+        let slots: Vec<_> = family.iter().map(|c| simplex.register(c)).collect();
+        //
+
+        let mut asserted: Vec<(usize, bool)> = Vec::new();
+        let mut marks: Vec<usize> = Vec::new();
+        for step in 0..16 {
+            match rng.below(4) {
+                // Open a scope and assert a few random phases.
+                0 | 1 => {
+                    simplex.push();
+                    marks.push(asserted.len());
+                    for _ in 0..rng.int_in(1, 3) {
+                        let i = rng.below(10) as usize;
+                        let positive = rng.flip();
+                        let tag = asserted.len();
+                        match simplex.assert_constraint(slots[i], positive, tag) {
+                            Ok(()) => asserted.push((i, positive)),
+                            Err(core) => {
+                                // The bound contradicted an asserted one:
+                                // the named subset must be infeasible on
+                                // its own.
+                                let mut with_failed = asserted.clone();
+                                with_failed.push((i, positive));
+                                let subset: Vec<LinConstraint> = core
+                                    .iter()
+                                    .map(|&t| {
+                                        let (j, positive) = with_failed[t];
+                                        if positive {
+                                            family[j].clone()
+                                        } else {
+                                            family[j].negate_integer()
+                                        }
+                                    })
+                                    .collect();
+                                assert!(
+                                    matches!(check_lia(&subset, &cfg), LiaResult::Infeasible(_)),
+                                    "case {case} step {step}: assert-conflict core is feasible"
+                                );
+                            }
+                        }
+                    }
+                }
+                // Retract the innermost scope.
+                2 if !marks.is_empty() => {
+                    simplex.pop();
+                    asserted.truncate(marks.pop().expect("mark exists"));
+                }
+                // Check and compare against a fresh one-shot solve.
+                _ => {
+                    let one_shot_input = materialize(&family, &asserted);
+                    let incremental = simplex.check_integer();
+                    let one_shot = check_lia(&one_shot_input, &cfg);
+                    match (&incremental, &one_shot) {
+                        (LiaResult::Feasible(model), LiaResult::Feasible(_)) => {
+                            assert!(
+                                model_satisfies(&one_shot_input, model),
+                                "case {case} step {step}: incremental model does not satisfy"
+                            );
+                        }
+                        (LiaResult::Infeasible(core), LiaResult::Infeasible(_)) => {
+                            let subset = materialize(
+                                &family,
+                                &core.iter().map(|&t| asserted[t]).collect::<Vec<_>>(),
+                            );
+                            assert!(
+                                matches!(check_lia(&subset, &cfg), LiaResult::Infeasible(_)),
+                                "case {case} step {step}: core {core:?} is not infeasible"
+                            );
+                        }
+                        (LiaResult::Unknown, _) | (_, LiaResult::Unknown) => {}
+                        (inc, os) => panic!(
+                            "case {case} step {step}: incremental says {inc:?}, one-shot {os:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Both verifiers, whole corpus: the watched-literal SAT core and the
+/// scan-based propagator must produce identical verdicts and blamed
+/// obligations.  The global verdict cache is disabled on both sides —
+/// otherwise the second run would replay the first run's verdicts and the
+/// comparison would be vacuous.
+#[test]
+fn watched_and_scan_propagation_agree_on_the_corpus() {
+    let mut watched = VerifyConfig::default();
+    watched.check.fixpoint = FixConfig {
+        global_cache: false,
+        ..FixConfig::default()
+    };
+    let mut scan = VerifyConfig::default();
+    scan.check.fixpoint = FixConfig {
+        global_cache: false,
+        ..FixConfig::default()
+    };
+    scan.check.fixpoint.smt.sat.scan_propagation = true;
+    scan.wp.smt.sat.scan_propagation = true;
+    for b in flux::benchmarks() {
+        for (mode, src) in [(Mode::Flux, b.flux_src), (Mode::Baseline, b.baseline_src)] {
+            let w = verify_source(src, mode, &watched)
+                .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+            let s = verify_source(src, mode, &scan)
+                .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+            assert_eq!(
+                w.safe, s.safe,
+                "{} ({mode:?}): watched and scan propagation disagree \
+                 (watched errors: {:?}, scan errors: {:?})",
+                b.name, w.errors, s.errors
+            );
+            assert_eq!(
+                w.errors, s.errors,
+                "{} ({mode:?}): verdicts agree but blamed obligations differ",
+                b.name
+            );
+        }
+    }
+}
+
+/// The new observability counters must actually count: a benchmark that
+/// exercises branching arithmetic reports pivots and propagations.
+#[test]
+fn pivot_and_propagation_counters_are_reported() {
+    let b = flux::benchmark("bsearch").expect("bsearch is in the suite");
+    let outcome = verify_source(b.flux_src, Mode::Flux, &VerifyConfig::default()).unwrap();
+    assert!(outcome.safe);
+    assert!(
+        outcome.stats.propagations > 0,
+        "watched propagation must report its unit propagations: {:?}",
+        outcome.stats
+    );
+    assert!(
+        outcome.stats.pivots > 0,
+        "the persistent simplex must report its pivots: {:?}",
+        outcome.stats
+    );
+}

@@ -14,67 +14,103 @@
 //! the full query-engine statistics of both verifiers, so per-PR regressions
 //! in queries issued (or prunes/reuse lost) are visible by diffing one file.
 //! Before overwriting, the fresh run is *gated* against the committed
-//! snapshot: the job fails on a >2× total wall-clock or a >20% total
-//! `smt_queries` regression (`--no-gate` skips the comparison, e.g. when a
-//! regression is intentional and the snapshot is being re-baselined).
+//! snapshot — totals **and** each benchmark individually, so a 3× `kmp`
+//! regression can no longer hide behind a `heapsort` win.  The tolerances
+//! (time factor, query factor, and the floors that keep sub-50 ms rows from
+//! tripping on scheduler jitter) live in the committed snapshot's `gate`
+//! object; `--no-gate` skips the comparison, e.g. when a regression is
+//! intentional and the snapshot is being re-baselined.
+//!
+//! `--threads N` pins the fixpoint solver's worker-thread cap (the default
+//! is the `FLUX_THREADS` environment variable, else the machine's available
+//! parallelism); the run's effective parallelism is recorded per benchmark
+//! in the JSON (`threads`, `partitions`, `worker_queries`).
 
+use flux_bench::json::Value;
 use std::process::ExitCode;
 
-/// Totals the perf gate compares, extracted from a snapshot or a fresh run.
-struct GateTotals {
-    /// Flux + baseline wall-clock, in seconds.
+/// The figures the perf gate compares, for one benchmark or for the totals:
+/// wall-clock (Flux + baseline) and validity queries (Flux + baseline).
+struct GateFigures {
     time_s: f64,
-    /// Flux + baseline validity queries.
     smt_queries: f64,
 }
 
-fn snapshot_totals(raw: &str) -> Result<GateTotals, String> {
-    let value = flux_bench::json::parse(raw)?;
-    let totals = value.get("totals").ok_or("snapshot has no `totals`")?;
-    let time_of = |key: &str| {
-        totals
-            .get(key)
+/// Reads the gate tolerances from a committed snapshot's `gate` object,
+/// field by field (missing fields — e.g. an older snapshot — keep their
+/// defaults).  The values read here are also what the refreshed snapshot
+/// writes back out, so hand-tuned tolerances survive every refresh.
+fn tolerances_from_snapshot(value: &Value) -> flux::GateTolerances {
+    let defaults = flux::GateTolerances::default();
+    let field = |key: &str, default: f64| {
+        value
+            .get("gate")
+            .and_then(|g| g.get(key))
             .and_then(|v| v.as_f64())
-            .ok_or_else(|| format!("snapshot has no `totals.{key}`"))
+            .unwrap_or(default)
     };
-    let mut smt_queries = 0.0;
-    let benchmarks = value
-        .get("benchmarks")
-        .and_then(|v| v.as_array())
-        .ok_or("snapshot has no `benchmarks` array")?;
-    for row in benchmarks {
-        for side in ["flux", "baseline"] {
-            smt_queries += row
-                .get(side)
-                .and_then(|v| v.get("smt_queries"))
-                .and_then(|v| v.as_f64())
-                .ok_or_else(|| format!("snapshot row lacks `{side}.smt_queries`"))?;
-        }
+    flux::GateTolerances {
+        time_factor: field("time_factor", defaults.time_factor),
+        query_factor: field("query_factor", defaults.query_factor),
+        min_time_s: field("min_time_s", defaults.min_time_s),
+        min_queries: field("min_queries", defaults.min_queries),
     }
-    Ok(GateTotals {
-        time_s: time_of("flux_time_s")? + time_of("baseline_time_s")?,
+}
+
+fn row_figures(row: &Value, name: &str) -> Result<GateFigures, String> {
+    let mut time_s = 0.0;
+    let mut smt_queries = 0.0;
+    for side in ["flux", "baseline"] {
+        let outcome = row
+            .get(side)
+            .ok_or_else(|| format!("snapshot row `{name}` lacks `{side}`"))?;
+        time_s += outcome
+            .get("time_s")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("snapshot row `{name}` lacks `{side}.time_s`"))?;
+        smt_queries += outcome
+            .get("smt_queries")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("snapshot row `{name}` lacks `{side}.smt_queries`"))?;
+    }
+    Ok(GateFigures {
+        time_s,
         smt_queries,
     })
 }
 
-fn run_totals(rows: &[flux::TableRow]) -> GateTotals {
-    let mut time_s = 0.0;
-    let mut smt_queries = 0.0;
-    for row in rows.iter().filter(|r| !r.is_library) {
-        time_s += row.flux.time.as_secs_f64() + row.baseline.time.as_secs_f64();
-        smt_queries += (row.flux.stats.smt_queries + row.baseline.stats.smt_queries) as f64;
-    }
-    GateTotals {
-        time_s,
-        smt_queries,
+/// Per-benchmark figures of the committed snapshot, in file order.
+fn snapshot_benchmarks(value: &Value) -> Result<Vec<(String, GateFigures)>, String> {
+    let benchmarks = value
+        .get("benchmarks")
+        .and_then(|v| v.as_array())
+        .ok_or("snapshot has no `benchmarks` array")?;
+    benchmarks
+        .iter()
+        .map(|row| {
+            let name = match row.get("name") {
+                Some(Value::String(name)) => name.clone(),
+                _ => return Err("snapshot row has no `name`".to_owned()),
+            };
+            let figures = row_figures(row, &name)?;
+            Ok((name, figures))
+        })
+        .collect()
+}
+
+fn fresh_figures(row: &flux::TableRow) -> GateFigures {
+    GateFigures {
+        time_s: row.flux.time.as_secs_f64() + row.baseline.time.as_secs_f64(),
+        smt_queries: (row.flux.stats.smt_queries + row.baseline.stats.smt_queries) as f64,
     }
 }
 
-/// Compares the fresh run against the committed snapshot.  Returns `false`
-/// on a regression beyond the thresholds.
-fn gate(rows: &[flux::TableRow], committed: &str) -> bool {
-    let committed = match snapshot_totals(committed) {
-        Ok(totals) => totals,
+/// Compares the fresh run against the committed snapshot: totals first,
+/// then every benchmark individually against the snapshot's tolerances.
+/// Returns `false` on any regression beyond the thresholds.
+fn gate(rows: &[flux::TableRow], snapshot: &Value, tolerances: &flux::GateTolerances) -> bool {
+    let committed_rows = match snapshot_benchmarks(snapshot) {
+        Ok(rows) => rows,
         Err(e) => {
             // An unreadable snapshot cannot gate anything; report and pass
             // (the refreshed file written below re-baselines it).
@@ -82,28 +118,74 @@ fn gate(rows: &[flux::TableRow], committed: &str) -> bool {
             return true;
         }
     };
-    let fresh = run_totals(rows);
+    let fresh_rows: Vec<(&str, GateFigures)> = rows
+        .iter()
+        .filter(|r| !r.is_library)
+        .map(|r| (r.name.as_str(), fresh_figures(r)))
+        .collect();
+    let mut ok = true;
+
+    // Totals, as before: catches slow global drift spread thinly enough to
+    // stay under every per-benchmark threshold.
+    let committed_totals = GateFigures {
+        time_s: committed_rows.iter().map(|(_, f)| f.time_s).sum(),
+        smt_queries: committed_rows.iter().map(|(_, f)| f.smt_queries).sum(),
+    };
+    let fresh_totals = GateFigures {
+        time_s: fresh_rows.iter().map(|(_, f)| f.time_s).sum(),
+        smt_queries: fresh_rows.iter().map(|(_, f)| f.smt_queries).sum(),
+    };
     println!(
         "perf gate: wall-clock {:.3}s vs committed {:.3}s (limit {:.3}s), \
          smt_queries {} vs committed {} (limit {})",
-        fresh.time_s,
-        committed.time_s,
-        committed.time_s * 2.0,
-        fresh.smt_queries,
-        committed.smt_queries,
-        committed.smt_queries * 1.2,
+        fresh_totals.time_s,
+        committed_totals.time_s,
+        committed_totals.time_s * tolerances.time_factor,
+        fresh_totals.smt_queries,
+        committed_totals.smt_queries,
+        committed_totals.smt_queries * tolerances.query_factor,
     );
-    let mut ok = true;
-    if fresh.time_s > committed.time_s * 2.0 {
-        println!("perf gate FAILED: total wall-clock regressed more than 2x");
+    if fresh_totals.time_s > committed_totals.time_s * tolerances.time_factor {
+        println!("perf gate FAILED: total wall-clock regressed beyond the time factor");
         ok = false;
     }
-    if fresh.smt_queries > committed.smt_queries * 1.2 {
-        println!("perf gate FAILED: total smt_queries regressed more than 20%");
+    if fresh_totals.smt_queries > committed_totals.smt_queries * tolerances.query_factor {
+        println!("perf gate FAILED: total smt_queries regressed beyond the query factor");
         ok = false;
+    }
+
+    // Per benchmark: a regression on one row must fail even when wins
+    // elsewhere keep the totals green.
+    for (name, committed) in &committed_rows {
+        let Some((_, fresh)) = fresh_rows.iter().find(|(n, _)| n == name) else {
+            println!("perf gate FAILED: benchmark `{name}` is in the snapshot but did not run");
+            ok = false;
+            continue;
+        };
+        let time_limit = committed.time_s.max(tolerances.min_time_s) * tolerances.time_factor;
+        let query_limit =
+            committed.smt_queries.max(tolerances.min_queries) * tolerances.query_factor;
+        if fresh.time_s > time_limit {
+            println!(
+                "perf gate FAILED: {name} wall-clock {:.3}s exceeds {:.3}s \
+                 (committed {:.3}s x {})",
+                fresh.time_s, time_limit, committed.time_s, tolerances.time_factor,
+            );
+            ok = false;
+        }
+        if fresh.smt_queries > query_limit {
+            println!(
+                "perf gate FAILED: {name} smt_queries {} exceeds {} (committed {} x {})",
+                fresh.smt_queries, query_limit, committed.smt_queries, tolerances.query_factor,
+            );
+            ok = false;
+        }
     }
     if ok {
-        println!("perf gate passed");
+        println!(
+            "perf gate passed ({} benchmarks within tolerances)",
+            committed_rows.len()
+        );
     }
     ok
 }
@@ -112,6 +194,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     let mut json_path: Option<String> = None;
     let mut gate_enabled = true;
+    let mut threads: Option<usize> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => {
@@ -125,27 +208,65 @@ fn main() -> ExitCode {
                 });
             }
             "--no-gate" => gate_enabled = false,
+            "--threads" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => threads = Some(std::cmp::max(n, 1)),
+                _ => {
+                    eprintln!("--threads requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
-                eprintln!("unknown argument: {other} (supported: --json [PATH], --no-gate)");
+                eprintln!(
+                    "unknown argument: {other} (supported: --json [PATH], --no-gate, --threads N)"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
-    let config = flux::VerifyConfig::default();
+    let mut config = flux::VerifyConfig::default();
+    if let Some(threads) = threads {
+        config.check.fixpoint.threads = threads;
+    }
+    println!("fixpoint worker threads: {}", config.check.fixpoint.threads);
     let rows = flux::run_table1(&config);
     println!("{}", flux::render_table1(&rows));
     println!("incremental query engine (Flux mode | baseline):");
     println!("{}", flux::render_query_stats(&rows));
     let mut gate_ok = true;
     if let Some(path) = &json_path {
+        // Parse the committed snapshot once: its `gate` tolerances both
+        // drive the comparison and round-trip into the refreshed file, so
+        // hand-tuned values survive the rewrite — even under `--no-gate`.
+        // A missing file and a corrupt one are reported distinctly: an
+        // unreadable snapshot that *exists* (a bad merge, say) should not
+        // masquerade as a first run in the log.
+        let committed = match std::fs::read_to_string(path) {
+            Ok(raw) => match flux_bench::json::parse(&raw) {
+                Ok(value) => Some(value),
+                Err(e) => {
+                    println!(
+                        "perf gate: committed snapshot at {path} exists but is not \
+                         parseable ({e}); gating skipped, snapshot will be re-baselined"
+                    );
+                    None
+                }
+            },
+            Err(e) => {
+                println!("perf gate: no committed snapshot at {path} ({e})");
+                None
+            }
+        };
+        let tolerances = committed
+            .as_ref()
+            .map(tolerances_from_snapshot)
+            .unwrap_or_default();
         // Gate against the committed snapshot *before* overwriting it.
         if gate_enabled {
-            match std::fs::read_to_string(path) {
-                Ok(committed) => gate_ok = gate(&rows, &committed),
-                Err(e) => println!("perf gate: no committed snapshot at {path} ({e})"),
+            if let Some(snapshot) = &committed {
+                gate_ok = gate(&rows, snapshot, &tolerances);
             }
         }
-        let json = flux::render_table1_json(&rows);
+        let json = flux::render_table1_json(&rows, &tolerances);
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;

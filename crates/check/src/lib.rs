@@ -59,6 +59,10 @@ pub struct FnReport {
     pub time: Duration,
     /// Statistics from the fixpoint solver.
     pub fixpoint_stats: flux_fixpoint::FixStats,
+    /// SMT queries issued per worker slot of the fixpoint solve (a single
+    /// slot for sequential solves; see
+    /// [`flux_fixpoint::FixpointSolver::worker_queries`]).
+    pub worker_queries: Vec<usize>,
     /// Cumulative statistics of the underlying SMT engine (sessions, SAT
     /// rounds, theory checks).
     pub smt_stats: flux_smt::SmtStats,
@@ -114,6 +118,22 @@ impl Report {
         }
         total
     }
+
+    /// Per-worker-slot SMT query counts summed element-wise over all
+    /// checked functions (slot `w` aggregates the queries issued by worker
+    /// `w` across every function's solve).
+    pub fn total_worker_queries(&self) -> Vec<usize> {
+        let mut total: Vec<usize> = Vec::new();
+        for f in &self.functions {
+            if total.len() < f.worker_queries.len() {
+                total.resize(f.worker_queries.len(), 0);
+            }
+            for (slot, queries) in f.worker_queries.iter().enumerate() {
+                total[slot] += queries;
+            }
+        }
+        total
+    }
 }
 
 /// Checks every (non-trusted) function of a resolved program.
@@ -158,6 +178,7 @@ pub fn check_function_with(
             errors: vec![diag],
             time: start.elapsed(),
             fixpoint_stats: flux_fixpoint::FixStats::default(),
+            worker_queries: Vec::new(),
             smt_stats: flux_smt::SmtStats::default(),
         },
         Ok(gen) => {
@@ -178,6 +199,7 @@ pub fn check_function_with(
                 errors,
                 time: start.elapsed(),
                 fixpoint_stats: solver.stats,
+                worker_queries: solver.worker_queries.clone(),
                 smt_stats: solver.smt_stats().since(smt_before),
             }
         }

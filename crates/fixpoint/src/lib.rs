@@ -61,14 +61,22 @@
 mod cache;
 mod constraint;
 mod kvar;
+pub mod partition;
 mod qualifier;
 mod solve;
 
 pub use cache::{QueryKey, ValidityCache};
+// Cache internals (the global map, epoch/owner stamping, function-context
+// interning) are exposed only so the workspace-level concurrency stress
+// tests can hammer them directly; they are test plumbing, not API — hidden
+// from docs and free to change.
+#[doc(hidden)]
+pub use cache::{global_cache, intern_fn_ctx, next_epoch, next_owner, CacheEntry, FnCtxId};
 pub use constraint::{Clause, Constraint, Guard, Head, Tag};
 pub use kvar::{KVarApp, KVarDecl, KVarStore, KVid};
+pub use partition::{partition, Partition};
 pub use qualifier::{default_qualifiers, well_sorted, Qualifier};
-pub use solve::{FixConfig, FixResult, FixStats, FixpointSolver, Solution};
+pub use solve::{default_threads, FixConfig, FixResult, FixStats, FixpointSolver, Solution};
 
 #[cfg(test)]
 mod randtests {

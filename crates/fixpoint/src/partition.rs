@@ -1,0 +1,257 @@
+//! κ-dependency partitioning of a flattened clause set.
+//!
+//! Weakening one κ's candidate set can only affect clauses that mention that
+//! κ (as head or as guard), and a clause can only change κs it mentions.
+//! Two clauses whose κ-sets are connected — directly or transitively through
+//! other clauses — must therefore be scheduled on the same worker in clause
+//! order; clauses whose κ-sets are disjoint influence each other in no way
+//! and can weaken concurrently.  This module computes exactly that
+//! decomposition: the connected components of the bipartite clause/κ graph,
+//! via a union–find over κ identifiers.
+//!
+//! Concrete-head clauses are *not* part of the weakening interaction: they
+//! never change an assignment, they only read the final one.  They are
+//! reported separately (and notably do **not** merge the components of their
+//! guard κs — a bounds check guarded by two unrelated loop invariants must
+//! not serialise those loops' inference).
+
+use crate::constraint::{Clause, Guard, Head};
+use crate::kvar::{KVarStore, KVid};
+use std::collections::BTreeSet;
+
+/// The κ-dependency decomposition of a flattened clause set.
+#[derive(Debug)]
+pub struct Partition {
+    /// κ-head clause indices of each component, ascending within a
+    /// component; components ordered by their smallest clause index, so the
+    /// decomposition is a deterministic function of the clause list.
+    pub components: Vec<Vec<usize>>,
+    /// The κ variables each component reads or writes (heads and guards of
+    /// its clauses), in lockstep with `components`.  Distinct components
+    /// have disjoint κ-sets — that is the partitioning invariant.
+    pub kvar_sets: Vec<BTreeSet<KVid>>,
+    /// Concrete-head clause indices, ascending.  These only *read* κ
+    /// assignments (possibly from several components) and are checked after
+    /// every component has converged.
+    pub concrete: Vec<usize>,
+}
+
+impl Partition {
+    /// Total number of κ-head clauses across all components.
+    pub fn kvar_clauses(&self) -> usize {
+        self.components.iter().map(Vec::len).sum()
+    }
+}
+
+/// A union–find (disjoint-set forest) over κ indices, with path halving and
+/// union by size.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+}
+
+/// The κ variables mentioned by `clause` (head and guards).
+fn clause_kvars(clause: &Clause) -> impl Iterator<Item = KVid> + '_ {
+    let head = match &clause.head {
+        Head::KVar(app) => Some(app.kvid),
+        Head::Pred(..) => None,
+    };
+    head.into_iter()
+        .chain(clause.guards.iter().filter_map(|g| match g {
+            Guard::KVar(app) => Some(app.kvid),
+            Guard::Pred(_) => None,
+        }))
+}
+
+/// Partitions `clauses` into κ-dependency components (see the module docs).
+pub fn partition(clauses: &[Clause], kvars: &KVarStore) -> Partition {
+    let mut uf = UnionFind::new(kvars.len());
+    let mut concrete = Vec::new();
+    for (ci, clause) in clauses.iter().enumerate() {
+        match &clause.head {
+            Head::Pred(..) => concrete.push(ci),
+            Head::KVar(app) => {
+                // The head κ is written and every guard κ is read by the
+                // same clause, so they all interact: union them.
+                for kvid in clause_kvars(clause) {
+                    uf.union(app.kvid.0, kvid.0);
+                }
+            }
+        }
+    }
+    // Group κ-head clauses by the root of their head κ, in clause order, so
+    // component membership and ordering are deterministic.
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    let mut kvar_sets: Vec<BTreeSet<KVid>> = Vec::new();
+    let mut root_to_component: Vec<Option<usize>> = vec![None; kvars.len()];
+    for (ci, clause) in clauses.iter().enumerate() {
+        let Head::KVar(app) = &clause.head else {
+            continue;
+        };
+        let root = uf.find(app.kvid.0) as usize;
+        let slot = match root_to_component[root] {
+            Some(slot) => slot,
+            None => {
+                root_to_component[root] = Some(components.len());
+                components.push(Vec::new());
+                kvar_sets.push(BTreeSet::new());
+                components.len() - 1
+            }
+        };
+        components[slot].push(ci);
+        kvar_sets[slot].extend(clause_kvars(clause));
+    }
+    Partition {
+        components,
+        kvar_sets,
+        concrete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kvar::KVarApp;
+    use flux_logic::{Expr, Name, Sort};
+
+    fn v(s: &str) -> Expr {
+        Expr::var(Name::intern(s))
+    }
+
+    fn kvar_head(k: KVid, guards: Vec<Guard>) -> Clause {
+        Clause {
+            binders: vec![(Name::intern("pt_x"), Sort::Int)],
+            guards,
+            head: Head::KVar(KVarApp::new(k, vec![v("pt_x")])),
+        }
+    }
+
+    fn concrete_head(guards: Vec<Guard>) -> Clause {
+        Clause {
+            binders: vec![(Name::intern("pt_x"), Sort::Int)],
+            guards,
+            head: Head::Pred(Expr::ge(v("pt_x"), Expr::int(0)), 0),
+        }
+    }
+
+    fn guard_k(k: KVid) -> Guard {
+        Guard::KVar(KVarApp::new(k, vec![v("pt_x")]))
+    }
+
+    #[test]
+    fn disjoint_kvar_sets_split_into_components() {
+        let mut kvars = KVarStore::new();
+        let k0 = kvars.fresh(vec![Sort::Int]);
+        let k1 = kvars.fresh(vec![Sort::Int]);
+        let clauses = vec![kvar_head(k0, vec![]), kvar_head(k1, vec![])];
+        let p = partition(&clauses, &kvars);
+        assert_eq!(p.components, vec![vec![0], vec![1]]);
+        assert!(p.kvar_sets[0].is_disjoint(&p.kvar_sets[1]));
+        assert!(p.concrete.is_empty());
+    }
+
+    #[test]
+    fn guard_dependencies_merge_components() {
+        let mut kvars = KVarStore::new();
+        let k0 = kvars.fresh(vec![Sort::Int]);
+        let k1 = kvars.fresh(vec![Sort::Int]);
+        let k2 = kvars.fresh(vec![Sort::Int]);
+        // k1's head depends on k0; k2 is independent.
+        let clauses = vec![
+            kvar_head(k0, vec![]),
+            kvar_head(k1, vec![guard_k(k0)]),
+            kvar_head(k2, vec![]),
+        ];
+        let p = partition(&clauses, &kvars);
+        assert_eq!(p.components, vec![vec![0, 1], vec![2]]);
+        assert_eq!(
+            p.kvar_sets[0],
+            BTreeSet::from([k0, k1]),
+            "the dependent pair forms one component"
+        );
+    }
+
+    #[test]
+    fn transitive_dependencies_merge_components() {
+        let mut kvars = KVarStore::new();
+        let k0 = kvars.fresh(vec![Sort::Int]);
+        let k1 = kvars.fresh(vec![Sort::Int]);
+        let k2 = kvars.fresh(vec![Sort::Int]);
+        // k0 ← k1 and k1 ← k2 chain all three together, whichever order the
+        // clauses appear in.
+        let clauses = vec![
+            kvar_head(k2, vec![guard_k(k1)]),
+            kvar_head(k0, vec![]),
+            kvar_head(k1, vec![guard_k(k0)]),
+        ];
+        let p = partition(&clauses, &kvars);
+        assert_eq!(p.components, vec![vec![0, 1, 2]]);
+        assert_eq!(p.kvar_sets[0], BTreeSet::from([k0, k1, k2]));
+    }
+
+    #[test]
+    fn concrete_clauses_do_not_merge_components() {
+        let mut kvars = KVarStore::new();
+        let k0 = kvars.fresh(vec![Sort::Int]);
+        let k1 = kvars.fresh(vec![Sort::Int]);
+        // A concrete obligation guarded by both κs reads both components but
+        // must not serialise them.
+        let clauses = vec![
+            kvar_head(k0, vec![]),
+            kvar_head(k1, vec![]),
+            concrete_head(vec![guard_k(k0), guard_k(k1)]),
+        ];
+        let p = partition(&clauses, &kvars);
+        assert_eq!(p.components.len(), 2);
+        assert_eq!(p.concrete, vec![2]);
+    }
+
+    #[test]
+    fn clause_order_is_preserved_within_components() {
+        let mut kvars = KVarStore::new();
+        let k0 = kvars.fresh(vec![Sort::Int]);
+        let k1 = kvars.fresh(vec![Sort::Int]);
+        // Interleaved clause list: the component must keep ascending clause
+        // indices (the sequential visit order restricted to the component).
+        let clauses = vec![
+            kvar_head(k0, vec![]),
+            kvar_head(k1, vec![]),
+            kvar_head(k0, vec![guard_k(k0)]),
+            kvar_head(k1, vec![guard_k(k1)]),
+        ];
+        let p = partition(&clauses, &kvars);
+        assert_eq!(p.components, vec![vec![0, 2], vec![1, 3]]);
+    }
+}

@@ -8,6 +8,24 @@
 //! more weakening is possible the assignment is the strongest solution
 //! expressible with the qualifiers; the remaining clauses with concrete
 //! heads are then checked once, and any failure is reported with its tag.
+//!
+//! # Parallel weakening
+//!
+//! Clauses interact only through the κ variables they mention, so the
+//! clause set decomposes into κ-dependency components ([`crate::partition`])
+//! that weaken independently.  With [`FixConfig::threads`] > 1 each
+//! component runs its own weakening loop on a scoped worker thread (a
+//! hand-rolled atomic work queue — the environment has no external crates),
+//! against its own private slice of the assignment; the final concrete-head
+//! checks, which only *read* the converged assignment, are likewise spread
+//! across workers.  Verdicts and the final [`Solution`] are identical to
+//! sequential mode: within a component the visit order is exactly the
+//! sequential clause order, across components there is no interaction at
+//! all, and the weakening fixpoint is confluent besides (candidates are only
+//! ever dropped when refuted, and the greatest inductive subset of the
+//! initial candidates is unique).  `threads = 1` bypasses the partitioned
+//! scheduler entirely and reproduces the historical single-loop engine
+//! bit for bit, statistics included.
 
 use crate::cache::{
     global_cache, intern_fn_ctx, next_epoch, next_owner, CacheEntry, FnCtxId, QueryKey,
@@ -15,11 +33,44 @@ use crate::cache::{
 };
 use crate::constraint::{Clause, Constraint, Guard, Head, Tag};
 use crate::kvar::{KVarApp, KVarStore, KVid};
+use crate::partition::{partition, Partition};
 use crate::qualifier::{default_qualifiers, Qualifier};
 use flux_logic::{Expr, ExprId, Name, Sort, SortCtx};
-use flux_smt::{Model, Session, SmtConfig, Solver, Validity};
-use std::collections::{BTreeMap, HashSet};
-use std::sync::Arc;
+use flux_smt::{Model, Session, SmtConfig, SmtStats, Solver, Validity};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The default worker-thread count of [`FixConfig`]: the `FLUX_THREADS`
+/// environment variable when set (clamped to at least 1), otherwise the
+/// machine's available parallelism.
+///
+/// A set-but-unparsable `FLUX_THREADS` falls back to **1**, not to the
+/// machine's parallelism, and warns on stderr: the variable exists to pin
+/// runs to the sequential engine (CI runs the suite under
+/// `FLUX_THREADS=1`), so a typo must never silently promote such a run to
+/// the parallel scheduler.  An empty value counts as unset.
+pub fn default_threads() -> usize {
+    static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    // Resolved once per process: the env read, the parallelism syscall and
+    // (on a malformed value) the warning don't repeat for every
+    // `FixConfig::default()` the program constructs.
+    *RESOLVED.get_or_init(|| match std::env::var("FLUX_THREADS") {
+        Ok(raw) if !raw.trim().is_empty() => match raw.trim().parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                eprintln!(
+                    "warning: FLUX_THREADS={raw:?} is not a positive integer; \
+                     running sequentially (threads = 1)"
+                );
+                1
+            }
+        },
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    })
+}
 
 /// Configuration of the fixpoint solver.
 #[derive(Clone, Debug)]
@@ -49,6 +100,12 @@ pub struct FixConfig {
     /// has already proved; verdicts are identical either way because cached
     /// entries replay exactly what the engine would recompute.
     pub global_cache: bool,
+    /// Worker threads for the partitioned weakening scheduler (see the
+    /// module docs).  `1` reproduces the historical sequential engine
+    /// exactly; the default is [`default_threads`] (the `FLUX_THREADS`
+    /// environment variable, else the machine's parallelism).  Verdicts and
+    /// solutions are thread-count-invariant.
+    pub threads: usize,
 }
 
 impl Default for FixConfig {
@@ -60,6 +117,7 @@ impl Default for FixConfig {
             incremental: true,
             model_pruning: true,
             global_cache: true,
+            threads: default_threads(),
         }
     }
 }
@@ -73,7 +131,10 @@ pub struct FixStats {
     pub kvars: usize,
     /// Number of initial candidate conjuncts across all κ variables.
     pub initial_candidates: usize,
-    /// Number of weakening iterations performed.
+    /// Number of weakening iterations performed.  In parallel mode each
+    /// component counts its own iterations and the totals are summed, so
+    /// the figure is comparable to — but not identical with — the global
+    /// iteration count of the sequential engine.
     pub iterations: usize,
     /// Number of SMT validity queries requested (including cache hits).
     pub smt_queries: usize,
@@ -93,11 +154,19 @@ pub struct FixStats {
     /// Candidates dropped by evaluating them under a counter-model instead
     /// of issuing a per-candidate SMT query.
     pub model_prunes: usize,
+    /// Worker-thread cap of the solve ([`FixConfig::threads`]); aggregated
+    /// by maximum, so program totals report the configured parallelism.
+    pub threads: usize,
+    /// Number of independent κ-dependency components the clause set split
+    /// into (an upper bound on usable weakening parallelism).
+    pub partitions: usize,
 }
 
 impl FixStats {
-    /// Adds `other` into `self` field-wise; used to aggregate per-function
-    /// statistics into program totals in `flux-check`.
+    /// Adds `other` into `self` field-wise (counters sum; the `threads` cap
+    /// merges by maximum); used to aggregate per-worker statistics into a
+    /// solve's totals and per-function statistics into program totals in
+    /// `flux-check`.
     pub fn absorb(&mut self, other: &FixStats) {
         self.clauses += other.clauses;
         self.kvars += other.kvars;
@@ -110,6 +179,8 @@ impl FixStats {
         self.cache_misses += other.cache_misses;
         self.sessions += other.sessions;
         self.model_prunes += other.model_prunes;
+        self.threads = self.threads.max(other.threads);
+        self.partitions += other.partitions;
     }
 }
 
@@ -177,6 +248,30 @@ impl Solution {
         let ids = self.ids.get_mut(&kvid).expect("ids kept in lockstep");
         let mut keep = mask.iter();
         ids.retain(|_| *keep.next().expect("mask is as long as the candidates"));
+    }
+
+    /// Moves the entries of `kvids` out into their own solution — a
+    /// worker's private slice of the assignment.  The κ-sets of distinct
+    /// components are disjoint, so extraction distributes the assignment
+    /// across workers without copying or locking.
+    fn extract(&mut self, kvids: &BTreeSet<KVid>) -> Solution {
+        let mut out = Solution::default();
+        for &kvid in kvids {
+            if let Some(conjuncts) = self.assignment.remove(&kvid) {
+                out.assignment.insert(kvid, conjuncts);
+            }
+            if let Some(ids) = self.ids.remove(&kvid) {
+                out.ids.insert(kvid, ids);
+            }
+        }
+        out
+    }
+
+    /// Reabsorbs a worker's slice; the keys are disjoint from `self`'s by
+    /// the partitioning invariant.
+    fn merge(&mut self, other: Solution) {
+        self.assignment.extend(other.assignment);
+        self.ids.extend(other.ids);
     }
 }
 
@@ -254,6 +349,17 @@ impl ClauseState {
     }
 }
 
+/// Per-clause weakening state lives on worker threads (and carries the live
+/// solver session with it); keep it — and everything else a worker owns or
+/// returns — `Send` by construction.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ClauseState>();
+    assert_send::<Solution>();
+    assert_send::<FixStats>();
+    assert_send::<FixResult>();
+};
+
 /// The versions of the κ-guards of `clause`, in clause order.
 fn guard_versions_of(clause: &Clause, versions: &BTreeMap<KVid, u64>) -> Vec<u64> {
     clause
@@ -313,89 +419,54 @@ impl Goals<'_> {
     }
 }
 
-/// The fixpoint solver.
-pub struct FixpointSolver {
-    /// Configuration.
-    pub config: FixConfig,
-    /// Statistics of the most recent [`FixpointSolver::solve`] call.
-    pub stats: FixStats,
+/// The per-worker clause-solving engine: everything one weakening (or
+/// concrete-check) worker needs, owned privately so partitions solve
+/// without sharing mutable state — statistics and the one-shot fallback
+/// solver included.  The only state workers share are the caches, which are
+/// mutex-guarded: the process-global hash-cons / CNF / verdict tables, and
+/// the owning solver's hermetic cache when the global one is disabled.
+struct Engine<'a> {
+    config: &'a FixConfig,
+    stats: FixStats,
     smt: Solver,
-    /// The hermetic per-solver cache, used when `config.global_cache` is
-    /// off; otherwise verdicts live in [`global_cache`].
-    local_cache: ValidityCache,
-    /// This solver's identity for cache-hit attribution.
+    /// The owning solver's hermetic cache (used when `global_cache` is
+    /// off); shared by every worker of that solver.
+    local_cache: &'a Mutex<ValidityCache>,
+    /// The owning solver's identity for cache-hit attribution.
     solver_id: u64,
-    /// The global epoch of the current [`FixpointSolver::solve`] call;
-    /// entries stamped with an earlier epoch were created by an earlier
-    /// solve (of this solver or any other).
+    /// The owning solver's current solve epoch.
     epoch: u64,
     /// Interned function-declaration context of the current solve.
     fns: FnCtxId,
 }
 
-impl FixpointSolver {
-    /// Creates a solver with the given configuration.
-    pub fn new(config: FixConfig) -> FixpointSolver {
-        let smt = Solver::new(config.smt);
-        FixpointSolver {
-            config,
+impl<'a> Engine<'a> {
+    fn new(solver: &'a FixpointSolver) -> Engine<'a> {
+        Engine {
+            config: &solver.config,
             stats: FixStats::default(),
-            smt,
-            local_cache: ValidityCache::new(),
-            solver_id: next_owner(),
-            epoch: 0,
-            fns: intern_fn_ctx(&SortCtx::new()),
+            smt: Solver::new(solver.config.smt),
+            local_cache: &solver.local_cache,
+            solver_id: solver.solver_id,
+            epoch: solver.epoch,
+            fns: solver.fns,
         }
     }
 
-    /// Creates a solver with the default configuration.
-    pub fn with_defaults() -> FixpointSolver {
-        FixpointSolver::new(FixConfig::default())
-    }
-
-    /// Solves `constraint` under the κ declarations in `kvars`.
-    ///
-    /// `ctx` provides sorts for any free names not bound inside the
-    /// constraint itself (and declarations of uninterpreted functions).
-    pub fn solve(
+    /// Runs the weakening loop over the clauses in `subset` (indices into
+    /// `clauses`, ascending) until a fixpoint or the iteration bound.
+    /// Clauses outside `subset` are never touched, and `solution` must
+    /// contain every κ the subset's clauses mention — in sequential mode
+    /// that is the whole assignment, in parallel mode the component's
+    /// private slice.
+    fn weaken(
         &mut self,
-        constraint: &Constraint,
+        clauses: &[Clause],
+        subset: &[usize],
         kvars: &KVarStore,
         ctx: &SortCtx,
-    ) -> FixResult {
-        let clauses = constraint.flatten();
-        self.stats = FixStats {
-            clauses: clauses.len(),
-            kvars: kvars.len(),
-            ..FixStats::default()
-        };
-        // Verdicts survive across solve calls — and, through the global
-        // cache, across solvers and benchmarks.  The epoch stamp attributes
-        // each later hit to the solve that created the entry, and the
-        // interned function-declaration context in every key keeps verdicts
-        // from leaking between incompatible interpretation contexts (the
-        // historical design cleared the cache on context change instead,
-        // which forfeited exactly this sharing).
-        self.epoch = next_epoch();
-        self.fns = intern_fn_ctx(ctx);
-
-        // Initial assignment: all well-sorted qualifier instantiations.
-        // Distinct qualifier templates can instantiate to the same predicate
-        // (e.g. `ν ≥ 0` from both a bound and a nonneg template), and the
-        // instantiation order gives no adjacency guarantee — dedup by
-        // hash-consed id so duplicates can't double the SMT work.
-        let mut solution = Solution::default();
-        for decl in kvars.iter() {
-            let mut candidates = Vec::new();
-            for qualifier in &self.config.qualifiers {
-                candidates.extend(qualifier.instantiate(decl));
-            }
-            let mut seen: HashSet<ExprId> = HashSet::with_capacity(candidates.len());
-            candidates.retain(|c| seen.insert(ExprId::intern(c)));
-            self.stats.initial_candidates += candidates.len();
-            solution.set(decl.id, candidates);
-        }
-
+        solution: &mut Solution,
+    ) {
         // Iterative weakening.  All derived per-clause inputs — candidate
         // instantiations, hypothesis expressions, cache keys and the solver
         // session itself — are pure functions of the κ assignments the
@@ -408,18 +479,21 @@ impl FixpointSolver {
         // and re-assumed every clause every iteration — which, not the
         // theory work, dominated wall-clock on the slow benchmarks.
         let mut versions: BTreeMap<KVid, u64> = BTreeMap::new();
-        let mut states: Vec<Option<ClauseState>> = (0..clauses.len()).map(|_| None).collect();
+        // Indexed by position in `subset` (not clause index): a worker only
+        // ever materializes state for its own component's clauses.
+        let mut states: Vec<Option<ClauseState>> = (0..subset.len()).map(|_| None).collect();
         for _ in 0..self.config.max_iterations {
             self.stats.iterations += 1;
             let mut changed = false;
-            for (ci, clause) in clauses.iter().enumerate() {
+            for (si, &ci) in subset.iter().enumerate() {
+                let clause = &clauses[ci];
                 let Head::KVar(app) = &clause.head else {
                     continue;
                 };
                 let decl = kvars.get(app.kvid);
                 let head_version = versions.get(&app.kvid).copied().unwrap_or(0);
                 let guard_versions = guard_versions_of(clause, &versions);
-                let (stale_head, stale_guards) = match &states[ci] {
+                let (stale_head, stale_guards) = match &states[si] {
                     Some(state) => (
                         state.head_version != head_version,
                         state.guard_versions != guard_versions,
@@ -436,7 +510,7 @@ impl FixpointSolver {
                         }
                         _ => continue,
                     };
-                    match (&mut states[ci], stale_guards) {
+                    match (&mut states[si], stale_guards) {
                         (Some(state), false) => {
                             // Only this clause's own candidates changed: the
                             // hypotheses — and with them the cache keys and
@@ -448,7 +522,7 @@ impl FixpointSolver {
                             state.converged_hit = None;
                         }
                         (slot, _) => {
-                            let hyp_ids = clause_hypotheses_ids(clause, &solution, kvars);
+                            let hyp_ids = clause_hypotheses_ids(clause, solution, kvars);
                             let clause_ctx = clause_ctx(clause, ctx);
                             let keys = self.keys_for(&clause_ctx, &hyp_ids);
                             if let Some(old) = slot.take() {
@@ -471,7 +545,7 @@ impl FixpointSolver {
                 } else if solution.num_conjuncts(app.kvid) == 0 {
                     continue;
                 }
-                let state = states[ci].as_mut().expect("state was just prepared");
+                let state = states[si].as_mut().expect("state was just prepared");
                 // A clause that already converged at these versions can't
                 // weaken anything: replay the fast-path hit it recorded
                 // (identical bookkeeping, zero lookups).
@@ -599,48 +673,58 @@ impl FixpointSolver {
         for state in states.into_iter().flatten() {
             self.close(state.session);
         }
-
-        // Check concrete heads under the final assignment.  The hypotheses
-        // of these clauses are unchanged since the last weakening iteration,
-        // so on κ-free-or-converged systems these queries hit the cache.
-        let mut failed = Vec::new();
-        let mut failed_tags: HashSet<Tag> = HashSet::new();
-        for clause in &clauses {
-            let Head::Pred(goal, tag) = &clause.head else {
-                continue;
-            };
-            let hyp_ids = clause_hypotheses_ids(clause, &solution, kvars);
-            let clause_ctx = clause_ctx(clause, ctx);
-            let keys = self.keys_for(&clause_ctx, &hyp_ids);
-            let mut session = None;
-            let goal_id = ExprId::intern(goal);
-            if !self
-                .check(
-                    &mut session,
-                    &clause_ctx,
-                    &keys,
-                    &hyp_ids,
-                    &Goals::Single(goal_id),
-                )
-                .is_valid()
-                && failed_tags.insert(*tag)
-            {
-                failed.push(*tag);
-            }
-            self.close(session);
-        }
-        if failed.is_empty() {
-            FixResult::Safe(solution)
-        } else {
-            FixResult::Unsafe { solution, failed }
-        }
     }
 
-    /// Cumulative statistics of the underlying SMT engine (all sessions and
-    /// one-shot queries) since creation; exposed for benchmarking and for
-    /// the end-to-end reporting in `flux-check`.
-    pub fn smt_stats(&self) -> flux_smt::SmtStats {
-        self.smt.stats
+    /// Checks one concrete-head clause under the final assignment.  Returns
+    /// the clause's tag and whether the obligation held.
+    fn check_concrete_clause(
+        &mut self,
+        clause: &Clause,
+        kvars: &KVarStore,
+        ctx: &SortCtx,
+        solution: &Solution,
+    ) -> (Tag, bool) {
+        let Head::Pred(goal, tag) = &clause.head else {
+            unreachable!("concrete subset contains only Pred heads");
+        };
+        let hyp_ids = clause_hypotheses_ids(clause, solution, kvars);
+        let clause_ctx = clause_ctx(clause, ctx);
+        let keys = self.keys_for(&clause_ctx, &hyp_ids);
+        let mut session = None;
+        let goal_id = ExprId::intern(goal);
+        let valid = self
+            .check(
+                &mut session,
+                &clause_ctx,
+                &keys,
+                &hyp_ids,
+                &Goals::Single(goal_id),
+            )
+            .is_valid();
+        self.close(session);
+        (*tag, valid)
+    }
+
+    /// Checks every clause in `subset` (concrete-head indices, ascending)
+    /// under the final assignment, returning `(clause index, tag, valid)`
+    /// per clause.  The hypotheses of these clauses are unchanged since the
+    /// last weakening iteration, so on κ-free-or-converged systems these
+    /// queries hit the cache.
+    fn check_concrete(
+        &mut self,
+        clauses: &[Clause],
+        subset: &[usize],
+        kvars: &KVarStore,
+        ctx: &SortCtx,
+        solution: &Solution,
+    ) -> Vec<(usize, Tag, bool)> {
+        subset
+            .iter()
+            .map(|&ci| {
+                let (tag, valid) = self.check_concrete_clause(&clauses[ci], kvars, ctx, solution);
+                (ci, tag, valid)
+            })
+            .collect()
     }
 
     fn keys_for(&self, clause_ctx: &SortCtx, hyp_ids: &[ExprId]) -> Option<ClauseKeys> {
@@ -654,12 +738,15 @@ impl FixpointSolver {
         if self.config.global_cache {
             global_cache().lookup(key)
         } else {
-            self.local_cache.lookup(key)
+            self.local_cache
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .lookup(key)
         }
     }
 
     /// Stores a verdict in whichever cache this solver uses, stamped with
-    /// the current epoch and this solver's identity.
+    /// the current epoch and the owning solver's identity.
     ///
     /// `Unknown` is the one *budget-relative* verdict — a solver with
     /// larger limits might decide the same query — so it is never shared
@@ -673,6 +760,8 @@ impl FixpointSolver {
             }
         } else {
             self.local_cache
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .insert(key, verdict, self.epoch, self.solver_id);
         }
     }
@@ -776,6 +865,289 @@ impl FixpointSolver {
         if let Some(session) = session {
             self.smt.absorb(*session.stats());
         }
+    }
+}
+
+/// The fixpoint solver.
+pub struct FixpointSolver {
+    /// Configuration.
+    pub config: FixConfig,
+    /// Statistics of the most recent [`FixpointSolver::solve`] call.  In
+    /// parallel mode the per-worker statistics are merged in worker-slot
+    /// order; the *totals* are stable because [`FixStats::absorb`] is
+    /// commutative (sums and a max), but which worker processed which
+    /// component — and hence each slot's share — depends on scheduling
+    /// (see [`FixpointSolver::worker_queries`]).
+    pub stats: FixStats,
+    /// SMT queries issued per worker slot during the most recent solve
+    /// (weakening and concrete-check phases combined).  Sequential solves
+    /// report a single slot.  Work is claimed dynamically, so the split
+    /// across slots may vary between runs; the sum always equals
+    /// `stats.smt_queries`.
+    pub worker_queries: Vec<usize>,
+    smt: Solver,
+    /// The hermetic per-solver cache, used when `config.global_cache` is
+    /// off; otherwise verdicts live in [`global_cache`].  Mutex-guarded so
+    /// the weakening workers of one solve can share it.
+    local_cache: Mutex<ValidityCache>,
+    /// This solver's identity for cache-hit attribution.
+    solver_id: u64,
+    /// The global epoch of the current [`FixpointSolver::solve`] call;
+    /// entries stamped with an earlier epoch were created by an earlier
+    /// solve (of this solver or any other).
+    epoch: u64,
+    /// Interned function-declaration context of the current solve.
+    fns: FnCtxId,
+}
+
+impl FixpointSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: FixConfig) -> FixpointSolver {
+        let smt = Solver::new(config.smt);
+        FixpointSolver {
+            config,
+            stats: FixStats::default(),
+            worker_queries: Vec::new(),
+            smt,
+            local_cache: Mutex::new(ValidityCache::new()),
+            solver_id: next_owner(),
+            epoch: 0,
+            fns: intern_fn_ctx(&SortCtx::new()),
+        }
+    }
+
+    /// Creates a solver with the default configuration.
+    pub fn with_defaults() -> FixpointSolver {
+        FixpointSolver::new(FixConfig::default())
+    }
+
+    /// Solves `constraint` under the κ declarations in `kvars`.
+    ///
+    /// `ctx` provides sorts for any free names not bound inside the
+    /// constraint itself (and declarations of uninterpreted functions).
+    pub fn solve(
+        &mut self,
+        constraint: &Constraint,
+        kvars: &KVarStore,
+        ctx: &SortCtx,
+    ) -> FixResult {
+        let clauses = constraint.flatten();
+        // Verdicts survive across solve calls — and, through the global
+        // cache, across solvers and benchmarks.  The epoch stamp attributes
+        // each later hit to the solve that created the entry, and the
+        // interned function-declaration context in every key keeps verdicts
+        // from leaking between incompatible interpretation contexts (the
+        // historical design cleared the cache on context change instead,
+        // which forfeited exactly this sharing).
+        self.epoch = next_epoch();
+        self.fns = intern_fn_ctx(ctx);
+        let threads = self.config.threads.max(1);
+        let parts = partition(&clauses, kvars);
+        self.stats = FixStats {
+            clauses: clauses.len(),
+            kvars: kvars.len(),
+            threads,
+            partitions: parts.components.len(),
+            ..FixStats::default()
+        };
+        self.worker_queries.clear();
+
+        // Initial assignment: all well-sorted qualifier instantiations.
+        // Distinct qualifier templates can instantiate to the same predicate
+        // (e.g. `ν ≥ 0` from both a bound and a nonneg template), and the
+        // instantiation order gives no adjacency guarantee — dedup by
+        // hash-consed id so duplicates can't double the SMT work.
+        let mut solution = Solution::default();
+        for decl in kvars.iter() {
+            let mut candidates = Vec::new();
+            for qualifier in &self.config.qualifiers {
+                candidates.extend(qualifier.instantiate(decl));
+            }
+            let mut seen: HashSet<ExprId> = HashSet::with_capacity(candidates.len());
+            candidates.retain(|c| seen.insert(ExprId::intern(c)));
+            self.stats.initial_candidates += candidates.len();
+            solution.set(decl.id, candidates);
+        }
+
+        let failed_checks = if threads == 1 {
+            self.solve_sequential(&clauses, &parts, kvars, ctx, &mut solution)
+        } else {
+            self.solve_parallel(&clauses, &parts, threads, kvars, ctx, &mut solution)
+        };
+
+        // Assemble the blamed tags in clause order, deduplicated — the same
+        // order the historical sequential pass produced.
+        let mut failed = Vec::new();
+        let mut failed_tags: HashSet<Tag> = HashSet::new();
+        for (_, tag, valid) in failed_checks {
+            if !valid && failed_tags.insert(tag) {
+                failed.push(tag);
+            }
+        }
+        if failed.is_empty() {
+            FixResult::Safe(solution)
+        } else {
+            FixResult::Unsafe { solution, failed }
+        }
+    }
+
+    /// The historical single-threaded engine: one global weakening loop
+    /// interleaving every clause in clause order, then the concrete-head
+    /// pass, all on one engine.
+    fn solve_sequential(
+        &mut self,
+        clauses: &[Clause],
+        parts: &Partition,
+        kvars: &KVarStore,
+        ctx: &SortCtx,
+        solution: &mut Solution,
+    ) -> Vec<(usize, Tag, bool)> {
+        let all: Vec<usize> = (0..clauses.len()).collect();
+        let mut engine = Engine::new(self);
+        engine.weaken(clauses, &all, kvars, ctx, solution);
+        let failed = engine.check_concrete(clauses, &parts.concrete, kvars, ctx, solution);
+        let (stats, smt_stats) = (engine.stats, engine.smt.stats);
+        self.stats.absorb(&stats);
+        self.smt.absorb(smt_stats);
+        self.worker_queries.push(stats.smt_queries);
+        failed
+    }
+
+    /// The partitioned scheduler: κ-dependency components weaken on scoped
+    /// worker threads pulling from an atomic work queue, then the
+    /// concrete-head checks spread across workers the same way.  The
+    /// solution merges in component order and the verdicts in clause
+    /// order, so those outputs depend only on the inputs (not even on the
+    /// thread cap); statistics merge in worker-slot order, which makes the
+    /// *totals* stable (absorb is commutative) while each slot's share
+    /// still depends on which worker claimed which component.
+    fn solve_parallel(
+        &mut self,
+        clauses: &[Clause],
+        parts: &Partition,
+        threads: usize,
+        kvars: &KVarStore,
+        ctx: &SortCtx,
+        solution: &mut Solution,
+    ) -> Vec<(usize, Tag, bool)> {
+        // Each component's slice of the assignment travels to whichever
+        // worker claims the component, and back, through its task cell.
+        struct TaskCell {
+            input: Option<Solution>,
+            output: Option<Solution>,
+        }
+        let tasks: Vec<Mutex<TaskCell>> = parts
+            .kvar_sets
+            .iter()
+            .map(|kvids| {
+                Mutex::new(TaskCell {
+                    input: Some(solution.extract(kvids)),
+                    output: None,
+                })
+            })
+            .collect();
+        let mut worker_stats: Vec<(FixStats, SmtStats)> = Vec::new();
+        if !parts.components.is_empty() {
+            let queue = AtomicUsize::new(0);
+            let workers = threads.min(parts.components.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut engine = Engine::new(self);
+                            loop {
+                                let i = queue.fetch_add(1, Ordering::Relaxed);
+                                let Some(subset) = parts.components.get(i) else {
+                                    break;
+                                };
+                                let mut slice = tasks[i]
+                                    .lock()
+                                    .expect("task cell poisoned")
+                                    .input
+                                    .take()
+                                    .expect("each component is claimed once");
+                                engine.weaken(clauses, subset, kvars, ctx, &mut slice);
+                                tasks[i].lock().expect("task cell poisoned").output = Some(slice);
+                            }
+                            (engine.stats, engine.smt.stats)
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    worker_stats.push(handle.join().expect("weakening worker panicked"));
+                }
+            });
+        }
+        for cell in tasks {
+            let cell = cell.into_inner().expect("task cell poisoned");
+            solution.merge(cell.output.expect("every component was solved"));
+        }
+
+        // Concrete-head checks: read-only over the converged assignment and
+        // mutually independent, so any worker can take any clause; the
+        // per-clause verdicts are re-ordered by clause index afterwards.
+        let mut failed: Vec<(usize, Tag, bool)> = Vec::new();
+        if !parts.concrete.is_empty() {
+            let queue = AtomicUsize::new(0);
+            let workers = threads.min(parts.concrete.len());
+            let results: Mutex<Vec<(usize, Tag, bool)>> = Mutex::new(Vec::new());
+            let solution = &*solution;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut engine = Engine::new(self);
+                            let mut local = Vec::new();
+                            loop {
+                                let i = queue.fetch_add(1, Ordering::Relaxed);
+                                let Some(&ci) = parts.concrete.get(i) else {
+                                    break;
+                                };
+                                let (tag, valid) = engine.check_concrete_clause(
+                                    &clauses[ci],
+                                    kvars,
+                                    ctx,
+                                    solution,
+                                );
+                                local.push((ci, tag, valid));
+                            }
+                            results
+                                .lock()
+                                .expect("result collector poisoned")
+                                .extend(local);
+                            (engine.stats, engine.smt.stats)
+                        })
+                    })
+                    .collect();
+                for (slot, handle) in handles.into_iter().enumerate() {
+                    let (stats, smt_stats) = handle.join().expect("concrete worker panicked");
+                    match worker_stats.get_mut(slot) {
+                        Some((ws, wsmt)) => {
+                            ws.absorb(&stats);
+                            wsmt.absorb(smt_stats);
+                        }
+                        None => worker_stats.push((stats, smt_stats)),
+                    }
+                }
+            });
+            failed = results.into_inner().expect("result collector poisoned");
+            failed.sort_unstable_by_key(|(ci, ..)| *ci);
+        }
+
+        // Deterministic merge: worker-slot order.
+        for (stats, smt_stats) in &worker_stats {
+            self.stats.absorb(stats);
+            self.smt.absorb(*smt_stats);
+            self.worker_queries.push(stats.smt_queries);
+        }
+        failed
+    }
+
+    /// Cumulative statistics of the underlying SMT engine (all sessions and
+    /// one-shot queries) since creation; exposed for benchmarking and for
+    /// the end-to-end reporting in `flux-check`.
+    pub fn smt_stats(&self) -> flux_smt::SmtStats {
+        self.smt.stats
     }
 }
 
@@ -919,6 +1291,70 @@ mod tests {
             ]),
         );
         (c, kvars)
+    }
+
+    /// Two independent copies of the loop-counter system over disjoint κs
+    /// and names: the canonical multi-component workload for the
+    /// partitioned scheduler (plus a κ-free concrete obligation).
+    fn two_component_system() -> (Constraint, KVarStore) {
+        let mut kvars = KVarStore::new();
+        let mut parts = Vec::new();
+        for tag_base in [0usize, 100] {
+            let k = kvars.fresh(vec![Sort::Int, Sort::Int]);
+            let n = Name::intern(&format!("pc_n{tag_base}"));
+            let i = Name::intern(&format!("pc_i{tag_base}"));
+            parts.push(Constraint::forall(
+                n,
+                Sort::Int,
+                Expr::ge(Expr::Var(n), Expr::int(0)),
+                Constraint::conj(vec![
+                    Constraint::kvar(KVarApp::new(k, vec![Expr::int(0), Expr::Var(n)])),
+                    Constraint::forall(
+                        i,
+                        Sort::Int,
+                        Expr::tt(),
+                        Constraint::conj(vec![
+                            Constraint::implies(
+                                Guard::KVar(KVarApp::new(k, vec![Expr::Var(i), Expr::Var(n)])),
+                                Constraint::implies(
+                                    Guard::Pred(Expr::lt(Expr::Var(i), Expr::Var(n))),
+                                    Constraint::kvar(KVarApp::new(
+                                        k,
+                                        vec![Expr::Var(i) + Expr::int(1), Expr::Var(n)],
+                                    )),
+                                ),
+                            ),
+                            Constraint::implies(
+                                Guard::KVar(KVarApp::new(k, vec![Expr::Var(i), Expr::Var(n)])),
+                                Constraint::implies(
+                                    Guard::Pred(Expr::not(Expr::lt(Expr::Var(i), Expr::Var(n)))),
+                                    Constraint::pred(
+                                        Expr::eq(Expr::Var(i), Expr::Var(n)),
+                                        tag_base + 42,
+                                    ),
+                                ),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ));
+        }
+        let x = Name::intern("pc_free");
+        parts.push(Constraint::forall(
+            x,
+            Sort::Int,
+            Expr::ge(Expr::Var(x), Expr::int(1)),
+            Constraint::pred(Expr::gt(Expr::Var(x), Expr::int(0)), 7),
+        ));
+        (Constraint::conj(parts), kvars)
+    }
+
+    fn hermetic(threads: usize) -> FixConfig {
+        FixConfig {
+            global_cache: false,
+            threads,
+            ..FixConfig::default()
+        }
     }
 
     /// A loop-invariant inference scenario over the counting-loop system.
@@ -1168,5 +1604,120 @@ mod tests {
         );
         let mut solver = FixpointSolver::with_defaults();
         assert!(solver.solve(&c, &kvars, &SortCtx::new()).is_safe());
+    }
+
+    /// The partitioned parallel scheduler must reach exactly the fixpoint
+    /// of the sequential engine — identical `Solution`, identical verdicts,
+    /// identical blamed tags — at every thread count.
+    #[test]
+    fn parallel_and_sequential_reach_identical_fixpoints() {
+        let (c, kvars) = two_component_system();
+        let mut sequential = FixpointSolver::new(hermetic(1));
+        let reference = sequential.solve(&c, &kvars, &SortCtx::new());
+        assert!(reference.is_safe());
+        assert_eq!(sequential.stats.partitions, 2);
+        assert_eq!(sequential.stats.threads, 1);
+        for threads in [2, 3, 8] {
+            let mut parallel = FixpointSolver::new(hermetic(threads));
+            let result = parallel.solve(&c, &kvars, &SortCtx::new());
+            assert_eq!(
+                result, reference,
+                "threads={threads} diverged from the sequential fixpoint"
+            );
+            assert_eq!(parallel.stats.threads, threads);
+            assert_eq!(parallel.stats.partitions, 2);
+        }
+    }
+
+    /// Parallel mode must blame exactly the tags the sequential engine
+    /// blames, in the same (clause) order, on an unsafe multi-component
+    /// system.
+    #[test]
+    fn parallel_blame_order_matches_sequential() {
+        let mut kvars = KVarStore::new();
+        let k0 = kvars.fresh(vec![Sort::Int]);
+        let k1 = kvars.fresh(vec![Sort::Int]);
+        let x = Name::intern("pb_x");
+        // Both κs weaken to true, so both guarded obligations fail; an
+        // unguarded failing obligation sits between them.
+        let c = Constraint::forall(
+            x,
+            Sort::Int,
+            Expr::tt(),
+            Constraint::conj(vec![
+                Constraint::kvar(KVarApp::new(k0, vec![Expr::Var(x)])),
+                Constraint::kvar(KVarApp::new(k1, vec![Expr::Var(x)])),
+                Constraint::implies(
+                    Guard::KVar(KVarApp::new(k0, vec![Expr::Var(x)])),
+                    Constraint::pred(Expr::ge(Expr::Var(x), Expr::int(0)), 11),
+                ),
+                Constraint::pred(Expr::lt(Expr::Var(x), Expr::Var(x)), 22),
+                Constraint::implies(
+                    Guard::KVar(KVarApp::new(k1, vec![Expr::Var(x)])),
+                    Constraint::pred(Expr::le(Expr::Var(x), Expr::int(9)), 33),
+                ),
+            ]),
+        );
+        let mut sequential = FixpointSolver::new(hermetic(1));
+        let reference = sequential.solve(&c, &kvars, &SortCtx::new());
+        let FixResult::Unsafe { failed, .. } = &reference else {
+            panic!("expected unsafe");
+        };
+        assert_eq!(failed, &vec![11, 22, 33]);
+        for threads in [2, 8] {
+            let mut parallel = FixpointSolver::new(hermetic(threads));
+            assert_eq!(parallel.solve(&c, &kvars, &SortCtx::new()), reference);
+        }
+    }
+
+    /// Per-worker statistics must merge losslessly: the per-slot query
+    /// counts sum to the engine total, and hits plus misses account for
+    /// every query, at any thread count.
+    #[test]
+    fn worker_stats_merge_accounts_for_every_query() {
+        let (c, kvars) = two_component_system();
+        for threads in [1, 2, 8] {
+            let mut solver = FixpointSolver::new(hermetic(threads));
+            let result = solver.solve(&c, &kvars, &SortCtx::new());
+            assert!(result.is_safe());
+            let stats = solver.stats;
+            assert_eq!(
+                solver.worker_queries.iter().sum::<usize>(),
+                stats.smt_queries,
+                "threads={threads}: worker slots must account for every query"
+            );
+            assert!(
+                solver.worker_queries.len() <= threads.max(1),
+                "threads={threads}: more worker slots than workers"
+            );
+            assert_eq!(
+                stats.cache_hits + stats.cache_misses,
+                stats.smt_queries,
+                "threads={threads}"
+            );
+            assert!(
+                stats.cross_fn_hits + stats.xbench_hits <= stats.cache_hits,
+                "threads={threads}: hit classifications exceed total hits"
+            );
+        }
+    }
+
+    /// A single-component system takes the partitioned scheduler down a
+    /// one-worker path whose clause visits are exactly the sequential
+    /// engine's — so even the statistics must agree.
+    #[test]
+    fn single_component_parallel_stats_match_sequential() {
+        let (c, kvars) = loop_counter_system();
+        let mut sequential = FixpointSolver::new(hermetic(1));
+        let seq_result = sequential.solve(&c, &kvars, &SortCtx::new());
+        let mut parallel = FixpointSolver::new(hermetic(4));
+        let par_result = parallel.solve(&c, &kvars, &SortCtx::new());
+        assert_eq!(seq_result, par_result);
+        let (mut seq, mut par) = (sequential.stats, parallel.stats);
+        // The thread cap is configuration, not work; equalise it before
+        // comparing the work counters.
+        seq.threads = 0;
+        par.threads = 0;
+        assert_eq!(seq, par);
     }
 }

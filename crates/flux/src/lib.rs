@@ -54,7 +54,7 @@ pub struct VerifyConfig {
 
 /// End-to-end statistics of the incremental query engine for one
 /// verification run, aggregated over all functions.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Validity queries requested by the verifier (including cache hits).
     pub smt_queries: usize,
@@ -86,6 +86,16 @@ pub struct QueryStats {
     pub propagations: usize,
     /// Quantifier instances generated (baseline verifier only).
     pub quant_instances: usize,
+    /// Worker-thread cap of the fixpoint scheduler
+    /// ([`flux_fixpoint::FixConfig::threads`]; Flux mode only — the
+    /// baseline verifier is single-threaded and reports 1).
+    pub threads: usize,
+    /// Independent κ-dependency components across all fixpoint solves (the
+    /// available weakening parallelism; Flux mode only).
+    pub partitions: usize,
+    /// SMT queries issued per worker slot, summed across all fixpoint
+    /// solves of the run (Flux mode only; empty for the baseline).
+    pub worker_queries: Vec<usize>,
 }
 
 /// The outcome of verifying one source file with one of the verifiers.
@@ -165,6 +175,9 @@ pub fn verify_source(
                     pivots: smt.pivots,
                     propagations: smt.propagations,
                     quant_instances: smt.quant_instances,
+                    threads: fix.threads,
+                    partitions: fix.partitions,
+                    worker_queries: report.total_worker_queries(),
                 },
             })
         }
@@ -200,8 +213,41 @@ pub fn verify_source(
                     pivots: smt.pivots,
                     propagations: smt.propagations,
                     quant_instances: smt.quant_instances,
+                    threads: 1,
+                    partitions: 0,
+                    worker_queries: Vec::new(),
                 },
             })
+        }
+    }
+}
+
+/// Perf-gate tolerances carried inside `BENCH_table1.json`'s `gate` object:
+/// the `table1` binary reads them from the *committed* snapshot when
+/// comparing a fresh run against it, and [`render_table1_json`] writes them
+/// back out — so tuning the gate is one edit to the committed file and the
+/// tuned values survive every snapshot refresh.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GateTolerances {
+    /// Allowed wall-clock growth factor (per benchmark and in total).
+    pub time_factor: f64,
+    /// Allowed query-count growth factor (per benchmark and in total).
+    pub query_factor: f64,
+    /// Per-benchmark wall-clock comparison floor, in seconds: rows cheaper
+    /// than this are gated against the floor, not their (noise-dominated)
+    /// figure.
+    pub min_time_s: f64,
+    /// Per-benchmark query-count comparison floor.
+    pub min_queries: f64,
+}
+
+impl Default for GateTolerances {
+    fn default() -> Self {
+        GateTolerances {
+            time_factor: 2.0,
+            query_factor: 1.2,
+            min_time_s: 0.05,
+            min_queries: 50.0,
         }
     }
 }
@@ -393,7 +439,7 @@ pub fn render_table1(rows: &[TableRow]) -> String {
 pub fn render_query_stats(rows: &[TableRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
+        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>4} {:>6} | {:>8} {:>10}\n",
         "benchmark",
         "queries",
         "hits",
@@ -406,18 +452,20 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         "sat-re",
         "pivots",
         "props",
+        "thr",
+        "parts",
         "bl-qrys",
         "bl-quants"
     ));
-    out.push_str(&"-".repeat(146));
+    out.push_str(&"-".repeat(158));
     out.push('\n');
     let mut total = QueryStats::default();
     let mut total_baseline = QueryStats::default();
     for row in rows.iter().filter(|r| !r.is_library) {
-        let s = row.flux.stats;
+        let s = &row.flux.stats;
         let hit_percent = (s.cache_hits * 100).checked_div(s.smt_queries).unwrap_or(0);
         out.push_str(&format!(
-            "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
+            "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} {:>8} {:>8} {:>4} {:>6} | {:>8} {:>10}\n",
             row.name,
             s.smt_queries,
             s.cache_hits,
@@ -430,6 +478,8 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
             s.sat_reuse,
             s.pivots,
             s.propagations,
+            s.threads,
+            s.partitions,
             row.baseline.stats.smt_queries,
             row.baseline.stats.quant_instances,
         ));
@@ -443,16 +493,18 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         total.sat_reuse += s.sat_reuse;
         total.pivots += s.pivots;
         total.propagations += s.propagations;
+        total.threads = total.threads.max(s.threads);
+        total.partitions += s.partitions;
         total_baseline.smt_queries += row.baseline.stats.smt_queries;
         total_baseline.quant_instances += row.baseline.stats.quant_instances;
     }
-    out.push_str(&"-".repeat(146));
+    out.push_str(&"-".repeat(158));
     out.push('\n');
     let hit_percent = (total.cache_hits * 100)
         .checked_div(total.smt_queries)
         .unwrap_or(0);
     out.push_str(&format!(
-        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>10}\n",
+        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} {:>8} {:>8} {:>4} {:>6} | {:>8} {:>10}\n",
         "Total",
         total.smt_queries,
         total.cache_hits,
@@ -465,6 +517,8 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         total.sat_reuse,
         total.pivots,
         total.propagations,
+        total.threads,
+        total.partitions,
         total_baseline.smt_queries,
         total_baseline.quant_instances,
     ));
@@ -480,9 +534,15 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
 /// The writer is hand-rolled because the workspace builds without external
 /// crates; every emitted value is a number, boolean or benchmark name, so no
 /// string escaping is needed.
-pub fn render_table1_json(rows: &[TableRow]) -> String {
+pub fn render_table1_json(rows: &[TableRow], gate: &GateTolerances) -> String {
     fn outcome_json(out: &VerifyOutcome, indent: &str) -> String {
-        let s = out.stats;
+        let s = &out.stats;
+        let worker_queries = s
+            .worker_queries
+            .iter()
+            .map(|q| q.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
             "{{\n{indent}  \"safe\": {},\n{indent}  \"time_s\": {:.6},\n{indent}  \
              \"functions\": {},\n{indent}  \"smt_queries\": {},\n{indent}  \
@@ -492,7 +552,8 @@ pub fn render_table1_json(rows: &[TableRow]) -> String {
              \"sessions\": {},\n{indent}  \"sat_reuse\": {},\n{indent}  \
              \"sat_rounds\": {},\n{indent}  \"theory_checks\": {},\n{indent}  \
              \"pivots\": {},\n{indent}  \"propagations\": {},\n{indent}  \
-             \"quant_instances\": {}\n{indent}}}",
+             \"quant_instances\": {},\n{indent}  \"threads\": {},\n{indent}  \
+             \"partitions\": {},\n{indent}  \"worker_queries\": [{}]\n{indent}}}",
             out.safe,
             out.time.as_secs_f64(),
             out.functions,
@@ -509,6 +570,9 @@ pub fn render_table1_json(rows: &[TableRow]) -> String {
             s.pivots,
             s.propagations,
             s.quant_instances,
+            s.threads,
+            s.partitions,
+            worker_queries,
         )
     }
     let mut out = String::from("{\n  \"benchmarks\": [\n");
@@ -529,9 +593,16 @@ pub fn render_table1_json(rows: &[TableRow]) -> String {
         flux_total += row.flux.time.as_secs_f64();
         baseline_total += row.baseline.time.as_secs_f64();
     }
+    // The gate tolerances round-trip through the snapshot (see
+    // [`GateTolerances`]): the values written here are whatever the caller
+    // read from the previous committed file, so a hand-tuned gate survives
+    // every refresh instead of reverting to defaults.
     out.push_str(&format!(
         "\n  ],\n  \"totals\": {{\n    \"flux_time_s\": {flux_total:.6},\n    \
-         \"baseline_time_s\": {baseline_total:.6}\n  }}\n}}\n"
+         \"baseline_time_s\": {baseline_total:.6}\n  }},\n  \"gate\": {{\n    \
+         \"time_factor\": {},\n    \"query_factor\": {},\n    \
+         \"min_time_s\": {},\n    \"min_queries\": {}\n  }}\n}}\n",
+        gate.time_factor, gate.query_factor, gate.min_time_s, gate.min_queries,
     ));
     out
 }

@@ -756,6 +756,25 @@ impl Session {
     }
 }
 
+/// Sessions (and the counter-models and verdicts they produce) travel to
+/// worker threads in the parallel weakening scheduler of `flux-fixpoint`,
+/// so they must stay [`Send`]: per-session state is exclusively owned —
+/// the CDCL core, the simplex tableau and the statistics live in the
+/// session itself — and everything shared across sessions (the atom table,
+/// the CNF memos, the prepared-constraint cache) is reached only through
+/// the process-global mutex in [`cnf_cache`], never through `Rc`/`RefCell`
+/// aliasing.  These assertions turn any future hidden-sharing regression
+/// into a compile error instead of a data race.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+    assert_send::<Core>();
+    assert_send::<crate::solver::Solver>();
+    assert_send::<crate::solver::Model>();
+    assert_send::<crate::solver::Validity>();
+    assert_send::<crate::solver::SmtStats>();
+};
+
 enum Preprocessed {
     True,
     False,

@@ -1,0 +1,148 @@
+//! Acceptance tests for the parallel weakening scheduler: solving with any
+//! worker-thread count must be observationally identical to the sequential
+//! engine — same Safe/Unsafe verdicts and blamed obligations across the
+//! whole benchmark corpus, and bit-identical inferred `Solution`s for every
+//! function's constraint system — while the merged per-worker statistics
+//! still account for every query.
+
+use flux::{verify_source, FixConfig, Mode, VerifyConfig};
+use flux_fixpoint::{FixResult, FixpointSolver};
+use flux_logic::SortCtx;
+
+/// The shipped configuration with a pinned worker-thread cap.
+fn with_threads(threads: usize) -> VerifyConfig {
+    let mut config = VerifyConfig::default();
+    config.check.fixpoint.threads = threads;
+    config
+}
+
+/// A hermetic fixpoint configuration (per-solver cache) with a pinned
+/// worker-thread cap, for the solution-level comparisons: isolation from
+/// the process-global cache keeps a failure attributable to the scheduler
+/// rather than to whatever other tests already proved.
+fn hermetic_fixpoint(threads: usize) -> FixConfig {
+    FixConfig {
+        global_cache: false,
+        threads,
+        ..FixConfig::default()
+    }
+}
+
+#[test]
+fn corpus_verdicts_are_identical_across_thread_counts() {
+    let sequential = with_threads(1);
+    for b in flux::benchmarks() {
+        let reference = verify_source(b.flux_src, Mode::Flux, &sequential)
+            .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+        for threads in [2, 8] {
+            let parallel = verify_source(b.flux_src, Mode::Flux, &with_threads(threads))
+                .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+            assert_eq!(
+                parallel.safe, reference.safe,
+                "{} at threads={threads}: parallel and sequential engines disagree \
+                 (parallel errors: {:?}, sequential errors: {:?})",
+                b.name, parallel.errors, reference.errors
+            );
+            assert_eq!(
+                parallel.errors, reference.errors,
+                "{} at threads={threads}: verdicts agree but blamed obligations differ",
+                b.name
+            );
+            assert_eq!(
+                parallel.stats.threads, threads,
+                "{}: the configured thread cap must be reported",
+                b.name
+            );
+        }
+    }
+}
+
+/// The inferred invariants themselves — not just the verdicts — must be
+/// bit-identical at every thread count, for every function of every
+/// benchmark: the weakening fixpoint is a function of the constraint
+/// system, not of the schedule.
+#[test]
+fn corpus_solutions_are_identical_across_thread_counts() {
+    for b in flux::benchmarks() {
+        let program = flux_syntax::parse_program(b.flux_src)
+            .unwrap_or_else(|e| panic!("{}: parse error {e:?}", b.name));
+        let resolved = flux_ir::ResolvedProgram::resolve(&program)
+            .unwrap_or_else(|e| panic!("{}: resolve error {e:?}", b.name));
+        for func in resolved.iter() {
+            if func.def.trusted {
+                continue;
+            }
+            let generator = flux_check::checker::Generator::new(&resolved);
+            let gen = generator
+                .gen_function(&func.def.name)
+                .unwrap_or_else(|e| panic!("{}/{}: genexpr error {e:?}", b.name, func.def.name));
+            let mut sequential = FixpointSolver::new(hermetic_fixpoint(1));
+            let reference = sequential.solve(&gen.constraint, &gen.kvars, &SortCtx::new());
+            for threads in [2, 8] {
+                let mut parallel = FixpointSolver::new(hermetic_fixpoint(threads));
+                let result = parallel.solve(&gen.constraint, &gen.kvars, &SortCtx::new());
+                assert_eq!(
+                    result, reference,
+                    "{}/{} at threads={threads}: parallel fixpoint (solution or blame) \
+                     diverged from sequential",
+                    b.name, func.def.name
+                );
+            }
+            // The reference run's safety verdict must match what end-to-end
+            // checking reports for this function (sanity that the harness
+            // exercised the real constraint system).
+            if matches!(reference, FixResult::Unsafe { .. }) {
+                let outcome = verify_source(b.flux_src, Mode::Flux, &with_threads(1)).unwrap();
+                assert!(
+                    !outcome.safe,
+                    "{}/{}: fixpoint says unsafe but the corpus verdict is safe",
+                    b.name, func.def.name
+                );
+            }
+        }
+    }
+}
+
+/// Merged per-worker statistics must account for the whole workload:
+/// worker-slot query counts sum to the engine total, hits and misses
+/// account for every query, and the hit classifications never exceed the
+/// hits — at every thread count, across the whole corpus.
+#[test]
+fn parallel_stats_merge_is_lossless_on_the_corpus() {
+    for threads in [1, 2, 8] {
+        let config = with_threads(threads);
+        for b in flux::benchmarks() {
+            let outcome = verify_source(b.flux_src, Mode::Flux, &config)
+                .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+            let s = &outcome.stats;
+            assert_eq!(
+                s.worker_queries.iter().sum::<usize>(),
+                s.smt_queries,
+                "{} at threads={threads}: per-worker query counts must sum to the total",
+                b.name
+            );
+            assert!(
+                s.worker_queries.len() <= threads,
+                "{} at threads={threads}: more worker slots ({}) than workers",
+                b.name,
+                s.worker_queries.len()
+            );
+            assert_eq!(
+                s.cache_hits + s.cache_misses,
+                s.smt_queries,
+                "{} at threads={threads}: hits + misses must account for every query",
+                b.name
+            );
+            assert!(
+                s.cross_fn_hits + s.xbench_hits <= s.cache_hits,
+                "{} at threads={threads}: hit classifications exceed total hits",
+                b.name
+            );
+            assert!(
+                s.partitions > 0,
+                "{} at threads={threads}: a verified benchmark must report its κ-partitions",
+                b.name
+            );
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! preprocesses and CNF-converts the shared hypotheses once per session.
 
 use flux_bench::harness::Criterion;
-use flux_logic::{Expr, Name, Sort, SortCtx};
+use flux_logic::{Expr, ExprId, Name, Sort, SortCtx};
 use flux_smt::linear::{LinConstraint, LinExpr};
 use flux_smt::rational::Rational;
 use flux_smt::simplex::{check_lia, IncrementalSimplex, LiaResult};
@@ -122,6 +122,160 @@ fn bench_smt(c: &mut Criterion) {
                 simplex.pop();
             }
         })
+    });
+
+    // Session retention: the weakening loop's retract/re-assert pattern.
+    // The schedule walks 16 hypothesis conjunct sets, each toggling two
+    // conjuncts of its predecessor (a retraction plus a re-assertion — the
+    // shape a κ-weakening produces), and checks a goal battery after every
+    // move.  The rebuild path opens a fresh session per set, paying atom
+    // registration and hypothesis assertion each time; the retained path
+    // re-points one live session via `update_hypotheses`, keeping the SAT
+    // core's variable space, its learned theory lemmas and the simplex
+    // basis with its warm pivots.
+    let retention_ctx = {
+        let mut ctx = SortCtx::new();
+        for v in ["sr_a", "sr_b", "sr_c", "sr_d"] {
+            ctx.push(Name::intern(v), Sort::Int);
+        }
+        ctx
+    };
+    let (retention_schedule, retention_goals) = {
+        let var = |s: &str| Expr::var(Name::intern(s));
+        // Simultaneously satisfiable, so every subset keeps the session in
+        // the incremental mode and `update_hypotheses` always succeeds.
+        let pool: Vec<ExprId> = [
+            Expr::ge(var("sr_a"), Expr::int(0)),
+            Expr::le(var("sr_a"), var("sr_b")),
+            Expr::le(var("sr_b"), var("sr_c")),
+            Expr::le(var("sr_c"), var("sr_d")),
+            Expr::le(var("sr_d"), Expr::int(100)),
+            Expr::ge(var("sr_b"), Expr::int(1)),
+            Expr::ge(var("sr_c"), Expr::int(2)),
+            Expr::le(var("sr_a") + var("sr_b"), var("sr_d")),
+        ]
+        .iter()
+        .map(ExprId::intern)
+        .collect();
+        let goals: Vec<ExprId> = [
+            Expr::ge(var("sr_b"), Expr::int(0)),
+            Expr::le(var("sr_a"), var("sr_d")),
+            Expr::ge(var("sr_d"), Expr::int(2)),
+            Expr::eq(var("sr_a"), Expr::int(3)),
+        ]
+        .iter()
+        .map(ExprId::intern)
+        .collect();
+        let mut active = vec![true; pool.len()];
+        let mut schedule = Vec::new();
+        for k in 0..16usize {
+            active[(k * 5 + 1) % pool.len()] ^= true;
+            active[(k * 3 + 2) % pool.len()] ^= true;
+            schedule.push(
+                active
+                    .iter()
+                    .zip(&pool)
+                    .filter_map(|(&on, &id)| on.then_some(id))
+                    .collect::<Vec<ExprId>>(),
+            );
+        }
+        (schedule, goals)
+    };
+    group.bench_function("session-retention-rebuild", |b| {
+        b.iter(|| {
+            for hyps in &retention_schedule {
+                let mut session = Session::assume_ids(SmtConfig::default(), &retention_ctx, hyps);
+                for &g in &retention_goals {
+                    let _ = session.check_id(g);
+                }
+            }
+        })
+    });
+    group.bench_function("session-retention-incremental", |b| {
+        b.iter(|| {
+            let mut session =
+                Session::assume_ids(SmtConfig::default(), &retention_ctx, &retention_schedule[0]);
+            for hyps in &retention_schedule {
+                assert!(session.update_hypotheses(hyps));
+                for &g in &retention_goals {
+                    let _ = session.check_id(g);
+                }
+            }
+        })
+    });
+
+    // Long-session simplex: 479 registered rows, and check rounds that each
+    // touch only four of them.  Setup (registration and the base asserts)
+    // happens outside the timed region — what is measured is the steady
+    // state of an aged session, where the historical row-scan path pays
+    // O(rows) per bound slide regardless of how many rows mention the
+    // variable while the occurrence-list path touches only the rows
+    // containing the slid variable and stays flat as the session grows.
+    let long_session_setup = |cfg: LiaConfig| {
+        let n = 160usize;
+        let name = |i: usize| Name::intern(&format!("lsx{i}"));
+        let mut family = Vec::new();
+        for i in 0..n - 1 {
+            // x_i <= x_{i+1}
+            let mut lhs = LinExpr::var(name(i));
+            lhs.add_term(name(i + 1), -Rational::ONE);
+            family.push(LinConstraint::le_zero(lhs));
+        }
+        for i in 0..n {
+            // x_i >= 0 and x_i <= 1000.
+            family.push(LinConstraint::le_zero(
+                LinExpr::var(name(i)).scaled(-Rational::ONE),
+            ));
+            let mut lhs = LinExpr::var(name(i));
+            lhs.add_constant(Rational::int(-1000));
+            family.push(LinConstraint::le_zero(lhs));
+        }
+        let extras: Vec<LinConstraint> = (0..n / 4)
+            .map(|i| {
+                // x_{4i} <= 500: a tighter, still satisfiable round bound.
+                let mut lhs = LinExpr::var(name(4 * i));
+                lhs.add_constant(Rational::int(-500));
+                LinConstraint::le_zero(lhs)
+            })
+            .collect();
+        let mut simplex = IncrementalSimplex::new(cfg);
+        let slots: Vec<_> = family.iter().map(|c| simplex.register(c)).collect();
+        let extra_slots: Vec<_> = extras.iter().map(|c| simplex.register(c)).collect();
+        for (tag, slot) in slots.iter().enumerate() {
+            simplex.assert_constraint(*slot, true, tag).unwrap();
+        }
+        (simplex, extra_slots, slots.len())
+    };
+    let long_session_rounds = |simplex: &mut IncrementalSimplex,
+                               extra_slots: &[flux_smt::simplex::SlotId],
+                               base: usize| {
+        for round in 0..64 {
+            simplex.push();
+            for j in 0..4 {
+                let pick = (round * 4 + j) % extra_slots.len();
+                simplex
+                    .assert_constraint(extra_slots[pick], true, base + j)
+                    .unwrap();
+            }
+            assert!(matches!(simplex.check_integer(), LiaResult::Feasible(_)));
+            simplex.pop();
+        }
+    };
+    group.bench_function("lia-long-session-occ-lists", |b| {
+        let cfg = LiaConfig {
+            row_scan: false,
+            ..LiaConfig::default()
+        };
+        let (mut simplex, extra_slots, base) = long_session_setup(cfg);
+        b.iter(|| long_session_rounds(&mut simplex, &extra_slots, base))
+    });
+    group.bench_function("lia-long-session-row-scan", |b| {
+        let cfg = LiaConfig {
+            row_scan: true,
+            ..LiaConfig::default()
+        };
+        let (mut simplex, extra_slots, base) = long_session_setup(cfg);
+        b.iter(|| long_session_rounds(&mut simplex, &extra_slots, base))
     });
 
     // Quantified: an array frame axiom must be instantiated to prove a read.

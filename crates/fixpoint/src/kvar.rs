@@ -114,14 +114,17 @@ impl KVarApp {
     /// are processed once per call instead of once per occurrence, and no
     /// tree is rebuilt.
     pub fn instantiate_id(&self, decl: &KVarDecl, body: flux_logic::ExprId) -> flux_logic::ExprId {
+        body.subst(&self.arg_subst(decl))
+    }
+
+    /// The formal-to-actual substitution of this application.
+    pub fn arg_subst(&self, decl: &KVarDecl) -> flux_logic::Subst {
         debug_assert_eq!(decl.id, self.kvid);
-        let subst: flux_logic::Subst = decl
-            .formals()
+        decl.formals()
             .iter()
             .copied()
             .zip(self.args.iter().cloned())
-            .collect();
-        body.subst(&subst)
+            .collect()
     }
 }
 

@@ -37,7 +37,7 @@ use crate::partition::{partition, Partition};
 use crate::qualifier::{default_qualifiers, Qualifier};
 use flux_logic::{Expr, ExprId, Name, Sort, SortCtx};
 use flux_smt::{Model, Session, SmtConfig, SmtStats, Solver, Validity};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -106,10 +106,25 @@ pub struct FixConfig {
     /// environment variable, else the machine's parallelism).  Verdicts and
     /// solutions are thread-count-invariant.
     pub threads: usize,
+    /// When a clause's depended-on κ weakens, *retract* the stale
+    /// hypothesis conjuncts from the clause's live session (via
+    /// [`Session::update_hypotheses`]) instead of discarding the session:
+    /// the persistent CDCL core, its learned clauses and the simplex basis
+    /// survive the weakening step.  Disable (or set `FLUX_LEGACY`) to get
+    /// the historical discard-and-rebuild behaviour; verdicts and solutions
+    /// are identical either way.
+    pub retract_conjuncts: bool,
+    /// Evaluate counter-models directly over the hash-consed expression DAG
+    /// (memoized per query) instead of materializing tree forms of the
+    /// candidates and hypotheses per clause version.  Disable (or set
+    /// `FLUX_LEGACY`) for the historical tree evaluator; the two evaluators
+    /// agree decision-for-decision, so the fixpoint is identical.
+    pub dag_eval: bool,
 }
 
 impl Default for FixConfig {
     fn default() -> Self {
+        let legacy = flux_smt::legacy_toggles();
         FixConfig {
             smt: SmtConfig::default(),
             max_iterations: 100,
@@ -118,6 +133,8 @@ impl Default for FixConfig {
             model_pruning: true,
             global_cache: true,
             threads: default_threads(),
+            retract_conjuncts: !legacy,
+            dag_eval: !legacy,
         }
     }
 }
@@ -360,6 +377,39 @@ const _: () = {
     assert_send::<FixResult>();
 };
 
+/// Cross-version memos of one clause's preparation work, held per subset
+/// position for the whole weakening run (unlike [`ClauseState`], which is
+/// discarded wholesale when a κ version moves).
+///
+/// Everything here is a pure function of inputs finer-grained than "some κ
+/// version moved": concrete guards and the clause context never change,
+/// candidate instantiation depends only on the candidate id, and a κ-guard's
+/// instantiation depends only on that one guard's version.  Without these
+/// memos a version bump on *one* κ re-interned every guard tree and
+/// re-instantiated every hypothesis and surviving candidate of every clause
+/// mentioning it — which profiling showed dominated the fixpoint layer's
+/// time on the candidate-heavy benchmarks.
+struct ClauseMemo {
+    /// Interned ids of the concrete (`Guard::Pred`) guards, in clause order
+    /// (`None` at κ-guard positions, or while not yet interned).
+    pred_ids: Vec<Option<ExprId>>,
+    /// Per guard position: the κ version whose instantiated hypothesis is
+    /// cached, and the hypothesis id (`None` at `Pred` positions).
+    kvar_insts: Vec<Option<(u64, ExprId)>>,
+    /// Base context extended with the clause binders.
+    ctx: Option<SortCtx>,
+}
+
+impl ClauseMemo {
+    fn new(guards: usize) -> ClauseMemo {
+        ClauseMemo {
+            pred_ids: vec![None; guards],
+            kvar_insts: vec![None; guards],
+            ctx: None,
+        }
+    }
+}
+
 /// The versions of the κ-guards of `clause`, in clause order.
 fn guard_versions_of(clause: &Clause, versions: &BTreeMap<KVid, u64>) -> Vec<u64> {
     clause
@@ -438,7 +488,19 @@ struct Engine<'a> {
     epoch: u64,
     /// Interned function-declaration context of the current solve.
     fns: FnCtxId,
+    /// Cross-clause instantiation memo: per κ application (identified by the
+    /// κ and its interned actuals), the substituted form of each candidate
+    /// conjunct ever instantiated at those actuals.  The same application
+    /// recurs across clauses — κ-head clauses, κ-guards and the final
+    /// concrete obligations all mention the κs at the same program points —
+    /// and candidate substitution is by far the most expensive preparation
+    /// step, so the concrete-check phase in particular runs almost entirely
+    /// on hits from the weakening phase.
+    inst_memo: HashMap<InstKey, HashMap<ExprId, ExprId>>,
 }
+
+/// Identity of one κ application: the κ plus its interned actual arguments.
+type InstKey = (KVid, Box<[ExprId]>);
 
 impl<'a> Engine<'a> {
     fn new(solver: &'a FixpointSolver) -> Engine<'a> {
@@ -450,7 +512,59 @@ impl<'a> Engine<'a> {
             solver_id: solver.solver_id,
             epoch: solver.epoch,
             fns: solver.fns,
+            inst_memo: HashMap::new(),
         }
+    }
+
+    /// Instantiates `cands` at `app`'s actuals through [`Engine::inst_memo`];
+    /// misses are substituted in one batch (one table lock, one shared
+    /// walk memo — sibling candidates share most of their subterms).  Each
+    /// returned id equals `app.instantiate_id(decl, cand)` exactly.
+    fn instantiate_at(
+        &mut self,
+        app: &KVarApp,
+        kvars: &KVarStore,
+        cands: &[ExprId],
+    ) -> Vec<ExprId> {
+        let decl = kvars.get(app.kvid);
+        let args: Box<[ExprId]> = app.args.iter().map(ExprId::intern).collect();
+        let memo = self.inst_memo.entry((app.kvid, args)).or_default();
+        let missing: Vec<ExprId> = cands
+            .iter()
+            .copied()
+            .filter(|c| !memo.contains_key(c))
+            .collect();
+        if !missing.is_empty() {
+            let subst = app.arg_subst(decl);
+            let out = ExprId::subst_many(&missing, &subst);
+            for (c, id) in missing.iter().zip(out) {
+                memo.insert(*c, id);
+            }
+        }
+        cands.iter().map(|c| memo[c]).collect()
+    }
+
+    /// The clause's hypothesis ids under `solution`: interned concrete
+    /// guards, and κ-guards instantiated through the cross-clause memo
+    /// (folded exactly like [`Solution::of_id`], so ids line up with the
+    /// weakening phase's cache keys).
+    fn hypotheses_of(
+        &mut self,
+        clause: &Clause,
+        solution: &Solution,
+        kvars: &KVarStore,
+    ) -> Vec<ExprId> {
+        clause
+            .guards
+            .iter()
+            .map(|guard| match guard {
+                Guard::Pred(p) => ExprId::intern(p),
+                Guard::KVar(app) => {
+                    let cands = solution.candidate_ids(app.kvid).unwrap_or(&[]);
+                    ExprId::and_all(self.instantiate_at(app, kvars, cands))
+                }
+            })
+            .collect()
     }
 
     /// Runs the weakening loop over the clauses in `subset` (indices into
@@ -482,6 +596,7 @@ impl<'a> Engine<'a> {
         // Indexed by position in `subset` (not clause index): a worker only
         // ever materializes state for its own component's clauses.
         let mut states: Vec<Option<ClauseState>> = (0..subset.len()).map(|_| None).collect();
+        let mut memos: Vec<Option<ClauseMemo>> = (0..subset.len()).map(|_| None).collect();
         for _ in 0..self.config.max_iterations {
             self.stats.iterations += 1;
             let mut changed = false;
@@ -490,7 +605,6 @@ impl<'a> Engine<'a> {
                 let Head::KVar(app) = &clause.head else {
                     continue;
                 };
-                let decl = kvars.get(app.kvid);
                 let head_version = versions.get(&app.kvid).copied().unwrap_or(0);
                 let guard_versions = guard_versions_of(clause, &versions);
                 let (stale_head, stale_guards) = match &states[si] {
@@ -501,13 +615,13 @@ impl<'a> Engine<'a> {
                     None => (true, true),
                 };
                 if stale_head || stale_guards {
+                    let memo =
+                        memos[si].get_or_insert_with(|| ClauseMemo::new(clause.guards.len()));
                     // Candidates are instantiated over the shared DAG; tree
                     // forms are materialized lazily, only when a
                     // counter-model needs evaluating.
                     let inst_ids: Vec<ExprId> = match solution.candidate_ids(app.kvid) {
-                        Some(ids) if !ids.is_empty() => {
-                            ids.iter().map(|c| app.instantiate_id(decl, *c)).collect()
-                        }
+                        Some(ids) if !ids.is_empty() => self.instantiate_at(app, kvars, ids),
                         _ => continue,
                     };
                     match (&mut states[si], stale_guards) {
@@ -522,11 +636,55 @@ impl<'a> Engine<'a> {
                             state.converged_hit = None;
                         }
                         (slot, _) => {
-                            let hyp_ids = clause_hypotheses_ids(clause, solution, kvars);
-                            let clause_ctx = clause_ctx(clause, ctx);
+                            let hyp_ids = {
+                                let mut out = Vec::with_capacity(clause.guards.len());
+                                for (gi, guard) in clause.guards.iter().enumerate() {
+                                    out.push(match guard {
+                                        Guard::Pred(p) => *memo.pred_ids[gi]
+                                            .get_or_insert_with(|| ExprId::intern(p)),
+                                        Guard::KVar(gapp) => {
+                                            let version =
+                                                versions.get(&gapp.kvid).copied().unwrap_or(0);
+                                            match memo.kvar_insts[gi] {
+                                                Some((v, id)) if v == version => id,
+                                                _ => {
+                                                    let cands = solution
+                                                        .candidate_ids(gapp.kvid)
+                                                        .unwrap_or(&[]);
+                                                    let id = ExprId::and_all(
+                                                        self.instantiate_at(gapp, kvars, cands),
+                                                    );
+                                                    memo.kvar_insts[gi] = Some((version, id));
+                                                    id
+                                                }
+                                            }
+                                        }
+                                    });
+                                }
+                                out
+                            };
+                            let clause_ctx = memo
+                                .ctx
+                                .get_or_insert_with(|| clause_ctx(clause, ctx))
+                                .clone();
                             let keys = self.keys_for(&clause_ctx, &hyp_ids);
+                            // A weakened κ-guard changes the hypotheses by a
+                            // conjunct diff: retract the stale conjuncts from
+                            // the live session and keep its CDCL core,
+                            // learned clauses and simplex basis, instead of
+                            // rebuilding from scratch.
+                            let mut session = None;
                             if let Some(old) = slot.take() {
-                                self.close(old.session);
+                                match old.session {
+                                    Some(mut live) if self.config.retract_conjuncts => {
+                                        if live.update_hypotheses(&hyp_ids) {
+                                            session = Some(live);
+                                        } else {
+                                            self.close(Some(live));
+                                        }
+                                    }
+                                    other => self.close(other),
+                                }
                             }
                             *slot = Some(ClauseState {
                                 head_version,
@@ -538,7 +696,7 @@ impl<'a> Engine<'a> {
                                 hypotheses: None,
                                 clause_ctx,
                                 keys,
-                                session: None,
+                                session,
                             });
                         }
                     }
@@ -637,16 +795,10 @@ impl<'a> Engine<'a> {
                             break;
                         }
                         Validity::Invalid(Some(model))
-                            if self.config.model_pruning && {
-                                state.materialize_trees();
-                                model.satisfies_all(state.hypotheses.as_ref().unwrap())
-                            } =>
+                            if self.config.model_pruning
+                                && self.model_satisfies_hyps(state, &model) =>
                         {
-                            if self.prune_by_model(
-                                &model,
-                                state.insts.as_ref().unwrap(),
-                                &mut alive,
-                            ) {
+                            if self.prune_candidates(&model, state, &mut alive) {
                                 continue;
                             }
                             self.weaken_per_candidate(state, &mut alive);
@@ -687,7 +839,7 @@ impl<'a> Engine<'a> {
         let Head::Pred(goal, tag) = &clause.head else {
             unreachable!("concrete subset contains only Pred heads");
         };
-        let hyp_ids = clause_hypotheses_ids(clause, solution, kvars);
+        let hyp_ids = self.hypotheses_of(clause, solution, kvars);
         let clause_ctx = clause_ctx(clause, ctx);
         let keys = self.keys_for(&clause_ctx, &hyp_ids);
         let mut session = None;
@@ -810,6 +962,37 @@ impl<'a> Engine<'a> {
         verdict
     }
 
+    /// True when `model` decidably satisfies the clause's hypotheses —
+    /// evaluated directly over the shared DAG, or (legacy mode) over tree
+    /// forms materialized per clause version.  Only a model that does can
+    /// be trusted to prune candidates.
+    fn model_satisfies_hyps(&self, state: &mut ClauseState, model: &Model) -> bool {
+        if self.config.dag_eval {
+            model.satisfies_all_ids(&state.hyp_ids)
+        } else {
+            state.materialize_trees();
+            model.satisfies_all(state.hypotheses.as_ref().unwrap())
+        }
+    }
+
+    /// Drops every surviving candidate of `state` falsified by `model`,
+    /// choosing the DAG or tree evaluator per [`FixConfig::dag_eval`].
+    /// Returns whether anything was dropped.
+    fn prune_candidates(
+        &mut self,
+        model: &Model,
+        state: &mut ClauseState,
+        alive: &mut [bool],
+    ) -> bool {
+        if self.config.dag_eval {
+            self.prune_by_model_ids(model, &state.inst_ids, alive)
+        } else {
+            state.materialize_trees();
+            let insts = state.insts.as_ref().unwrap();
+            self.prune_by_model(model, insts, alive)
+        }
+    }
+
     /// Drops every surviving candidate that decidably evaluates to `false`
     /// under `model`.  The caller has already confirmed that the model
     /// satisfies the clause's hypotheses, so each drop is exactly the
@@ -819,6 +1002,21 @@ impl<'a> Engine<'a> {
         let mut pruned = false;
         for (inst, alive) in insts.iter().zip(alive.iter_mut()) {
             if *alive && model.eval_bool(inst) == Some(false) {
+                *alive = false;
+                pruned = true;
+                self.stats.model_prunes += 1;
+            }
+        }
+        pruned
+    }
+
+    /// [`Engine::prune_by_model`] over hash-consed candidates: evaluation
+    /// runs on the shared DAG with per-call memoization, so no candidate
+    /// tree is ever materialized.
+    fn prune_by_model_ids(&mut self, model: &Model, insts: &[ExprId], alive: &mut [bool]) -> bool {
+        let mut pruned = false;
+        for (&inst, alive) in insts.iter().zip(alive.iter_mut()) {
+            if *alive && model.eval_bool_id(inst) == Some(false) {
                 *alive = false;
                 pruned = true;
                 self.stats.model_prunes += 1;
@@ -849,11 +1047,14 @@ impl<'a> Engine<'a> {
             alive[i] = false;
             if self.config.model_pruning {
                 if let Validity::Invalid(Some(model)) = &verdict {
-                    state.materialize_trees();
-                    let hypotheses = state.hypotheses.as_ref().unwrap();
-                    let insts = state.insts.as_ref().unwrap();
-                    if model.satisfies_all(hypotheses) {
-                        self.prune_by_model(model, &insts[i + 1..], &mut alive[i + 1..]);
+                    if self.model_satisfies_hyps(state, model) {
+                        if self.config.dag_eval {
+                            let ids = &state.inst_ids[i + 1..];
+                            self.prune_by_model_ids(model, ids, &mut alive[i + 1..]);
+                        } else {
+                            let insts = state.insts.as_ref().unwrap();
+                            self.prune_by_model(model, &insts[i + 1..], &mut alive[i + 1..]);
+                        }
                     }
                 }
             }
@@ -1149,17 +1350,6 @@ impl FixpointSolver {
     pub fn smt_stats(&self) -> flux_smt::SmtStats {
         self.smt.stats
     }
-}
-
-fn clause_hypotheses_ids(clause: &Clause, solution: &Solution, kvars: &KVarStore) -> Vec<ExprId> {
-    clause
-        .guards
-        .iter()
-        .map(|guard| match guard {
-            Guard::Pred(p) => ExprId::intern(p),
-            Guard::KVar(app) => solution.apply_id(app, kvars),
-        })
-        .collect()
 }
 
 fn clause_ctx(clause: &Clause, ctx: &SortCtx) -> SortCtx {

@@ -84,6 +84,18 @@ pub struct QueryStats {
     pub pivots: usize,
     /// Literals assigned by SAT unit propagation.
     pub propagations: usize,
+    /// Watcher visits answered by the cached blocking literal alone,
+    /// without touching the clause.
+    pub blocked_visits: usize,
+    /// Learned-clause-database reductions performed by the SAT cores.
+    pub db_reductions: usize,
+    /// Simplex column traversals driven by the occurrence lists (or row
+    /// scans in legacy mode).
+    pub col_scans: usize,
+    /// Hypothesis conjuncts retracted from live sessions instead of
+    /// rebuilding the session when a depended-on κ weakened (Flux
+    /// weakening loop only).
+    pub conjunct_retractions: usize,
     /// Quantifier instances generated (baseline verifier only).
     pub quant_instances: usize,
     /// Worker-thread cap of the fixpoint scheduler
@@ -174,6 +186,10 @@ pub fn verify_source(
                     theory_checks: smt.theory_checks,
                     pivots: smt.pivots,
                     propagations: smt.propagations,
+                    blocked_visits: smt.blocked_visits,
+                    db_reductions: smt.db_reductions,
+                    col_scans: smt.col_scans,
+                    conjunct_retractions: smt.conjunct_retractions,
                     quant_instances: smt.quant_instances,
                     threads: fix.threads,
                     partitions: fix.partitions,
@@ -212,6 +228,10 @@ pub fn verify_source(
                     theory_checks: smt.theory_checks,
                     pivots: smt.pivots,
                     propagations: smt.propagations,
+                    blocked_visits: smt.blocked_visits,
+                    db_reductions: smt.db_reductions,
+                    col_scans: smt.col_scans,
+                    conjunct_retractions: smt.conjunct_retractions,
                     quant_instances: smt.quant_instances,
                     threads: 1,
                     partitions: 0,
@@ -439,7 +459,7 @@ pub fn render_table1(rows: &[TableRow]) -> String {
 pub fn render_query_stats(rows: &[TableRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>4} {:>6} | {:>8} {:>10}\n",
+        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>4} {:>6} | {:>8} {:>10}\n",
         "benchmark",
         "queries",
         "hits",
@@ -452,12 +472,16 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         "sat-re",
         "pivots",
         "props",
+        "blocked",
+        "db-red",
+        "colscan",
+        "retract",
         "thr",
         "parts",
         "bl-qrys",
         "bl-quants"
     ));
-    out.push_str(&"-".repeat(158));
+    out.push_str(&"-".repeat(191));
     out.push('\n');
     let mut total = QueryStats::default();
     let mut total_baseline = QueryStats::default();
@@ -465,7 +489,7 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         let s = &row.flux.stats;
         let hit_percent = (s.cache_hits * 100).checked_div(s.smt_queries).unwrap_or(0);
         out.push_str(&format!(
-            "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} {:>8} {:>8} {:>4} {:>6} | {:>8} {:>10}\n",
+            "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>4} {:>6} | {:>8} {:>10}\n",
             row.name,
             s.smt_queries,
             s.cache_hits,
@@ -478,6 +502,10 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
             s.sat_reuse,
             s.pivots,
             s.propagations,
+            s.blocked_visits,
+            s.db_reductions,
+            s.col_scans,
+            s.conjunct_retractions,
             s.threads,
             s.partitions,
             row.baseline.stats.smt_queries,
@@ -493,18 +521,22 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         total.sat_reuse += s.sat_reuse;
         total.pivots += s.pivots;
         total.propagations += s.propagations;
+        total.blocked_visits += s.blocked_visits;
+        total.db_reductions += s.db_reductions;
+        total.col_scans += s.col_scans;
+        total.conjunct_retractions += s.conjunct_retractions;
         total.threads = total.threads.max(s.threads);
         total.partitions += s.partitions;
         total_baseline.smt_queries += row.baseline.stats.smt_queries;
         total_baseline.quant_instances += row.baseline.stats.quant_instances;
     }
-    out.push_str(&"-".repeat(158));
+    out.push_str(&"-".repeat(191));
     out.push('\n');
     let hit_percent = (total.cache_hits * 100)
         .checked_div(total.smt_queries)
         .unwrap_or(0);
     out.push_str(&format!(
-        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} {:>8} {:>8} {:>4} {:>6} | {:>8} {:>10}\n",
+        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>4} {:>6} | {:>8} {:>10}\n",
         "Total",
         total.smt_queries,
         total.cache_hits,
@@ -517,6 +549,10 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         total.sat_reuse,
         total.pivots,
         total.propagations,
+        total.blocked_visits,
+        total.db_reductions,
+        total.col_scans,
+        total.conjunct_retractions,
         total.threads,
         total.partitions,
         total_baseline.smt_queries,
@@ -552,6 +588,8 @@ pub fn render_table1_json(rows: &[TableRow], gate: &GateTolerances) -> String {
              \"sessions\": {},\n{indent}  \"sat_reuse\": {},\n{indent}  \
              \"sat_rounds\": {},\n{indent}  \"theory_checks\": {},\n{indent}  \
              \"pivots\": {},\n{indent}  \"propagations\": {},\n{indent}  \
+             \"blocked_visits\": {},\n{indent}  \"db_reductions\": {},\n{indent}  \
+             \"col_scans\": {},\n{indent}  \"conjunct_retractions\": {},\n{indent}  \
              \"quant_instances\": {},\n{indent}  \"threads\": {},\n{indent}  \
              \"partitions\": {},\n{indent}  \"worker_queries\": [{}]\n{indent}}}",
             out.safe,
@@ -569,6 +607,10 @@ pub fn render_table1_json(rows: &[TableRow], gate: &GateTolerances) -> String {
             s.theory_checks,
             s.pivots,
             s.propagations,
+            s.blocked_visits,
+            s.db_reductions,
+            s.col_scans,
+            s.conjunct_retractions,
             s.quant_instances,
             s.threads,
             s.partitions,

@@ -134,7 +134,7 @@ where
     }
 }
 
-fn same_sort(a: Value, b: Value) -> bool {
+pub(crate) fn same_sort(a: Value, b: Value) -> bool {
     matches!(
         (a, b),
         (Value::Int(_), Value::Int(_)) | (Value::Bool(_), Value::Bool(_))

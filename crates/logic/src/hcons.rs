@@ -16,7 +16,8 @@
 //! tree-walking counterparts ([`crate::Subst::apply`] and
 //! [`crate::simplify`]).
 
-use crate::{simplify, BinOp, Constant, Expr, Name, Sort, Subst, UnOp};
+use crate::eval::same_sort;
+use crate::{simplify, BinOp, Constant, Expr, Name, Sort, Subst, UnOp, Value};
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
@@ -236,6 +237,100 @@ impl Table {
         out
     }
 
+    /// DAG evaluation under a partial assignment; the memo makes shared
+    /// subterms cost one visit per call instead of one per occurrence.
+    /// Memoizing per call is sound because the value of a subterm under a
+    /// fixed `lookup` is deterministic.  The arms mirror [`crate::evaluate`]
+    /// case for case (Kleene connectives, euclidean division with the
+    /// divisor-zero refusal, the agreeing-branch `ite` rule) so the two
+    /// evaluators agree on every expression.
+    fn eval_rec<F>(
+        &self,
+        id: ExprId,
+        lookup: &F,
+        memo: &mut HashMap<ExprId, Option<Value>>,
+    ) -> Option<Value>
+    where
+        F: Fn(Name) -> Option<Value>,
+    {
+        if let Some(&out) = memo.get(&id) {
+            return out;
+        }
+        let out = self.eval_node(id, lookup, memo);
+        memo.insert(id, out);
+        out
+    }
+
+    fn eval_node<F>(
+        &self,
+        id: ExprId,
+        lookup: &F,
+        memo: &mut HashMap<ExprId, Option<Value>>,
+    ) -> Option<Value>
+    where
+        F: Fn(Name) -> Option<Value>,
+    {
+        match &self.nodes[id.0 as usize] {
+            Node::Var(name) => lookup(*name),
+            Node::Const(Constant::Int(i)) => Some(Value::Int(*i)),
+            Node::Const(Constant::Bool(b)) => Some(Value::Bool(*b)),
+            Node::Const(Constant::Real(_)) => None,
+            Node::UnOp(UnOp::Not, e) => {
+                Some(Value::Bool(!self.eval_rec(*e, lookup, memo)?.as_bool()?))
+            }
+            Node::UnOp(UnOp::Neg, e) => {
+                Some(Value::Int(-self.eval_rec(*e, lookup, memo)?.as_int()?))
+            }
+            Node::BinOp(op @ (BinOp::And | BinOp::Or | BinOp::Imp | BinOp::Iff), lhs, rhs) => {
+                let l = self.eval_rec(*lhs, lookup, memo).and_then(Value::as_bool);
+                let r = self.eval_rec(*rhs, lookup, memo).and_then(Value::as_bool);
+                let out = match (op, l, r) {
+                    (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => Some(false),
+                    (BinOp::And, Some(true), Some(true)) => Some(true),
+                    (BinOp::Or, Some(true), _) | (BinOp::Or, _, Some(true)) => Some(true),
+                    (BinOp::Or, Some(false), Some(false)) => Some(false),
+                    (BinOp::Imp, Some(false), _) | (BinOp::Imp, _, Some(true)) => Some(true),
+                    (BinOp::Imp, Some(true), Some(false)) => Some(false),
+                    (BinOp::Iff, Some(a), Some(b)) => Some(a == b),
+                    _ => None,
+                };
+                out.map(Value::Bool)
+            }
+            Node::BinOp(op, lhs, rhs) => {
+                let l = self.eval_rec(*lhs, lookup, memo)?;
+                let r = self.eval_rec(*rhs, lookup, memo)?;
+                match (op, l, r) {
+                    (BinOp::Add, Value::Int(a), Value::Int(b)) => Some(Value::Int(a + b)),
+                    (BinOp::Sub, Value::Int(a), Value::Int(b)) => Some(Value::Int(a - b)),
+                    (BinOp::Mul, Value::Int(a), Value::Int(b)) => Some(Value::Int(a * b)),
+                    (BinOp::Div, Value::Int(a), Value::Int(b)) if b != 0 => {
+                        Some(Value::Int(a.div_euclid(b)))
+                    }
+                    (BinOp::Mod, Value::Int(a), Value::Int(b)) if b != 0 => {
+                        Some(Value::Int(a.rem_euclid(b)))
+                    }
+                    (BinOp::Eq, a, b) if same_sort(a, b) => Some(Value::Bool(a == b)),
+                    (BinOp::Ne, a, b) if same_sort(a, b) => Some(Value::Bool(a != b)),
+                    (BinOp::Lt, Value::Int(a), Value::Int(b)) => Some(Value::Bool(a < b)),
+                    (BinOp::Le, Value::Int(a), Value::Int(b)) => Some(Value::Bool(a <= b)),
+                    (BinOp::Gt, Value::Int(a), Value::Int(b)) => Some(Value::Bool(a > b)),
+                    (BinOp::Ge, Value::Int(a), Value::Int(b)) => Some(Value::Bool(a >= b)),
+                    _ => None,
+                }
+            }
+            Node::Ite(c, t, e) => match self.eval_rec(*c, lookup, memo).and_then(Value::as_bool) {
+                Some(true) => self.eval_rec(*t, lookup, memo),
+                Some(false) => self.eval_rec(*e, lookup, memo),
+                None => {
+                    let t = self.eval_rec(*t, lookup, memo)?;
+                    let e = self.eval_rec(*e, lookup, memo)?;
+                    (t == e).then_some(t)
+                }
+            },
+            Node::App(..) | Node::Forall(..) | Node::Exists(..) => None,
+        }
+    }
+
     fn has_app_rec(&mut self, id: ExprId) -> bool {
         if let Some(&out) = self.app_memo.get(&id.0) {
             return out;
@@ -284,6 +379,22 @@ impl ExprId {
             .lock()
             .expect("hcons table poisoned")
             .subst_rec(self, subst, &mut memo)
+    }
+
+    /// Applies `subst` to every id in `ids` under one table lock and one
+    /// shared memo: subterms shared *across* the ids (sibling candidates of
+    /// one κ instantiate the same qualifiers over the same actuals) are
+    /// processed once per batch, not once per id.  Each result equals the
+    /// corresponding [`ExprId::subst`] call exactly.
+    pub fn subst_many(ids: &[ExprId], subst: &Subst) -> Vec<ExprId> {
+        if subst.is_empty() {
+            return ids.to_vec();
+        }
+        let mut memo = HashMap::new();
+        let mut table = table().lock().expect("hcons table poisoned");
+        ids.iter()
+            .map(|id| table.subst_rec(*id, subst, &mut memo))
+            .collect()
     }
 
     /// Simplifies this expression, memoizing the result globally.  Agrees
@@ -335,6 +446,22 @@ impl ExprId {
             .lock()
             .expect("hcons table poisoned")
             .has_app_rec(self)
+    }
+
+    /// Evaluates this expression under the partial assignment `lookup`,
+    /// memoizing shared subterms within the call; agrees exactly with
+    /// [`crate::evaluate`] on the tree form (the fixpoint solver's
+    /// counter-model pruning relies on this to evaluate clause bodies
+    /// without materializing per-version trees).
+    pub fn evaluate<F>(self, lookup: &F) -> Option<Value>
+    where
+        F: Fn(Name) -> Option<Value>,
+    {
+        let mut memo = HashMap::new();
+        table()
+            .lock()
+            .expect("hcons table poisoned")
+            .eval_rec(self, lookup, &mut memo)
     }
 
     /// Splits this expression along its top-level conjunction spine; agrees
@@ -548,6 +675,83 @@ mod tests {
             let id = ExprId::intern(e);
             assert_eq!(id.has_quantifier(), e.has_quantifier(), "quant {e:?}");
             assert_eq!(id.has_app(), e.has_app(), "app {e:?}");
+        }
+    }
+
+    /// Minimal xorshift generator; the logic crate cannot depend on
+    /// `flux_smt::testing::Rng` (the dependency points the other way).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn below(&mut self, n: u64) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0 % n
+        }
+    }
+
+    /// DAG evaluation must agree with the tree evaluator on random
+    /// expressions and random (partial) models, including the undecidable
+    /// cases: `None` on one side must be `None` on the other.
+    #[test]
+    fn dag_evaluate_agrees_with_tree_evaluate() {
+        use crate::eval::{evaluate, Value};
+
+        fn gen_expr(rng: &mut XorShift, depth: usize) -> Expr {
+            fn term(rng: &mut XorShift) -> Expr {
+                match rng.below(4) {
+                    0 => Expr::var(Name::intern("ev_x")),
+                    1 => Expr::var(Name::intern("ev_y")),
+                    2 => Expr::var(Name::intern("ev_u")), // never bound
+                    _ => Expr::int(rng.below(9) as i128 - 4),
+                }
+            }
+            if depth == 0 || rng.below(3) == 0 {
+                let l = term(rng);
+                let r = term(rng);
+                return match rng.below(8) {
+                    0 => Expr::lt(l, r),
+                    1 => Expr::le(l, r),
+                    2 => Expr::eq(l, r),
+                    3 => Expr::ne(l, r),
+                    4 => Expr::binop(BinOp::Div, l, r),
+                    5 => Expr::binop(BinOp::Mod, l, r),
+                    6 => Expr::var(Name::intern("ev_p")),
+                    _ => Expr::app("ev_f", vec![l]),
+                };
+            }
+            let l = gen_expr(rng, depth - 1);
+            match rng.below(6) {
+                0 => Expr::binop(BinOp::And, l, gen_expr(rng, depth - 1)),
+                1 => Expr::binop(BinOp::Or, l, gen_expr(rng, depth - 1)),
+                2 => Expr::binop(BinOp::Imp, l, gen_expr(rng, depth - 1)),
+                3 => Expr::not(l),
+                4 => Expr::ite(l, gen_expr(rng, depth - 1), gen_expr(rng, depth - 1)),
+                _ => Expr::binop(BinOp::Iff, l, gen_expr(rng, depth - 1)),
+            }
+        }
+
+        let mut rng = XorShift(0xDA6_E7A1);
+        for case in 0..256 {
+            let e = gen_expr(&mut rng, 3);
+            let x = rng.below(9) as i128 - 4;
+            let y = rng.below(9) as i128 - 4;
+            let p = rng.below(2) == 0;
+            let lookup = move |name: Name| {
+                if name == Name::intern("ev_x") {
+                    Some(Value::Int(x))
+                } else if name == Name::intern("ev_y") {
+                    Some(Value::Int(y))
+                } else if name == Name::intern("ev_p") {
+                    Some(Value::Bool(p))
+                } else {
+                    None
+                }
+            };
+            let tree = evaluate(&e, &lookup);
+            let dag = ExprId::intern(&e).evaluate(&lookup);
+            assert_eq!(dag, tree, "case {case}: DAG and tree disagree on {e:?}");
         }
     }
 

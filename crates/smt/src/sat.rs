@@ -73,6 +73,18 @@ fn watch_idx(lit: SatLit) -> usize {
     lit.var * 2 + lit.positive as usize
 }
 
+/// One watcher-list entry: the watching clause plus a *blocking literal* —
+/// some other literal of the clause (typically the other watch).  If the
+/// blocker is true the clause is satisfied and the visit skips without
+/// touching the clause at all; propagation through hypothesis CNF that a
+/// retired goal already satisfied is the dominant cost on long sessions,
+/// and most of those visits die on the blocker check.
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    clause: usize,
+    blocker: SatLit,
+}
+
 /// Result of a SAT check.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SatResult {
@@ -93,13 +105,20 @@ pub struct SatConfig {
     /// two-watched-literal scheme.  Kept for A/B equivalence testing; the
     /// verdicts are identical, only the work per propagation differs.
     pub scan_propagation: bool,
+    /// Periodically drop low-activity learned clauses (MiniSat-style DB
+    /// reduction).  Dropping a learned clause is always sound — it is a
+    /// resolvent the search can re-derive — so verdicts are unaffected;
+    /// the toggle exists for A/B equivalence testing.
+    pub db_reduction: bool,
 }
 
 impl Default for SatConfig {
     fn default() -> Self {
+        let legacy = crate::legacy_toggles();
         SatConfig {
             max_conflicts: 200_000,
-            scan_propagation: false,
+            scan_propagation: legacy,
+            db_reduction: !legacy,
         }
     }
 }
@@ -108,9 +127,16 @@ impl Default for SatConfig {
 pub struct SatSolver {
     num_vars: usize,
     clauses: Vec<Vec<SatLit>>,
+    /// Whether each clause was learned from a conflict (as opposed to added
+    /// by the caller).  Only learned clauses are eligible for DB reduction:
+    /// they are resolvents, so dropping them can never change a verdict.
+    learned: Vec<bool>,
+    /// MiniSat-style clause activities, bumped when a clause participates
+    /// in conflict analysis; only meaningful for learned clauses.
+    clause_activity: Vec<f64>,
     /// Watcher lists: for each literal, the clauses watching it (watched
     /// literals are kept at positions 0 and 1 of each clause).
-    watches: Vec<Vec<usize>>,
+    watches: Vec<Vec<Watcher>>,
     /// Clauses added since the last search, not yet attached to `watches`.
     pending: Vec<usize>,
     /// Current assignment (None = unassigned).
@@ -127,13 +153,32 @@ pub struct SatSolver {
     propagated: usize,
     /// Variable activities for branching.
     activity: Vec<f64>,
+    /// Binary max-heap over candidate decision variables, ordered by
+    /// activity (lazy deletion: assigned variables stay until popped).
+    /// Rebuilt from the active set at the start of each search, so between
+    /// searches it may be stale; within one it makes each decision
+    /// O(log n) instead of an O(num_vars) scan — which dominated search
+    /// time on decision-heavy (low-conflict) queries.
+    order_heap: Vec<usize>,
+    /// Position of each variable in `order_heap` (`usize::MAX` if absent).
+    heap_pos: Vec<usize>,
     /// Saved phases.
     saved_phase: Vec<bool>,
     activity_inc: f64,
+    clause_activity_inc: f64,
+    /// Learned clauses currently in the database.
+    num_learned: usize,
+    /// Learned-clause count that triggers the next DB reduction.
+    learn_limit: usize,
     /// Set to true if an empty clause was added.
     trivially_unsat: bool,
     /// Cumulative count of literals enqueued by unit propagation.
     propagations: usize,
+    /// Cumulative count of watcher visits skipped by a true blocking
+    /// literal.
+    blocked_visits: usize,
+    /// Cumulative count of learned-clause-DB reductions performed.
+    db_reductions: usize,
     config: SatConfig,
 }
 
@@ -143,6 +188,8 @@ impl SatSolver {
         SatSolver {
             num_vars,
             clauses: Vec::new(),
+            learned: Vec::new(),
+            clause_activity: Vec::new(),
             watches: vec![Vec::new(); num_vars * 2],
             pending: Vec::new(),
             assignment: vec![None; num_vars],
@@ -152,10 +199,17 @@ impl SatSolver {
             trail_lim: Vec::new(),
             propagated: 0,
             activity: vec![0.0; num_vars],
+            order_heap: Vec::new(),
+            heap_pos: vec![usize::MAX; num_vars],
             saved_phase: vec![false; num_vars],
             activity_inc: 1.0,
+            clause_activity_inc: 1.0,
+            num_learned: 0,
+            learn_limit: 256,
             trivially_unsat: false,
             propagations: 0,
+            blocked_visits: 0,
+            db_reductions: 0,
             config,
         }
     }
@@ -169,6 +223,17 @@ impl SatSolver {
     /// creation.  Monotone; callers attribute work by differencing.
     pub fn propagations(&self) -> usize {
         self.propagations
+    }
+
+    /// Cumulative number of watcher visits resolved by the blocking
+    /// literal alone.  Monotone; callers attribute work by differencing.
+    pub fn blocked_visits(&self) -> usize {
+        self.blocked_visits
+    }
+
+    /// Cumulative number of learned-clause-DB reductions.  Monotone.
+    pub fn db_reductions(&self) -> usize {
+        self.db_reductions
     }
 
     /// Allocates a fresh variable and returns its index.
@@ -187,6 +252,7 @@ impl SatSolver {
         self.level.resize(n, 0);
         self.reason.resize(n, None);
         self.activity.resize(n, 0.0);
+        self.heap_pos.resize(n, usize::MAX);
         self.saved_phase.resize(n, false);
         self.watches.resize(n * 2, Vec::new());
         self.num_vars = n;
@@ -214,6 +280,8 @@ impl SatSolver {
             return;
         }
         self.clauses.push(lits);
+        self.learned.push(false);
+        self.clause_activity.push(0.0);
         self.pending.push(self.clauses.len() - 1);
     }
 
@@ -286,8 +354,16 @@ impl SatSolver {
         }
         let l0 = self.clauses[ci][0];
         let l1 = self.clauses[ci][1];
-        self.watches[watch_idx(l0)].push(ci);
-        self.watches[watch_idx(l1)].push(ci);
+        // Each watch's blocker is the other watch: it is the literal most
+        // likely to be true when this one becomes false.
+        self.watches[watch_idx(l0)].push(Watcher {
+            clause: ci,
+            blocker: l1,
+        });
+        self.watches[watch_idx(l1)].push(Watcher {
+            clause: ci,
+            blocker: l0,
+        });
     }
 
     /// Attaches every clause added since the last search.
@@ -316,13 +392,22 @@ impl SatSolver {
             let mut conflict = None;
             let mut i = 0;
             'watchers: while i < ws.len() {
-                let ci = ws[i];
+                // A true blocking literal satisfies the clause without
+                // touching it (no cache miss on the clause memory at all).
+                if self.value(ws[i].blocker) == Some(true) {
+                    self.blocked_visits += 1;
+                    i += 1;
+                    continue;
+                }
+                let ci = ws[i].clause;
                 // Normalise: the false literal sits at position 1.
                 if self.clauses[ci][0] == false_lit {
                     self.clauses[ci].swap(0, 1);
                 }
                 let first = self.clauses[ci][0];
                 if self.value(first) == Some(true) {
+                    // Remember the satisfying literal for future visits.
+                    ws[i].blocker = first;
                     i += 1;
                     continue;
                 }
@@ -331,7 +416,10 @@ impl SatSolver {
                     let cand = self.clauses[ci][k];
                     if self.value(cand) != Some(false) {
                         self.clauses[ci].swap(1, k);
-                        self.watches[watch_idx(cand)].push(ci);
+                        self.watches[watch_idx(cand)].push(Watcher {
+                            clause: ci,
+                            blocker: first,
+                        });
                         ws.swap_remove(i);
                         continue 'watchers;
                     }
@@ -389,15 +477,33 @@ impl SatSolver {
     fn bump(&mut self, var: usize) {
         self.activity[var] += self.activity_inc;
         if self.activity[var] > 1e100 {
+            // Order-preserving rescale: heap order is unaffected.
             for a in &mut self.activity {
                 *a *= 1e-100;
             }
             self.activity_inc *= 1e-100;
         }
+        if self.heap_pos[var] != usize::MAX {
+            self.heap_sift_up(self.heap_pos[var]);
+        }
     }
 
     fn decay_activities(&mut self) {
         self.activity_inc /= 0.95;
+        self.clause_activity_inc /= 0.999;
+    }
+
+    /// Bumps the activity of a clause that participated in conflict
+    /// analysis.  Only learned clauses keep a meaningful activity, but
+    /// bumping originals too is harmless — reduction never considers them.
+    fn bump_clause(&mut self, ci: usize) {
+        self.clause_activity[ci] += self.clause_activity_inc;
+        if self.clause_activity[ci] > 1e20 {
+            for a in &mut self.clause_activity {
+                *a *= 1e-20;
+            }
+            self.clause_activity_inc *= 1e-20;
+        }
     }
 
     /// 1-UIP conflict analysis.  Returns the learned clause — asserting
@@ -410,6 +516,7 @@ impl SatSolver {
         let mut counter = 0usize;
         let mut clause_lits: Vec<SatLit> = self.clauses[conflict].clone();
         let mut trail_idx = self.trail.len();
+        self.bump_clause(conflict);
 
         loop {
             for lit in &clause_lits {
@@ -441,6 +548,7 @@ impl SatSolver {
                 break;
             }
             let reason = self.reason[pivot.var].expect("UIP search hit a decision early");
+            self.bump_clause(reason);
             clause_lits = self.clauses[reason]
                 .iter()
                 .copied()
@@ -480,29 +588,113 @@ impl SatSolver {
                 self.saved_phase[lit.var] = lit.positive;
                 self.assignment[lit.var] = None;
                 self.reason[lit.var] = None;
+                self.heap_insert(lit.var);
             }
         }
         self.propagated = self.trail.len();
     }
 
-    /// Picks the unassigned variable with the highest activity among
-    /// `active` ones.  Restricting to active variables matters for
-    /// incremental use: a long-lived solver accumulates variables from
-    /// retired (compacted-away) queries, and a model need not assign
-    /// variables no current clause mentions — deciding them anyway would
-    /// make each check pay for every check before it.
-    fn pick_branch_var(&self, active: &[bool]) -> Option<usize> {
-        let mut best: Option<(usize, f64)> = None;
-        for (v, is_active) in active.iter().enumerate().take(self.num_vars) {
-            if *is_active && self.assignment[v].is_none() {
-                let act = self.activity[v];
-                match best {
-                    Some((_, best_act)) if best_act >= act => {}
-                    _ => best = Some((v, act)),
-                }
+    fn heap_sift_up(&mut self, mut i: usize) {
+        let v = self.order_heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let pv = self.order_heap[parent];
+            if self.activity[pv] >= self.activity[v] {
+                break;
+            }
+            self.order_heap[i] = pv;
+            self.heap_pos[pv] = i;
+            i = parent;
+        }
+        self.order_heap[i] = v;
+        self.heap_pos[v] = i;
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        let v = self.order_heap[i];
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.order_heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < self.order_heap.len()
+                && self.activity[self.order_heap[right]] > self.activity[self.order_heap[left]]
+            {
+                right
+            } else {
+                left
+            };
+            let cv = self.order_heap[child];
+            if self.activity[v] >= self.activity[cv] {
+                break;
+            }
+            self.order_heap[i] = cv;
+            self.heap_pos[cv] = i;
+            i = child;
+        }
+        self.order_heap[i] = v;
+        self.heap_pos[v] = i;
+    }
+
+    fn heap_insert(&mut self, v: usize) {
+        if self.heap_pos[v] != usize::MAX {
+            return;
+        }
+        self.order_heap.push(v);
+        self.heap_pos[v] = self.order_heap.len() - 1;
+        self.heap_sift_up(self.order_heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<usize> {
+        let top = *self.order_heap.first()?;
+        self.heap_pos[top] = usize::MAX;
+        let last = self.order_heap.pop().expect("heap is nonempty");
+        if !self.order_heap.is_empty() {
+            self.order_heap[0] = last;
+            self.heap_pos[last] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    /// Rebuilds the decision heap from the query's active set.  Restricting
+    /// to active variables matters for incremental use: a long-lived solver
+    /// accumulates variables from retired (compacted-away) queries, and a
+    /// model need not assign variables no current clause mentions —
+    /// deciding them anyway would make each check pay for every check
+    /// before it.
+    fn heap_rebuild(&mut self, active: &[bool]) {
+        for &v in &self.order_heap {
+            self.heap_pos[v] = usize::MAX;
+        }
+        self.order_heap.clear();
+        for (v, &is_active) in active.iter().enumerate().take(self.num_vars) {
+            if is_active && self.assignment[v].is_none() {
+                self.order_heap.push(v);
+                self.heap_pos[v] = v; // placeholder; fixed below
             }
         }
-        best.map(|(v, _)| v)
+        // Bottom-up heapify: O(n), and fixes every position.
+        for i in 0..self.order_heap.len() {
+            self.heap_pos[self.order_heap[i]] = i;
+        }
+        for i in (0..self.order_heap.len() / 2).rev() {
+            self.heap_sift_down(i);
+        }
+    }
+
+    /// Picks the unassigned variable with the highest activity among
+    /// `active` ones, by popping the decision heap (assigned or inactive
+    /// entries are discarded lazily; unassigning re-inserts in
+    /// [`SatSolver::backtrack_to`]).
+    fn pick_branch_var(&mut self, active: &[bool]) -> Option<usize> {
+        while let Some(v) = self.heap_pop() {
+            if active[v] && self.assignment[v].is_none() {
+                return Some(v);
+            }
+        }
+        None
     }
 
     /// Runs the CDCL search with no assumptions.
@@ -548,10 +740,42 @@ impl SatSolver {
             return;
         }
         let assignment = &self.assignment;
-        self.clauses
-            .retain(|c| !c.iter().any(|l| assignment[l.var] == Some(l.positive)));
-        for c in &mut self.clauses {
-            c.retain(|l| assignment[l.var].map(|v| v == l.positive) != Some(false));
+        let keep: Vec<bool> = self
+            .clauses
+            .iter()
+            .map(|c| !c.iter().any(|l| assignment[l.var] == Some(l.positive)))
+            .collect();
+        for (ci, c) in self.clauses.iter_mut().enumerate() {
+            if keep[ci] {
+                c.retain(|l| self.assignment[l.var].map(|v| v == l.positive) != Some(false));
+            }
+        }
+        self.retain_clauses(&keep);
+    }
+
+    /// Drops the clauses whose `keep` flag is false, keeping the per-clause
+    /// metadata (`learned`, `clause_activity`) in sync, and rebuilds the
+    /// watcher lists from scratch.  Removal reindexes the clause database,
+    /// which also invalidates the `reason` indices of level-0 trail
+    /// entries; those are cleared, which is equivalent because conflict
+    /// analysis skips level-0 literals outright.  Must run on a level-0
+    /// trail with no pending clauses.
+    fn retain_clauses(&mut self, keep: &[bool]) {
+        debug_assert_eq!(self.current_level(), 0);
+        debug_assert!(self.pending.is_empty());
+        let old_clauses = std::mem::take(&mut self.clauses);
+        let old_learned = std::mem::take(&mut self.learned);
+        let old_activity = std::mem::take(&mut self.clause_activity);
+        self.num_learned = 0;
+        for (ci, clause) in old_clauses.into_iter().enumerate() {
+            if keep[ci] {
+                self.clauses.push(clause);
+                self.learned.push(old_learned[ci]);
+                self.clause_activity.push(old_activity[ci]);
+                if old_learned[ci] {
+                    self.num_learned += 1;
+                }
+            }
         }
         for w in &mut self.watches {
             w.clear();
@@ -562,6 +786,36 @@ impl SatSolver {
         for i in 0..self.trail.len() {
             self.reason[self.trail[i].var] = None;
         }
+    }
+
+    /// MiniSat-style learned-clause-DB reduction: drops the lowest-activity
+    /// half of the reducible learned clauses (binaries and caller-added
+    /// clauses are always kept).  Sound because a learned clause is a
+    /// resolvent of the database — removing it can never change a verdict,
+    /// only the search path; the equivalence suite pins this.  Runs on the
+    /// level-0 trail with pending flushed, like [`SatSolver::compact`].
+    fn reduce_db(&mut self) {
+        let mut acts: Vec<f64> = (0..self.clauses.len())
+            .filter(|&ci| self.learned[ci] && self.clauses[ci].len() > 2)
+            .map(|ci| self.clause_activity[ci])
+            .collect();
+        if acts.len() < 2 {
+            return;
+        }
+        acts.sort_by(|a, b| a.partial_cmp(b).expect("activities are finite"));
+        let median = acts[acts.len() / 2];
+        let keep: Vec<bool> = (0..self.clauses.len())
+            .map(|ci| {
+                !self.learned[ci]
+                    || self.clauses[ci].len() <= 2
+                    || self.clause_activity[ci] >= median
+            })
+            .collect();
+        self.retain_clauses(&keep);
+        self.db_reductions += 1;
+        // Geometric growth: long-lived sessions keep proportionally more of
+        // what they keep re-deriving.
+        self.learn_limit += self.learn_limit / 2;
     }
 
     /// Runs the CDCL search under `assumptions`.
@@ -582,6 +836,12 @@ impl SatSolver {
         if self.trivially_unsat {
             return SatResult::Unsat;
         }
+        if self.config.db_reduction && self.num_learned >= self.learn_limit {
+            self.reduce_db();
+            if self.trivially_unsat {
+                return SatResult::Unsat;
+            }
+        }
         // Variables this query can constrain: everything a current clause
         // or assumption mentions.  Clauses learned during the search only
         // resolve existing clauses, so they never activate a new variable.
@@ -594,6 +854,7 @@ impl SatSolver {
         for a in assumptions {
             active[a.var] = true;
         }
+        self.heap_rebuild(&active);
         let mut conflicts = 0usize;
         loop {
             if let Some(conflict) = self.propagate() {
@@ -609,12 +870,21 @@ impl SatSolver {
                 self.backtrack_to(backjump);
                 let assert_lit = learned[0];
                 self.clauses.push(learned);
+                self.learned.push(true);
+                self.clause_activity.push(self.clause_activity_inc);
+                self.num_learned += 1;
                 let ci = self.clauses.len() - 1;
                 if self.clauses[ci].len() >= 2 {
                     let l0 = self.clauses[ci][0];
                     let l1 = self.clauses[ci][1];
-                    self.watches[watch_idx(l0)].push(ci);
-                    self.watches[watch_idx(l1)].push(ci);
+                    self.watches[watch_idx(l0)].push(Watcher {
+                        clause: ci,
+                        blocker: l1,
+                    });
+                    self.watches[watch_idx(l1)].push(Watcher {
+                        clause: ci,
+                        blocker: l0,
+                    });
                 }
                 if self.value(assert_lit).is_none() {
                     self.enqueue(assert_lit, Some(ci));
@@ -762,6 +1032,52 @@ mod tests {
             }
         }
         assert_eq!(solve_clauses(6, &clauses), SatResult::Unsat);
+    }
+
+    /// A pigeonhole instance hard enough to overflow the learned-clause
+    /// limit: the reduction heuristic must actually fire, and dropping
+    /// low-activity learned clauses must not change the verdict.
+    #[test]
+    fn db_reduction_fires_and_preserves_the_verdict() {
+        let pigeons = 9;
+        let holes = 8;
+        let var = |p: usize, h: usize| p * holes + h;
+        let mut clauses = Vec::new();
+        for p in 0..pigeons {
+            clauses.push((0..holes).map(|h| lit(var(p, h), true)).collect());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    clauses.push(vec![lit(var(p1, h), false), lit(var(p2, h), false)]);
+                }
+            }
+        }
+        let mut reductions = 0;
+        for db_reduction in [true, false] {
+            let config = SatConfig {
+                db_reduction,
+                ..SatConfig::default()
+            };
+            let mut solver = SatSolver::new(pigeons * holes, config);
+            for c in &clauses {
+                solver.add_clause(c.clone());
+            }
+            // Reduction runs on the level-0 trail *between* searches: the
+            // first solve piles up learned clauses, the second opens by
+            // reducing them and must re-derive the same verdict.
+            assert_eq!(solver.solve(), SatResult::Unsat);
+            assert_eq!(solver.solve(), SatResult::Unsat);
+            if db_reduction {
+                reductions = solver.db_reductions();
+            } else {
+                assert_eq!(solver.db_reductions(), 0);
+            }
+        }
+        assert!(
+            reductions > 0,
+            "the instance must learn enough clauses to trigger a reduction"
+        );
     }
 
     #[test]

@@ -90,6 +90,28 @@ type PreprocKey = (ExprId, Box<[Option<Sort>]>);
 /// A defining CNF plus its (unasserted) root literal.
 type LitCnf = (Lit, Arc<Vec<Vec<Lit>>>);
 
+/// A preprocessed hypothesis conjunct paired with its asserted-root CNF.
+type ConjunctCnf = (ExprId, Arc<Vec<Vec<Lit>>>);
+
+/// Conjunct-splitting outcome of one hypothesis expression, memoized per
+/// [`PreprocKey`]: the weakening loop re-opens sessions over hypothesis
+/// contexts whose individual members (guard predicates, κ-solution
+/// conjunctions) recur verbatim, so the whole walk — conjunct splitting,
+/// triviality checks, fragment detection, preprocessing and CNF lookup —
+/// collapses to a single hash probe per hypothesis.
+#[derive(Clone)]
+enum HypOut {
+    /// Some conjunct leaves the quantifier-free, application-free fragment
+    /// (or failed to encode): the session must fall back to one-shot.
+    OneShot,
+    /// Some conjunct simplified to `false`.
+    Contradictory,
+    /// The preprocessed conjuncts in source order, paired with their CNFs.
+    /// Duplicates within one hypothesis are preserved; the session-level
+    /// `seen` set dedups across the whole context, as it always did.
+    Conjuncts(Arc<Vec<ConjunctCnf>>),
+}
+
 #[derive(Default)]
 struct CnfCache {
     atoms: AtomTable,
@@ -105,6 +127,14 @@ struct CnfCache {
     /// Registration-ready form of each linear atom, analysed once
     /// process-wide instead of once per session tableau.
     prepared: HashMap<AtomId, Arc<Prepared>>,
+    /// Conjunct-splitting outcome per hypothesis expression (see
+    /// [`HypOut`]); keyed like `preproc` because preprocessing of the
+    /// conjuncts consults the free variables' sorts.
+    hyp_out: HashMap<PreprocKey, HypOut>,
+    /// Distinct theory atoms mentioned by a conjunct's CNF, sorted: lets
+    /// the theory-atom snapshot skip re-scanning every literal of every
+    /// hypothesis clause on each session's first check.
+    cnf_atoms: HashMap<ExprId, Arc<Vec<AtomId>>>,
 }
 
 fn cnf_cache() -> MutexGuard<'static, CnfCache> {
@@ -133,8 +163,8 @@ impl CnfCache {
     /// the sorts of its free variables.
     fn preprocess(&mut self, id: ExprId, ctx: &SortCtx) -> PreOut {
         let fv = self.free_vars_of(id);
-        let sorts: Box<[Option<Sort>]> = fv.iter().map(|n| ctx.lookup(*n)).collect();
-        if let Some(out) = self.preproc.get(&(id, sorts.clone())) {
+        let key: PreprocKey = (id, fv.iter().map(|n| ctx.lookup(*n)).collect());
+        if let Some(out) = self.preproc.get(&key) {
             return out.clone();
         }
         let out = match preprocess_qf(&id.expr(), ctx) {
@@ -142,7 +172,7 @@ impl CnfCache {
             Preprocessed::False => PreOut::False,
             Preprocessed::Formula(f) => PreOut::Formula(ExprId::intern(&f)),
         };
-        self.preproc.insert((id, sorts), out.clone());
+        self.preproc.insert(key, out.clone());
         out
     }
 
@@ -185,6 +215,70 @@ impl CnfCache {
         self.cnf.insert(id, cnf.clone());
         Ok(cnf)
     }
+
+    /// Splits the hypothesis `hyp` into preprocessed conjuncts (see
+    /// [`HypOut`]), memoized on the sorts of its free variables.  The loop
+    /// body mirrors what [`Session::assume_impl`] historically did inline;
+    /// the first terminal outcome (a fragment violation or a contradictory
+    /// conjunct) wins, in conjunct order.
+    fn hyp_out_of(&mut self, hyp: ExprId, ctx: &SortCtx) -> HypOut {
+        let fv = self.free_vars_of(hyp);
+        let key: PreprocKey = (hyp, fv.iter().map(|n| ctx.lookup(*n)).collect());
+        if let Some(out) = self.hyp_out.get(&key) {
+            return out.clone();
+        }
+        let tt = ExprId::intern(&Expr::tt());
+        let ff = ExprId::intern(&Expr::ff());
+        let mut conjuncts = Vec::new();
+        let mut result = None;
+        'walk: for conjunct in hyp.conjunct_ids() {
+            if conjunct.has_quantifier() || conjunct.has_app() {
+                result = Some(HypOut::OneShot);
+                break 'walk;
+            }
+            let sid = conjunct.simplified();
+            if sid == tt {
+                continue;
+            }
+            if sid == ff {
+                result = Some(HypOut::Contradictory);
+                break 'walk;
+            }
+            match self.preprocess(sid, ctx) {
+                PreOut::True => {}
+                PreOut::False => {
+                    result = Some(HypOut::Contradictory);
+                    break 'walk;
+                }
+                PreOut::Formula(pid) => match self.cnf_of(pid) {
+                    Ok(cnf) => conjuncts.push((pid, cnf)),
+                    // Defensive: the preprocessed QF fragment should always
+                    // convert; degrade to one-shot rather than give up.
+                    Err(()) => {
+                        result = Some(HypOut::OneShot);
+                        break 'walk;
+                    }
+                },
+            }
+        }
+        let out = result.unwrap_or_else(|| HypOut::Conjuncts(Arc::new(conjuncts)));
+        self.hyp_out.insert(key, out.clone());
+        out
+    }
+
+    /// The distinct theory atoms of the conjunct `pid`'s CNF, sorted;
+    /// memoized forever (the CNF of a preprocessed formula never changes).
+    fn atoms_of(&mut self, pid: ExprId, cnf: &[Vec<Lit>]) -> Arc<Vec<AtomId>> {
+        if let Some(atoms) = self.cnf_atoms.get(&pid) {
+            return atoms.clone();
+        }
+        let mut atoms: Vec<AtomId> = cnf.iter().flatten().map(|lit| lit.atom).collect();
+        atoms.sort_unstable();
+        atoms.dedup();
+        let atoms = Arc::new(atoms);
+        self.cnf_atoms.insert(pid, atoms.clone());
+        atoms
+    }
 }
 
 /// The session's persistent CDCL core: one [`SatSolver`] whose clause
@@ -211,6 +305,7 @@ struct Core {
     atom_slots: Vec<Option<SlotId>>,
     /// Snapshot of the hypothesis clauses' theory atoms, taken once on the
     /// first check; goals only resolve their own (typically few) atoms.
+    /// Cleared whenever the hypothesis conjunct set changes.
     hyp_atoms: Option<TheoryAtoms>,
 }
 
@@ -221,8 +316,14 @@ const UNMAPPED: usize = usize::MAX;
 /// sight) and the constraint variables that delimit counter-models.
 #[derive(Default)]
 struct TheoryAtoms {
-    /// (atom, SAT variable, simplex slot) of each linear atom.
-    lin: Vec<(AtomId, usize, SlotId)>,
+    /// (atom, SAT variable, prepared constraint) of each linear atom.  The
+    /// simplex row is *not* registered at snapshot time: most checks are
+    /// decided propositionally (the hypothesis facts and replayed theory
+    /// lemmas close them before any theory round runs), so eagerly
+    /// building a tableau row per atom per session was pure overhead — the
+    /// row materializes via [`Core::slot_of`] on the first theory round
+    /// that asserts the atom, and is permanent from then on.
+    lin: Vec<(AtomId, usize, Arc<Prepared>)>,
     /// (SAT variable, name) of each boolean atom.
     bools: Vec<(usize, Name)>,
     /// Variables mentioned by the linear constraints.
@@ -252,9 +353,32 @@ impl Core {
         let mut relevant: Vec<AtomId> = clauses.flatten().map(|lit| lit.atom).collect();
         relevant.sort_unstable();
         relevant.dedup();
+        self.snapshot_atoms(&relevant, skip)
+    }
+
+    /// [`Core::snapshot`] for the hypothesis CNF, via the per-conjunct atom
+    /// memo: the conjuncts' distinct atoms were collected once per process,
+    /// so a session's first check merges a few short sorted lists instead
+    /// of re-scanning every literal of every hypothesis clause.
+    fn snapshot_hyp(&mut self, hyp_cnf: &[(ExprId, Arc<Vec<Vec<Lit>>>)]) -> TheoryAtoms {
+        let mut relevant: Vec<AtomId> = Vec::new();
+        {
+            let mut cache = cnf_cache();
+            for (pid, cnf) in hyp_cnf {
+                relevant.extend(cache.atoms_of(*pid, cnf).iter().copied());
+            }
+        }
+        relevant.sort_unstable();
+        relevant.dedup();
+        self.snapshot_atoms(&relevant, None)
+    }
+
+    /// Shared tail of the snapshot paths: the per-atom resolution work over
+    /// a sorted, deduplicated candidate list.
+    fn snapshot_atoms(&mut self, relevant: &[AtomId], skip: Option<&TheoryAtoms>) -> TheoryAtoms {
         let mut cache = cnf_cache();
         let mut out = TheoryAtoms::default();
-        for id in relevant {
+        for &id in relevant {
             if matches!(skip, Some(s) if s.atoms.contains(&id)) {
                 continue;
             }
@@ -266,8 +390,7 @@ impl Core {
             out.atoms.insert(id);
             if let Some(prepared) = cache.prepared_lin(id) {
                 out.vars.extend(prepared.vars());
-                let slot = self.slot_of(id, &prepared);
-                out.lin.push((id, var, slot));
+                out.lin.push((id, var, prepared));
             } else if let Atom::Bool(name) = cache.atoms.get(id) {
                 if !name.as_str().starts_with('$') {
                     out.bools.push((var, *name));
@@ -342,9 +465,11 @@ pub struct Session {
     /// Tree form of the hypotheses, materialized lazily — only the one-shot
     /// fallback needs it.
     hyp_trees: Option<Vec<Expr>>,
-    /// CNF of the preprocessed hypothesis conjuncts (shared with the global
-    /// cache; empty when trivially true).
-    hyp_cnf: Vec<Arc<Vec<Vec<Lit>>>>,
+    /// CNF of each preprocessed hypothesis conjunct, keyed by its
+    /// preprocessed id (shared with the global cache; empty when trivially
+    /// true).  The ids drive conjunct-level diffing in
+    /// [`Session::update_hypotheses`].
+    hyp_cnf: Vec<ConjunctCnf>,
     /// Theory lemmas learned so far; valid across all checks (atoms are
     /// global, so lemmas would even be sound across sessions).
     lemmas: Vec<Vec<Lit>>,
@@ -392,57 +517,132 @@ impl Session {
             lemmas: Vec::new(),
             core: None,
         };
-        let tt = ExprId::intern(&Expr::tt());
-        let ff = ExprId::intern(&Expr::ff());
         let mut seen: HashSet<ExprId> = HashSet::new();
         let mut cache = cnf_cache();
         for hyp in session.hyp_ids.clone() {
-            for conjunct in hyp.conjunct_ids() {
-                if conjunct.has_quantifier() || conjunct.has_app() {
+            // One memoized probe per hypothesis: splitting, simplification,
+            // preprocessing and CNF conversion of its conjuncts all ran at
+            // most once per process (see [`CnfCache::hyp_out_of`]).
+            match cache.hyp_out_of(hyp, &session.ctx) {
+                HypOut::OneShot => {
                     session.mode = Mode::OneShot;
                     session.hyp_cnf.clear();
                     return session;
                 }
-                // Simplify through the hash-cons memo: the weakening loop
-                // rebuilds the same qualifier instantiations every
-                // iteration, and the memo makes re-simplifying an
-                // already-seen conjunct O(1).
-                let sid = conjunct.simplified();
-                if sid == tt {
-                    continue;
-                }
-                if sid == ff {
+                HypOut::Contradictory => {
                     session.mode = Mode::Contradictory;
                     session.hyp_cnf.clear();
                     return session;
                 }
-                match cache.preprocess(sid, &session.ctx) {
-                    PreOut::True => {}
-                    PreOut::False => {
-                        session.mode = Mode::Contradictory;
-                        session.hyp_cnf.clear();
-                        return session;
-                    }
-                    PreOut::Formula(pid) => {
-                        if !seen.insert(pid) {
-                            continue; // duplicate conjunct
-                        }
-                        match cache.cnf_of(pid) {
-                            Ok(cnf) => session.hyp_cnf.push(cnf),
-                            // Defensive: the preprocessed QF fragment should
-                            // always convert; degrade to one-shot rather
-                            // than give up.
-                            Err(()) => {
-                                session.mode = Mode::OneShot;
-                                session.hyp_cnf.clear();
-                                return session;
-                            }
+                HypOut::Conjuncts(conjuncts) => {
+                    for (pid, cnf) in conjuncts.iter() {
+                        if seen.insert(*pid) {
+                            session.hyp_cnf.push((*pid, cnf.clone()));
                         }
                     }
                 }
             }
         }
         session
+    }
+
+    /// Re-points the session at a new hypothesis context **without
+    /// discarding the persistent core**.  Purely additive updates assert the
+    /// fresh conjuncts' cached CNF into the live clause database (existing
+    /// facts and learned clauses are consequences of the larger conjunct
+    /// set, so everything survives).  Updates that *retract* conjuncts
+    /// rebuild the SAT clause database from the surviving conjuncts' cached
+    /// CNFs plus the recorded theory lemmas — but keep the variable space
+    /// (so the atom↔variable map stays valid), the simplex tableau with its
+    /// warm basis, the registered atom slots, and every memoized encoding.
+    /// Hypothesis facts are deliberately asserted unguarded, so they become
+    /// permanent level-0 facts that the goal-retirement compaction dissolves
+    /// into the assignment; the price is that retraction cannot simply
+    /// unassert them.  A clause-database rebuild over cached encodings costs
+    /// one pass of `add_clause` calls and none of the simplification,
+    /// Tseitin or simplex-registration work a fresh session would pay.
+    ///
+    /// Returns `false` when the update cannot be expressed as a conjunct
+    /// diff — the session is not (or the new context would not be) in the
+    /// incremental mode.  The session is left unchanged in that case and
+    /// the caller should open a fresh one.
+    ///
+    /// Verdicts after a successful update are identical to those of a fresh
+    /// session over `new_hyps`: the clause database is exactly the new
+    /// conjunct set's CNF plus theory lemmas (tautologies over global atoms,
+    /// valid under any hypotheses), and the theory-atom snapshot is rebuilt
+    /// from the new conjunct set.
+    pub fn update_hypotheses(&mut self, new_hyps: &[ExprId]) -> bool {
+        if !matches!(self.mode, Mode::Incremental) {
+            return false;
+        }
+        // Recompute the conjunct set exactly as `assume_impl` does, but
+        // bail out (leaving the session untouched) instead of switching
+        // mode: mode changes invalidate the core wholesale.
+        let mut seen: HashSet<ExprId> = HashSet::new();
+        let mut new_cnf: Vec<ConjunctCnf> = Vec::new();
+        {
+            let mut cache = cnf_cache();
+            for hyp in new_hyps {
+                match cache.hyp_out_of(*hyp, &self.ctx) {
+                    HypOut::OneShot | HypOut::Contradictory => return false,
+                    HypOut::Conjuncts(conjuncts) => {
+                        for (pid, cnf) in conjuncts.iter() {
+                            if seen.insert(*pid) {
+                                new_cnf.push((*pid, cnf.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(core) = self.core.as_mut() {
+            let old: HashSet<ExprId> = self.hyp_cnf.iter().map(|(pid, _)| *pid).collect();
+            let stale = old.iter().filter(|pid| !seen.contains(pid)).count();
+            if stale > 0 {
+                // Retraction: rebuild the clause database from cached
+                // encodings.  The fresh solver starts over the same
+                // variable range, so cached CNF literals and `atom_vars`
+                // entries keep their meaning; goal clauses need no replay
+                // (every prior goal was retired and compacted away), and
+                // learned clauses need none either (they are resolvents the
+                // search re-derives on demand).
+                self.stats.conjunct_retractions += stale;
+                core.sat = SatSolver::new(core.sat.num_vars(), self.config.sat);
+                for (_, cnf) in &new_cnf {
+                    for clause in cnf.iter() {
+                        core.add_clause(clause, None);
+                    }
+                }
+                for lemma in &self.lemmas {
+                    core.add_clause(lemma, None);
+                }
+                core.hyp_atoms = None;
+            } else {
+                // Pure strengthening: assert the fresh conjuncts into the
+                // live database.  Existing level-0 facts and learned
+                // clauses are consequences of the enlarged conjunct set.
+                let mut changed = false;
+                for (pid, cnf) in &new_cnf {
+                    if !old.contains(pid) {
+                        for clause in cnf.iter() {
+                            core.add_clause(clause, None);
+                        }
+                        changed = true;
+                    }
+                }
+                if changed {
+                    // The snapshot describes the old conjunct set: the
+                    // fresh conjuncts' atoms must start being asserted to
+                    // the theory.
+                    core.hyp_atoms = None;
+                }
+            }
+        }
+        self.hyp_ids = new_hyps.to_vec();
+        self.hyp_trees = None;
+        self.hyp_cnf = new_cnf;
+        true
     }
 
     /// The tree form of the hypotheses, materialized on first use (only the
@@ -616,7 +816,17 @@ impl Session {
             Some(_) => self.stats.sat_reuse += 1,
             none => {
                 let mut core = Core::new(&self.config);
-                for cnf in &self.hyp_cnf {
+                // Hypothesis clauses are asserted outright — no activation
+                // literals.  Their units become permanent level-0 facts, so
+                // the first goal retirement's compaction dissolves most of
+                // the hypothesis CNF into the assignment instead of every
+                // later solve re-scanning and re-propagating it.  (Guarding
+                // them behind per-conjunct assumptions was measured to cost
+                // ~1.5× on the whole corpus: nothing ever reaches level 0,
+                // so nothing ever compacts away.)  Retraction instead
+                // rebuilds the clause database from cached encodings — see
+                // [`Session::update_hypotheses`].
+                for (_, cnf) in &self.hyp_cnf {
                     for clause in cnf.iter() {
                         core.add_clause(clause, None);
                     }
@@ -646,7 +856,7 @@ impl Session {
         // variables from retired goals, whose stale values must not leak
         // into reported models.
         if core.hyp_atoms.is_none() {
-            let snap = core.snapshot(self.hyp_cnf.iter().flat_map(|cnf| cnf.iter()), None);
+            let snap = core.snapshot_hyp(&self.hyp_cnf);
             core.hyp_atoms = Some(snap);
         }
         let hyp_atoms = core.hyp_atoms.take().expect("hypothesis snapshot exists");
@@ -657,12 +867,16 @@ impl Session {
             .chain(goal_atoms.vars.iter())
             .copied()
             .collect();
+        let assumptions = [guard];
         let pivots_before = core.theory.pivots();
         let props_before = core.sat.propagations();
+        let blocked_before = core.sat.blocked_visits();
+        let reductions_before = core.sat.db_reductions();
+        let col_scans_before = core.theory.col_scans();
         let outcome = 'search: {
             for _ in 0..self.config.max_theory_rounds.0 {
                 self.stats.sat_rounds += 1;
-                let assignment = match core.sat.solve_under_assumptions(&[guard]) {
+                let assignment = match core.sat.solve_under_assumptions(&assumptions) {
                     SatResult::Unsat => break 'search SatOutcome::Unsat,
                     SatResult::Unknown => break 'search SatOutcome::Unknown,
                     SatResult::Sat(assignment) => assignment,
@@ -675,13 +889,16 @@ impl Session {
                 let mut involved = Vec::with_capacity(hyp_atoms.lin.len() + goal_atoms.lin.len());
                 let mut assert_conflict: Option<Vec<usize>> = None;
                 core.theory.push();
-                for (k, (id, var, slot)) in lin_atoms().enumerate() {
+                for (k, (id, var, prepared)) in lin_atoms().enumerate() {
                     let value = assignment[*var];
                     involved.push(Lit {
                         atom: *id,
                         positive: value,
                     });
-                    if let Err(core_tags) = core.theory.assert_constraint(*slot, value, k) {
+                    // Rows register lazily, on the first theory round that
+                    // asserts them (memoized per atom in `atom_slots`).
+                    let slot = core.slot_of(*id, prepared);
+                    if let Err(core_tags) = core.theory.assert_constraint(slot, value, k) {
                         assert_conflict = Some(core_tags);
                         break;
                     }
@@ -721,13 +938,19 @@ impl Session {
             SatOutcome::Unknown
         };
         core.hyp_atoms = Some(hyp_atoms);
-        self.stats.pivots += (core.theory.pivots() - pivots_before) as usize;
-        self.stats.propagations += core.sat.propagations() - props_before;
         // Retire this goal: the negated guard permanently satisfies its
         // clauses (and everything learned from them), and compaction drops
         // them from the database so later checks don't even scan them.
         core.sat.add_clause(vec![guard.negated()]);
         core.sat.compact();
+        // The counter windows close *after* retirement so the propagation
+        // work of the compacting unit clause is attributed to this check
+        // rather than slipping between windows.
+        self.stats.pivots += (core.theory.pivots() - pivots_before) as usize;
+        self.stats.propagations += core.sat.propagations() - props_before;
+        self.stats.blocked_visits += core.sat.blocked_visits() - blocked_before;
+        self.stats.db_reductions += core.sat.db_reductions() - reductions_before;
+        self.stats.col_scans += (core.theory.col_scans() - col_scans_before) as usize;
         match outcome {
             SatOutcome::Unsat => Validity::Valid,
             SatOutcome::Sat(model) => Validity::Invalid(Some(model)),
@@ -1057,5 +1280,67 @@ mod tests {
             2,
             "later checks must reuse the core"
         );
+    }
+
+    /// Retracting and re-asserting hypothesis conjuncts on a live session
+    /// must flip verdicts exactly as a fresh session over the new context
+    /// would, without opening a new session.
+    #[test]
+    fn update_hypotheses_matches_fresh_session() {
+        let ctx = int_ctx(&["i", "n"]);
+        let strong = vec![Expr::ge(v("i"), Expr::int(1)), Expr::lt(v("i"), v("n"))];
+        let weak = vec![Expr::ge(v("i"), Expr::int(0)), Expr::lt(v("i"), v("n"))];
+        let goal_pos = Expr::gt(v("i"), Expr::int(0));
+        let goal_n = Expr::gt(v("n"), Expr::int(0));
+        let mut session = Session::assume(SmtConfig::default(), &ctx, &strong);
+        assert!(session.check(&goal_pos).is_valid());
+        assert!(session.check(&goal_n).is_valid());
+        let weak_ids: Vec<ExprId> = weak.iter().map(ExprId::intern).collect();
+        assert!(
+            session.update_hypotheses(&weak_ids),
+            "quantifier-free update must succeed in place"
+        );
+        assert_eq!(
+            session.stats().conjunct_retractions,
+            1,
+            "exactly the strengthened lower bound is retracted"
+        );
+        assert!(
+            !session.check(&goal_pos).is_valid(),
+            "the weakened hypotheses no longer prove i > 0"
+        );
+        assert!(session.check(&goal_n).is_valid());
+        assert_eq!(session.stats().sessions, 1, "no session rebuild");
+
+        // Strengthening back re-proves the goal on the same core.
+        let strong_ids: Vec<ExprId> = strong.iter().map(ExprId::intern).collect();
+        assert!(session.update_hypotheses(&strong_ids));
+        assert!(session.check(&goal_pos).is_valid());
+    }
+
+    /// An update that leaves the incremental fragment must refuse and leave
+    /// the session's verdicts untouched.
+    #[test]
+    fn update_hypotheses_refuses_mode_changes() {
+        let ctx = int_ctx(&["i", "n"]);
+        let hyps = vec![Expr::ge(v("i"), Expr::int(0)), Expr::lt(v("i"), v("n"))];
+        let mut session = Session::assume(SmtConfig::default(), &ctx, &hyps);
+        assert!(session.check(&Expr::gt(v("n"), Expr::int(0))).is_valid());
+        let j = Name::intern("uh_j");
+        let quantified = Expr::forall(
+            vec![(j, Sort::Int)],
+            Expr::ge(Expr::var(j) + Expr::int(1), Expr::var(j)),
+        );
+        let contradictory = Expr::lt(v("i"), v("i"));
+        for bad in [quantified, contradictory] {
+            let ids = vec![ExprId::intern(&bad)];
+            assert!(
+                !session.update_hypotheses(&ids),
+                "update to {bad} must be refused"
+            );
+        }
+        // The session still answers under the original hypotheses.
+        assert!(session.check(&Expr::gt(v("n"), Expr::int(0))).is_valid());
+        assert!(!session.check(&Expr::gt(v("i"), Expr::int(0))).is_valid());
     }
 }

@@ -50,6 +50,11 @@ pub struct LiaConfig {
     pub max_branch_nodes: usize,
     /// Maximum number of pivots per simplex run.
     pub max_pivots: usize,
+    /// Use the historical full-row scans for bound slides, pivot value
+    /// updates and violated-row selection instead of the column occurrence
+    /// lists and the suspect set.  Kept for A/B equivalence testing; the
+    /// occurrence-list path is the default.
+    pub row_scan: bool,
 }
 
 impl Default for LiaConfig {
@@ -57,6 +62,7 @@ impl Default for LiaConfig {
         LiaConfig {
             max_branch_nodes: 200,
             max_pivots: 10_000,
+            row_scan: crate::legacy_toggles(),
         }
     }
 }
@@ -236,8 +242,24 @@ pub struct IncrementalSimplex {
     /// Undo trail of bound changes, delimited by `scopes`.
     trail: Vec<UndoBound>,
     scopes: Vec<usize>,
+    /// Column occurrence lists: `occs[v]` is the set of basic variables
+    /// whose row contains `v`.  Kept exactly in sync with `rows`, so bound
+    /// slides and pivot updates touch only the rows that mention the moved
+    /// variable instead of scanning the whole (session-lifetime) tableau.
+    occs: Vec<BTreeSet<VarId>>,
+    /// Basic variables that may violate one of their bounds.  Invariant:
+    /// every actually-violated basic variable is in this set — values only
+    /// change in `update_nonbasic`/`pivot_and_update` and bounds only
+    /// tighten in `assert_bound` (a `pop` restores strictly looser bounds),
+    /// and each of those sites inserts the affected basics.  The minimum
+    /// violated suspect therefore equals Bland's minimum violated basic.
+    suspect: BTreeSet<VarId>,
     /// Cumulative pivot count (never reset; callers read deltas).
     pivots: u64,
+    /// Cumulative count of rows visited by column scans (bound slides,
+    /// pivot updates, violated-row selection); the observable the
+    /// occurrence lists exist to shrink.  Never reset; callers read deltas.
+    col_scans: u64,
 }
 
 impl IncrementalSimplex {
@@ -256,7 +278,10 @@ impl IncrementalSimplex {
             slot_ids: HashMap::new(),
             trail: Vec::new(),
             scopes: Vec::new(),
+            occs: Vec::new(),
+            suspect: BTreeSet::new(),
             pivots: 0,
+            col_scans: 0,
         }
     }
 
@@ -264,6 +289,13 @@ impl IncrementalSimplex {
     /// attribute work to a check by differencing.
     pub fn pivots(&self) -> u64 {
         self.pivots
+    }
+
+    /// Total number of rows visited by column scans since creation (see the
+    /// `col_scans` field).  Monotone; callers attribute work to a check by
+    /// differencing.
+    pub fn col_scans(&self) -> u64 {
+        self.col_scans
     }
 
     /// Number of tableau variables (original + slack); exposed for tests.
@@ -277,6 +309,7 @@ impl IncrementalSimplex {
         self.upper.push(None);
         self.lower.push(None);
         self.value.push(Rational::ZERO);
+        self.occs.push(BTreeSet::new());
         id
     }
 
@@ -400,6 +433,9 @@ impl IncrementalSimplex {
             .fold(Rational::ZERO, |acc, x| acc + x);
         let slack = self.new_var(None);
         self.value[slack] = init;
+        for &v in row.keys() {
+            self.occs[v].insert(slack);
+        }
         self.rows.insert(slack, row);
         slack
     }
@@ -525,6 +561,8 @@ impl IncrementalSimplex {
             if violated {
                 self.update_nonbasic(var, bound);
             }
+        } else {
+            self.suspect.insert(var);
         }
         Ok(())
     }
@@ -534,10 +572,22 @@ impl IncrementalSimplex {
     fn update_nonbasic(&mut self, var: VarId, target: Rational) {
         let delta = target - self.value[var];
         self.value[var] = target;
-        let basics: Vec<VarId> = self.rows.keys().copied().collect();
-        for b in basics {
-            if let Some(&coeff) = self.rows[&b].get(&var) {
+        if self.config.row_scan {
+            let basics: Vec<VarId> = self.rows.keys().copied().collect();
+            self.col_scans += basics.len() as u64;
+            for b in basics {
+                if let Some(&coeff) = self.rows[&b].get(&var) {
+                    self.value[b] += coeff * delta;
+                    self.suspect.insert(b);
+                }
+            }
+        } else {
+            let holders: Vec<VarId> = self.occs[var].iter().copied().collect();
+            self.col_scans += holders.len() as u64;
+            for b in holders {
+                let coeff = self.rows[&b][&var];
                 self.value[b] += coeff * delta;
+                self.suspect.insert(b);
             }
         }
     }
@@ -564,23 +614,43 @@ impl IncrementalSimplex {
         }
     }
 
+    fn is_violated(&self, b: VarId) -> bool {
+        let v = self.value[b];
+        let above = matches!(self.upper[b], Some(ub) if v > ub.value);
+        let below = matches!(self.lower[b], Some(lb) if v < lb.value);
+        above || below
+    }
+
+    /// Bland's minimum violated basic variable.  The default path drains
+    /// the suspect set in ascending order (sound because every violated
+    /// basic is a suspect — see the `suspect` field invariant — so the
+    /// first violated suspect is the overall minimum); the legacy path
+    /// scans every row.
+    fn next_violated(&mut self) -> Option<VarId> {
+        if self.config.row_scan {
+            self.col_scans += self.rows.len() as u64;
+            return self
+                .rows
+                .keys()
+                .copied()
+                .filter(|&b| self.is_violated(b))
+                .min();
+        }
+        while let Some(b) = self.suspect.pop_first() {
+            self.col_scans += 1;
+            if self.rows.contains_key(&b) && self.is_violated(b) {
+                return Some(b);
+            }
+        }
+        None
+    }
+
     /// Repairs bound violations by pivoting until the asserted bounds all
     /// hold or a row proves them inconsistent (Bland's rule on both the
     /// violated basic and the entering nonbasic guarantees termination).
     fn solve_rational(&mut self) -> RationalResult {
         for _ in 0..self.config.max_pivots {
-            let violated = self
-                .rows
-                .keys()
-                .copied()
-                .filter(|&b| {
-                    let v = self.value[b];
-                    let above = matches!(self.upper[b], Some(ub) if v > ub.value);
-                    let below = matches!(self.lower[b], Some(lb) if v < lb.value);
-                    above || below
-                })
-                .min();
-            let Some(basic) = violated else {
+            let Some(basic) = self.next_violated() else {
                 return RationalResult::Feasible;
             };
             let value = self.value[basic];
@@ -590,7 +660,10 @@ impl IncrementalSimplex {
                     match self.select_pivot(basic, false) {
                         Some(nb) => self.pivot_and_update(basic, nb, ub.value),
                         None => {
-                            return RationalResult::Infeasible(self.explain(basic, ub.tag, false))
+                            // Still violated: keep the suspect invariant
+                            // for the next check after backtracking.
+                            self.suspect.insert(basic);
+                            return RationalResult::Infeasible(self.explain(basic, ub.tag, false));
                         }
                     }
                     continue;
@@ -601,7 +674,8 @@ impl IncrementalSimplex {
                     match self.select_pivot(basic, true) {
                         Some(nb) => self.pivot_and_update(basic, nb, lb.value),
                         None => {
-                            return RationalResult::Infeasible(self.explain(basic, lb.tag, true))
+                            self.suspect.insert(basic);
+                            return RationalResult::Infeasible(self.explain(basic, lb.tag, true));
                         }
                     }
                     continue;
@@ -658,15 +732,31 @@ impl IncrementalSimplex {
     fn pivot_and_update(&mut self, basic: VarId, nonbasic: VarId, target: Rational) {
         self.pivots += 1;
         let row = self.rows.remove(&basic).expect("pivot of non-basic row");
+        for &v in row.keys() {
+            self.occs[v].remove(&basic);
+        }
         let a = row[&nonbasic];
         let theta = (target - self.value[basic]) / a;
         self.value[basic] = target;
         self.value[nonbasic] += theta;
+        self.suspect.insert(nonbasic);
+        // The rows to update: everything mentioning `nonbasic` (occurrence
+        // list), or — legacy path — every row, with the membership test
+        // repeated per row.
+        let holders: Vec<VarId> = if self.config.row_scan {
+            let all: Vec<VarId> = self.rows.keys().copied().collect();
+            self.col_scans += all.len() as u64;
+            all
+        } else {
+            let h: Vec<VarId> = self.occs[nonbasic].iter().copied().collect();
+            self.col_scans += h.len() as u64;
+            h
+        };
         // Update values of the other basic variables.
-        let other_basics: Vec<VarId> = self.rows.keys().copied().collect();
-        for b in &other_basics {
-            if let Some(&coeff) = self.rows[b].get(&nonbasic) {
-                self.value[*b] += coeff * theta;
+        for &b in &holders {
+            if let Some(&coeff) = self.rows[&b].get(&nonbasic) {
+                self.value[b] += coeff * theta;
+                self.suspect.insert(b);
             }
         }
         // Express `nonbasic` in terms of `basic` and the rest of the row:
@@ -682,17 +772,30 @@ impl IncrementalSimplex {
             }
         }
         // Substitute into every other row mentioning `nonbasic`.
-        for b in other_basics {
-            let row_b = self.rows.get_mut(&b).expect("row disappeared");
+        for &b in &holders {
+            let mut row_b = self.rows.remove(&b).expect("row disappeared");
             if let Some(coeff) = row_b.remove(&nonbasic) {
+                self.occs[nonbasic].remove(&b);
                 for (&v, &c) in &new_row {
                     let entry = row_b.entry(v).or_insert(Rational::ZERO);
+                    // Entries are never stored at zero, so a zero before the
+                    // addition means the entry was just created.
+                    let was_absent = entry.is_zero();
                     *entry += coeff * c;
                     if entry.is_zero() {
                         row_b.remove(&v);
+                        if !was_absent {
+                            self.occs[v].remove(&b);
+                        }
+                    } else if was_absent {
+                        self.occs[v].insert(b);
                     }
                 }
             }
+            self.rows.insert(b, row_b);
+        }
+        for &v in new_row.keys() {
+            self.occs[v].insert(nonbasic);
         }
         self.rows.insert(nonbasic, new_row);
     }

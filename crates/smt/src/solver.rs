@@ -21,7 +21,7 @@ use crate::quant::{eliminate_quantifiers, QuantConfig};
 use crate::sat::{SatConfig, SatLit, SatResult, SatSolver};
 use crate::session::Session;
 use crate::simplex::{IncrementalSimplex, LiaConfig, LiaResult};
-use flux_logic::{evaluate, simplify, Expr, Name, SortCtx, Value};
+use flux_logic::{evaluate, simplify, Expr, ExprId, Name, SortCtx, Value};
 use std::collections::BTreeMap;
 
 /// Configuration of the SMT solver.
@@ -69,6 +69,19 @@ pub struct SmtStats {
     pub propagations: usize,
     /// Number of quantifier instances generated.
     pub quant_instances: usize,
+    /// Watcher visits answered by the cached blocking literal alone,
+    /// without touching the clause.
+    pub blocked_visits: usize,
+    /// Learned-clause-database reductions performed by the SAT cores.
+    pub db_reductions: usize,
+    /// Simplex column traversals driven by the occurrence lists (or row
+    /// scans in legacy mode) while hunting for violated basic variables.
+    pub col_scans: usize,
+    /// Hypothesis conjuncts retracted from a live session (by rebuilding
+    /// the SAT clause database from the surviving conjuncts' cached CNFs,
+    /// keeping the variable space and the simplex tableau) instead of
+    /// discarding the session when the hypothesis context changed.
+    pub conjunct_retractions: usize,
 }
 
 impl SmtStats {
@@ -83,6 +96,10 @@ impl SmtStats {
         self.pivots += other.pivots;
         self.propagations += other.propagations;
         self.quant_instances += other.quant_instances;
+        self.blocked_visits += other.blocked_visits;
+        self.db_reductions += other.db_reductions;
+        self.col_scans += other.col_scans;
+        self.conjunct_retractions += other.conjunct_retractions;
     }
 
     /// Field-wise difference `self - earlier`; used to attribute a shared
@@ -97,6 +114,10 @@ impl SmtStats {
             pivots: self.pivots - earlier.pivots,
             propagations: self.propagations - earlier.propagations,
             quant_instances: self.quant_instances - earlier.quant_instances,
+            blocked_visits: self.blocked_visits - earlier.blocked_visits,
+            db_reductions: self.db_reductions - earlier.db_reductions,
+            col_scans: self.col_scans - earlier.col_scans,
+            conjunct_retractions: self.conjunct_retractions - earlier.conjunct_retractions,
         }
     }
 }
@@ -140,6 +161,24 @@ impl Model {
     /// non-linear atoms) that the evaluator interprets exactly.
     pub fn satisfies_all(&self, preds: &[Expr]) -> bool {
         preds.iter().all(|p| self.eval_bool(p) == Some(true))
+    }
+
+    /// [`Model::eval`] over a hash-consed expression: evaluates directly on
+    /// the shared DAG with per-call memoization, so callers that track
+    /// [`ExprId`]s (the fixpoint weakening loop) never materialize trees
+    /// just to test a counter-model.
+    pub fn eval_id(&self, expr: ExprId) -> Option<Value> {
+        expr.evaluate(&|name| self.value_of(name))
+    }
+
+    /// [`Model::eval_bool`] over a hash-consed expression.
+    pub fn eval_bool_id(&self, expr: ExprId) -> Option<bool> {
+        self.eval_id(expr).and_then(Value::as_bool)
+    }
+
+    /// [`Model::satisfies_all`] over hash-consed predicates.
+    pub fn satisfies_all_ids(&self, preds: &[ExprId]) -> bool {
+        preds.iter().all(|&p| self.eval_bool_id(p) == Some(true))
     }
 }
 
@@ -384,6 +423,9 @@ pub(crate) fn dpll_t(
     };
     stats.pivots += theory.pivots() as usize;
     stats.propagations += sat.propagations();
+    stats.blocked_visits += sat.blocked_visits();
+    stats.db_reductions += sat.db_reductions();
+    stats.col_scans += theory.col_scans() as usize;
     outcome
 }
 

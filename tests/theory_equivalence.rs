@@ -7,11 +7,11 @@
 //! is pinned by `flux_smt::sat`'s unit tests.)
 
 use flux::{verify_source, FixConfig, Mode, VerifyConfig};
-use flux_logic::Name;
+use flux_logic::{Expr, ExprId, Name, Sort, SortCtx};
 use flux_smt::rational::Rational;
 use flux_smt::simplex::{check_lia, model_satisfies, IncrementalSimplex, LiaResult};
 use flux_smt::testing::Rng;
-use flux_smt::LiaConfig;
+use flux_smt::{LiaConfig, Session, SmtConfig, Validity};
 
 type LinConstraint = flux_smt::linear::LinConstraint;
 
@@ -126,6 +126,223 @@ fn incremental_simplex_scripts_agree_with_one_shot() {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Lockstep occurrence-list vs row-scan simplex over random
+/// assert/push/pop workloads: both configurations are driven through the
+/// identical script and must agree step for step — on whether each assert
+/// is accepted and on the feasibility verdict of every check.  Models and
+/// cores are free to differ (the two paths may visit violated rows in a
+/// different order), so they are validated semantically rather than
+/// compared.
+#[test]
+fn occurrence_lists_and_row_scans_agree_on_random_scripts() {
+    let occ = LiaConfig {
+        row_scan: false,
+        ..LiaConfig::default()
+    };
+    let scan = LiaConfig {
+        row_scan: true,
+        ..LiaConfig::default()
+    };
+    let mut rng = Rng::new(0x0CC5_CA45);
+    for case in 0..32 {
+        let family: Vec<LinConstraint> = (0..10).map(|_| random_constraint(&mut rng)).collect();
+        let mut s_occ = IncrementalSimplex::new(occ);
+        let mut s_scan = IncrementalSimplex::new(scan);
+        let slots_occ: Vec<_> = family.iter().map(|c| s_occ.register(c)).collect();
+        let slots_scan: Vec<_> = family.iter().map(|c| s_scan.register(c)).collect();
+
+        let mut asserted: Vec<(usize, bool)> = Vec::new();
+        let mut marks: Vec<usize> = Vec::new();
+        for step in 0..16 {
+            match rng.below(4) {
+                0 | 1 => {
+                    s_occ.push();
+                    s_scan.push();
+                    marks.push(asserted.len());
+                    for _ in 0..rng.int_in(1, 3) {
+                        let i = rng.below(10) as usize;
+                        let positive = rng.flip();
+                        let tag = asserted.len();
+                        let r_occ = s_occ.assert_constraint(slots_occ[i], positive, tag);
+                        let r_scan = s_scan.assert_constraint(slots_scan[i], positive, tag);
+                        assert_eq!(
+                            r_occ.is_ok(),
+                            r_scan.is_ok(),
+                            "case {case} step {step}: occ and row-scan disagree on an assert"
+                        );
+                        if r_occ.is_ok() {
+                            asserted.push((i, positive));
+                        }
+                    }
+                }
+                2 if !marks.is_empty() => {
+                    s_occ.pop();
+                    s_scan.pop();
+                    asserted.truncate(marks.pop().expect("mark exists"));
+                }
+                _ => {
+                    let inputs = materialize(&family, &asserted);
+                    let a = s_occ.check_integer();
+                    let b = s_scan.check_integer();
+                    match (&a, &b) {
+                        (LiaResult::Feasible(ma), LiaResult::Feasible(mb)) => {
+                            assert!(
+                                model_satisfies(&inputs, ma) && model_satisfies(&inputs, mb),
+                                "case {case} step {step}: a reported model does not satisfy"
+                            );
+                        }
+                        (LiaResult::Infeasible(ca), LiaResult::Infeasible(cb)) => {
+                            for core in [ca, cb] {
+                                let subset = materialize(
+                                    &family,
+                                    &core.iter().map(|&t| asserted[t]).collect::<Vec<_>>(),
+                                );
+                                let cfg = LiaConfig::default();
+                                assert!(
+                                    matches!(check_lia(&subset, &cfg), LiaResult::Infeasible(_)),
+                                    "case {case} step {step}: core {core:?} is not infeasible"
+                                );
+                            }
+                        }
+                        (LiaResult::Unknown, LiaResult::Unknown) => {}
+                        (a, b) => panic!(
+                            "case {case} step {step}: occurrence lists say {a:?}, row scans {b:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Random weaken-shaped scripts over one retained session: each step
+/// retracts some hypothesis conjuncts and re-asserts others, re-pointing
+/// the live session at the new set via [`Session::update_hypotheses`] —
+/// the clause-DB rebuild keeps the SAT variable space, learned theory
+/// lemmas and the simplex basis alive.  After every update the retained
+/// session must return the same verdict as a session freshly opened over
+/// the same hypotheses, for every goal in the battery.
+#[test]
+fn retract_reassert_scripts_match_fresh_sessions() {
+    let vars = ["rr_a", "rr_b", "rr_c"];
+    let mut ctx = SortCtx::new();
+    for v in vars {
+        ctx.push(Name::intern(v), Sort::Int);
+    }
+    let var = |s: &str| Expr::var(Name::intern(s));
+    // Quantifier-free conjuncts of the shapes the weakening loop produces:
+    // qualifier instantiations over the clause's variables.  Subsets may be
+    // mutually contradictory — that exercises the fallback path below.
+    let pool: Vec<ExprId> = [
+        Expr::ge(var("rr_a"), Expr::int(0)),
+        Expr::le(var("rr_a"), Expr::int(7)),
+        Expr::lt(var("rr_a"), var("rr_b")),
+        Expr::ge(var("rr_b"), Expr::int(1)),
+        Expr::le(var("rr_b"), var("rr_c")),
+        Expr::ge(var("rr_c"), var("rr_a")),
+        Expr::le(var("rr_c"), Expr::int(20)),
+        Expr::eq(var("rr_a") + var("rr_b"), var("rr_c")),
+    ]
+    .iter()
+    .map(ExprId::intern)
+    .collect();
+    let goals: Vec<ExprId> = [
+        Expr::ge(var("rr_b"), Expr::int(0)),
+        Expr::le(var("rr_a"), var("rr_c")),
+        Expr::lt(var("rr_a"), Expr::int(8)),
+        Expr::ge(var("rr_c"), Expr::int(1)),
+        Expr::eq(var("rr_a"), Expr::int(3)),
+    ]
+    .iter()
+    .map(ExprId::intern)
+    .collect();
+    let hyps_of = |active: &[bool]| -> Vec<ExprId> {
+        active
+            .iter()
+            .zip(&pool)
+            .filter_map(|(&on, &id)| on.then_some(id))
+            .collect()
+    };
+
+    let mut rng = Rng::new(0x5E55_10F4);
+    for case in 0..12 {
+        let mut active: Vec<bool> = (0..pool.len()).map(|_| rng.flip()).collect();
+        let mut live = Session::assume_ids(SmtConfig::default(), &ctx, &hyps_of(&active));
+        for step in 0..10 {
+            // Toggle a few conjuncts: each flip is a retraction or a
+            // re-assertion depending on the current state.
+            for _ in 0..rng.int_in(1, 3) {
+                let i = rng.below(pool.len() as u64) as usize;
+                active[i] = !active[i];
+            }
+            let hyps = hyps_of(&active);
+            if !live.update_hypotheses(&hyps) {
+                // The production caller's fallback: the new conjunct set is
+                // outside the incremental diff (e.g. contradictory), so the
+                // session is discarded and reopened.
+                live = Session::assume_ids(SmtConfig::default(), &ctx, &hyps);
+            }
+            let mut fresh = Session::assume_ids(SmtConfig::default(), &ctx, &hyps);
+            for &goal in &goals {
+                let retained = live.check_id(goal);
+                let reference = fresh.check_id(goal);
+                match (&retained, &reference) {
+                    (Validity::Valid, Validity::Valid)
+                    | (Validity::Invalid(_), Validity::Invalid(_))
+                    | (Validity::Unknown, Validity::Unknown) => {}
+                    _ => panic!(
+                        "case {case} step {step}: retained session says {retained:?}, \
+                         fresh session {reference:?}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Learned-clause-DB reduction, whole corpus: dropping low-activity learned
+/// clauses only discards re-derivable resolvents, so verdicts and blamed
+/// obligations must be identical with the reduction on and off.  Both
+/// toggles are pinned explicitly so the comparison stays meaningful under
+/// `FLUX_LEGACY` runs, and the global verdict cache is disabled so the
+/// second run cannot replay the first run's verdicts.
+#[test]
+fn db_reduction_keeps_corpus_verdicts() {
+    let mut with = VerifyConfig::default();
+    with.check.fixpoint = FixConfig {
+        global_cache: false,
+        ..FixConfig::default()
+    };
+    with.check.fixpoint.smt.sat.db_reduction = true;
+    with.wp.smt.sat.db_reduction = true;
+    let mut without = VerifyConfig::default();
+    without.check.fixpoint = FixConfig {
+        global_cache: false,
+        ..FixConfig::default()
+    };
+    without.check.fixpoint.smt.sat.db_reduction = false;
+    without.wp.smt.sat.db_reduction = false;
+    for b in flux::benchmarks() {
+        for (mode, src) in [(Mode::Flux, b.flux_src), (Mode::Baseline, b.baseline_src)] {
+            let w = verify_source(src, mode, &with)
+                .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+            let wo = verify_source(src, mode, &without)
+                .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+            assert_eq!(
+                w.safe, wo.safe,
+                "{} ({mode:?}): DB reduction changed the verdict \
+                 (with errors: {:?}, without errors: {:?})",
+                b.name, w.errors, wo.errors
+            );
+            assert_eq!(
+                w.errors, wo.errors,
+                "{} ({mode:?}): verdicts agree but blamed obligations differ",
+                b.name
+            );
         }
     }
 }

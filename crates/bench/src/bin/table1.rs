@@ -25,6 +25,16 @@
 //! is the `FLUX_THREADS` environment variable, else the machine's available
 //! parallelism); the run's effective parallelism is recorded per benchmark
 //! in the JSON (`threads`, `partitions`, `worker_queries`).
+//!
+//! `--audit [TIER]` runs both verifiers under the audit layer (`lint`, or
+//! `full` when the operand is omitted): every obligation is sort- and
+//! scope-checked, theory steps are certified, and converged fixpoint
+//! solutions are independently re-validated — any violation panics.  The
+//! audit counters (`lint_checks`, `certs_checked`, `revalidations`) appear
+//! in the engine-statistics block and the JSON.  Audited runs are slower by
+//! design, so the perf gate is automatically skipped.  The `FLUX_AUDIT`
+//! environment variable sets the same tier without the flag (but does not
+//! skip the gate on its own).
 
 use flux_bench::json::Value;
 use std::process::ExitCode;
@@ -195,8 +205,23 @@ fn main() -> ExitCode {
     let mut json_path: Option<String> = None;
     let mut gate_enabled = true;
     let mut threads: Option<usize> = None;
+    let mut audit: Option<flux_logic::AuditTier> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--audit" => {
+                // The tier operand is optional: bare `--audit` means `full`.
+                audit = Some(match args.peek().map(String::as_str) {
+                    Some("lint") => {
+                        args.next();
+                        flux_logic::AuditTier::Lint
+                    }
+                    Some("full") => {
+                        args.next();
+                        flux_logic::AuditTier::Full
+                    }
+                    _ => flux_logic::AuditTier::Full,
+                });
+            }
             "--json" => {
                 // The path operand is optional: a following flag (e.g.
                 // `--json --no-gate`) must not be swallowed as a filename.
@@ -217,7 +242,8 @@ fn main() -> ExitCode {
             },
             other => {
                 eprintln!(
-                    "unknown argument: {other} (supported: --json [PATH], --no-gate, --threads N)"
+                    "unknown argument: {other} (supported: --json [PATH], --no-gate, \
+                     --threads N, --audit [lint|full])"
                 );
                 return ExitCode::FAILURE;
             }
@@ -227,7 +253,16 @@ fn main() -> ExitCode {
     if let Some(threads) = threads {
         config.check.fixpoint.threads = threads;
     }
+    if let Some(tier) = audit {
+        config.check.fixpoint.smt.audit = tier;
+        config.wp.smt.audit = tier;
+        if gate_enabled && tier != flux_logic::AuditTier::Off {
+            println!("perf gate: skipped (audited runs pay for their checking)");
+            gate_enabled = false;
+        }
+    }
     println!("fixpoint worker threads: {}", config.check.fixpoint.threads);
+    println!("audit tier: {}", config.check.fixpoint.smt.audit);
     let rows = flux::run_table1(&config);
     println!("{}", flux::render_table1(&rows));
     println!("incremental query engine (Flux mode | baseline):");

@@ -512,6 +512,64 @@ mod tests {
         );
     }
 
+    /// End-to-end over the whole stack: checking under the full audit tier
+    /// (constraint lint, SMT theory certificates, independent solution
+    /// re-validation) is verdict-identical to checking unaudited, and every
+    /// audit counter actually moves.  (The tier is set through the config,
+    /// not the process-global `FLUX_AUDIT`, so the test is hermetic.)
+    #[test]
+    fn full_audit_tier_checks_identically() {
+        let src = r#"
+            #[flux::sig(fn(usize[@n]) -> RVec<f32>[n])]
+            fn init_zeros(n: usize) -> RVec<f32> {
+                let mut vec: RVec<f32> = RVec::new();
+                let mut i = 0;
+                while i < n {
+                    vec.push(0.0);
+                    i += 1;
+                }
+                vec
+            }
+            "#;
+        let audited_config = CheckConfig {
+            fixpoint: FixConfig {
+                smt: flux_smt::SmtConfig {
+                    audit: flux_logic::AuditTier::Full,
+                    ..flux_smt::SmtConfig::default()
+                },
+                // Hermetic caching: a verdict replayed from the process
+                // global cache skips the solver and with it the certificate
+                // counters this test pins.
+                global_cache: false,
+                ..FixConfig::default()
+            },
+        };
+        let plain_config = CheckConfig {
+            fixpoint: FixConfig {
+                smt: flux_smt::SmtConfig {
+                    audit: flux_logic::AuditTier::Off,
+                    ..flux_smt::SmtConfig::default()
+                },
+                global_cache: false,
+                ..FixConfig::default()
+            },
+        };
+        let audited = check_source(src, &audited_config).expect("resolves");
+        let plain = check_source(src, &plain_config).expect("resolves");
+        assert!(audited.is_safe() && plain.is_safe());
+        let astats = audited.total_fixpoint_stats();
+        assert!(astats.lint_checks > 0, "constraint lint never ran");
+        assert!(astats.revalidations > 0, "solution re-validation never ran");
+        assert!(
+            audited.total_smt_stats().certs_checked > 0,
+            "no theory certificate was checked"
+        );
+        let pstats = plain.total_fixpoint_stats();
+        assert_eq!(pstats.lint_checks, 0);
+        assert_eq!(pstats.revalidations, 0);
+        assert_eq!(plain.total_smt_stats().certs_checked, 0);
+    }
+
     #[test]
     fn report_collects_timing_and_stats() {
         let report = check(

@@ -58,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+mod audit;
 mod cache;
 mod constraint;
 mod kvar;
@@ -65,6 +66,7 @@ pub mod partition;
 mod qualifier;
 mod solve;
 
+pub use audit::{lint_clauses, lint_solution};
 pub use cache::{QueryKey, ValidityCache};
 // Cache internals (the global map, epoch/owner stamping, function-context
 // interning) are exposed only so the workspace-level concurrency stress
@@ -193,5 +195,81 @@ mod randtests {
                 );
             }
         }
+    }
+
+    /// Solving under the full audit tier — clause/candidate lint up front,
+    /// certified SMT theory steps, independent re-validation of the
+    /// converged solution — yields exactly the same solution as solving
+    /// unaudited, and the audit counters actually move.  (The tier is set
+    /// through the config, not the process-global `FLUX_AUDIT`, so the test
+    /// is hermetic.)
+    #[test]
+    fn full_audit_tier_solves_identically() {
+        let mut kvars = KVarStore::new();
+        let k = kvars.fresh(vec![Sort::Int, Sort::Int]);
+        let i = Name::intern("ri");
+        let n = Name::intern("rn");
+        let constraint = Constraint::forall(
+            n,
+            Sort::Int,
+            Expr::gt(Expr::var(n), Expr::int(0)),
+            Constraint::conj(vec![
+                Constraint::kvar(KVarApp::new(k, vec![Expr::int(0), Expr::var(n)])),
+                Constraint::forall(
+                    i,
+                    Sort::Int,
+                    Expr::tt(),
+                    Constraint::implies(
+                        Guard::KVar(KVarApp::new(k, vec![Expr::var(i), Expr::var(n)])),
+                        Constraint::implies(
+                            Guard::Pred(Expr::lt(Expr::var(i), Expr::var(n))),
+                            Constraint::conj(vec![
+                                Constraint::kvar(KVarApp::new(
+                                    k,
+                                    vec![Expr::var(i) + Expr::int(1), Expr::var(n)],
+                                )),
+                                Constraint::pred(Expr::le(Expr::int(0), Expr::var(i)), 11),
+                            ]),
+                        ),
+                    ),
+                ),
+            ]),
+        );
+        let audited_config = FixConfig {
+            smt: flux_smt::SmtConfig {
+                audit: flux_logic::AuditTier::Full,
+                ..flux_smt::SmtConfig::default()
+            },
+            ..FixConfig::default()
+        };
+        let plain_config = FixConfig {
+            smt: flux_smt::SmtConfig {
+                audit: flux_logic::AuditTier::Off,
+                ..flux_smt::SmtConfig::default()
+            },
+            ..FixConfig::default()
+        };
+        let ctx = SortCtx::new();
+        let mut audited = FixpointSolver::new(audited_config);
+        let mut plain = FixpointSolver::new(plain_config);
+        let (FixResult::Safe(a), FixResult::Safe(p)) = (
+            audited.solve(&constraint, &kvars, &ctx),
+            plain.solve(&constraint, &kvars, &ctx),
+        ) else {
+            panic!("expected both solves safe");
+        };
+        assert_eq!(
+            a.of(k),
+            p.of(k),
+            "audit tier changed the inferred invariant"
+        );
+        assert!(audited.stats.lint_checks > 0, "lint never ran");
+        assert_eq!(
+            audited.stats.revalidations,
+            constraint.flatten().len(),
+            "every clause must be independently re-validated"
+        );
+        assert_eq!(plain.stats.lint_checks, 0);
+        assert_eq!(plain.stats.revalidations, 0);
     }
 }

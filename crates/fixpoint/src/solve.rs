@@ -177,6 +177,14 @@ pub struct FixStats {
     /// Number of independent κ-dependency components the clause set split
     /// into (an upper bound on usable weakening parallelism).
     pub partitions: usize,
+    /// Well-formedness lint obligations checked (audit tier ≥ `lint`):
+    /// concrete guards/heads, κ-application arguments and candidate bodies
+    /// sort- and scope-checked before solving.
+    pub lint_checks: usize,
+    /// Clauses independently re-validated after convergence (audit tier
+    /// `full`): the final solution substituted into the clause and recheck
+    /// with a fresh one-shot solver bypassing every cache and session.
+    pub revalidations: usize,
 }
 
 impl FixStats {
@@ -198,6 +206,8 @@ impl FixStats {
         self.model_prunes += other.model_prunes;
         self.threads = self.threads.max(other.threads);
         self.partitions += other.partitions;
+        self.lint_checks += other.lint_checks;
+        self.revalidations += other.revalidations;
     }
 }
 
@@ -1170,6 +1180,17 @@ impl FixpointSolver {
             solution.set(decl.id, candidates);
         }
 
+        // Audit lint: reject ill-sorted or ill-scoped constraint systems
+        // before the weakening loop can silently mis-solve them (the PR 2
+        // bug class).  An audit failure is an engine/front-end bug, not a
+        // property of the verified program, hence the panic.
+        if self.config.smt.audit.lints() {
+            let checks = crate::audit::lint_clauses(&clauses, kvars, ctx)
+                .and_then(|n| Ok(n + crate::audit::lint_solution(&solution, kvars, ctx)?))
+                .unwrap_or_else(|e| panic!("FLUX_AUDIT: {e}"));
+            self.stats.lint_checks += checks;
+        }
+
         let failed_checks = if threads == 1 {
             self.solve_sequential(&clauses, &parts, kvars, ctx, &mut solution)
         } else {
@@ -1186,9 +1207,59 @@ impl FixpointSolver {
             }
         }
         if failed.is_empty() {
+            if self.config.smt.audit.certifies() {
+                self.revalidate(&clauses, kvars, ctx, &solution);
+            }
             FixResult::Safe(solution)
         } else {
             FixResult::Unsafe { solution, failed }
+        }
+    }
+
+    /// Independent re-validation of a converged solution (audit tier
+    /// `full`): substitutes the final assignment into every flattened clause
+    /// and rechecks each implication with a *fresh* one-shot [`Solver`] —
+    /// no sessions, no validity cache, no learned lemmas, and auditing
+    /// disabled on the inner solver so the check is plain and terminal.  A
+    /// clause the weakening loop claims satisfied but the one-shot solver
+    /// can refute is an engine bug, so refutation panics; `Unknown` (the
+    /// inner solver giving up within its budgets) is tolerated.
+    fn revalidate(
+        &mut self,
+        clauses: &[Clause],
+        kvars: &KVarStore,
+        ctx: &SortCtx,
+        solution: &Solution,
+    ) {
+        let mut smt = Solver::new(SmtConfig {
+            audit: flux_logic::AuditTier::Off,
+            ..self.config.smt
+        });
+        for (ci, clause) in clauses.iter().enumerate() {
+            let mut scope = ctx.clone();
+            for (name, sort) in &clause.binders {
+                scope.push(*name, *sort);
+            }
+            let hyps: Vec<Expr> = clause
+                .guards
+                .iter()
+                .map(|g| match g {
+                    Guard::Pred(p) => p.clone(),
+                    Guard::KVar(app) => solution.apply(app, kvars),
+                })
+                .collect();
+            let (goal, blame) = match &clause.head {
+                Head::Pred(p, tag) => (p.clone(), format!("tag {tag}")),
+                Head::KVar(app) => (solution.apply(app, kvars), app.kvid.to_string()),
+            };
+            if let Validity::Invalid(_) = smt.check_valid_imp(&scope, &hyps, &goal) {
+                panic!(
+                    "FLUX_AUDIT: converged solution fails independent re-validation \
+                     of clause #{ci} ({blame}): the one-shot solver refutes an \
+                     implication the weakening loop accepted"
+                );
+            }
+            self.stats.revalidations += 1;
         }
     }
 

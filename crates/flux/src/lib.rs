@@ -108,6 +108,16 @@ pub struct QueryStats {
     /// SMT queries issued per worker slot, summed across all fixpoint
     /// solves of the run (Flux mode only; empty for the baseline).
     pub worker_queries: Vec<usize>,
+    /// Obligations sort-/scope-checked by the audit lint (zero unless the
+    /// audit tier is at least `lint`; see `FLUX_AUDIT`).
+    pub lint_checks: usize,
+    /// Theory certificates checked by the SMT engine — Farkas-validated
+    /// infeasible cores, evaluated models, SAT invariant sweeps (zero
+    /// unless the audit tier is `full`).
+    pub certs_checked: usize,
+    /// Clauses independently re-validated after fixpoint convergence (zero
+    /// unless the audit tier is `full`; Flux mode only).
+    pub revalidations: usize,
 }
 
 /// The outcome of verifying one source file with one of the verifiers.
@@ -194,6 +204,9 @@ pub fn verify_source(
                     threads: fix.threads,
                     partitions: fix.partitions,
                     worker_queries: report.total_worker_queries(),
+                    lint_checks: fix.lint_checks,
+                    certs_checked: smt.certs_checked,
+                    revalidations: fix.revalidations,
                 },
             })
         }
@@ -236,6 +249,9 @@ pub fn verify_source(
                     threads: 1,
                     partitions: 0,
                     worker_queries: Vec::new(),
+                    lint_checks: report.functions.iter().map(|f| f.lint_checks).sum(),
+                    certs_checked: smt.certs_checked,
+                    revalidations: 0,
                 },
             })
         }
@@ -527,6 +543,9 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         total.conjunct_retractions += s.conjunct_retractions;
         total.threads = total.threads.max(s.threads);
         total.partitions += s.partitions;
+        total.lint_checks += s.lint_checks + row.baseline.stats.lint_checks;
+        total.certs_checked += s.certs_checked + row.baseline.stats.certs_checked;
+        total.revalidations += s.revalidations;
         total_baseline.smt_queries += row.baseline.stats.smt_queries;
         total_baseline.quant_instances += row.baseline.stats.quant_instances;
     }
@@ -557,6 +576,11 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         total.partitions,
         total_baseline.smt_queries,
         total_baseline.quant_instances,
+    ));
+    out.push_str(&format!(
+        "audit (both verifiers): lint_checks={} certs_checked={} revalidations={} \
+         (all zero unless FLUX_AUDIT / --audit raises the tier)\n",
+        total.lint_checks, total.certs_checked, total.revalidations,
     ));
     out
 }
@@ -591,7 +615,9 @@ pub fn render_table1_json(rows: &[TableRow], gate: &GateTolerances) -> String {
              \"blocked_visits\": {},\n{indent}  \"db_reductions\": {},\n{indent}  \
              \"col_scans\": {},\n{indent}  \"conjunct_retractions\": {},\n{indent}  \
              \"quant_instances\": {},\n{indent}  \"threads\": {},\n{indent}  \
-             \"partitions\": {},\n{indent}  \"worker_queries\": [{}]\n{indent}}}",
+             \"partitions\": {},\n{indent}  \"lint_checks\": {},\n{indent}  \
+             \"certs_checked\": {},\n{indent}  \"revalidations\": {},\n{indent}  \
+             \"worker_queries\": [{}]\n{indent}}}",
             out.safe,
             out.time.as_secs_f64(),
             out.functions,
@@ -614,6 +640,9 @@ pub fn render_table1_json(rows: &[TableRow], gate: &GateTolerances) -> String {
             s.quant_instances,
             s.threads,
             s.partitions,
+            s.lint_checks,
+            s.certs_checked,
+            s.revalidations,
             worker_queries,
         )
     }

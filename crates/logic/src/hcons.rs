@@ -17,7 +17,7 @@
 //! [`crate::simplify`]).
 
 use crate::eval::same_sort;
-use crate::{simplify, BinOp, Constant, Expr, Name, Sort, Subst, UnOp, Value};
+use crate::{simplify, BinOp, Constant, Expr, Name, Sort, SortCtx, SortError, Subst, UnOp, Value};
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
@@ -347,6 +347,178 @@ impl Table {
         self.app_memo.insert(id.0, out);
         out
     }
+
+    fn expect_sort(
+        &self,
+        id: ExprId,
+        ctx: &SortCtx,
+        bound: &mut Vec<(Name, Sort)>,
+        memo: &mut HashMap<ExprId, Sort>,
+        expected: Sort,
+        context: impl FnOnce() -> String,
+    ) -> Result<(), (ExprId, SortError)> {
+        let found = self.sort_rec(id, ctx, bound, memo)?;
+        if found == expected {
+            Ok(())
+        } else {
+            Err((
+                id,
+                SortError::Mismatch {
+                    expected,
+                    found,
+                    context: context(),
+                },
+            ))
+        }
+    }
+
+    /// DAG sort checking; agrees with [`Expr::sort_of`] on the tree form but
+    /// blames the *innermost* offending subterm by id.  `bound` overlays `ctx`
+    /// with quantifier binders in scope (innermost last); `memo` caches the
+    /// sorts of subterms reached with no binders in scope, so shared subterms
+    /// — the common case in flattened horn clauses, which repeat guard
+    /// conjunctions across clauses — cost one visit per call.
+    fn sort_rec(
+        &self,
+        id: ExprId,
+        ctx: &SortCtx,
+        bound: &mut Vec<(Name, Sort)>,
+        memo: &mut HashMap<ExprId, Sort>,
+    ) -> Result<Sort, (ExprId, SortError)> {
+        if bound.is_empty() {
+            if let Some(&sort) = memo.get(&id) {
+                return Ok(sort);
+            }
+        }
+        let out = match &self.nodes[id.0 as usize] {
+            Node::Const(Constant::Int(_)) => Sort::Int,
+            Node::Const(Constant::Bool(_)) => Sort::Bool,
+            Node::Const(Constant::Real(_)) => Sort::Real,
+            Node::Var(name) => bound
+                .iter()
+                .rev()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| *s)
+                .or_else(|| ctx.lookup(*name))
+                .ok_or((id, SortError::UnboundVar(*name)))?,
+            Node::UnOp(UnOp::Not, e) => {
+                self.expect_sort(*e, ctx, bound, memo, Sort::Bool, || "negation".to_owned())?;
+                Sort::Bool
+            }
+            Node::UnOp(UnOp::Neg, e) => {
+                self.expect_sort(*e, ctx, bound, memo, Sort::Int, || {
+                    "arithmetic negation".to_owned()
+                })?;
+                Sort::Int
+            }
+            Node::BinOp(
+                op @ (BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod),
+                lhs,
+                rhs,
+            ) => {
+                let op = *op;
+                self.expect_sort(*lhs, ctx, bound, memo, Sort::Int, || {
+                    format!("left operand of {op}")
+                })?;
+                self.expect_sort(*rhs, ctx, bound, memo, Sort::Int, || {
+                    format!("right operand of {op}")
+                })?;
+                Sort::Int
+            }
+            Node::BinOp(op @ (BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge), lhs, rhs) => {
+                let op = *op;
+                self.expect_sort(*lhs, ctx, bound, memo, Sort::Int, || {
+                    format!("left operand of {op}")
+                })?;
+                self.expect_sort(*rhs, ctx, bound, memo, Sort::Int, || {
+                    format!("right operand of {op}")
+                })?;
+                Sort::Bool
+            }
+            Node::BinOp(op @ (BinOp::Eq | BinOp::Ne), lhs, rhs) => {
+                let op = *op;
+                let ls = self.sort_rec(*lhs, ctx, bound, memo)?;
+                let rs = self.sort_rec(*rhs, ctx, bound, memo)?;
+                if ls != rs {
+                    return Err((
+                        *rhs,
+                        SortError::Mismatch {
+                            expected: ls,
+                            found: rs,
+                            context: format!("operands of {op}"),
+                        },
+                    ));
+                }
+                Sort::Bool
+            }
+            Node::BinOp(op @ (BinOp::And | BinOp::Or | BinOp::Imp | BinOp::Iff), lhs, rhs) => {
+                let op = *op;
+                self.expect_sort(*lhs, ctx, bound, memo, Sort::Bool, || {
+                    format!("left operand of {op}")
+                })?;
+                self.expect_sort(*rhs, ctx, bound, memo, Sort::Bool, || {
+                    format!("right operand of {op}")
+                })?;
+                Sort::Bool
+            }
+            Node::Ite(cond, then, els) => {
+                self.expect_sort(*cond, ctx, bound, memo, Sort::Bool, || {
+                    "if-then-else condition".to_owned()
+                })?;
+                let ts = self.sort_rec(*then, ctx, bound, memo)?;
+                let es = self.sort_rec(*els, ctx, bound, memo)?;
+                if ts != es {
+                    return Err((
+                        *els,
+                        SortError::Mismatch {
+                            expected: ts,
+                            found: es,
+                            context: "branches of if-then-else".to_owned(),
+                        },
+                    ));
+                }
+                ts
+            }
+            Node::App(func, args) => {
+                let func = *func;
+                let Some((arg_sorts, ret)) = ctx.lookup_fn(func) else {
+                    return Err((id, SortError::UnknownFunction(func)));
+                };
+                if arg_sorts.len() != args.len() {
+                    return Err((
+                        id,
+                        SortError::Arity {
+                            func,
+                            expected: arg_sorts.len(),
+                            found: args.len(),
+                        },
+                    ));
+                }
+                let expected: Vec<Sort> = arg_sorts.to_vec();
+                for (arg, expected) in args.iter().zip(expected) {
+                    self.expect_sort(*arg, ctx, bound, memo, expected, || {
+                        format!("argument of {func}")
+                    })?;
+                }
+                ret
+            }
+            Node::Forall(binders, body) | Node::Exists(binders, body) => {
+                let body = *body;
+                let depth = bound.len();
+                bound.extend(binders.iter().copied());
+                let result = self.expect_sort(body, ctx, bound, memo, Sort::Bool, || {
+                    "quantifier body".to_owned()
+                });
+                bound.truncate(depth);
+                result?;
+                Sort::Bool
+            }
+        };
+        if bound.is_empty() {
+            memo.insert(id, out);
+        }
+        Ok(out)
+    }
 }
 
 impl ExprId {
@@ -483,6 +655,22 @@ impl ExprId {
             }
         }
         out
+    }
+
+    /// Computes the sort of this expression under `ctx`, blaming the
+    /// innermost offending subterm by id on failure.  Agrees with
+    /// [`Expr::sort_of`] on the tree form (same `Ok` sort; the same
+    /// [`SortError`] up to the blamed location), memoizing shared subterms
+    /// within the call so the audit lint costs one visit per distinct
+    /// subterm rather than one per occurrence.
+    pub fn sort_in(self, ctx: &SortCtx) -> Result<Sort, (ExprId, SortError)> {
+        let mut memo = HashMap::new();
+        table().lock().expect("hcons table poisoned").sort_rec(
+            self,
+            ctx,
+            &mut Vec::new(),
+            &mut memo,
+        )
     }
 }
 
@@ -753,6 +941,52 @@ mod tests {
             let dag = ExprId::intern(&e).evaluate(&lookup);
             assert_eq!(dag, tree, "case {case}: DAG and tree disagree on {e:?}");
         }
+    }
+
+    /// The DAG sort checker must agree with the tree checker: same sorts on
+    /// well-sorted inputs, errors on the same ill-sorted inputs (the blamed
+    /// id is additionally pinned to the innermost offender).
+    #[test]
+    fn dag_sort_check_agrees_with_tree_sort_check() {
+        let _guard = serial();
+        let mut ctx = SortCtx::new();
+        ctx.push(Name::intern("x"), Sort::Int);
+        ctx.push(Name::intern("p"), Sort::Bool);
+        ctx.push(Name::intern("a"), Sort::Array);
+        let j = Name::intern("j");
+        let cases = [
+            v("x") + Expr::int(1),
+            Expr::lt(v("x"), Expr::int(10)),
+            Expr::and(v("p"), Expr::le(v("x"), v("x"))),
+            Expr::ite(v("p"), v("x"), Expr::neg(v("x"))),
+            Expr::app("select", vec![v("a"), v("x")]),
+            Expr::forall(vec![(j, Sort::Int)], Expr::ge(Expr::var(j), Expr::int(0))),
+            // Ill-sorted / ill-scoped:
+            v("x") + v("p"),
+            Expr::and(v("p"), v("x")),
+            v("free_in_sort_check"),
+            Expr::app("select", vec![v("a")]),
+            Expr::app("unknown_fn", vec![v("x")]),
+            Expr::forall(vec![(j, Sort::Int)], Expr::var(j) + Expr::int(1)),
+        ];
+        for e in &cases {
+            let tree = e.sort_of(&ctx);
+            let dag = ExprId::intern(e).sort_in(&ctx);
+            match (tree, dag) {
+                (Ok(ts), Ok(ds)) => assert_eq!(ts, ds, "sort mismatch on {e:?}"),
+                (Err(te), Err((_, de))) => assert_eq!(te, de, "error mismatch on {e:?}"),
+                (t, d) => panic!("tree {t:?} vs dag {d:?} on {e:?}"),
+            }
+        }
+        // The blamed id is the innermost offender: the unbound variable
+        // itself, not the enclosing conjunction.
+        let bad = Expr::and(v("p"), Expr::lt(v("free_in_sort_check"), Expr::int(0)));
+        let (blamed, err) = ExprId::intern(&bad).sort_in(&ctx).unwrap_err();
+        assert_eq!(blamed, ExprId::intern(&v("free_in_sort_check")));
+        assert_eq!(
+            err,
+            SortError::UnboundVar(Name::intern("free_in_sort_check"))
+        );
     }
 
     #[test]

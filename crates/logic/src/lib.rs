@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+mod audit;
 mod eval;
 mod expr;
 mod fmt;
@@ -45,6 +46,7 @@ mod simplify;
 mod sort;
 mod subst;
 
+pub use audit::{audit_tier, lint, AuditTier, LintError};
 pub use eval::{evaluate, Value};
 pub use expr::{BinOp, Constant, Expr, UnOp};
 pub use hcons::{interned_nodes, ExprId};

@@ -90,21 +90,33 @@ impl std::error::Error for SortError {}
 
 /// A sort context: an ordered association of refinement variables to sorts,
 /// corresponding to the Δ context of λ_LR restricted to sort bindings.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct SortCtx {
     bindings: Vec<(Name, Sort)>,
+    /// Binding positions per name, innermost last.  Keeps [`SortCtx::lookup`]
+    /// one hash probe instead of a reverse scan over every binding — the scan
+    /// ran once per free variable per hypothesis probe on the session assume
+    /// path, where contexts carry one binding per program variable.
+    index: std::collections::HashMap<Name, Vec<u32>>,
     /// Signatures of uninterpreted functions: name ↦ (argument sorts, result).
     functions: Vec<(Name, Vec<Sort>, Sort)>,
 }
+
+/// `index` is derived from `bindings`, so equality (like the historical
+/// derived impl) is determined by the bindings and function signatures alone.
+impl PartialEq for SortCtx {
+    fn eq(&self, other: &Self) -> bool {
+        self.bindings == other.bindings && self.functions == other.functions
+    }
+}
+
+impl Eq for SortCtx {}
 
 impl SortCtx {
     /// Creates an empty sort context with the built-in container functions
     /// (`select`, `store`, `len`) pre-declared.
     pub fn new() -> SortCtx {
-        let mut ctx = SortCtx {
-            bindings: Vec::new(),
-            functions: Vec::new(),
-        };
+        let mut ctx = SortCtx::default();
         ctx.declare_fn(
             Name::intern("select"),
             vec![Sort::Array, Sort::Int],
@@ -121,21 +133,31 @@ impl SortCtx {
 
     /// Binds `name` to `sort`, shadowing any previous binding.
     pub fn push(&mut self, name: Name, sort: Sort) {
+        self.index
+            .entry(name)
+            .or_default()
+            .push(self.bindings.len() as u32);
         self.bindings.push((name, sort));
     }
 
     /// Removes the most recent binding.  Returns it, if any.
     pub fn pop(&mut self) -> Option<(Name, Sort)> {
-        self.bindings.pop()
+        let popped = self.bindings.pop()?;
+        let positions = self
+            .index
+            .get_mut(&popped.0)
+            .expect("every binding is indexed");
+        positions.pop();
+        if positions.is_empty() {
+            self.index.remove(&popped.0);
+        }
+        Some(popped)
     }
 
     /// Looks up the sort of `name`, honouring shadowing.
     pub fn lookup(&self, name: Name) -> Option<Sort> {
-        self.bindings
-            .iter()
-            .rev()
-            .find(|(n, _)| *n == name)
-            .map(|(_, s)| *s)
+        let position = *self.index.get(&name)?.last()?;
+        Some(self.bindings[position as usize].1)
     }
 
     /// Declares an uninterpreted function symbol.
@@ -389,6 +411,33 @@ mod tests {
         assert_eq!(ctx.lookup(x), Some(Sort::Bool));
         ctx.pop();
         assert_eq!(ctx.lookup(x), Some(Sort::Int));
+    }
+
+    /// Pins the shadowed-rebind semantics the indexed lookup must preserve:
+    /// popping a shadow re-exposes the outer binding, re-pushing shadows it
+    /// again, and draining the stack unbinds the name entirely — with an
+    /// interleaved second name left untouched throughout.
+    #[test]
+    fn shadowed_rebind_after_pop_restores_outer_binding() {
+        let mut ctx = SortCtx::new();
+        let x = Name::intern("x");
+        let y = Name::intern("y");
+        ctx.push(x, Sort::Int);
+        ctx.push(y, Sort::Array);
+        ctx.push(x, Sort::Bool);
+        assert_eq!(ctx.lookup(x), Some(Sort::Bool));
+        assert_eq!(ctx.lookup(y), Some(Sort::Array));
+        assert_eq!(ctx.pop(), Some((x, Sort::Bool)));
+        assert_eq!(ctx.lookup(x), Some(Sort::Int), "outer binding re-exposed");
+        ctx.push(x, Sort::Loc);
+        assert_eq!(ctx.lookup(x), Some(Sort::Loc), "rebind shadows again");
+        assert_eq!(ctx.pop(), Some((x, Sort::Loc)));
+        assert_eq!(ctx.lookup(x), Some(Sort::Int));
+        assert_eq!(ctx.pop(), Some((y, Sort::Array)));
+        assert_eq!(ctx.lookup(y), None, "drained name is unbound");
+        assert_eq!(ctx.pop(), Some((x, Sort::Int)));
+        assert_eq!(ctx.lookup(x), None);
+        assert!(ctx.is_empty());
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod atoms;
+pub mod audit;
 pub mod cnf;
 pub mod linear;
 pub mod preprocess;
@@ -219,5 +220,42 @@ mod randtests {
                 );
             }
         }
+    }
+
+    /// Running the full audit tier — certified conflicts, validated models,
+    /// Tseitin spot-checks, SAT invariant sweeps — is verdict-identical to
+    /// running unaudited, on both the session and one-shot paths, and the
+    /// certificate counter actually moves.  (The tier is set through the
+    /// config, not the process-global `FLUX_AUDIT`, so the test is
+    /// hermetic.)
+    #[test]
+    fn full_audit_tier_is_verdict_identical() {
+        let audited_config = SmtConfig {
+            audit: flux_logic::AuditTier::Full,
+            ..SmtConfig::default()
+        };
+        let plain_config = SmtConfig {
+            audit: flux_logic::AuditTier::Off,
+            ..SmtConfig::default()
+        };
+        let mut rng = Rng::new(0x5EED_0004);
+        let mut certs = 0usize;
+        for case in 0..96 {
+            let h = gen_expr(&mut rng, 3);
+            let g = gen_expr(&mut rng, 3);
+            let ctx = ctx();
+            let mut plain = Solver::new(plain_config);
+            let mut audited = Solver::new(audited_config);
+            let reference = plain.check_valid_imp(&ctx, &[h.clone()], &g);
+            let checked = audited.check_valid_imp(&ctx, &[h.clone()], &g);
+            assert_eq!(
+                checked.is_valid(),
+                reference.is_valid(),
+                "case {case}: audited and plain solvers disagree on {h} => {g}"
+            );
+            assert_eq!(plain.stats.certs_checked, 0);
+            certs += audited.stats.certs_checked;
+        }
+        assert!(certs > 0, "the full tier never checked a certificate");
     }
 }

@@ -930,6 +930,179 @@ impl SatSolver {
             }
         }
     }
+
+    /// Audits the solver's internal data-structure invariants; part of the
+    /// `FLUX_AUDIT=full` tier, runnable between searches (the trail may be
+    /// mid-model: [`SatSolver::solve_under_assumptions`] returns `Sat`
+    /// without backtracking).  Checks the two-watched-literal scheme (every
+    /// attached clause of two or more literals watched exactly once at each
+    /// of positions 0 and 1, blockers drawn from the clause, units and
+    /// pending clauses unwatched), the trail/assignment bijection, decision
+    /// levels against `trail_lim`, reason indices, metadata lengths, and
+    /// the decision heap (index map and max-heap property).  Returns a
+    /// description of the first violation found — which is a solver bug,
+    /// never a property of the input.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.trivially_unsat {
+            // An empty/falsified clause short-circuits attachment midway;
+            // the remaining state is dead and intentionally unspecified.
+            return Ok(());
+        }
+        let n = self.num_vars;
+        if self.learned.len() != self.clauses.len()
+            || self.clause_activity.len() != self.clauses.len()
+        {
+            return Err(format!(
+                "clause metadata out of sync: {} clauses, {} learned flags, {} activities",
+                self.clauses.len(),
+                self.learned.len(),
+                self.clause_activity.len()
+            ));
+        }
+        if self.num_learned != self.learned.iter().filter(|&&l| l).count() {
+            return Err(format!(
+                "num_learned = {} disagrees with flags",
+                self.num_learned
+            ));
+        }
+        if self.watches.len() != n * 2
+            || self.assignment.len() != n
+            || self.level.len() != n
+            || self.reason.len() != n
+            || self.activity.len() != n
+            || self.heap_pos.len() != n
+            || self.saved_phase.len() != n
+        {
+            return Err("per-variable array lengths disagree with num_vars".to_owned());
+        }
+        // Watcher lists: `seen[ci]` counts watchers of clause `ci` found at
+        // the list of its literal 0 resp. literal 1.
+        let mut seen = vec![[0usize; 2]; self.clauses.len()];
+        for (idx, list) in self.watches.iter().enumerate() {
+            let lit = SatLit::new(idx / 2, idx % 2 == 1);
+            for w in list {
+                let Some(clause) = self.clauses.get(w.clause) else {
+                    return Err(format!("watcher references dropped clause #{}", w.clause));
+                };
+                let which = if clause.first() == Some(&lit) {
+                    0
+                } else if clause.get(1) == Some(&lit) {
+                    1
+                } else {
+                    return Err(format!(
+                        "clause #{} is watched at {lit:?}, which is not at position 0 or 1: {clause:?}",
+                        w.clause
+                    ));
+                };
+                if !clause.contains(&w.blocker) {
+                    return Err(format!(
+                        "watcher of clause #{} has foreign blocker {:?}",
+                        w.clause, w.blocker
+                    ));
+                }
+                seen[w.clause][which] += 1;
+            }
+        }
+        for (ci, counts) in seen.iter().enumerate() {
+            let unwatched = self.pending.contains(&ci) || self.clauses[ci].len() == 1;
+            let expected = if unwatched { [0, 0] } else { [1, 1] };
+            if *counts != expected {
+                return Err(format!(
+                    "clause #{ci} ({:?}, pending = {}) has watch counts {counts:?}, expected {expected:?}",
+                    self.clauses[ci],
+                    self.pending.contains(&ci)
+                ));
+            }
+        }
+        // Trail/assignment bijection and decision levels.
+        let mut on_trail = vec![false; n];
+        let mut lims_before = 0usize;
+        for (i, lit) in self.trail.iter().enumerate() {
+            while lims_before < self.trail_lim.len() && self.trail_lim[lims_before] <= i {
+                lims_before += 1;
+            }
+            if std::mem::replace(&mut on_trail[lit.var], true) {
+                return Err(format!("variable {} appears twice on the trail", lit.var));
+            }
+            if self.assignment[lit.var] != Some(lit.positive) {
+                return Err(format!(
+                    "trail entry {lit:?} disagrees with assignment {:?}",
+                    self.assignment[lit.var]
+                ));
+            }
+            if self.level[lit.var] != lims_before {
+                return Err(format!(
+                    "trail entry {lit:?} at index {i} has level {}, expected {lims_before}",
+                    self.level[lit.var]
+                ));
+            }
+            if let Some(ci) = self.reason[lit.var] {
+                if ci >= self.clauses.len() {
+                    return Err(format!("reason of {lit:?} references dropped clause #{ci}"));
+                }
+            }
+        }
+        let assigned = self.assignment.iter().filter(|a| a.is_some()).count();
+        if assigned != self.trail.len() {
+            return Err(format!(
+                "{assigned} variables assigned but trail has {} entries",
+                self.trail.len()
+            ));
+        }
+        if self.propagated > self.trail.len() {
+            return Err(format!(
+                "propagation index {} past the trail ({} entries)",
+                self.propagated,
+                self.trail.len()
+            ));
+        }
+        for w in self.trail_lim.windows(2) {
+            if w[1] <= w[0] {
+                return Err(format!(
+                    "trail_lim not strictly increasing: {:?}",
+                    self.trail_lim
+                ));
+            }
+        }
+        if self.trail_lim.last().is_some_and(|&l| l > self.trail.len()) {
+            return Err("trail_lim points past the trail".to_owned());
+        }
+        // Decision heap: the position map inverts the heap array, and every
+        // parent's activity dominates its children's.
+        let mut in_heap = vec![false; n];
+        for (i, &v) in self.order_heap.iter().enumerate() {
+            if v >= n {
+                return Err(format!("heap entry {v} out of variable range"));
+            }
+            if std::mem::replace(&mut in_heap[v], true) {
+                return Err(format!("variable {v} appears twice in the decision heap"));
+            }
+            if self.heap_pos[v] != i {
+                return Err(format!(
+                    "heap_pos[{v}] = {} but the variable sits at heap index {i}",
+                    self.heap_pos[v]
+                ));
+            }
+            if i > 0 {
+                let parent = self.order_heap[(i - 1) / 2];
+                if self.activity[parent] < self.activity[v] {
+                    return Err(format!(
+                        "heap property violated: parent {parent} ({}) < child {v} ({})",
+                        self.activity[parent], self.activity[v]
+                    ));
+                }
+            }
+        }
+        for (v, &present) in in_heap.iter().enumerate() {
+            if !present && self.heap_pos[v] != usize::MAX {
+                return Err(format!(
+                    "heap_pos[{v}] = {} but the variable is not in the heap",
+                    self.heap_pos[v]
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Checks whether `assignment` satisfies all `clauses`; test helper.
@@ -1215,6 +1388,45 @@ mod tests {
             solver.solve_under_assumptions(&[lit(g, true)]),
             SatResult::Unsat
         );
+    }
+
+    /// The audit invariant sweep must pass at every between-search point of
+    /// an incremental workout: after `Sat` (mid-trail model), after `Unsat`,
+    /// after clause additions (pending), after compaction and after DB
+    /// reduction — across both propagator implementations.
+    #[test]
+    fn invariants_hold_across_incremental_searches() {
+        for scan in [false, true] {
+            let config = SatConfig {
+                scan_propagation: scan,
+                ..SatConfig::default()
+            };
+            let mut solver = SatSolver::new(0, config);
+            solver.check_invariants().unwrap();
+            let vars: Vec<usize> = (0..8).map(|_| solver.new_var()).collect();
+            let mut rng = Rng::new(0xA0D17);
+            for round in 0..40 {
+                let num_lits = rng.int_in(1, 4) as usize;
+                let clause: Vec<SatLit> = (0..num_lits)
+                    .map(|_| lit(vars[rng.below(8) as usize], rng.flip()))
+                    .collect();
+                solver.add_clause(clause);
+                solver.check_invariants().unwrap(); // pending clauses unwatched
+                let assumption = lit(vars[rng.below(8) as usize], rng.flip());
+                let result = solver.solve_under_assumptions(&[assumption]);
+                solver
+                    .check_invariants()
+                    .unwrap_or_else(|e| panic!("scan={scan} round {round} after {result:?}: {e}"));
+                if round % 7 == 0 {
+                    solver.compact();
+                    solver.check_invariants().unwrap();
+                }
+                if solver.solve() == SatResult::Unsat {
+                    break;
+                }
+                solver.check_invariants().unwrap();
+            }
+        }
     }
 
     /// Brute-force satisfiability for cross-checking on small instances.

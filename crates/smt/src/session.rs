@@ -40,6 +40,7 @@
 //! verdicts as one-shot solving.
 
 use crate::atoms::{Atom, AtomId, AtomTable, Lit};
+use crate::audit;
 use crate::cnf::tseitin_literal;
 use crate::preprocess::{eliminate_div_mod, eliminate_ite, normalize_comparisons};
 use crate::sat::{SatLit, SatResult, SatSolver};
@@ -764,15 +765,18 @@ impl Session {
                     let tree = rebuild_conjunction(goals);
                     return self.check_one_shot(&tree);
                 }
-                if unconstrained {
-                    self.check_on_core(&[])
-                } else if roots.is_empty() {
+                if roots.is_empty() && !unconstrained {
                     // Every conjunct was trivially valid.
-                    Validity::Valid
+                    return Validity::Valid;
+                }
+                let verdict = if unconstrained {
+                    self.check_on_core(&[])
                 } else {
                     goal_clauses.push(roots);
                     self.check_on_core(&goal_clauses)
-                }
+                };
+                self.spot_check(&verdict, goals);
+                verdict
             }
         }
     }
@@ -803,7 +807,27 @@ impl Session {
         };
         let empty = Vec::new();
         let goal_clauses: &Vec<Vec<Lit>> = goal_cnf.as_deref().unwrap_or(&empty);
-        self.check_on_core(goal_clauses)
+        let verdict = self.check_on_core(goal_clauses);
+        self.spot_check(&verdict, &[goal]);
+        verdict
+    }
+
+    /// Tseitin/CNF equisatisfiability spot-check on a counter-model, under
+    /// the full audit tier: evaluating the *pre-CNF* hypotheses and goals
+    /// under the model via the hash-consed evaluator must agree with the
+    /// verdict the CNF encoding produced (no hypothesis decidably false, the
+    /// goal conjunction not decidably all-true).  A disagreement means the
+    /// preprocessing or Tseitin conversion changed the formula's meaning.
+    fn spot_check(&mut self, verdict: &Validity, goals: &[ExprId]) {
+        if !self.config.audit.certifies() {
+            return;
+        }
+        if let Validity::Invalid(Some(model)) = verdict {
+            if let Err(e) = audit::spot_check_model(model, &self.hyp_ids, goals) {
+                panic!("FLUX_AUDIT: {e}");
+            }
+            self.stats.certs_checked += 1;
+        }
     }
 
     /// The incremental DPLL(T) loop over the session's persistent CDCL
@@ -913,6 +937,32 @@ impl Session {
                 core.theory.pop();
                 match result {
                     LiaResult::Feasible(int_model) => {
+                        if self.config.audit.certifies() {
+                            let value = |lit: Lit| {
+                                core.lookup_var(lit.atom)
+                                    .and_then(|v| assignment.get(v).copied())
+                                    .map(|b| b == lit.positive)
+                            };
+                            let live_clauses = self
+                                .hyp_cnf
+                                .iter()
+                                .flat_map(|(_, cnf)| cnf.iter())
+                                .chain(goal_clauses.iter())
+                                .chain(self.lemmas.iter());
+                            let asserted: Vec<_> = {
+                                let cache = cnf_cache();
+                                audit::asserted_constraints(&involved, &cache.atoms)
+                                    .into_iter()
+                                    .map(|c| (c, true))
+                                    .collect()
+                            };
+                            audit::validate_clauses("session", live_clauses, value)
+                                .and_then(|()| {
+                                    audit::validate_theory_assignment(&asserted, &int_model)
+                                })
+                                .unwrap_or_else(|e| panic!("FLUX_AUDIT: {e}"));
+                            self.stats.certs_checked += 1;
+                        }
                         let mut model = Model {
                             ints: int_model,
                             bools: BTreeMap::new(),
@@ -924,6 +974,21 @@ impl Session {
                     }
                     LiaResult::Unknown => break 'search SatOutcome::Unknown,
                     LiaResult::Infeasible(conflict) => {
+                        if self.config.audit.certifies() {
+                            let tagged: Vec<Lit> = if conflict.is_empty() {
+                                involved.clone()
+                            } else {
+                                conflict.iter().map(|&i| involved[i]).collect()
+                            };
+                            let constraints = {
+                                let cache = cnf_cache();
+                                audit::asserted_constraints(&tagged, &cache.atoms)
+                            };
+                            if let Err(e) = audit::certify_infeasible_core(&constraints) {
+                                panic!("FLUX_AUDIT: {e}");
+                            }
+                            self.stats.certs_checked += 1;
+                        }
                         let lemma: Vec<Lit> = if conflict.is_empty() {
                             // Defensive: block the entire assignment.
                             involved.iter().map(|l| l.negated()).collect()
@@ -943,6 +1008,14 @@ impl Session {
         // them from the database so later checks don't even scan them.
         core.sat.add_clause(vec![guard.negated()]);
         core.sat.compact();
+        if self.config.audit.certifies() {
+            // Sweep the CDCL core's structural invariants between searches
+            // (watcher lists just rebuilt by the compaction above).
+            if let Err(e) = core.sat.check_invariants() {
+                panic!("FLUX_AUDIT: SAT invariant violated after session check: {e}");
+            }
+            self.stats.certs_checked += 1;
+        }
         // The counter windows close *after* retirement so the propagation
         // work of the compacting unit clause is attributed to this check
         // rather than slipping between windows.
@@ -961,7 +1034,21 @@ impl Session {
     fn check_one_shot(&mut self, goal: &Expr) -> Validity {
         let hyps = Expr::and_all(self.hyp_trees().iter().cloned());
         let negated = Expr::and(hyps, Expr::not(goal.clone()));
-        match check_sat_impl(&self.config, &self.ctx, &negated, &mut self.stats) {
+        let outcome = check_sat_impl(&self.config, &self.ctx, &negated, &mut self.stats);
+        if self.config.audit.certifies() {
+            if let SatOutcome::Sat(model) = &outcome {
+                // The counter-model came from the preprocessed CNF; the
+                // original negated query must not decidably contradict it.
+                if model.eval_bool(&negated) == Some(false) {
+                    panic!(
+                        "FLUX_AUDIT: one-shot counter-model decidably falsifies \
+                         the negated query it was derived from"
+                    );
+                }
+                self.stats.certs_checked += 1;
+            }
+        }
+        match outcome {
             SatOutcome::Unsat => Validity::Valid,
             SatOutcome::Sat(model) => Validity::Invalid(Some(model)),
             SatOutcome::Unknown => Validity::Unknown,

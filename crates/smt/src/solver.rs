@@ -15,17 +15,18 @@
 //! clause built from an infeasible core.
 
 use crate::atoms::{Atom, AtomTable, Lit};
+use crate::audit;
 use crate::cnf::tseitin;
 use crate::preprocess::{ackermannize, eliminate_div_mod, eliminate_ite, normalize_comparisons};
 use crate::quant::{eliminate_quantifiers, QuantConfig};
 use crate::sat::{SatConfig, SatLit, SatResult, SatSolver};
 use crate::session::Session;
 use crate::simplex::{IncrementalSimplex, LiaConfig, LiaResult};
-use flux_logic::{evaluate, simplify, Expr, ExprId, Name, SortCtx, Value};
+use flux_logic::{evaluate, simplify, AuditTier, Expr, ExprId, Name, SortCtx, Value};
 use std::collections::BTreeMap;
 
 /// Configuration of the SMT solver.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct SmtConfig {
     /// SAT-core limits.
     pub sat: SatConfig,
@@ -35,6 +36,24 @@ pub struct SmtConfig {
     pub quant: QuantConfig,
     /// Maximum number of SAT/theory iterations per query.
     pub max_theory_rounds: MaxTheoryRounds,
+    /// Audit tier.  Under [`AuditTier::Full`] every theory conflict is
+    /// certified (Farkas combination or independent LIA replay), every
+    /// model is re-evaluated against the live clauses and asserted atoms,
+    /// and the SAT core's invariants are swept after each search; a failure
+    /// panics, because it is a solver bug, not a property of the input.
+    pub audit: AuditTier,
+}
+
+impl Default for SmtConfig {
+    fn default() -> Self {
+        SmtConfig {
+            sat: SatConfig::default(),
+            lia: LiaConfig::default(),
+            quant: QuantConfig::default(),
+            max_theory_rounds: MaxTheoryRounds::default(),
+            audit: flux_logic::audit_tier(),
+        }
+    }
 }
 
 /// Newtype for the theory-round limit so `SmtConfig` can derive `Default`.
@@ -82,6 +101,9 @@ pub struct SmtStats {
     /// keeping the variable space and the simplex tableau) instead of
     /// discarding the session when the hypothesis context changed.
     pub conjunct_retractions: usize,
+    /// Theory certificates checked under `FLUX_AUDIT=full`: one per
+    /// certified conflict core, validated model, and SAT invariant sweep.
+    pub certs_checked: usize,
 }
 
 impl SmtStats {
@@ -100,6 +122,7 @@ impl SmtStats {
         self.db_reductions += other.db_reductions;
         self.col_scans += other.col_scans;
         self.conjunct_retractions += other.conjunct_retractions;
+        self.certs_checked += other.certs_checked;
     }
 
     /// Field-wise difference `self - earlier`; used to attribute a shared
@@ -118,6 +141,7 @@ impl SmtStats {
             db_reductions: self.db_reductions - earlier.db_reductions,
             col_scans: self.col_scans - earlier.col_scans,
             conjunct_retractions: self.conjunct_retractions - earlier.conjunct_retractions,
+            certs_checked: self.certs_checked - earlier.certs_checked,
         }
     }
 }
@@ -393,6 +417,26 @@ pub(crate) fn dpll_t(
                     theory.pop();
                     match result {
                         LiaResult::Feasible(int_model) => {
+                            if config.audit.certifies() {
+                                let value = |lit: Lit| {
+                                    Some(assignment[lit.atom.0 as usize] == lit.positive)
+                                };
+                                let asserted: Vec<_> =
+                                    audit::asserted_constraints(&involved, atoms)
+                                        .into_iter()
+                                        .map(|c| (c, true))
+                                        .collect();
+                                audit::validate_clauses(
+                                    "query",
+                                    clauses.iter().chain(extra.iter()).chain(lemmas.iter()),
+                                    value,
+                                )
+                                .and_then(|()| {
+                                    audit::validate_theory_assignment(&asserted, &int_model)
+                                })
+                                .unwrap_or_else(|e| panic!("FLUX_AUDIT: {e}"));
+                                stats.certs_checked += 1;
+                            }
                             break 'search SatOutcome::Sat(build_model(
                                 &assignment,
                                 atoms,
@@ -401,6 +445,18 @@ pub(crate) fn dpll_t(
                         }
                         LiaResult::Unknown => break 'search SatOutcome::Unknown,
                         LiaResult::Infeasible(core) => {
+                            if config.audit.certifies() {
+                                let conflict: Vec<Lit> = if core.is_empty() {
+                                    involved.clone()
+                                } else {
+                                    core.iter().map(|&i| involved[i]).collect()
+                                };
+                                let constraints = audit::asserted_constraints(&conflict, atoms);
+                                if let Err(e) = audit::certify_infeasible_core(&constraints) {
+                                    panic!("FLUX_AUDIT: {e}");
+                                }
+                                stats.certs_checked += 1;
+                            }
                             let clause: Vec<Lit> = if core.is_empty() {
                                 // Defensive: block the entire assignment.
                                 involved.iter().map(|l| l.negated()).collect()
@@ -421,6 +477,12 @@ pub(crate) fn dpll_t(
         }
         SatOutcome::Unknown
     };
+    if config.audit.certifies() {
+        if let Err(e) = sat.check_invariants() {
+            panic!("FLUX_AUDIT: SAT invariant violated after search: {e}");
+        }
+        stats.certs_checked += 1;
+    }
     stats.pivots += theory.pivots() as usize;
     stats.propagations += sat.propagations();
     stats.blocked_visits += sat.blocked_visits();

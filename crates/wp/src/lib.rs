@@ -18,7 +18,7 @@
 
 #![warn(missing_docs)]
 
-use flux_logic::{Expr, Name, Sort, SortCtx};
+use flux_logic::{AuditTier, Expr, ExprId, Name, Sort, SortCtx};
 use flux_smt::{SmtConfig, Solver};
 use flux_syntax::ast::{self, BinOpKind, RustTy, UnOpKind};
 use flux_syntax::span::{Diagnostic, Span};
@@ -45,6 +45,9 @@ pub struct WpFnReport {
     pub queries: usize,
     /// Number of quantifier instances the solver had to generate.
     pub quant_instances: usize,
+    /// Obligations and hypotheses sort-/scope-checked by the audit lint
+    /// (zero unless the audit tier is at least `lint`).
+    pub lint_checks: usize,
     /// Full statistics of the underlying SMT engine.
     pub smt_stats: flux_smt::SmtStats,
 }
@@ -118,6 +121,8 @@ pub struct WpVerifier<'a> {
     ctx: SortCtx,
     errors: Vec<Diagnostic>,
     queries: usize,
+    audit: AuditTier,
+    lint_checks: usize,
 }
 
 /// Verifies every non-trusted function of `program`.
@@ -144,6 +149,8 @@ pub fn verify_function(program: &ast::Program, def: &ast::FnDef, config: &WpConf
         ctx,
         errors: Vec::new(),
         queries: 0,
+        audit: config.smt.audit,
+        lint_checks: 0,
     };
     verifier.run(def);
     WpFnReport {
@@ -152,6 +159,7 @@ pub fn verify_function(program: &ast::Program, def: &ast::FnDef, config: &WpConf
         time: start.elapsed(),
         queries: verifier.queries,
         quant_instances: verifier.solver.stats.quant_instances,
+        lint_checks: verifier.lint_checks,
         smt_stats: verifier.solver.stats,
     }
 }
@@ -184,6 +192,25 @@ impl<'a> WpVerifier<'a> {
     fn check(&mut self, state: &State, goal: Expr, span: Span, what: &str) {
         self.queries += 1;
         let facts = self.prune_irrelevant_quantifiers(&state.facts, &goal);
+        // Audit lint: the emitted obligation and every hypothesis handed to
+        // the solver must be boolean and closed under the verifier's sort
+        // context.  A violation is a bug in this verifier's symbolic
+        // execution (e.g. a frame axiom referencing a dropped array), not in
+        // the verified program, hence the panic.
+        if self.audit.lints() {
+            for (expr, describe) in
+                std::iter::once((&goal, what)).chain(facts.iter().map(|f| (f, "hypothesis")))
+            {
+                flux_logic::lint(
+                    || format!("{describe} at bytes {}..{}", span.start, span.end),
+                    ExprId::intern(expr),
+                    Sort::Bool,
+                    &self.ctx,
+                )
+                .unwrap_or_else(|e| panic!("FLUX_AUDIT: {e}"));
+                self.lint_checks += 1;
+            }
+        }
         if !self
             .solver
             .check_valid_imp(&self.ctx, &facts, &goal)
@@ -1136,6 +1163,50 @@ mod tests {
 
     fn assert_unsafe(src: &str) {
         assert!(!verify(src).is_safe(), "expected verification errors");
+    }
+
+    /// Verifying under the lint audit tier is verdict-identical and counts
+    /// every obligation and hypothesis it checked.  (The tier is set through
+    /// the config, not the process-global `FLUX_AUDIT`, so the test is
+    /// hermetic.)  A vector loop is used so quantified frame axioms — the
+    /// hardest hypotheses to keep well-scoped — flow through the lint.
+    #[test]
+    fn lint_tier_is_verdict_identical_and_counts_checks() {
+        let src = r#"
+            fn fill(n: usize) {
+                let mut v = RVec::new();
+                let mut i = 0;
+                while i < n {
+                    invariant!(i >= 0);
+                    invariant!(i <= n);
+                    invariant!(vlen(v) == i);
+                    invariant!(forall k . 0 <= k && k < vlen(v) ==> sel(v, k) >= 0);
+                    v.push(i);
+                    i += 1;
+                }
+                assert!(vlen(v) == n);
+            }
+            "#;
+        let audited_config = WpConfig {
+            smt: SmtConfig {
+                audit: AuditTier::Lint,
+                ..SmtConfig::default()
+            },
+        };
+        let plain_config = WpConfig {
+            smt: SmtConfig {
+                audit: AuditTier::Off,
+                ..SmtConfig::default()
+            },
+        };
+        let audited = verify_source(src, &audited_config).expect("parse failure");
+        let plain = verify_source(src, &plain_config).expect("parse failure");
+        assert_eq!(audited.is_safe(), plain.is_safe());
+        assert!(
+            audited.functions[0].lint_checks > 0,
+            "the lint tier never checked an obligation"
+        );
+        assert_eq!(plain.functions[0].lint_checks, 0);
     }
 
     #[test]

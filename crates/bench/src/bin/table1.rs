@@ -35,6 +35,16 @@
 //! design, so the perf gate is automatically skipped.  The `FLUX_AUDIT`
 //! environment variable sets the same tier without the flag (but does not
 //! skip the gate on its own).
+//!
+//! `--deadline-ms N` gives every function's solve a wall-clock deadline of
+//! `N` milliseconds and `--budget N` caps each solver step counter (SAT
+//! decisions/conflicts, simplex pivots, branch-and-bound nodes, quantifier
+//! instances, weakening iterations) at `N`.  Runs that exhaust a budget
+//! degrade to an inconclusive `unk` outcome — never a false "verified" —
+//! counted in the `unknowns` column of the engine-statistics block and the
+//! JSON.  Budgeted runs are not comparable to the committed snapshot, so the
+//! perf gate is automatically skipped.  The `FLUX_DEADLINE_MS` environment
+//! variable sets a process-wide default deadline without the flag.
 
 use flux_bench::json::Value;
 use std::process::ExitCode;
@@ -206,6 +216,8 @@ fn main() -> ExitCode {
     let mut gate_enabled = true;
     let mut threads: Option<usize> = None;
     let mut audit: Option<flux_logic::AuditTier> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut budget_steps: Option<u64> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--audit" => {
@@ -240,10 +252,24 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--deadline-ms" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(ms)) if ms > 0 => deadline_ms = Some(ms),
+                _ => {
+                    eprintln!("--deadline-ms requires a positive integer (milliseconds)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--budget" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) if n > 0 => budget_steps = Some(n),
+                _ => {
+                    eprintln!("--budget requires a positive integer (solver steps)");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!(
                     "unknown argument: {other} (supported: --json [PATH], --no-gate, \
-                     --threads N, --audit [lint|full])"
+                     --threads N, --audit [lint|full], --deadline-ms N, --budget N)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -258,6 +284,20 @@ fn main() -> ExitCode {
         config.wp.smt.audit = tier;
         if gate_enabled && tier != flux_logic::AuditTier::Off {
             println!("perf gate: skipped (audited runs pay for their checking)");
+            gate_enabled = false;
+        }
+    }
+    if deadline_ms.is_some() || budget_steps.is_some() {
+        let mut budget = budget_steps
+            .map(flux_smt::ResourceBudget::uniform_steps)
+            .unwrap_or(flux_smt::ResourceBudget::UNLIMITED);
+        if let Some(ms) = deadline_ms {
+            budget.timeout = Some(std::time::Duration::from_millis(ms));
+        }
+        config.check.fixpoint.smt.budget = budget;
+        config.wp.smt.budget = budget;
+        if gate_enabled {
+            println!("perf gate: skipped (budgeted runs may degrade to unknown)");
             gate_enabled = false;
         }
     }

@@ -66,12 +66,24 @@ pub struct FnReport {
     /// Cumulative statistics of the underlying SMT engine (sessions, SAT
     /// rounds, theory checks).
     pub smt_stats: flux_smt::SmtStats,
+    /// Reasons the solve degraded to an inconclusive result (deadline hit,
+    /// step budget exhausted, a parallel worker panicked).  Empty for
+    /// conclusive (safe or unsafe) results.
+    pub unknowns: Vec<flux_fixpoint::UnknownReason>,
 }
 
 impl FnReport {
-    /// True if the function verified.
+    /// True if the function verified.  A function that degraded to an
+    /// inconclusive result is *not* safe: resource exhaustion must never be
+    /// reported as a successful verification.
     pub fn is_safe(&self) -> bool {
-        self.errors.is_empty()
+        self.errors.is_empty() && self.unknowns.is_empty()
+    }
+
+    /// True if the solve was inconclusive (no counterexample found, but the
+    /// result cannot be trusted as a proof either).
+    pub fn is_unknown(&self) -> bool {
+        self.errors.is_empty() && !self.unknowns.is_empty()
     }
 }
 
@@ -180,19 +192,24 @@ pub fn check_function_with(
             fixpoint_stats: flux_fixpoint::FixStats::default(),
             worker_queries: Vec::new(),
             smt_stats: flux_smt::SmtStats::default(),
+            unknowns: Vec::new(),
         },
         Ok(gen) => {
             let smt_before = solver.smt_stats();
             let result = solver.solve(&gen.constraint, &gen.kvars, &SortCtx::new());
-            let errors = match result {
-                FixResult::Safe(_) => Vec::new(),
-                FixResult::Unsafe { failed, .. } => failed
-                    .into_iter()
-                    .map(|tag| {
-                        let info = &gen.tags[tag];
-                        Diagnostic::error(info.message.clone(), info.span)
-                    })
-                    .collect(),
+            let (errors, unknowns) = match result {
+                FixResult::Safe(_) => (Vec::new(), Vec::new()),
+                FixResult::Unsafe { failed, .. } => (
+                    failed
+                        .into_iter()
+                        .map(|tag| {
+                            let info = &gen.tags[tag];
+                            Diagnostic::error(info.message.clone(), info.span)
+                        })
+                        .collect(),
+                    Vec::new(),
+                ),
+                FixResult::Unknown { reasons, .. } => (Vec::new(), reasons),
             };
             FnReport {
                 name: name.to_owned(),
@@ -201,6 +218,7 @@ pub fn check_function_with(
                 fixpoint_stats: solver.stats,
                 worker_queries: solver.worker_queries.clone(),
                 smt_stats: solver.smt_stats().since(smt_before),
+                unknowns,
             }
         }
     }

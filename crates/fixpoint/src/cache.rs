@@ -29,9 +29,9 @@
 //! replay within one solve, a cross-function replay (same solver, earlier
 //! solve), or a cross-benchmark replay (different solver entirely).
 
-use flux_logic::{ExprId, Name, Sort, SortCtx};
+use flux_logic::{env_parse, lock_recover, ExprId, Name, Sort, SortCtx};
 use flux_smt::Validity;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
@@ -54,10 +54,7 @@ pub fn intern_fn_ctx(ctx: &SortCtx) -> FnCtxId {
         .functions()
         .map(|(name, args, ret)| (name, args.to_vec(), ret))
         .collect();
-    let mut table = TABLE
-        .get_or_init(|| Mutex::new(HashMap::new()))
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut table = lock_recover(TABLE.get_or_init(|| Mutex::new(HashMap::new())));
     let next = table.len() as u32;
     FnCtxId(*table.entry(sig).or_insert(next))
 }
@@ -108,16 +105,52 @@ pub struct CacheEntry {
     pub owner: u64,
 }
 
-/// The memoized validity cache.
+/// The memoized validity cache, optionally capacity-bounded with FIFO
+/// eviction (insertion order — the cheapest policy that still keeps the
+/// working set of a solve resident, since a solve's repeats cluster in
+/// time).  Evicting is always *safe*: a dropped verdict is merely
+/// recomputed on the next miss.
 #[derive(Debug, Default)]
 pub struct ValidityCache {
     map: HashMap<QueryKey, CacheEntry>,
+    /// Keys in first-insertion order; overwrites keep their original
+    /// position so each key appears at most once.
+    order: VecDeque<QueryKey>,
+    /// Maximum number of entries (`None` = unlimited).
+    cap: Option<usize>,
+    /// Entries evicted so far.
+    evictions: u64,
 }
 
 impl ValidityCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> ValidityCache {
         ValidityCache::default()
+    }
+
+    /// Creates an empty cache holding at most `cap` entries.
+    pub fn with_capacity_limit(cap: usize) -> ValidityCache {
+        ValidityCache {
+            cap: Some(cap),
+            ..ValidityCache::default()
+        }
+    }
+
+    /// Re-caps the cache (`None` = unlimited), evicting immediately if the
+    /// current contents exceed the new cap.
+    pub fn set_capacity(&mut self, cap: Option<usize>) {
+        self.cap = cap;
+        self.evict_over_cap();
+    }
+
+    /// The current capacity limit, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Number of entries evicted over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Returns the cached entry for `key`, if any.
@@ -125,16 +158,30 @@ impl ValidityCache {
         self.map.get(key).cloned()
     }
 
-    /// Records the verdict for `key`, stamped with `epoch` and `owner`.
+    /// Records the verdict for `key`, stamped with `epoch` and `owner`,
+    /// evicting oldest-first if the cap is exceeded.
     pub fn insert(&mut self, key: QueryKey, verdict: Validity, epoch: u64, owner: u64) {
-        self.map.insert(
-            key,
-            CacheEntry {
-                verdict,
-                epoch,
-                owner,
-            },
-        );
+        let entry = CacheEntry {
+            verdict,
+            epoch,
+            owner,
+        };
+        if self.map.insert(key.clone(), entry).is_none() {
+            self.order.push_back(key);
+        }
+        self.evict_over_cap();
+    }
+
+    fn evict_over_cap(&mut self) {
+        let Some(cap) = self.cap else { return };
+        while self.map.len() > cap {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            if self.map.remove(&oldest).is_some() {
+                self.evictions += 1;
+            }
+        }
     }
 
     /// Number of cached verdicts.
@@ -147,9 +194,10 @@ impl ValidityCache {
         self.map.is_empty()
     }
 
-    /// Drops all cached verdicts.
+    /// Drops all cached verdicts (the eviction counter survives).
     pub fn clear(&mut self) {
         self.map.clear();
+        self.order.clear();
     }
 }
 
@@ -159,14 +207,23 @@ impl ValidityCache {
 /// an earlier benchmark already discharged.
 pub fn global_cache() -> MutexGuard<'static, ValidityCache> {
     static CACHE: OnceLock<Mutex<ValidityCache>> = OnceLock::new();
-    // Recover from poisoning rather than cascading one panic (e.g. a failed
-    // assertion in an unrelated test thread) into every later solve in the
-    // process: the cache memoizes deterministic verdicts, so no torn state
-    // is observable through its API.
-    CACHE
-        .get_or_init(|| Mutex::new(ValidityCache::new()))
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    // `lock_recover` recovers from poisoning rather than cascading one panic
+    // (e.g. a failed assertion in an unrelated test thread) into every later
+    // solve in the process: the cache memoizes deterministic verdicts, so no
+    // torn state is observable through its API.
+    lock_recover(CACHE.get_or_init(|| {
+        let cap = env_parse("FLUX_CACHE_CAP", 0usize);
+        Mutex::new(match cap {
+            0 => ValidityCache::new(),
+            cap => ValidityCache::with_capacity_limit(cap),
+        })
+    }))
+}
+
+/// Re-caps the process-global validity cache (`None` = unlimited).  The
+/// default comes from `FLUX_CACHE_CAP` (unset or 0 = unlimited).
+pub fn set_global_cache_capacity(cap: Option<usize>) {
+    global_cache().set_capacity(cap);
 }
 
 /// Draws the next solve epoch.  Epochs are strictly increasing across all
@@ -259,6 +316,46 @@ mod tests {
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_cap_holds_size_and_evicts_oldest_first() {
+        let x = Name::intern("ex");
+        let ctx = [(x, Sort::Int)];
+        let goal_n = |n: i128| Expr::ge(Expr::var(x), Expr::int(n));
+        let mut cache = ValidityCache::with_capacity_limit(3);
+        for n in 0..10 {
+            cache.insert(key(&ctx, &[], &goal_n(n)), Validity::Valid, 1, 1);
+            assert!(cache.len() <= 3, "cache exceeded its cap at insert {n}");
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 7);
+        // Newest entries survive, oldest are gone.
+        assert!(cache.lookup(&key(&ctx, &[], &goal_n(9))).is_some());
+        assert!(cache.lookup(&key(&ctx, &[], &goal_n(0))).is_none());
+        // An evicted key can simply be re-inserted (recompute-on-miss).
+        cache.insert(key(&ctx, &[], &goal_n(0)), Validity::Valid, 2, 1);
+        assert_eq!(
+            cache
+                .lookup(&key(&ctx, &[], &goal_n(0)))
+                .expect("re-inserted")
+                .epoch,
+            2
+        );
+        // Overwriting an existing key neither grows the queue nor evicts.
+        let before = cache.evictions();
+        cache.insert(key(&ctx, &[], &goal_n(0)), Validity::Unknown, 3, 1);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), before);
+        // Tightening the cap evicts immediately.
+        cache.set_capacity(Some(1));
+        assert_eq!(cache.len(), 1);
+        // Lifting it stops eviction entirely.
+        cache.set_capacity(None);
+        for n in 20..30 {
+            cache.insert(key(&ctx, &[], &goal_n(n)), Validity::Valid, 4, 1);
+        }
+        assert_eq!(cache.len(), 11);
     }
 
     #[test]

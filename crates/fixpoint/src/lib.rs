@@ -73,12 +73,17 @@ pub use cache::{QueryKey, ValidityCache};
 // tests can hammer them directly; they are test plumbing, not API — hidden
 // from docs and free to change.
 #[doc(hidden)]
-pub use cache::{global_cache, intern_fn_ctx, next_epoch, next_owner, CacheEntry, FnCtxId};
+pub use cache::{
+    global_cache, intern_fn_ctx, next_epoch, next_owner, set_global_cache_capacity, CacheEntry,
+    FnCtxId,
+};
 pub use constraint::{Clause, Constraint, Guard, Head, Tag};
 pub use kvar::{KVarApp, KVarDecl, KVarStore, KVid};
 pub use partition::{partition, Partition};
 pub use qualifier::{default_qualifiers, well_sorted, Qualifier};
-pub use solve::{default_threads, FixConfig, FixResult, FixStats, FixpointSolver, Solution};
+pub use solve::{
+    default_threads, FixConfig, FixResult, FixStats, FixpointSolver, Solution, UnknownReason,
+};
 
 #[cfg(test)]
 mod randtests {

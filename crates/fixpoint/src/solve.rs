@@ -35,7 +35,7 @@ use crate::constraint::{Clause, Constraint, Guard, Head, Tag};
 use crate::kvar::{KVarApp, KVarStore, KVid};
 use crate::partition::{partition, Partition};
 use crate::qualifier::{default_qualifiers, Qualifier};
-use flux_logic::{Expr, ExprId, Name, Sort, SortCtx};
+use flux_logic::{hcons_memo_evictions, lock_recover, Expr, ExprId, Name, Sort, SortCtx};
 use flux_smt::{Model, Session, SmtConfig, SmtStats, Solver, Validity};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -56,16 +56,12 @@ pub fn default_threads() -> usize {
     // (on a malformed value) the warning don't repeat for every
     // `FixConfig::default()` the program constructs.
     *RESOLVED.get_or_init(|| match std::env::var("FLUX_THREADS") {
-        Ok(raw) if !raw.trim().is_empty() => match raw.trim().parse::<usize>() {
-            Ok(n) => n.max(1),
-            Err(_) => {
-                eprintln!(
-                    "warning: FLUX_THREADS={raw:?} is not a positive integer; \
-                     running sequentially (threads = 1)"
-                );
-                1
-            }
-        },
+        // Set (and non-empty): parse through the shared warn-and-default
+        // helper.  The fallback is **1**, not the machine's parallelism —
+        // the variable exists to pin runs to the sequential engine, so a
+        // typo must never silently promote such a run to the parallel
+        // scheduler.
+        Ok(raw) if !raw.trim().is_empty() => flux_logic::env_parse("FLUX_THREADS", 1usize).max(1),
         _ => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -185,6 +181,18 @@ pub struct FixStats {
     /// `full`): the final solution substituted into the clause and recheck
     /// with a fresh one-shot solver bypassing every cache and session.
     pub revalidations: usize,
+    /// Candidate conjuncts dropped because the solver answered `Unknown`
+    /// rather than refuting them.  Dropping is sound for the weakening
+    /// direction (the kept solution is still verified inductive), but a
+    /// *failed* concrete check in the same solve can no longer be blamed on
+    /// the program — see [`FixResult::Unknown`].  Always zero under the
+    /// default unlimited budgets on the corpus.
+    pub unknown_drops: usize,
+    /// Cache entries evicted during this solve across the bounded global
+    /// caches (hash-cons memos, CNF cache, validity cache), attributed by
+    /// differencing the monotone global counters around the solve.  Zero
+    /// unless a capacity cap (`FLUX_CACHE_CAP`) is set.
+    pub evictions: usize,
 }
 
 impl FixStats {
@@ -208,6 +216,8 @@ impl FixStats {
         self.partitions += other.partitions;
         self.lint_checks += other.lint_checks;
         self.revalidations += other.revalidations;
+        self.unknown_drops += other.unknown_drops;
+        self.evictions += other.evictions;
     }
 }
 
@@ -302,6 +312,32 @@ impl Solution {
     }
 }
 
+/// Why a solve degraded to [`FixResult::Unknown`] instead of reaching a
+/// verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnknownReason {
+    /// The wall-clock deadline ([`flux_smt::ResourceBudget::timeout`])
+    /// expired before the weakening loop converged or a concrete obligation
+    /// was decided.
+    Deadline,
+    /// A step budget was exhausted; the payload names the budget kind
+    /// (e.g. `"weaken-iterations"`, `"solver-limits"`).
+    Budget(&'static str),
+    /// A parallel weakening or concrete-check worker panicked.  The
+    /// component's clauses were abandoned (its slice of the assignment is
+    /// dropped, never merged half-weakened) while the remaining components
+    /// completed normally.
+    WorkerPanic {
+        /// Index of the κ-dependency component (or, for a concrete-check
+        /// panic, `usize::MAX`).
+        component: usize,
+        /// Indices of the clauses the failed unit was responsible for.
+        clauses: Vec<usize>,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
 /// Result of solving a constraint set.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FixResult {
@@ -314,6 +350,17 @@ pub enum FixResult {
         solution: Solution,
         /// Tags of the failed constraints, deduplicated, in order.
         failed: Vec<Tag>,
+    },
+    /// The solve was cut short — by a resource budget, the deadline, or a
+    /// contained worker failure — before it could soundly conclude either
+    /// way.  Never reported as verified: a degraded function is `Unknown`,
+    /// with the structured reasons attached.
+    Unknown {
+        /// The (possibly non-converged, possibly incomplete) assignment
+        /// reached before the solve was cut short; diagnostic only.
+        solution: Solution,
+        /// Every degradation that contributed, in detection order.
+        reasons: Vec<UnknownReason>,
     },
 }
 
@@ -507,6 +554,9 @@ struct Engine<'a> {
     /// step, so the concrete-check phase in particular runs almost entirely
     /// on hits from the weakening phase.
     inst_memo: HashMap<InstKey, HashMap<ExprId, ExprId>>,
+    /// Degradations detected by this engine (budget-cut weakening loops);
+    /// folded into the solve's [`FixResult::Unknown`] reasons.
+    unknowns: Vec<UnknownReason>,
 }
 
 /// Identity of one κ application: the κ plus its interned actual arguments.
@@ -523,6 +573,7 @@ impl<'a> Engine<'a> {
             epoch: solver.epoch,
             fns: solver.fns,
             inst_memo: HashMap::new(),
+            unknowns: Vec::new(),
         }
     }
 
@@ -607,7 +658,24 @@ impl<'a> Engine<'a> {
         // ever materializes state for its own component's clauses.
         let mut states: Vec<Option<ClauseState>> = (0..subset.len()).map(|_| None).collect();
         let mut memos: Vec<Option<ClauseMemo>> = (0..subset.len()).map(|_| None).collect();
-        for _ in 0..self.config.max_iterations {
+        // An iteration-budget cut (unlike exhausting the historical
+        // `max_iterations` safety bound, which keeps its silent-proceed
+        // behaviour) leaves the assignment too strong to trust a `Safe`
+        // verdict, so it is recorded as a degradation.  Deadline checks run
+        // once per iteration — each iteration amortizes the clock read over
+        // a full pass of clause visits.
+        let budget = self.config.smt.budget;
+        let iteration_cap = budget
+            .weaken_iterations
+            .map(|cap| (cap as usize).min(self.config.max_iterations));
+        let max_iterations = iteration_cap.unwrap_or(self.config.max_iterations);
+        let mut converged = false;
+        let mut deadline_hit = false;
+        for _ in 0..max_iterations {
+            if budget.deadline_exceeded() {
+                deadline_hit = true;
+                break;
+            }
             self.stats.iterations += 1;
             let mut changed = false;
             for (si, &ci) in subset.iter().enumerate() {
@@ -827,8 +895,15 @@ impl<'a> Engine<'a> {
                 }
             }
             if !changed {
+                converged = true;
                 break;
             }
+        }
+        if deadline_hit {
+            self.unknowns.push(UnknownReason::Deadline);
+        } else if !converged && iteration_cap.is_some_and(|cap| cap < self.config.max_iterations) {
+            self.unknowns
+                .push(UnknownReason::Budget("weaken-iterations"));
         }
         // Fold the surviving sessions' statistics back into the engine
         // totals.
@@ -838,14 +913,17 @@ impl<'a> Engine<'a> {
     }
 
     /// Checks one concrete-head clause under the final assignment.  Returns
-    /// the clause's tag and whether the obligation held.
+    /// the clause's tag and the three-way verdict: `Valid` (obligation
+    /// holds), `Invalid` (refuted with blame), `Unknown` (the solver gave up
+    /// within its budgets — the solve must not report the function either
+    /// verified or refuted on this clause's account).
     fn check_concrete_clause(
         &mut self,
         clause: &Clause,
         kvars: &KVarStore,
         ctx: &SortCtx,
         solution: &Solution,
-    ) -> (Tag, bool) {
+    ) -> (Tag, Validity) {
         let Head::Pred(goal, tag) = &clause.head else {
             unreachable!("concrete subset contains only Pred heads");
         };
@@ -854,21 +932,19 @@ impl<'a> Engine<'a> {
         let keys = self.keys_for(&clause_ctx, &hyp_ids);
         let mut session = None;
         let goal_id = ExprId::intern(goal);
-        let valid = self
-            .check(
-                &mut session,
-                &clause_ctx,
-                &keys,
-                &hyp_ids,
-                &Goals::Single(goal_id),
-            )
-            .is_valid();
+        let verdict = self.check(
+            &mut session,
+            &clause_ctx,
+            &keys,
+            &hyp_ids,
+            &Goals::Single(goal_id),
+        );
         self.close(session);
-        (*tag, valid)
+        (*tag, verdict)
     }
 
     /// Checks every clause in `subset` (concrete-head indices, ascending)
-    /// under the final assignment, returning `(clause index, tag, valid)`
+    /// under the final assignment, returning `(clause index, tag, verdict)`
     /// per clause.  The hypotheses of these clauses are unchanged since the
     /// last weakening iteration, so on κ-free-or-converged systems these
     /// queries hit the cache.
@@ -879,12 +955,12 @@ impl<'a> Engine<'a> {
         kvars: &KVarStore,
         ctx: &SortCtx,
         solution: &Solution,
-    ) -> Vec<(usize, Tag, bool)> {
+    ) -> Vec<(usize, Tag, Validity)> {
         subset
             .iter()
             .map(|&ci| {
-                let (tag, valid) = self.check_concrete_clause(&clauses[ci], kvars, ctx, solution);
-                (ci, tag, valid)
+                let (tag, verdict) = self.check_concrete_clause(&clauses[ci], kvars, ctx, solution);
+                (ci, tag, verdict)
             })
             .collect()
     }
@@ -900,10 +976,7 @@ impl<'a> Engine<'a> {
         if self.config.global_cache {
             global_cache().lookup(key)
         } else {
-            self.local_cache
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                .lookup(key)
+            lock_recover(self.local_cache).lookup(key)
         }
     }
 
@@ -921,10 +994,7 @@ impl<'a> Engine<'a> {
                 global_cache().insert(key, verdict, self.epoch, self.solver_id);
             }
         } else {
-            self.local_cache
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                .insert(key, verdict, self.epoch, self.solver_id);
+            lock_recover(self.local_cache).insert(key, verdict, self.epoch, self.solver_id);
         }
     }
 
@@ -1054,6 +1124,13 @@ impl<'a> Engine<'a> {
             if verdict.is_valid() {
                 continue;
             }
+            // `Unknown` drops are conservative (the kept conjuncts are still
+            // verified inductive) but disqualify blaming the program for any
+            // later concrete failure — counted so the solve can degrade an
+            // `Unsafe` that might be an over-weakening artifact to `Unknown`.
+            if matches!(verdict, Validity::Unknown) {
+                self.stats.unknown_drops += 1;
+            }
             alive[i] = false;
             if self.config.model_pruning {
                 if let Validity::Invalid(Some(model)) = &verdict {
@@ -1152,6 +1229,13 @@ impl FixpointSolver {
         // which forfeited exactly this sharing).
         self.epoch = next_epoch();
         self.fns = intern_fn_ctx(ctx);
+        // Per-solve deadline: re-stamped from the relative timeout on every
+        // call, so a solver reused across functions gives each solve its
+        // full allowance.  Sessions and sub-solvers copy the stamped budget
+        // at construction (their own `stamp` calls are then no-ops).
+        self.config.smt.budget.deadline = None;
+        self.config.smt.budget.stamp();
+        let evictions_before = self.observed_evictions();
         let threads = self.config.threads.max(1);
         let parts = partition(&clauses, kvars);
         self.stats = FixStats {
@@ -1191,29 +1275,68 @@ impl FixpointSolver {
             self.stats.lint_checks += checks;
         }
 
-        let failed_checks = if threads == 1 {
+        let (checks, mut reasons) = if threads == 1 {
             self.solve_sequential(&clauses, &parts, kvars, ctx, &mut solution)
         } else {
             self.solve_parallel(&clauses, &parts, threads, kvars, ctx, &mut solution)
         };
+        self.stats.evictions = (self.observed_evictions() - evictions_before) as usize;
 
         // Assemble the blamed tags in clause order, deduplicated — the same
-        // order the historical sequential pass produced.
+        // order the historical sequential pass produced.  Concrete heads the
+        // solver could not decide (`Unknown`) are degradations, not
+        // failures: blaming the program for them would flip polarity.
         let mut failed = Vec::new();
         let mut failed_tags: HashSet<Tag> = HashSet::new();
-        for (_, tag, valid) in failed_checks {
-            if !valid && failed_tags.insert(tag) {
-                failed.push(tag);
+        let mut undecided_heads = false;
+        for (_, tag, verdict) in checks {
+            match verdict {
+                Validity::Valid => {}
+                Validity::Invalid(_) => {
+                    if failed_tags.insert(tag) {
+                        failed.push(tag);
+                    }
+                }
+                Validity::Unknown => undecided_heads = true,
             }
         }
-        if failed.is_empty() {
-            if self.config.smt.audit.certifies() {
-                self.revalidate(&clauses, kvars, ctx, &solution);
-            }
-            FixResult::Safe(solution)
-        } else {
-            FixResult::Unsafe { solution, failed }
+        if undecided_heads {
+            reasons.push(if self.config.smt.budget.deadline_exceeded() {
+                UnknownReason::Deadline
+            } else {
+                UnknownReason::Budget("concrete-head")
+            });
         }
+        if !failed.is_empty() {
+            if self.stats.unknown_drops > 0 {
+                // A candidate dropped on an `Unknown` verdict may have
+                // over-weakened the assignment, and these failures could be
+                // artifacts of that — the program cannot be blamed.
+                reasons.push(UnknownReason::Budget("weakened-on-unknown"));
+                return FixResult::Unknown { solution, reasons };
+            }
+            // Genuine even when weakening was cut short: a non-converged
+            // assignment only *strengthens* the hypotheses, so any
+            // counterexample found under it also refutes the implication
+            // under the converged (weaker) assignment.
+            return FixResult::Unsafe { solution, failed };
+        }
+        if !reasons.is_empty() {
+            return FixResult::Unknown { solution, reasons };
+        }
+        if self.config.smt.audit.certifies() {
+            self.revalidate(&clauses, kvars, ctx, &solution);
+        }
+        FixResult::Safe(solution)
+    }
+
+    /// Snapshot of the process-global (and this solver's hermetic) cache
+    /// eviction counters; solves difference it to attribute evictions.
+    fn observed_evictions(&self) -> u64 {
+        hcons_memo_evictions()
+            + flux_smt::cnf_cache_evictions()
+            + global_cache().evictions()
+            + lock_recover(&self.local_cache).evictions()
     }
 
     /// Independent re-validation of a converged solution (audit tier
@@ -1273,16 +1396,16 @@ impl FixpointSolver {
         kvars: &KVarStore,
         ctx: &SortCtx,
         solution: &mut Solution,
-    ) -> Vec<(usize, Tag, bool)> {
+    ) -> (Vec<(usize, Tag, Validity)>, Vec<UnknownReason>) {
         let all: Vec<usize> = (0..clauses.len()).collect();
         let mut engine = Engine::new(self);
         engine.weaken(clauses, &all, kvars, ctx, solution);
-        let failed = engine.check_concrete(clauses, &parts.concrete, kvars, ctx, solution);
-        let (stats, smt_stats) = (engine.stats, engine.smt.stats);
+        let checks = engine.check_concrete(clauses, &parts.concrete, kvars, ctx, solution);
+        let (stats, smt_stats, unknowns) = (engine.stats, engine.smt.stats, engine.unknowns);
         self.stats.absorb(&stats);
         self.smt.absorb(smt_stats);
         self.worker_queries.push(stats.smt_queries);
-        failed
+        (checks, unknowns)
     }
 
     /// The partitioned scheduler: κ-dependency components weaken on scoped
@@ -1301,7 +1424,8 @@ impl FixpointSolver {
         kvars: &KVarStore,
         ctx: &SortCtx,
         solution: &mut Solution,
-    ) -> Vec<(usize, Tag, bool)> {
+    ) -> (Vec<(usize, Tag, Validity)>, Vec<UnknownReason>) {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
         // Each component's slice of the assignment travels to whichever
         // worker claims the component, and back, through its task cell.
         struct TaskCell {
@@ -1319,6 +1443,11 @@ impl FixpointSolver {
             })
             .collect();
         let mut worker_stats: Vec<(FixStats, SmtStats)> = Vec::new();
+        let mut reasons: Vec<UnknownReason> = Vec::new();
+        // Contained worker failures: a panicking component (engine bug or
+        // injected fault) degrades the solve to `Unknown`, but must not take
+        // the sibling components — or the process — down with it.
+        let failures: Mutex<Vec<UnknownReason>> = Mutex::new(Vec::new());
         if !parts.components.is_empty() {
             let queue = AtomicUsize::new(0);
             let workers = threads.min(parts.components.len());
@@ -1327,42 +1456,84 @@ impl FixpointSolver {
                     .map(|_| {
                         scope.spawn(|| {
                             let mut engine = Engine::new(self);
+                            let mut unknowns = Vec::new();
                             loop {
                                 let i = queue.fetch_add(1, Ordering::Relaxed);
                                 let Some(subset) = parts.components.get(i) else {
                                     break;
                                 };
-                                let mut slice = tasks[i]
-                                    .lock()
-                                    .expect("task cell poisoned")
+                                let mut slice = lock_recover(&tasks[i])
                                     .input
                                     .take()
                                     .expect("each component is claimed once");
-                                engine.weaken(clauses, subset, kvars, ctx, &mut slice);
-                                tasks[i].lock().expect("task cell poisoned").output = Some(slice);
+                                // Panic isolation: on unwind the component's
+                                // half-weakened slice is abandoned (its cell
+                                // keeps no output, so the torn state is
+                                // never merged) and the worker moves on.
+                                // The engine's memo tables stay valid — they
+                                // cache pure functions, unwinding can at
+                                // worst lose entries, never corrupt them.
+                                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                    if flux_smt::testing::inject_fault("worker")
+                                        == Some(flux_smt::testing::Fault::Panic)
+                                    {
+                                        panic!("injected worker fault");
+                                    }
+                                    engine.weaken(clauses, subset, kvars, ctx, &mut slice);
+                                }));
+                                match outcome {
+                                    Ok(()) => lock_recover(&tasks[i]).output = Some(slice),
+                                    Err(payload) => {
+                                        lock_recover(&failures).push(UnknownReason::WorkerPanic {
+                                            component: i,
+                                            clauses: subset.clone(),
+                                            message: panic_message(payload.as_ref()),
+                                        })
+                                    }
+                                }
+                                unknowns.append(&mut engine.unknowns);
                             }
-                            (engine.stats, engine.smt.stats)
+                            (engine.stats, engine.smt.stats, unknowns)
                         })
                     })
                     .collect();
                 for handle in handles {
-                    worker_stats.push(handle.join().expect("weakening worker panicked"));
+                    // Defensive: the in-loop containment should make worker
+                    // threads unwind-free, but a panic outside the guarded
+                    // region still degrades to `Unknown` instead of
+                    // cascading (that worker's statistics are lost).
+                    match handle.join() {
+                        Ok((stats, smt_stats, mut unknowns)) => {
+                            reasons.append(&mut unknowns);
+                            worker_stats.push((stats, smt_stats));
+                        }
+                        Err(payload) => lock_recover(&failures).push(UnknownReason::WorkerPanic {
+                            component: usize::MAX,
+                            clauses: Vec::new(),
+                            message: panic_message(payload.as_ref()),
+                        }),
+                    }
                 }
             });
         }
         for cell in tasks {
-            let cell = cell.into_inner().expect("task cell poisoned");
-            solution.merge(cell.output.expect("every component was solved"));
+            let cell = cell.into_inner().unwrap_or_else(|p| p.into_inner());
+            // A panicked component produced no output; its κs keep no entry
+            // in the final assignment (the solve reports `Unknown`, so the
+            // incomplete solution is diagnostic only).
+            if let Some(out) = cell.output {
+                solution.merge(out);
+            }
         }
 
         // Concrete-head checks: read-only over the converged assignment and
         // mutually independent, so any worker can take any clause; the
         // per-clause verdicts are re-ordered by clause index afterwards.
-        let mut failed: Vec<(usize, Tag, bool)> = Vec::new();
+        let mut checks: Vec<(usize, Tag, Validity)> = Vec::new();
         if !parts.concrete.is_empty() {
             let queue = AtomicUsize::new(0);
             let workers = threads.min(parts.concrete.len());
-            let results: Mutex<Vec<(usize, Tag, bool)>> = Mutex::new(Vec::new());
+            let results: Mutex<Vec<(usize, Tag, Validity)>> = Mutex::new(Vec::new());
             let solution = &*solution;
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
@@ -1375,35 +1546,47 @@ impl FixpointSolver {
                                 let Some(&ci) = parts.concrete.get(i) else {
                                     break;
                                 };
-                                let (tag, valid) = engine.check_concrete_clause(
-                                    &clauses[ci],
-                                    kvars,
-                                    ctx,
-                                    solution,
-                                );
-                                local.push((ci, tag, valid));
+                                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                    engine.check_concrete_clause(&clauses[ci], kvars, ctx, solution)
+                                }));
+                                match outcome {
+                                    Ok((tag, verdict)) => local.push((ci, tag, verdict)),
+                                    Err(payload) => {
+                                        lock_recover(&failures).push(UnknownReason::WorkerPanic {
+                                            component: usize::MAX,
+                                            clauses: vec![ci],
+                                            message: panic_message(payload.as_ref()),
+                                        })
+                                    }
+                                }
                             }
-                            results
-                                .lock()
-                                .expect("result collector poisoned")
-                                .extend(local);
-                            (engine.stats, engine.smt.stats)
+                            lock_recover(&results).extend(local);
+                            (engine.stats, engine.smt.stats, engine.unknowns)
                         })
                     })
                     .collect();
                 for (slot, handle) in handles.into_iter().enumerate() {
-                    let (stats, smt_stats) = handle.join().expect("concrete worker panicked");
-                    match worker_stats.get_mut(slot) {
-                        Some((ws, wsmt)) => {
-                            ws.absorb(&stats);
-                            wsmt.absorb(smt_stats);
+                    match handle.join() {
+                        Ok((stats, smt_stats, mut unknowns)) => {
+                            reasons.append(&mut unknowns);
+                            match worker_stats.get_mut(slot) {
+                                Some((ws, wsmt)) => {
+                                    ws.absorb(&stats);
+                                    wsmt.absorb(smt_stats);
+                                }
+                                None => worker_stats.push((stats, smt_stats)),
+                            }
                         }
-                        None => worker_stats.push((stats, smt_stats)),
+                        Err(payload) => lock_recover(&failures).push(UnknownReason::WorkerPanic {
+                            component: usize::MAX,
+                            clauses: Vec::new(),
+                            message: panic_message(payload.as_ref()),
+                        }),
                     }
                 }
             });
-            failed = results.into_inner().expect("result collector poisoned");
-            failed.sort_unstable_by_key(|(ci, ..)| *ci);
+            checks = results.into_inner().unwrap_or_else(|p| p.into_inner());
+            checks.sort_unstable_by_key(|(ci, ..)| *ci);
         }
 
         // Deterministic merge: worker-slot order.
@@ -1412,7 +1595,8 @@ impl FixpointSolver {
             self.smt.absorb(*smt_stats);
             self.worker_queries.push(stats.smt_queries);
         }
-        failed
+        reasons.extend(failures.into_inner().unwrap_or_else(|p| p.into_inner()));
+        (checks, reasons)
     }
 
     /// Cumulative statistics of the underlying SMT engine (all sessions and
@@ -1420,6 +1604,17 @@ impl FixpointSolver {
     /// the end-to-end reporting in `flux-check`.
     pub fn smt_stats(&self) -> flux_smt::SmtStats {
         self.smt.stats
+    }
+}
+
+/// Renders a caught panic payload for [`UnknownReason::WorkerPanic`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -1498,6 +1693,7 @@ mod tests {
                 assert!(solution.num_conjuncts(k) >= 1);
             }
             FixResult::Unsafe { failed, .. } => panic!("expected safe, failed tags {failed:?}"),
+            FixResult::Unknown { reasons, .. } => panic!("expected safe, degraded: {reasons:?}"),
         }
         assert!(solver.stats.iterations >= 1);
         assert!(solver.stats.smt_queries > 0);
@@ -1806,7 +2002,7 @@ mod tests {
         let mut solver = FixpointSolver::with_defaults();
         match solver.solve(&c, &kvars, &SortCtx::new()) {
             FixResult::Unsafe { failed, .. } => assert_eq!(failed, vec![7]),
-            FixResult::Safe(_) => panic!("expected unsafe"),
+            other => panic!("expected unsafe, got {other:?}"),
         }
     }
 

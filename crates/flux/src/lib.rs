@@ -118,6 +118,18 @@ pub struct QueryStats {
     /// Clauses independently re-validated after fixpoint convergence (zero
     /// unless the audit tier is `full`; Flux mode only).
     pub revalidations: usize,
+    /// Functions whose solve degraded to an inconclusive result because a
+    /// deadline or step budget ran out or a worker panicked (zero under the
+    /// default unlimited budgets; Flux mode only — the baseline reports
+    /// budget stops through `budget_exhausted`).
+    pub unknowns: usize,
+    /// Cache entries evicted during the run (hash-consing memos, CNF memos
+    /// and validity-cache entries combined; zero unless `FLUX_CACHE_CAP`
+    /// bounds the caches; Flux mode only).
+    pub evictions: usize,
+    /// Times a solver component stopped early because its resource budget
+    /// was exhausted (SAT decision/conflict caps, theory-round deadlines).
+    pub budget_exhausted: usize,
 }
 
 /// The outcome of verifying one source file with one of the verifiers.
@@ -207,6 +219,9 @@ pub fn verify_source(
                     lint_checks: fix.lint_checks,
                     certs_checked: smt.certs_checked,
                     revalidations: fix.revalidations,
+                    unknowns: report.functions.iter().filter(|f| f.is_unknown()).count(),
+                    evictions: fix.evictions,
+                    budget_exhausted: smt.budget_exhausted,
                 },
             })
         }
@@ -252,6 +267,9 @@ pub fn verify_source(
                     lint_checks: report.functions.iter().map(|f| f.lint_checks).sum(),
                     certs_checked: smt.certs_checked,
                     revalidations: 0,
+                    unknowns: 0,
+                    evictions: 0,
+                    budget_exhausted: smt.budget_exhausted,
                 },
             })
         }
@@ -393,6 +411,19 @@ pub fn run_table1(config: &VerifyConfig) -> Vec<TableRow> {
     rows
 }
 
+/// The `ok` cell of Table 1: `yes` for verified, `unk` for a run that was
+/// cut short by a deadline or budget (inconclusive — never reported as
+/// verified), `NO` for a genuine counterexample or frontend error.
+fn ok_label(out: &VerifyOutcome) -> &'static str {
+    if out.safe {
+        "yes"
+    } else if out.stats.unknowns > 0 && out.errors.is_empty() {
+        "unk"
+    } else {
+        "NO"
+    }
+}
+
 /// Renders rows in the layout of the paper's Table 1.
 pub fn render_table1(rows: &[TableRow]) -> String {
     let mut out = String::new();
@@ -425,13 +456,13 @@ pub fn render_table1(rows: &[TableRow]) -> String {
             row.flux.loc,
             row.flux.spec_lines,
             row.flux.time.as_secs_f64(),
-            if row.flux.safe { "yes" } else { "NO" },
+            ok_label(&row.flux),
             row.baseline.loc,
             row.baseline.spec_lines,
             row.baseline.annot_lines,
             row.baseline_annot_percent(),
             row.baseline.time.as_secs_f64(),
-            if row.baseline.safe { "yes" } else { "NO" },
+            ok_label(&row.baseline),
             row.speedup(),
         ));
         if !row.is_library {
@@ -546,6 +577,9 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         total.lint_checks += s.lint_checks + row.baseline.stats.lint_checks;
         total.certs_checked += s.certs_checked + row.baseline.stats.certs_checked;
         total.revalidations += s.revalidations;
+        total.unknowns += s.unknowns;
+        total.evictions += s.evictions;
+        total.budget_exhausted += s.budget_exhausted + row.baseline.stats.budget_exhausted;
         total_baseline.smt_queries += row.baseline.stats.smt_queries;
         total_baseline.quant_instances += row.baseline.stats.quant_instances;
     }
@@ -582,6 +616,12 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
          (all zero unless FLUX_AUDIT / --audit raises the tier)\n",
         total.lint_checks, total.certs_checked, total.revalidations,
     ));
+    out.push_str(&format!(
+        "robustness (both verifiers): unknowns={} evictions={} budget_exhausted={} \
+         (all zero unless FLUX_DEADLINE_MS / FLUX_CACHE_CAP / --deadline-ms / --budget \
+         constrain the run)\n",
+        total.unknowns, total.evictions, total.budget_exhausted,
+    ));
     out
 }
 
@@ -617,6 +657,8 @@ pub fn render_table1_json(rows: &[TableRow], gate: &GateTolerances) -> String {
              \"quant_instances\": {},\n{indent}  \"threads\": {},\n{indent}  \
              \"partitions\": {},\n{indent}  \"lint_checks\": {},\n{indent}  \
              \"certs_checked\": {},\n{indent}  \"revalidations\": {},\n{indent}  \
+             \"unknowns\": {},\n{indent}  \"evictions\": {},\n{indent}  \
+             \"budget_exhausted\": {},\n{indent}  \
              \"worker_queries\": [{}]\n{indent}}}",
             out.safe,
             out.time.as_secs_f64(),
@@ -643,6 +685,9 @@ pub fn render_table1_json(rows: &[TableRow], gate: &GateTolerances) -> String {
             s.lint_checks,
             s.certs_checked,
             s.revalidations,
+            s.unknowns,
+            s.evictions,
+            s.budget_exhausted,
             worker_queries,
         )
     }

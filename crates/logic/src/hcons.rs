@@ -17,9 +17,11 @@
 //! [`crate::simplify`]).
 
 use crate::eval::same_sort;
+use crate::util::lock_recover;
 use crate::{simplify, BinOp, Constant, Expr, Name, Sort, SortCtx, SortError, Subst, UnOp, Value};
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// The identifier of a hash-consed expression.
 ///
@@ -55,9 +57,49 @@ struct Table {
     app_memo: HashMap<u32, bool>,
 }
 
-fn table() -> &'static Mutex<Table> {
+/// Cap on the combined size of the table's three memo maps (0 = unlimited);
+/// see [`set_hcons_memo_capacity`].  The `nodes`/`index` maps themselves are
+/// *never* evicted: id stability for the process lifetime is what makes
+/// [`ExprId`]s usable as persistent cache keys, so memory governance here is
+/// limited to the (freely recomputable) memos.
+static MEMO_CAP: AtomicUsize = AtomicUsize::new(0);
+/// Total memo entries evicted so far (monotone; callers read deltas).
+static MEMO_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+/// Largest combined memo size observed (before any eviction).
+static MEMO_HIGH_WATERMARK: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the combined entry count of the hash-cons table's memo maps
+/// (simplification and the structural predicates).  When the combined size
+/// exceeds the cap after an operation, all three memos are flushed in one
+/// region reclaim — entries are pure functions of their subterm, so the only
+/// cost is recomputation.  `None` (the default) disables the cap.
+pub fn set_hcons_memo_capacity(cap: Option<usize>) {
+    MEMO_CAP.store(cap.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Total number of hash-cons memo entries evicted so far.  Monotone;
+/// callers attribute evictions to a solve by differencing.
+pub fn hcons_memo_evictions() -> u64 {
+    MEMO_EVICTIONS.load(Ordering::Relaxed)
+}
+
+/// Largest combined memo size ever observed (diagnostic: how much memory
+/// the memos would use without a cap).
+pub fn hcons_memo_high_watermark() -> usize {
+    MEMO_HIGH_WATERMARK.load(Ordering::Relaxed)
+}
+
+fn table() -> MutexGuard<'static, Table> {
     static TABLE: OnceLock<Mutex<Table>> = OnceLock::new();
-    TABLE.get_or_init(|| Mutex::new(Table::default()))
+    lock_recover(TABLE.get_or_init(|| {
+        // Seed the memo cap from the environment once, at first use; an
+        // explicit `set_hcons_memo_capacity` call still wins later.
+        let cap = crate::util::env_parse("FLUX_CACHE_CAP", 0usize);
+        if cap != 0 {
+            MEMO_CAP.store(cap, Ordering::Relaxed);
+        }
+        Mutex::new(Table::default())
+    }))
 }
 
 impl Table {
@@ -521,18 +563,35 @@ impl Table {
     }
 }
 
+impl Table {
+    /// Updates the memo high watermark and, when a cap is configured and
+    /// exceeded, flushes all three memo maps at once.  Flushing them
+    /// together keeps the reclaim story simple (no cross-map invariants to
+    /// maintain) and is sound because every entry is a pure function of its
+    /// subterm.  Called from the public wrappers after each memo-growing
+    /// operation completes, never mid-recursion.
+    fn reclaim_memos(&mut self) {
+        let total = self.simplify_memo.len() + self.quant_memo.len() + self.app_memo.len();
+        MEMO_HIGH_WATERMARK.fetch_max(total, Ordering::Relaxed);
+        let cap = MEMO_CAP.load(Ordering::Relaxed);
+        if cap != 0 && total > cap {
+            self.simplify_memo.clear();
+            self.quant_memo.clear();
+            self.app_memo.clear();
+            MEMO_EVICTIONS.fetch_add(total as u64, Ordering::Relaxed);
+        }
+    }
+}
+
 impl ExprId {
     /// Interns `expr`, returning the canonical id of its DAG representation.
     pub fn intern(expr: &Expr) -> ExprId {
-        table()
-            .lock()
-            .expect("hcons table poisoned")
-            .intern_expr(expr)
+        table().intern_expr(expr)
     }
 
     /// Rebuilds the tree form of this expression.
     pub fn expr(self) -> Expr {
-        table().lock().expect("hcons table poisoned").rebuild(self)
+        table().rebuild(self)
     }
 
     /// The raw index of this id (usable as a compact cache key).
@@ -547,10 +606,7 @@ impl ExprId {
             return self;
         }
         let mut memo = HashMap::new();
-        table()
-            .lock()
-            .expect("hcons table poisoned")
-            .subst_rec(self, subst, &mut memo)
+        table().subst_rec(self, subst, &mut memo)
     }
 
     /// Applies `subst` to every id in `ids` under one table lock and one
@@ -563,7 +619,7 @@ impl ExprId {
             return ids.to_vec();
         }
         let mut memo = HashMap::new();
-        let mut table = table().lock().expect("hcons table poisoned");
+        let mut table = table();
         ids.iter()
             .map(|id| table.subst_rec(*id, subst, &mut memo))
             .collect()
@@ -572,20 +628,17 @@ impl ExprId {
     /// Simplifies this expression, memoizing the result globally.  Agrees
     /// with [`crate::simplify`] on the tree form.
     pub fn simplified(self) -> ExprId {
-        table()
-            .lock()
-            .expect("hcons table poisoned")
-            .simplify_rec(self)
+        let mut table = table();
+        let out = table.simplify_rec(self);
+        table.reclaim_memos();
+        out
     }
 
     /// The id of `¬self`, with the same constant folding as [`Expr::not`]:
     /// `negated` returns exactly `ExprId::intern(&Expr::not(self.expr()))`
     /// without rebuilding or re-walking the tree.
     pub fn negated(self) -> ExprId {
-        table()
-            .lock()
-            .expect("hcons table poisoned")
-            .negate_id(self)
+        table().negate_id(self)
     }
 
     /// The id of the conjunction of `ids`, folded exactly like
@@ -593,7 +646,7 @@ impl ExprId {
     /// constant folding) — so the result equals interning the tree-built
     /// conjunction, at O(1) per conjunct instead of a deep re-walk.
     pub fn and_all(ids: impl IntoIterator<Item = ExprId>) -> ExprId {
-        let mut table = table().lock().expect("hcons table poisoned");
+        let mut table = table();
         let mut acc = table.bool_const(true);
         for id in ids {
             acc = table.and_id(acc, id);
@@ -604,20 +657,20 @@ impl ExprId {
     /// True if the expression contains a quantifier anywhere; agrees with
     /// [`Expr::has_quantifier`], memoized per subterm globally.
     pub fn has_quantifier(self) -> bool {
-        table()
-            .lock()
-            .expect("hcons table poisoned")
-            .has_quantifier_rec(self)
+        let mut table = table();
+        let out = table.has_quantifier_rec(self);
+        table.reclaim_memos();
+        out
     }
 
     /// True if the expression contains an uninterpreted application
     /// anywhere; agrees with [`Expr::has_app`], memoized per subterm
     /// globally.
     pub fn has_app(self) -> bool {
-        table()
-            .lock()
-            .expect("hcons table poisoned")
-            .has_app_rec(self)
+        let mut table = table();
+        let out = table.has_app_rec(self);
+        table.reclaim_memos();
+        out
     }
 
     /// Evaluates this expression under the partial assignment `lookup`,
@@ -630,17 +683,14 @@ impl ExprId {
         F: Fn(Name) -> Option<Value>,
     {
         let mut memo = HashMap::new();
-        table()
-            .lock()
-            .expect("hcons table poisoned")
-            .eval_rec(self, lookup, &mut memo)
+        table().eval_rec(self, lookup, &mut memo)
     }
 
     /// Splits this expression along its top-level conjunction spine; agrees
     /// with [`Expr::conjuncts`] (each returned id is the intern of the
     /// corresponding subtree), without rebuilding any tree.
     pub fn conjunct_ids(self) -> Vec<ExprId> {
-        let table = table().lock().expect("hcons table poisoned");
+        let table = table();
         let mut out = Vec::new();
         let mut stack = vec![self];
         while let Some(id) = stack.pop() {
@@ -665,19 +715,14 @@ impl ExprId {
     /// subterm rather than one per occurrence.
     pub fn sort_in(self, ctx: &SortCtx) -> Result<Sort, (ExprId, SortError)> {
         let mut memo = HashMap::new();
-        table().lock().expect("hcons table poisoned").sort_rec(
-            self,
-            ctx,
-            &mut Vec::new(),
-            &mut memo,
-        )
+        table().sort_rec(self, ctx, &mut Vec::new(), &mut memo)
     }
 }
 
 /// Number of distinct subterms interned so far (diagnostic; used by tests to
 /// observe structural sharing).
 pub fn interned_nodes() -> usize {
-    table().lock().expect("hcons table poisoned").nodes.len()
+    table().nodes.len()
 }
 
 #[cfg(test)]

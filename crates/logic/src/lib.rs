@@ -45,15 +45,20 @@ mod intern;
 mod simplify;
 mod sort;
 mod subst;
+mod util;
 
 pub use audit::{audit_tier, lint, AuditTier, LintError};
 pub use eval::{evaluate, Value};
 pub use expr::{BinOp, Constant, Expr, UnOp};
-pub use hcons::{interned_nodes, ExprId};
+pub use hcons::{
+    hcons_memo_evictions, hcons_memo_high_watermark, interned_nodes, set_hcons_memo_capacity,
+    ExprId,
+};
 pub use intern::Name;
 pub use simplify::simplify;
 pub use sort::{Sort, SortCtx, SortError};
 pub use subst::Subst;
+pub use util::{env_parse, lock_recover};
 
 /// A convenience alias: predicates are just boolean-sorted expressions.
 pub type Pred = Expr;

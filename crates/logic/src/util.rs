@@ -1,0 +1,87 @@
+//! Small process-wide utilities shared across the workspace: poison-tolerant
+//! mutex locking and warn-and-default environment-variable parsing.
+//!
+//! Both exist because the workspace keeps *process-global* state (the
+//! hash-cons table here, the CNF/atom caches in `flux-smt`, the verdict
+//! cache in `flux-fixpoint`) behind mutexes, and reads tuning knobs from the
+//! environment in several crates.  Historically each site hand-rolled its
+//! own recovery/parsing; this module is the single copy.
+
+use std::str::FromStr;
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `mutex`, recovering from poisoning instead of propagating it.
+///
+/// Every process-global cache in the workspace memoizes *deterministic*
+/// results behind its mutex (hash-cons ids, CNF conversions, validity
+/// verdicts), so no torn state is observable through their APIs even when a
+/// holder panicked mid-update: the worst case is a missing or duplicate memo
+/// entry, which only costs recomputation.  Recovering here keeps one
+/// panicked worker (e.g. a failed assertion on an unrelated test thread)
+/// from cascading into every later solve in the process.
+pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Reads the environment variable `name` and parses it as `T`, warning on
+/// stderr and returning `default` when the value is present but malformed.
+/// An unset or empty variable silently returns `default`.
+///
+/// This is the `FLUX_THREADS` warn-and-default pattern, factored out so
+/// every knob (`FLUX_THREADS`, `FLUX_DEADLINE_MS`, `FLUX_CACHE_CAP`)
+/// behaves identically.  Callers that want read-once semantics keep their
+/// own `OnceLock` around this.
+pub fn env_parse<T: FromStr>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(raw) => {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                return default;
+            }
+            match raw.parse() {
+                Ok(value) => value,
+                Err(_) => {
+                    eprintln!("warning: ignoring unparseable {name}={raw:?}");
+                    default
+                }
+            }
+        }
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_recover_returns_data_after_poison() {
+        let mutex = Mutex::new(7usize);
+        // Poison the mutex by panicking while holding the guard.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = mutex.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(result.is_err());
+        assert!(mutex.is_poisoned());
+        assert_eq!(*lock_recover(&mutex), 7);
+    }
+
+    #[test]
+    fn env_parse_handles_unset_malformed_and_valid() {
+        // Unset: silently the default.
+        std::env::remove_var("FLUX_UTIL_TEST_UNSET");
+        assert_eq!(env_parse("FLUX_UTIL_TEST_UNSET", 5usize), 5);
+        // Malformed: warn-and-default.
+        std::env::set_var("FLUX_UTIL_TEST_BAD", "not-a-number");
+        assert_eq!(env_parse("FLUX_UTIL_TEST_BAD", 5usize), 5);
+        // Empty counts as unset.
+        std::env::set_var("FLUX_UTIL_TEST_EMPTY", "  ");
+        assert_eq!(env_parse("FLUX_UTIL_TEST_EMPTY", 5usize), 5);
+        // Valid (with surrounding whitespace).
+        std::env::set_var("FLUX_UTIL_TEST_OK", " 42 ");
+        assert_eq!(env_parse("FLUX_UTIL_TEST_OK", 5usize), 42);
+    }
+}

@@ -209,6 +209,7 @@ pub fn certify_infeasible_core(core: &[LinConstraint]) -> Result<Certificate, St
         max_branch_nodes: 10_000,
         max_pivots: 200_000,
         row_scan: false,
+        budget: crate::ResourceBudget::UNLIMITED,
     };
     match check_lia(core, &replay) {
         LiaResult::Infeasible(_) => Ok(Certificate::IntegerReplay),

@@ -42,6 +42,7 @@
 
 pub mod atoms;
 pub mod audit;
+pub mod budget;
 pub mod cnf;
 pub mod linear;
 pub mod preprocess;
@@ -53,9 +54,10 @@ pub mod simplex;
 mod solver;
 pub mod testing;
 
+pub use budget::ResourceBudget;
 pub use quant::QuantConfig;
 pub use sat::SatConfig;
-pub use session::Session;
+pub use session::{cnf_cache_evictions, cnf_cache_len, set_cnf_cache_capacity, Session};
 pub use simplex::LiaConfig;
 pub use solver::{MaxTheoryRounds, Model, SatOutcome, SmtConfig, SmtStats, Solver, Validity};
 

@@ -110,6 +110,11 @@ pub struct SatConfig {
     /// resolvent the search can re-derive — so verdicts are unaffected;
     /// the toggle exists for A/B equivalence testing.
     pub db_reduction: bool,
+    /// Resource limits: per-search decision/conflict caps and the (amortized)
+    /// wall-clock deadline.  Populated from the owning
+    /// [`SmtConfig`](crate::SmtConfig) at solver construction; tripping a
+    /// limit returns [`SatResult::Unknown`], never a wrong verdict.
+    pub budget: crate::ResourceBudget,
 }
 
 impl Default for SatConfig {
@@ -119,6 +124,7 @@ impl Default for SatConfig {
             max_conflicts: 200_000,
             scan_propagation: legacy,
             db_reduction: !legacy,
+            budget: crate::ResourceBudget::UNLIMITED,
         }
     }
 }
@@ -179,6 +185,9 @@ pub struct SatSolver {
     blocked_visits: usize,
     /// Cumulative count of learned-clause-DB reductions performed.
     db_reductions: usize,
+    /// Cumulative count of searches abandoned because a resource budget
+    /// (decision/conflict cap or deadline) tripped.
+    budget_stops: usize,
     config: SatConfig,
 }
 
@@ -210,6 +219,7 @@ impl SatSolver {
             propagations: 0,
             blocked_visits: 0,
             db_reductions: 0,
+            budget_stops: 0,
             config,
         }
     }
@@ -234,6 +244,13 @@ impl SatSolver {
     /// Cumulative number of learned-clause-DB reductions.  Monotone.
     pub fn db_reductions(&self) -> usize {
         self.db_reductions
+    }
+
+    /// Cumulative number of searches abandoned by a resource budget.
+    /// Monotone; callers attribute stops by differencing.  Always zero
+    /// under the default unlimited budget.
+    pub fn budget_stops(&self) -> usize {
+        self.budget_stops
     }
 
     /// Allocates a fresh variable and returns its index.
@@ -855,11 +872,29 @@ impl SatSolver {
             active[a.var] = true;
         }
         self.heap_rebuild(&active);
+        if crate::testing::inject_fault("sat") == Some(crate::testing::Fault::Unknown) {
+            self.budget_stops += 1;
+            self.backtrack_to(0);
+            return SatResult::Unknown;
+        }
+        let budget = self.config.budget;
         let mut conflicts = 0usize;
+        let mut decisions = 0u64;
         loop {
             if let Some(conflict) = self.propagate() {
                 conflicts += 1;
                 if conflicts > self.config.max_conflicts {
+                    self.backtrack_to(0);
+                    return SatResult::Unknown;
+                }
+                // Budget governance: the conflict cap exactly, the deadline
+                // amortized (one clock read per 64 conflicts).
+                if budget
+                    .sat_conflicts
+                    .is_some_and(|cap| conflicts as u64 > cap)
+                    || (conflicts.is_multiple_of(64) && budget.deadline_exceeded())
+                {
+                    self.budget_stops += 1;
                     self.backtrack_to(0);
                     return SatResult::Unknown;
                 }
@@ -925,6 +960,17 @@ impl SatSolver {
                         Some(var) => SatLit::new(var, self.saved_phase[var]),
                     },
                 };
+                decisions += 1;
+                // Budget governance mirrors the conflict site: decision cap
+                // exact, deadline amortized (one clock read per 256
+                // decisions).
+                if budget.sat_decisions.is_some_and(|cap| decisions > cap)
+                    || (decisions.is_multiple_of(256) && budget.deadline_exceeded())
+                {
+                    self.budget_stops += 1;
+                    self.backtrack_to(0);
+                    return SatResult::Unknown;
+                }
                 self.trail_lim.push(self.trail.len());
                 self.enqueue(decision, None);
             }

@@ -115,6 +115,12 @@ enum HypOut {
 
 #[derive(Default)]
 struct CnfCache {
+    /// Cap on the total entry count of the evictable memo maps (0 =
+    /// unlimited).  Seeded from `FLUX_CACHE_CAP` at first use; see
+    /// [`set_cnf_cache_capacity`].
+    cap: usize,
+    /// Total memo entries evicted so far (see [`cnf_cache_evictions`]).
+    evictions: u64,
     atoms: AtomTable,
     /// Free variables of a hash-consed expression (pure, cached forever).
     free_vars: HashMap<ExprId, Arc<[Name]>>,
@@ -140,17 +146,82 @@ struct CnfCache {
 
 fn cnf_cache() -> MutexGuard<'static, CnfCache> {
     static CACHE: OnceLock<Mutex<CnfCache>> = OnceLock::new();
-    // Recover from poisoning rather than cascading one panic (e.g. a failed
-    // assertion in an unrelated test thread) into every later session in
-    // the process: the cache only memoizes pure data behind `Arc`s, so no
-    // torn state is observable through its API.
-    CACHE
-        .get_or_init(|| Mutex::new(CnfCache::default()))
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    // `lock_recover` recovers from poisoning rather than cascading one panic
+    // (e.g. a failed assertion in an unrelated test thread) into every later
+    // session in the process: the cache only memoizes pure data behind
+    // `Arc`s, so no torn state is observable through its API.
+    let mut cache = flux_logic::lock_recover(CACHE.get_or_init(|| {
+        Mutex::new(CnfCache {
+            cap: flux_logic::env_parse("FLUX_CACHE_CAP", 0usize),
+            ..CnfCache::default()
+        })
+    }));
+    if crate::testing::inject_fault("cnf-cache") == Some(crate::testing::Fault::Delay) {
+        // Hold the lock a beat: exercises every caller's tolerance of
+        // contention on the global cache (there is nothing to time out — the
+        // deadline checks live in the solvers, not here).
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    cache.reclaim();
+    cache
+}
+
+/// Caps the process-global CNF cache's memo maps at `cap` total entries
+/// across all maps (`None` = unlimited).  Defaults to `FLUX_CACHE_CAP`
+/// (unset or 0 = unlimited).  The shared atom table is exempt: cached and
+/// in-core clauses reference its ids for the life of the process.
+pub fn set_cnf_cache_capacity(cap: Option<usize>) {
+    cnf_cache().cap = cap.unwrap_or(0);
+}
+
+/// Total entries evicted from the process-global CNF cache so far.
+pub fn cnf_cache_evictions() -> u64 {
+    cnf_cache().evictions
+}
+
+/// Current total entry count of the CNF cache's evictable memo maps
+/// (diagnostics and capacity tests).
+pub fn cnf_cache_len() -> usize {
+    cnf_cache().memo_len()
 }
 
 impl CnfCache {
+    /// Entry count of the evictable memo maps (the atom table is exempt).
+    fn memo_len(&self) -> usize {
+        self.free_vars.len()
+            + self.preproc.len()
+            + self.cnf.len()
+            + self.cnf_lit.len()
+            + self.prepared.len()
+            + self.hyp_out.len()
+            + self.cnf_atoms.len()
+    }
+
+    /// Flushes every memo map once their total entry count exceeds the cap
+    /// — region reclaim: the maps memoize independent pure functions, so
+    /// dropping them together needs no cross-map bookkeeping, and later
+    /// probes simply recompute and re-cache.  Atoms are never evicted
+    /// (sessions hold clauses that name them); re-encoding an evicted
+    /// formula re-interns the same theory atoms and allocates fresh Tseitin
+    /// definition atoms, which is equisatisfiable.
+    fn reclaim(&mut self) {
+        if self.cap == 0 {
+            return;
+        }
+        let total = self.memo_len();
+        if total <= self.cap {
+            return;
+        }
+        self.evictions += total as u64;
+        self.free_vars.clear();
+        self.preproc.clear();
+        self.cnf.clear();
+        self.cnf_lit.clear();
+        self.prepared.clear();
+        self.hyp_out.clear();
+        self.cnf_atoms.clear();
+    }
+
     fn free_vars_of(&mut self, id: ExprId) -> Arc<[Name]> {
         if let Some(fv) = self.free_vars.get(&id) {
             return fv.clone();
@@ -335,10 +406,21 @@ struct TheoryAtoms {
 
 impl Core {
     fn new(config: &SmtConfig) -> Core {
+        // The authoritative budget lives on the `SmtConfig`; the sub-solvers
+        // receive their copy here, exactly as the one-shot pipeline does.
         Core {
-            sat: SatSolver::new(0, config.sat),
+            sat: SatSolver::new(
+                0,
+                crate::sat::SatConfig {
+                    budget: config.budget,
+                    ..config.sat
+                },
+            ),
             atom_vars: Vec::new(),
-            theory: IncrementalSimplex::new(config.lia),
+            theory: IncrementalSimplex::new(crate::simplex::LiaConfig {
+                budget: config.budget,
+                ..config.lia
+            }),
             atom_slots: Vec::new(),
             hyp_atoms: None,
         }
@@ -504,6 +586,11 @@ impl Session {
         hyp_ids: Vec<ExprId>,
         hyp_trees: Option<Vec<Expr>>,
     ) -> Session {
+        // Stamp the wall-clock deadline once per session: every check this
+        // session runs shares it.  A no-op when the caller (e.g. the
+        // fixpoint solver) already stamped a solve-wide deadline.
+        let mut config = config;
+        config.budget.stamp();
         let mut session = Session {
             config,
             ctx: ctx.clone(),
@@ -897,8 +984,18 @@ impl Session {
         let blocked_before = core.sat.blocked_visits();
         let reductions_before = core.sat.db_reductions();
         let col_scans_before = core.theory.col_scans();
+        let stops_before = core.sat.budget_stops();
         let outcome = 'search: {
+            if crate::testing::inject_fault("session") == Some(crate::testing::Fault::Unknown) {
+                break 'search SatOutcome::Unknown;
+            }
             for _ in 0..self.config.max_theory_rounds.0 {
+                // One clock read per theory round — each round amortizes it
+                // over a full SAT search plus a simplex check.
+                if self.config.budget.deadline_exceeded() {
+                    self.stats.budget_exhausted += 1;
+                    break 'search SatOutcome::Unknown;
+                }
                 self.stats.sat_rounds += 1;
                 let assignment = match core.sat.solve_under_assumptions(&assumptions) {
                     SatResult::Unsat => break 'search SatOutcome::Unsat,
@@ -1024,6 +1121,7 @@ impl Session {
         self.stats.blocked_visits += core.sat.blocked_visits() - blocked_before;
         self.stats.db_reductions += core.sat.db_reductions() - reductions_before;
         self.stats.col_scans += (core.theory.col_scans() - col_scans_before) as usize;
+        self.stats.budget_exhausted += core.sat.budget_stops() - stops_before;
         match outcome {
             SatOutcome::Unsat => Validity::Valid,
             SatOutcome::Sat(model) => Validity::Invalid(Some(model)),

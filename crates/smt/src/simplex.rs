@@ -55,6 +55,12 @@ pub struct LiaConfig {
     /// lists and the suspect set.  Kept for A/B equivalence testing; the
     /// occurrence-list path is the default.
     pub row_scan: bool,
+    /// Resource limits: the pivot/branch-node caps here *tighten* the
+    /// `max_pivots`/`max_branch_nodes` bounds above, and the deadline is
+    /// checked amortized inside the pivot loop and per branch node.
+    /// Populated from the owning [`SmtConfig`](crate::SmtConfig) at solver
+    /// construction; tripping a limit yields [`LiaResult::Unknown`].
+    pub budget: crate::ResourceBudget,
 }
 
 impl Default for LiaConfig {
@@ -63,6 +69,7 @@ impl Default for LiaConfig {
             max_branch_nodes: 200,
             max_pivots: 10_000,
             row_scan: crate::legacy_toggles(),
+            budget: crate::ResourceBudget::UNLIMITED,
         }
     }
 }
@@ -649,7 +656,17 @@ impl IncrementalSimplex {
     /// hold or a row proves them inconsistent (Bland's rule on both the
     /// violated basic and the entering nonbasic guarantees termination).
     fn solve_rational(&mut self) -> RationalResult {
-        for _ in 0..self.config.max_pivots {
+        // The budget's pivot cap tightens the configured one; the deadline
+        // is read amortized, once per 128 loop iterations.
+        let budget = self.config.budget;
+        let max_pivots = match budget.pivots {
+            Some(cap) => self.config.max_pivots.min(cap as usize),
+            None => self.config.max_pivots,
+        };
+        for round in 0..max_pivots {
+            if round % 128 == 127 && budget.deadline_exceeded() {
+                return RationalResult::PivotLimit;
+            }
             let Some(basic) = self.next_violated() else {
                 return RationalResult::Feasible;
             };
@@ -804,8 +821,20 @@ impl IncrementalSimplex {
     /// branch-and-bound over the persistent tableau, considering every
     /// registered variable.
     pub fn check_integer(&mut self) -> LiaResult {
-        let mut budget = self.config.max_branch_nodes;
+        if crate::testing::inject_fault("simplex") == Some(crate::testing::Fault::Unknown) {
+            return LiaResult::Unknown;
+        }
+        let mut budget = self.node_budget();
         self.branch_and_bound(None, &mut budget)
+    }
+
+    /// Effective branch-and-bound node budget: the configured cap tightened
+    /// by the resource budget's.
+    fn node_budget(&self) -> usize {
+        match self.config.budget.branch_nodes {
+            Some(cap) => self.config.max_branch_nodes.min(cap as usize),
+            None => self.config.max_branch_nodes,
+        }
     }
 
     /// [`IncrementalSimplex::check_integer`] restricted to `relevant`
@@ -818,7 +847,10 @@ impl IncrementalSimplex {
     /// burn branch budget nor leak into counter-models.  Callers pass the
     /// variables of the constraints asserted in the current scope.
     pub fn check_integer_over(&mut self, relevant: &BTreeSet<Name>) -> LiaResult {
-        let mut budget = self.config.max_branch_nodes;
+        if crate::testing::inject_fault("simplex") == Some(crate::testing::Fault::Unknown) {
+            return LiaResult::Unknown;
+        }
+        let mut budget = self.node_budget();
         self.branch_and_bound(Some(relevant), &mut budget)
     }
 
@@ -828,6 +860,11 @@ impl IncrementalSimplex {
         budget: &mut usize,
     ) -> LiaResult {
         if *budget == 0 {
+            return LiaResult::Unknown;
+        }
+        // One deadline read per node: each node pays for a full rational
+        // repair below, so the clock read is already amortized.
+        if self.config.budget.deadline_exceeded() {
             return LiaResult::Unknown;
         }
         *budget -= 1;

@@ -16,6 +16,7 @@
 
 use crate::atoms::{Atom, AtomTable, Lit};
 use crate::audit;
+use crate::budget::{default_timeout, ResourceBudget};
 use crate::cnf::tseitin;
 use crate::preprocess::{ackermannize, eliminate_div_mod, eliminate_ite, normalize_comparisons};
 use crate::quant::{eliminate_quantifiers, QuantConfig};
@@ -42,6 +43,12 @@ pub struct SmtConfig {
     /// and the SAT core's invariants are swept after each search; a failure
     /// panics, because it is a solver bug, not a property of the input.
     pub audit: AuditTier,
+    /// Resource limits (wall-clock deadline and step caps).  This is the
+    /// authoritative copy: the SAT and simplex configs receive it at solver
+    /// construction, so setting it here governs the whole stack.  The
+    /// default is unlimited except for a `FLUX_DEADLINE_MS` timeout when
+    /// that variable is set.
+    pub budget: ResourceBudget,
 }
 
 impl Default for SmtConfig {
@@ -52,6 +59,10 @@ impl Default for SmtConfig {
             quant: QuantConfig::default(),
             max_theory_rounds: MaxTheoryRounds::default(),
             audit: flux_logic::audit_tier(),
+            budget: ResourceBudget {
+                timeout: default_timeout(),
+                ..ResourceBudget::UNLIMITED
+            },
         }
     }
 }
@@ -104,6 +115,11 @@ pub struct SmtStats {
     /// Theory certificates checked under `FLUX_AUDIT=full`: one per
     /// certified conflict core, validated model, and SAT invariant sweep.
     pub certs_checked: usize,
+    /// Checks that gave up because a [`ResourceBudget`] limit tripped: SAT
+    /// searches stopped at a decision/conflict cap, plus deadline-driven
+    /// exits from the DPLL(T) theory-round loops.  Always zero under the
+    /// default unlimited budget.
+    pub budget_exhausted: usize,
 }
 
 impl SmtStats {
@@ -123,6 +139,7 @@ impl SmtStats {
         self.col_scans += other.col_scans;
         self.conjunct_retractions += other.conjunct_retractions;
         self.certs_checked += other.certs_checked;
+        self.budget_exhausted += other.budget_exhausted;
     }
 
     /// Field-wise difference `self - earlier`; used to attribute a shared
@@ -142,6 +159,7 @@ impl SmtStats {
             col_scans: self.col_scans - earlier.col_scans,
             conjunct_retractions: self.conjunct_retractions - earlier.conjunct_retractions,
             certs_checked: self.certs_checked - earlier.certs_checked,
+            budget_exhausted: self.budget_exhausted - earlier.budget_exhausted,
         }
     }
 }
@@ -298,10 +316,21 @@ pub(crate) fn check_sat_impl(
     formula: &Expr,
     stats: &mut SmtStats,
 ) -> SatOutcome {
+    // Stamp the wall-clock deadline for this query (a no-op when already
+    // stamped by an enclosing solve or when no timeout is configured).
+    let config = &SmtConfig {
+        budget: config.budget.stamped(),
+        ..*config
+    };
     // 1. Simplify.
     let f = simplify(formula);
-    // 2. Quantifiers.
-    let (f, ctx, qstats) = eliminate_quantifiers(&f, ctx, &config.quant);
+    // 2. Quantifiers.  The budget's per-quantifier instance cap tightens
+    // the configured one.
+    let mut quant = config.quant;
+    if let Some(cap) = config.budget.quant_instances {
+        quant.max_instances_per_quantifier = quant.max_instances_per_quantifier.min(cap as usize);
+    }
+    let (f, ctx, qstats) = eliminate_quantifiers(&f, ctx, &quant);
     stats.quant_instances += qstats.instances;
     // 3. Integer division / remainder.
     let mut defs = Vec::new();
@@ -366,7 +395,15 @@ pub(crate) fn dpll_t(
             relevant[lit.atom.0 as usize] = true;
         }
     }
-    let mut sat = SatSolver::new(atoms.len(), config.sat);
+    // The budget is authoritative on `SmtConfig`; copy it into the
+    // sub-solver configs so their hot loops see the same limits.
+    let mut sat = SatSolver::new(
+        atoms.len(),
+        SatConfig {
+            budget: config.budget,
+            ..config.sat
+        },
+    );
     for clause in clauses.iter().chain(extra.iter()).chain(lemmas.iter()) {
         sat.add_clause(
             clause
@@ -376,7 +413,10 @@ pub(crate) fn dpll_t(
         );
     }
     // Register the relevant linear atoms' constraint rows once.
-    let mut theory = IncrementalSimplex::new(config.lia);
+    let mut theory = IncrementalSimplex::new(LiaConfig {
+        budget: config.budget,
+        ..config.lia
+    });
     let mut lin_atoms = Vec::new();
     for (id, atom) in atoms.iter() {
         if !relevant[id.0 as usize] {
@@ -388,6 +428,12 @@ pub(crate) fn dpll_t(
     }
     let outcome = 'search: {
         for _ in 0..config.max_theory_rounds.0 {
+            // The theory-round loop is the coarse deadline check of the
+            // one-shot path; the SAT core checks (amortized) inside a round.
+            if config.budget.deadline_exceeded() {
+                stats.budget_exhausted += 1;
+                break 'search SatOutcome::Unknown;
+            }
             stats.sat_rounds += 1;
             match sat.solve() {
                 SatResult::Unsat => break 'search SatOutcome::Unsat,
@@ -488,6 +534,7 @@ pub(crate) fn dpll_t(
     stats.blocked_visits += sat.blocked_visits();
     stats.db_reductions += sat.db_reductions();
     stats.col_scans += theory.col_scans() as usize;
+    stats.budget_exhausted += sat.budget_stops();
     outcome
 }
 

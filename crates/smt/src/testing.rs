@@ -264,6 +264,126 @@ impl Rng {
     }
 }
 
+/// A kind of fault the deterministic fault-injection harness can produce at
+/// an instrumented choke point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The instrumented solver gives up (its existing `Unknown` path).
+    Unknown,
+    /// The instrumented site panics (exercises panic isolation).
+    Panic,
+    /// The instrumented site sleeps briefly while holding whatever locks it
+    /// holds (exercises lock contention and watchdogs).
+    Delay,
+}
+
+/// A deterministic fault plan: a seed plus per-site probabilities in
+/// permille (0–1000).  Installed process-globally by [`install_fault_plan`];
+/// the instrumented sites draw from a shared [`Rng`], so a given seed
+/// reproduces the same fault sequence for a deterministic workload.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// RNG seed (shifted to nonzero internally).
+    pub seed: u64,
+    /// Probability (permille) that a solver choke point returns `Unknown`.
+    pub unknown_permille: u16,
+    /// Probability (permille) that a worker choke point panics.
+    pub panic_permille: u16,
+    /// Probability (permille) that a lock/cache choke point delays.
+    pub delay_permille: u16,
+}
+
+struct FaultState {
+    rng: Rng,
+    plan: FaultPlan,
+}
+
+/// Fast-path flag: instrumented sites check this single atomic before
+/// touching the mutex, so the harness costs one relaxed load when inactive.
+static FAULTS_ACTIVE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn fault_state() -> &'static std::sync::Mutex<Option<FaultState>> {
+    static STATE: std::sync::OnceLock<std::sync::Mutex<Option<FaultState>>> =
+        std::sync::OnceLock::new();
+    STATE.get_or_init(|| std::sync::Mutex::new(None))
+}
+
+/// Installs `plan` process-globally; every instrumented choke point starts
+/// drawing faults from it.  Call [`clear_fault_plan`] when done — tests
+/// should treat the plan like a lock (install, run, clear) and serialize
+/// themselves around it.
+pub fn install_fault_plan(plan: FaultPlan) {
+    *flux_logic::lock_recover(fault_state()) = Some(FaultState {
+        rng: Rng::new(plan.seed),
+        plan,
+    });
+    FAULTS_ACTIVE.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Deactivates fault injection.
+pub fn clear_fault_plan() {
+    FAULTS_ACTIVE.store(false, std::sync::atomic::Ordering::SeqCst);
+    *flux_logic::lock_recover(fault_state()) = None;
+}
+
+/// Draws a fault for the instrumented choke point `site`, or `None` (always
+/// `None` when no plan is installed — the production fast path).  A
+/// returned [`Fault::Panic`] is advisory: the site decides whether it can
+/// honour it (only sites wrapped in panic isolation do).
+pub fn inject_fault(site: &str) -> Option<Fault> {
+    if !FAULTS_ACTIVE.load(std::sync::atomic::Ordering::Relaxed) {
+        return None;
+    }
+    let mut guard = flux_logic::lock_recover(fault_state());
+    let state = guard.as_mut()?;
+    let draw = state.rng.below(1000) as u16;
+    let plan = state.plan;
+    // Partition [0, 1000) into disjoint bands per fault kind so one draw
+    // decides the site's fate; sites ignore kinds they cannot honour.
+    let _ = site;
+    if draw < plan.unknown_permille {
+        Some(Fault::Unknown)
+    } else if draw < plan.unknown_permille + plan.panic_permille {
+        Some(Fault::Panic)
+    } else if draw < plan.unknown_permille + plan.panic_permille + plan.delay_permille {
+        Some(Fault::Delay)
+    } else {
+        None
+    }
+}
+
+/// Runs `work` on a separate thread and panics if it does not finish within
+/// `timeout_secs` (a hung worker leaks, but the test fails in bounded time
+/// instead of hanging the suite).  Returns `work`'s result; a panic inside
+/// `work` is propagated.
+pub fn with_watchdog<T, F>(what: &str, timeout_secs: u64, work: F) -> T
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let out = work();
+        tx.send(()).ok();
+        out
+    });
+    match rx.recv_timeout(std::time::Duration::from_secs(timeout_secs)) {
+        Ok(()) => handle
+            .join()
+            .expect("watchdogged worker panicked after completing"),
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            // The worker died without reporting: propagate its panic.
+            match handle.join() {
+                Ok(_) => panic!("{what}: worker disconnected without finishing"),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{what}: exceeded {timeout_secs}s — hang suspected")
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

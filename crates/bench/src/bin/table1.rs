@@ -46,8 +46,10 @@
 //! perf gate is automatically skipped.  The `FLUX_DEADLINE_MS` environment
 //! variable sets a process-wide default deadline without the flag.
 
+use flux_bench::daemon_client::DaemonClient;
 use flux_bench::json::Value;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// The figures the perf gate compares, for one benchmark or for the totals:
 /// wall-clock (Flux + baseline) and validity queries (Flux + baseline).
@@ -210,10 +212,170 @@ fn gate(rows: &[flux::TableRow], snapshot: &Value, tolerances: &flux::GateTolera
     ok
 }
 
+/// Routes the benchmark rows of Table 1 through a spawned `fluxd` daemon
+/// (`--daemon`): library rows are still reported locally (they carry
+/// metrics only), every benchmark × mode cell becomes a `verify` request.
+/// The daemon is drained cleanly at the end; its final statistics frame is
+/// echoed so warm-cache behaviour (`xbench_hits`) is visible in the log.
+fn daemon_table1(
+    deadline_ms: Option<u64>,
+    steps: Option<u64>,
+) -> Result<Vec<flux::TableRow>, String> {
+    let mut client = DaemonClient::spawn(&[]).map_err(|e| format!("spawning fluxd: {e}"))?;
+    let mut rows = flux::library_rows();
+    for benchmark in flux::benchmarks() {
+        let flux_outcome = daemon_verify(
+            &mut client,
+            benchmark.name,
+            flux::Mode::Flux,
+            deadline_ms,
+            steps,
+        )?;
+        let baseline_outcome = daemon_verify(
+            &mut client,
+            benchmark.name,
+            flux::Mode::Baseline,
+            deadline_ms,
+            steps,
+        )?;
+        rows.push(flux::TableRow {
+            name: benchmark.name.to_owned(),
+            is_library: benchmark.is_library,
+            flux: flux_outcome,
+            baseline: baseline_outcome,
+        });
+    }
+    let final_stats = client
+        .shutdown()
+        .map_err(|e| format!("shutting down fluxd: {e}"))?;
+    let counter = |key: &str| {
+        final_stats
+            .get(key)
+            .and_then(Value::as_u64)
+            .unwrap_or_default()
+    };
+    println!(
+        "fluxd drained: {} admitted, {} verified, {} rejected, {} unknown, \
+         {} errors, {} busy, {} worker respawns",
+        counter("admitted"),
+        counter("verified"),
+        counter("rejected"),
+        counter("unknown"),
+        counter("errors"),
+        counter("busy"),
+        counter("worker_respawns"),
+    );
+    Ok(rows)
+}
+
+/// One benchmark × mode cell through the daemon, retrying bounded `busy`
+/// rejections with the server-suggested back-off.
+fn daemon_verify(
+    client: &mut DaemonClient,
+    program: &str,
+    mode: flux::Mode,
+    deadline_ms: Option<u64>,
+    steps: Option<u64>,
+) -> Result<flux::VerifyOutcome, String> {
+    let mode_str = match mode {
+        flux::Mode::Flux => "flux",
+        flux::Mode::Baseline => "baseline",
+    };
+    for _ in 0..10 {
+        let response = client
+            .verify_program_opts(program, mode_str, deadline_ms, steps)
+            .map_err(|e| format!("{program}/{mode_str}: {e}"))?;
+        if response.get("result").and_then(Value::as_str) == Some("busy") {
+            let back_off = response
+                .get("retry_after_ms")
+                .and_then(Value::as_u64)
+                .unwrap_or(100);
+            std::thread::sleep(Duration::from_millis(back_off));
+            continue;
+        }
+        return Ok(outcome_from_response(mode, &response));
+    }
+    Err(format!("{program}/{mode_str}: daemon stayed busy"))
+}
+
+/// Rebuilds a [`flux::VerifyOutcome`] from a daemon response so the
+/// familiar renderers (`render_table1`, `render_table1_json`) and the
+/// expected-outcome matrix check run unchanged.  Statistics the response
+/// does not carry stay zero.
+fn outcome_from_response(mode: flux::Mode, response: &Value) -> flux::VerifyOutcome {
+    let field = |key: &str| {
+        response
+            .get(key)
+            .and_then(Value::as_u64)
+            .unwrap_or_default() as usize
+    };
+    let stat = |key: &str| {
+        response
+            .get("stats")
+            .and_then(|s| s.get(key))
+            .and_then(Value::as_u64)
+            .unwrap_or_default() as usize
+    };
+    let result = response
+        .get("result")
+        .and_then(Value::as_str)
+        .unwrap_or("error");
+    let mut errors: Vec<String> = response
+        .get("errors")
+        .and_then(Value::as_array)
+        .map(|list| {
+            list.iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    if result == "error" {
+        let detail = response
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("daemon error");
+        errors.push(format!("daemon: {detail}"));
+    }
+    // `unknowns` drives `ok_label`'s `unk` cell; an inconclusive daemon
+    // verdict must not render as a hard `NO`.
+    let unknowns = if result == "unknown" {
+        stat("unknowns").max(1)
+    } else {
+        stat("unknowns")
+    };
+    flux::VerifyOutcome {
+        mode,
+        safe: result == "verified",
+        errors,
+        time: Duration::from_millis(
+            response
+                .get("time_ms")
+                .and_then(Value::as_u64)
+                .unwrap_or_default(),
+        ),
+        functions: field("functions"),
+        loc: field("loc"),
+        spec_lines: field("spec_lines"),
+        annot_lines: field("annot_lines"),
+        stats: flux::QueryStats {
+            smt_queries: stat("smt_queries"),
+            cache_hits: stat("cache_hits"),
+            xbench_hits: stat("xbench_hits"),
+            cache_misses: stat("cache_misses"),
+            sessions: stat("sessions"),
+            unknowns,
+            evictions: stat("evictions"),
+            budget_exhausted: stat("budget_exhausted"),
+            ..Default::default()
+        },
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     let mut json_path: Option<String> = None;
     let mut gate_enabled = true;
+    let mut daemon_mode = false;
     let mut threads: Option<usize> = None;
     let mut audit: Option<flux_logic::AuditTier> = None;
     let mut deadline_ms: Option<u64> = None;
@@ -244,6 +406,7 @@ fn main() -> ExitCode {
                     _ => "BENCH_table1.json".to_owned(),
                 });
             }
+            "--daemon" => daemon_mode = true,
             "--no-gate" => gate_enabled = false,
             "--threads" => match args.next().as_deref().map(str::parse) {
                 Some(Ok(n)) => threads = Some(std::cmp::max(n, 1)),
@@ -269,7 +432,8 @@ fn main() -> ExitCode {
             other => {
                 eprintln!(
                     "unknown argument: {other} (supported: --json [PATH], --no-gate, \
-                     --threads N, --audit [lint|full], --deadline-ms N, --budget N)"
+                     --threads N, --audit [lint|full], --deadline-ms N, --budget N, \
+                     --daemon)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -301,9 +465,26 @@ fn main() -> ExitCode {
             gate_enabled = false;
         }
     }
+    if daemon_mode && gate_enabled {
+        // Daemon-routed responses carry a reduced statistics block (no
+        // per-worker queries, no pivot counts), so the rows are not
+        // comparable to a committed in-process snapshot.
+        println!("perf gate: skipped (daemon-routed runs report reduced statistics)");
+        gate_enabled = false;
+    }
     println!("fixpoint worker threads: {}", config.check.fixpoint.threads);
     println!("audit tier: {}", config.check.fixpoint.smt.audit);
-    let rows = flux::run_table1(&config);
+    let rows = if daemon_mode {
+        match daemon_table1(deadline_ms, budget_steps) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("--daemon failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        flux::run_table1(&config)
+    };
     println!("{}", flux::render_table1(&rows));
     println!("incremental query engine (Flux mode | baseline):");
     println!("{}", flux::render_query_stats(&rows));

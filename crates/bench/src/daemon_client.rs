@@ -1,0 +1,213 @@
+//! A client for the `fluxd` verification daemon.
+//!
+//! Spawns the daemon as a child process and speaks its length-delimited
+//! JSON protocol (`<decimal len>\n<payload>`, both directions) over the
+//! child's stdin/stdout.  Used by `table1 --daemon` to route benchmark
+//! verification through a warm daemon, and by the daemon's end-to-end and
+//! soak tests.
+//!
+//! flux-bench sits *below* flux-daemon in the crate graph, so this module
+//! re-implements the ~20 lines of client-side framing instead of importing
+//! the server's `proto` module.
+
+use crate::json::{parse, quote, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+/// Locates the `fluxd` binary: `$FLUXD_BIN` if set, else a sibling of the
+/// current executable (`target/<profile>/fluxd`, walking up one directory
+/// for test binaries living in `deps/`).
+pub fn locate_fluxd() -> Option<PathBuf> {
+    if let Ok(path) = std::env::var("FLUXD_BIN") {
+        let path = PathBuf::from(path);
+        return path.is_file().then_some(path);
+    }
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?.to_path_buf();
+    for _ in 0..2 {
+        let candidate = dir.join("fluxd");
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = dir.parent()?.to_path_buf();
+    }
+    None
+}
+
+/// A live `fluxd` child process plus the client half of its protocol.
+///
+/// Dropping the client kills the child if it is still running; call
+/// [`DaemonClient::shutdown`] for a clean drain.
+pub struct DaemonClient {
+    child: Child,
+    // `Option` so `shutdown` can close the pipe (dropping it signals EOF)
+    // while `Drop` still exists for the unclean path.
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+    next_id: u64,
+}
+
+impl DaemonClient {
+    /// Spawns `fluxd` from `path` with the given extra environment.
+    pub fn spawn_at(
+        path: &std::path::Path,
+        env: &[(&str, String)],
+    ) -> std::io::Result<DaemonClient> {
+        let mut command = Command::new(path);
+        command.stdin(Stdio::piped()).stdout(Stdio::piped());
+        for (key, value) in env {
+            command.env(key, value);
+        }
+        let mut child = command.spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Ok(DaemonClient {
+            child,
+            stdin: Some(stdin),
+            stdout,
+            next_id: 1,
+        })
+    }
+
+    /// Spawns `fluxd` found via [`locate_fluxd`].
+    pub fn spawn(env: &[(&str, String)]) -> std::io::Result<DaemonClient> {
+        let path = locate_fluxd().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "fluxd binary not found (set FLUXD_BIN or build flux-daemon)",
+            )
+        })?;
+        DaemonClient::spawn_at(&path, env)
+    }
+
+    /// Sends one raw JSON payload as a frame.
+    pub fn send(&mut self, payload: &str) -> std::io::Result<()> {
+        let stdin = self.stdin.as_mut().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "daemon stdin already closed",
+            )
+        })?;
+        write!(stdin, "{}\n{payload}", payload.len())?;
+        stdin.flush()
+    }
+
+    /// Reads one response frame and parses it.
+    pub fn read_response(&mut self) -> std::io::Result<Value> {
+        let mut header = String::new();
+        if self.stdout.read_line(&mut header)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed its stdout mid-conversation",
+            ));
+        }
+        let len: usize = header.trim().parse().map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad frame header from daemon: {header:?}"),
+            )
+        })?;
+        let mut payload = vec![0u8; len];
+        self.stdout.read_exact(&mut payload)?;
+        let text = String::from_utf8(payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        parse(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable response from daemon: {e}"),
+            )
+        })
+    }
+
+    /// Sends one request and reads one response (the daemon answers every
+    /// request exactly once, so with a single request in flight this pairs
+    /// correctly).
+    pub fn request(&mut self, payload: &str) -> std::io::Result<Value> {
+        self.send(payload)?;
+        self.read_response()
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Verifies a named suite benchmark; `mode` is `"flux"` or
+    /// `"baseline"`.  Returns the raw response object (`result` may be
+    /// `verified`, `rejected`, `unknown`, `busy` or `error`).
+    pub fn verify_program(&mut self, program: &str, mode: &str) -> std::io::Result<Value> {
+        self.verify_program_opts(program, mode, None, None)
+    }
+
+    /// Like [`DaemonClient::verify_program`] with a per-request deadline
+    /// and uniform step cap (the daemon clamps the deadline to its own
+    /// ceiling).
+    pub fn verify_program_opts(
+        &mut self,
+        program: &str,
+        mode: &str,
+        deadline_ms: Option<u64>,
+        steps: Option<u64>,
+    ) -> std::io::Result<Value> {
+        let id = self.fresh_id();
+        let mut payload = format!(
+            "{{\"id\":{id},\"method\":\"verify\",\"program\":{},\"mode\":{}",
+            quote(program),
+            quote(mode),
+        );
+        if let Some(ms) = deadline_ms {
+            payload.push_str(&format!(",\"deadline_ms\":{ms}"));
+        }
+        if let Some(steps) = steps {
+            payload.push_str(&format!(",\"steps\":{steps}"));
+        }
+        payload.push('}');
+        self.request(&payload)
+    }
+
+    /// Verifies inline source text.
+    pub fn verify_source(&mut self, source: &str, mode: &str) -> std::io::Result<Value> {
+        let id = self.fresh_id();
+        self.request(&format!(
+            "{{\"id\":{id},\"method\":\"verify\",\"source\":{},\"mode\":{}}}",
+            quote(source),
+            quote(mode),
+        ))
+    }
+
+    /// Fetches the daemon's statistics snapshot.
+    pub fn status(&mut self) -> std::io::Result<Value> {
+        let id = self.fresh_id();
+        self.request(&format!("{{\"id\":{id},\"method\":\"status\"}}"))
+    }
+
+    /// Asks the daemon to drop its reclaimable warm state.
+    pub fn reload(&mut self) -> std::io::Result<Value> {
+        let id = self.fresh_id();
+        self.request(&format!("{{\"id\":{id},\"method\":\"reload\"}}"))
+    }
+
+    /// Clean shutdown: drains the daemon, returns its final statistics
+    /// frame and reaps the child process.
+    pub fn shutdown(mut self) -> std::io::Result<Value> {
+        let id = self.fresh_id();
+        let final_stats = self.request(&format!("{{\"id\":{id},\"method\":\"shutdown\"}}"))?;
+        drop(self.stdin.take());
+        // Reap the child here; `Drop`'s kill on an already-reaped child is
+        // a harmless no-op.
+        let status = self.child.wait()?;
+        if !status.success() {
+            return Err(std::io::Error::other(format!("fluxd exited with {status}")));
+        }
+        Ok(final_stats)
+    }
+}
+
+impl Drop for DaemonClient {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}

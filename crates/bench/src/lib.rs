@@ -11,15 +11,17 @@
 //! the benches need (`benchmark_group`, `bench_function`, `Bencher::iter`)
 //! so the bench sources read the same as they would with the real thing.
 
+pub mod daemon_client;
+
 pub mod json {
-    //! A minimal JSON reader for the perf regression gate.
+    //! A minimal JSON reader/writer shared by the perf regression gate and
+    //! the `fluxd` daemon protocol.
     //!
     //! `table1 --json` compares the fresh run against the *committed*
-    //! `BENCH_table1.json`; this module parses just enough of that file
-    //! (the workspace builds without external crates, so no serde) to
-    //! extract the totals the gate compares.  It accepts the exact value
-    //! grammar the workspace's own writer emits — objects, arrays, strings
-    //! without escapes, numbers, booleans and null.
+    //! `BENCH_table1.json`, and `flux-daemon` frames its requests and
+    //! responses in the same grammar; this module parses and renders JSON
+    //! values without external crates (no serde) — objects, arrays, strings
+    //! with the standard escape sequences, numbers, booleans and null.
 
     use std::collections::BTreeMap;
 
@@ -32,7 +34,7 @@ pub mod json {
         Bool(bool),
         /// Any number (parsed as `f64`; the gate only compares magnitudes).
         Number(f64),
-        /// A string (escape-free; the writer never emits escapes).
+        /// A string.
         String(String),
         /// An array.
         Array(Vec<Value>),
@@ -64,6 +66,54 @@ pub mod json {
                 _ => None,
             }
         }
+
+        /// The text, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The boolean, if this is one.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The numeric value as a `u64`, if this is a non-negative integer
+        /// number (request ids, millisecond counts, step budgets).
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+    }
+
+    /// Renders `s` as a JSON string literal, quotes included, escaping the
+    /// two mandatory characters plus controls — enough for the daemon
+    /// protocol to carry arbitrary program sources and error messages.
+    pub fn quote(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
     }
 
     /// Parses `input` as a single JSON value (trailing whitespace allowed).
@@ -173,18 +223,72 @@ pub mod json {
 
     fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
         expect(bytes, pos, b'"')?;
-        let start = *pos;
-        while *pos < bytes.len() && bytes[*pos] != b'"' {
-            if bytes[*pos] == b'\\' {
-                return Err(format!("escape sequences are not supported (byte {pos})"));
+        let mut out = Vec::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return String::from_utf8(out)
+                        .map_err(|_| "invalid utf-8 in string".to_owned());
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'/') => out.push(b'/'),
+                        Some(b'b') => out.push(0x08),
+                        Some(b'f') => out.push(0x0c),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'u') => {
+                            let unit = parse_hex4(bytes, *pos + 1)?;
+                            *pos += 4;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\u` + a low surrogate.
+                            let scalar = if (0xD800..0xDC00).contains(&unit) {
+                                if bytes.get(*pos + 1) != Some(&b'\\')
+                                    || bytes.get(*pos + 2) != Some(&b'u')
+                                {
+                                    return Err(format!("lone high surrogate at byte {pos}"));
+                                }
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                *pos += 6;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(format!("invalid low surrogate at byte {pos}"));
+                                }
+                                0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                            } else if (0xDC00..0xE000).contains(&unit) {
+                                return Err(format!("lone low surrogate at byte {pos}"));
+                            } else {
+                                unit
+                            };
+                            let c = char::from_u32(scalar)
+                                .ok_or_else(|| format!("invalid scalar at byte {pos}"))?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        }
+                        _ => return Err(format!("unsupported escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b);
+                    *pos += 1;
+                }
             }
-            *pos += 1;
         }
-        let text = std::str::from_utf8(&bytes[start..*pos])
-            .map_err(|_| "invalid utf-8 in string".to_owned())?
-            .to_owned();
-        expect(bytes, pos, b'"')?;
-        Ok(text)
+    }
+
+    /// Parses the four hex digits of a `\uXXXX` escape starting at `at`.
+    fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+        let digits = bytes
+            .get(at..at + 4)
+            .ok_or_else(|| format!("truncated \\u escape at byte {at}"))?;
+        let text = std::str::from_utf8(digits).map_err(|_| "invalid utf-8 in escape".to_owned())?;
+        u32::from_str_radix(text, 16).map_err(|_| format!("malformed \\u escape at byte {at}"))
     }
 
     #[cfg(test)]
@@ -233,6 +337,43 @@ pub mod json {
             assert_eq!(parse("null").unwrap(), Value::Null);
             assert_eq!(parse("-3.25").unwrap().as_f64(), Some(-3.25));
             assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        }
+
+        #[test]
+        fn string_escapes_round_trip_through_quote() {
+            // The daemon protocol carries whole program sources: quotes,
+            // backslashes, newlines, tabs and control characters all have
+            // to survive a quote → parse round trip byte-for-byte.
+            let source = "fn f() {\n\t\"quoted\\path\"\r}\u{1}\u{7f}héllo\u{10348}";
+            let encoded = quote(source);
+            assert_eq!(parse(&encoded).unwrap().as_str(), Some(source));
+        }
+
+        #[test]
+        fn parses_standard_escapes_and_surrogate_pairs() {
+            assert_eq!(
+                parse(r#""a\"b\\c\/d\b\f\n\r\t""#).unwrap().as_str(),
+                Some("a\"b\\c/d\u{8}\u{c}\n\r\t")
+            );
+            assert_eq!(parse(r#""Aé""#).unwrap().as_str(), Some("Aé"));
+            // U+10348 as the escaped surrogate pair D800 DF48, and as
+            // literal UTF-8; both forms must parse to the same string.
+            assert_eq!(parse(r#""𐍈""#).unwrap().as_str(), Some("\u{10348}"));
+            assert_eq!(parse(r#""𐍈""#).unwrap().as_str(), Some("\u{10348}"));
+            assert!(parse(r#""\ud800""#).is_err(), "lone high surrogate");
+            assert!(parse(r#""\udf48""#).is_err(), "lone low surrogate");
+            assert!(parse(r#""\ux""#).is_err(), "truncated \\u escape");
+            assert!(parse(r#""\q""#).is_err(), "unknown escape");
+            assert!(parse(r#""unterminated"#).is_err());
+        }
+
+        #[test]
+        fn typed_accessors() {
+            assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+            assert_eq!(parse("7.5").unwrap().as_u64(), None);
+            assert_eq!(parse("-7").unwrap().as_u64(), None);
+            assert_eq!(parse("true").unwrap().as_bool(), Some(true));
+            assert_eq!(parse("\"x\"").unwrap().as_bool(), None);
         }
     }
 }

@@ -1,0 +1,30 @@
+//! The `fluxd` binary: a long-running verification daemon speaking
+//! length-delimited JSON over stdin/stdout.
+//!
+//! Configuration is environment-only (`FLUXD_*`; see
+//! [`flux_daemon::ServerConfig::from_env`]).  For fault-injection testing
+//! the harness additionally seeds a deterministic fault plan through
+//! `FLUXD_FAULT_SEED` and the `FLUXD_FAULT_*_PERMILLE` bands — the same
+//! plans `flux_smt::testing` uses in-process, but installed inside the
+//! child so a *separate* process gets stormed.
+
+use flux_daemon::{quiet_injected_panics, run, ServerConfig};
+use flux_logic::env_parse;
+use flux_smt::testing::{install_fault_plan, FaultPlan};
+use std::io::{stdin, stdout};
+
+fn main() {
+    let plan = FaultPlan {
+        seed: env_parse("FLUXD_FAULT_SEED", 1u64),
+        unknown_permille: env_parse("FLUXD_FAULT_UNKNOWN_PERMILLE", 0u16),
+        panic_permille: env_parse("FLUXD_FAULT_PANIC_PERMILLE", 0u16),
+        delay_permille: env_parse("FLUXD_FAULT_DELAY_PERMILLE", 0u16),
+        delay_ms: env_parse("FLUXD_FAULT_DELAY_MS", 1u64),
+    };
+    if plan.unknown_permille > 0 || plan.panic_permille > 0 || plan.delay_permille > 0 {
+        install_fault_plan(plan);
+        quiet_injected_panics();
+    }
+    let config = ServerConfig::from_env();
+    run(&config, stdin().lock(), stdout());
+}

@@ -1,0 +1,283 @@
+//! Wire protocol of `fluxd`: length-delimited JSON frames.
+//!
+//! A frame is a decimal byte count, a newline, and exactly that many bytes
+//! of UTF-8 JSON:
+//!
+//! ```text
+//! 43\n{"id":1,"method":"verify","program":"vec"}
+//! ```
+//!
+//! The same framing is used in both directions.  Framing errors never kill
+//! the daemon: a malformed header resynchronises at the next newline, an
+//! oversized frame is skipped by reading and discarding exactly its
+//! declared length, and a truncated frame at end-of-input drains the
+//! daemon.  Every recoverable framing error produces a structured `error`
+//! response so the client learns *why* its request vanished.
+
+use flux_bench::json::{parse, quote, Value};
+use std::io::{BufRead, Write};
+
+/// Upper bound on a single frame's payload unless the server overrides it.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// One successfully read frame payload, or why reading one failed.
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete payload (not yet parsed as JSON).
+    Payload(String),
+    /// End of input: the peer closed the stream between frames.
+    Eof,
+    /// The header line was not a decimal length.  The reader is already
+    /// resynchronised (positioned after the offending line).
+    BadHeader(String),
+    /// The declared length exceeds the server's frame cap.  The payload
+    /// bytes were read and discarded, so the reader stays in sync.
+    Oversized(usize),
+    /// The stream ended inside a payload; no recovery is possible.
+    Truncated,
+    /// The payload was not valid UTF-8.
+    NotUtf8,
+}
+
+/// Reads one frame from `input`, enforcing `max_frame`.
+pub fn read_frame(input: &mut impl BufRead, max_frame: usize) -> Frame {
+    let mut header = Vec::new();
+    match input.read_until(b'\n', &mut header) {
+        Ok(0) => return Frame::Eof,
+        Ok(_) => {}
+        Err(_) => return Frame::Eof,
+    }
+    let text = String::from_utf8_lossy(&header);
+    let text = text.trim();
+    // A bare blank line between frames is tolerated (it is what a human
+    // poking the daemon from a terminal produces).
+    if text.is_empty() {
+        return read_frame(input, max_frame);
+    }
+    let len: usize = match text.parse() {
+        Ok(n) => n,
+        Err(_) => return Frame::BadHeader(text.to_string()),
+    };
+    if len > max_frame {
+        // Skip exactly the declared payload so the next header lines up.
+        let mut remaining = len as u64;
+        let mut sink = [0u8; 4096];
+        while remaining > 0 {
+            let chunk = remaining.min(sink.len() as u64) as usize;
+            match input.read(&mut sink[..chunk]) {
+                Ok(0) | Err(_) => return Frame::Truncated,
+                Ok(n) => remaining -= n as u64,
+            }
+        }
+        return Frame::Oversized(len);
+    }
+    let mut payload = vec![0u8; len];
+    if input.read_exact(&mut payload).is_err() {
+        return Frame::Truncated;
+    }
+    match String::from_utf8(payload) {
+        Ok(s) => Frame::Payload(s),
+        Err(_) => Frame::NotUtf8,
+    }
+}
+
+/// Writes one frame to `output`.
+pub fn write_frame(output: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    write!(output, "{}\n{payload}", payload.len())?;
+    output.flush()
+}
+
+/// Which verifier a request selects (mirrors [`flux::Mode`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReqMode {
+    /// The Flux pipeline.
+    Flux,
+    /// The program-logic baseline.
+    Baseline,
+}
+
+/// A parsed, validated request.
+#[derive(Debug)]
+pub enum Request {
+    /// Verify one program.
+    Verify(VerifyRequest),
+    /// Report daemon/cache statistics.
+    Status {
+        /// Correlation id, echoed in the response.
+        id: u64,
+    },
+    /// Flush the reclaimable warm state (memo tables, verdict cache).
+    Reload {
+        /// Correlation id, echoed in the response.
+        id: u64,
+    },
+    /// Drain in-flight work, answer with final statistics and exit.
+    Shutdown {
+        /// Correlation id, echoed in the response.
+        id: u64,
+    },
+}
+
+/// Payload of a `verify` request.
+#[derive(Debug)]
+pub struct VerifyRequest {
+    /// Correlation id, echoed in the response.
+    pub id: u64,
+    /// Name of a suite benchmark (`program`) — exclusive with `source`.
+    pub program: Option<String>,
+    /// Inline source text (`source`) — exclusive with `program`.
+    pub source: Option<String>,
+    /// Which verifier to run.
+    pub mode: ReqMode,
+    /// Client-requested wall-clock deadline; the server clamps it to its
+    /// own hard ceiling (the smaller of the two wins).
+    pub deadline_ms: Option<u64>,
+    /// Client-requested uniform step cap for all solver dimensions.
+    pub steps: Option<u64>,
+}
+
+/// Parses a frame payload into a [`Request`].
+///
+/// Errors are `(id, message)` so the response can still be correlated: the
+/// id is best-effort recovered from the malformed request (0 when absent).
+pub fn parse_request(payload: &str) -> Result<Request, (u64, String)> {
+    let value = parse(payload).map_err(|e| (0, format!("malformed JSON: {e}")))?;
+    let id = value.get("id").and_then(Value::as_u64).unwrap_or(0);
+    let method = value
+        .get("method")
+        .and_then(Value::as_str)
+        .ok_or((id, "missing \"method\"".to_string()))?;
+    match method {
+        "status" => Ok(Request::Status { id }),
+        "reload" => Ok(Request::Reload { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "verify" => {
+            let program = value
+                .get("program")
+                .and_then(Value::as_str)
+                .map(str::to_string);
+            let source = value
+                .get("source")
+                .and_then(Value::as_str)
+                .map(str::to_string);
+            if program.is_some() == source.is_some() {
+                return Err((
+                    id,
+                    "verify needs exactly one of \"program\" or \"source\"".to_string(),
+                ));
+            }
+            let mode = match value.get("mode").and_then(Value::as_str) {
+                None | Some("flux") => ReqMode::Flux,
+                Some("baseline") => ReqMode::Baseline,
+                Some(other) => return Err((id, format!("unknown mode {other:?}"))),
+            };
+            Ok(Request::Verify(VerifyRequest {
+                id,
+                program,
+                source,
+                mode,
+                deadline_ms: value.get("deadline_ms").and_then(Value::as_u64),
+                steps: value.get("steps").and_then(Value::as_u64),
+            }))
+        }
+        other => Err((id, format!("unknown method {other:?}"))),
+    }
+}
+
+/// Renders a structured `error` response.
+pub fn error_response(id: u64, message: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"result\":\"error\",\"error\":{}}}",
+        quote(message)
+    )
+}
+
+/// Renders a structured `busy` response (admission-control rejection).
+pub fn busy_response(id: u64, retry_after_ms: u64) -> String {
+    format!("{{\"id\":{id},\"result\":\"busy\",\"retry_after_ms\":{retry_after_ms}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"id\":1}").unwrap();
+        write_frame(&mut buf, "{}").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME),
+            Frame::Payload(p) if p == "{\"id\":1}"
+        ));
+        assert!(matches!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME),
+            Frame::Payload(p) if p == "{}"
+        ));
+        assert!(matches!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME),
+            Frame::Eof
+        ));
+    }
+
+    #[test]
+    fn bad_header_resynchronises_at_next_newline() {
+        let mut cur = Cursor::new(b"not a number\n8\n{\"id\":2}".to_vec());
+        assert!(matches!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME),
+            Frame::BadHeader(h) if h == "not a number"
+        ));
+        assert!(matches!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME),
+            Frame::Payload(p) if p == "{\"id\":2}"
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_is_skipped_in_sync() {
+        let mut input = b"6\nAAAAAA".to_vec();
+        input.extend_from_slice(b"2\n{}");
+        let mut cur = Cursor::new(input);
+        assert!(matches!(read_frame(&mut cur, 4), Frame::Oversized(6)));
+        assert!(matches!(
+            read_frame(&mut cur, 4),
+            Frame::Payload(p) if p == "{}"
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_reported() {
+        let mut cur = Cursor::new(b"10\n{\"id\"".to_vec());
+        assert!(matches!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME),
+            Frame::Truncated
+        ));
+    }
+
+    #[test]
+    fn verify_requires_exactly_one_program_source() {
+        let both = r#"{"id":3,"method":"verify","program":"vec","source":"fn f() {}"}"#;
+        assert!(parse_request(both).is_err());
+        let neither = r#"{"id":3,"method":"verify"}"#;
+        assert!(parse_request(neither).is_err());
+        let ok = r#"{"id":3,"method":"verify","program":"vec","deadline_ms":500}"#;
+        match parse_request(ok).unwrap() {
+            Request::Verify(v) => {
+                assert_eq!(v.id, 3);
+                assert_eq!(v.program.as_deref(), Some("vec"));
+                assert_eq!(v.deadline_ms, Some(500));
+                assert_eq!(v.mode, ReqMode::Flux);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_method_recovers_the_id() {
+        let err = parse_request(r#"{"id":9,"method":"explode"}"#).unwrap_err();
+        assert_eq!(err.0, 9);
+        assert!(err.1.contains("explode"));
+    }
+}

@@ -1,0 +1,527 @@
+//! The `fluxd` server loop: supervised workers, bounded admission, and
+//! generational cache reclaim between requests.
+//!
+//! # Supervision tree
+//!
+//! ```text
+//! supervisor (read loop, admission control)
+//! ├── writer        — sole owner of the output stream; workers and the
+//! │                   supervisor send rendered frames through a channel,
+//! │                   so concurrent responses never interleave bytes
+//! └── worker × N    — shared job queue behind a mutex; each job runs
+//!                     under `catch_unwind`.  A worker that catches a
+//!                     panic answers with a structured `error` response
+//!                     and *retires* (fresh stack, no half-poisoned
+//!                     thread-locals); the supervisor respawns it before
+//!                     admitting the next request.
+//! ```
+//!
+//! The supervisor never verifies anything itself, so a hostile request can
+//! only take down a worker.  During the final drain the supervisor *does*
+//! process leftover jobs inline (still under `catch_unwind`) — by then the
+//! queue is closed, so this is bounded work.
+//!
+//! # Generational reclaim
+//!
+//! A long-running daemon must not grow without bound across requests.  The
+//! warm state splits into two classes:
+//!
+//! * **Reclaimable** — the fixpoint validity cache (LRU, trimmed to
+//!   `validity_cache_cap` after every request), the CNF memo cache and the
+//!   hash-consing simplify/quantifier/application memos (both capped,
+//!   reclaim-on-acquire).  Dropping any entry only costs recomputation.
+//! * **Exempt** — the hash-consing `nodes`/`index` arena.  `ExprId`s are
+//!   indices into it and live inside cached verdict keys; freeing or
+//!   compacting the arena would let two different expressions alias one id,
+//!   which is a *soundness* bug, not a performance bug.  The daemon instead
+//!   watches the arena against `hcons_node_watermark` and reports both the
+//!   size and the breach through `status`, so an operator can recycle the
+//!   process on their own schedule.
+
+use crate::proto::{
+    busy_response, error_response, parse_request, read_frame, write_frame, Frame, ReqMode, Request,
+    VerifyRequest, DEFAULT_MAX_FRAME,
+};
+use flux::{verify_source, Mode, VerifyConfig, VerifyOutcome};
+use flux_bench::json::quote;
+use flux_logic::{env_parse, lock_recover};
+use flux_smt::testing::{fault_delay, inject_fault, Fault};
+use flux_smt::ResourceBudget;
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of one daemon instance.  `from_env` reads the `FLUXD_*`
+/// variables so the binary and the test harnesses configure it the same
+/// way.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads verifying requests (`FLUXD_WORKERS`).
+    pub workers: usize,
+    /// Bounded admission queue depth; a full queue answers `busy`
+    /// (`FLUXD_QUEUE_CAP`).
+    pub queue_cap: usize,
+    /// Maximum accepted frame payload in bytes (`FLUXD_MAX_FRAME`).
+    pub max_frame: usize,
+    /// Hard server-side ceiling on any request's wall-clock deadline; the
+    /// smaller of this and the request's `deadline_ms` wins
+    /// (`FLUXD_MAX_DEADLINE_MS`).
+    pub max_deadline_ms: u64,
+    /// Suggested client back-off carried in `busy` responses
+    /// (`FLUXD_RETRY_AFTER_MS`).
+    pub retry_after_ms: u64,
+    /// Post-request LRU trim target for the global validity cache; the hard
+    /// in-request cap is twice this (`FLUXD_VALIDITY_CAP`).
+    pub validity_cache_cap: usize,
+    /// CNF memo-cache capacity (`FLUXD_CNF_CAP`).
+    pub cnf_cache_cap: usize,
+    /// Hash-consing memo-table capacity (`FLUXD_HCONS_MEMO_CAP`).
+    pub hcons_memo_cap: usize,
+    /// Advisory bound on the *exempt* hash-consing node arena; breaches are
+    /// reported via `status`, never enforced by freeing nodes
+    /// (`FLUXD_HCONS_WATERMARK`).
+    pub hcons_node_watermark: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_cap: 8,
+            max_frame: DEFAULT_MAX_FRAME,
+            max_deadline_ms: 30_000,
+            retry_after_ms: 100,
+            validity_cache_cap: 4096,
+            cnf_cache_cap: 1024,
+            hcons_memo_cap: 1 << 16,
+            hcons_node_watermark: 4_000_000,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Reads the configuration from `FLUXD_*` environment variables,
+    /// falling back to the defaults.
+    pub fn from_env() -> ServerConfig {
+        let d = ServerConfig::default();
+        ServerConfig {
+            workers: env_parse("FLUXD_WORKERS", d.workers).max(1),
+            queue_cap: env_parse("FLUXD_QUEUE_CAP", d.queue_cap).max(1),
+            max_frame: env_parse("FLUXD_MAX_FRAME", d.max_frame),
+            max_deadline_ms: env_parse("FLUXD_MAX_DEADLINE_MS", d.max_deadline_ms).max(1),
+            retry_after_ms: env_parse("FLUXD_RETRY_AFTER_MS", d.retry_after_ms),
+            validity_cache_cap: env_parse("FLUXD_VALIDITY_CAP", d.validity_cache_cap).max(1),
+            cnf_cache_cap: env_parse("FLUXD_CNF_CAP", d.cnf_cache_cap),
+            hcons_memo_cap: env_parse("FLUXD_HCONS_MEMO_CAP", d.hcons_memo_cap),
+            hcons_node_watermark: env_parse("FLUXD_HCONS_WATERMARK", d.hcons_node_watermark),
+        }
+    }
+}
+
+/// Lifetime counters of one daemon instance.
+#[derive(Debug, Default)]
+struct Stats {
+    admitted: AtomicU64,
+    verified: AtomicU64,
+    rejected: AtomicU64,
+    unknown: AtomicU64,
+    errored: AtomicU64,
+    busy: AtomicU64,
+    respawns: AtomicU64,
+}
+
+impl Stats {
+    fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs the daemon over arbitrary streams until end-of-input or a
+/// `shutdown` request, then drains and flushes a final statistics frame.
+/// The binary passes stdin/stdout; in-process tests pass buffers.
+pub fn run(config: &ServerConfig, mut input: impl BufRead, output: impl Write + Send) {
+    // Cap the process-global caches.  The validity cache's hard cap is 2×
+    // the reclaim target: requests may overshoot while running, the
+    // post-request trim brings the cache back to its generation size.
+    flux_fixpoint::set_global_cache_capacity(Some(config.validity_cache_cap * 2));
+    flux_smt::set_cnf_cache_capacity(Some(config.cnf_cache_cap));
+    flux_logic::set_hcons_memo_capacity(Some(config.hcons_memo_cap));
+
+    let cfg = Arc::new(config.clone());
+    let stats = Arc::new(Stats::default());
+    let started = Instant::now();
+
+    thread::scope(|scope| {
+        // Writer: sole owner of the output stream.
+        let (resp_tx, resp_rx) = mpsc::channel::<String>();
+        let writer = scope.spawn(move || {
+            let mut output = output;
+            while let Ok(frame) = resp_rx.recv() {
+                if write_frame(&mut output, &frame).is_err() {
+                    // The client hung up; keep draining the channel so
+                    // senders never block, but stop writing.
+                    while resp_rx.recv().is_ok() {}
+                    return;
+                }
+            }
+        });
+
+        // Bounded admission queue feeding the worker pool.
+        let (job_tx, job_rx) = mpsc::sync_channel::<VerifyRequest>(cfg.queue_cap);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let spawn_worker = || {
+            let cfg = Arc::clone(&cfg);
+            let rx = Arc::clone(&job_rx);
+            let tx = resp_tx.clone();
+            let stats = Arc::clone(&stats);
+            scope.spawn(move || worker_loop(&cfg, &rx, &tx, &stats))
+        };
+        let mut workers: Vec<_> = (0..cfg.workers).map(|_| spawn_worker()).collect();
+
+        let mut shutdown_id = None;
+        loop {
+            match read_frame(&mut input, cfg.max_frame) {
+                Frame::Eof => break,
+                Frame::Truncated => {
+                    stats.bump(&stats.errored);
+                    let _ = resp_tx.send(error_response(0, "truncated frame at end of input"));
+                    break;
+                }
+                Frame::BadHeader(header) => {
+                    stats.bump(&stats.errored);
+                    let _ = resp_tx.send(error_response(
+                        0,
+                        &format!("malformed frame header {header:?} (expected a decimal length)"),
+                    ));
+                }
+                Frame::Oversized(len) => {
+                    stats.bump(&stats.errored);
+                    let _ = resp_tx.send(error_response(
+                        0,
+                        &format!(
+                            "oversized frame: {len} bytes exceeds the {} cap",
+                            cfg.max_frame
+                        ),
+                    ));
+                }
+                Frame::NotUtf8 => {
+                    stats.bump(&stats.errored);
+                    let _ = resp_tx.send(error_response(0, "frame payload is not UTF-8"));
+                }
+                Frame::Payload(payload) => match parse_request(&payload) {
+                    Err((id, message)) => {
+                        stats.bump(&stats.errored);
+                        let _ = resp_tx.send(error_response(id, &message));
+                    }
+                    Ok(Request::Status { id }) => {
+                        let _ = resp_tx.send(report(id, "status", &cfg, &stats, started));
+                    }
+                    Ok(Request::Reload { id }) => {
+                        let memos = flux_logic::flush_hcons_memos();
+                        let dropped = {
+                            let mut cache = flux_fixpoint::global_cache();
+                            let n = cache.len();
+                            cache.clear();
+                            n
+                        };
+                        let _ = resp_tx.send(format!(
+                            "{{\"id\":{id},\"result\":\"reloaded\",\
+                             \"hcons_memos_flushed\":{memos},\
+                             \"validity_entries_dropped\":{dropped}}}"
+                        ));
+                    }
+                    Ok(Request::Shutdown { id }) => {
+                        shutdown_id = Some(id);
+                        break;
+                    }
+                    Ok(Request::Verify(req)) => {
+                        // Fault site "queue": admission control.  The
+                        // supervisor must never unwind, so the panic band
+                        // degrades to a contained structured error here.
+                        match inject_fault("queue") {
+                            Some(Fault::Delay) => thread::sleep(fault_delay()),
+                            Some(Fault::Unknown) => {
+                                stats.bump(&stats.busy);
+                                let _ = resp_tx.send(busy_response(req.id, cfg.retry_after_ms));
+                                continue;
+                            }
+                            Some(Fault::Panic) => {
+                                stats.bump(&stats.errored);
+                                let _ = resp_tx.send(error_response(
+                                    req.id,
+                                    "injected admission fault (queue)",
+                                ));
+                                continue;
+                            }
+                            None => {}
+                        }
+                        // Self-heal before admitting: respawn any worker
+                        // that retired after containing a panic.
+                        for worker in &mut workers {
+                            if worker.is_finished() {
+                                stats.bump(&stats.respawns);
+                                let retired = std::mem::replace(worker, spawn_worker());
+                                let _ = retired.join();
+                            }
+                        }
+                        match job_tx.try_send(req) {
+                            Ok(()) => stats.bump(&stats.admitted),
+                            Err(TrySendError::Full(req)) => {
+                                stats.bump(&stats.busy);
+                                let _ = resp_tx.send(busy_response(req.id, cfg.retry_after_ms));
+                            }
+                            Err(TrySendError::Disconnected(req)) => {
+                                stats.bump(&stats.errored);
+                                let _ = resp_tx.send(error_response(req.id, "worker pool is gone"));
+                            }
+                        }
+                    }
+                },
+            }
+        }
+
+        // Drain: close the queue, let workers finish everything buffered,
+        // then sweep any jobs stranded by workers that retired mid-drain.
+        drop(job_tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        loop {
+            let job = lock_recover(&job_rx).try_recv();
+            let Ok(job) = job else { break };
+            let (response, _panicked) = contained_verify(&cfg, job, &stats);
+            let _ = resp_tx.send(response);
+        }
+
+        // Final statistics snapshot: the answer to `shutdown`, or an
+        // unsolicited id-0 frame on end-of-input.
+        let _ = resp_tx.send(report(
+            shutdown_id.unwrap_or(0),
+            "final",
+            &cfg,
+            &stats,
+            started,
+        ));
+        drop(resp_tx);
+        let _ = writer.join();
+    });
+}
+
+/// One worker: pull jobs until the queue closes.  A caught panic retires
+/// the worker after answering, so the supervisor replaces it with a fresh
+/// thread.
+fn worker_loop(
+    cfg: &ServerConfig,
+    rx: &Mutex<Receiver<VerifyRequest>>,
+    tx: &Sender<String>,
+    stats: &Stats,
+) {
+    loop {
+        let job = lock_recover(rx).recv();
+        let Ok(job) = job else { return };
+        let (response, panicked) = contained_verify(cfg, job, stats);
+        let _ = tx.send(response);
+        if panicked {
+            // Retire after containing a panic: the supervisor respawns a
+            // fresh thread before the next admission.
+            return;
+        }
+    }
+}
+
+/// Runs one verify job under `catch_unwind`, always producing a response.
+/// The flag reports whether a panic was contained.
+fn contained_verify(cfg: &ServerConfig, job: VerifyRequest, stats: &Stats) -> (String, bool) {
+    let id = job.id;
+    match catch_unwind(AssertUnwindSafe(|| handle_verify(cfg, job, stats))) {
+        Ok(response) => (response, false),
+        Err(payload) => {
+            stats.bump(&stats.errored);
+            let message = panic_message(&payload);
+            let response = format!(
+                "{{\"id\":{id},\"result\":\"error\",\"reason\":\"worker-panic\",\
+                 \"error\":{}}}",
+                quote(&format!("worker panicked: {message}"))
+            );
+            (response, true)
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The verify request proper: resolve the program, clamp the budget, run
+/// the verifier, map the outcome, reclaim the caches.
+fn handle_verify(cfg: &ServerConfig, job: VerifyRequest, stats: &Stats) -> String {
+    // Fault site "daemon": worker dispatch.
+    match inject_fault("daemon") {
+        Some(Fault::Panic) => panic!("injected worker fault (daemon dispatch)"),
+        Some(Fault::Delay) => thread::sleep(fault_delay()),
+        Some(Fault::Unknown) => {
+            stats.bump(&stats.unknown);
+            return format!(
+                "{{\"id\":{},\"result\":\"unknown\",\"reason\":\"injected-fault\",\
+                 \"errors\":[],\"time_ms\":0}}",
+                job.id
+            );
+        }
+        None => {}
+    }
+
+    let (mode, source) = match resolve_program(&job) {
+        Ok(pair) => pair,
+        Err(message) => {
+            stats.bump(&stats.errored);
+            return error_response(job.id, &message);
+        }
+    };
+
+    // Per-request budget: the request's deadline is clamped by the server
+    // ceiling — the smaller of the two always wins.
+    let mut budget = match job.steps {
+        Some(steps) => ResourceBudget::uniform_steps(steps),
+        None => ResourceBudget::UNLIMITED,
+    };
+    let deadline = job.deadline_ms.unwrap_or(cfg.max_deadline_ms);
+    budget.timeout = Some(Duration::from_millis(deadline.min(cfg.max_deadline_ms)));
+    let mut config = VerifyConfig::default();
+    config.check.fixpoint.smt.budget = budget;
+    config.wp.smt.budget = budget;
+
+    let response = match verify_source(&source, mode, &config) {
+        Ok(outcome) => {
+            let verdict = verdict_of(&outcome);
+            match verdict {
+                "verified" => stats.bump(&stats.verified),
+                "unknown" => stats.bump(&stats.unknown),
+                _ => stats.bump(&stats.rejected),
+            }
+            render_outcome(job.id, verdict, &outcome)
+        }
+        Err(frontend) => {
+            stats.bump(&stats.errored);
+            error_response(job.id, &format!("frontend: {frontend}"))
+        }
+    };
+
+    // Generational reclaim: trim the validity cache back to its target so
+    // a burst of one-off queries ages out instead of accumulating.  The
+    // hash-consing node arena is deliberately exempt (see module docs).
+    {
+        let mut cache = flux_fixpoint::global_cache();
+        if cache.len() > cfg.validity_cache_cap {
+            cache.trim(cfg.validity_cache_cap);
+        }
+    }
+
+    response
+}
+
+/// Maps a batch outcome to a wire verdict, mirroring the table renderer's
+/// `ok_label`: inconclusive-but-error-free runs are `unknown`, never
+/// `rejected` — and never `verified`.
+fn verdict_of(outcome: &VerifyOutcome) -> &'static str {
+    if outcome.safe {
+        "verified"
+    } else if outcome.stats.unknowns > 0 && outcome.errors.is_empty() {
+        "unknown"
+    } else {
+        "rejected"
+    }
+}
+
+fn resolve_program(job: &VerifyRequest) -> Result<(Mode, String), String> {
+    let mode = match job.mode {
+        ReqMode::Flux => Mode::Flux,
+        ReqMode::Baseline => Mode::Baseline,
+    };
+    let source = match (&job.program, &job.source) {
+        (Some(name), None) => {
+            let benchmark =
+                flux_suite::benchmark(name).ok_or_else(|| format!("unknown program {name:?}"))?;
+            match mode {
+                Mode::Flux => benchmark.flux_src.to_string(),
+                Mode::Baseline => benchmark.baseline_src.to_string(),
+            }
+        }
+        (None, Some(source)) => source.clone(),
+        // `parse_request` enforces exactly-one; defend anyway.
+        _ => return Err("verify needs exactly one of \"program\" or \"source\"".to_string()),
+    };
+    Ok((mode, source))
+}
+
+fn render_outcome(id: u64, verdict: &str, outcome: &VerifyOutcome) -> String {
+    let errors: Vec<String> = outcome.errors.iter().map(|e| quote(e)).collect();
+    let s = &outcome.stats;
+    format!(
+        "{{\"id\":{id},\"result\":\"{verdict}\",\"errors\":[{}],\
+         \"time_ms\":{},\"functions\":{},\
+         \"loc\":{},\"spec_lines\":{},\"annot_lines\":{},\
+         \"stats\":{{\"smt_queries\":{},\"cache_hits\":{},\"xbench_hits\":{},\
+         \"cache_misses\":{},\"sessions\":{},\"unknowns\":{},\"evictions\":{},\
+         \"budget_exhausted\":{}}}}}",
+        errors.join(","),
+        outcome.time.as_millis(),
+        outcome.functions,
+        outcome.loc,
+        outcome.spec_lines,
+        outcome.annot_lines,
+        s.smt_queries,
+        s.cache_hits,
+        s.xbench_hits,
+        s.cache_misses,
+        s.sessions,
+        s.unknowns,
+        s.evictions,
+        s.budget_exhausted,
+    )
+}
+
+/// Renders a `status` or `final` statistics frame: lifetime counters plus
+/// the live size of every process-global cache, including the exempt
+/// hash-consing arena and its advisory watermark.
+fn report(id: u64, result: &str, cfg: &ServerConfig, stats: &Stats, started: Instant) -> String {
+    let nodes = flux_logic::interned_nodes();
+    let (validity_len, validity_evictions) = {
+        let cache = flux_fixpoint::global_cache();
+        (cache.len(), cache.evictions())
+    };
+    format!(
+        "{{\"id\":{id},\"result\":\"{result}\",\
+         \"admitted\":{},\"verified\":{},\"rejected\":{},\"unknown\":{},\
+         \"errors\":{},\"busy\":{},\"worker_respawns\":{},\"uptime_ms\":{},\
+         \"caches\":{{\"validity_len\":{validity_len},\
+         \"validity_cap\":{},\"validity_evictions\":{validity_evictions},\
+         \"cnf_len\":{},\"cnf_evictions\":{},\
+         \"hcons_memo_evictions\":{},\
+         \"hcons_nodes\":{nodes},\"hcons_node_watermark\":{},\
+         \"hcons_watermark_exceeded\":{}}}}}",
+        stats.admitted.load(Ordering::Relaxed),
+        stats.verified.load(Ordering::Relaxed),
+        stats.rejected.load(Ordering::Relaxed),
+        stats.unknown.load(Ordering::Relaxed),
+        stats.errored.load(Ordering::Relaxed),
+        stats.busy.load(Ordering::Relaxed),
+        stats.respawns.load(Ordering::Relaxed),
+        started.elapsed().as_millis(),
+        cfg.validity_cache_cap,
+        flux_smt::cnf_cache_len(),
+        flux_smt::cnf_cache_evictions(),
+        flux_logic::hcons_memo_evictions(),
+        cfg.hcons_node_watermark,
+        nodes > cfg.hcons_node_watermark,
+    )
+}

@@ -31,7 +31,7 @@
 
 use flux_logic::{env_parse, lock_recover, ExprId, Name, Sort, SortCtx};
 use flux_smt::Validity;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
@@ -105,21 +105,32 @@ pub struct CacheEntry {
     pub owner: u64,
 }
 
-/// The memoized validity cache, optionally capacity-bounded with FIFO
-/// eviction (insertion order — the cheapest policy that still keeps the
-/// working set of a solve resident, since a solve's repeats cluster in
-/// time).  Evicting is always *safe*: a dropped verdict is merely
+/// The memoized validity cache, optionally capacity-bounded with LRU
+/// eviction: a lookup hit refreshes the entry's recency, so a verdict that
+/// keeps paying for itself — a library obligation re-proved by every request
+/// of a long-running service — survives arbitrarily many cold insertions at
+/// the same cap, where the historical FIFO policy would age it out purely by
+/// insertion order.  Evicting is always *safe*: a dropped verdict is merely
 /// recomputed on the next miss.
 #[derive(Debug, Default)]
 pub struct ValidityCache {
-    map: HashMap<QueryKey, CacheEntry>,
-    /// Keys in first-insertion order; overwrites keep their original
-    /// position so each key appears at most once.
-    order: VecDeque<QueryKey>,
+    map: HashMap<QueryKey, Slot>,
+    /// Keys ordered by recency stamp (oldest first); each key appears
+    /// exactly once, at its slot's current stamp.
+    order: BTreeMap<u64, QueryKey>,
+    /// Monotone recency clock; bumped on every insert *and* every hit.
+    tick: u64,
     /// Maximum number of entries (`None` = unlimited).
     cap: Option<usize>,
     /// Entries evicted so far.
     evictions: u64,
+}
+
+/// One resident entry plus its position in the recency order.
+#[derive(Debug)]
+struct Slot {
+    entry: CacheEntry,
+    stamp: u64,
 }
 
 impl ValidityCache {
@@ -153,32 +164,64 @@ impl ValidityCache {
         self.evictions
     }
 
-    /// Returns the cached entry for `key`, if any.
-    pub fn lookup(&self, key: &QueryKey) -> Option<CacheEntry> {
-        self.map.get(key).cloned()
+    /// Returns the cached entry for `key`, if any, refreshing its recency:
+    /// a hit moves the entry to the young end of the eviction order.
+    pub fn lookup(&mut self, key: &QueryKey) -> Option<CacheEntry> {
+        let tick = &mut self.tick;
+        let order = &mut self.order;
+        self.map.get_mut(key).map(|slot| {
+            *tick += 1;
+            order.remove(&slot.stamp);
+            slot.stamp = *tick;
+            order.insert(*tick, key.clone());
+            slot.entry.clone()
+        })
+    }
+
+    /// Returns the cached entry for `key` without touching the recency
+    /// order (diagnostics; production paths use [`ValidityCache::lookup`]).
+    pub fn peek(&self, key: &QueryKey) -> Option<CacheEntry> {
+        self.map.get(key).map(|slot| slot.entry.clone())
     }
 
     /// Records the verdict for `key`, stamped with `epoch` and `owner`,
-    /// evicting oldest-first if the cap is exceeded.
+    /// evicting least-recently-used-first if the cap is exceeded.
+    /// Overwriting an existing key also counts as a use.
     pub fn insert(&mut self, key: QueryKey, verdict: Validity, epoch: u64, owner: u64) {
         let entry = CacheEntry {
             verdict,
             epoch,
             owner,
         };
-        if self.map.insert(key.clone(), entry).is_none() {
-            self.order.push_back(key);
+        self.tick += 1;
+        let slot = Slot {
+            entry,
+            stamp: self.tick,
+        };
+        if let Some(old) = self.map.insert(key.clone(), slot) {
+            self.order.remove(&old.stamp);
         }
+        self.order.insert(self.tick, key);
         self.evict_over_cap();
     }
 
     fn evict_over_cap(&mut self) {
         let Some(cap) = self.cap else { return };
-        while self.map.len() > cap {
-            let Some(oldest) = self.order.pop_front() else {
+        self.trim(cap);
+    }
+
+    /// Evicts least-recently-used entries until at most `target` remain —
+    /// the generational reclaim hook a long-running service calls between
+    /// requests: per-request garbage (entries touched only by one request)
+    /// is the coldest tail, while cross-request entries were refreshed by
+    /// hits and survive.
+    pub fn trim(&mut self, target: usize) {
+        while self.map.len() > target {
+            let Some((&oldest, _)) = self.order.iter().next() else {
                 break;
             };
-            if self.map.remove(&oldest).is_some() {
+            let key = self.order.remove(&oldest).expect("stamp was just observed");
+            if self.map.remove(&key).is_some() {
                 self.evictions += 1;
             }
         }
@@ -356,6 +399,57 @@ mod tests {
             cache.insert(key(&ctx, &[], &goal_n(n)), Validity::Valid, 4, 1);
         }
         assert_eq!(cache.len(), 11);
+    }
+
+    #[test]
+    fn lru_hit_refreshes_recency() {
+        let x = Name::intern("lx");
+        let ctx = [(x, Sort::Int)];
+        let goal_n = |n: i128| Expr::ge(Expr::var(x), Expr::int(n));
+        let mut cache = ValidityCache::with_capacity_limit(3);
+        for n in 0..3 {
+            cache.insert(key(&ctx, &[], &goal_n(n)), Validity::Valid, 1, 1);
+        }
+        // A storm of cold insertions, with the "hot" entry 0 touched before
+        // each one: under LRU the hot entry survives every round, while the
+        // untouched entries 1 and 2 age out almost immediately.
+        for n in 100..120 {
+            assert!(
+                cache.lookup(&key(&ctx, &[], &goal_n(0))).is_some(),
+                "hot entry evicted at cold insert {n} despite constant hits"
+            );
+            cache.insert(key(&ctx, &[], &goal_n(n)), Validity::Valid, 1, 1);
+        }
+        assert!(cache.lookup(&key(&ctx, &[], &goal_n(0))).is_some());
+        assert!(cache.lookup(&key(&ctx, &[], &goal_n(1))).is_none());
+        assert!(cache.lookup(&key(&ctx, &[], &goal_n(2))).is_none());
+        // Tightening the cap evicts the cold tail; the hot entry (refreshed
+        // by the lookups above) and the newest insertion survive.
+        cache.set_capacity(Some(2));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.peek(&key(&ctx, &[], &goal_n(0))).is_some());
+        assert!(cache.peek(&key(&ctx, &[], &goal_n(119))).is_some());
+    }
+
+    #[test]
+    fn trim_evicts_cold_tail_only() {
+        let x = Name::intern("tx");
+        let ctx = [(x, Sort::Int)];
+        let goal_n = |n: i128| Expr::ge(Expr::var(x), Expr::int(n));
+        let mut cache = ValidityCache::new();
+        for n in 0..8 {
+            cache.insert(key(&ctx, &[], &goal_n(n)), Validity::Valid, 1, 1);
+        }
+        // Touch 0 and 5: they become the youngest.
+        cache.lookup(&key(&ctx, &[], &goal_n(0)));
+        cache.lookup(&key(&ctx, &[], &goal_n(5)));
+        cache.trim(3);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 5);
+        assert!(cache.peek(&key(&ctx, &[], &goal_n(0))).is_some());
+        assert!(cache.peek(&key(&ctx, &[], &goal_n(5))).is_some());
+        assert!(cache.peek(&key(&ctx, &[], &goal_n(7))).is_some());
+        assert!(cache.peek(&key(&ctx, &[], &goal_n(1))).is_none());
     }
 
     #[test]

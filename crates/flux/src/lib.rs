@@ -267,7 +267,7 @@ pub fn verify_source(
                     lint_checks: report.functions.iter().map(|f| f.lint_checks).sum(),
                     certs_checked: smt.certs_checked,
                     revalidations: 0,
-                    unknowns: 0,
+                    unknowns: report.functions.iter().map(|f| f.unknowns).sum(),
                     evictions: 0,
                     budget_exhausted: smt.budget_exhausted,
                 },
@@ -371,8 +371,11 @@ pub fn run_benchmark(benchmark: &Benchmark, config: &VerifyConfig) -> TableRow {
     }
 }
 
-/// Runs the entire Table 1 evaluation (library rows + the eight benchmarks).
-pub fn run_table1(config: &VerifyConfig) -> Vec<TableRow> {
+/// The trusted library rows of Table 1 (metrics only, no verification).
+/// Shared by [`run_table1`] and the daemon-routed mode of the `table1`
+/// binary, which verifies the benchmark rows out of process but still
+/// reports the library interfaces locally.
+pub fn library_rows() -> Vec<TableRow> {
     let mut rows = Vec::new();
     for lib in library() {
         // Library interfaces are trusted: only their metrics are reported.
@@ -405,6 +408,12 @@ pub fn run_table1(config: &VerifyConfig) -> Vec<TableRow> {
             },
         });
     }
+    rows
+}
+
+/// Runs the entire Table 1 evaluation (library rows + the eight benchmarks).
+pub fn run_table1(config: &VerifyConfig) -> Vec<TableRow> {
+    let mut rows = library_rows();
     for benchmark in benchmarks() {
         rows.push(run_benchmark(&benchmark, config));
     }

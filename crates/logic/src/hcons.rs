@@ -89,6 +89,23 @@ pub fn hcons_memo_high_watermark() -> usize {
     MEMO_HIGH_WATERMARK.load(Ordering::Relaxed)
 }
 
+/// Flushes the hash-cons table's three memo maps immediately, regardless of
+/// any cap — the region-reclaim hook a long-running service calls between
+/// requests to drop per-request memo garbage.  The `nodes`/`index` maps are
+/// deliberately untouched: [`ExprId`] stability is soundness-critical (ids
+/// key the process-global verdict cache), so node growth is only *reported*
+/// (via [`interned_nodes`]) and watermark-checked by the caller, never
+/// reclaimed.  Returns the number of entries flushed.
+pub fn flush_hcons_memos() -> usize {
+    let mut table = table();
+    let total = table.simplify_memo.len() + table.quant_memo.len() + table.app_memo.len();
+    table.simplify_memo.clear();
+    table.quant_memo.clear();
+    table.app_memo.clear();
+    MEMO_EVICTIONS.fetch_add(total as u64, Ordering::Relaxed);
+    total
+}
+
 fn table() -> MutexGuard<'static, Table> {
     static TABLE: OnceLock<Mutex<Table>> = OnceLock::new();
     lock_recover(TABLE.get_or_init(|| {

@@ -51,13 +51,13 @@ pub use audit::{audit_tier, lint, AuditTier, LintError};
 pub use eval::{evaluate, Value};
 pub use expr::{BinOp, Constant, Expr, UnOp};
 pub use hcons::{
-    hcons_memo_evictions, hcons_memo_high_watermark, interned_nodes, set_hcons_memo_capacity,
-    ExprId,
+    flush_hcons_memos, hcons_memo_evictions, hcons_memo_high_watermark, interned_nodes,
+    set_hcons_memo_capacity, ExprId,
 };
 pub use intern::Name;
 pub use simplify::simplify;
 pub use sort::{Sort, SortCtx, SortError};
-pub use subst::Subst;
+pub use subst::{AlphaRenamer, Subst};
 pub use util::{env_parse, lock_recover};
 
 /// A convenience alias: predicates are just boolean-sorted expressions.

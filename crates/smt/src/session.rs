@@ -159,8 +159,9 @@ fn cnf_cache() -> MutexGuard<'static, CnfCache> {
     if crate::testing::inject_fault("cnf-cache") == Some(crate::testing::Fault::Delay) {
         // Hold the lock a beat: exercises every caller's tolerance of
         // contention on the global cache (there is nothing to time out — the
-        // deadline checks live in the solvers, not here).
-        std::thread::sleep(std::time::Duration::from_millis(1));
+        // deadline checks live in the solvers, not here).  The duration
+        // comes from the installed plan (`FaultPlan::delay_ms`).
+        std::thread::sleep(crate::testing::fault_delay());
     }
     cache.reclaim();
     cache

@@ -281,6 +281,10 @@ pub enum Fault {
 /// permille (0–1000).  Installed process-globally by [`install_fault_plan`];
 /// the instrumented sites draw from a shared [`Rng`], so a given seed
 /// reproduces the same fault sequence for a deterministic workload.
+///
+/// Instrumented sites as of PR 9: `sat`, `simplex`, `session`, `worker`
+/// and `cnf-cache` inside the solving stack, plus `daemon` (worker
+/// dispatch in `fluxd`) and `queue` (request admission in `fluxd`).
 #[derive(Clone, Copy, Debug)]
 pub struct FaultPlan {
     /// RNG seed (shifted to nonzero internally).
@@ -291,6 +295,24 @@ pub struct FaultPlan {
     pub panic_permille: u16,
     /// Probability (permille) that a lock/cache choke point delays.
     pub delay_permille: u16,
+    /// How long a [`Fault::Delay`] sleeps, in milliseconds (`0` is allowed
+    /// and means "yield without sleeping").  Sites read the duration back
+    /// through [`fault_delay`] when they draw a delay.
+    pub delay_ms: u64,
+}
+
+impl Default for FaultPlan {
+    /// A plan that never fires (all permilles zero) with the historical
+    /// 1 ms delay, so tests can spell only the bands they care about.
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 1,
+            unknown_permille: 0,
+            panic_permille: 0,
+            delay_permille: 0,
+            delay_ms: 1,
+        }
+    }
 }
 
 struct FaultState {
@@ -352,6 +374,17 @@ pub fn inject_fault(site: &str) -> Option<Fault> {
     }
 }
 
+/// The sleep duration a [`Fault::Delay`] asks for: the installed plan's
+/// `delay_ms`, or the historical 1 ms when no plan is installed (a site
+/// can only reach this between a positive [`inject_fault`] draw and the
+/// plan being cleared by another thread).
+pub fn fault_delay() -> std::time::Duration {
+    let ms = flux_logic::lock_recover(fault_state())
+        .as_ref()
+        .map_or(1, |state| state.plan.delay_ms);
+    std::time::Duration::from_millis(ms)
+}
+
 /// Runs `work` on a separate thread and panics if it does not finish within
 /// `timeout_secs` (a hung worker leaks, but the test fails in bounded time
 /// instead of hanging the suite).  Returns `work`'s result; a panic inside
@@ -370,7 +403,7 @@ where
     match rx.recv_timeout(std::time::Duration::from_secs(timeout_secs)) {
         Ok(()) => handle
             .join()
-            .expect("watchdogged worker panicked after completing"),
+            .unwrap_or_else(|_| panic!("{what}: watchdogged worker panicked after completing")),
         Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
             // The worker died without reporting: propagate its panic.
             match handle.join() {
@@ -379,7 +412,10 @@ where
             }
         }
         Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-            panic!("{what}: exceeded {timeout_secs}s — hang suspected")
+            panic!(
+                "{what}: watchdog timeout — exceeded {timeout_secs}s, hang suspected \
+                 (the site/request context in this message is the hang's address)"
+            )
         }
     }
 }

@@ -19,7 +19,7 @@
 #![warn(missing_docs)]
 
 use flux_logic::{AuditTier, Expr, ExprId, Name, Sort, SortCtx};
-use flux_smt::{SmtConfig, Solver};
+use flux_smt::{SmtConfig, Solver, Validity};
 use flux_syntax::ast::{self, BinOpKind, RustTy, UnOpKind};
 use flux_syntax::span::{Diagnostic, Span};
 use std::collections::BTreeMap;
@@ -39,6 +39,11 @@ pub struct WpFnReport {
     pub name: String,
     /// Failed obligations.
     pub errors: Vec<Diagnostic>,
+    /// Obligations the solver could not decide within its budgets.  These
+    /// are *inconclusive*, not refuted: the function does not verify, but
+    /// reporting them as "might not hold" would turn a budget cut (or an
+    /// injected fault) into a false rejection.
+    pub unknowns: usize,
     /// Wall-clock verification time.
     pub time: Duration,
     /// Number of SMT validity queries.
@@ -55,7 +60,7 @@ pub struct WpFnReport {
 impl WpFnReport {
     /// True if every obligation was discharged.
     pub fn is_safe(&self) -> bool {
-        self.errors.is_empty()
+        self.errors.is_empty() && self.unknowns == 0
     }
 }
 
@@ -120,6 +125,7 @@ pub struct WpVerifier<'a> {
     solver: Solver,
     ctx: SortCtx,
     errors: Vec<Diagnostic>,
+    unknowns: usize,
     queries: usize,
     audit: AuditTier,
     lint_checks: usize,
@@ -148,6 +154,7 @@ pub fn verify_function(program: &ast::Program, def: &ast::FnDef, config: &WpConf
         solver: Solver::new(config.smt),
         ctx,
         errors: Vec::new(),
+        unknowns: 0,
         queries: 0,
         audit: config.smt.audit,
         lint_checks: 0,
@@ -156,6 +163,7 @@ pub fn verify_function(program: &ast::Program, def: &ast::FnDef, config: &WpConf
     WpFnReport {
         name: def.name.clone(),
         errors: verifier.errors,
+        unknowns: verifier.unknowns,
         time: start.elapsed(),
         queries: verifier.queries,
         quant_instances: verifier.solver.stats.quant_instances,
@@ -211,13 +219,15 @@ impl<'a> WpVerifier<'a> {
                 self.lint_checks += 1;
             }
         }
-        if !self
-            .solver
-            .check_valid_imp(&self.ctx, &facts, &goal)
-            .is_valid()
-        {
-            self.errors
-                .push(Diagnostic::error(format!("{what} might not hold"), span));
+        match self.solver.check_valid_imp(&self.ctx, &facts, &goal) {
+            Validity::Valid => {}
+            // Inconclusive is not refuted: a budget cut (or an injected
+            // fault) must degrade the verdict to unknown, never fabricate
+            // a "might not hold" rejection.
+            Validity::Unknown => self.unknowns += 1,
+            Validity::Invalid(_) => self
+                .errors
+                .push(Diagnostic::error(format!("{what} might not hold"), span)),
         }
     }
 

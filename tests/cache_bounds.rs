@@ -6,7 +6,9 @@
 //! caps at steady state, the eviction counters must actually move, and
 //! evicted entries must recompute to the same verdicts.
 //!
-//! The caps are process-global, so this file holds a single test.
+//! The caps are process-global, so the storm lives in a single test; the
+//! LRU-policy test below uses a private `ValidityCache` instance and can
+//! run alongside it.
 
 use flux_fixpoint::{
     global_cache, set_global_cache_capacity, Constraint, FixConfig, FixpointSolver, Guard, KVarApp,
@@ -141,4 +143,53 @@ fn bounded_caches_hold_cap_evict_and_stay_correct() {
         set_cnf_cache_capacity(None);
         set_global_cache_capacity(None);
     });
+}
+
+/// LRU upgrade (PR 9): a verdict that keeps getting hits — the shape of a
+/// shared library obligation re-proved by every request of a long-running
+/// service — survives a storm of cold single-use entries at the same cap
+/// that would have aged it out under the historical FIFO policy after
+/// `cap` insertions, hit or no hit.
+#[test]
+fn hot_entry_survives_cold_storm_at_the_same_cap() {
+    use flux_fixpoint::{next_epoch, next_owner, QueryKey, ValidityCache};
+    use flux_logic::ExprId;
+    use flux_smt::Validity;
+
+    let x = Name::intern("lru_x");
+    let fns = flux_fixpoint::intern_fn_ctx(&SortCtx::new());
+    let key_of = |n: i128| {
+        QueryKey::new(
+            fns,
+            [(x, Sort::Int)].into_iter().collect(),
+            [ExprId::intern(&Expr::ge(Expr::var(x), Expr::int(0)))]
+                .into_iter()
+                .collect(),
+            ExprId::intern(&Expr::ge(Expr::var(x), Expr::int(n))),
+        )
+    };
+    const CAP: usize = 32;
+    let (epoch, owner) = (next_epoch(), next_owner());
+    let mut cache = ValidityCache::with_capacity_limit(CAP);
+    let hot = key_of(-1);
+    cache.insert(hot.clone(), Validity::Valid, epoch, owner);
+    // 40 caps' worth of cold entries, the hot key touched once per cold
+    // insertion — exactly the daemon's steady state of one warm obligation
+    // amid per-request garbage.
+    for n in 0..(40 * CAP as i128) {
+        assert!(
+            cache.lookup(&hot).is_some(),
+            "hot entry evicted after {n} cold insertions (cap {CAP})"
+        );
+        cache.insert(key_of(n), Validity::Valid, epoch, owner);
+        assert!(cache.len() <= CAP, "cap violated at cold insertion {n}");
+    }
+    assert!(cache.lookup(&hot).is_some());
+    assert!(
+        cache.evictions() > 0,
+        "the storm must actually have overflowed the cap"
+    );
+    // A FIFO would have evicted the hot key during the first cap's worth of
+    // cold insertions; under LRU the evicted keys are all cold ones.
+    assert!(cache.peek(&key_of(0)).is_none(), "cold entries age out");
 }

@@ -92,6 +92,7 @@ fn faulted_solves_never_panic_hang_or_falsely_verify() {
                 unknown_permille: 250,
                 panic_permille: 120,
                 delay_permille: 30,
+                ..FaultPlan::default()
             });
             // Fresh per-seed vocabularies: every solve misses the global
             // verdict cache and drives the engine (and so the SAT/session/

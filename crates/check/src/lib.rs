@@ -36,16 +36,37 @@ pub mod checker;
 use checker::Generator;
 use flux_fixpoint::{FixConfig, FixResult, FixpointSolver};
 use flux_ir::ResolvedProgram;
-use flux_logic::SortCtx;
+use flux_logic::{lock_recover, SortCtx};
 use flux_syntax::span::Diagnostic;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Configuration of the checker.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct CheckConfig {
     /// Configuration forwarded to the fixpoint solver (and through it to the
     /// SMT solver).
     pub fixpoint: FixConfig,
+    /// Worker threads for the *function-level* fan-out in [`check_program`]:
+    /// whole per-function solves run concurrently, each worker owning its
+    /// own [`FixpointSolver`].  Orthogonal to the clause-level pool inside
+    /// each solve ([`FixConfig::threads`]); both default to
+    /// [`flux_fixpoint::default_threads`] (the `FLUX_THREADS` environment
+    /// variable, else the machine's parallelism).  `1` reproduces the
+    /// historical shared-solver sequential loop exactly.  Verdicts,
+    /// solutions and report order are thread-count-invariant.
+    pub fn_threads: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            fixpoint: FixConfig::default(),
+            fn_threads: flux_fixpoint::default_threads(),
+        }
+    }
 }
 
 /// The result of checking one function.
@@ -92,6 +113,15 @@ impl FnReport {
 pub struct Report {
     /// Per-function results, in source order.
     pub functions: Vec<FnReport>,
+    /// Width of the function-level worker pool that produced the report
+    /// (`1` for the sequential loop); see [`CheckConfig::fn_threads`].
+    pub fn_threads: usize,
+    /// Wall-clock time of the whole [`check_program`] run.  Equals (modulo
+    /// scheduling noise) the sum of per-function times when sequential;
+    /// under the function-level fan-out it is what a caller actually waits,
+    /// so speedups show up here while [`Report::total_time`] stays the
+    /// comparable total-work figure.
+    pub wall_time: Duration,
 }
 
 impl Report {
@@ -100,9 +130,16 @@ impl Report {
         self.functions.iter().all(FnReport::is_safe)
     }
 
-    /// Total verification time.
+    /// Total verification time summed over functions (total work, not
+    /// wall-clock; see [`Report::wall_time`]).
     pub fn total_time(&self) -> Duration {
         self.functions.iter().map(|f| f.time).sum()
+    }
+
+    /// Per-function check times in source order (the `fn_parallel` bench
+    /// column: where the wall-clock went under the fan-out).
+    pub fn fn_times(&self) -> Vec<Duration> {
+        self.functions.iter().map(|f| f.time).collect()
     }
 
     /// All diagnostics.
@@ -132,8 +169,14 @@ impl Report {
     }
 
     /// Per-worker-slot SMT query counts summed element-wise over all
-    /// checked functions (slot `w` aggregates the queries issued by worker
-    /// `w` across every function's solve).
+    /// checked functions (slot `w` aggregates the queries issued by clause
+    /// worker `w` across every function's solve).  The per-function vectors
+    /// being merged are *namespaced*: each lives in its own [`FnReport`],
+    /// written by that function's own solver after its solve — so even when
+    /// per-function solves run concurrently (the [`check_program`] fan-out)
+    /// and each runs its own clause pool, slot counts from different
+    /// functions can never interleave; they only meet here, in this
+    /// deterministic source-order sum.
     pub fn total_worker_queries(&self) -> Vec<usize> {
         let mut total: Vec<usize> = Vec::new();
         for f in &self.functions {
@@ -150,23 +193,112 @@ impl Report {
 
 /// Checks every (non-trusted) function of a resolved program.
 ///
-/// One fixpoint solver — and therefore one validity cache — is shared across
-/// all functions: VC fragments repeated between functions (identical loop
-/// shapes, common bounds obligations) are answered from the cache, and the
-/// per-function reports record how often that cross-function sharing paid
-/// off ([`flux_fixpoint::FixStats::cross_fn_hits`]).
+/// With [`CheckConfig::fn_threads`] `== 1` (or a single function), one
+/// fixpoint solver — and therefore one validity cache — is shared across
+/// all functions in source order: VC fragments repeated between functions
+/// (identical loop shapes, common bounds obligations) are answered from the
+/// cache, and the per-function reports record how often that cross-function
+/// sharing paid off ([`flux_fixpoint::FixStats::cross_fn_hits`]).
+///
+/// With more threads, whole per-function solves fan out over a scoped
+/// worker pool.  Functions are claimed from a shared queue; each worker
+/// owns its own solver (reused across the functions it claims), and
+/// cross-function sharing flows through the process-global sharded validity
+/// cache instead of a shared solver.  Each result lands in a slot indexed
+/// by the function's source position and the slots are drained in order, so
+/// the report — function order, blame order, every rendered table — is
+/// bit-identical to the sequential run's.  A panicking per-function solve
+/// is contained to that function: its slot reports
+/// [`flux_fixpoint::UnknownReason::WorkerPanic`] (inconclusive, never
+/// "safe"), the worker replaces its possibly-torn solver, and every other
+/// function completes normally — the PR 8 isolation pattern, one level up.
 pub fn check_program(program: &ResolvedProgram, config: &CheckConfig) -> Report {
-    let mut report = Report::default();
-    let mut solver = FixpointSolver::new(config.fixpoint.clone());
-    for func in program.iter() {
-        if func.def.trusted {
-            continue;
+    let start = Instant::now();
+    let names: Vec<&str> = program
+        .iter()
+        .filter(|func| !func.def.trusted)
+        .map(|func| func.def.name.as_str())
+        .collect();
+    let fn_threads = config.fn_threads.max(1).min(names.len().max(1));
+    let mut report = if fn_threads == 1 {
+        let mut report = Report::default();
+        let mut solver = FixpointSolver::new(config.fixpoint.clone());
+        for name in &names {
+            report
+                .functions
+                .push(check_function_with(program, name, &mut solver));
         }
         report
-            .functions
-            .push(check_function_with(program, &func.def.name, &mut solver));
-    }
+    } else {
+        check_program_parallel(program, config, &names, fn_threads)
+    };
+    report.fn_threads = fn_threads;
+    report.wall_time = start.elapsed();
     report
+}
+
+/// The function-level fan-out of [`check_program`]: `threads` scoped
+/// workers claim function indices from an atomic queue and write each
+/// [`FnReport`] into the slot of the function's source position.
+fn check_program_parallel(
+    program: &ResolvedProgram,
+    config: &CheckConfig,
+    names: &[&str],
+    threads: usize,
+) -> Report {
+    let slots: Vec<Mutex<Option<FnReport>>> = names.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut solver = FixpointSolver::new(config.fixpoint.clone());
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(name) = names.get(idx) else { break };
+                    let fn_start = Instant::now();
+                    // `AssertUnwindSafe`: on a panic the claimed function's
+                    // report is synthesized below and the solver — whose
+                    // internal state the unwind may have torn mid-solve — is
+                    // replaced before the worker claims its next function.
+                    // Nothing else crosses the unwind boundary.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        check_function_with(program, name, &mut solver)
+                    }));
+                    let fn_report = match outcome {
+                        Ok(report) => report,
+                        Err(payload) => {
+                            solver = FixpointSolver::new(config.fixpoint.clone());
+                            FnReport {
+                                name: (*name).to_owned(),
+                                errors: Vec::new(),
+                                time: fn_start.elapsed(),
+                                fixpoint_stats: flux_fixpoint::FixStats::default(),
+                                worker_queries: Vec::new(),
+                                smt_stats: flux_smt::SmtStats::default(),
+                                unknowns: vec![flux_fixpoint::UnknownReason::WorkerPanic {
+                                    component: usize::MAX,
+                                    clauses: Vec::new(),
+                                    message: flux_fixpoint::panic_message(payload.as_ref()),
+                                }],
+                            }
+                        }
+                    };
+                    *lock_recover(&slots[idx]) = Some(fn_report);
+                }
+            });
+        }
+    });
+    Report {
+        functions: slots
+            .into_iter()
+            .map(|slot| {
+                lock_recover(&slot)
+                    .take()
+                    .expect("every claimed slot was filled before the scope joined")
+            })
+            .collect(),
+        ..Report::default()
+    }
 }
 
 /// Checks a single function by name with a fresh solver.
@@ -561,6 +693,7 @@ mod tests {
                 global_cache: false,
                 ..FixConfig::default()
             },
+            ..CheckConfig::default()
         };
         let plain_config = CheckConfig {
             fixpoint: FixConfig {
@@ -571,6 +704,7 @@ mod tests {
                 global_cache: false,
                 ..FixConfig::default()
             },
+            ..CheckConfig::default()
         };
         let audited = check_source(src, &audited_config).expect("resolves");
         let plain = check_source(src, &plain_config).expect("resolves");
@@ -586,6 +720,66 @@ mod tests {
         assert_eq!(pstats.lint_checks, 0);
         assert_eq!(pstats.revalidations, 0);
         assert_eq!(plain.total_smt_stats().certs_checked, 0);
+    }
+
+    /// The function-level fan-out returns the same report — verdicts,
+    /// function order, per-function error lists — as the sequential loop,
+    /// even with more workers than functions.
+    #[test]
+    fn function_fanout_matches_sequential_report() {
+        let src = r#"
+            #[flux::sig(fn(i32[@n]) -> bool[n > 0])]
+            fn is_pos(n: i32) -> bool {
+                if n > 0 { true } else { false }
+            }
+
+            #[flux::sig(fn(i32[@x]) -> i32{v: v >= x && v >= 0})]
+            fn abs(x: i32) -> i32 {
+                if x < 0 { -x } else { x }
+            }
+
+            #[flux::sig(fn(i32[@a], i32[@b]) -> i32[a + b + 1])]
+            fn add_wrong(a: i32, b: i32) -> i32 {
+                a + b
+            }
+
+            #[flux::sig(fn(usize[@n]) -> usize[n])]
+            fn count_up(n: usize) -> usize {
+                let mut i = 0;
+                while i < n {
+                    i += 1;
+                }
+                i
+            }
+            "#;
+        let with_fn_threads = |fn_threads: usize| CheckConfig {
+            fn_threads,
+            ..CheckConfig::default()
+        };
+        let sequential = check_source(src, &with_fn_threads(1)).expect("resolves");
+        assert_eq!(sequential.fn_threads, 1);
+        for threads in [2, 8] {
+            let parallel = check_source(src, &with_fn_threads(threads)).expect("resolves");
+            // The pool never opens wider than there are functions to claim.
+            assert_eq!(parallel.fn_threads, threads.min(4));
+            assert_eq!(parallel.functions.len(), sequential.functions.len());
+            for (seq, par) in sequential.functions.iter().zip(&parallel.functions) {
+                assert_eq!(seq.name, par.name, "source order must be preserved");
+                assert_eq!(seq.is_safe(), par.is_safe(), "verdict flip in {}", seq.name);
+                assert_eq!(
+                    seq.errors.len(),
+                    par.errors.len(),
+                    "blame cardinality changed in {}",
+                    seq.name
+                );
+                assert!(par.unknowns.is_empty(), "spurious unknown in {}", seq.name);
+            }
+            assert!(
+                !parallel.functions[2].is_safe(),
+                "add_wrong must still fail"
+            );
+            assert!(parallel.wall_time > Duration::ZERO);
+        }
     }
 
     #[test]

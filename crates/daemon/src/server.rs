@@ -37,6 +37,20 @@
 //!   watches the arena against `hcons_node_watermark` and reports both the
 //!   size and the breach through `status`, so an operator can recycle the
 //!   process on their own schedule.
+//!
+//! # Live reconfiguration
+//!
+//! `reload` re-reads the `FLUXD_*` environment and applies it to the
+//! running instance: cache capacities are re-applied, the worker pool is
+//! resized (grown eagerly; shrunk lazily — an excess worker retires after
+//! its next job), and per-request settings such as the deadline ceiling
+//! take effect for every subsequent admission.  The resolved widths are
+//! reported in the `reload` answer so a client can confirm the daemon
+//! actually observed the new environment — the historical bug this guards
+//! against was `FLUX_THREADS` being cached in a process-global `OnceLock`,
+//! which made `reload` a silent no-op for thread counts.  Only the
+//! admission queue depth (`FLUXD_QUEUE_CAP`) and frame cap of frames
+//! already buffered stay fixed, since the queue channel is created once.
 
 use crate::proto::{
     busy_response, error_response, parse_request, read_frame, write_frame, Frame, ReqMode, Request,
@@ -60,7 +74,10 @@ use std::time::{Duration, Instant};
 /// way.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads verifying requests (`FLUXD_WORKERS`).
+    /// Worker threads verifying requests (`FLUXD_WORKERS`).  The default
+    /// is 4: per-request solves route through *sharded* global caches
+    /// (validity verdicts, CNF memos), so a pool wider than 2 no longer
+    /// convoys on a single cache mutex.
     pub workers: usize,
     /// Bounded admission queue depth; a full queue answers `busy`
     /// (`FLUXD_QUEUE_CAP`).
@@ -90,7 +107,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
-            workers: 2,
+            workers: 4,
             queue_cap: 8,
             max_frame: DEFAULT_MAX_FRAME,
             max_deadline_ms: 30_000,
@@ -144,14 +161,12 @@ impl Stats {
 /// `shutdown` request, then drains and flushes a final statistics frame.
 /// The binary passes stdin/stdout; in-process tests pass buffers.
 pub fn run(config: &ServerConfig, mut input: impl BufRead, output: impl Write + Send) {
-    // Cap the process-global caches.  The validity cache's hard cap is 2×
-    // the reclaim target: requests may overshoot while running, the
-    // post-request trim brings the cache back to its generation size.
-    flux_fixpoint::set_global_cache_capacity(Some(config.validity_cache_cap * 2));
-    flux_smt::set_cnf_cache_capacity(Some(config.cnf_cache_cap));
-    flux_logic::set_hcons_memo_capacity(Some(config.hcons_memo_cap));
+    apply_cache_caps(config);
 
-    let cfg = Arc::new(config.clone());
+    // The configuration is shared mutable state: `reload` swaps in a fresh
+    // `from_env` snapshot mid-run, and workers re-read it per job so new
+    // deadline ceilings and trim targets apply to every later admission.
+    let cfg = Arc::new(Mutex::new(config.clone()));
     let stats = Arc::new(Stats::default());
     let started = Instant::now();
 
@@ -170,21 +185,24 @@ pub fn run(config: &ServerConfig, mut input: impl BufRead, output: impl Write + 
             }
         });
 
-        // Bounded admission queue feeding the worker pool.
-        let (job_tx, job_rx) = mpsc::sync_channel::<VerifyRequest>(cfg.queue_cap);
+        // Bounded admission queue feeding the worker pool.  The depth is
+        // fixed at startup: a sync channel cannot be resized, and `busy`
+        // back-pressure semantics should not change under a live reload.
+        let (job_tx, job_rx) = mpsc::sync_channel::<VerifyRequest>(config.queue_cap);
         let job_rx = Arc::new(Mutex::new(job_rx));
-        let spawn_worker = || {
+        let spawn_worker = |index: usize| {
             let cfg = Arc::clone(&cfg);
             let rx = Arc::clone(&job_rx);
             let tx = resp_tx.clone();
             let stats = Arc::clone(&stats);
-            scope.spawn(move || worker_loop(&cfg, &rx, &tx, &stats))
+            scope.spawn(move || worker_loop(index, &cfg, &rx, &tx, &stats))
         };
-        let mut workers: Vec<_> = (0..cfg.workers).map(|_| spawn_worker()).collect();
+        let mut workers: Vec<_> = (0..config.workers).map(spawn_worker).collect();
 
         let mut shutdown_id = None;
         loop {
-            match read_frame(&mut input, cfg.max_frame) {
+            let max_frame = lock_recover(&cfg).max_frame;
+            match read_frame(&mut input, max_frame) {
                 Frame::Eof => break,
                 Frame::Truncated => {
                     stats.bump(&stats.errored);
@@ -202,10 +220,7 @@ pub fn run(config: &ServerConfig, mut input: impl BufRead, output: impl Write + 
                     stats.bump(&stats.errored);
                     let _ = resp_tx.send(error_response(
                         0,
-                        &format!(
-                            "oversized frame: {len} bytes exceeds the {} cap",
-                            cfg.max_frame
-                        ),
+                        &format!("oversized frame: {len} bytes exceeds the {max_frame} cap"),
                     ));
                 }
                 Frame::NotUtf8 => {
@@ -218,20 +233,34 @@ pub fn run(config: &ServerConfig, mut input: impl BufRead, output: impl Write + 
                         let _ = resp_tx.send(error_response(id, &message));
                     }
                     Ok(Request::Status { id }) => {
-                        let _ = resp_tx.send(report(id, "status", &cfg, &stats, started));
+                        let snapshot = lock_recover(&cfg).clone();
+                        let _ = resp_tx.send(report(id, "status", &snapshot, &stats, started));
                     }
                     Ok(Request::Reload { id }) => {
+                        // Re-read the environment and apply it live: cache
+                        // caps take effect immediately, the worker pool is
+                        // grown eagerly / shrunk lazily, and later verify
+                        // jobs clone the fresh snapshot.  The answer echoes
+                        // the resolved widths so callers can assert the new
+                        // environment was actually observed (and not, as a
+                        // `OnceLock` once made it, cached from startup).
+                        let fresh = ServerConfig::from_env();
+                        apply_cache_caps(&fresh);
                         let memos = flux_logic::flush_hcons_memos();
-                        let dropped = {
-                            let mut cache = flux_fixpoint::global_cache();
-                            let n = cache.len();
-                            cache.clear();
-                            n
-                        };
+                        let cache = flux_fixpoint::global_cache();
+                        let dropped = cache.len();
+                        cache.clear();
+                        let target = fresh.workers;
+                        *lock_recover(&cfg) = fresh;
+                        while workers.len() < target {
+                            workers.push(spawn_worker(workers.len()));
+                        }
+                        let fn_threads = flux_fixpoint::default_threads();
                         let _ = resp_tx.send(format!(
                             "{{\"id\":{id},\"result\":\"reloaded\",\
                              \"hcons_memos_flushed\":{memos},\
-                             \"validity_entries_dropped\":{dropped}}}"
+                             \"validity_entries_dropped\":{dropped},\
+                             \"workers\":{target},\"fn_threads\":{fn_threads}}}"
                         ));
                     }
                     Ok(Request::Shutdown { id }) => {
@@ -246,7 +275,8 @@ pub fn run(config: &ServerConfig, mut input: impl BufRead, output: impl Write + 
                             Some(Fault::Delay) => thread::sleep(fault_delay()),
                             Some(Fault::Unknown) => {
                                 stats.bump(&stats.busy);
-                                let _ = resp_tx.send(busy_response(req.id, cfg.retry_after_ms));
+                                let retry = lock_recover(&cfg).retry_after_ms;
+                                let _ = resp_tx.send(busy_response(req.id, retry));
                                 continue;
                             }
                             Some(Fault::Panic) => {
@@ -260,11 +290,14 @@ pub fn run(config: &ServerConfig, mut input: impl BufRead, output: impl Write + 
                             None => {}
                         }
                         // Self-heal before admitting: respawn any worker
-                        // that retired after containing a panic.
-                        for worker in &mut workers {
-                            if worker.is_finished() {
+                        // that retired after containing a panic — but only
+                        // slots still inside the (possibly reloaded) pool
+                        // target; slots beyond it retired deliberately.
+                        let target = lock_recover(&cfg).workers;
+                        for (index, worker) in workers.iter_mut().enumerate() {
+                            if index < target && worker.is_finished() {
                                 stats.bump(&stats.respawns);
-                                let retired = std::mem::replace(worker, spawn_worker());
+                                let retired = std::mem::replace(worker, spawn_worker(index));
                                 let _ = retired.join();
                             }
                         }
@@ -272,7 +305,8 @@ pub fn run(config: &ServerConfig, mut input: impl BufRead, output: impl Write + 
                             Ok(()) => stats.bump(&stats.admitted),
                             Err(TrySendError::Full(req)) => {
                                 stats.bump(&stats.busy);
-                                let _ = resp_tx.send(busy_response(req.id, cfg.retry_after_ms));
+                                let retry = lock_recover(&cfg).retry_after_ms;
+                                let _ = resp_tx.send(busy_response(req.id, retry));
                             }
                             Err(TrySendError::Disconnected(req)) => {
                                 stats.bump(&stats.errored);
@@ -290,10 +324,11 @@ pub fn run(config: &ServerConfig, mut input: impl BufRead, output: impl Write + 
         for worker in workers {
             let _ = worker.join();
         }
+        let snapshot = lock_recover(&cfg).clone();
         loop {
             let job = lock_recover(&job_rx).try_recv();
             let Ok(job) = job else { break };
-            let (response, _panicked) = contained_verify(&cfg, job, &stats);
+            let (response, _panicked) = contained_verify(&snapshot, job, &stats);
             let _ = resp_tx.send(response);
         }
 
@@ -302,7 +337,7 @@ pub fn run(config: &ServerConfig, mut input: impl BufRead, output: impl Write + 
         let _ = resp_tx.send(report(
             shutdown_id.unwrap_or(0),
             "final",
-            &cfg,
+            &snapshot,
             &stats,
             started,
         ));
@@ -313,9 +348,12 @@ pub fn run(config: &ServerConfig, mut input: impl BufRead, output: impl Write + 
 
 /// One worker: pull jobs until the queue closes.  A caught panic retires
 /// the worker after answering, so the supervisor replaces it with a fresh
-/// thread.
+/// thread.  Each job runs against a fresh clone of the shared config, so a
+/// `reload` between jobs changes deadline ceilings and trim targets
+/// without restarting the pool.
 fn worker_loop(
-    cfg: &ServerConfig,
+    index: usize,
+    cfg: &Mutex<ServerConfig>,
     rx: &Mutex<Receiver<VerifyRequest>>,
     tx: &Sender<String>,
     stats: &Stats,
@@ -323,14 +361,31 @@ fn worker_loop(
     loop {
         let job = lock_recover(rx).recv();
         let Ok(job) = job else { return };
-        let (response, panicked) = contained_verify(cfg, job, stats);
+        let snapshot = lock_recover(cfg).clone();
+        let (response, panicked) = contained_verify(&snapshot, job, stats);
         let _ = tx.send(response);
         if panicked {
             // Retire after containing a panic: the supervisor respawns a
             // fresh thread before the next admission.
             return;
         }
+        if index >= lock_recover(cfg).workers {
+            // `reload` shrank the pool and this slot fell off the end:
+            // retire once the in-flight job is answered.  Idle excess
+            // workers park on the queue until their next (last) job.
+            return;
+        }
     }
+}
+
+/// Applies a configuration's capacity knobs to the process-global caches.
+/// The validity cache's hard cap is 2× the reclaim target: requests may
+/// overshoot while running, the post-request trim brings the cache back to
+/// its generation size.  (Per-shard caps divide these totals.)
+fn apply_cache_caps(cfg: &ServerConfig) {
+    flux_fixpoint::set_global_cache_capacity(Some(cfg.validity_cache_cap * 2));
+    flux_smt::set_cnf_cache_capacity(Some(cfg.cnf_cache_cap));
+    flux_logic::set_hcons_memo_capacity(Some(cfg.hcons_memo_cap));
 }
 
 /// Runs one verify job under `catch_unwind`, always producing a response.
@@ -420,7 +475,7 @@ fn handle_verify(cfg: &ServerConfig, job: VerifyRequest, stats: &Stats) -> Strin
     // a burst of one-off queries ages out instead of accumulating.  The
     // hash-consing node arena is deliberately exempt (see module docs).
     {
-        let mut cache = flux_fixpoint::global_cache();
+        let cache = flux_fixpoint::global_cache();
         if cache.len() > cfg.validity_cache_cap {
             cache.trim(cfg.validity_cache_cap);
         }
@@ -503,6 +558,7 @@ fn report(id: u64, result: &str, cfg: &ServerConfig, stats: &Stats, started: Ins
         "{{\"id\":{id},\"result\":\"{result}\",\
          \"admitted\":{},\"verified\":{},\"rejected\":{},\"unknown\":{},\
          \"errors\":{},\"busy\":{},\"worker_respawns\":{},\"uptime_ms\":{},\
+         \"workers\":{},\"fn_threads\":{},\
          \"caches\":{{\"validity_len\":{validity_len},\
          \"validity_cap\":{},\"validity_evictions\":{validity_evictions},\
          \"cnf_len\":{},\"cnf_evictions\":{},\
@@ -517,6 +573,8 @@ fn report(id: u64, result: &str, cfg: &ServerConfig, stats: &Stats, started: Ins
         stats.busy.load(Ordering::Relaxed),
         stats.respawns.load(Ordering::Relaxed),
         started.elapsed().as_millis(),
+        cfg.workers,
+        flux_fixpoint::default_threads(),
         cfg.validity_cache_cap,
         flux_smt::cnf_cache_len(),
         flux_smt::cnf_cache_evictions(),

@@ -32,6 +32,7 @@
 use flux_logic::{env_parse, lock_recover, ExprId, Name, Sort, SortCtx};
 use flux_smt::Validity;
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
@@ -244,29 +245,188 @@ impl ValidityCache {
     }
 }
 
-/// The process-global validity cache: one map shared by every
+/// Number of lock-striped shards in the process-global validity cache.
+///
+/// Eight matches the widest thread sweep the test suite pins
+/// (`tests/parallel_equivalence.rs` and the 8-thread `cache_stress`
+/// storms): with as many shards as peak workers, two threads only convoy
+/// when they touch keys that genuinely hash together, and the per-shard
+/// mutex hold time stays the old whole-cache hold time divided by the
+/// number of active shards.  A power of two also keeps every cap the
+/// suite uses (32, 512, 8192) dividing evenly across shards.
+pub const VALIDITY_SHARDS: usize = 8;
+
+/// The process-global validity cache, lock-striped into
+/// [`VALIDITY_SHARDS`] independent [`ValidityCache`] shards selected by
+/// key hash.  Each shard has its own mutex, recency order, and slice of
+/// the global cap, so concurrent per-function solvers miss each other's
+/// locks unless their keys actually collide.  All methods take `&self`;
+/// aggregate figures (`len`, `evictions`) are sums over shards and thus
+/// only approximate instantaneous global state under concurrency — fine
+/// for the diagnostics they feed.
+pub struct ShardedValidityCache {
+    shards: Box<[Mutex<ValidityCache>]>,
+    /// Times a shard lock was observed held by another thread (the caller
+    /// then blocked).  A convoying diagnostic, not a correctness signal.
+    contentions: AtomicU64,
+}
+
+impl ShardedValidityCache {
+    /// A fresh sharded cache whose *summed* per-shard capacity realises
+    /// `cap` (each shard gets `cap / VALIDITY_SHARDS`, rounded up).  Public
+    /// so the workspace-level storm tests can exercise a private instance
+    /// without racing the process-global one.
+    pub fn with_global_capacity(cap: Option<usize>) -> ShardedValidityCache {
+        let per_shard = cap.map(|c| c.div_ceil(VALIDITY_SHARDS));
+        let shards = (0..VALIDITY_SHARDS)
+            .map(|_| {
+                Mutex::new(match per_shard {
+                    None => ValidityCache::new(),
+                    Some(c) => ValidityCache::with_capacity_limit(c),
+                })
+            })
+            .collect();
+        ShardedValidityCache {
+            shards,
+            contentions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &QueryKey) -> &Mutex<ValidityCache> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % VALIDITY_SHARDS]
+    }
+
+    /// Locks `mutex`, counting the acquisition as contended if another
+    /// thread already held it.  Poisoning recovers as in [`lock_recover`]:
+    /// the cache memoizes deterministic verdicts, so no torn state is
+    /// observable through its API.
+    fn acquire<'a>(&self, mutex: &'a Mutex<ValidityCache>) -> MutexGuard<'a, ValidityCache> {
+        match mutex.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contentions.fetch_add(1, Ordering::Relaxed);
+                lock_recover(mutex)
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => lock_recover(mutex),
+        }
+    }
+
+    /// Returns the cached entry for `key`, refreshing its recency within
+    /// its shard.
+    pub fn lookup(&self, key: &QueryKey) -> Option<CacheEntry> {
+        self.acquire(self.shard(key)).lookup(key)
+    }
+
+    /// Returns the cached entry for `key` without touching recency.
+    pub fn peek(&self, key: &QueryKey) -> Option<CacheEntry> {
+        self.acquire(self.shard(key)).peek(key)
+    }
+
+    /// Records the verdict for `key` in its shard, evicting LRU-first if
+    /// that shard's cap is exceeded.
+    pub fn insert(&self, key: QueryKey, verdict: Validity, epoch: u64, owner: u64) {
+        self.acquire(self.shard(&key))
+            .insert(key, verdict, epoch, owner);
+    }
+
+    /// Re-caps the cache: each shard gets `cap / VALIDITY_SHARDS` rounded
+    /// up, so the *global* cap — the sum of shard caps — is the smallest
+    /// shardable value ≥ `cap` (equal to `cap` whenever it divides evenly,
+    /// as every cap in the suite does).
+    pub fn set_capacity(&self, cap: Option<usize>) {
+        let per_shard = cap.map(|c| c.div_ceil(VALIDITY_SHARDS));
+        for shard in self.shards.iter() {
+            self.acquire(shard).set_capacity(per_shard);
+        }
+    }
+
+    /// The effective global cap: the sum of per-shard caps.
+    pub fn capacity(&self) -> Option<usize> {
+        let mut total = 0usize;
+        for shard in self.shards.iter() {
+            total += self.acquire(shard).capacity()?;
+        }
+        Some(total)
+    }
+
+    /// Total entries evicted across all shards over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| self.acquire(shard).evictions())
+            .sum()
+    }
+
+    /// Times a caller found a shard lock held by another thread.
+    pub fn contentions(&self) -> u64 {
+        self.contentions.load(Ordering::Relaxed)
+    }
+
+    /// Total cached verdicts across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| self.acquire(shard).len())
+            .sum()
+    }
+
+    /// True if no shard holds any verdict.
+    pub fn is_empty(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|shard| self.acquire(shard).is_empty())
+    }
+
+    /// Drops all cached verdicts (eviction counters survive).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            self.acquire(shard).clear();
+        }
+    }
+
+    /// Evicts LRU-first until at most `target` entries remain globally;
+    /// each shard trims to its proportional slice (`target / VALIDITY_SHARDS`
+    /// rounded up), so a shard that happens to hold more than its share of
+    /// the resident set sheds the excess while cold shards are untouched.
+    pub fn trim(&self, target: usize) {
+        let per_shard = target.div_ceil(VALIDITY_SHARDS);
+        for shard in self.shards.iter() {
+            self.acquire(shard).trim(per_shard);
+        }
+    }
+}
+
+/// The process-global validity cache: one sharded map shared by every
 /// [`crate::FixpointSolver`] with `global_cache` enabled, so the `table1`
 /// harness (and any long-running service) stops re-proving obligations that
-/// an earlier benchmark already discharged.
-pub fn global_cache() -> MutexGuard<'static, ValidityCache> {
-    static CACHE: OnceLock<Mutex<ValidityCache>> = OnceLock::new();
-    // `lock_recover` recovers from poisoning rather than cascading one panic
-    // (e.g. a failed assertion in an unrelated test thread) into every later
-    // solve in the process: the cache memoizes deterministic verdicts, so no
-    // torn state is observable through its API.
-    lock_recover(CACHE.get_or_init(|| {
+/// an earlier benchmark already discharged — and so concurrent per-function
+/// solvers don't convoy on a single cache mutex.
+pub fn global_cache() -> &'static ShardedValidityCache {
+    static CACHE: OnceLock<ShardedValidityCache> = OnceLock::new();
+    CACHE.get_or_init(|| {
         let cap = env_parse("FLUX_CACHE_CAP", 0usize);
-        Mutex::new(match cap {
-            0 => ValidityCache::new(),
-            cap => ValidityCache::with_capacity_limit(cap),
+        ShardedValidityCache::with_global_capacity(match cap {
+            0 => None,
+            cap => Some(cap),
         })
-    }))
+    })
 }
 
 /// Re-caps the process-global validity cache (`None` = unlimited).  The
-/// default comes from `FLUX_CACHE_CAP` (unset or 0 = unlimited).
+/// default comes from `FLUX_CACHE_CAP` (unset or 0 = unlimited).  The cap
+/// is divided across [`VALIDITY_SHARDS`] shards; the effective global cap
+/// is the sum of per-shard caps.
 pub fn set_global_cache_capacity(cap: Option<usize>) {
     global_cache().set_capacity(cap);
+}
+
+/// Times any caller found a process-global validity-cache shard lock held
+/// by another thread, over the process lifetime.  Solvers difference this
+/// around a solve to report per-solve contention.
+pub fn validity_shard_contentions() -> u64 {
+    global_cache().contentions()
 }
 
 /// Draws the next solve epoch.  Epochs are strictly increasing across all
@@ -450,6 +610,75 @@ mod tests {
         assert!(cache.peek(&key(&ctx, &[], &goal_n(5))).is_some());
         assert!(cache.peek(&key(&ctx, &[], &goal_n(7))).is_some());
         assert!(cache.peek(&key(&ctx, &[], &goal_n(1))).is_none());
+    }
+
+    #[test]
+    fn sharded_cache_honors_the_summed_shard_cap() {
+        let x = Name::intern("shx");
+        let ctx = [(x, Sort::Int)];
+        let goal_n = |n: i128| Expr::ge(Expr::var(x), Expr::int(n));
+        let cache = ShardedValidityCache::with_global_capacity(Some(32));
+        assert_eq!(
+            cache.capacity(),
+            Some(32),
+            "32 divides evenly over 8 shards"
+        );
+        for n in 0..200 {
+            cache.insert(key(&ctx, &[], &goal_n(n)), Validity::Valid, 1, 1);
+            assert!(
+                cache.len() <= 32,
+                "global len {} exceeded the summed shard cap at insert {n}",
+                cache.len()
+            );
+        }
+        assert!(
+            cache.evictions() > 0,
+            "a 200-key storm must evict at cap 32"
+        );
+        // An evicted key recomputes and re-inserts verdict-identically.
+        let k = key(&ctx, &[], &goal_n(0));
+        assert!(
+            cache.lookup(&k).is_none(),
+            "key 0 is the coldest; it was evicted"
+        );
+        cache.insert(k.clone(), Validity::Valid, 2, 1);
+        assert_eq!(
+            cache.lookup(&k).expect("re-inserted").verdict,
+            Validity::Valid
+        );
+        // trim() reclaims down to (at most shard-rounded) the target.
+        cache.trim(8);
+        assert!(cache.len() <= 8, "trim(8) left {} entries", cache.len());
+        // Re-capping to unlimited stops eviction.
+        cache.set_capacity(None);
+        assert_eq!(cache.capacity(), None);
+        let before = cache.evictions();
+        for n in 1000..1100 {
+            cache.insert(key(&ctx, &[], &goal_n(n)), Validity::Valid, 3, 1);
+        }
+        assert_eq!(cache.evictions(), before);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn sharded_cache_spreads_keys_across_shards() {
+        let x = Name::intern("spx");
+        let ctx = [(x, Sort::Int)];
+        let goal_n = |n: i128| Expr::ge(Expr::var(x), Expr::int(n));
+        let cache = ShardedValidityCache::with_global_capacity(None);
+        for n in 0..256 {
+            cache.insert(key(&ctx, &[], &goal_n(n)), Validity::Valid, 1, 1);
+        }
+        let occupied = cache
+            .shards
+            .iter()
+            .filter(|shard| !lock_recover(shard).is_empty())
+            .count();
+        assert!(
+            occupied > VALIDITY_SHARDS / 2,
+            "256 distinct keys landed on only {occupied} of {VALIDITY_SHARDS} shards"
+        );
     }
 
     #[test]

@@ -67,20 +67,22 @@ mod qualifier;
 mod solve;
 
 pub use audit::{lint_clauses, lint_solution};
-pub use cache::{QueryKey, ValidityCache};
+pub use cache::{QueryKey, ShardedValidityCache, ValidityCache, VALIDITY_SHARDS};
 // Cache internals (the global map, epoch/owner stamping, function-context
 // interning) are exposed only so the workspace-level concurrency stress
 // tests can hammer them directly; they are test plumbing, not API — hidden
 // from docs and free to change.
 #[doc(hidden)]
 pub use cache::{
-    global_cache, intern_fn_ctx, next_epoch, next_owner, set_global_cache_capacity, CacheEntry,
-    FnCtxId,
+    global_cache, intern_fn_ctx, next_epoch, next_owner, set_global_cache_capacity,
+    validity_shard_contentions, CacheEntry, FnCtxId,
 };
 pub use constraint::{Clause, Constraint, Guard, Head, Tag};
 pub use kvar::{KVarApp, KVarDecl, KVarStore, KVid};
 pub use partition::{partition, Partition};
 pub use qualifier::{default_qualifiers, well_sorted, Qualifier};
+#[doc(hidden)]
+pub use solve::panic_message;
 pub use solve::{
     default_threads, FixConfig, FixResult, FixStats, FixpointSolver, Solution, UnknownReason,
 };

@@ -54,11 +54,12 @@ use std::sync::{Arc, Mutex};
 /// `FLUX_THREADS=1`), so a typo must never silently promote such a run to
 /// the parallel scheduler.  An empty value counts as unset.
 pub fn default_threads() -> usize {
-    static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    // Resolved once per process: the env read, the parallelism syscall and
-    // (on a malformed value) the warning don't repeat for every
-    // `FixConfig::default()` the program constructs.
-    *RESOLVED.get_or_init(|| match std::env::var("FLUX_THREADS") {
+    // Deliberately NOT cached in a process-global `OnceLock`: long-running
+    // callers (`fluxd`'s `reload`, tests that sweep thread counts) re-read
+    // the environment and must observe changes.  The cost is one env read
+    // and possibly one parallelism syscall per `FixConfig::default()` —
+    // noise next to constructing the qualifier set in the same default.
+    match std::env::var("FLUX_THREADS") {
         // Set (and non-empty): parse through the shared warn-and-default
         // helper.  The fallback is **1**, not the machine's parallelism —
         // the variable exists to pin runs to the sequential engine, so a
@@ -68,7 +69,16 @@ pub fn default_threads() -> usize {
         _ => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
-    })
+    }
+}
+
+/// Snapshot of the process-global shard-lock contention counters (validity
+/// shards, CNF shards, hcons interner); solves difference it to attribute
+/// contention to a solve, mirroring `observed_evictions`.
+fn observed_contentions() -> u64 {
+    crate::cache::validity_shard_contentions()
+        + flux_smt::cnf_shard_contentions()
+        + flux_logic::hcons_contentions()
 }
 
 /// Configuration of the fixpoint solver.
@@ -196,6 +206,12 @@ pub struct FixStats {
     /// differencing the monotone global counters around the solve.  Zero
     /// unless a capacity cap (`FLUX_CACHE_CAP`) is set.
     pub evictions: usize,
+    /// Times a thread found a process-global cache-shard lock (validity
+    /// shards, CNF shards, hcons interner) held by another thread during
+    /// this solve, attributed by differencing the monotone global counters
+    /// around the solve.  A convoying diagnostic: zero in sequential runs,
+    /// and under sharding it should stay near zero even at 8 threads.
+    pub shard_contention: usize,
 }
 
 impl FixStats {
@@ -221,6 +237,7 @@ impl FixStats {
         self.revalidations += other.revalidations;
         self.unknown_drops += other.unknown_drops;
         self.evictions += other.evictions;
+        self.shard_contention += other.shard_contention;
     }
 }
 
@@ -1293,6 +1310,7 @@ impl FixpointSolver {
         self.config.smt.budget.deadline = None;
         self.config.smt.budget.stamp();
         let evictions_before = self.observed_evictions();
+        let contentions_before = observed_contentions();
         let threads = self.config.threads.max(1);
         let parts = partition(&clauses, kvars);
         self.stats = FixStats {
@@ -1338,6 +1356,7 @@ impl FixpointSolver {
             self.solve_parallel(&clauses, &parts, threads, kvars, ctx, &mut solution)
         };
         self.stats.evictions = (self.observed_evictions() - evictions_before) as usize;
+        self.stats.shard_contention = (observed_contentions() - contentions_before) as usize;
 
         // Assemble the blamed tags in clause order, deduplicated — the same
         // order the historical sequential pass produced.  Concrete heads the
@@ -1665,7 +1684,11 @@ impl FixpointSolver {
 }
 
 /// Renders a caught panic payload for [`UnknownReason::WorkerPanic`].
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Stringifies a `catch_unwind` payload for [`UnknownReason::WorkerPanic`].
+/// Shared with `flux-check`'s function-level fan-out (hence public, but
+/// plumbing rather than API).
+#[doc(hidden)]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -98,10 +98,27 @@ pub struct QueryStats {
     pub conjunct_retractions: usize,
     /// Quantifier instances generated (baseline verifier only).
     pub quant_instances: usize,
-    /// Worker-thread cap of the fixpoint scheduler
+    /// Worker-thread cap of the *clause-level* fixpoint scheduler
     /// ([`flux_fixpoint::FixConfig::threads`]; Flux mode only — the
-    /// baseline verifier is single-threaded and reports 1).
+    /// baseline verifier is single-threaded and reports 1).  The
+    /// function-level pool is reported separately in
+    /// [`QueryStats::fn_threads`]: the two widths compose (total potential
+    /// parallelism is their product), so collapsing them into one figure
+    /// would misreport both.
     pub threads: usize,
+    /// Worker-thread width of the *function-level* fan-out in
+    /// `check_program` ([`flux_check::CheckConfig::fn_threads`], clamped to
+    /// the function count; Flux mode only — the baseline reports 1).
+    pub fn_threads: usize,
+    /// Per-function wall-clock check times in milliseconds, in source order
+    /// (the `fn_parallel` column: where the wall-clock went under the
+    /// function-level fan-out; Flux mode only, empty for the baseline).
+    pub fn_times_ms: Vec<usize>,
+    /// Times a thread found a process-global cache-shard lock (validity
+    /// shards, CNF shards, hcons interner) held by another thread during
+    /// the run — the mutex-convoying diagnostic for the sharded caches.
+    /// Zero in sequential runs.
+    pub shard_contention: usize,
     /// Independent κ-dependency components across all fixpoint solves (the
     /// available weakening parallelism; Flux mode only).
     pub partitions: usize,
@@ -190,7 +207,10 @@ pub fn verify_source(
                 mode,
                 safe: report.is_safe(),
                 errors: report.errors().iter().map(|d| d.render(source)).collect(),
-                time: report.total_time(),
+                // Wall-clock, not summed per-function work: with the
+                // function-level fan-out this is what the caller waited,
+                // so multi-core speedups show up in the time columns.
+                time: report.wall_time,
                 functions: report.functions.len(),
                 loc: metrics.loc,
                 spec_lines: metrics.spec_lines,
@@ -214,6 +234,13 @@ pub fn verify_source(
                     conjunct_retractions: smt.conjunct_retractions,
                     quant_instances: smt.quant_instances,
                     threads: fix.threads,
+                    fn_threads: report.fn_threads,
+                    fn_times_ms: report
+                        .fn_times()
+                        .iter()
+                        .map(|t| t.as_millis() as usize)
+                        .collect(),
+                    shard_contention: fix.shard_contention,
                     partitions: fix.partitions,
                     worker_queries: report.total_worker_queries(),
                     lint_checks: fix.lint_checks,
@@ -262,6 +289,9 @@ pub fn verify_source(
                     conjunct_retractions: smt.conjunct_retractions,
                     quant_instances: smt.quant_instances,
                     threads: 1,
+                    fn_threads: 1,
+                    fn_times_ms: Vec::new(),
+                    shard_contention: 0,
                     partitions: 0,
                     worker_queries: Vec::new(),
                     lint_checks: report.functions.iter().map(|f| f.lint_checks).sum(),
@@ -515,7 +545,7 @@ pub fn render_table1(rows: &[TableRow]) -> String {
 pub fn render_query_stats(rows: &[TableRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>4} {:>6} | {:>8} {:>10}\n",
+        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>4} {:>6} {:>6} {:>7} | {:>8} {:>10}\n",
         "benchmark",
         "queries",
         "hits",
@@ -533,11 +563,13 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         "colscan",
         "retract",
         "thr",
+        "fn-thr",
         "parts",
+        "contend",
         "bl-qrys",
         "bl-quants"
     ));
-    out.push_str(&"-".repeat(191));
+    out.push_str(&"-".repeat(206));
     out.push('\n');
     let mut total = QueryStats::default();
     let mut total_baseline = QueryStats::default();
@@ -545,7 +577,7 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         let s = &row.flux.stats;
         let hit_percent = (s.cache_hits * 100).checked_div(s.smt_queries).unwrap_or(0);
         out.push_str(&format!(
-            "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>4} {:>6} | {:>8} {:>10}\n",
+            "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>4} {:>6} {:>6} {:>7} | {:>8} {:>10}\n",
             row.name,
             s.smt_queries,
             s.cache_hits,
@@ -563,7 +595,9 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
             s.col_scans,
             s.conjunct_retractions,
             s.threads,
+            s.fn_threads,
             s.partitions,
+            s.shard_contention,
             row.baseline.stats.smt_queries,
             row.baseline.stats.quant_instances,
         ));
@@ -581,7 +615,12 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         total.db_reductions += s.db_reductions;
         total.col_scans += s.col_scans;
         total.conjunct_retractions += s.conjunct_retractions;
+        // Pool *widths* are configuration, not work: aggregate each by
+        // maximum, separately — max-merging a single combined figure would
+        // misreport effective parallelism once both pools coexist.
         total.threads = total.threads.max(s.threads);
+        total.fn_threads = total.fn_threads.max(s.fn_threads);
+        total.shard_contention += s.shard_contention;
         total.partitions += s.partitions;
         total.lint_checks += s.lint_checks + row.baseline.stats.lint_checks;
         total.certs_checked += s.certs_checked + row.baseline.stats.certs_checked;
@@ -592,13 +631,13 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         total_baseline.smt_queries += row.baseline.stats.smt_queries;
         total_baseline.quant_instances += row.baseline.stats.quant_instances;
     }
-    out.push_str(&"-".repeat(191));
+    out.push_str(&"-".repeat(206));
     out.push('\n');
     let hit_percent = (total.cache_hits * 100)
         .checked_div(total.smt_queries)
         .unwrap_or(0);
     out.push_str(&format!(
-        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>4} {:>6} | {:>8} {:>10}\n",
+        "{:<10} | {:>8} {:>9} {:>8} {:>8} {:>8} {:>7}% {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>4} {:>6} {:>6} {:>7} | {:>8} {:>10}\n",
         "Total",
         total.smt_queries,
         total.cache_hits,
@@ -616,7 +655,9 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
         total.col_scans,
         total.conjunct_retractions,
         total.threads,
+        total.fn_threads,
         total.partitions,
+        total.shard_contention,
         total_baseline.smt_queries,
         total_baseline.quant_instances,
     ));
@@ -630,6 +671,24 @@ pub fn render_query_stats(rows: &[TableRow]) -> String {
          (all zero unless FLUX_DEADLINE_MS / FLUX_CACHE_CAP / --deadline-ms / --budget \
          constrain the run)\n",
         total.unknowns, total.evictions, total.budget_exhausted,
+    ));
+    let fn_time_total: usize = rows
+        .iter()
+        .filter(|r| !r.is_library)
+        .flat_map(|r| r.flux.stats.fn_times_ms.iter())
+        .sum();
+    let fn_time_max: usize = rows
+        .iter()
+        .filter(|r| !r.is_library)
+        .flat_map(|r| r.flux.stats.fn_times_ms.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "fn_parallel (flux): fn_threads={} shard_contention={} \
+         fn_time_ms_total={} fn_time_ms_max={} \
+         (per-function wall-clock vector in --json as fn_times_ms)\n",
+        total.fn_threads, total.shard_contention, fn_time_total, fn_time_max,
     ));
     out
 }
@@ -668,6 +727,9 @@ pub fn render_table1_json(rows: &[TableRow], gate: &GateTolerances) -> String {
              \"certs_checked\": {},\n{indent}  \"revalidations\": {},\n{indent}  \
              \"unknowns\": {},\n{indent}  \"evictions\": {},\n{indent}  \
              \"budget_exhausted\": {},\n{indent}  \
+             \"fn_threads\": {},\n{indent}  \
+             \"shard_contention\": {},\n{indent}  \
+             \"fn_times_ms\": [{}],\n{indent}  \
              \"worker_queries\": [{}]\n{indent}}}",
             out.safe,
             out.time.as_secs_f64(),
@@ -697,6 +759,13 @@ pub fn render_table1_json(rows: &[TableRow], gate: &GateTolerances) -> String {
             s.unknowns,
             s.evictions,
             s.budget_exhausted,
+            s.fn_threads,
+            s.shard_contention,
+            s.fn_times_ms
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
             worker_queries,
         )
     }

@@ -67,6 +67,13 @@ static MEMO_CAP: AtomicUsize = AtomicUsize::new(0);
 static MEMO_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 /// Largest combined memo size observed (before any eviction).
 static MEMO_HIGH_WATERMARK: AtomicUsize = AtomicUsize::new(0);
+/// Times a thread found the interner's table lock held by another thread
+/// (monotone; callers read deltas).  The interner is a single global mutex
+/// by design — id stability requires one `nodes` vector — so this counter
+/// is the convoying audit for the parallel schedulers: if it climbs under
+/// the 8-thread cache-stress storms, interning (not solving) is the
+/// bottleneck and the table is the next sharding candidate.
+static TABLE_CONTENTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Caps the combined entry count of the hash-cons table's memo maps
 /// (simplification and the structural predicates).  When the combined size
@@ -106,9 +113,16 @@ pub fn flush_hcons_memos() -> usize {
     total
 }
 
+/// Times any thread found the interner's table lock held by another thread,
+/// over the process lifetime.  Monotone; callers difference it around a
+/// solve (or a stress storm) to audit interner lock hold times.
+pub fn hcons_contentions() -> u64 {
+    TABLE_CONTENTIONS.load(Ordering::Relaxed)
+}
+
 fn table() -> MutexGuard<'static, Table> {
     static TABLE: OnceLock<Mutex<Table>> = OnceLock::new();
-    lock_recover(TABLE.get_or_init(|| {
+    let mutex = TABLE.get_or_init(|| {
         // Seed the memo cap from the environment once, at first use; an
         // explicit `set_hcons_memo_capacity` call still wins later.
         let cap = crate::util::env_parse("FLUX_CACHE_CAP", 0usize);
@@ -116,7 +130,17 @@ fn table() -> MutexGuard<'static, Table> {
             MEMO_CAP.store(cap, Ordering::Relaxed);
         }
         Mutex::new(Table::default())
-    }))
+    });
+    // Audit, not avoidance: count acquisitions that would block, then take
+    // the lock as before (recovering from poisoning either way).
+    match mutex.try_lock() {
+        Ok(guard) => guard,
+        Err(std::sync::TryLockError::WouldBlock) => {
+            TABLE_CONTENTIONS.fetch_add(1, Ordering::Relaxed);
+            lock_recover(mutex)
+        }
+        Err(std::sync::TryLockError::Poisoned(_)) => lock_recover(mutex),
+    }
 }
 
 impl Table {

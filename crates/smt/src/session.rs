@@ -74,14 +74,17 @@ enum PreOut {
     Formula(ExprId),
 }
 
-/// The process-global CNF engine: one atom table shared by every session,
-/// plus memo tables that make re-encoding a repeated conjunct O(1).
+/// The process-global CNF engine: an atom table shared by every session on
+/// the same shard (see [`CNF_SHARDS`]), plus memo tables that make
+/// re-encoding a repeated conjunct O(1).
 ///
-/// Sharing the atom table across sessions is what makes the per-conjunct
-/// CNF cache possible at all: cached clauses mention [`AtomId`]s, so those
-/// ids must mean the same thing in every session.  (Atoms are pure syntax —
-/// a linear constraint or a boolean name — so global interning is sound,
-/// exactly like the hash-consing of expressions in `flux-logic`.)
+/// Sharing the atom table across a shard's sessions is what makes the
+/// per-conjunct CNF cache possible at all: cached clauses mention
+/// [`AtomId`]s, so those ids must mean the same thing in every session
+/// that reads them — which is guaranteed by sessions pinning a single
+/// shard for their lifetime.  (Atoms are pure syntax — a linear constraint
+/// or a boolean name — so interning them per shard is sound, exactly like
+/// the hash-consing of expressions in `flux-logic`.)
 /// Preprocessing memo key: the conjunct plus the sorts of its free
 /// variables.  The sorts are part of the key because comparison
 /// normalisation consults them; the same name can be bound at different
@@ -144,18 +147,58 @@ struct CnfCache {
     cnf_atoms: HashMap<ExprId, Arc<Vec<AtomId>>>,
 }
 
-fn cnf_cache() -> MutexGuard<'static, CnfCache> {
-    static CACHE: OnceLock<Mutex<CnfCache>> = OnceLock::new();
-    // `lock_recover` recovers from poisoning rather than cascading one panic
-    // (e.g. a failed assertion in an unrelated test thread) into every later
-    // session in the process: the cache only memoizes pure data behind
-    // `Arc`s, so no torn state is observable through its API.
-    let mut cache = flux_logic::lock_recover(CACHE.get_or_init(|| {
-        Mutex::new(CnfCache {
-            cap: flux_logic::env_parse("FLUX_CACHE_CAP", 0usize),
-            ..CnfCache::default()
-        })
-    }));
+/// Number of lock-striped shards of the process-global CNF cache.
+///
+/// Each shard is a *complete*, independent [`CnfCache`] — its own atom
+/// table plus memo maps.  A [`Session`] pins one shard at creation
+/// (deterministically, by hashing its hypothesis ids) and performs every
+/// cache operation against that shard only, so the [`AtomId`]s baked into
+/// its core's clauses always resolve against the table that issued them.
+/// Cross-session sharing survives for sessions that land on the same shard
+/// — which, because the shard is chosen by hypothesis context, is exactly
+/// the sessions re-asking the same clause's questions.  Four shards keep
+/// the common caps dividing evenly (64, 512, 1024) while bounding the
+/// per-shard working-set duplication: a conjunct used by contexts on k
+/// shards is encoded k times, and k ≤ 4 caps that at 4×.
+pub const CNF_SHARDS: usize = 4;
+
+/// Times a thread found a CNF-shard lock held by another thread (monotone;
+/// callers read deltas).
+static CNF_CONTENTIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn cnf_shards() -> &'static Vec<Mutex<CnfCache>> {
+    static SHARDS: OnceLock<Vec<Mutex<CnfCache>>> = OnceLock::new();
+    SHARDS.get_or_init(|| {
+        // Seed each shard with its slice of the env cap; an explicit
+        // `set_cnf_cache_capacity` call still wins later.
+        let cap = flux_logic::env_parse("FLUX_CACHE_CAP", 0usize);
+        let per_shard = cap.div_ceil(CNF_SHARDS);
+        (0..CNF_SHARDS)
+            .map(|_| {
+                Mutex::new(CnfCache {
+                    cap: per_shard,
+                    ..CnfCache::default()
+                })
+            })
+            .collect()
+    })
+}
+
+/// Locks CNF shard `shard` (modulo the shard count).  `lock_recover`
+/// recovers from poisoning rather than cascading one panic (e.g. a failed
+/// assertion in an unrelated test thread) into every later session in the
+/// process: the cache only memoizes pure data behind `Arc`s, so no torn
+/// state is observable through its API.
+fn cnf_shard(shard: usize) -> MutexGuard<'static, CnfCache> {
+    let mutex = &cnf_shards()[shard % CNF_SHARDS];
+    let mut cache = match mutex.try_lock() {
+        Ok(guard) => guard,
+        Err(std::sync::TryLockError::WouldBlock) => {
+            CNF_CONTENTIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            flux_logic::lock_recover(mutex)
+        }
+        Err(std::sync::TryLockError::Poisoned(_)) => flux_logic::lock_recover(mutex),
+    };
     if crate::testing::inject_fault("cnf-cache") == Some(crate::testing::Fault::Delay) {
         // Hold the lock a beat: exercises every caller's tolerance of
         // contention on the global cache (there is nothing to time out — the
@@ -167,23 +210,46 @@ fn cnf_cache() -> MutexGuard<'static, CnfCache> {
     cache
 }
 
-/// Caps the process-global CNF cache's memo maps at `cap` total entries
-/// across all maps (`None` = unlimited).  Defaults to `FLUX_CACHE_CAP`
-/// (unset or 0 = unlimited).  The shared atom table is exempt: cached and
-/// in-core clauses reference its ids for the life of the process.
+/// Picks the CNF shard for a session over `hyp_ids`: a deterministic
+/// function of the hypothesis context, so re-opened sessions over the same
+/// context always land on the shard that already holds their encodings.
+fn pick_cnf_shard(hyp_ids: &[ExprId]) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    hyp_ids.hash(&mut hasher);
+    (hasher.finish() as usize) % CNF_SHARDS
+}
+
+/// Caps the process-global CNF cache's memo maps (`None` = unlimited).
+/// Defaults to `FLUX_CACHE_CAP` (unset or 0 = unlimited).  The cap is
+/// divided across [`CNF_SHARDS`] shards (rounded up), so the effective
+/// global cap is the sum of per-shard caps.  The shared atom tables are
+/// exempt: cached and in-core clauses reference their ids for the life of
+/// the process.
 pub fn set_cnf_cache_capacity(cap: Option<usize>) {
-    cnf_cache().cap = cap.unwrap_or(0);
+    let per_shard = cap.map_or(0, |c| c.div_ceil(CNF_SHARDS));
+    for shard in 0..CNF_SHARDS {
+        cnf_shard(shard).cap = per_shard;
+    }
 }
 
-/// Total entries evicted from the process-global CNF cache so far.
+/// Total entries evicted from the process-global CNF cache so far, summed
+/// over all shards.
 pub fn cnf_cache_evictions() -> u64 {
-    cnf_cache().evictions
+    (0..CNF_SHARDS).map(|s| cnf_shard(s).evictions).sum()
 }
 
-/// Current total entry count of the CNF cache's evictable memo maps
-/// (diagnostics and capacity tests).
+/// Current total entry count of the CNF cache's evictable memo maps,
+/// summed over all shards (diagnostics and capacity tests).
 pub fn cnf_cache_len() -> usize {
-    cnf_cache().memo_len()
+    (0..CNF_SHARDS).map(|s| cnf_shard(s).memo_len()).sum()
+}
+
+/// Times any session found a CNF-shard lock held by another thread, over
+/// the process lifetime.  Solvers difference this around a solve to report
+/// per-solve contention.
+pub fn cnf_shard_contentions() -> u64 {
+    CNF_CONTENTIONS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 impl CnfCache {
@@ -364,6 +430,10 @@ impl CnfCache {
 /// mentions.  `atom_vars` maps an atom to its SAT variable lazily, so the
 /// SAT search only ever branches on atoms this session actually uses.
 struct Core {
+    /// The CNF shard this core's owning session is pinned to: every
+    /// [`AtomId`] in the clause database was issued by (and must be
+    /// resolved against) this shard's atom table.
+    shard: usize,
     sat: SatSolver,
     /// SAT variable of each atom, indexed by [`AtomId`]; `UNMAPPED` for
     /// atoms this session has not touched.
@@ -406,10 +476,11 @@ struct TheoryAtoms {
 }
 
 impl Core {
-    fn new(config: &SmtConfig) -> Core {
+    fn new(config: &SmtConfig, shard: usize) -> Core {
         // The authoritative budget lives on the `SmtConfig`; the sub-solvers
         // receive their copy here, exactly as the one-shot pipeline does.
         Core {
+            shard,
             sat: SatSolver::new(
                 0,
                 crate::sat::SatConfig {
@@ -447,7 +518,7 @@ impl Core {
     fn snapshot_hyp(&mut self, hyp_cnf: &[(ExprId, Arc<Vec<Vec<Lit>>>)]) -> TheoryAtoms {
         let mut relevant: Vec<AtomId> = Vec::new();
         {
-            let mut cache = cnf_cache();
+            let mut cache = cnf_shard(self.shard);
             for (pid, cnf) in hyp_cnf {
                 relevant.extend(cache.atoms_of(*pid, cnf).iter().copied());
             }
@@ -460,7 +531,7 @@ impl Core {
     /// Shared tail of the snapshot paths: the per-atom resolution work over
     /// a sorted, deduplicated candidate list.
     fn snapshot_atoms(&mut self, relevant: &[AtomId], skip: Option<&TheoryAtoms>) -> TheoryAtoms {
-        let mut cache = cnf_cache();
+        let mut cache = cnf_shard(self.shard);
         let mut out = TheoryAtoms::default();
         for &id in relevant {
             if matches!(skip, Some(s) if s.atoms.contains(&id)) {
@@ -544,6 +615,10 @@ pub struct Session {
     ctx: SortCtx,
     stats: SmtStats,
     mode: Mode,
+    /// The CNF shard this session is pinned to for its whole lifetime (see
+    /// [`CNF_SHARDS`]): chosen deterministically from the hypothesis ids,
+    /// so re-opened sessions over the same context share encodings.
+    shard: usize,
     /// Hash-consed hypotheses, as given.
     hyp_ids: Vec<ExprId>,
     /// Tree form of the hypotheses, materialized lazily — only the one-shot
@@ -592,6 +667,7 @@ impl Session {
         // fixpoint solver) already stamped a solve-wide deadline.
         let mut config = config;
         config.budget.stamp();
+        let shard = pick_cnf_shard(&hyp_ids);
         let mut session = Session {
             config,
             ctx: ctx.clone(),
@@ -600,6 +676,7 @@ impl Session {
                 ..SmtStats::default()
             },
             mode: Mode::Incremental,
+            shard,
             hyp_ids,
             hyp_trees,
             hyp_cnf: Vec::new(),
@@ -607,7 +684,7 @@ impl Session {
             core: None,
         };
         let mut seen: HashSet<ExprId> = HashSet::new();
-        let mut cache = cnf_cache();
+        let mut cache = cnf_shard(shard);
         for hyp in session.hyp_ids.clone() {
             // One memoized probe per hypothesis: splitting, simplification,
             // preprocessing and CNF conversion of its conjuncts all ran at
@@ -671,7 +748,9 @@ impl Session {
         let mut seen: HashSet<ExprId> = HashSet::new();
         let mut new_cnf: Vec<ConjunctCnf> = Vec::new();
         {
-            let mut cache = cnf_cache();
+            // The session keeps its original shard: the core's clauses name
+            // that shard's atoms, so the new conjuncts must encode there too.
+            let mut cache = cnf_shard(self.shard);
             for hyp in new_hyps {
                 match cache.hyp_out_of(*hyp, &self.ctx) {
                     HypOut::OneShot | HypOut::Contradictory => return false,
@@ -820,7 +899,7 @@ impl Session {
                 let mut unconstrained = false;
                 let mut encoding_failed = false;
                 {
-                    let mut cache = cnf_cache();
+                    let mut cache = cnf_shard(self.shard);
                     for &g in goals {
                         let nid = g.negated().simplified();
                         if nid == ff {
@@ -883,7 +962,7 @@ impl Session {
             // hypotheses alone, i.e. no extra clauses.
             None
         } else {
-            let mut cache = cnf_cache();
+            let mut cache = cnf_shard(self.shard);
             match cache.preprocess(nid, &self.ctx) {
                 PreOut::False => return Validity::Valid,
                 PreOut::True => None,
@@ -927,7 +1006,7 @@ impl Session {
         match &mut self.core {
             Some(_) => self.stats.sat_reuse += 1,
             none => {
-                let mut core = Core::new(&self.config);
+                let mut core = Core::new(&self.config, self.shard);
                 // Hypothesis clauses are asserted outright — no activation
                 // literals.  Their units become permanent level-0 facts, so
                 // the first goal retirement's compaction dissolves most of
@@ -1048,7 +1127,7 @@ impl Session {
                                 .chain(goal_clauses.iter())
                                 .chain(self.lemmas.iter());
                             let asserted: Vec<_> = {
-                                let cache = cnf_cache();
+                                let cache = cnf_shard(core.shard);
                                 audit::asserted_constraints(&involved, &cache.atoms)
                                     .into_iter()
                                     .map(|c| (c, true))
@@ -1079,7 +1158,7 @@ impl Session {
                                 conflict.iter().map(|&i| involved[i]).collect()
                             };
                             let constraints = {
-                                let cache = cnf_cache();
+                                let cache = cnf_shard(core.shard);
                                 audit::asserted_constraints(&tagged, &cache.atoms)
                             };
                             if let Err(e) = audit::certify_infeasible_core(&constraints) {
@@ -1169,11 +1248,13 @@ impl Session {
 /// worker threads in the parallel weakening scheduler of `flux-fixpoint`,
 /// so they must stay [`Send`]: per-session state is exclusively owned —
 /// the CDCL core, the simplex tableau and the statistics live in the
-/// session itself — and everything shared across sessions (the atom table,
-/// the CNF memos, the prepared-constraint cache) is reached only through
-/// the process-global mutex in [`cnf_cache`], never through `Rc`/`RefCell`
-/// aliasing.  These assertions turn any future hidden-sharing regression
-/// into a compile error instead of a data race.
+/// session itself — and everything shared across sessions (the atom
+/// tables, the CNF memos, the prepared-constraint caches) is reached only
+/// through the process-global shard mutexes in [`cnf_shard`], never
+/// through `Rc`/`RefCell` aliasing.  A session carries only its shard
+/// *index*, so moving it across threads moves no cache state at all.
+/// These assertions turn any future hidden-sharing regression into a
+/// compile error instead of a data race.
 const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<Session>();

@@ -7,8 +7,8 @@
 //! evicted entries must recompute to the same verdicts.
 //!
 //! The caps are process-global, so the storm lives in a single test; the
-//! LRU-policy test below uses a private `ValidityCache` instance and can
-//! run alongside it.
+//! LRU-policy and shard-storm tests below use private cache instances and
+//! can run alongside it.
 
 use flux_fixpoint::{
     global_cache, set_global_cache_capacity, Constraint, FixConfig, FixpointSolver, Guard, KVarApp,
@@ -130,6 +130,14 @@ fn bounded_caches_hold_cap_evict_and_stay_correct() {
             "verdict cache len {} exceeds its cap {VERDICT_CAP}",
             global_cache().len()
         );
+        // The verdict cache is sharded: the configured figure is the *sum*
+        // of the per-shard caps (32 divides evenly across the shards), so
+        // the effective global capacity is exactly what was requested.
+        assert_eq!(
+            global_cache().capacity(),
+            Some(VERDICT_CAP),
+            "the summed shard caps must reproduce the requested global cap"
+        );
 
         // Evicted entries are recomputable: re-checking families from the
         // start of the storm (long since evicted at these caps) yields the
@@ -192,4 +200,95 @@ fn hot_entry_survives_cold_storm_at_the_same_cap() {
     // A FIFO would have evicted the hot key during the first cap's worth of
     // cold insertions; under LRU the evicted keys are all cold ones.
     assert!(cache.peek(&key_of(0)).is_none(), "cold entries age out");
+}
+
+/// Sharded verdict cache (PR 10): under an 8-thread storm over a *private*
+/// sharded instance, the summed length never exceeds the requested global
+/// cap (the per-shard caps sum to it), every surviving entry still carries
+/// the verdict its key was inserted with (no cross-shard aliasing), and
+/// re-deriving an evicted key's verdict reproduces the cached figure
+/// exactly.
+#[test]
+fn sharded_verdict_cache_holds_global_cap_under_thread_storm() {
+    use flux_fixpoint::{
+        intern_fn_ctx, next_epoch, next_owner, QueryKey, ShardedValidityCache, VALIDITY_SHARDS,
+    };
+    use flux_logic::ExprId;
+    use flux_smt::Validity;
+
+    const CAP: usize = 32;
+    assert_eq!(
+        CAP % VALIDITY_SHARDS,
+        0,
+        "pick a cap the shards divide evenly, so the sum is exact"
+    );
+    let cache = ShardedValidityCache::with_global_capacity(Some(CAP));
+    assert_eq!(
+        cache.capacity(),
+        Some(CAP),
+        "the global cap is the sum of the per-shard caps"
+    );
+
+    let x = Name::intern("shard_storm_x");
+    let fns = intern_fn_ctx(&SortCtx::new());
+    let key_of = |n: i128| {
+        QueryKey::new(
+            fns,
+            [(x, Sort::Int)].into_iter().collect(),
+            [ExprId::intern(&Expr::ge(Expr::var(x), Expr::int(0)))]
+                .into_iter()
+                .collect(),
+            ExprId::intern(&Expr::ge(Expr::var(x), Expr::int(n))),
+        )
+    };
+    // The verdict is a pure function of the key — `x ≥ 0 ⊢ x ≥ n` holds
+    // exactly when `n ≤ 0` — so recomputing after an eviction must
+    // reproduce the cached figure bit-for-bit.
+    let verdict_of = |n: i128| {
+        if n <= 0 {
+            Validity::Valid
+        } else {
+            Validity::Invalid(None)
+        }
+    };
+
+    let (epoch, owner) = (next_epoch(), next_owner());
+    thread::scope(|scope| {
+        for worker in 0..WORKERS {
+            let (cache, key_of, verdict_of) = (&cache, &key_of, &verdict_of);
+            scope.spawn(move || {
+                for i in 0..100i128 {
+                    let n = worker as i128 * 1000 + i - 50;
+                    cache.insert(key_of(n), verdict_of(n), epoch, owner);
+                    assert!(
+                        cache.len() <= CAP,
+                        "summed shard length {} exceeded the global cap {CAP}",
+                        cache.len()
+                    );
+                    if let Some(entry) = cache.lookup(&key_of(n)) {
+                        assert_eq!(
+                            entry.verdict,
+                            verdict_of(n),
+                            "a shard returned another key's verdict (n = {n})"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    assert!(
+        cache.evictions() > 0,
+        "an 800-insert storm must overflow a 32-entry cap"
+    );
+    assert!(cache.len() <= CAP, "cap violated at steady state");
+    // Recompute-identical: the storm's earliest keys are long evicted;
+    // re-deriving and re-inserting them yields the same verdicts.
+    for n in [-50i128, -1, 0, 1, 951] {
+        cache.insert(key_of(n), verdict_of(n), epoch, owner);
+        assert_eq!(
+            cache.lookup(&key_of(n)).expect("just inserted").verdict,
+            verdict_of(n),
+            "an evicted entry recomputed to a different verdict (n = {n})"
+        );
+    }
 }

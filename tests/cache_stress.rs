@@ -60,6 +60,12 @@ where
 #[test]
 fn hcons_interning_is_stable_under_contention() {
     with_deadline("hcons stress", || {
+        // Lock-hold audit: the interner keeps a single global mutex (id
+        // stability forbids sharding it), so the storm doubles as its
+        // convoying probe.  The counter is process-global and monotone;
+        // on a single-core host the threads rarely overlap, so only
+        // monotonicity — not growth — can be asserted portably.
+        let contentions_before = flux_logic::hcons_contentions();
         let exprs = || -> Vec<Expr> {
             (0..200)
                 .map(|i| {
@@ -102,6 +108,8 @@ fn hcons_interning_is_stable_under_contention() {
         // Ids remain stable after the storm.
         let after: Vec<ExprId> = exprs().iter().map(ExprId::intern).collect();
         assert_eq!(after, all[0]);
+        let contended = flux_logic::hcons_contentions() - contentions_before;
+        println!("hcons table contentions during storm: {contended}");
     });
 }
 
@@ -112,6 +120,10 @@ fn hcons_interning_is_stable_under_contention() {
 #[test]
 fn global_verdict_cache_survives_overlapping_writers() {
     with_deadline("verdict cache stress", || {
+        // The verdict cache is lock-striped: eight writers over 40 keys
+        // spread across the shards, and the shard mutexes count the times a
+        // caller found its shard held.  Monotone, process-global.
+        let contentions_before = global_cache().contentions();
         let fns = intern_fn_ctx(&SortCtx::new());
         let key_of = move |j: usize| {
             let x = Name::intern("cs_vc_x");
@@ -160,6 +172,8 @@ fn global_verdict_cache_survives_overlapping_writers() {
         let entry = global_cache().lookup(&key).expect("entry just inserted");
         assert_eq!(entry.owner, owner);
         assert_eq!(entry.epoch, epoch);
+        let contended = global_cache().contentions() - contentions_before;
+        println!("validity shard contentions during storm: {contended}");
     });
 }
 
@@ -169,6 +183,7 @@ fn global_verdict_cache_survives_overlapping_writers() {
 #[test]
 fn cnf_cache_sessions_agree_under_contention() {
     with_deadline("CNF cache stress", || {
+        let contentions_before = flux_smt::cnf_shard_contentions();
         let check_family = |salt: usize| {
             let x = Expr::var(Name::intern("cs_sess_x"));
             let n = Expr::var(Name::intern("cs_sess_n"));
@@ -208,6 +223,8 @@ fn cnf_cache_sessions_agree_under_contention() {
         }
         // And once more on the warmed cache from this thread.
         check_family(0);
+        let contended = flux_smt::cnf_shard_contentions() - contentions_before;
+        println!("CNF shard contentions during storm: {contended}");
     });
 }
 

@@ -166,6 +166,57 @@ fn serves_verify_status_reload_shutdown_with_warm_second_pass() {
 }
 
 #[test]
+fn reload_observes_fresh_environment() {
+    let _guard = lock();
+    with_watchdog("daemon live reload", 600, || {
+        // Start with one worker, then retune the environment mid-run: the
+        // reload answer must echo the *new* widths.  This pins the
+        // regression where `FLUX_THREADS` was latched in a process-global
+        // `OnceLock` at first use, which made `reload` a silent no-op for
+        // thread counts — the daemon kept serving the stale startup value.
+        std::env::set_var("FLUXD_WORKERS", "3");
+        std::env::set_var("FLUX_THREADS", "5");
+        // Keep the post-reload deadline ceiling test-safe on slow debug
+        // builds (a reload re-reads *every* knob, including this one).
+        std::env::set_var("FLUXD_MAX_DEADLINE_MS", "600000");
+        let config = test_config();
+        let (responses, _) = serve(
+            &config,
+            script(&[
+                r#"{"id":1,"method":"reload"}"#.to_string(),
+                // The pool was just grown 1 → 3 and per-request configs are
+                // cloned fresh: verification must still work afterwards.
+                r#"{"id":2,"method":"verify","program":"bsearch"}"#.to_string(),
+                r#"{"id":3,"method":"status"}"#.to_string(),
+                r#"{"id":4,"method":"shutdown"}"#.to_string(),
+            ]),
+        );
+        std::env::remove_var("FLUXD_WORKERS");
+        std::env::remove_var("FLUX_THREADS");
+        std::env::remove_var("FLUXD_MAX_DEADLINE_MS");
+        assert_eq!(result_of(&responses[&1]), "reloaded");
+        assert_eq!(
+            responses[&1].get("workers").and_then(Value::as_u64),
+            Some(3),
+            "reload must observe the new FLUXD_WORKERS, not the startup value"
+        );
+        assert_eq!(
+            responses[&1].get("fn_threads").and_then(Value::as_u64),
+            Some(5),
+            "reload must observe the new FLUX_THREADS, not a OnceLock'd one"
+        );
+        assert_eq!(result_of(&responses[&2]), "verified");
+        assert_eq!(result_of(&responses[&3]), "status");
+        assert_eq!(
+            responses[&3].get("workers").and_then(Value::as_u64),
+            Some(3),
+            "status must report the reloaded pool width"
+        );
+        assert_eq!(result_of(&responses[&4]), "final");
+    });
+}
+
+#[test]
 fn malformed_input_yields_structured_errors_never_exit() {
     let _guard = lock();
     with_watchdog("daemon framing errors", 600, || {

@@ -1,18 +1,32 @@
-//! Acceptance tests for the parallel weakening scheduler: solving with any
-//! worker-thread count must be observationally identical to the sequential
-//! engine — same Safe/Unsafe verdicts and blamed obligations across the
-//! whole benchmark corpus, and bit-identical inferred `Solution`s for every
-//! function's constraint system — while the merged per-worker statistics
-//! still account for every query.
+//! Acceptance tests for the parallel solving pipeline — both pools: the
+//! clause-level weakening scheduler inside each fixpoint solve, and the
+//! function-level fan-out above it.  Solving with any combination of
+//! worker-thread counts must be observationally identical to the
+//! sequential engine — same Safe/Unsafe verdicts and blamed obligations
+//! across the whole benchmark corpus, and bit-identical inferred
+//! `Solution`s for every function's constraint system — while the merged
+//! per-worker statistics still account for every query and report each
+//! pool's width distinctly.
 
 use flux::{verify_source, FixConfig, Mode, VerifyConfig};
 use flux_fixpoint::{FixResult, FixpointSolver};
 use flux_logic::SortCtx;
 
-/// The shipped configuration with a pinned worker-thread cap.
+/// The shipped configuration with a pinned worker-thread cap.  The
+/// function-level fan-out is pinned to 1 so each sweep varies exactly one
+/// pool.
 fn with_threads(threads: usize) -> VerifyConfig {
     let mut config = VerifyConfig::default();
     config.check.fixpoint.threads = threads;
+    config.check.fn_threads = 1;
+    config
+}
+
+/// A configuration pinning both pools: `fn_threads` functions checked
+/// concurrently, each solve using `clause_threads` weakening workers.
+fn with_pools(fn_threads: usize, clause_threads: usize) -> VerifyConfig {
+    let mut config = with_threads(clause_threads);
+    config.check.fn_threads = fn_threads;
     config
 }
 
@@ -109,8 +123,11 @@ fn corpus_solutions_are_identical_across_thread_counts() {
 /// hits — at every thread count, across the whole corpus.
 #[test]
 fn parallel_stats_merge_is_lossless_on_the_corpus() {
-    for threads in [1, 2, 8] {
-        let config = with_threads(threads);
+    // Sweep both pools, including combinations where they coexist: the
+    // merge must stay lossless whether queries come from one solver's
+    // worker slots or from eight concurrent per-function solvers.
+    for (fn_threads, threads) in [(1, 1), (1, 2), (1, 8), (2, 2), (8, 1)] {
+        let config = with_pools(fn_threads, threads);
         for b in flux::benchmarks() {
             let outcome = verify_source(b.flux_src, Mode::Flux, &config)
                 .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
@@ -118,29 +135,85 @@ fn parallel_stats_merge_is_lossless_on_the_corpus() {
             assert_eq!(
                 s.worker_queries.iter().sum::<usize>(),
                 s.smt_queries,
-                "{} at threads={threads}: per-worker query counts must sum to the total",
+                "{} at fn={fn_threads}/cl={threads}: per-worker query counts must sum                  to the total (per-function vectors must never interleave)",
                 b.name
             );
             assert!(
-                s.worker_queries.len() <= threads,
-                "{} at threads={threads}: more worker slots ({}) than workers",
+                // One slot vector per function under fan-out, each at most
+                // `threads` wide.
+                s.worker_queries.len() <= threads * s.fn_times_ms.len().max(1),
+                "{} at fn={fn_threads}/cl={threads}: more worker slots ({}) than workers",
                 b.name,
                 s.worker_queries.len()
             );
             assert_eq!(
                 s.cache_hits + s.cache_misses,
                 s.smt_queries,
-                "{} at threads={threads}: hits + misses must account for every query",
+                "{} at fn={fn_threads}/cl={threads}: hits + misses must account for                  every query",
                 b.name
             );
             assert!(
                 s.cross_fn_hits + s.xbench_hits <= s.cache_hits,
-                "{} at threads={threads}: hit classifications exceed total hits",
+                "{} at fn={fn_threads}/cl={threads}: hit classifications exceed total hits",
                 b.name
             );
             assert!(
                 s.partitions > 0,
-                "{} at threads={threads}: a verified benchmark must report its κ-partitions",
+                "{} at fn={fn_threads}/cl={threads}: a verified benchmark must report                  its κ-partitions",
+                b.name
+            );
+            // Each pool's width is reported distinctly (regression: a
+            // single max-merged figure let the fan-out width masquerade as
+            // clause-level parallelism once both pools coexisted).
+            assert_eq!(
+                s.threads, threads,
+                "{} at fn={fn_threads}/cl={threads}: the clause pool width must not                  absorb the function fan-out width",
+                b.name
+            );
+            assert!(
+                s.fn_threads >= 1 && s.fn_threads <= fn_threads,
+                "{} at fn={fn_threads}/cl={threads}: reported fan-out width {} out of                  range",
+                b.name,
+                s.fn_threads
+            );
+            assert!(
+                !s.fn_times_ms.is_empty(),
+                "{} at fn={fn_threads}/cl={threads}: per-function wall-clock vector                  must have one slot per checked function",
+                b.name
+            );
+        }
+    }
+}
+
+/// Function-level fan-out equivalence: the whole corpus must verify
+/// identically — verdicts *and* blamed obligations, in the same order —
+/// when functions are checked concurrently, at every pool-width
+/// combination, and the per-function time vector keeps one slot per
+/// function regardless of schedule.
+#[test]
+fn corpus_verdicts_are_identical_across_function_fanout_widths() {
+    let sequential = with_threads(1);
+    for b in flux::benchmarks() {
+        let reference = verify_source(b.flux_src, Mode::Flux, &sequential)
+            .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+        for (fn_threads, clause_threads) in [(2, 1), (8, 1), (2, 2), (8, 2)] {
+            let config = with_pools(fn_threads, clause_threads);
+            let parallel = verify_source(b.flux_src, Mode::Flux, &config)
+                .unwrap_or_else(|e| panic!("{}: frontend error {e}", b.name));
+            assert_eq!(
+                parallel.safe, reference.safe,
+                "{} at fn={fn_threads}/cl={clause_threads}: fan-out and sequential                  engines disagree (parallel errors: {:?}, sequential errors: {:?})",
+                b.name, parallel.errors, reference.errors
+            );
+            assert_eq!(
+                parallel.errors, reference.errors,
+                "{} at fn={fn_threads}/cl={clause_threads}: verdicts agree but blamed                  obligations differ or are reordered (the merge must follow program                  order, not completion order)",
+                b.name
+            );
+            assert_eq!(
+                parallel.stats.fn_times_ms.len(),
+                reference.stats.fn_times_ms.len(),
+                "{} at fn={fn_threads}/cl={clause_threads}: one wall-clock slot per                  checked function, regardless of schedule",
                 b.name
             );
         }
